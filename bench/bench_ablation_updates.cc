@@ -1,0 +1,91 @@
+// Ablation A5 — update intensity vs the read workload's goal (the §3 update
+// model layered under the §4/§5 partitioning): as the update-transaction
+// rate on the goal class's pages rises, commit-time invalidations churn the
+// dedicated pools and WAL/page forces load the disks; the feedback loop has
+// to defend the goal with more dedicated memory until it no longer can.
+//
+// Usage: bench_ablation_updates [key=value ...]  (intervals=40 seed=1)
+
+#include <cstdio>
+#include <memory>
+
+#include "bench/experiment.h"
+#include "common/config.h"
+#include "common/stats.h"
+#include "txn/transaction.h"
+#include "txn/update_source.h"
+
+namespace memgoal::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  common::Config args;
+  if (!args.ParseArgs(argc, argv)) {
+    std::fprintf(stderr, "%s\n", args.error().c_str());
+    return 1;
+  }
+  const int intervals = static_cast<int>(args.GetInt("intervals", 40));
+  const auto seed = static_cast<uint64_t>(args.GetInt("seed", 1));
+
+  Setup calibration;
+  calibration.seed = seed + 999;
+  const GoalBand band = CalibrateGoalBand(calibration);
+  const double goal = band.lo + 0.4 * (band.hi - band.lo);
+  std::printf("# goal %.3f ms (read-only band [%.3f, %.3f])\n", goal,
+              band.lo, band.hi);
+
+  std::printf(
+      "txn_interarrival_ms,committed_txns,txn_latency_ms,goal_rt_ms,"
+      "satisfied_frac,dedicated_KB,invalidations,deaths\n");
+  // 0 = no updates (read-only reference row).
+  for (double interarrival : {0.0, 800.0, 400.0, 200.0, 100.0}) {
+    Setup setup;
+    setup.seed = seed;
+    std::unique_ptr<core::ClusterSystem> system = BuildSystem(setup);
+    system->SetGoal(1, goal);
+
+    txn::TransactionManager manager(system.get());
+    std::unique_ptr<txn::UpdateSource> updates;
+    if (interarrival > 0.0) {
+      txn::UpdateSource::Params params;
+      params.klass = 1;
+      params.mean_interarrival_ms = interarrival;
+      params.reads_per_txn = 3;
+      params.writes_per_txn = 1;
+      updates =
+          std::make_unique<txn::UpdateSource>(system.get(), &manager, params);
+    }
+
+    common::RunningStats rt, dedicated;
+    int satisfied = 0, counted = 0;
+    system->SetIntervalCallback([&](const core::IntervalRecord& record) {
+      if (record.index < intervals / 2) return;
+      const auto& m = record.ForClass(1);
+      rt.Add(m.observed_rt_ms);
+      dedicated.Add(static_cast<double>(m.dedicated_bytes));
+      satisfied += m.satisfied ? 1 : 0;
+      ++counted;
+    });
+    system->Start();
+    if (updates) updates->Start();
+    system->RunIntervals(intervals);
+
+    std::printf("%.0f,%llu,%.3f,%.3f,%.2f,%.0f,%llu,%llu\n", interarrival,
+                static_cast<unsigned long long>(
+                    updates ? updates->committed() : 0),
+                updates ? updates->commit_latency_ms().mean() : 0.0,
+                rt.mean(),
+                counted > 0 ? static_cast<double>(satisfied) / counted : 0.0,
+                dedicated.mean() / 1024.0,
+                static_cast<unsigned long long>(
+                    manager.stats().pages_invalidated),
+                static_cast<unsigned long long>(manager.stats().deaths));
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace memgoal::bench
+
+int main(int argc, char** argv) { return memgoal::bench::Main(argc, argv); }

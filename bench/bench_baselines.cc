@@ -1,0 +1,100 @@
+// Ablation A2 (motivates §4): the goal-oriented LP partitioning against
+// the single-server baselines ported to the NOW — fragment fencing
+// (VLDB'93), class fencing (SIGMOD'96), a static administrator-chosen
+// partitioning and no partitioning at all. A fixed *binding* goal (below
+// the zero-dedication response time) is installed; we report how quickly
+// and how reliably each controller satisfies it, and what it costs the
+// no-goal class.
+//
+// Usage: bench_baselines [key=value ...]  (intervals=50 seed=1)
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+
+#include "baseline/fencing.h"
+#include "baseline/static_controllers.h"
+#include "bench/experiment.h"
+#include "core/goal_controller.h"
+#include "common/config.h"
+#include "common/stats.h"
+
+namespace memgoal::bench {
+namespace {
+
+struct Row {
+  const char* name;
+  std::function<std::unique_ptr<core::Controller>()> make;
+};
+
+int Run(int argc, char** argv) {
+  common::Config args;
+  if (!args.ParseArgs(argc, argv)) {
+    std::fprintf(stderr, "%s\n", args.error().c_str());
+    return 1;
+  }
+  const int intervals = static_cast<int>(args.GetInt("intervals", 50));
+  const uint64_t seed = static_cast<uint64_t>(args.GetInt("seed", 1));
+
+  Setup setup;
+  setup.seed = seed;
+
+  // A binding goal one third into the calibrated band.
+  const GoalBand band = CalibrateGoalBand(setup);
+  const double goal = band.lo + (band.hi - band.lo) / 3.0;
+  std::printf("# binding goal: %.3f ms (band [%.3f, %.3f], RT(0)=%.3f)\n",
+              goal, band.lo, band.hi, band.rt_zero);
+
+  const Row rows[] = {
+      {"goal-oriented",
+       [] { return std::make_unique<core::GoalOrientedController>(); }},
+      {"fragment-fencing",
+       [] { return std::make_unique<baseline::FragmentFencingController>(); }},
+      {"class-fencing",
+       [] { return std::make_unique<baseline::ClassFencingController>(); }},
+      {"static-half",
+       [] {
+         return std::make_unique<baseline::StaticPartitioningController>(
+             std::map<ClassId, double>{{1, 0.5}});
+       }},
+      {"none",
+       [] { return std::make_unique<baseline::NoPartitioningController>(); }},
+  };
+
+  std::printf(
+      "controller,first_satisfied_interval,satisfied_frac,goal_rt_mean_ms,"
+      "nogoal_rt_mean_ms,final_dedicated_bytes\n");
+  for (const Row& row : rows) {
+    std::unique_ptr<core::ClusterSystem> system = BuildSystem(setup);
+    system->SetController(row.make());
+    system->SetGoal(1, goal);
+
+    int first_satisfied = -1;
+    int satisfied = 0, counted = 0;
+    common::RunningStats rt_goal, rt_nogoal;
+    system->SetIntervalCallback([&](const core::IntervalRecord& record) {
+      const auto& m = record.ForClass(1);
+      if (m.satisfied && first_satisfied < 0) first_satisfied = record.index;
+      if (record.index >= 5) {  // skip the cold-cache ramp
+        satisfied += m.satisfied ? 1 : 0;
+        ++counted;
+        rt_goal.Add(m.observed_rt_ms);
+        rt_nogoal.Add(record.ForClass(kNoGoalClass).observed_rt_ms);
+      }
+    });
+    system->Start();
+    system->RunIntervals(intervals);
+    std::printf("%s,%d,%.2f,%.3f,%.3f,%llu\n", row.name, first_satisfied,
+                counted > 0 ? static_cast<double>(satisfied) / counted : 0.0,
+                rt_goal.mean(), rt_nogoal.mean(),
+                static_cast<unsigned long long>(
+                    system->TotalDedicatedBytes(1)));
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace memgoal::bench
+
+int main(int argc, char** argv) { return memgoal::bench::Run(argc, argv); }

@@ -1,0 +1,115 @@
+// Reproduces Table 1 (§5): CPU time of the coordinator's three tasks —
+// the incremental linear-independence maintenance of the measure-point
+// store, the hyperplane approximation, and the LP optimization — for
+// N in {5, 10, 20, 30, 40, 50} nodes.
+//
+// The paper measured these on a 1996 SUN Sparc 4 (overall 1.24 ms at N=5 up
+// to 24.4 ms at N=50); on modern hardware the absolute numbers are about
+// three orders of magnitude smaller, but the growth with N — quadratic
+// store/fit, LP growing most slowly — is the reproducible shape.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/measure.h"
+#include "core/optimizer.h"
+#include "la/matrix.h"
+
+namespace memgoal::bench {
+namespace {
+
+la::Vector RandomAllocation(common::Rng* rng, size_t n) {
+  la::Vector allocation(n);
+  for (double& v : allocation) v = rng->Uniform(0.0, 2 << 20);
+  return allocation;
+}
+
+// Fills a store with n+1 random measure points (random points are affinely
+// independent with probability 1).
+core::MeasureStore ReadyStore(common::Rng* rng, size_t n) {
+  core::MeasureStore store(n);
+  while (!store.ready()) {
+    store.Observe(RandomAllocation(rng, n), rng->Uniform(1.0, 30.0),
+                  rng->Uniform(1.0, 30.0));
+  }
+  return store;
+}
+
+// Table 1 column "Lin. Independence": folding one new measure point into
+// the store (O(n) probes + one O(n^2) Sherman-Morrison row replacement).
+void BM_LinIndependence(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  common::Rng rng(42);
+  core::MeasureStore store = ReadyStore(&rng, n);
+  for (auto _ : state) {
+    store.Observe(RandomAllocation(&rng, n), rng.Uniform(1.0, 30.0),
+                  rng.Uniform(1.0, 30.0));
+    benchmark::DoNotOptimize(store.size());
+  }
+}
+
+// Table 1 column "Approximation": solving for both response-time
+// hyperplanes against the maintained inverse (two O(n^2) products).
+void BM_Approximation(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  common::Rng rng(43);
+  const core::MeasureStore store = ReadyStore(&rng, n);
+  for (auto _ : state) {
+    auto planes = store.FitPlanes();
+    benchmark::DoNotOptimize(planes);
+  }
+}
+
+core::OptimizerInput RandomLp(common::Rng* rng, size_t n) {
+  core::OptimizerInput input;
+  input.planes.grad_k.resize(n);
+  input.planes.grad_0.resize(n);
+  input.upper_bounds.assign(n, 2 << 20);
+  for (size_t i = 0; i < n; ++i) {
+    input.planes.grad_k[i] = -rng->Uniform(1e-6, 5e-6);
+    input.planes.grad_0[i] = rng->Uniform(1e-7, 1e-6);
+  }
+  input.planes.intercept_k = 20.0;
+  input.planes.intercept_0 = 2.0;
+  input.goal_rt = 10.0;  // reachable: equality LP runs to optimality
+  return input;
+}
+
+// Table 1 column "Optimization": the simplex solve of §4's LP.
+void BM_Optimization(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  common::Rng rng(44);
+  const core::OptimizerInput input = RandomLp(&rng, n);
+  for (auto _ : state) {
+    core::OptimizerOutput output = SolvePartitioning(input);
+    benchmark::DoNotOptimize(output);
+  }
+}
+
+// Table 1 row "Overall": one full coordinator optimization phase.
+void BM_Overall(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  common::Rng rng(45);
+  core::MeasureStore store = ReadyStore(&rng, n);
+  for (auto _ : state) {
+    store.Observe(RandomAllocation(&rng, n), rng.Uniform(1.0, 30.0),
+                  rng.Uniform(1.0, 30.0));
+    auto planes = store.FitPlanes();
+    core::OptimizerInput input;
+    input.planes = std::move(*planes);
+    input.goal_rt = 10.0;
+    input.upper_bounds.assign(n, 2 << 20);
+    core::OptimizerOutput output = SolvePartitioning(input);
+    benchmark::DoNotOptimize(output);
+  }
+}
+
+BENCHMARK(BM_LinIndependence)->Arg(5)->Arg(10)->Arg(20)->Arg(30)->Arg(40)->Arg(50);
+BENCHMARK(BM_Approximation)->Arg(5)->Arg(10)->Arg(20)->Arg(30)->Arg(40)->Arg(50);
+BENCHMARK(BM_Optimization)->Arg(5)->Arg(10)->Arg(20)->Arg(30)->Arg(40)->Arg(50);
+BENCHMARK(BM_Overall)->Arg(5)->Arg(10)->Arg(20)->Arg(30)->Arg(40)->Arg(50);
+
+}  // namespace
+}  // namespace memgoal::bench
+
+BENCHMARK_MAIN();

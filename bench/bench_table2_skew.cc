@@ -1,0 +1,64 @@
+// Reproduces Table 2 (§7.3): convergence speed of the feedback loop —
+// mean observation intervals from a goal change to first satisfaction —
+// as a function of the Zipf access skew theta. Goals are drawn from the
+// paper's satisfiable band [RT(2/3 cache dedicated), RT(1/3 dedicated)],
+// and runs are pooled until the 99% confidence half-width of the mean
+// drops below 1 iteration.
+//
+// Paper's values: theta  0     0.25  0.5   0.75  1
+//                 iters  1.84  2.41  3.55  3.88  3.95
+//
+// Usage: bench_table2_skew [key=value ...]  (intervals=100 max_runs=5)
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/experiment.h"
+#include "common/config.h"
+#include "common/stats.h"
+
+namespace memgoal::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  common::Config args;
+  if (!args.ParseArgs(argc, argv)) {
+    std::fprintf(stderr, "%s\n", args.error().c_str());
+    return 1;
+  }
+  const int intervals = static_cast<int>(args.GetInt("intervals", 100));
+  const int max_runs = static_cast<int>(args.GetInt("max_runs", 5));
+  const uint64_t seed0 = static_cast<uint64_t>(args.GetInt("seed", 1));
+
+  const double paper[] = {1.84, 2.41, 3.55, 3.88, 3.95};
+  const double skews[] = {0.0, 0.25, 0.5, 0.75, 1.0};
+
+  std::printf(
+      "skew,mean_iterations,ci99_half_width,samples,censored,runs,"
+      "goal_lo_ms,goal_hi_ms,paper_iterations\n");
+  for (int s = 0; s < 5; ++s) {
+    Setup setup;
+    setup.skew = skews[s];
+    setup.seed = seed0;
+    std::vector<uint64_t> seeds;
+    for (int r = 0; r < max_runs; ++r) {
+      seeds.push_back(seed0 + 100 * static_cast<uint64_t>(s) +
+                      static_cast<uint64_t>(r));
+    }
+    const ConvergenceResult result =
+        MeasureConvergence(setup, seeds, intervals);
+    std::printf("%.2f,%.3f,%.3f,%lld,%d,%d,%.3f,%.3f,%.2f\n", skews[s],
+                result.iterations.mean(),
+                common::ConfidenceHalfWidth(result.iterations, 0.99),
+                static_cast<long long>(result.iterations.count()),
+                result.censored, result.runs_used, result.goal_lo,
+                result.goal_hi, paper[s]);
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace memgoal::bench
+
+int main(int argc, char** argv) { return memgoal::bench::Run(argc, argv); }

@@ -1,0 +1,211 @@
+#include "bench/experiment.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "baseline/static_controllers.h"
+#include "common/check.h"
+
+namespace memgoal::bench {
+
+namespace {
+
+// Goals start loose enough that nothing triggers before the caller (or the
+// GoalChangeDriver) installs a real goal.
+constexpr double kInertGoalMs = 1e9;
+
+}  // namespace
+
+core::SystemConfig Setup::ToConfig() const {
+  core::SystemConfig config;
+  config.num_nodes = num_nodes;
+  config.cache_bytes_per_node = cache_bytes_per_node;
+  config.db_pages =
+      pages_per_class * static_cast<uint32_t>(goal_classes + 1);
+  config.observation_interval_ms = observation_interval_ms;
+  config.disk.avg_seek_ms = disk_seek_ms;
+  config.disk.rotation_ms = disk_rotation_ms;
+  config.disk.transfer_mb_per_s = disk_transfer_mb_per_s;
+  config.policy = policy;
+  config.hint_heat_threshold = hint_heat_threshold;
+  config.seed = seed;
+  return config;
+}
+
+std::unique_ptr<core::ClusterSystem> BuildSystem(const Setup& setup) {
+  MEMGOAL_CHECK(setup.goal_classes >= 1 && setup.goal_classes <= 2);
+  auto system = std::make_unique<core::ClusterSystem>(setup.ToConfig());
+
+  const PageId range = setup.pages_per_class;
+
+  for (int c = 1; c <= setup.goal_classes; ++c) {
+    workload::ClassSpec spec;
+    spec.id = static_cast<ClassId>(c);
+    spec.goal_rt_ms = kInertGoalMs;
+    spec.accesses_per_op = setup.accesses_per_op;
+    spec.mean_interarrival_ms = setup.interarrival_ms;
+    spec.pages = {static_cast<PageId>((c - 1) * range),
+                  static_cast<PageId>(c * range)};
+    spec.zipf_skew = setup.skew;
+    if (c == 2 && setup.share_prob > 0.0) {
+      // §7.4: class 2 shares class 1's pages with probability share_prob.
+      spec.shared_pages = workload::PageRange{0, range};
+      spec.share_prob = setup.share_prob;
+      spec.shared_skew = setup.skew;
+    }
+    system->AddClass(spec);
+  }
+
+  workload::ClassSpec nogoal;
+  nogoal.id = kNoGoalClass;
+  nogoal.accesses_per_op = setup.accesses_per_op;
+  nogoal.mean_interarrival_ms = setup.interarrival_ms;
+  nogoal.pages = {static_cast<PageId>(setup.goal_classes * range),
+                  static_cast<PageId>((setup.goal_classes + 1) * range)};
+  nogoal.zipf_skew = setup.skew;
+  system->AddClass(nogoal);
+  return system;
+}
+
+double CalibrateRt(const Setup& setup, ClassId klass, double fraction,
+                   int intervals) {
+  std::unique_ptr<core::ClusterSystem> system = BuildSystem(setup);
+  system->SetController(
+      std::make_unique<baseline::NoPartitioningController>());
+  system->Start();
+  for (int c = 1; c <= setup.goal_classes; ++c) {
+    const double class_fraction =
+        static_cast<ClassId>(c) == klass ? fraction : 1.0 / 3.0;
+    const auto bytes = static_cast<uint64_t>(
+        class_fraction * static_cast<double>(setup.cache_bytes_per_node));
+    for (NodeId i = 0; i < setup.num_nodes; ++i) {
+      system->ApplyAllocation(static_cast<ClassId>(c), i, bytes);
+    }
+  }
+  system->RunIntervals(intervals);
+
+  // Only the settled tail: the cold-start fill and eviction shake-out of a
+  // 2000-page database takes several intervals.
+  common::RunningStats stats;
+  const auto& records = system->metrics().records();
+  for (size_t i = records.size() * 2 / 3; i < records.size(); ++i) {
+    const auto& m = records[i].ForClass(klass);
+    if (m.ops_completed > 0) stats.Add(m.observed_rt_ms);
+  }
+  MEMGOAL_CHECK(stats.count() > 0);
+  return stats.mean();
+}
+
+GoalChangeDriver::GoalChangeDriver(core::ClusterSystem* system, ClassId klass,
+                                   double goal_lo, double goal_hi,
+                                   uint64_t seed)
+    : system_(system), klass_(klass), goal_lo_(goal_lo), goal_hi_(goal_hi),
+      rng_(seed) {
+  MEMGOAL_CHECK(goal_lo_ < goal_hi_);
+  system_->SetGoal(klass_, rng_.Uniform(goal_lo_, goal_hi_));
+}
+
+void GoalChangeDriver::PickNewGoal() {
+  const double current = system_->spec(klass_).goal_rt_ms.value();
+  double next = current;
+  // "Randomly chosen so that it should be satisfiable under the current
+  // workload and also differs significantly from the current goal" (§7.1).
+  do {
+    next = rng_.Uniform(goal_lo_, goal_hi_);
+  } while (std::fabs(next - current) < 0.25 * (goal_hi_ - goal_lo_));
+  system_->SetGoal(klass_, next);
+  converging_ = true;
+  intervals_since_change_ = 0;
+  satisfied_streak_ = 0;
+}
+
+void GoalChangeDriver::OnInterval(const core::IntervalRecord& record) {
+  const core::ClassIntervalMetrics& m = record.ForClass(klass_);
+  if (converging_) {
+    ++intervals_since_change_;
+    if (m.satisfied) {
+      if (first_goal_) {
+        first_goal_ = false;  // cold-cache sample: discard
+      } else {
+        iterations_.Add(static_cast<double>(intervals_since_change_));
+      }
+      ++goals_completed_;
+      converging_ = false;
+      satisfied_streak_ = 1;
+    } else if (intervals_since_change_ >= kCensorLimit) {
+      ++censored_;
+      converging_ = false;  // give up on this goal; wait for satisfaction
+      satisfied_streak_ = 0;
+      first_goal_ = false;
+    }
+    return;
+  }
+  // Holding: wait for a streak of satisfied intervals, then change goals.
+  satisfied_streak_ = m.satisfied ? satisfied_streak_ + 1 : 0;
+  if (satisfied_streak_ >= kSatisfiedStreakForChange) PickNewGoal();
+}
+
+GoalBand CalibrateGoalBand(const Setup& setup, ClassId klass) {
+  GoalBand band;
+  Setup calibration = setup;
+  calibration.seed = setup.seed + 1000003;
+  band.lo = CalibrateRt(calibration, klass, 2.0 / 3.0);
+  calibration.seed = setup.seed + 2000003;
+  band.rt_third = CalibrateRt(calibration, klass, 1.0 / 3.0);
+  calibration.seed = setup.seed + 3000003;
+  band.rt_zero = CalibrateRt(calibration, klass, 0.0);
+  band.hi = std::min(band.rt_third, 0.75 * band.rt_zero);
+  MEMGOAL_CHECK_MSG(band.lo < band.hi,
+                    "calibration produced an empty goal band");
+  return band;
+}
+
+ConvergenceResult MeasureConvergence(const Setup& base_setup,
+                                     const std::vector<uint64_t>& run_seeds,
+                                     int intervals_per_run) {
+  ConvergenceResult result;
+  const GoalBand band = CalibrateGoalBand(base_setup);
+  result.goal_lo = band.lo;
+  result.goal_hi = band.hi;
+
+  // Any secondary goal class holds a fixed goal chosen to keep its
+  // dedication near the neutral 1/3 the band calibration assumed, so the
+  // two coordinators' demands stay jointly satisfiable.
+  double goal_k2 = 0.0;
+  if (base_setup.goal_classes >= 2) {
+    Setup calibration = base_setup;
+    calibration.seed = base_setup.seed + 4000003;
+    goal_k2 = 1.05 * CalibrateRt(calibration, 2, 1.0 / 3.0);
+  }
+
+  for (uint64_t seed : run_seeds) {
+    Setup setup = base_setup;
+    setup.seed = seed;
+    std::unique_ptr<core::ClusterSystem> system = BuildSystem(setup);
+    if (setup.goal_classes >= 2) {
+      // Both coordinators are live concurrently (§5 drops the one-class-
+      // at-a-time restriction); only class 1's convergence is measured.
+      system->SetGoal(2, goal_k2);
+    }
+    GoalChangeDriver driver(system.get(), 1, result.goal_lo, result.goal_hi,
+                            seed ^ 0x9e3779b97f4a7c15ull);
+    system->SetIntervalCallback(
+        [&driver](const core::IntervalRecord& record) {
+          driver.OnInterval(record);
+        });
+    system->Start();
+    system->RunIntervals(intervals_per_run);
+
+    result.iterations.Merge(driver.iterations());
+    result.goals_completed += driver.goals_completed();
+    result.censored += driver.censored();
+    ++result.runs_used;
+    if (result.iterations.count() >= 10 &&
+        common::ConfidenceHalfWidth(result.iterations, 0.99) < 1.0) {
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace memgoal::bench

@@ -1,0 +1,148 @@
+#ifndef MEMGOAL_BENCH_EXPERIMENT_H_
+#define MEMGOAL_BENCH_EXPERIMENT_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "core/metrics.h"
+#include "core/system.h"
+#include "workload/spec.h"
+
+namespace memgoal::bench {
+
+/// Parameters of the paper's §7.1 environment plus the workload knobs the
+/// individual experiments vary.
+struct Setup {
+  uint64_t seed = 1;
+  uint32_t num_nodes = 3;
+  /// 2 MB per node (paper); experiments with two goal classes double this
+  /// (§7.4: "twice the amount of cache buffer memory at each node").
+  uint64_t cache_bytes_per_node = 2ull << 20;
+  /// Pages per class range. The database holds one disjoint range per
+  /// class (goal classes first, the no-goal class last), so its total size
+  /// scales with the number of classes: the base experiment's 2000-page
+  /// database is 2 x 1000, and the two-goal-class experiments use 3 x 1000
+  /// (matching their doubled per-node cache, §7.4).
+  uint32_t pages_per_class = 1000;
+  double observation_interval_ms = 5000.0;
+  /// Zipf skew theta of all classes.
+  double skew = 0.0;
+  /// Page accesses per operation (§7.2 uses 4).
+  int accesses_per_op = 4;
+  /// Mean operation inter-arrival per node per class, ms. Together with the
+  /// disk parameters below this keeps the disks comfortably below
+  /// saturation across all partitionings while giving ~375 completed
+  /// operations per class per observation interval, so the per-interval
+  /// mean response times the feedback loop consumes are statistically
+  /// stable (see EXPERIMENTS.md).
+  double interarrival_ms = 40.0;
+  /// High-end late-90s SCSI disk (the paper's disk model, calibrated so the
+  /// experiments' operating band is remote-cache-dominated rather than
+  /// disk-queueing-dominated).
+  double disk_seek_ms = 4.0;
+  double disk_rotation_ms = 6.0;
+  double disk_transfer_mb_per_s = 20.0;
+  /// Number of goal classes (1 or 2). Class page ranges split the database
+  /// evenly among all classes (goal classes first, no-goal class last).
+  int goal_classes = 1;
+  /// Probability that a class-2 access is drawn from class 1's range (§7.4
+  /// data-sharing sweep). Only meaningful with goal_classes == 2.
+  double share_prob = 0.0;
+  cache::PolicyKind policy = cache::PolicyKind::kCostBased;
+  double hint_heat_threshold = 0.2;
+
+  core::SystemConfig ToConfig() const;
+};
+
+/// Builds the system with its classes (initial goals are set very loose so
+/// nothing triggers until the driver or caller sets real goals).
+std::unique_ptr<core::ClusterSystem> BuildSystem(const Setup& setup);
+
+/// Mean steady-state response time of `klass` when `fraction` of every
+/// node's cache is statically dedicated to it. Any *other* goal classes
+/// hold a neutral 1/3 dedication so the measured class's band is probed
+/// under a representative background partitioning. Runs `intervals`
+/// observation intervals and averages the settled tail.
+double CalibrateRt(const Setup& setup, ClassId klass, double fraction,
+                   int intervals = 18);
+
+/// The satisfiable goal band of the §7.1 protocol. The paper draws goals
+/// from [RT(2/3 of cache dedicated), RT(1/3 dedicated)]; our richer
+/// simulator additionally exposes a non-monotone region at small dedicated
+/// sizes (see EXPERIMENTS.md), so the upper end is capped below the
+/// zero-dedication response time — every drawn goal is then *binding* and
+/// lies on the monotone branch of the response curve, which is the regime
+/// the paper's linear approximation presumes.
+struct GoalBand {
+  double lo = 0.0;       // RT at 2/3 dedicated
+  double hi = 0.0;       // min(RT at 1/3 dedicated, 0.75 * RT at zero)
+  double rt_zero = 0.0;  // RT with no dedicated buffer
+  double rt_third = 0.0;  // RT at 1/3 dedicated (uncapped, for reporting)
+};
+GoalBand CalibrateGoalBand(const Setup& setup, ClassId klass = 1);
+
+/// Implements the §7.1 measurement protocol for one goal class: once the
+/// goal has been satisfied for four consecutive intervals, draw a new goal
+/// uniformly from [goal_lo, goal_hi] (re-drawing until it differs from the
+/// current goal by at least a quarter of the band) and count the intervals
+/// until the new goal is first satisfied. The count of the first goal
+/// (cold caches) is discarded.
+class GoalChangeDriver {
+ public:
+  GoalChangeDriver(core::ClusterSystem* system, ClassId klass, double goal_lo,
+                   double goal_hi, uint64_t seed);
+
+  /// Wire into ClusterSystem::SetIntervalCallback (or call from a shared
+  /// callback when driving several classes).
+  void OnInterval(const core::IntervalRecord& record);
+
+  /// Convergence samples: intervals from goal change to first satisfaction.
+  const common::RunningStats& iterations() const { return iterations_; }
+  int goals_completed() const { return goals_completed_; }
+  /// Goals that did not converge within the censor limit (excluded from
+  /// the iteration statistics; should be rare).
+  int censored() const { return censored_; }
+
+  static constexpr int kSatisfiedStreakForChange = 4;
+  static constexpr int kCensorLimit = 40;
+
+ private:
+  void PickNewGoal();
+
+  core::ClusterSystem* system_;
+  ClassId klass_;
+  double goal_lo_;
+  double goal_hi_;
+  common::Rng rng_;
+  bool converging_ = true;
+  bool first_goal_ = true;
+  int intervals_since_change_ = 0;
+  int satisfied_streak_ = 0;
+  common::RunningStats iterations_;
+  int goals_completed_ = 0;
+  int censored_ = 0;
+};
+
+/// Runs the full Table-2 protocol for one skew value: calibrate the goal
+/// band, then run `run_seeds.size()` independent simulations of
+/// `intervals_per_run` intervals each, pooling convergence samples, until
+/// the pooled 99% confidence half-width drops below 1 iteration (or the
+/// seeds are exhausted). Returns the pooled statistics.
+struct ConvergenceResult {
+  common::RunningStats iterations;
+  int goals_completed = 0;
+  int censored = 0;
+  int runs_used = 0;
+  double goal_lo = 0.0;
+  double goal_hi = 0.0;
+};
+ConvergenceResult MeasureConvergence(const Setup& base_setup,
+                                     const std::vector<uint64_t>& run_seeds,
+                                     int intervals_per_run);
+
+}  // namespace memgoal::bench
+
+#endif  // MEMGOAL_BENCH_EXPERIMENT_H_

@@ -1,0 +1,142 @@
+// The motivating scenario from the paper's introduction: short OLTP
+// transactions sharing a network of workstations with complex
+// decision-support (DSS) queries. Without load control the resource-hungry
+// DSS queries crowd the OLTP working set out of the buffers; with the
+// goal-oriented partitioning the OLTP class gets exactly the dedicated
+// buffer it needs to hold its response-time SLA, while the DSS class keeps
+// the rest.
+//
+// The example runs the same workload twice — unmanaged, then managed — and
+// compares the OLTP response times.
+//
+// Usage: oltp_dss_mix [key=value ...]   (intervals=40 goal_ms=... seed=1)
+
+#include <cstdio>
+#include <memory>
+
+#include "baseline/static_controllers.h"
+#include "common/config.h"
+#include "common/stats.h"
+#include "core/goal_controller.h"
+#include "core/system.h"
+
+namespace {
+
+using memgoal::ClassId;
+using memgoal::kNoGoalClass;
+
+constexpr ClassId kOltp = 1;
+
+memgoal::core::SystemConfig MakeConfig(uint64_t seed) {
+  memgoal::core::SystemConfig config;
+  config.num_nodes = 3;
+  config.cache_bytes_per_node = 2ull << 20;
+  config.db_pages = 2400;
+  config.disk.avg_seek_ms = 4.0;
+  config.disk.rotation_ms = 6.0;
+  config.disk.transfer_mb_per_s = 20.0;
+  config.seed = seed;
+  return config;
+}
+
+void AddWorkload(memgoal::core::ClusterSystem& system, double goal_ms) {
+  // OLTP: short transactions (2 page accesses), brisk arrival rate, a
+  // 1000-page working set with a hot head (Zipf 0.6).
+  memgoal::workload::ClassSpec oltp;
+  oltp.id = kOltp;
+  oltp.goal_rt_ms = goal_ms;
+  oltp.accesses_per_op = 2;
+  oltp.mean_interarrival_ms = 30.0;
+  oltp.pages = {0, 1000};
+  oltp.zipf_skew = 0.6;
+  system.AddClass(oltp);
+
+  // DSS: long queries (24 page accesses each) sweeping a 1400-page range
+  // almost uniformly, arriving in the background without a goal.
+  memgoal::workload::ClassSpec dss;
+  dss.id = kNoGoalClass;
+  dss.accesses_per_op = 24;
+  dss.mean_interarrival_ms = 400.0;
+  dss.pages = {1000, 2400};
+  dss.zipf_skew = 0.1;
+  system.AddClass(dss);
+}
+
+struct RunResult {
+  double oltp_rt_ms = 0.0;
+  double dss_rt_ms = 0.0;
+  double satisfied_frac = 0.0;
+  uint64_t dedicated_bytes = 0;
+};
+
+RunResult Run(bool managed, int intervals, double goal_ms, uint64_t seed) {
+  memgoal::core::ClusterSystem system(MakeConfig(seed));
+  AddWorkload(system, goal_ms);
+  if (!managed) {
+    system.SetController(
+        std::make_unique<memgoal::baseline::NoPartitioningController>());
+  }
+  system.Start();
+  system.RunIntervals(intervals);
+
+  RunResult result;
+  memgoal::common::RunningStats oltp_rt, dss_rt;
+  int satisfied = 0, counted = 0;
+  const auto& records = system.metrics().records();
+  for (size_t i = records.size() / 2; i < records.size(); ++i) {
+    const auto& oltp_row = records[i].ForClass(kOltp);
+    oltp_rt.Add(oltp_row.observed_rt_ms);
+    dss_rt.Add(records[i].ForClass(kNoGoalClass).observed_rt_ms);
+    // Judge both runs against the *real* goal (the unmanaged run carries an
+    // inert goal internally), with a flat 10% band.
+    satisfied += oltp_row.observed_rt_ms <= goal_ms * 1.10 ? 1 : 0;
+    ++counted;
+  }
+  result.oltp_rt_ms = oltp_rt.mean();
+  result.dss_rt_ms = dss_rt.mean();
+  result.satisfied_frac =
+      counted > 0 ? static_cast<double>(satisfied) / counted : 0.0;
+  result.dedicated_bytes = system.TotalDedicatedBytes(kOltp);
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  memgoal::common::Config args;
+  if (!args.ParseArgs(argc, argv)) {
+    std::fprintf(stderr, "%s\n", args.error().c_str());
+    return 1;
+  }
+  const int intervals = static_cast<int>(args.GetInt("intervals", 40));
+  const auto seed = static_cast<uint64_t>(args.GetInt("seed", 1));
+
+  // First measure the unmanaged OLTP response time, then demand a goal 40%
+  // below it — the managed run has to carve out a dedicated buffer to hold
+  // it. The unmanaged run is repeated with the derived goal only so its
+  // satisfaction column is judged against the same bar (the inert
+  // controller ignores goals, so the dynamics are identical).
+  const RunResult baseline = Run(false, intervals, /*goal_ms=*/1e9, seed);
+  const double goal_ms = args.GetDouble("goal_ms", 0.6 * baseline.oltp_rt_ms);
+  const RunResult unmanaged = Run(false, intervals, goal_ms, seed);
+  const RunResult managed = Run(true, intervals, goal_ms, seed);
+
+  std::printf("OLTP goal: %.3f ms\n\n", goal_ms);
+  std::printf("%-22s %12s %12s\n", "", "unmanaged", "goal-managed");
+  std::printf("%-22s %12.3f %12.3f\n", "OLTP response (ms)",
+              unmanaged.oltp_rt_ms, managed.oltp_rt_ms);
+  std::printf("%-22s %12.3f %12.3f\n", "DSS response (ms)",
+              unmanaged.dss_rt_ms, managed.dss_rt_ms);
+  std::printf("%-22s %12.2f %12.2f\n", "OLTP goal satisfied",
+              unmanaged.satisfied_frac, managed.satisfied_frac);
+  std::printf("%-22s %12llu %12llu\n", "OLTP dedicated (KB)",
+              static_cast<unsigned long long>(unmanaged.dedicated_bytes / 1024),
+              static_cast<unsigned long long>(managed.dedicated_bytes / 1024));
+
+  if (managed.oltp_rt_ms <= goal_ms * 1.15) {
+    std::printf("\nOLTP goal held; DSS absorbed the buffer loss.\n");
+  } else {
+    std::printf("\nOLTP goal missed; inspect parameters.\n");
+  }
+  return 0;
+}

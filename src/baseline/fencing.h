@@ -1,0 +1,103 @@
+#ifndef MEMGOAL_BASELINE_FENCING_H_
+#define MEMGOAL_BASELINE_FENCING_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "core/system.h"
+#include "core/tolerance.h"
+
+namespace memgoal::baseline {
+
+/// Shared machinery of the fencing baselines: both are *single-server*
+/// goal-oriented buffer algorithms (they reason about one aggregate buffer
+/// size per class), ported to the NOW by splitting the aggregate budget
+/// across nodes in proportion to each node's arrival rate. This is exactly
+/// the "centralized method naively applied" strawman the paper's
+/// distributed formulation improves on: the split ignores where the class's
+/// hot pages and response-time bottleneck actually are.
+class FencingControllerBase : public core::Controller {
+ public:
+  void Attach(core::ClusterSystem* system) override;
+  void OnIntervalEnd(int interval_index) override;
+  void OnGoalChanged(ClassId klass) override;
+  double ToleranceFor(ClassId klass) const override;
+
+  uint64_t adjustments() const { return adjustments_; }
+
+ protected:
+  struct ClassState {
+    core::ToleranceEstimator tolerance;
+    // Last two distinct (aggregate buffer, metric) observations for the
+    // estimators of the derived classes.
+    std::optional<std::pair<double, double>> older;   // (buffer, metric)
+    std::optional<std::pair<double, double>> newer;
+    std::optional<std::pair<double, double>> rt_older;  // (metric, rt)
+    std::optional<std::pair<double, double>> rt_newer;
+    // Previous cumulative access counters, to derive per-interval rates.
+    uint64_t last_total_accesses = 0;
+    uint64_t last_local_hits = 0;
+
+    explicit ClassState(double floor, double z) : tolerance(floor, z) {}
+  };
+
+  /// Returns the desired new aggregate dedicated buffer (bytes) for the
+  /// class, given this interval's observation, or nullopt to leave it
+  /// unchanged. `miss_rate` is the fraction of the class's page accesses
+  /// not served by a local buffer this interval.
+  virtual std::optional<double> TargetAggregateBytes(
+      ClassId klass, ClassState& state, double observed_rt, double goal_rt,
+      double current_aggregate, double max_aggregate, double miss_rate) = 0;
+
+  /// Fraction of the aggregate cache used as the first allocation when a
+  /// violated class has no dedicated buffer yet.
+  static constexpr double kSeedFraction = 0.15;
+
+  core::ClusterSystem* system_ = nullptr;
+
+ private:
+  void DistributeAcrossNodes(ClassId klass, double aggregate_bytes);
+
+  std::map<ClassId, ClassState> states_;
+  uint64_t adjustments_ = 0;
+};
+
+/// Fragment fencing (Brown et al., VLDB'93 [5]), simplified to the class
+/// granularity used throughout this repository: assumes response time is
+/// directly proportional to the (inverse of the) dedicated buffer, so a
+/// violated goal scales the buffer by observed/goal.
+class FragmentFencingController final : public FencingControllerBase {
+ public:
+  const char* name() const override { return "fragment-fencing"; }
+
+ protected:
+  std::optional<double> TargetAggregateBytes(ClassId klass, ClassState& state,
+                                             double observed_rt,
+                                             double goal_rt,
+                                             double current_aggregate,
+                                             double max_aggregate,
+                                             double miss_rate) override;
+};
+
+/// Class fencing (Brown et al., SIGMOD'96 [6]): assumes response time is
+/// linear in the miss rate and extrapolates the concave miss-rate-vs-buffer
+/// curve from the two most recent observations (the "hit rate concavity"
+/// technique) to find the buffer size whose predicted miss rate meets the
+/// goal.
+class ClassFencingController final : public FencingControllerBase {
+ public:
+  const char* name() const override { return "class-fencing"; }
+
+ protected:
+  std::optional<double> TargetAggregateBytes(ClassId klass, ClassState& state,
+                                             double observed_rt,
+                                             double goal_rt,
+                                             double current_aggregate,
+                                             double max_aggregate,
+                                             double miss_rate) override;
+};
+
+}  // namespace memgoal::baseline
+
+#endif  // MEMGOAL_BASELINE_FENCING_H_

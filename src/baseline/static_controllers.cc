@@ -1,0 +1,33 @@
+#include "baseline/static_controllers.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace memgoal::baseline {
+
+StaticPartitioningController::StaticPartitioningController(
+    std::map<ClassId, double> fractions)
+    : fractions_(std::move(fractions)) {
+  double total = 0.0;
+  for (const auto& [klass, fraction] : fractions_) {
+    MEMGOAL_CHECK(klass != kNoGoalClass);
+    MEMGOAL_CHECK(fraction >= 0.0 && fraction <= 1.0);
+    total += fraction;
+  }
+  MEMGOAL_CHECK(total <= 1.0 + 1e-9);
+}
+
+void StaticPartitioningController::Attach(core::ClusterSystem* system) {
+  system_ = system;
+  const auto& config = system->config();
+  for (const auto& [klass, fraction] : fractions_) {
+    const auto bytes = static_cast<uint64_t>(
+        fraction * static_cast<double>(config.cache_bytes_per_node));
+    for (NodeId i = 0; i < config.num_nodes; ++i) {
+      system->ApplyAllocation(klass, i, bytes);
+    }
+  }
+}
+
+}  // namespace memgoal::baseline

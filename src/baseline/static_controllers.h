@@ -1,0 +1,44 @@
+#ifndef MEMGOAL_BASELINE_STATIC_CONTROLLERS_H_
+#define MEMGOAL_BASELINE_STATIC_CONTROLLERS_H_
+
+#include <map>
+
+#include "core/system.h"
+
+namespace memgoal::baseline {
+
+/// No partitioning at all: every node runs one global buffer pool shared by
+/// all classes (the unmanaged system the paper's introduction argues
+/// against).
+class NoPartitioningController final : public core::Controller {
+ public:
+  void Attach(core::ClusterSystem* system) override { system_ = system; }
+  void OnIntervalEnd(int) override {}
+  const char* name() const override { return "none"; }
+
+ private:
+  core::ClusterSystem* system_ = nullptr;
+};
+
+/// Manually chosen, fixed partitioning: each goal class receives a fixed
+/// fraction of every node's cache, set once at start-up — the DB2-style
+/// administrator-tuned buffer pools the paper contrasts with (§1). It
+/// cannot react to goal or workload changes.
+class StaticPartitioningController final : public core::Controller {
+ public:
+  /// `fractions` maps goal class id -> fraction of each node's cache
+  /// (values in [0, 1], summing to at most 1).
+  explicit StaticPartitioningController(std::map<ClassId, double> fractions);
+
+  void Attach(core::ClusterSystem* system) override;
+  void OnIntervalEnd(int) override {}
+  const char* name() const override { return "static"; }
+
+ private:
+  std::map<ClassId, double> fractions_;
+  core::ClusterSystem* system_ = nullptr;
+};
+
+}  // namespace memgoal::baseline
+
+#endif  // MEMGOAL_BASELINE_STATIC_CONTROLLERS_H_

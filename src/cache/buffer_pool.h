@@ -1,0 +1,75 @@
+#ifndef MEMGOAL_CACHE_BUFFER_POOL_H_
+#define MEMGOAL_CACHE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "cache/replacement.h"
+#include "storage/types.h"
+
+namespace memgoal::cache {
+
+/// One buffer pool: a byte budget, a set of resident pages, and a
+/// replacement policy. Pools are resizable at run time — the allocation
+/// phase of the feedback loop (§5e) shrinks and grows the per-class
+/// dedicated pools — and shrinking evicts immediately.
+///
+/// All pages have the same size, so the budget divides into frames; a
+/// capacity below one page size means the pool cannot hold anything.
+class BufferPool {
+ public:
+  BufferPool(std::string name, uint32_t page_bytes, uint64_t capacity_bytes,
+             std::unique_ptr<ReplacementPolicy> policy);
+
+  bool Contains(PageId page) const { return resident_.count(page) > 0; }
+
+  /// Records a hit on a resident page.
+  void Touch(PageId page);
+
+  /// Inserts `page`, evicting victims as needed. Returns the evicted pages.
+  /// The insert uses admission control: the replacement policy may decide
+  /// the new page itself is the least valuable entry, in which case
+  /// `inserted` is false, the page "bounces" (used once, not cached), and
+  /// it does not appear in `evicted`. A zero-frame pool also reports
+  /// `inserted == false`. `page` must not be resident.
+  struct InsertResult {
+    bool inserted = false;
+    std::vector<PageId> evicted;
+  };
+  InsertResult Insert(PageId page);
+
+  /// Removes a resident page (promotion to another pool, external drop).
+  void Erase(PageId page);
+
+  /// Changes the byte budget; evicts down to the new frame count when
+  /// shrinking. Returns the evicted pages.
+  std::vector<PageId> Resize(uint64_t new_capacity_bytes);
+
+  uint64_t capacity_bytes() const { return capacity_bytes_; }
+  size_t capacity_frames() const {
+    return static_cast<size_t>(capacity_bytes_ / page_bytes_);
+  }
+  size_t resident_pages() const { return resident_.size(); }
+  const std::string& name() const { return name_; }
+  ReplacementPolicy* policy() { return policy_.get(); }
+
+  /// Resident set (unordered), for invariant checks in tests.
+  const std::unordered_set<PageId>& residents() const { return resident_; }
+
+ private:
+  // Evicts victims until `resident_.size() <= limit`; appends to `out`.
+  void EvictDownTo(size_t limit, std::vector<PageId>* out);
+
+  std::string name_;
+  uint32_t page_bytes_;
+  uint64_t capacity_bytes_;
+  std::unique_ptr<ReplacementPolicy> policy_;
+  std::unordered_set<PageId> resident_;
+};
+
+}  // namespace memgoal::cache
+
+#endif  // MEMGOAL_CACHE_BUFFER_POOL_H_

@@ -1,0 +1,49 @@
+#include "cache/cost_based.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+
+namespace memgoal::cache {
+
+CostBasedPolicy::CostBasedPolicy(BenefitFn benefit_fn, int revalidation_limit)
+    : benefit_fn_(std::move(benefit_fn)),
+      revalidation_limit_(revalidation_limit) {
+  MEMGOAL_CHECK(benefit_fn_ != nullptr);
+  MEMGOAL_CHECK(revalidation_limit_ >= 0);
+}
+
+void CostBasedPolicy::OnInsert(PageId page) {
+  residents_.Insert(page, benefit_fn_(page));
+}
+
+void CostBasedPolicy::OnAccess(PageId page) {
+  residents_.Update(page, benefit_fn_(page));
+}
+
+void CostBasedPolicy::OnErase(PageId page) { residents_.Erase(page); }
+
+void CostBasedPolicy::Refresh(PageId page) {
+  if (residents_.Contains(page)) residents_.Update(page, benefit_fn_(page));
+}
+
+std::optional<PageId> CostBasedPolicy::ChooseVictim() {
+  if (residents_.empty()) return std::nullopt;
+  // Lazy revalidation: keys may be stale; recompute the apparent minimum
+  // and re-heapify until the minimum is confirmed (or we hit the bound, in
+  // which case the current top is an acceptable approximation).
+  for (int i = 0; i < revalidation_limit_; ++i) {
+    const auto [page, key] = residents_.Peek();
+    const double fresh = benefit_fn_(page);
+    residents_.Update(page, fresh);
+    if (residents_.Peek().first == page) return page;
+  }
+  return residents_.Peek().first;
+}
+
+std::unique_ptr<ReplacementPolicy> MakeCostBasedPolicy(BenefitFn benefit_fn) {
+  return std::make_unique<CostBasedPolicy>(std::move(benefit_fn));
+}
+
+}  // namespace memgoal::cache

@@ -1,0 +1,26 @@
+#include "cache/cost_model.h"
+
+#include <algorithm>
+
+namespace memgoal::cache {
+
+double KeepBenefit(const CostModel& costs, double pool_heat,
+                   double foreign_heat, bool other_copy_exists,
+                   bool home_is_local) {
+  double drop_cost;
+  if (other_copy_exists) {
+    drop_cost = costs.remote_buffer_ms;
+  } else {
+    drop_cost = home_is_local ? costs.local_disk_ms : costs.remote_disk_ms;
+  }
+  double benefit = pool_heat * (drop_cost - costs.local_buffer_ms);
+  if (!other_copy_exists) {
+    // This is the last cached copy: dropping it also demotes every other
+    // node's access from remote buffer to remote disk.
+    benefit += std::max(0.0, foreign_heat) *
+               (costs.remote_disk_ms - costs.remote_buffer_ms);
+  }
+  return benefit;
+}
+
+}  // namespace memgoal::cache

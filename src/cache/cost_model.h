@@ -1,0 +1,43 @@
+#ifndef MEMGOAL_CACHE_COST_MODEL_H_
+#define MEMGOAL_CACHE_COST_MODEL_H_
+
+namespace memgoal::cache {
+
+/// Estimated access costs (ms) for the storage-hierarchy levels of the NOW,
+/// as consumed by the cost-based replacement policy. In the real system
+/// these are learned online by tagging each request with the level it was
+/// served from and observing response times (§6); the simulator computes
+/// them once from the disk/network parameters, which is what that learning
+/// process converges to under stable load.
+struct CostModel {
+  /// Hit in a local buffer pool.
+  double local_buffer_ms = 0.05;
+  /// Fetch from a remote node's buffer (control hop + page transfer).
+  double remote_buffer_ms = 0.8;
+  /// Read from the local disk.
+  double local_disk_ms = 12.5;
+  /// Read from a remote node's disk (control hop + disk + page transfer).
+  double remote_disk_ms = 13.3;
+};
+
+/// Benefit of keeping one cached copy of a page (our reconstruction of the
+/// Sinnwell–Weikum cost model; see DESIGN.md):
+///
+///   benefit = pool_heat * (C_drop - C_keep)                  [egoistic]
+///           + last_copy ? foreign_heat *
+///                         (C_remote_disk - C_remote_buffer)  [altruistic]
+///
+/// where C_keep is a local buffer access and C_drop is a remote-buffer
+/// access if another cached copy exists, otherwise a disk access (local or
+/// remote depending on whether this node is the page's home). `foreign_heat`
+/// is the aggregate heat other nodes put on the page (global minus this
+/// node's contribution): the altruistic term prices what *they* lose when
+/// the last cached copy disappears — their remote-buffer accesses become
+/// remote-disk accesses.
+double KeepBenefit(const CostModel& costs, double pool_heat,
+                   double foreign_heat, bool other_copy_exists,
+                   bool home_is_local);
+
+}  // namespace memgoal::cache
+
+#endif  // MEMGOAL_CACHE_COST_MODEL_H_

@@ -1,0 +1,50 @@
+#include "cache/heat.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace memgoal::cache {
+
+HeatTracker::HeatTracker(int k, double epsilon_ms)
+    : k_(k), epsilon_ms_(epsilon_ms) {
+  MEMGOAL_CHECK(k >= 1);
+  MEMGOAL_CHECK(epsilon_ms > 0.0);
+}
+
+void HeatTracker::RecordAccess(PageId page, sim::SimTime now) {
+  History& h = history_[page];
+  if (h.times.empty()) h.times.assign(static_cast<size_t>(k_), 0.0);
+  h.times[static_cast<size_t>(h.next)] = now;
+  h.next = (h.next + 1) % k_;
+  if (h.count < INT32_MAX) ++h.count;
+}
+
+double HeatTracker::HeatOf(PageId page, sim::SimTime now) const {
+  auto it = history_.find(page);
+  if (it == history_.end()) return 0.0;
+  const History& h = it->second;
+  const int m = std::min(h.count, k_);
+  // With m recorded accesses the oldest retained timestamp sits m slots
+  // behind the write cursor.
+  const int oldest = ((h.next - m) % k_ + k_) % k_;
+  const sim::SimTime t_m = h.times[static_cast<size_t>(oldest)];
+  MEMGOAL_DCHECK(now >= t_m);
+  return static_cast<double>(m) / (now - t_m + epsilon_ms_);
+}
+
+sim::SimTime HeatTracker::BackwardKTime(PageId page) const {
+  auto it = history_.find(page);
+  if (it == history_.end()) return 0.0;
+  const History& h = it->second;
+  const int m = std::min(h.count, k_);
+  const int oldest = ((h.next - m) % k_ + k_) % k_;
+  return h.times[static_cast<size_t>(oldest)];
+}
+
+int HeatTracker::AccessCount(PageId page) const {
+  auto it = history_.find(page);
+  return it == history_.end() ? 0 : it->second.count;
+}
+
+}  // namespace memgoal::cache

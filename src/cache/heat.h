@@ -1,0 +1,61 @@
+#ifndef MEMGOAL_CACHE_HEAT_H_
+#define MEMGOAL_CACHE_HEAT_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "storage/types.h"
+
+namespace memgoal::cache {
+
+/// LRU-K heat estimator (O'Neil et al., SIGMOD'93), as used by the paper's
+/// cost-based buffer manager to approximate page heat (§6: "In the
+/// implementation the LRU-k algorithm is used to approximate the heat").
+///
+/// The heat of a page is its access frequency per millisecond, estimated
+/// from the backward K-distance: with m = min(count, K) recorded accesses
+/// and t_m the m-th most recent access time,
+///     heat(p, now) = m / (now - t_m + epsilon).
+/// Pages never accessed have heat 0. History survives eviction (the defining
+/// property of LRU-K); memory is bounded by the number of distinct pages a
+/// scope ever touches, which is bounded by the database size.
+class HeatTracker {
+ public:
+  explicit HeatTracker(int k, double epsilon_ms = 1.0);
+
+  void RecordAccess(PageId page, sim::SimTime now);
+
+  double HeatOf(PageId page, sim::SimTime now) const;
+
+  /// The m-th most recent access time (m = min(count, K)), i.e. the LRU-K
+  /// reference timestamp; 0 if never accessed. Exposed for the LRU-K
+  /// replacement policy's victim ordering.
+  sim::SimTime BackwardKTime(PageId page) const;
+
+  /// Number of recorded accesses to `page` (saturates at 2^31).
+  int AccessCount(PageId page) const;
+
+  void Forget(PageId page) { history_.erase(page); }
+
+  int k() const { return k_; }
+  size_t tracked_pages() const { return history_.size(); }
+
+ private:
+  struct History {
+    // Circular buffer of the last up-to-K access times.
+    // times[next] is the slot the next access will overwrite.
+    std::vector<sim::SimTime> times;
+    int next = 0;
+    int count = 0;
+  };
+
+  int k_;
+  double epsilon_ms_;
+  std::unordered_map<PageId, History> history_;
+};
+
+}  // namespace memgoal::cache
+
+#endif  // MEMGOAL_CACHE_HEAT_H_

@@ -1,0 +1,130 @@
+#ifndef MEMGOAL_CACHE_INDEXED_HEAP_H_
+#define MEMGOAL_CACHE_INDEXED_HEAP_H_
+
+#include <cstddef>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace memgoal::cache {
+
+/// Binary min-heap with a position index, supporting O(log n) insert,
+/// erase, and key update for arbitrary ids. Ties are broken by id so that
+/// victim selection (and hence the whole simulation) is deterministic.
+///
+/// This is the priority queue backing the cost-based replacement policy of
+/// §6: pages are keyed by benefit and the victim is the minimum.
+template <typename Id>
+class IndexedMinHeap {
+ public:
+  bool Contains(Id id) const { return position_.count(id) > 0; }
+  size_t size() const { return heap_.size(); }
+  bool empty() const { return heap_.empty(); }
+
+  void Insert(Id id, double key) {
+    MEMGOAL_CHECK(!Contains(id));
+    heap_.push_back(Entry{id, key});
+    position_[id] = heap_.size() - 1;
+    SiftUp(heap_.size() - 1);
+  }
+
+  /// Inserts `id` or changes its key if present.
+  void Update(Id id, double key) {
+    auto it = position_.find(id);
+    if (it == position_.end()) {
+      Insert(id, key);
+      return;
+    }
+    const size_t pos = it->second;
+    const double old_key = heap_[pos].key;
+    heap_[pos].key = key;
+    if (key < old_key) {
+      SiftUp(pos);
+    } else {
+      SiftDown(pos);
+    }
+  }
+
+  void Erase(Id id) {
+    auto it = position_.find(id);
+    MEMGOAL_CHECK(it != position_.end());
+    const size_t pos = it->second;
+    SwapEntries(pos, heap_.size() - 1);
+    position_.erase(heap_.back().id);
+    heap_.pop_back();
+    if (pos < heap_.size()) {
+      SiftUp(pos);
+      SiftDown(pos);
+    }
+  }
+
+  /// Minimum entry (id, key). Heap must be non-empty.
+  std::pair<Id, double> Peek() const {
+    MEMGOAL_CHECK(!heap_.empty());
+    return {heap_[0].id, heap_[0].key};
+  }
+
+  void Pop() {
+    MEMGOAL_CHECK(!heap_.empty());
+    Erase(heap_[0].id);
+  }
+
+  double KeyOf(Id id) const {
+    auto it = position_.find(id);
+    MEMGOAL_CHECK(it != position_.end());
+    return heap_[it->second].key;
+  }
+
+ private:
+  struct Entry {
+    Id id;
+    double key;
+  };
+
+  static bool Less(const Entry& a, const Entry& b) {
+    if (a.key != b.key) return a.key < b.key;
+    return a.id < b.id;
+  }
+
+  void SwapEntries(size_t a, size_t b) {
+    if (a == b) return;
+    std::swap(heap_[a], heap_[b]);
+    position_[heap_[a].id] = a;
+    position_[heap_[b].id] = b;
+  }
+
+  void SiftUp(size_t pos) {
+    while (pos > 0) {
+      const size_t parent = (pos - 1) / 2;
+      if (!Less(heap_[pos], heap_[parent])) break;
+      SwapEntries(pos, parent);
+      pos = parent;
+    }
+  }
+
+  void SiftDown(size_t pos) {
+    while (true) {
+      const size_t left = 2 * pos + 1;
+      const size_t right = 2 * pos + 2;
+      size_t smallest = pos;
+      if (left < heap_.size() && Less(heap_[left], heap_[smallest])) {
+        smallest = left;
+      }
+      if (right < heap_.size() && Less(heap_[right], heap_[smallest])) {
+        smallest = right;
+      }
+      if (smallest == pos) break;
+      SwapEntries(pos, smallest);
+      pos = smallest;
+    }
+  }
+
+  std::vector<Entry> heap_;
+  std::unordered_map<Id, size_t> position_;
+};
+
+}  // namespace memgoal::cache
+
+#endif  // MEMGOAL_CACHE_INDEXED_HEAP_H_

@@ -1,0 +1,35 @@
+#include "cache/lru_k.h"
+
+namespace memgoal::cache {
+
+LruKPolicy::LruKPolicy(const HeatTracker* tracker,
+                       const sim::Simulator* simulator)
+    : tracker_(tracker), simulator_(simulator) {}
+
+double LruKPolicy::KeyOf(PageId page) const {
+  const int count = tracker_->AccessCount(page);
+  const sim::SimTime t = tracker_->BackwardKTime(page);
+  if (count >= tracker_->k()) return t;
+  // Fewer than K accesses: infinite backward distance. BackwardKTime then
+  // degenerates to the least recent retained access, giving LRU order among
+  // these pages.
+  return t - kInfinitePenalty;
+}
+
+void LruKPolicy::OnInsert(PageId page) { residents_.Insert(page, KeyOf(page)); }
+
+void LruKPolicy::OnAccess(PageId page) { residents_.Update(page, KeyOf(page)); }
+
+void LruKPolicy::OnErase(PageId page) { residents_.Erase(page); }
+
+std::optional<PageId> LruKPolicy::ChooseVictim() {
+  if (residents_.empty()) return std::nullopt;
+  return residents_.Peek().first;
+}
+
+std::unique_ptr<ReplacementPolicy> MakeLruKPolicy(
+    const HeatTracker* tracker, const sim::Simulator* simulator) {
+  return std::make_unique<LruKPolicy>(tracker, simulator);
+}
+
+}  // namespace memgoal::cache

@@ -1,0 +1,41 @@
+#ifndef MEMGOAL_COMMON_CHECK_H_
+#define MEMGOAL_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Invariant checking macros.
+//
+// MEMGOAL_CHECK(cond) aborts with a diagnostic if `cond` is false. It is
+// always enabled (including release builds): the simulator is a research
+// instrument and silent invariant corruption would invalidate every
+// downstream measurement. MEMGOAL_DCHECK additionally compiles away in
+// NDEBUG builds and may be used on per-page-access hot paths.
+
+#define MEMGOAL_CHECK(cond)                                                  \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,          \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define MEMGOAL_CHECK_MSG(cond, msg)                                         \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s (%s)\n", __FILE__,     \
+                   __LINE__, #cond, msg);                                    \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#ifdef NDEBUG
+#define MEMGOAL_DCHECK(cond) \
+  do {                       \
+  } while (0)
+#else
+#define MEMGOAL_DCHECK(cond) MEMGOAL_CHECK(cond)
+#endif
+
+#endif  // MEMGOAL_COMMON_CHECK_H_

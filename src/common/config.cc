@@ -1,0 +1,112 @@
+#include "common/config.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace memgoal::common {
+
+namespace {
+
+std::string Trim(const std::string& s) {
+  size_t begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  size_t end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+}  // namespace
+
+bool Config::ParseArgs(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string token = argv[i];
+    const size_t eq = token.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      error_ = "malformed argument (expected key=value): " + token;
+      return false;
+    }
+    Set(token.substr(0, eq), token.substr(eq + 1));
+  }
+  return true;
+}
+
+bool Config::ParseText(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    line = Trim(line);
+    if (line.empty()) continue;
+    const size_t eq = line.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      error_ = "malformed line " + std::to_string(lineno) + ": " + line;
+      return false;
+    }
+    Set(Trim(line.substr(0, eq)), Trim(line.substr(eq + 1)));
+  }
+  return true;
+}
+
+void Config::Set(const std::string& key, const std::string& value) {
+  values_[key] = value;
+  used_[key] = false;
+}
+
+bool Config::Has(const std::string& key) const {
+  return values_.count(key) > 0;
+}
+
+std::optional<std::string> Config::Lookup(const std::string& key) {
+  auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  used_[key] = true;
+  return it->second;
+}
+
+std::string Config::GetString(const std::string& key,
+                              const std::string& fallback) {
+  return Lookup(key).value_or(fallback);
+}
+
+int64_t Config::GetInt(const std::string& key, int64_t fallback) {
+  auto v = Lookup(key);
+  if (!v) return fallback;
+  char* end = nullptr;
+  const int64_t result = std::strtoll(v->c_str(), &end, 10);
+  MEMGOAL_CHECK_MSG(end != v->c_str() && *end == '\0',
+                    ("bad integer for key " + key + ": " + *v).c_str());
+  return result;
+}
+
+double Config::GetDouble(const std::string& key, double fallback) {
+  auto v = Lookup(key);
+  if (!v) return fallback;
+  char* end = nullptr;
+  const double result = std::strtod(v->c_str(), &end);
+  MEMGOAL_CHECK_MSG(end != v->c_str() && *end == '\0',
+                    ("bad double for key " + key + ": " + *v).c_str());
+  return result;
+}
+
+bool Config::GetBool(const std::string& key, bool fallback) {
+  auto v = Lookup(key);
+  if (!v) return fallback;
+  if (*v == "true" || *v == "1" || *v == "yes" || *v == "on") return true;
+  if (*v == "false" || *v == "0" || *v == "no" || *v == "off") return false;
+  MEMGOAL_CHECK_MSG(false, ("bad boolean for key " + key + ": " + *v).c_str());
+  return fallback;
+}
+
+std::vector<std::string> Config::UnusedKeys() const {
+  std::vector<std::string> keys;
+  for (const auto& [key, was_used] : used_) {
+    if (!was_used) keys.push_back(key);
+  }
+  return keys;
+}
+
+}  // namespace memgoal::common

@@ -1,0 +1,58 @@
+#ifndef MEMGOAL_COMMON_CONFIG_H_
+#define MEMGOAL_COMMON_CONFIG_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace memgoal::common {
+
+/// Flat key=value configuration store with typed accessors.
+///
+/// Examples and benchmarks accept overrides on the command line as
+/// `key=value` tokens (e.g. `nodes=5 skew=0.75 seed=42`); this class parses
+/// them and reports which keys were never read so typos do not silently
+/// leave the default in place.
+class Config {
+ public:
+  Config() = default;
+
+  /// Parses `key=value` tokens from an argv-style array (skipping argv[0]).
+  /// Returns false (and records an error message) on malformed tokens.
+  bool ParseArgs(int argc, const char* const* argv);
+
+  /// Parses newline-separated `key=value` text; '#' starts a comment and
+  /// blank lines are ignored.
+  bool ParseText(const std::string& text);
+
+  void Set(const std::string& key, const std::string& value);
+
+  bool Has(const std::string& key) const;
+
+  /// Typed getters: return the stored value converted to the requested type,
+  /// or `fallback` when the key is absent. A present key that fails to
+  /// convert is a configuration error and aborts.
+  std::string GetString(const std::string& key, const std::string& fallback);
+  int64_t GetInt(const std::string& key, int64_t fallback);
+  double GetDouble(const std::string& key, double fallback);
+  bool GetBool(const std::string& key, bool fallback);
+
+  /// Keys that were set but never read through a getter. Useful to warn
+  /// about misspelled overrides.
+  std::vector<std::string> UnusedKeys() const;
+
+  const std::string& error() const { return error_; }
+
+ private:
+  std::optional<std::string> Lookup(const std::string& key);
+
+  std::map<std::string, std::string> values_;
+  std::map<std::string, bool> used_;
+  std::string error_;
+};
+
+}  // namespace memgoal::common
+
+#endif  // MEMGOAL_COMMON_CONFIG_H_

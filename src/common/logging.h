@@ -1,0 +1,65 @@
+#ifndef MEMGOAL_COMMON_LOGGING_H_
+#define MEMGOAL_COMMON_LOGGING_H_
+
+#include <cstdarg>
+#include <string>
+
+namespace memgoal::common {
+
+/// Severity levels, in increasing order of importance.
+enum class LogLevel {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+/// Minimal printf-style leveled logger writing to stderr.
+///
+/// The logger is intentionally global and unsynchronized: the simulator is
+/// single-threaded by design, and benchmarks want zero logging overhead when
+/// the level filter rejects a message (a single integer compare).
+class Logger {
+ public:
+  /// Sets the global minimum level. Messages below it are dropped.
+  static void SetLevel(LogLevel level) { level_ = level; }
+  static LogLevel level() { return level_; }
+
+  /// Returns true if a message at `level` would be emitted.
+  static bool Enabled(LogLevel level) { return level >= level_; }
+
+  /// Emits one formatted line, prefixed with the level tag.
+  static void Logf(LogLevel level, const char* format, ...)
+      __attribute__((format(printf, 2, 3)));
+
+  /// Parses a level name ("trace", "debug", "info", "warn", "error", "off").
+  /// Unknown names map to kInfo.
+  static LogLevel ParseLevel(const std::string& name);
+
+ private:
+  static LogLevel level_;
+};
+
+}  // namespace memgoal::common
+
+#define MEMGOAL_LOG(level, ...)                                             \
+  do {                                                                      \
+    if (::memgoal::common::Logger::Enabled(level)) {                        \
+      ::memgoal::common::Logger::Logf(level, __VA_ARGS__);                  \
+    }                                                                       \
+  } while (0)
+
+#define MEMGOAL_LOG_TRACE(...) \
+  MEMGOAL_LOG(::memgoal::common::LogLevel::kTrace, __VA_ARGS__)
+#define MEMGOAL_LOG_DEBUG(...) \
+  MEMGOAL_LOG(::memgoal::common::LogLevel::kDebug, __VA_ARGS__)
+#define MEMGOAL_LOG_INFO(...) \
+  MEMGOAL_LOG(::memgoal::common::LogLevel::kInfo, __VA_ARGS__)
+#define MEMGOAL_LOG_WARN(...) \
+  MEMGOAL_LOG(::memgoal::common::LogLevel::kWarn, __VA_ARGS__)
+#define MEMGOAL_LOG_ERROR(...) \
+  MEMGOAL_LOG(::memgoal::common::LogLevel::kError, __VA_ARGS__)
+
+#endif  // MEMGOAL_COMMON_LOGGING_H_

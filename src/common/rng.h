@@ -1,0 +1,57 @@
+#ifndef MEMGOAL_COMMON_RNG_H_
+#define MEMGOAL_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+
+namespace memgoal::common {
+
+/// Seeded pseudo-random number generator used throughout the simulator.
+///
+/// All stochastic behaviour in a simulation run flows through explicitly
+/// seeded `Rng` instances so that runs are bit-for-bit reproducible. Each
+/// independent stochastic stream (one per node/class operation source, one
+/// for goal selection, ...) should own a dedicated `Rng`, typically derived
+/// from a master seed via `Fork()`, so adding a stream never perturbs the
+/// draws of existing streams.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Derives an independent child generator. Deterministic: forking the same
+  /// parent state twice yields two different children, but re-running the
+  /// program yields the same children again.
+  Rng Fork() { return Rng(engine_()); }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double Exponential(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  /// Raw 64-bit draw.
+  uint64_t NextUint64() { return engine_(); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace memgoal::common
+
+#endif  // MEMGOAL_COMMON_RNG_H_

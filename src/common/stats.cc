@@ -1,0 +1,163 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace memgoal::common {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::Reset() { *this = RunningStats(); }
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::std_error() const {
+  if (count_ < 2) return 0.0;
+  return stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+namespace {
+
+// Two-sided Student's t critical values, rows are degrees of freedom
+// 1..30, columns are levels {0.90, 0.95, 0.99}.
+constexpr double kTTable[30][3] = {
+    {6.314, 12.706, 63.657}, {2.920, 4.303, 9.925},  {2.353, 3.182, 5.841},
+    {2.132, 2.776, 4.604},   {2.015, 2.571, 4.032},  {1.943, 2.447, 3.707},
+    {1.895, 2.365, 3.499},   {1.860, 2.306, 3.355},  {1.833, 2.262, 3.250},
+    {1.812, 2.228, 3.169},   {1.796, 2.201, 3.106},  {1.782, 2.179, 3.055},
+    {1.771, 2.160, 3.012},   {1.761, 2.145, 2.977},  {1.753, 2.131, 2.947},
+    {1.746, 2.120, 2.921},   {1.740, 2.110, 2.898},  {1.734, 2.101, 2.878},
+    {1.729, 2.093, 2.861},   {1.725, 2.086, 2.845},  {1.721, 2.080, 2.831},
+    {1.717, 2.074, 2.819},   {1.714, 2.069, 2.807},  {1.711, 2.064, 2.797},
+    {1.708, 2.060, 2.787},   {1.706, 2.056, 2.779},  {1.703, 2.052, 2.771},
+    {1.701, 2.048, 2.763},   {1.699, 2.045, 2.756},  {1.697, 2.042, 2.750}};
+
+constexpr double kZValues[3] = {1.645, 1.960, 2.576};
+
+int LevelIndex(double level) {
+  if (level == 0.90) return 0;
+  if (level == 0.95) return 1;
+  if (level == 0.99) return 2;
+  MEMGOAL_CHECK_MSG(false, "unsupported confidence level");
+  return 2;
+}
+
+}  // namespace
+
+double ConfidenceHalfWidth(const RunningStats& stats, double level) {
+  const int idx = LevelIndex(level);
+  if (stats.count() < 2) return std::numeric_limits<double>::infinity();
+  const int64_t df = stats.count() - 1;
+  const double crit =
+      df <= 30 ? kTTable[df - 1][idx] : kZValues[idx];
+  return crit * stats.std_error();
+}
+
+void TimeWeightedMean::Start(double t, double v) {
+  started_ = true;
+  start_time_ = t;
+  last_time_ = t;
+  value_ = v;
+  integral_ = 0.0;
+}
+
+void TimeWeightedMean::Update(double t, double v) {
+  MEMGOAL_CHECK(started_);
+  MEMGOAL_CHECK(t >= last_time_);
+  integral_ += value_ * (t - last_time_);
+  last_time_ = t;
+  value_ = v;
+}
+
+double TimeWeightedMean::MeanAt(double t) const {
+  MEMGOAL_CHECK(started_);
+  MEMGOAL_CHECK(t >= last_time_);
+  const double span = t - start_time_;
+  if (span <= 0.0) return value_;
+  const double total = integral_ + value_ * (t - last_time_);
+  return total / span;
+}
+
+Histogram::Histogram(double lo, double hi, int num_buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / num_buckets),
+      buckets_(static_cast<size_t>(num_buckets), 0) {
+  MEMGOAL_CHECK(hi > lo);
+  MEMGOAL_CHECK(num_buckets > 0);
+}
+
+void Histogram::Add(double x) {
+  ++count_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  const auto idx = static_cast<size_t>((x - lo_) / width_);
+  ++buckets_[std::min(idx, buckets_.size() - 1)];
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  underflow_ = 0;
+  overflow_ = 0;
+  count_ = 0;
+}
+
+double Histogram::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  MEMGOAL_CHECK(q >= 0.0 && q <= 1.0);
+  const double target = q * static_cast<double>(count_);
+  double cum = static_cast<double>(underflow_);
+  if (target <= cum) return lo_;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    const double next = cum + static_cast<double>(buckets_[i]);
+    if (target <= next && buckets_[i] > 0) {
+      const double frac = (target - cum) / static_cast<double>(buckets_[i]);
+      return lo_ + (static_cast<double>(i) + frac) * width_;
+    }
+    cum = next;
+  }
+  return hi_;
+}
+
+}  // namespace memgoal::common

@@ -1,0 +1,101 @@
+#ifndef MEMGOAL_COMMON_STATS_H_
+#define MEMGOAL_COMMON_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace memgoal::common {
+
+/// Numerically stable running mean/variance (Welford's algorithm), plus
+/// min/max. Used for per-interval response-time aggregation and for the
+/// repeated-experiment confidence intervals of the evaluation (§7.1 of the
+/// paper demands 99% confidence on convergence speed).
+class RunningStats {
+ public:
+  void Add(double x);
+  void Reset();
+
+  /// Merges another accumulator into this one (parallel Welford merge).
+  void Merge(const RunningStats& other);
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  /// Standard error of the mean; 0 for fewer than two samples.
+  double std_error() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Half-width of a two-sided confidence interval for the mean of the given
+/// accumulator. `level` must be one of 0.90, 0.95, 0.99. Uses Student's t
+/// critical values for small sample counts and the normal approximation for
+/// n > 30. Returns +infinity for fewer than two samples.
+double ConfidenceHalfWidth(const RunningStats& stats, double level);
+
+/// Integrates a piecewise-constant signal over (simulated) time, yielding a
+/// time-weighted mean. Used for "mean dedicated buffer size" style metrics.
+class TimeWeightedMean {
+ public:
+  /// Starts (or restarts) integration at time `t` with value `v`.
+  void Start(double t, double v);
+
+  /// Records that the signal changed to `v` at time `t` (t must not
+  /// decrease).
+  void Update(double t, double v);
+
+  /// Time-weighted mean over [start, t]. Requires t >= start time.
+  double MeanAt(double t) const;
+
+  double current_value() const { return value_; }
+
+ private:
+  bool started_ = false;
+  double start_time_ = 0.0;
+  double last_time_ = 0.0;
+  double value_ = 0.0;
+  double integral_ = 0.0;
+};
+
+/// Fixed-width bucket histogram over [lo, hi) with overflow/underflow
+/// buckets. Supports approximate quantiles by linear interpolation within a
+/// bucket.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, int num_buckets);
+
+  void Add(double x);
+  void Reset();
+
+  int64_t count() const { return count_; }
+  /// Approximate q-quantile (q in [0,1]). Returns lo/hi bounds for samples
+  /// in the under/overflow buckets. Returns 0 when empty.
+  double Quantile(double q) const;
+
+  const std::vector<int64_t>& buckets() const { return buckets_; }
+  int64_t underflow() const { return underflow_; }
+  int64_t overflow() const { return overflow_; }
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<int64_t> buckets_;
+  int64_t underflow_ = 0;
+  int64_t overflow_ = 0;
+  int64_t count_ = 0;
+};
+
+}  // namespace memgoal::common
+
+#endif  // MEMGOAL_COMMON_STATS_H_

@@ -1,0 +1,456 @@
+#include "core/goal_controller.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "core/variance_optimizer.h"
+#include "net/network.h"
+
+namespace memgoal::core {
+
+void GoalOrientedController::Attach(ClusterSystem* system) {
+  system_ = system;
+  const SystemConfig& config = system->config();
+  for (ClassId klass : system->goal_class_ids()) {
+    // Coordinators are spread over the nodes for load balancing (§5).
+    const NodeId home = (klass - 1) % config.num_nodes;
+    coordinators_.try_emplace(
+        klass, Coordinator(klass, home, config.num_nodes,
+                           config.tolerance_rel_floor, config.tolerance_z));
+  }
+}
+
+const MeasureStore& GoalOrientedController::measure_store(
+    ClassId klass) const {
+  return coordinators_.at(klass).store;
+}
+
+NodeId GoalOrientedController::coordinator_node(ClassId klass) const {
+  return coordinators_.at(klass).home;
+}
+
+void GoalOrientedController::MigrateCoordinator(ClassId klass,
+                                                NodeId new_home) {
+  MEMGOAL_CHECK(system_ != nullptr);
+  const SystemConfig& config = system_->config();
+  MEMGOAL_CHECK(new_home < config.num_nodes);
+  Coordinator& coordinator = coordinators_.at(klass);
+  if (coordinator.home == new_home) return;
+  // State transfer to the new node plus one notification per agent (class-k
+  // agents and no-goal agents on every node learn the new address).
+  system_->simulator().Spawn(system_->network().Transfer(
+      coordinator.home, new_home, config.report_msg_bytes,
+      net::TrafficClass::kPartitionProtocol));
+  for (NodeId i = 0; i < config.num_nodes; ++i) {
+    system_->simulator().Spawn(system_->network().Transfer(
+        new_home, i, config.control_msg_bytes,
+        net::TrafficClass::kPartitionProtocol));
+  }
+  coordinator.home = new_home;
+}
+
+double GoalOrientedController::ToleranceFor(ClassId klass) const {
+  auto it = coordinators_.find(klass);
+  if (it == coordinators_.end()) return 0.0;
+  const double goal = system_->spec(klass).goal_rt_ms.value_or(0.0);
+  return it->second.tolerance.Tolerance(goal);
+}
+
+void GoalOrientedController::OnGoalChanged(ClassId klass) {
+  auto it = coordinators_.find(klass);
+  if (it != coordinators_.end()) it->second.tolerance.OnGoalChanged();
+}
+
+bool GoalOrientedController::SignificantChange(const LastSent& last,
+                                               double rt, double rate,
+                                               uint64_t granted,
+                                               uint64_t bound) const {
+  if (!last.valid) return true;
+  const double threshold = system_->config().report_change_threshold;
+  auto moved = [threshold](double now, double before) {
+    if (before == 0.0) return now != 0.0;
+    return std::fabs(now - before) > threshold * std::fabs(before);
+  };
+  return moved(rt, last.rt_ms) || moved(rate, last.arrival_rate) ||
+         granted != last.granted_bytes || bound != last.bound_bytes;
+}
+
+sim::Task<void> GoalOrientedController::DeliverGoalReport(
+    Coordinator* coordinator, NodeId from, std::optional<double> rt,
+    double rate, uint64_t granted, uint64_t bound) {
+  const bool delivered = co_await system_->network().Transfer(
+      from, coordinator->home, system_->config().report_msg_bytes,
+      net::TrafficClass::kPartitionProtocol);
+  if (!delivered) co_return;  // the coordinator keeps its stale view
+  NodeView& view = coordinator->views[from];
+  if (rt.has_value()) view.rt_ms = rt;
+  view.arrival_rate = rate;
+  view.granted_bytes = granted;
+  view.bound_bytes = bound;
+}
+
+sim::Task<void> GoalOrientedController::DeliverNoGoalReport(
+    Coordinator* coordinator, NodeId from, std::optional<double> rt,
+    double rate) {
+  const bool delivered = co_await system_->network().Transfer(
+      from, coordinator->home, system_->config().report_msg_bytes,
+      net::TrafficClass::kPartitionProtocol);
+  if (!delivered) co_return;
+  if (rt.has_value()) coordinator->nogoal_rt[from] = rt;
+  coordinator->nogoal_rate[from] = rate;
+}
+
+void GoalOrientedController::OnIntervalEnd(int) {
+  const SystemConfig& config = system_->config();
+
+  // Phase (a): agents roll up and report on significant change.
+  for (const workload::ClassSpec& spec : system_->classes()) {
+    for (NodeId i = 0; i < config.num_nodes; ++i) {
+      const ClusterSystem::Observation& obs =
+          system_->observation(spec.id, i);
+      const std::optional<double> rt =
+          obs.has_rt ? std::optional<double>(obs.mean_rt_ms) : std::nullopt;
+
+      if (spec.id == kNoGoalClass) {
+        // No-goal agents feed every goal coordinator (§5a).
+        LastSent& last = last_sent_[{spec.id, i}];
+        if (!SignificantChange(last, obs.mean_rt_ms, obs.arrival_rate_per_ms,
+                               0, 0)) {
+          continue;
+        }
+        last = LastSent{true, obs.mean_rt_ms, obs.arrival_rate_per_ms, 0, 0};
+        for (auto& [klass, coordinator] : coordinators_) {
+          ++stats_.reports_sent;
+          system_->simulator().Spawn(DeliverNoGoalReport(
+              &coordinator, i, rt, obs.arrival_rate_per_ms));
+        }
+        continue;
+      }
+
+      auto coordinator_it = coordinators_.find(spec.id);
+      if (coordinator_it == coordinators_.end()) continue;
+      const uint64_t granted = system_->DedicatedBytes(spec.id, i);
+      const uint64_t bound = system_->AvailableFor(spec.id, i);
+      LastSent& last = last_sent_[{spec.id, i}];
+      if (!SignificantChange(last, obs.mean_rt_ms, obs.arrival_rate_per_ms,
+                             granted, bound)) {
+        continue;
+      }
+      last = LastSent{true, obs.mean_rt_ms, obs.arrival_rate_per_ms, granted,
+                      bound};
+      ++stats_.reports_sent;
+      system_->simulator().Spawn(
+          DeliverGoalReport(&coordinator_it->second, i, rt,
+                            obs.arrival_rate_per_ms, granted, bound));
+    }
+  }
+
+  // Phases (b)-(e) run on the coordinators shortly afterwards, once the
+  // reports have arrived.
+  for (auto& [klass, coordinator] : coordinators_) {
+    system_->simulator().Spawn(CoordinatorCheck(&coordinator));
+  }
+}
+
+std::optional<double> GoalOrientedController::WeightedGoalRt(
+    const Coordinator& coordinator) const {
+  double weights = 0.0, weighted = 0.0;
+  for (const NodeView& view : coordinator.views) {
+    if (!view.rt_ms.has_value() || view.arrival_rate <= 0.0) continue;
+    weighted += view.arrival_rate * *view.rt_ms;
+    weights += view.arrival_rate;
+  }
+  if (weights <= 0.0) return std::nullopt;
+  return weighted / weights;
+}
+
+std::optional<double> GoalOrientedController::WeightedNoGoalRt(
+    const Coordinator& coordinator) const {
+  double weights = 0.0, weighted = 0.0;
+  for (size_t i = 0; i < coordinator.nogoal_rt.size(); ++i) {
+    if (!coordinator.nogoal_rt[i].has_value() ||
+        coordinator.nogoal_rate[i] <= 0.0) {
+      continue;
+    }
+    weighted += coordinator.nogoal_rate[i] * *coordinator.nogoal_rt[i];
+    weights += coordinator.nogoal_rate[i];
+  }
+  if (weights <= 0.0) return std::nullopt;
+  return weighted / weights;
+}
+
+la::Vector GoalOrientedController::WarmupAllocation(
+    Coordinator* coordinator) const {
+  // Heuristic of §5b: dedicate a fixed fraction of the available memory,
+  // then perturb one rotating node per step so each step yields a new
+  // affinely independent measure point (base, base + d*e_0, base + d*e_1,
+  // ...).
+  const SystemConfig& config = system_->config();
+  const uint32_t n = config.num_nodes;
+  la::Vector target(n, 0.0);
+  const int step = coordinator->warmup_step;
+  for (uint32_t i = 0; i < n; ++i) {
+    const double bound =
+        static_cast<double>(coordinator->views[i].bound_bytes);
+    double bytes = config.warmup_fraction * bound;
+    if (step > 0 && (static_cast<uint32_t>(step - 1) % n) == i) {
+      bytes += config.warmup_perturbation *
+               static_cast<double>(config.cache_bytes_per_node);
+    }
+    target[i] = std::min(bytes, bound);
+  }
+  return target;
+}
+
+sim::Task<void> GoalOrientedController::CoordinatorCheck(
+    Coordinator* coordinator) {
+  const SystemConfig& config = system_->config();
+  co_await system_->simulator().Delay(config.coordinator_check_delay_ms);
+
+  ++stats_.checks;
+  const std::optional<double> rt_k = WeightedGoalRt(*coordinator);
+  if (!rt_k.has_value()) co_return;  // no data yet
+  const double goal = system_->spec(coordinator->klass).goal_rt_ms.value();
+
+  // Phase (b): fold the current measurement into the measure-point store.
+  coordinator->tolerance.Observe(*rt_k);
+  const std::optional<double> rt_0 = WeightedNoGoalRt(*coordinator);
+  la::Vector allocation(config.num_nodes);
+  for (uint32_t i = 0; i < config.num_nodes; ++i) {
+    allocation[i] = static_cast<double>(coordinator->views[i].granted_bytes);
+  }
+  if (rt_0.has_value()) {
+    // Per-node response times ride along (nodes without fresh data carry
+    // their last-reported value), enabling the per-node plane fits of the
+    // variance objective.
+    la::Vector rt_per_node(config.num_nodes);
+    for (uint32_t i = 0; i < config.num_nodes; ++i) {
+      rt_per_node[i] = coordinator->views[i].rt_ms.value_or(*rt_k);
+    }
+    coordinator->store.ObserveDetailed(allocation, *rt_k, *rt_0,
+                                       rt_per_node);
+  }
+
+  // Phase (c): check against the goal with the tolerance band. Being too
+  // slow always triggers re-partitioning; being faster than the goal only
+  // matters when the class actually holds dedicated buffer that the no-goal
+  // class could reclaim.
+  const double delta = coordinator->tolerance.Tolerance(goal);
+  const bool too_slow = *rt_k > goal + delta;
+  const bool too_fast = *rt_k < goal - delta;
+  if (!too_slow && !too_fast) co_return;
+  uint64_t current_total = 0;
+  for (const NodeView& view : coordinator->views) {
+    current_total += view.granted_bytes;
+  }
+  if (too_fast && current_total == 0) co_return;
+  ++stats_.violations;
+  coordinator->consecutive_slow = too_slow ? coordinator->consecutive_slow + 1
+                                           : 0;
+
+  // Escalation: the fitted hyperplane is a *global* linear model, but the
+  // real response curve need not be globally linear (our simulator exposes
+  // a non-monotone region at small dedications; see EXPERIMENTS.md). If
+  // several LP steps in a row failed to get the class below goal, fall
+  // back on the §3 monotonicity assumption and saturate the allocation
+  // outright — the subsequent too-fast checks then walk back down the
+  // monotone branch under the shrink clamp. The jump skips damping: it can
+  // only speed the goal class up.
+  if (coordinator->consecutive_slow >= kSaturateAfterSlowChecks) {
+    coordinator->consecutive_slow = 0;
+    ++stats_.saturations;
+    la::Vector full(config.num_nodes);
+    for (uint32_t i = 0; i < config.num_nodes; ++i) {
+      full[i] = static_cast<double>(coordinator->views[i].bound_bytes);
+    }
+    co_await SendAllocations(coordinator, std::move(full));
+    co_return;
+  }
+
+  // Phase (d): compute a new partitioning.
+  la::Vector target;
+  bool from_warmup = false;
+  if (!coordinator->store.ready()) {
+    from_warmup = true;
+    if (too_slow) {
+      target = WarmupAllocation(coordinator);
+    } else {
+      // Too fast during warm-up: release half of the dedicated buffer; the
+      // halving both frees memory for the no-goal class and yields a fresh
+      // measure point.
+      target = allocation;
+      for (double& bytes : target) bytes *= 0.5;
+    }
+    ++coordinator->warmup_step;
+    ++stats_.warmup_steps;
+  } else {
+    OptimizerInput input;
+    std::optional<MeasureStore::Planes> planes =
+        coordinator->store.FitPlanes();
+    MEMGOAL_CHECK(planes.has_value());
+    input.goal_rt = goal;
+    input.upper_bounds.resize(config.num_nodes);
+    for (uint32_t i = 0; i < config.num_nodes; ++i) {
+      input.upper_bounds[i] =
+          static_cast<double>(coordinator->views[i].bound_bytes);
+    }
+
+    OptimizerMode mode;
+    std::optional<std::vector<MeasureStore::NodePlane>> node_planes;
+    if (config.objective == PartitioningObjective::kMinimizeNodeVariance) {
+      node_planes = coordinator->store.FitNodePlanes();
+    }
+    if (node_planes.has_value()) {
+      // §8 objective: minimize the per-node response-time dispersion.
+      VarianceOptimizerInput variance_input;
+      variance_input.node_planes = std::move(*node_planes);
+      variance_input.mean_grad = planes->grad_k;
+      variance_input.mean_intercept = planes->intercept_k;
+      variance_input.goal_rt = goal;
+      variance_input.upper_bounds = input.upper_bounds;
+      VarianceOptimizerOutput output =
+          SolveVariancePartitioning(variance_input);
+      target = std::move(output.allocation);
+      mode = output.mode;
+    } else {
+      input.planes = std::move(*planes);
+      OptimizerOutput output = SolvePartitioning(input);
+      target = std::move(output.allocation);
+      mode = output.mode;
+    }
+    ++stats_.lp_optimizations;
+    if (mode == OptimizerMode::kBestEffort) {
+      ++stats_.best_effort_allocations;
+    }
+    if (too_fast) {
+      // The goal is met with slack: the only admissible move is to release
+      // memory to the no-goal class. A noisy fit (near-collinear measure
+      // points after convergence) can otherwise point the LP towards
+      // *growing* the allocation. Clamp to a shrink, and force progress if
+      // the LP proposes none.
+      double target_total = 0.0, current_total_d = 0.0;
+      for (uint32_t i = 0; i < config.num_nodes; ++i) {
+        target[i] = std::min(target[i], allocation[i]);
+        target_total += target[i];
+        current_total_d += allocation[i];
+      }
+      if (target_total >= current_total_d - 0.5) {
+        for (double& bytes : target) bytes *= 0.5;
+      }
+    } else {
+      // Too slow: by the §3 monotonicity assumption, releasing buffer
+      // cannot help, so the LP may rebalance and grow but never shrink a
+      // node's budget (a transient-polluted fit would otherwise release
+      // memory exactly when the class needs it most).
+      for (uint32_t i = 0; i < config.num_nodes; ++i) {
+        target[i] = std::max(target[i], allocation[i]);
+      }
+    }
+    MEMGOAL_LOG_DEBUG("class %u: rt=%.3f goal=%.3f delta=%.3f -> LP mode=%d",
+                      coordinator->klass, *rt_k, goal, delta,
+                      static_cast<int>(mode));
+  }
+
+  // Damp the step: an optimization may only move each node's budget by a
+  // bounded amount per interval, so one transient-polluted fit cannot swing
+  // the partitioning wall to wall.
+  // Warm-up steps are exempt: they are deliberate exploration whose
+  // perturbation structure guarantees affinely independent measure points —
+  // clamping them would collapse every probe onto the same line.
+  if (!from_warmup) {
+    const double grow_step = config.max_step_fraction *
+                             static_cast<double>(config.cache_bytes_per_node);
+    const double release_step =
+        config.release_step_fraction *
+        static_cast<double>(config.cache_bytes_per_node);
+    for (uint32_t i = 0; i < config.num_nodes; ++i) {
+      const double granted =
+          static_cast<double>(coordinator->views[i].granted_bytes);
+      target[i] =
+          std::clamp(target[i], granted - release_step, granted + grow_step);
+    }
+  }
+
+  // Round to whole frames (what the pools can actually hold) and detect
+  // stagnation: near-collinear measure points can make the fitted plane so
+  // steep that the LP proposes sub-page moves which round back to the
+  // current partitioning — while the goal stays violated. Break the
+  // deadlock with an exploratory step in the violation's direction, which
+  // also contributes a fresh affinely independent measure point (the same
+  // requirement §5b imposes on warm-up steps).
+  const uint64_t page = config.page_bytes;
+  bool stagnant = true;
+  for (uint32_t i = 0; i < config.num_nodes; ++i) {
+    target[i] = std::floor(std::max(0.0, target[i]) /
+                           static_cast<double>(page)) *
+                static_cast<double>(page);
+    target[i] = std::min(
+        target[i], static_cast<double>(coordinator->views[i].bound_bytes));
+    if (static_cast<uint64_t>(target[i]) !=
+        coordinator->views[i].granted_bytes) {
+      stagnant = false;
+    }
+  }
+  if (stagnant) {
+    const double step_bytes = config.warmup_perturbation *
+                              static_cast<double>(config.cache_bytes_per_node);
+    if (too_slow) {
+      // Grow on a rotating node with headroom.
+      for (uint32_t attempt = 0; attempt < config.num_nodes; ++attempt) {
+        const uint32_t i =
+            static_cast<uint32_t>(coordinator->warmup_step++) %
+            config.num_nodes;
+        const double bound =
+            static_cast<double>(coordinator->views[i].bound_bytes);
+        if (target[i] + static_cast<double>(page) > bound) continue;
+        target[i] = std::min(bound, target[i] + step_bytes);
+        break;
+      }
+    } else {
+      // Shrink the largest allocation.
+      uint32_t largest = 0;
+      for (uint32_t i = 1; i < config.num_nodes; ++i) {
+        if (target[i] > target[largest]) largest = i;
+      }
+      target[largest] = std::max(0.0, target[largest] - step_bytes);
+    }
+  }
+
+  // Phase (e): ship the allocation to the agents.
+  co_await SendAllocations(coordinator, std::move(target));
+}
+
+sim::Task<void> GoalOrientedController::SendAllocations(
+    Coordinator* coordinator, la::Vector target) {
+  const SystemConfig& config = system_->config();
+  const uint64_t page = config.page_bytes;
+  for (uint32_t i = 0; i < config.num_nodes; ++i) {
+    // Round down to whole frames so coordinator bookkeeping matches the
+    // pool's frame-granular capacity.
+    uint64_t bytes = static_cast<uint64_t>(std::max(0.0, target[i]));
+    bytes = bytes / page * page;
+    if (bytes == coordinator->views[i].granted_bytes) continue;
+    ++stats_.allocation_commands;
+    const bool command_delivered = co_await system_->network().Transfer(
+        coordinator->home, i, config.alloc_msg_bytes,
+        net::TrafficClass::kPartitionProtocol);
+    // A lost command never reaches the agent; a lost ack leaves the
+    // coordinator's view stale. Both are repaired by the next agent report
+    // (the feedback design of §5e).
+    if (!command_delivered) continue;
+    const uint64_t granted =
+        system_->ApplyAllocation(coordinator->klass, i, bytes);
+    const bool ack_delivered = co_await system_->network().Transfer(
+        i, coordinator->home, config.ack_msg_bytes,
+        net::TrafficClass::kPartitionProtocol);
+    if (!ack_delivered) continue;
+    coordinator->views[i].granted_bytes = granted;
+    coordinator->views[i].bound_bytes =
+        system_->AvailableFor(coordinator->klass, i);
+    last_sent_[{coordinator->klass, i}].granted_bytes = granted;
+  }
+}
+
+}  // namespace memgoal::core

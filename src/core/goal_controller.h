@@ -1,0 +1,141 @@
+#ifndef MEMGOAL_CORE_GOAL_CONTROLLER_H_
+#define MEMGOAL_CORE_GOAL_CONTROLLER_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/measure.h"
+#include "core/optimizer.h"
+#include "core/system.h"
+#include "core/tolerance.h"
+#include "la/matrix.h"
+
+namespace memgoal::core {
+
+/// The paper's distributed goal-oriented buffer partitioning (§5): one
+/// agent per class per node, one coordinator per goal class, wired through
+/// the simulated network with all protocol traffic accounted.
+///
+/// Each observation interval runs the five-phase feedback loop:
+///  (a) local agents roll up inter-arrival rate and mean response time and
+///      report to their coordinator on significant change; no-goal agents
+///      report to every goal coordinator;
+///  (b) coordinators fold reports into their measure-point store (N+1 most
+///      recent affinely independent points, incremental Gauss);
+///  (c) the coordinator checks the weighted mean response time against the
+///      goal with a variance-derived tolerance;
+///  (d) on violation it fits the two approximation hyperplanes and solves
+///      the partitioning LP (or runs the warm-up heuristic while fewer than
+///      N+1 points exist);
+///  (e) allocation commands go to the agents, which apply them clamped to
+///      local availability and acknowledge the granted sizes.
+class GoalOrientedController final : public Controller {
+ public:
+  GoalOrientedController() = default;
+
+  void Attach(ClusterSystem* system) override;
+  void OnIntervalEnd(int interval_index) override;
+  void OnGoalChanged(ClassId klass) override;
+  double ToleranceFor(ClassId klass) const override;
+  const char* name() const override { return "goal-oriented"; }
+
+  /// Protocol/algorithm activity counters for the overhead experiment and
+  /// tests.
+  struct ProtocolStats {
+    uint64_t reports_sent = 0;
+    uint64_t checks = 0;
+    uint64_t violations = 0;
+    uint64_t lp_optimizations = 0;
+    uint64_t warmup_steps = 0;
+    uint64_t allocation_commands = 0;
+    uint64_t best_effort_allocations = 0;
+    uint64_t saturations = 0;
+  };
+  const ProtocolStats& stats() const { return stats_; }
+
+  /// Coordinator-side measure store of a goal class (for tests).
+  const MeasureStore& measure_store(ClassId klass) const;
+
+  /// Node hosting the coordinator of `klass`.
+  NodeId coordinator_node(ClassId klass) const;
+
+  /// Migrates the coordinator of `klass` to another node (§5: coordinators
+  /// may be placed separately per class "and even a migration of a
+  /// coordinator from one node to another node is possible, as long as all
+  /// corresponding agents are informed"). Models the notification messages
+  /// to every agent; the coordinator's state (measure points, tolerance
+  /// history) moves with it. Takes effect for all subsequent reports and
+  /// checks.
+  void MigrateCoordinator(ClassId klass, NodeId new_home);
+
+  /// After this many consecutive too-slow checks the coordinator abandons
+  /// the fitted planes and saturates the class's allocation (see
+  /// CoordinatorCheck).
+  static constexpr int kSaturateAfterSlowChecks = 3;
+
+ private:
+  /// Coordinator-side view of one node's class-k agent.
+  struct NodeView {
+    std::optional<double> rt_ms;
+    double arrival_rate = 0.0;
+    uint64_t granted_bytes = 0;
+    uint64_t bound_bytes = 0;
+  };
+
+  struct Coordinator {
+    Coordinator(ClassId klass, NodeId home, size_t num_nodes,
+                double tolerance_floor, double tolerance_z)
+        : klass(klass), home(home), views(num_nodes), nogoal_rt(num_nodes),
+          nogoal_rate(num_nodes, 0.0), store(num_nodes),
+          tolerance(tolerance_floor, tolerance_z) {}
+
+    ClassId klass;
+    NodeId home;
+    std::vector<NodeView> views;
+    std::vector<std::optional<double>> nogoal_rt;
+    std::vector<double> nogoal_rate;
+    MeasureStore store;
+    ToleranceEstimator tolerance;
+    int warmup_step = 0;
+    int consecutive_slow = 0;
+  };
+
+  /// Last values each agent sent, for the significant-change filter.
+  struct LastSent {
+    bool valid = false;
+    double rt_ms = 0.0;
+    double arrival_rate = 0.0;
+    uint64_t granted_bytes = 0;
+    uint64_t bound_bytes = 0;
+  };
+
+  bool SignificantChange(const LastSent& last, double rt, double rate,
+                         uint64_t granted, uint64_t bound) const;
+
+  // Message-modelled deliveries (spawned).
+  sim::Task<void> DeliverGoalReport(Coordinator* coordinator, NodeId from,
+                                    std::optional<double> rt, double rate,
+                                    uint64_t granted, uint64_t bound);
+  sim::Task<void> DeliverNoGoalReport(Coordinator* coordinator, NodeId from,
+                                      std::optional<double> rt, double rate);
+  sim::Task<void> CoordinatorCheck(Coordinator* coordinator);
+  sim::Task<void> SendAllocations(Coordinator* coordinator,
+                                  la::Vector target);
+
+  std::optional<double> WeightedGoalRt(const Coordinator& coordinator) const;
+  std::optional<double> WeightedNoGoalRt(const Coordinator& coordinator) const;
+
+  la::Vector WarmupAllocation(Coordinator* coordinator) const;
+
+  ClusterSystem* system_ = nullptr;
+  std::map<ClassId, Coordinator> coordinators_;
+  std::map<std::pair<ClassId, NodeId>, LastSent> last_sent_;
+  ProtocolStats stats_;
+};
+
+}  // namespace memgoal::core
+
+#endif  // MEMGOAL_CORE_GOAL_CONTROLLER_H_

@@ -1,0 +1,142 @@
+#include "core/measure.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "la/gauss.h"
+
+namespace memgoal::core {
+
+namespace {
+constexpr size_t kNpos = std::numeric_limits<size_t>::max();
+}  // namespace
+
+MeasureStore::MeasureStore(size_t num_nodes) : num_nodes_(num_nodes) {
+  MEMGOAL_CHECK(num_nodes > 0);
+}
+
+la::Vector MeasureStore::RowOf(const la::Vector& allocation) {
+  la::Vector row = allocation;
+  row.push_back(1.0);
+  return row;
+}
+
+size_t MeasureStore::FindMatching(const la::Vector& allocation) const {
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    double diff = 0.0;
+    for (size_t j = 0; j < num_nodes_; ++j) {
+      diff = std::max(diff, std::fabs(entries_[i].allocation[j] - allocation[j]));
+    }
+    if (diff <= kSameAllocationTolerance) return i;
+  }
+  return kNpos;
+}
+
+void MeasureStore::TryInitialize() {
+  if (entries_.size() < num_nodes_ + 1) return;
+  la::Matrix b(num_nodes_ + 1, num_nodes_ + 1);
+  for (size_t i = 0; i <= num_nodes_; ++i) {
+    b.SetRow(i, RowOf(entries_[i].allocation));
+  }
+  if (!inverse_.Reset(b)) {
+    // Affinely dependent set: drop the oldest entry and wait for a fresh
+    // point. (The warm-up heuristic perturbs allocations so this resolves
+    // quickly.)
+    size_t oldest = 0;
+    for (size_t i = 1; i < entries_.size(); ++i) {
+      if (entries_[i].seq < entries_[oldest].seq) oldest = i;
+    }
+    entries_.erase(entries_.begin() + static_cast<ptrdiff_t>(oldest));
+  }
+}
+
+void MeasureStore::Observe(const la::Vector& allocation, double rt_k,
+                           double rt_0) {
+  ObserveDetailed(allocation, rt_k, rt_0, la::Vector());
+}
+
+void MeasureStore::ObserveDetailed(const la::Vector& allocation, double rt_k,
+                                   double rt_0,
+                                   const la::Vector& rt_per_node) {
+  MEMGOAL_CHECK(allocation.size() == num_nodes_);
+  MEMGOAL_CHECK(rt_per_node.empty() || rt_per_node.size() == num_nodes_);
+
+  const size_t match = FindMatching(allocation);
+  if (match != kNpos) {
+    // Same partitioning as a stored point: refresh its response times
+    // (phase (b): "update of the last measure point").
+    entries_[match].rt_k = rt_k;
+    entries_[match].rt_0 = rt_0;
+    entries_[match].rt_per_node = rt_per_node;
+    entries_[match].seq = next_seq_++;
+    return;
+  }
+
+  Entry entry{allocation, rt_k, rt_0, rt_per_node, next_seq_++};
+
+  if (!ready()) {
+    entries_.push_back(std::move(entry));
+    TryInitialize();
+    return;
+  }
+
+  // Full store: replace the oldest point whose replacement keeps the set
+  // affinely independent. The O(N) probe mirrors the paper's incremental
+  // linear-independence test.
+  std::vector<size_t> order(entries_.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return entries_[a].seq < entries_[b].seq;
+  });
+  const la::Vector row = RowOf(allocation);
+  for (size_t slot : order) {
+    if (inverse_.ReplaceRow(slot, row)) {
+      entries_[slot] = std::move(entry);
+      return;
+    }
+  }
+  // New point lies in the affine hull of every retained subset; keep the
+  // old basis (it still spans the measurement space).
+  ++rejected_points_;
+}
+
+std::optional<MeasureStore::Planes> MeasureStore::FitPlanes() const {
+  if (!ready()) return std::nullopt;
+  la::Vector y_k(num_nodes_ + 1), y_0(num_nodes_ + 1);
+  for (size_t i = 0; i <= num_nodes_; ++i) {
+    y_k[i] = entries_[i].rt_k;
+    y_0[i] = entries_[i].rt_0;
+  }
+  const la::Vector beta_k = inverse_.Solve(y_k);
+  const la::Vector beta_0 = inverse_.Solve(y_0);
+
+  Planes planes;
+  planes.grad_k.assign(beta_k.begin(), beta_k.end() - 1);
+  planes.intercept_k = beta_k.back();
+  planes.grad_0.assign(beta_0.begin(), beta_0.end() - 1);
+  planes.intercept_0 = beta_0.back();
+  return planes;
+}
+
+std::optional<std::vector<MeasureStore::NodePlane>>
+MeasureStore::FitNodePlanes() const {
+  if (!ready()) return std::nullopt;
+  for (const Entry& entry : entries_) {
+    if (entry.rt_per_node.size() != num_nodes_) return std::nullopt;
+  }
+  std::vector<NodePlane> planes(num_nodes_);
+  la::Vector y(num_nodes_ + 1);
+  for (size_t node = 0; node < num_nodes_; ++node) {
+    for (size_t i = 0; i <= num_nodes_; ++i) {
+      y[i] = entries_[i].rt_per_node[node];
+    }
+    const la::Vector beta = inverse_.Solve(y);
+    planes[node].grad.assign(beta.begin(), beta.end() - 1);
+    planes[node].intercept = beta.back();
+  }
+  return planes;
+}
+
+}  // namespace memgoal::core

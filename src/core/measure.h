@@ -1,0 +1,112 @@
+#ifndef MEMGOAL_CORE_MEASURE_H_
+#define MEMGOAL_CORE_MEASURE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "la/matrix.h"
+#include "la/row_replace_inverse.h"
+
+namespace memgoal::core {
+
+/// Per-class store of the N+1 most recent affinely independent measure
+/// points (§5b): each point pairs a buffer allocation vector
+/// (LM_k,1 ... LM_k,N) with the weighted mean response times it produced
+/// for the goal class and the no-goal class.
+///
+/// Affine independence of the points {p_1..p_{N+1}} is equivalent to
+/// nonsingularity of the (N+1)x(N+1) matrix B with rows [p_j^T, 1], which
+/// is exactly the system matrix of the hyperplane fit
+///     B * [gradient; intercept] = y.
+/// The store therefore maintains B's inverse with the incremental Gauss /
+/// Sherman–Morrison row-replacement algorithm: the independence test for a
+/// new point is an O(N) denominator probe, a committed replacement is
+/// O(N^2), and each hyperplane fit is an O(N^2) inverse-vector product —
+/// the complexities reported in the paper's Table 1.
+class MeasureStore {
+ public:
+  /// Allocations closer than this (bytes, infinity norm) count as the same
+  /// partitioning: the newer measurement then refreshes the existing
+  /// point's response times instead of adding a point.
+  static constexpr double kSameAllocationTolerance = 0.5;
+
+  explicit MeasureStore(size_t num_nodes);
+
+  /// Records the measurement of one observation interval. `allocation` is
+  /// the class's current per-node dedicated buffer vector (bytes); rt_k and
+  /// rt_0 are the weighted mean response times of the goal class and of the
+  /// no-goal class under that allocation.
+  void Observe(const la::Vector& allocation, double rt_k, double rt_0);
+
+  /// Like Observe, but additionally records the goal class's *per-node*
+  /// response times (size N), enabling per-node plane fits for the §8
+  /// variance-aware objective. Nodes without fresh data should carry the
+  /// coordinator's last-known value.
+  void ObserveDetailed(const la::Vector& allocation, double rt_k,
+                       double rt_0, const la::Vector& rt_per_node);
+
+  /// True once N+1 affinely independent points are held, i.e. hyperplane
+  /// fits are possible.
+  bool ready() const { return inverse_.initialized(); }
+
+  size_t size() const { return entries_.size(); }
+  size_t num_nodes() const { return num_nodes_; }
+
+  /// Fitted approximation hyperplanes (equations 4 and 9):
+  ///   RT_k(LM) = grad_k . LM + intercept_k
+  ///   RT_0(LM) = grad_0 . LM + intercept_0
+  struct Planes {
+    la::Vector grad_k;
+    double intercept_k = 0.0;
+    la::Vector grad_0;
+    double intercept_0 = 0.0;
+  };
+
+  /// Solves the two fits against the maintained inverse; nullopt until
+  /// ready().
+  std::optional<Planes> FitPlanes() const;
+
+  /// One per-node approximation hyperplane RT_k,i(LM) = grad . LM + c
+  /// (equation 3's local response-time planes).
+  struct NodePlane {
+    la::Vector grad;
+    double intercept = 0.0;
+  };
+
+  /// Fits one plane per node from the per-node response times recorded via
+  /// ObserveDetailed. nullopt until ready() or if any retained point lacks
+  /// per-node data.
+  std::optional<std::vector<NodePlane>> FitNodePlanes() const;
+
+  /// Number of candidate points rejected because every replacement would
+  /// have made the point set affinely dependent (tests/metrics).
+  uint64_t rejected_points() const { return rejected_points_; }
+
+ private:
+  struct Entry {
+    la::Vector allocation;
+    double rt_k = 0.0;
+    double rt_0 = 0.0;
+    la::Vector rt_per_node;  // empty unless recorded via ObserveDetailed
+    uint64_t seq = 0;        // recency: larger is newer
+  };
+
+  static la::Vector RowOf(const la::Vector& allocation);
+
+  // Index of the entry whose allocation matches, or npos.
+  size_t FindMatching(const la::Vector& allocation) const;
+
+  // Attempts to (re)initialize the inverse from the current entries.
+  void TryInitialize();
+
+  size_t num_nodes_;
+  std::vector<Entry> entries_;  // slot i corresponds to row i of B
+  la::RowReplaceInverse inverse_;
+  uint64_t next_seq_ = 0;
+  uint64_t rejected_points_ = 0;
+};
+
+}  // namespace memgoal::core
+
+#endif  // MEMGOAL_CORE_MEASURE_H_

@@ -1,0 +1,32 @@
+#include "core/metrics.h"
+
+#include "common/check.h"
+
+namespace memgoal::core {
+
+const ClassIntervalMetrics& IntervalRecord::ForClass(ClassId klass) const {
+  for (const ClassIntervalMetrics& m : classes) {
+    if (m.klass == klass) return m;
+  }
+  MEMGOAL_CHECK_MSG(false, "class not present in interval record");
+  return classes.front();
+}
+
+void MetricsLog::WriteCsv(std::FILE* out) const {
+  std::fprintf(out,
+               "interval,end_time_ms,class,observed_rt_ms,goal_rt_ms,"
+               "tolerance_ms,satisfied,dedicated_bytes,ops_completed,"
+               "ops_arrived\n");
+  for (const IntervalRecord& record : records_) {
+    for (const ClassIntervalMetrics& m : record.classes) {
+      std::fprintf(out, "%d,%.3f,%u,%.6f,%.6f,%.6f,%d,%llu,%llu,%llu\n",
+                   record.index, record.end_time_ms, m.klass, m.observed_rt_ms,
+                   m.goal_rt_ms, m.tolerance_ms, m.satisfied ? 1 : 0,
+                   static_cast<unsigned long long>(m.dedicated_bytes),
+                   static_cast<unsigned long long>(m.ops_completed),
+                   static_cast<unsigned long long>(m.ops_arrived));
+    }
+  }
+}
+
+}  // namespace memgoal::core

@@ -1,0 +1,78 @@
+#include "core/optimizer.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "la/simplex.h"
+
+namespace memgoal::core {
+
+namespace {
+
+double PredictRt(const la::Vector& grad, double intercept,
+                 const la::Vector& x) {
+  return la::Dot(grad, x) + intercept;
+}
+
+la::SimplexResult SolveLp(const OptimizerInput& input, bool equality) {
+  const size_t n = input.upper_bounds.size();
+  la::SimplexSolver solver(n);
+  solver.SetObjective(input.planes.grad_0);
+  const double rhs = input.goal_rt - input.planes.intercept_k;
+  if (equality) {
+    solver.AddEq(input.planes.grad_k, rhs);
+  } else {
+    solver.AddLe(input.planes.grad_k, rhs);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    solver.SetUpperBound(i, input.upper_bounds[i]);
+  }
+  return solver.Solve();
+}
+
+}  // namespace
+
+OptimizerOutput SolvePartitioning(const OptimizerInput& input) {
+  const size_t n = input.upper_bounds.size();
+  MEMGOAL_CHECK(n > 0);
+  MEMGOAL_CHECK(input.planes.grad_k.size() == n);
+  MEMGOAL_CHECK(input.planes.grad_0.size() == n);
+
+  OptimizerOutput output;
+
+  la::SimplexResult lp = SolveLp(input, /*equality=*/true);
+  if (lp.status == la::SimplexStatus::kOptimal) {
+    output.mode = OptimizerMode::kGoalEquality;
+    output.allocation = std::move(lp.x);
+  } else {
+    lp = SolveLp(input, /*equality=*/false);
+    if (lp.status == la::SimplexStatus::kOptimal) {
+      output.mode = OptimizerMode::kGoalInequality;
+      output.allocation = std::move(lp.x);
+    } else {
+      // Goal unreachable within bounds according to the fitted plane. The
+      // fit may well be stale or noisy here (points collected around a
+      // stuck allocation are nearly collinear), so fall back on the paper's
+      // §3 monotonicity assumption — more dedicated buffer never hurts the
+      // class — and allocate everything available. The feedback loop
+      // revisits the decision with fresh measurements next interval.
+      output.mode = OptimizerMode::kBestEffort;
+      output.allocation = input.upper_bounds;
+    }
+  }
+
+  // Clamp tiny negative values from LP arithmetic.
+  for (size_t i = 0; i < n; ++i) {
+    output.allocation[i] =
+        std::min(std::max(output.allocation[i], 0.0), input.upper_bounds[i]);
+  }
+  output.predicted_rt_k =
+      PredictRt(input.planes.grad_k, input.planes.intercept_k,
+                output.allocation);
+  output.predicted_rt_0 =
+      PredictRt(input.planes.grad_0, input.planes.intercept_0,
+                output.allocation);
+  return output;
+}
+
+}  // namespace memgoal::core

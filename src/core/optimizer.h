@@ -1,0 +1,51 @@
+#ifndef MEMGOAL_CORE_OPTIMIZER_H_
+#define MEMGOAL_CORE_OPTIMIZER_H_
+
+#include "core/measure.h"
+#include "la/matrix.h"
+
+namespace memgoal::core {
+
+/// Inputs of the buffer-partitioning linear program (§4).
+struct OptimizerInput {
+  /// Fitted response-time hyperplanes of the goal class and no-goal class.
+  MeasureStore::Planes planes;
+  /// Response-time goal of the class being re-partitioned (ms).
+  double goal_rt = 0.0;
+  /// Per-node upper bounds U_i = SIZE_i - sum_{l != k} LM_l,i (equation 6),
+  /// in bytes.
+  la::Vector upper_bounds;
+};
+
+/// How the returned allocation was obtained.
+enum class OptimizerMode {
+  /// LP solved with the goal constraint as an equality (the paper's
+  /// formulation).
+  kGoalEquality,
+  /// Equality was infeasible within bounds but satisfying the goal with
+  /// slack was possible (predicted RT_k <= goal).
+  kGoalInequality,
+  /// The goal is unreachable even with all available memory: the allocation
+  /// minimizes the predicted RT_k instead, and the feedback loop retries
+  /// next interval.
+  kBestEffort,
+};
+
+struct OptimizerOutput {
+  OptimizerMode mode = OptimizerMode::kBestEffort;
+  /// New per-node dedicated buffer sizes (bytes).
+  la::Vector allocation;
+  /// Plane-predicted response times at `allocation`.
+  double predicted_rt_k = 0.0;
+  double predicted_rt_0 = 0.0;
+};
+
+/// Solves for the new partitioning of one goal class: minimize the
+/// predicted no-goal response time subject to the goal class's hyperplane
+/// meeting its goal and the per-node capacity bounds (§4's LP), with the
+/// documented fallbacks when that LP is infeasible.
+OptimizerOutput SolvePartitioning(const OptimizerInput& input);
+
+}  // namespace memgoal::core
+
+#endif  // MEMGOAL_CORE_OPTIMIZER_H_

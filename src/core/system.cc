@@ -1,0 +1,543 @@
+#include "core/system.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "cache/cost_based.h"
+#include "cache/lru_k.h"
+#include "common/check.h"
+#include "common/logging.h"
+#include "core/goal_controller.h"
+
+namespace memgoal::core {
+
+namespace {
+
+cache::CostModel DeriveCostModel(const SystemConfig& config) {
+  // What the on-line cost learning of §6 converges to under stable load:
+  // the service-time components of each storage level, excluding queueing.
+  cache::CostModel costs;
+  storage::Disk::Params d = config.disk;
+  const double disk_ms = d.avg_seek_ms + d.rotation_ms / 2.0 +
+                         static_cast<double>(config.page_bytes) /
+                             (d.transfer_mb_per_s * 1e6) * 1e3;
+  const double control_ms =
+      static_cast<double>(config.control_msg_bytes) * 8.0 /
+          (config.network.bandwidth_mbit_per_s * 1e6) * 1e3 +
+      config.network.latency_ms;
+  const double page_ms =
+      static_cast<double>(config.page_bytes + config.page_header_bytes) * 8.0 /
+          (config.network.bandwidth_mbit_per_s * 1e6) * 1e3 +
+      config.network.latency_ms;
+
+  costs.local_buffer_ms = config.CpuMs(config.instr_buffer_access);
+  costs.remote_buffer_ms =
+      config.CpuMs(config.instr_io_setup) + control_ms + page_ms;
+  costs.local_disk_ms = config.CpuMs(config.instr_io_setup) + disk_ms;
+  costs.remote_disk_ms =
+      config.CpuMs(config.instr_io_setup) + control_ms + disk_ms + page_ms;
+  return costs;
+}
+
+}  // namespace
+
+// --------------------------------------------------------------------------
+// Node
+// --------------------------------------------------------------------------
+
+Node::Node(ClusterSystem* system, NodeId id)
+    : system_(system), id_(id),
+      cpu_(&system->simulator(), /*capacity=*/1,
+           "node" + std::to_string(id) + "/cpu"),
+      disk_(&system->simulator(), system->config().disk,
+            system->config().page_bytes,
+            "node" + std::to_string(id) + "/disk"),
+      accumulated_heat_(system->config().lru_k) {
+  cache_ = std::make_unique<cache::NodeCache>(
+      id, system->config().cache_bytes_per_node, system->config().page_bytes,
+      [this](ClassId pool_class) { return MakePolicy(pool_class); });
+}
+
+std::unique_ptr<cache::ReplacementPolicy> Node::MakePolicy(
+    ClassId pool_class) {
+  const SystemConfig& config = system_->config();
+  switch (config.policy) {
+    case cache::PolicyKind::kFifo:
+      return cache::MakeFifoPolicy();
+    case cache::PolicyKind::kLru:
+      return cache::MakeLruPolicy();
+    case cache::PolicyKind::kLruK: {
+      const cache::HeatTracker* tracker = &accumulated_heat_;
+      if (pool_class != kNoGoalClass) {
+        tracker = &class_heat_.try_emplace(pool_class, config.lru_k)
+                       .first->second;
+      }
+      return cache::MakeLruKPolicy(tracker, &system_->simulator());
+    }
+    case cache::PolicyKind::kCostBased:
+      if (pool_class != kNoGoalClass) {
+        class_heat_.try_emplace(pool_class, config.lru_k);
+      }
+      return cache::MakeCostBasedPolicy([this, pool_class](PageId page) {
+        return BenefitOf(pool_class, page);
+      });
+  }
+  MEMGOAL_CHECK_MSG(false, "unknown policy kind");
+  return nullptr;
+}
+
+double Node::AccumulatedHeat(PageId page) const {
+  return accumulated_heat_.HeatOf(page, system_->simulator().Now());
+}
+
+double Node::PoolHeat(ClassId pool_class, PageId page) const {
+  if (pool_class == kNoGoalClass) return AccumulatedHeat(page);
+  auto it = class_heat_.find(pool_class);
+  if (it == class_heat_.end()) return 0.0;
+  return it->second.HeatOf(page, system_->simulator().Now());
+}
+
+double Node::BenefitOf(ClassId pool_class, PageId page) const {
+  const net::PageDirectory& directory = system_->directory();
+  const double pool_heat = PoolHeat(pool_class, page);
+  const bool cached_here = directory.IsCachedAt(id_, page);
+  const bool other_copy =
+      directory.CopyCount(page) - (cached_here ? 1 : 0) >= 1;
+  auto reported = reported_heat_.find(page);
+  const double own_reported =
+      reported == reported_heat_.end() ? 0.0 : reported->second;
+  const double foreign = directory.GlobalHeat(page) - own_reported;
+  const bool home_local = system_->database().HomeOf(page) == id_;
+  return cache::KeepBenefit(system_->cost_model(), pool_heat, foreign,
+                            other_copy, home_local);
+}
+
+void Node::RecordAccessHeat(ClassId klass, PageId page) {
+  const sim::SimTime now = system_->simulator().Now();
+  accumulated_heat_.RecordAccess(page, now);
+  if (klass != kNoGoalClass) {
+    class_heat_.try_emplace(klass, system_->config().lru_k)
+        .first->second.RecordAccess(page, now);
+  }
+  MaybePropagateHeat(page);
+}
+
+sim::Task<void> Node::DeliverHeatReport(NodeId home, PageId page,
+                                        double heat) {
+  const bool delivered = co_await system_->network().Transfer(
+      id_, home, system_->config().hint_msg_bytes,
+      net::TrafficClass::kHeatHint);
+  // The home's directory entry only changes when the (best-effort) hint
+  // actually arrives.
+  if (delivered) system_->directory().ReportLocalHeat(id_, page, heat);
+}
+
+void Node::MaybePropagateHeat(PageId page) {
+  const SystemConfig& config = system_->config();
+  const double heat = AccumulatedHeat(page);
+  const double last = reported_heat_.count(page) ? reported_heat_[page] : 0.0;
+  const bool significant =
+      last == 0.0 ? heat > 0.0
+                  : std::fabs(heat - last) > config.hint_heat_threshold * last;
+  if (!significant) return;
+  reported_heat_[page] = heat;
+  const NodeId home = system_->database().HomeOf(page);
+  if (home == id_) {
+    system_->directory().ReportLocalHeat(id_, page, heat);
+  } else {
+    system_->simulator().Spawn(DeliverHeatReport(home, page, heat));
+  }
+}
+
+void Node::HandleDrops(const std::vector<PageId>& dropped) {
+  for (PageId page : dropped) {
+    system_->directory().OnPageDropped(id_, page);
+    const NodeId home = system_->database().HomeOf(page);
+    if (home != id_) {
+      system_->simulator().Spawn(system_->network().Transfer(
+          id_, home, system_->config().hint_msg_bytes,
+          net::TrafficClass::kHeatHint));
+    }
+  }
+}
+
+void Node::AfterInsert(PageId page) {
+  system_->directory().OnPageCached(id_, page);
+  const NodeId home = system_->database().HomeOf(page);
+  if (home != id_) {
+    system_->simulator().Spawn(system_->network().Transfer(
+        id_, home, system_->config().hint_msg_bytes,
+        net::TrafficClass::kHeatHint));
+  }
+}
+
+sim::Task<void> Node::UseCpu(double instructions) {
+  co_await cpu_.Acquire();
+  co_await system_->simulator().Delay(system_->config().CpuMs(instructions));
+  cpu_.Release();
+}
+
+sim::Task<StorageLevel> Node::AccessPage(ClassId klass, PageId page) {
+  const SystemConfig& config = system_->config();
+  net::Network& network = system_->network();
+  net::PageDirectory& directory = system_->directory();
+
+  RecordAccessHeat(klass, page);
+  co_await UseCpu(config.instr_buffer_access);
+
+  cache::NodeCache::AccessResult access = cache_->OnAccess(klass, page);
+  HandleDrops(access.dropped);
+  if (access.hit) {
+    system_->CountAccess(klass, StorageLevel::kLocalBuffer);
+    co_return StorageLevel::kLocalBuffer;
+  }
+
+  co_await UseCpu(config.instr_io_setup);
+  const NodeId home = system_->database().HomeOf(page);
+  const uint32_t page_msg = config.page_bytes + config.page_header_bytes;
+  StorageLevel level;
+
+  if (home == id_) {
+    std::optional<NodeId> copy = directory.FindCopy(page, id_);
+    if (copy.has_value()) {
+      // Remote buffer beats the local disk (~0.4 ms vs ~12 ms).
+      co_await network.Transfer(id_, *copy, config.control_msg_bytes,
+                                net::TrafficClass::kControl);
+      co_await network.Transfer(*copy, id_, page_msg,
+                                net::TrafficClass::kPage);
+      level = StorageLevel::kRemoteBuffer;
+    } else {
+      co_await disk_.ReadPage();
+      level = StorageLevel::kLocalDisk;
+    }
+  } else {
+    // Ask the home: it either serves from its buffer, forwards to a caching
+    // node, or reads its disk.
+    co_await network.Transfer(id_, home, config.control_msg_bytes,
+                              net::TrafficClass::kControl);
+    if (directory.IsCachedAt(home, page)) {
+      co_await network.Transfer(home, id_, page_msg,
+                                net::TrafficClass::kPage);
+      level = StorageLevel::kRemoteBuffer;
+    } else if (std::optional<NodeId> copy = directory.FindCopy(page, id_);
+               copy.has_value()) {
+      co_await network.Transfer(home, *copy, config.control_msg_bytes,
+                                net::TrafficClass::kControl);
+      co_await network.Transfer(*copy, id_, page_msg,
+                                net::TrafficClass::kPage);
+      level = StorageLevel::kRemoteBuffer;
+    } else {
+      co_await system_->node(home).disk().ReadPage();
+      co_await network.Transfer(home, id_, page_msg,
+                                net::TrafficClass::kPage);
+      level = StorageLevel::kRemoteDisk;
+    }
+  }
+
+  // A concurrent operation may have cached the page while we fetched.
+  if (!cache_->IsCached(page)) {
+    cache::NodeCache::AccessResult insert = cache_->InsertFetched(klass, page);
+    HandleDrops(insert.dropped);
+    if (insert.inserted) AfterInsert(page);
+  } else {
+    cache::NodeCache::AccessResult touch = cache_->OnAccess(klass, page);
+    HandleDrops(touch.dropped);
+  }
+  system_->CountAccess(klass, level);
+  co_return level;
+}
+
+// --------------------------------------------------------------------------
+// ClusterSystem
+// --------------------------------------------------------------------------
+
+ClusterSystem::ClusterSystem(const SystemConfig& config)
+    : config_(config),
+      database_(config.db_pages, config.page_bytes, config.num_nodes),
+      network_(&simulator_, config.network),
+      directory_(&database_),
+      cost_model_(DeriveCostModel(config)),
+      master_rng_(config.seed) {
+  MEMGOAL_CHECK(config.num_nodes > 0);
+  nodes_.reserve(config.num_nodes);
+  for (NodeId i = 0; i < config.num_nodes; ++i) {
+    nodes_.push_back(std::make_unique<Node>(this, i));
+  }
+  controller_ = std::make_unique<GoalOrientedController>();
+}
+
+ClusterSystem::~ClusterSystem() = default;
+
+void ClusterSystem::AddClass(const workload::ClassSpec& spec) {
+  MEMGOAL_CHECK(!started_);
+  for (const workload::ClassSpec& existing : classes_) {
+    MEMGOAL_CHECK_MSG(existing.id != spec.id, "duplicate class id");
+  }
+  if (spec.id == kNoGoalClass) {
+    MEMGOAL_CHECK_MSG(!spec.goal_rt_ms.has_value(),
+                      "class 0 is the no-goal class");
+  } else {
+    MEMGOAL_CHECK_MSG(spec.goal_rt_ms.has_value(),
+                      "goal classes need a goal");
+    MEMGOAL_CHECK(*spec.goal_rt_ms > 0.0);
+    for (auto& node : nodes_) {
+      node->node_cache().EnsureDedicatedPool(spec.id);
+    }
+  }
+  MEMGOAL_CHECK(spec.pages.end <= database_.num_pages());
+  MEMGOAL_CHECK(spec.mean_interarrival_ms > 0.0);
+  MEMGOAL_CHECK(spec.per_node_interarrival_ms.empty() ||
+                spec.per_node_interarrival_ms.size() == config_.num_nodes);
+  for (double t : spec.per_node_interarrival_ms) MEMGOAL_CHECK(t > 0.0);
+  MEMGOAL_CHECK(spec.accesses_per_op > 0);
+  classes_.push_back(spec);
+  counters_[spec.id];  // create the counter row
+}
+
+void ClusterSystem::SetController(std::unique_ptr<Controller> controller) {
+  MEMGOAL_CHECK(!started_);
+  MEMGOAL_CHECK(controller != nullptr);
+  controller_ = std::move(controller);
+}
+
+void ClusterSystem::SetIntervalCallback(IntervalCallback callback) {
+  interval_callback_ = std::move(callback);
+}
+
+void ClusterSystem::Start() {
+  MEMGOAL_CHECK(!started_);
+  MEMGOAL_CHECK_MSG(!classes_.empty(), "no workload classes configured");
+  started_ = true;
+  controller_->Attach(this);
+  for (const workload::ClassSpec& spec : classes_) {
+    for (NodeId i = 0; i < config_.num_nodes; ++i) {
+      simulator_.Spawn(WorkloadSource(i, spec.id));
+    }
+  }
+  simulator_.Spawn(IntervalLoop());
+}
+
+const workload::ClassSpec& ClusterSystem::spec(ClassId klass) const {
+  for (const workload::ClassSpec& s : classes_) {
+    if (s.id == klass) return s;
+  }
+  MEMGOAL_CHECK_MSG(false, "unknown class id");
+  return classes_.front();
+}
+
+std::vector<ClassId> ClusterSystem::goal_class_ids() const {
+  std::vector<ClassId> ids;
+  for (const workload::ClassSpec& s : classes_) {
+    if (s.goal_rt_ms.has_value()) ids.push_back(s.id);
+  }
+  return ids;
+}
+
+void ClusterSystem::SetGoal(ClassId klass, double goal_rt_ms) {
+  MEMGOAL_CHECK(goal_rt_ms > 0.0);
+  for (workload::ClassSpec& s : classes_) {
+    if (s.id == klass) {
+      MEMGOAL_CHECK_MSG(s.goal_rt_ms.has_value(),
+                        "cannot set a goal on the no-goal class");
+      s.goal_rt_ms = goal_rt_ms;
+      controller_->OnGoalChanged(klass);
+      return;
+    }
+  }
+  MEMGOAL_CHECK_MSG(false, "unknown class id");
+}
+
+void ClusterSystem::SetInterarrival(ClassId klass,
+                                    double mean_interarrival_ms) {
+  MEMGOAL_CHECK(mean_interarrival_ms > 0.0);
+  for (workload::ClassSpec& s : classes_) {
+    if (s.id == klass) {
+      // Workload sources re-read the spec before every arrival, so the new
+      // rate takes effect immediately.
+      s.mean_interarrival_ms = mean_interarrival_ms;
+      return;
+    }
+  }
+  MEMGOAL_CHECK_MSG(false, "unknown class id");
+}
+
+void ClusterSystem::SetAccessesPerOp(ClassId klass, int accesses_per_op) {
+  MEMGOAL_CHECK(accesses_per_op > 0);
+  for (workload::ClassSpec& s : classes_) {
+    if (s.id == klass) {
+      s.accesses_per_op = accesses_per_op;
+      return;
+    }
+  }
+  MEMGOAL_CHECK_MSG(false, "unknown class id");
+}
+
+const AccessCounters& ClusterSystem::counters(ClassId klass) const {
+  auto it = counters_.find(klass);
+  MEMGOAL_CHECK(it != counters_.end());
+  return it->second;
+}
+
+void ClusterSystem::CountAccess(ClassId klass, StorageLevel level) {
+  counters_[klass].by_level[static_cast<int>(level)]++;
+}
+
+ClusterSystem::IntervalAccumulator& ClusterSystem::Accumulator(ClassId klass,
+                                                               NodeId node) {
+  return accumulators_[{klass, node}];
+}
+
+const ClusterSystem::Observation& ClusterSystem::observation(
+    ClassId klass, NodeId node) const {
+  static const Observation kEmpty;
+  auto it = observations_.find({klass, node});
+  return it == observations_.end() ? kEmpty : it->second;
+}
+
+uint64_t ClusterSystem::ApplyAllocation(ClassId klass, NodeId node,
+                                        uint64_t bytes) {
+  std::vector<PageId> dropped;
+  const uint64_t granted =
+      nodes_[node]->node_cache().SetDedicatedBytes(klass, bytes, &dropped);
+  nodes_[node]->HandleDrops(dropped);
+  return granted;
+}
+
+uint64_t ClusterSystem::DedicatedBytes(ClassId klass, NodeId node) const {
+  return nodes_[node]->node_cache().dedicated_bytes(klass);
+}
+
+uint64_t ClusterSystem::TotalDedicatedBytes(ClassId klass) const {
+  uint64_t total = 0;
+  for (const auto& node : nodes_) {
+    total += node->node_cache().dedicated_bytes(klass);
+  }
+  return total;
+}
+
+uint64_t ClusterSystem::AvailableFor(ClassId klass, NodeId node) const {
+  return nodes_[node]->node_cache().AvailableForClass(klass);
+}
+
+int ClusterSystem::InvalidateCopies(PageId page, NodeId except_node) {
+  int dropped = 0;
+  for (NodeId i = 0; i < config_.num_nodes; ++i) {
+    if (i == except_node) continue;
+    if (!directory_.IsCachedAt(i, page)) continue;
+    nodes_[i]->node_cache().Drop(page);
+    directory_.OnPageDropped(i, page);
+    simulator_.Spawn(network_.Transfer(database_.HomeOf(page), i,
+                                       config_.control_msg_bytes,
+                                       net::TrafficClass::kControl));
+    ++dropped;
+  }
+  return dropped;
+}
+
+std::optional<double> ClusterSystem::WeightedRt(ClassId klass) const {
+  double weight_sum = 0.0;
+  double weighted = 0.0;
+  for (NodeId i = 0; i < config_.num_nodes; ++i) {
+    const Observation& obs = observation(klass, i);
+    if (!obs.has_rt || obs.arrival_rate_per_ms <= 0.0) continue;
+    weighted += obs.arrival_rate_per_ms * obs.mean_rt_ms;
+    weight_sum += obs.arrival_rate_per_ms;
+  }
+  if (weight_sum <= 0.0) return std::nullopt;
+  return weighted / weight_sum;
+}
+
+sim::Task<void> ClusterSystem::WorkloadSource(NodeId node, ClassId klass) {
+  common::Rng rng = ForkRng();
+  const workload::ClassSpec& class_spec = spec(klass);
+  workload::PageSelector selector(class_spec);
+  while (true) {
+    // The spec is re-read every iteration so run-time changes
+    // (SetInterarrival, SetAccessesPerOp) take effect immediately.
+    const double interarrival =
+        class_spec.per_node_interarrival_ms.empty()
+            ? class_spec.mean_interarrival_ms
+            : class_spec.per_node_interarrival_ms[node];
+    co_await simulator_.Delay(rng.Exponential(interarrival));
+    Accumulator(klass, node).arrived++;
+    std::vector<PageId> pages(static_cast<size_t>(class_spec.accesses_per_op));
+    for (PageId& page : pages) page = selector.Sample(&rng);
+    simulator_.Spawn(RunOperation(node, klass, std::move(pages)));
+  }
+}
+
+sim::Task<void> ClusterSystem::RunOperation(NodeId node, ClassId klass,
+                                            std::vector<PageId> pages) {
+  const sim::SimTime start = simulator_.Now();
+  for (PageId page : pages) {
+    co_await nodes_[node]->AccessPage(klass, page);
+  }
+  IntervalAccumulator& acc = Accumulator(klass, node);
+  acc.completed++;
+  acc.rt_sum += simulator_.Now() - start;
+}
+
+sim::Task<void> ClusterSystem::IntervalLoop() {
+  while (true) {
+    co_await simulator_.Delay(config_.observation_interval_ms);
+    const int index = intervals_completed_++;
+
+    // Roll the accumulators into per-(class, node) observations.
+    for (const workload::ClassSpec& class_spec : classes_) {
+      for (NodeId i = 0; i < config_.num_nodes; ++i) {
+        IntervalAccumulator& acc = Accumulator(class_spec.id, i);
+        Observation& obs = observations_[{class_spec.id, i}];
+        obs.arrived = acc.arrived;
+        obs.completed = acc.completed;
+        obs.arrival_rate_per_ms =
+            static_cast<double>(acc.arrived) / config_.observation_interval_ms;
+        obs.has_rt = acc.completed > 0;
+        obs.mean_rt_ms =
+            acc.completed > 0 ? acc.rt_sum / static_cast<double>(acc.completed)
+                              : 0.0;
+        acc = IntervalAccumulator{};
+      }
+    }
+
+    IntervalRecord record;
+    record.index = index;
+    record.end_time_ms = simulator_.Now();
+    for (const workload::ClassSpec& class_spec : classes_) {
+      ClassIntervalMetrics m;
+      m.klass = class_spec.id;
+      m.observed_rt_ms = WeightedRt(class_spec.id).value_or(0.0);
+      m.goal_rt_ms = class_spec.goal_rt_ms.value_or(0.0);
+      m.tolerance_ms = controller_->ToleranceFor(class_spec.id);
+      m.dedicated_bytes = TotalDedicatedBytes(class_spec.id);
+      for (NodeId i = 0; i < config_.num_nodes; ++i) {
+        const Observation& obs = observation(class_spec.id, i);
+        m.ops_completed += obs.completed;
+        m.ops_arrived += obs.arrived;
+      }
+      m.satisfied = class_spec.goal_rt_ms.has_value() &&
+                    m.ops_completed > 0 &&
+                    m.observed_rt_ms <= m.goal_rt_ms + m.tolerance_ms;
+      record.classes.push_back(m);
+    }
+    metrics_.Append(record);
+
+    // The user callback runs before the controller so that goal changes
+    // made in reaction to this interval (e.g. the experiment protocol of
+    // §7.1) are visible to the controller's check of the same interval.
+    if (interval_callback_) interval_callback_(metrics_.back());
+    controller_->OnIntervalEnd(index);
+  }
+}
+
+void ClusterSystem::RunIntervals(int count) {
+  MEMGOAL_CHECK(started_);
+  MEMGOAL_CHECK(count >= 0);
+  const int target = intervals_completed_ + count;
+  const sim::SimTime target_time =
+      static_cast<double>(target) * config_.observation_interval_ms;
+  simulator_.RunUntil(target_time);
+  MEMGOAL_CHECK(intervals_completed_ == target);
+}
+
+}  // namespace memgoal::core

@@ -1,0 +1,335 @@
+#ifndef MEMGOAL_CORE_SYSTEM_H_
+#define MEMGOAL_CORE_SYSTEM_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/cost_model.h"
+#include "cache/heat.h"
+#include "cache/node_cache.h"
+#include "cache/replacement.h"
+#include "common/rng.h"
+#include "core/metrics.h"
+#include "net/directory.h"
+#include "net/network.h"
+#include "sim/resource.h"
+#include "sim/simulator.h"
+#include "sim/task.h"
+#include "storage/database.h"
+#include "storage/disk.h"
+#include "storage/types.h"
+#include "workload/page_selector.h"
+#include "workload/spec.h"
+
+namespace memgoal::core {
+
+class ClusterSystem;
+
+/// Objective of the partitioning optimization (phase d).
+enum class PartitioningObjective {
+  /// The paper's §4 formulation: minimize the predicted no-goal response
+  /// time subject to the goal constraint.
+  kMinimizeNoGoalRt,
+  /// The paper's §8 future-work objective: minimize the dispersion of the
+  /// goal class's per-node response times subject to the goal constraint.
+  kMinimizeNodeVariance,
+};
+
+/// All tunables of the simulated NOW and of the partitioning algorithm.
+/// Defaults reproduce the paper's base environment (§7.1): 3 nodes at
+/// 100 MIPS, 100 Mbit/s network, 2 MB cache and one SCSI disk per node,
+/// 2000 pages of 4 KB, 5000 ms observation intervals.
+struct SystemConfig {
+  // -- Topology and hardware ----------------------------------------------
+  uint32_t num_nodes = 3;
+  uint64_t cache_bytes_per_node = 2ull << 20;  // 2 MB
+  uint32_t page_bytes = 4096;
+  uint32_t db_pages = 2000;
+  storage::Disk::Params disk;
+  net::Network::Params network;
+
+  // -- CPU model (100 MIPS nodes; costs in instructions) -------------------
+  double cpu_mips = 100.0;
+  double instr_buffer_access = 3000.0;
+  double instr_io_setup = 5000.0;
+
+  // -- Feedback loop (§5) ---------------------------------------------------
+  double observation_interval_ms = 5000.0;
+  /// Agents report only when a value moved by more than this relative
+  /// change ("significant change", §5a).
+  double report_change_threshold = 0.05;
+  /// Tolerance delta = max(rel_floor * goal, z * stderr) (§5c, method of
+  /// [5]); z = 2.576 is the 99% normal critical value.
+  double tolerance_rel_floor = 0.05;
+  double tolerance_z = 2.576;
+  /// Warm-up heuristic (§5b): first allocation takes this fraction of the
+  /// per-node free memory; subsequent warm-up steps add a perturbation of
+  /// `warmup_perturbation` * SIZE_i on one rotating node to force affine
+  /// independence of the measure points.
+  double warmup_fraction = 0.25;
+  double warmup_perturbation = 0.125;
+  /// Delay between the agents' interval rollup and the coordinator check,
+  /// covering report message flight time (ms).
+  double coordinator_check_delay_ms = 1.0;
+  /// Damping of the feedback loop: one optimization step grows a node's
+  /// dedicated budget by at most `max_step_fraction` of the node's cache
+  /// and releases at most `release_step_fraction`. Without damping, a fit
+  /// polluted by post-reallocation cache-refill transients can swing the
+  /// partitioning wall to wall and never settle. The asymmetry is
+  /// deliberate: growing protects an endangered service-level goal, while
+  /// releasing merely helps the no-goal class, and the true response curve
+  /// is convex so linear-fit release steps systematically overshoot.
+  double max_step_fraction = 0.35;
+  double release_step_fraction = 0.10;
+  /// Optimization objective used by the goal-oriented controller.
+  PartitioningObjective objective = PartitioningObjective::kMinimizeNoGoalRt;
+
+  // -- Replacement (§6) -----------------------------------------------------
+  cache::PolicyKind policy = cache::PolicyKind::kCostBased;
+  int lru_k = 2;
+  /// A node re-reports a page's heat to its home when the accumulated local
+  /// heat changed by more than this relative factor (threshold-based
+  /// dissemination).
+  double hint_heat_threshold = 0.2;
+
+  // -- Message sizes (bytes) ------------------------------------------------
+  uint32_t control_msg_bytes = 64;
+  uint32_t page_header_bytes = 64;
+  uint32_t report_msg_bytes = 48;
+  uint32_t alloc_msg_bytes = 32;
+  uint32_t ack_msg_bytes = 32;
+  uint32_t hint_msg_bytes = 32;
+
+  uint64_t seed = 1;
+
+  /// CPU time (ms) for the given instruction count at `cpu_mips`.
+  double CpuMs(double instructions) const {
+    return instructions / (cpu_mips * 1e3);
+  }
+};
+
+/// Partitioning policy plugged into the system. The default is the paper's
+/// distributed goal-oriented controller (GoalOrientedController); the
+/// baselines in src/baseline implement the same interface.
+class Controller {
+ public:
+  virtual ~Controller() = default;
+
+  /// Called once before the simulation starts.
+  virtual void Attach(ClusterSystem* system) = 0;
+
+  /// Called at each observation-interval boundary, after the system rolled
+  /// up per-(class, node) statistics (accessible via
+  /// ClusterSystem::observation).
+  virtual void OnIntervalEnd(int interval_index) = 0;
+
+  /// Called when a class's response-time goal changes.
+  virtual void OnGoalChanged(ClassId /*klass*/) {}
+
+  /// Tolerance band currently applied to `klass` (used for the `satisfied`
+  /// flag in metrics). Default: no band.
+  virtual double ToleranceFor(ClassId /*klass*/) const { return 0.0; }
+
+  virtual const char* name() const = 0;
+};
+
+/// One workstation: CPU, disk, buffer memory (multi-pool cache) and the
+/// heat bookkeeping of the cost-based replacement policy.
+class Node {
+ public:
+  Node(ClusterSystem* system, NodeId id);
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  /// Executes one page access by class `klass` end to end: local lookup,
+  /// remote-cache / disk fetch via the home-based protocol, and §6
+  /// placement. Returns the storage level that served the access.
+  sim::Task<StorageLevel> AccessPage(ClassId klass, PageId page);
+
+  cache::NodeCache& node_cache() { return *cache_; }
+  const cache::NodeCache& node_cache() const { return *cache_; }
+  storage::Disk& disk() { return disk_; }
+  sim::Resource& cpu() { return cpu_; }
+  NodeId id() const { return id_; }
+
+  /// Heat of `page` in the scope of the given pool (class heat for
+  /// dedicated pools, accumulated heat for the no-goal pool).
+  double PoolHeat(ClassId pool_class, PageId page) const;
+  double AccumulatedHeat(PageId page) const;
+
+  /// Drops pages from the directory and emits hint traffic; used by the
+  /// system when allocations shrink pools.
+  void HandleDrops(const std::vector<PageId>& dropped);
+
+ private:
+  friend class ClusterSystem;
+
+  sim::Task<void> UseCpu(double instructions);
+  sim::Task<void> DeliverHeatReport(NodeId home, PageId page, double heat);
+  void RecordAccessHeat(ClassId klass, PageId page);
+  /// Threshold-based heat dissemination to the page's home (§6).
+  void MaybePropagateHeat(PageId page);
+  void AfterInsert(PageId page);
+  double BenefitOf(ClassId pool_class, PageId page) const;
+  std::unique_ptr<cache::ReplacementPolicy> MakePolicy(ClassId pool_class);
+
+  ClusterSystem* system_;
+  NodeId id_;
+  sim::Resource cpu_;
+  storage::Disk disk_;
+  cache::HeatTracker accumulated_heat_;
+  std::map<ClassId, cache::HeatTracker> class_heat_;
+  std::unordered_map<PageId, double> reported_heat_;
+  std::unique_ptr<cache::NodeCache> cache_;
+};
+
+/// The simulated network of workstations: nodes, database, network,
+/// directory, workload sources, the observation-interval loop, and the
+/// pluggable partitioning controller.
+///
+/// Typical use:
+///
+///   core::SystemConfig config;
+///   core::ClusterSystem system(config);
+///   system.AddClass({.id = 1, .goal_rt_ms = 3.0, ...});
+///   system.AddClass({.id = core::kNoGoalClass, ...});
+///   system.Start();
+///   system.RunIntervals(80);
+///   system.metrics().WriteCsv(stdout);
+class ClusterSystem {
+ public:
+  explicit ClusterSystem(const SystemConfig& config);
+  ~ClusterSystem();
+  ClusterSystem(const ClusterSystem&) = delete;
+  ClusterSystem& operator=(const ClusterSystem&) = delete;
+
+  // -- Setup (before Start) -------------------------------------------------
+
+  /// Registers a workload class. Exactly one class may be the no-goal class
+  /// (id 0 / no goal); goal classes get a dedicated pool on every node.
+  void AddClass(const workload::ClassSpec& spec);
+
+  /// Replaces the default GoalOrientedController.
+  void SetController(std::unique_ptr<Controller> controller);
+
+  /// Spawns workload sources and the interval loop. Call exactly once.
+  void Start();
+
+  // -- Running --------------------------------------------------------------
+
+  using IntervalCallback = std::function<void(const IntervalRecord&)>;
+  /// Invoked after every observation interval (after the controller ran).
+  void SetIntervalCallback(IntervalCallback callback);
+
+  /// Runs `count` observation intervals of simulated time.
+  void RunIntervals(int count);
+
+  /// Changes a goal class's response-time goal at the current simulated
+  /// time.
+  void SetGoal(ClassId klass, double goal_rt_ms);
+
+  /// Changes a class's mean operation inter-arrival time at run time (the
+  /// "evolving workload" scenario of §1/§7.2); takes effect from each
+  /// node's next operation onwards.
+  void SetInterarrival(ClassId klass, double mean_interarrival_ms);
+
+  /// Changes a class's operation complexity (page accesses per operation)
+  /// at run time; takes effect from the next operation onwards.
+  void SetAccessesPerOp(ClassId klass, int accesses_per_op);
+
+  // -- Introspection ---------------------------------------------------------
+
+  const SystemConfig& config() const { return config_; }
+  sim::Simulator& simulator() { return simulator_; }
+  net::Network& network() { return network_; }
+  net::PageDirectory& directory() { return directory_; }
+  const storage::Database& database() const { return database_; }
+  const cache::CostModel& cost_model() const { return cost_model_; }
+  uint32_t num_nodes() const { return config_.num_nodes; }
+  Node& node(NodeId id) { return *nodes_[id]; }
+  Controller& controller() { return *controller_; }
+
+  const std::vector<workload::ClassSpec>& classes() const { return classes_; }
+  const workload::ClassSpec& spec(ClassId klass) const;
+  std::vector<ClassId> goal_class_ids() const;
+
+  const MetricsLog& metrics() const { return metrics_; }
+  const AccessCounters& counters(ClassId klass) const;
+  int intervals_completed() const { return intervals_completed_; }
+
+  /// Last completed interval's raw observation for (klass, node).
+  struct Observation {
+    double mean_rt_ms = 0.0;           // 0 when nothing completed
+    double arrival_rate_per_ms = 0.0;  // arrivals / interval length
+    uint64_t completed = 0;
+    uint64_t arrived = 0;
+    bool has_rt = false;
+  };
+  const Observation& observation(ClassId klass, NodeId node) const;
+
+  // -- Allocation plumbing (used by controllers) -----------------------------
+
+  /// Applies a dedicated-buffer budget for (klass, node); returns granted
+  /// bytes (clamped per §5e) and handles directory drops.
+  uint64_t ApplyAllocation(ClassId klass, NodeId node, uint64_t bytes);
+  uint64_t DedicatedBytes(ClassId klass, NodeId node) const;
+  uint64_t TotalDedicatedBytes(ClassId klass) const;
+  /// Equation 6 upper bound for (klass, node).
+  uint64_t AvailableFor(ClassId klass, NodeId node) const;
+
+  /// Weighted mean response time over nodes (equation 4) from the last
+  /// interval's observations; nullopt if no node completed an operation.
+  std::optional<double> WeightedRt(ClassId klass) const;
+
+  /// Drops every cached copy of `page` except at `except_node` (cache
+  /// invalidation after a committed update; the transactional overlay calls
+  /// this). Invalidation messages to the affected nodes are accounted as
+  /// control traffic. Returns the number of copies dropped.
+  int InvalidateCopies(PageId page, NodeId except_node);
+
+  // -- Hooks used by Node / workload internals -------------------------------
+
+  common::Rng ForkRng() { return master_rng_.Fork(); }
+  void CountAccess(ClassId klass, StorageLevel level);
+
+ private:
+  sim::Task<void> WorkloadSource(NodeId node, ClassId klass);
+  sim::Task<void> RunOperation(NodeId node, ClassId klass,
+                               std::vector<PageId> pages);
+  sim::Task<void> IntervalLoop();
+
+  struct IntervalAccumulator {
+    uint64_t arrived = 0;
+    uint64_t completed = 0;
+    double rt_sum = 0.0;
+  };
+  IntervalAccumulator& Accumulator(ClassId klass, NodeId node);
+
+  SystemConfig config_;
+  sim::Simulator simulator_;
+  storage::Database database_;
+  net::Network network_;
+  net::PageDirectory directory_;
+  cache::CostModel cost_model_;
+  common::Rng master_rng_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<workload::ClassSpec> classes_;
+  std::unique_ptr<Controller> controller_;
+  IntervalCallback interval_callback_;
+  bool started_ = false;
+
+  // (klass, node) -> accumulator / last observation.
+  std::map<std::pair<ClassId, NodeId>, IntervalAccumulator> accumulators_;
+  std::map<std::pair<ClassId, NodeId>, Observation> observations_;
+  std::map<ClassId, AccessCounters> counters_;
+  MetricsLog metrics_;
+  int intervals_completed_ = 0;
+};
+
+}  // namespace memgoal::core
+
+#endif  // MEMGOAL_CORE_SYSTEM_H_

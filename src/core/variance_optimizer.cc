@@ -1,0 +1,114 @@
+#include "core/variance_optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "la/simplex.h"
+
+namespace memgoal::core {
+
+namespace {
+
+// Builds and solves the LP over variables [x_0..x_{n-1}, t_0..t_{n-1}].
+la::SimplexResult SolveLp(const VarianceOptimizerInput& input,
+                          bool equality) {
+  const size_t n = input.upper_bounds.size();
+  la::SimplexSolver solver(2 * n);
+
+  la::Vector objective(2 * n, 0.0);
+  for (size_t i = 0; i < n; ++i) objective[n + i] = 1.0;
+  solver.SetObjective(objective);
+
+  // d_i(x) = RT_i(x) - mu(x) is linear: gradient g_i - (1/n) sum_j g_j,
+  // intercept c_i - (1/n) sum_j c_j.
+  la::Vector mean_of_grads(n, 0.0);
+  double mean_of_intercepts = 0.0;
+  for (const MeasureStore::NodePlane& plane : input.node_planes) {
+    la::Axpy(1.0 / static_cast<double>(n), plane.grad, &mean_of_grads);
+    mean_of_intercepts +=
+        plane.intercept / static_cast<double>(n);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const MeasureStore::NodePlane& plane = input.node_planes[i];
+    la::Vector row(2 * n, 0.0);
+    double intercept_diff = plane.intercept - mean_of_intercepts;
+    for (size_t j = 0; j < n; ++j) {
+      row[j] = plane.grad[j] - mean_of_grads[j];
+    }
+    // t_i >= d_i(x):   d_grad . x - t_i <= -d_intercept
+    row[n + i] = -1.0;
+    solver.AddLe(row, -intercept_diff);
+    // t_i >= -d_i(x): -d_grad . x - t_i <= d_intercept
+    for (size_t j = 0; j < n; ++j) row[j] = -row[j];
+    solver.AddLe(row, intercept_diff);
+  }
+
+  la::Vector goal_row(2 * n, 0.0);
+  for (size_t j = 0; j < n; ++j) goal_row[j] = input.mean_grad[j];
+  const double rhs = input.goal_rt - input.mean_intercept;
+  if (equality) {
+    solver.AddEq(goal_row, rhs);
+  } else {
+    solver.AddLe(goal_row, rhs);
+  }
+  for (size_t j = 0; j < n; ++j) {
+    solver.SetUpperBound(j, input.upper_bounds[j]);
+  }
+  return solver.Solve();
+}
+
+}  // namespace
+
+VarianceOptimizerOutput SolveVariancePartitioning(
+    const VarianceOptimizerInput& input) {
+  const size_t n = input.upper_bounds.size();
+  MEMGOAL_CHECK(n > 0);
+  MEMGOAL_CHECK(input.node_planes.size() == n);
+  MEMGOAL_CHECK(input.mean_grad.size() == n);
+  for (const MeasureStore::NodePlane& plane : input.node_planes) {
+    MEMGOAL_CHECK(plane.grad.size() == n);
+  }
+
+  VarianceOptimizerOutput output;
+  la::SimplexResult lp = SolveLp(input, /*equality=*/true);
+  if (lp.status == la::SimplexStatus::kOptimal) {
+    output.mode = OptimizerMode::kGoalEquality;
+  } else {
+    lp = SolveLp(input, /*equality=*/false);
+    if (lp.status == la::SimplexStatus::kOptimal) {
+      output.mode = OptimizerMode::kGoalInequality;
+    } else {
+      // Goal unreachable per the fits: saturate, as in SolvePartitioning.
+      output.mode = OptimizerMode::kBestEffort;
+      output.allocation = input.upper_bounds;
+    }
+  }
+  if (output.mode != OptimizerMode::kBestEffort) {
+    output.allocation.assign(lp.x.begin(),
+                             lp.x.begin() + static_cast<ptrdiff_t>(n));
+  }
+  for (size_t i = 0; i < n; ++i) {
+    output.allocation[i] =
+        std::clamp(output.allocation[i], 0.0, input.upper_bounds[i]);
+  }
+
+  output.predicted_rt_per_node.resize(n);
+  double mean = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    output.predicted_rt_per_node[i] =
+        la::Dot(input.node_planes[i].grad, output.allocation) +
+        input.node_planes[i].intercept;
+    mean += output.predicted_rt_per_node[i] / static_cast<double>(n);
+  }
+  output.predicted_mean_rt = mean;
+  double mad = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    mad += std::fabs(output.predicted_rt_per_node[i] - mean) /
+           static_cast<double>(n);
+  }
+  output.predicted_mad_rt = mad;
+  return output;
+}
+
+}  // namespace memgoal::core

@@ -1,0 +1,27 @@
+#ifndef MEMGOAL_LA_GAUSS_H_
+#define MEMGOAL_LA_GAUSS_H_
+
+#include <optional>
+
+#include "la/matrix.h"
+
+namespace memgoal::la {
+
+/// Relative pivot threshold below which a matrix is treated as singular.
+inline constexpr double kSingularTolerance = 1e-10;
+
+/// Solves A x = b by Gaussian elimination with partial pivoting.
+/// Returns std::nullopt if A is (numerically) singular.
+std::optional<Vector> SolveLinearSystem(Matrix a, Vector b);
+
+/// Computes A^{-1} by Gauss-Jordan elimination with partial pivoting.
+/// Returns std::nullopt if A is (numerically) singular.
+std::optional<Matrix> Invert(const Matrix& a);
+
+/// Numerical rank via row echelon reduction with the given relative
+/// tolerance (defaults to kSingularTolerance).
+size_t Rank(Matrix a, double tolerance = kSingularTolerance);
+
+}  // namespace memgoal::la
+
+#endif  // MEMGOAL_LA_GAUSS_H_

@@ -1,0 +1,73 @@
+#ifndef MEMGOAL_LA_MATRIX_H_
+#define MEMGOAL_LA_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/check.h"
+
+namespace memgoal::la {
+
+/// Dense column vector, indexed 0..n-1.
+using Vector = std::vector<double>;
+
+/// Dot product of equal-length vectors.
+double Dot(const Vector& a, const Vector& b);
+
+/// Euclidean norm.
+double Norm2(const Vector& v);
+
+/// Infinity norm (max absolute element); 0 for empty vectors.
+double NormInf(const Vector& v);
+
+/// y += alpha * x.
+void Axpy(double alpha, const Vector& x, Vector* y);
+
+/// Dense row-major matrix sized at construction.
+///
+/// The problems in this repository are tiny (N <= ~50 nodes), so the
+/// implementation favours clarity and checkability over blocking or SIMD.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix Identity(size_t n);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& operator()(size_t i, size_t j) {
+    MEMGOAL_DCHECK(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+  double operator()(size_t i, size_t j) const {
+    MEMGOAL_DCHECK(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+
+  /// Copies row i into a vector.
+  Vector Row(size_t i) const;
+  /// Copies column j into a vector.
+  Vector Col(size_t j) const;
+  /// Overwrites row i.
+  void SetRow(size_t i, const Vector& row);
+
+  /// Matrix-vector product (x.size() == cols()).
+  Vector Multiply(const Vector& x) const;
+  /// Matrix-matrix product (cols() == other.rows()).
+  Matrix Multiply(const Matrix& other) const;
+
+  /// Max absolute element; 0 for empty matrices.
+  double MaxAbs() const;
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+}  // namespace memgoal::la
+
+#endif  // MEMGOAL_LA_MATRIX_H_

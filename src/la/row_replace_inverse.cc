@@ -1,0 +1,85 @@
+#include "la/row_replace_inverse.h"
+
+#include <cmath>
+
+#include "la/gauss.h"
+
+namespace memgoal::la {
+
+bool RowReplaceInverse::Reset(const Matrix& a) {
+  MEMGOAL_CHECK(a.rows() == a.cols());
+  std::optional<Matrix> inv = Invert(a);
+  if (!inv.has_value()) {
+    initialized_ = false;
+    return false;
+  }
+  a_ = a;
+  inverse_ = std::move(*inv);
+  initialized_ = true;
+  updates_since_refresh_ = 0;
+  return true;
+}
+
+double RowReplaceInverse::Denominator(size_t row,
+                                      const Vector& new_row) const {
+  MEMGOAL_CHECK(initialized_);
+  MEMGOAL_CHECK(row < a_.rows());
+  MEMGOAL_CHECK(new_row.size() == a_.cols());
+  // den = 1 + (v - a_r)^T A^{-1} e_r = 1 + (v - a_r) . col_row(A^{-1}).
+  double den = 1.0;
+  for (size_t j = 0; j < a_.cols(); ++j) {
+    den += (new_row[j] - a_(row, j)) * inverse_(j, row);
+  }
+  return den;
+}
+
+bool RowReplaceInverse::WouldRemainNonsingular(size_t row,
+                                               const Vector& new_row) const {
+  return std::fabs(Denominator(row, new_row)) > kDenominatorTolerance;
+}
+
+bool RowReplaceInverse::ReplaceRow(size_t row, const Vector& new_row) {
+  const double den = Denominator(row, new_row);
+  if (std::fabs(den) <= kDenominatorTolerance) return false;
+
+  const size_t n = a_.rows();
+  if (++updates_since_refresh_ >= kRefreshInterval) {
+    // Periodic O(n^3) refresh to wash out accumulated floating-point drift.
+    Matrix updated = a_;
+    updated.SetRow(row, new_row);
+    if (Reset(updated)) return true;
+    // The exact inversion disagreed with the O(n) probe near the tolerance
+    // boundary; treat as singular and keep the previous state.
+    MEMGOAL_CHECK(Reset(a_));
+    return false;
+  }
+
+  // u = A^{-1} e_row (column `row` of the inverse);
+  // t = w^T A^{-1} where w = new_row - old_row.
+  Vector u(n), t(n, 0.0);
+  for (size_t i = 0; i < n; ++i) u[i] = inverse_(i, row);
+  for (size_t j = 0; j < n; ++j) {
+    double sum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      sum += (new_row[i] - a_(row, i)) * inverse_(i, j);
+    }
+    t[j] = sum;
+  }
+  const double inv_den = 1.0 / den;
+  for (size_t i = 0; i < n; ++i) {
+    const double scale = u[i] * inv_den;
+    if (scale == 0.0) continue;
+    for (size_t j = 0; j < n; ++j) {
+      inverse_(i, j) -= scale * t[j];
+    }
+  }
+  a_.SetRow(row, new_row);
+  return true;
+}
+
+Vector RowReplaceInverse::Solve(const Vector& b) const {
+  MEMGOAL_CHECK(initialized_);
+  return inverse_.Multiply(b);
+}
+
+}  // namespace memgoal::la

@@ -1,0 +1,238 @@
+#include "la/simplex.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace memgoal::la {
+
+namespace {
+constexpr double kEps = 1e-9;
+// Generous safety bound; Bland's rule terminates finitely anyway.
+constexpr int kMaxIterations = 100000;
+}  // namespace
+
+SimplexSolver::SimplexSolver(size_t num_vars)
+    : num_vars_(num_vars), objective_(num_vars, 0.0) {
+  MEMGOAL_CHECK(num_vars > 0);
+}
+
+void SimplexSolver::SetObjective(const Vector& c, bool minimize) {
+  MEMGOAL_CHECK(c.size() == num_vars_);
+  objective_ = c;
+  minimize_ = minimize;
+}
+
+void SimplexSolver::AddConstraint(const Vector& a, Relation relation,
+                                  double b) {
+  MEMGOAL_CHECK(a.size() == num_vars_);
+  rows_.push_back(a);
+  relations_.push_back(relation);
+  rhs_.push_back(b);
+}
+
+void SimplexSolver::AddLe(const Vector& a, double b) {
+  AddConstraint(a, Relation::kLe, b);
+}
+
+void SimplexSolver::AddGe(const Vector& a, double b) {
+  AddConstraint(a, Relation::kGe, b);
+}
+
+void SimplexSolver::AddEq(const Vector& a, double b) {
+  AddConstraint(a, Relation::kEq, b);
+}
+
+void SimplexSolver::SetUpperBound(size_t var, double ub) {
+  MEMGOAL_CHECK(var < num_vars_);
+  Vector a(num_vars_, 0.0);
+  a[var] = 1.0;
+  AddLe(a, ub);
+}
+
+void SimplexSolver::Pivot(size_t pivot_row, size_t pivot_col) {
+  Vector& prow = tableau_[pivot_row];
+  const double inv_pivot = 1.0 / prow[pivot_col];
+  for (double& v : prow) v *= inv_pivot;
+  prow[pivot_col] = 1.0;  // avoid residual rounding
+  for (size_t r = 0; r < tableau_.size(); ++r) {
+    if (r == pivot_row) continue;
+    Vector& row = tableau_[r];
+    const double factor = row[pivot_col];
+    if (factor == 0.0) continue;
+    for (size_t c = 0; c <= total_cols_; ++c) row[c] -= factor * prow[c];
+    row[pivot_col] = 0.0;
+  }
+  basis_[pivot_row] = pivot_col;
+}
+
+bool SimplexSolver::Iterate(size_t allowed_cols) {
+  const size_t m = relations_.size();
+  Vector& cost = tableau_[m];
+  for (int iter = 0; iter < kMaxIterations; ++iter) {
+    // Bland's rule: entering column = smallest index with negative reduced
+    // cost (we always minimize internally).
+    size_t entering = total_cols_;
+    for (size_t c = 0; c < allowed_cols; ++c) {
+      if (cost[c] < -kEps) {
+        entering = c;
+        break;
+      }
+    }
+    if (entering == total_cols_) return true;  // optimal
+
+    // Ratio test; ties broken by smallest basis variable index (Bland).
+    size_t leaving = m;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (size_t r = 0; r < m; ++r) {
+      const double coeff = tableau_[r][entering];
+      if (coeff <= kEps) continue;
+      const double ratio = tableau_[r][total_cols_] / coeff;
+      if (ratio < best_ratio - kEps ||
+          (ratio < best_ratio + kEps &&
+           (leaving == m || basis_[r] < basis_[leaving]))) {
+        best_ratio = ratio;
+        leaving = r;
+      }
+    }
+    if (leaving == m) return false;  // unbounded direction
+    Pivot(leaving, entering);
+  }
+  MEMGOAL_CHECK_MSG(false, "simplex iteration bound exceeded");
+  return false;
+}
+
+SimplexResult SimplexSolver::Solve() {
+  const size_t m = relations_.size();
+  MEMGOAL_CHECK(m > 0);
+
+  // Normalize rows to nonnegative RHS.
+  std::vector<Vector> rows = rows_;
+  std::vector<Relation> relations = relations_;
+  Vector rhs = rhs_;
+  for (size_t i = 0; i < m; ++i) {
+    if (rhs[i] < 0.0) {
+      for (double& v : rows[i]) v = -v;
+      rhs[i] = -rhs[i];
+      if (relations[i] == Relation::kLe) {
+        relations[i] = Relation::kGe;
+      } else if (relations[i] == Relation::kGe) {
+        relations[i] = Relation::kLe;
+      }
+    }
+  }
+
+  // Column layout: [structural | slack/surplus | artificial | RHS].
+  size_t num_slack = 0;
+  for (Relation rel : relations) {
+    if (rel != Relation::kEq) ++num_slack;
+  }
+  size_t num_artificial = 0;
+  for (Relation rel : relations) {
+    if (rel != Relation::kLe) ++num_artificial;
+  }
+  const size_t slack_begin = num_vars_;
+  artificial_begin_ = num_vars_ + num_slack;
+  total_cols_ = artificial_begin_ + num_artificial;
+
+  tableau_.assign(m + 1, Vector(total_cols_ + 1, 0.0));
+  basis_.assign(m, 0);
+
+  size_t next_slack = slack_begin;
+  size_t next_artificial = artificial_begin_;
+  for (size_t i = 0; i < m; ++i) {
+    Vector& row = tableau_[i];
+    for (size_t j = 0; j < num_vars_; ++j) row[j] = rows[i][j];
+    row[total_cols_] = rhs[i];
+    switch (relations[i]) {
+      case Relation::kLe:
+        row[next_slack] = 1.0;
+        basis_[i] = next_slack++;
+        break;
+      case Relation::kGe:
+        row[next_slack++] = -1.0;
+        row[next_artificial] = 1.0;
+        basis_[i] = next_artificial++;
+        break;
+      case Relation::kEq:
+        row[next_artificial] = 1.0;
+        basis_[i] = next_artificial++;
+        break;
+    }
+  }
+
+  SimplexResult result;
+
+  if (num_artificial > 0) {
+    // Phase 1: minimize the sum of artificials. The cost row starts as
+    // sum(artificial columns) reduced over the initial basis, i.e. the
+    // negated sum of rows whose basis variable is artificial.
+    Vector& cost = tableau_[m];
+    for (size_t i = 0; i < m; ++i) {
+      if (basis_[i] < artificial_begin_) continue;
+      for (size_t c = 0; c <= total_cols_; ++c) cost[c] -= tableau_[i][c];
+    }
+    for (size_t a = artificial_begin_; a < total_cols_; ++a) cost[a] = 0.0;
+
+    const bool bounded = Iterate(total_cols_);
+    MEMGOAL_CHECK_MSG(bounded, "phase-1 objective cannot be unbounded");
+    if (tableau_[m][total_cols_] < -1e-7) {
+      result.status = SimplexStatus::kInfeasible;
+      return result;
+    }
+    // Drive any artificial still in the basis (at value ~0) out of it.
+    for (size_t r = 0; r < m; ++r) {
+      if (basis_[r] < artificial_begin_) continue;
+      size_t col = artificial_begin_;
+      for (size_t c = 0; c < artificial_begin_; ++c) {
+        if (std::fabs(tableau_[r][c]) > kEps) {
+          col = c;
+          break;
+        }
+      }
+      if (col < artificial_begin_) {
+        Pivot(r, col);
+      }
+      // Else the row is redundant (all-zero over real columns); the
+      // artificial stays basic at zero and is harmless since phase 2 never
+      // selects artificial columns as entering.
+    }
+  }
+
+  // Phase 2: install the real objective, reduced over the current basis.
+  {
+    Vector& cost = tableau_[m];
+    std::fill(cost.begin(), cost.end(), 0.0);
+    const double sign = minimize_ ? 1.0 : -1.0;
+    for (size_t j = 0; j < num_vars_; ++j) cost[j] = sign * objective_[j];
+    for (size_t r = 0; r < m; ++r) {
+      const double coeff = cost[basis_[r]];
+      if (coeff == 0.0) continue;
+      for (size_t c = 0; c <= total_cols_; ++c) {
+        cost[c] -= coeff * tableau_[r][c];
+      }
+      cost[basis_[r]] = 0.0;
+    }
+    if (!Iterate(artificial_begin_)) {
+      result.status = SimplexStatus::kUnbounded;
+      return result;
+    }
+  }
+
+  result.status = SimplexStatus::kOptimal;
+  result.x.assign(num_vars_, 0.0);
+  for (size_t r = 0; r < m; ++r) {
+    if (basis_[r] < num_vars_) {
+      result.x[basis_[r]] = tableau_[r][total_cols_];
+    }
+  }
+  double objective = 0.0;
+  for (size_t j = 0; j < num_vars_; ++j) {
+    objective += objective_[j] * result.x[j];
+  }
+  result.objective = objective;
+  return result;
+}
+
+}  // namespace memgoal::la

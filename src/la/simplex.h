@@ -1,0 +1,89 @@
+#ifndef MEMGOAL_LA_SIMPLEX_H_
+#define MEMGOAL_LA_SIMPLEX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "la/matrix.h"
+
+namespace memgoal::la {
+
+enum class SimplexStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+};
+
+struct SimplexResult {
+  SimplexStatus status = SimplexStatus::kInfeasible;
+  /// Optimal variable assignment (valid only when status == kOptimal).
+  Vector x;
+  /// Objective value at x, in the caller's orientation (min or max).
+  double objective = 0.0;
+};
+
+/// Two-phase dense simplex solver for small linear programs.
+///
+/// Solves
+///     min (or max)  c^T x
+///     s.t.          a_i^T x  {<=, >=, =}  b_i      for each constraint
+///                   0 <= x_j                        for all variables
+///                   x_j <= ub_j                     where an upper bound set
+///
+/// Upper bounds are lowered to explicit `<=` rows: the LPs of the buffer
+/// partitioning problem have at most a few dozen variables (one per node),
+/// so the simplicity is worth more than a bounded-variable tableau. Bland's
+/// rule guarantees termination. This replaces the lp-solve library used in
+/// the paper (§5, reference [3]).
+///
+/// The solver is single-use: configure, call Solve() once.
+class SimplexSolver {
+ public:
+  explicit SimplexSolver(size_t num_vars);
+
+  /// Sets the objective coefficients (size must equal num_vars).
+  void SetObjective(const Vector& c, bool minimize = true);
+
+  void AddLe(const Vector& a, double b);
+  void AddGe(const Vector& a, double b);
+  void AddEq(const Vector& a, double b);
+
+  /// Adds the row x_var <= ub.
+  void SetUpperBound(size_t var, double ub);
+
+  SimplexResult Solve();
+
+  size_t num_vars() const { return num_vars_; }
+  size_t num_constraints() const { return relations_.size(); }
+
+ private:
+  enum class Relation { kLe, kGe, kEq };
+
+  void AddConstraint(const Vector& a, Relation relation, double b);
+
+  // Pivots the tableau on (pivot_row, pivot_col).
+  void Pivot(size_t pivot_row, size_t pivot_col);
+
+  // Runs simplex iterations on the current cost row. Returns false if the
+  // problem is unbounded in the current phase. `allowed_cols` bounds the
+  // entering-column search (used to exclude artificials in phase 2).
+  bool Iterate(size_t allowed_cols);
+
+  size_t num_vars_;
+  bool minimize_ = true;
+  Vector objective_;
+  std::vector<Vector> rows_;
+  std::vector<Relation> relations_;
+  Vector rhs_;
+
+  // Tableau state during Solve(). tableau_ has one row per constraint plus a
+  // trailing cost row; each row has total_cols_ + 1 entries (RHS last).
+  std::vector<Vector> tableau_;
+  std::vector<size_t> basis_;
+  size_t total_cols_ = 0;
+  size_t artificial_begin_ = 0;
+};
+
+}  // namespace memgoal::la
+
+#endif  // MEMGOAL_LA_SIMPLEX_H_

@@ -1,0 +1,72 @@
+#include "net/directory.h"
+
+#include "common/check.h"
+
+namespace memgoal::net {
+
+PageDirectory::PageDirectory(const storage::Database* database)
+    : database_(database), num_nodes_(database->num_nodes()),
+      cached_(static_cast<size_t>(database->num_pages()) * num_nodes_, false),
+      copy_count_(database->num_pages(), 0),
+      heat_(static_cast<size_t>(database->num_pages()) * num_nodes_, 0.0),
+      global_heat_(database->num_pages(), 0.0) {}
+
+void PageDirectory::OnPageCached(NodeId node, PageId page) {
+  MEMGOAL_DCHECK(node < num_nodes_ && page < database_->num_pages());
+  const size_t idx = Index(node, page);
+  if (cached_[idx]) return;
+  cached_[idx] = true;
+  ++copy_count_[page];
+  ++total_cached_;
+}
+
+void PageDirectory::OnPageDropped(NodeId node, PageId page) {
+  MEMGOAL_DCHECK(node < num_nodes_ && page < database_->num_pages());
+  const size_t idx = Index(node, page);
+  if (!cached_[idx]) return;
+  cached_[idx] = false;
+  MEMGOAL_CHECK(copy_count_[page] > 0);
+  --copy_count_[page];
+  --total_cached_;
+}
+
+bool PageDirectory::IsCachedAt(NodeId node, PageId page) const {
+  MEMGOAL_DCHECK(node < num_nodes_ && page < database_->num_pages());
+  return cached_[Index(node, page)];
+}
+
+int PageDirectory::CopyCount(PageId page) const {
+  MEMGOAL_DCHECK(page < database_->num_pages());
+  return copy_count_[page];
+}
+
+bool PageDirectory::IsLastCopy(NodeId node, PageId page) const {
+  return copy_count_[page] == 1 && IsCachedAt(node, page);
+}
+
+std::optional<NodeId> PageDirectory::FindCopy(PageId page,
+                                              NodeId except) const {
+  if (copy_count_[page] == 0) return std::nullopt;
+  const NodeId home = database_->HomeOf(page);
+  if (home != except && IsCachedAt(home, page)) return home;
+  for (uint32_t offset = 0; offset < num_nodes_; ++offset) {
+    const NodeId node = (home + offset) % num_nodes_;
+    if (node == except) continue;
+    if (IsCachedAt(node, page)) return node;
+  }
+  return std::nullopt;
+}
+
+void PageDirectory::ReportLocalHeat(NodeId node, PageId page, double heat) {
+  MEMGOAL_DCHECK(node < num_nodes_ && page < database_->num_pages());
+  const size_t idx = Index(node, page);
+  global_heat_[page] += heat - heat_[idx];
+  heat_[idx] = heat;
+}
+
+double PageDirectory::GlobalHeat(PageId page) const {
+  MEMGOAL_DCHECK(page < database_->num_pages());
+  return global_heat_[page];
+}
+
+}  // namespace memgoal::net

@@ -1,0 +1,73 @@
+#ifndef MEMGOAL_NET_DIRECTORY_H_
+#define MEMGOAL_NET_DIRECTORY_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "storage/database.h"
+#include "storage/types.h"
+
+namespace memgoal::net {
+
+/// Home-based page directory: tracks which nodes currently cache each page
+/// and aggregates per-node heat reports into a global heat per page.
+///
+/// In the modelled system this state lives at each page's home node and is
+/// maintained by control/hint messages; the simulation keeps it in one exact
+/// structure while the message *traffic* for maintaining it is generated and
+/// accounted by the cache layer (see DESIGN.md substitution table). The
+/// paper's cost-based replacement consumes three queries from here: is a
+/// local copy the last cached copy in the system (§6), where can a remote
+/// copy be fetched from, and what is the global heat of a page.
+class PageDirectory {
+ public:
+  explicit PageDirectory(const storage::Database* database);
+
+  // -- Copy tracking -------------------------------------------------------
+
+  /// Registers that `node` now caches `page`. Idempotent.
+  void OnPageCached(NodeId node, PageId page);
+
+  /// Registers that `node` dropped `page`. Idempotent.
+  void OnPageDropped(NodeId node, PageId page);
+
+  bool IsCachedAt(NodeId node, PageId page) const;
+  int CopyCount(PageId page) const;
+
+  /// True if `node` holds the only cached copy of `page` in the system.
+  bool IsLastCopy(NodeId node, PageId page) const;
+
+  /// A node other than `except` that caches `page`, if any. Prefers the
+  /// page's home node (no forward hop needed), then scans deterministically
+  /// from the home.
+  std::optional<NodeId> FindCopy(PageId page, NodeId except) const;
+
+  // -- Global heat ---------------------------------------------------------
+
+  /// Updates the heat contribution reported by `node` for `page`.
+  void ReportLocalHeat(NodeId node, PageId page, double heat);
+
+  /// Sum of the most recent per-node heat reports for `page`.
+  double GlobalHeat(PageId page) const;
+
+  /// Total pages currently cached somewhere (for tests/metrics).
+  uint64_t total_cached_pages() const { return total_cached_; }
+
+ private:
+  size_t Index(NodeId node, PageId page) const {
+    return static_cast<size_t>(page) * num_nodes_ + node;
+  }
+
+  const storage::Database* database_;
+  uint32_t num_nodes_;
+  std::vector<bool> cached_;        // [page * num_nodes + node]
+  std::vector<uint16_t> copy_count_;  // [page]
+  std::vector<double> heat_;        // [page * num_nodes + node]
+  std::vector<double> global_heat_;  // [page], maintained sum
+  uint64_t total_cached_ = 0;
+};
+
+}  // namespace memgoal::net
+
+#endif  // MEMGOAL_NET_DIRECTORY_H_

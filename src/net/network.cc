@@ -1,0 +1,74 @@
+#include "net/network.h"
+
+#include "common/check.h"
+
+namespace memgoal::net {
+
+const char* TrafficClassName(TrafficClass traffic_class) {
+  switch (traffic_class) {
+    case TrafficClass::kControl:
+      return "control";
+    case TrafficClass::kPage:
+      return "page";
+    case TrafficClass::kPartitionProtocol:
+      return "partition-protocol";
+    case TrafficClass::kHeatHint:
+      return "heat-hint";
+  }
+  return "?";
+}
+
+namespace {
+
+bool IsBestEffort(TrafficClass traffic_class) {
+  return traffic_class == TrafficClass::kPartitionProtocol ||
+         traffic_class == TrafficClass::kHeatHint;
+}
+
+}  // namespace
+
+Network::Network(sim::Simulator* simulator, const Params& params)
+    : simulator_(simulator), params_(params),
+      medium_(simulator, /*capacity=*/1, "network"),
+      loss_rng_(params.loss_seed) {
+  MEMGOAL_CHECK(params.bandwidth_mbit_per_s > 0.0);
+  MEMGOAL_CHECK(params.latency_ms >= 0.0);
+  MEMGOAL_CHECK(params.loss_probability >= 0.0 &&
+                params.loss_probability < 1.0);
+}
+
+sim::SimTime Network::TransmissionTime(uint32_t bytes) const {
+  const double bits = static_cast<double>(bytes) * 8.0;
+  return bits / (params_.bandwidth_mbit_per_s * 1e6) * 1e3;
+}
+
+sim::Task<bool> Network::Transfer(NodeId from, NodeId to, uint32_t bytes,
+                                  TrafficClass traffic_class) {
+  if (from == to) co_return true;
+  bytes_sent_[static_cast<int>(traffic_class)] += bytes;
+  ++messages_sent_[static_cast<int>(traffic_class)];
+  co_await medium_.Acquire();
+  co_await simulator_->Delay(TransmissionTime(bytes));
+  medium_.Release();
+  co_await simulator_->Delay(params_.latency_ms);
+  if (params_.loss_probability > 0.0 && IsBestEffort(traffic_class) &&
+      loss_rng_.NextDouble() < params_.loss_probability) {
+    ++messages_dropped_[static_cast<int>(traffic_class)];
+    co_return false;
+  }
+  co_return true;
+}
+
+uint64_t Network::total_bytes_sent() const {
+  uint64_t total = 0;
+  for (uint64_t b : bytes_sent_) total += b;
+  return total;
+}
+
+uint64_t Network::total_messages_sent() const {
+  uint64_t total = 0;
+  for (uint64_t m : messages_sent_) total += m;
+  return total;
+}
+
+}  // namespace memgoal::net

@@ -1,0 +1,98 @@
+#ifndef MEMGOAL_NET_NETWORK_H_
+#define MEMGOAL_NET_NETWORK_H_
+
+#include <array>
+#include <cstdint>
+
+#include "common/rng.h"
+#include "sim/resource.h"
+#include "sim/simulator.h"
+#include "sim/task.h"
+#include "storage/types.h"
+
+namespace memgoal::net {
+
+/// Categories of network traffic, accounted separately so the overhead
+/// experiment (§7.5) can report the partitioning-protocol share of total
+/// traffic.
+enum class TrafficClass {
+  /// Page-fetch requests, directory queries, forwards.
+  kControl = 0,
+  /// Page payload transfers (remote cache or remote disk reads).
+  kPage = 1,
+  /// Goal-partitioning protocol: agent measurement reports, coordinator
+  /// allocation commands, clamp feedback.
+  kPartitionProtocol = 2,
+  /// Threshold-triggered heat/copy hints of the cost-based replacement
+  /// policy.
+  kHeatHint = 3,
+};
+
+inline constexpr int kNumTrafficClasses = 4;
+
+const char* TrafficClassName(TrafficClass traffic_class);
+
+/// Shared-medium local network (the paper's 100 Mbit/s interconnect, §7.1).
+///
+/// Messages hold the single shared medium for their transmission time
+/// (bytes / bandwidth) FCFS, then incur a fixed propagation/processing
+/// latency off the medium. Per-category byte and message counters feed the
+/// overhead experiment.
+class Network {
+ public:
+  struct Params {
+    double bandwidth_mbit_per_s = 100.0;
+    /// Fixed per-message latency (propagation + protocol stack), in ms.
+    double latency_ms = 0.05;
+    /// Probability that a *best-effort* message (partition-protocol report
+    /// or heat hint) is lost after transmission. Page fetches and their
+    /// control messages are modeled reliable (the data path retransmits
+    /// below our level of abstraction); the partitioning feedback loop and
+    /// the hint dissemination are explicitly designed to tolerate loss, and
+    /// this knob is the failure-injection switch that proves it.
+    double loss_probability = 0.0;
+    /// Seed of the loss process.
+    uint64_t loss_seed = 0x1055;
+  };
+
+  Network(sim::Simulator* simulator, const Params& params);
+
+  /// Transmits `bytes` from `from` to `to`. Same-node transfers are free
+  /// and always delivered. Returns false if the message was lost (only
+  /// possible for best-effort categories under a nonzero loss_probability);
+  /// a lost message still occupied the medium for its transmission time.
+  sim::Task<bool> Transfer(NodeId from, NodeId to, uint32_t bytes,
+                           TrafficClass traffic_class);
+
+  /// Transmission time the medium is held for a message of `bytes`.
+  sim::SimTime TransmissionTime(uint32_t bytes) const;
+
+  double latency_ms() const { return params_.latency_ms; }
+
+  uint64_t bytes_sent(TrafficClass traffic_class) const {
+    return bytes_sent_[static_cast<int>(traffic_class)];
+  }
+  uint64_t messages_sent(TrafficClass traffic_class) const {
+    return messages_sent_[static_cast<int>(traffic_class)];
+  }
+  uint64_t total_bytes_sent() const;
+  uint64_t total_messages_sent() const;
+  uint64_t messages_dropped(TrafficClass traffic_class) const {
+    return messages_dropped_[static_cast<int>(traffic_class)];
+  }
+
+  const sim::Resource& medium() const { return medium_; }
+
+ private:
+  sim::Simulator* simulator_;
+  Params params_;
+  sim::Resource medium_;
+  common::Rng loss_rng_;
+  std::array<uint64_t, kNumTrafficClasses> bytes_sent_{};
+  std::array<uint64_t, kNumTrafficClasses> messages_sent_{};
+  std::array<uint64_t, kNumTrafficClasses> messages_dropped_{};
+};
+
+}  // namespace memgoal::net
+
+#endif  // MEMGOAL_NET_NETWORK_H_

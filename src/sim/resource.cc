@@ -1,0 +1,44 @@
+#include "sim/resource.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace memgoal::sim {
+
+Resource::Resource(Simulator* simulator, int capacity, std::string name)
+    : simulator_(simulator), capacity_(capacity), name_(std::move(name)) {
+  MEMGOAL_CHECK(capacity_ > 0);
+  busy_units_.Start(simulator_->Now(), 0.0);
+}
+
+void Resource::Seize(double waited_ms) {
+  ++in_use_;
+  MEMGOAL_CHECK(in_use_ <= capacity_);
+  ++total_acquisitions_;
+  wait_stats_.Add(waited_ms);
+  busy_units_.Update(simulator_->Now(), static_cast<double>(in_use_));
+}
+
+void Resource::Release() {
+  MEMGOAL_CHECK(in_use_ > 0);
+  if (!waiters_.empty()) {
+    // Hand the unit directly to the oldest waiter: in_use_ is unchanged.
+    Waiter waiter = waiters_.front();
+    waiters_.pop_front();
+    ++total_acquisitions_;
+    wait_stats_.Add(simulator_->Now() - waiter.enqueue_time);
+    simulator_->ScheduleResume(0.0, waiter.handle);
+  } else {
+    --in_use_;
+    busy_units_.Update(simulator_->Now(), static_cast<double>(in_use_));
+  }
+}
+
+Task<void> Resource::Use(SimTime service_time) {
+  co_await Acquire();
+  co_await simulator_->Delay(service_time);
+  Release();
+}
+
+}  // namespace memgoal::sim

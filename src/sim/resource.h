@@ -1,0 +1,99 @@
+#ifndef MEMGOAL_SIM_RESOURCE_H_
+#define MEMGOAL_SIM_RESOURCE_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "common/stats.h"
+#include "sim/simulator.h"
+#include "sim/task.h"
+
+namespace memgoal::sim {
+
+/// FCFS resource with a fixed number of service units.
+///
+/// Models queueing at CPUs, disks and the shared network medium. A process
+/// acquires one unit, holds it for its service time, and releases it:
+///
+///   co_await disk.Acquire();
+///   co_await simulator.Delay(service_time);
+///   disk.Release();
+///
+/// or equivalently `co_await disk.Use(service_time)`. Waiters are resumed in
+/// strict FIFO order through the event queue, preserving determinism.
+///
+/// The resource records utilization (time-weighted fraction of busy units)
+/// and queueing statistics, which the experiment harness reports.
+class Resource {
+ public:
+  Resource(Simulator* simulator, int capacity, std::string name);
+  Resource(const Resource&) = delete;
+  Resource& operator=(const Resource&) = delete;
+
+  /// Awaitable acquiring one unit (completes immediately if one is free).
+  auto Acquire() {
+    struct Awaiter {
+      Resource* resource;
+      SimTime enqueue_time;
+      bool await_ready() {
+        if (resource->in_use_ < resource->capacity_) {
+          resource->Seize(/*waited_ms=*/0.0);
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> handle) {
+        enqueue_time = resource->simulator_->Now();
+        resource->waiters_.push_back(Waiter{handle, enqueue_time});
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this, 0.0};
+  }
+
+  /// Releases one unit, waking the oldest waiter (if any) at the current
+  /// simulated time.
+  void Release();
+
+  /// Convenience process: acquire, hold for `service_time`, release.
+  Task<void> Use(SimTime service_time);
+
+  int capacity() const { return capacity_; }
+  int in_use() const { return in_use_; }
+  size_t queue_length() const { return waiters_.size(); }
+  const std::string& name() const { return name_; }
+
+  uint64_t total_acquisitions() const { return total_acquisitions_; }
+  /// Mean time acquirers spent queued before being served.
+  const common::RunningStats& wait_stats() const { return wait_stats_; }
+  /// Time-weighted mean fraction of busy units since construction.
+  double UtilizationAt(SimTime now) const {
+    return busy_units_.MeanAt(now) / static_cast<double>(capacity_);
+  }
+
+ private:
+  struct Waiter {
+    std::coroutine_handle<> handle;
+    SimTime enqueue_time;
+  };
+
+  // Accounts for one unit transitioning to busy (either immediately or when
+  // handed over from a releaser).
+  void Seize(double waited_ms);
+
+  Simulator* simulator_;
+  int capacity_;
+  std::string name_;
+  int in_use_ = 0;
+  std::deque<Waiter> waiters_;
+
+  uint64_t total_acquisitions_ = 0;
+  common::RunningStats wait_stats_;
+  common::TimeWeightedMean busy_units_;
+};
+
+}  // namespace memgoal::sim
+
+#endif  // MEMGOAL_SIM_RESOURCE_H_

@@ -1,0 +1,68 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace memgoal::sim {
+
+void Simulator::Schedule(SimTime delay, std::function<void()> fn) {
+  MEMGOAL_CHECK(delay >= 0.0);
+  queue_.push(Event{now_ + delay, next_seq_++, std::move(fn)});
+}
+
+void Simulator::At(SimTime when, std::function<void()> fn) {
+  MEMGOAL_CHECK(when >= now_);
+  queue_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+Simulator::~Simulator() {
+  // Destroying a root frame transitively destroys the frames of any tasks
+  // it is currently awaiting (they live in the root's co_await temporaries).
+  // Stale coroutine handles left in queued events or resource wait lists
+  // are never resumed after this point.
+  for (void* address : live_roots_) {
+    std::coroutine_handle<>::from_address(address).destroy();
+  }
+}
+
+void Simulator::OnRootDone(void* context, void* frame_address) {
+  static_cast<Simulator*>(context)->live_roots_.erase(frame_address);
+}
+
+void Simulator::ScheduleResume(SimTime delay,
+                               std::coroutine_handle<> handle) {
+  Schedule(delay, [handle]() { handle.resume(); });
+}
+
+bool Simulator::Step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; moving the closure out before pop() is
+  // safe because the element is removed immediately afterwards.
+  Event event = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  MEMGOAL_CHECK(event.time >= now_);
+  now_ = event.time;
+  ++events_processed_;
+  event.fn();
+  return true;
+}
+
+uint64_t Simulator::Run() {
+  uint64_t processed = 0;
+  while (Step()) ++processed;
+  return processed;
+}
+
+uint64_t Simulator::RunUntil(SimTime until) {
+  MEMGOAL_CHECK(until >= now_);
+  uint64_t processed = 0;
+  while (!queue_.empty() && queue_.top().time <= until) {
+    Step();
+    ++processed;
+  }
+  now_ = until;
+  return processed;
+}
+
+}  // namespace memgoal::sim

@@ -1,0 +1,127 @@
+#ifndef MEMGOAL_SIM_SIMULATOR_H_
+#define MEMGOAL_SIM_SIMULATOR_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/check.h"
+#include "sim/task.h"
+
+namespace memgoal::sim {
+
+/// Simulated time, in milliseconds. All model constants in the repository
+/// (disk service times, network transfer times, observation intervals) are
+/// expressed in this unit, matching the paper's reporting unit.
+using SimTime = double;
+
+/// Single-threaded discrete-event simulator with a stable event queue.
+///
+/// Two styles of client coexist:
+///  - callback events via Schedule()/At(), and
+///  - coroutine processes (Task<void>) started with Spawn() that co_await
+///    Delay(...) and Resource acquisitions.
+///
+/// Events scheduled for the same timestamp fire in scheduling order (FIFO),
+/// which together with single-threaded execution and explicit seeding makes
+/// every simulation bit-for-bit reproducible.
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Destroys any spawned process still suspended (e.g. infinite workload
+  /// loops waiting on a Delay); their coroutine frames — and, transitively,
+  /// the frames of tasks they are awaiting — are freed without resuming.
+  ~Simulator();
+
+  /// Current simulated time.
+  SimTime Now() const { return now_; }
+
+  /// Schedules `fn` to run `delay` milliseconds from now (delay >= 0).
+  void Schedule(SimTime delay, std::function<void()> fn);
+
+  /// Schedules `fn` at absolute time `when` (>= Now()).
+  void At(SimTime when, std::function<void()> fn);
+
+  /// Starts a fire-and-forget coroutine process. The process runs
+  /// immediately until its first suspension point; its frame frees itself on
+  /// completion. A value-returning task may be spawned; its result is
+  /// discarded.
+  template <typename T>
+  void Spawn(Task<T> task) {
+    auto handle = task.Release();
+    MEMGOAL_CHECK(handle);
+    auto& promise = handle.promise();
+    promise.detached = true;
+    promise.on_detached_done = &Simulator::OnRootDone;
+    promise.detached_done_context = this;
+    live_roots_.insert(handle.address());
+    handle.resume();
+  }
+
+  /// Awaitable that suspends the current process for `delay` milliseconds.
+  /// A zero delay still goes through the event queue, i.e. it yields to
+  /// other events already scheduled for the current time.
+  auto Delay(SimTime delay) {
+    struct Awaiter {
+      Simulator* simulator;
+      SimTime delay;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> handle) {
+        simulator->ScheduleResume(delay, handle);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this, delay};
+  }
+
+  /// Schedules `handle` to be resumed after `delay`. Building block for
+  /// custom awaitables (resources, signals).
+  void ScheduleResume(SimTime delay, std::coroutine_handle<> handle);
+
+  /// Runs until the event queue is empty. Returns the number of events
+  /// processed.
+  uint64_t Run();
+
+  /// Runs until simulated time reaches `until` (events at exactly `until`
+  /// are processed) or the queue drains. Time is advanced to `until` even if
+  /// the queue drains earlier. Returns the number of events processed.
+  uint64_t RunUntil(SimTime until);
+
+  /// Processes a single event if one exists. Returns false on empty queue.
+  bool Step();
+
+  uint64_t events_processed() const { return events_processed_; }
+  size_t pending_events() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime time;
+    uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  static void OnRootDone(void* context, void* frame_address);
+
+  SimTime now_ = 0.0;
+  uint64_t next_seq_ = 0;
+  uint64_t events_processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  // Frame addresses of spawned processes that have not completed.
+  std::unordered_set<void*> live_roots_;
+};
+
+}  // namespace memgoal::sim
+
+#endif  // MEMGOAL_SIM_SIMULATOR_H_

@@ -1,0 +1,103 @@
+#ifndef MEMGOAL_SIM_SYNC_H_
+#define MEMGOAL_SIM_SYNC_H_
+
+#include <coroutine>
+#include <vector>
+
+#include "common/check.h"
+#include "sim/simulator.h"
+
+namespace memgoal::sim {
+
+/// One-shot broadcast event: processes suspend on Wait() until some other
+/// process calls Set(), which wakes all of them (through the event queue,
+/// preserving FIFO determinism). Waiting on an already-set event completes
+/// immediately. Events are not resettable.
+class Event {
+ public:
+  explicit Event(Simulator* simulator) : simulator_(simulator) {}
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+
+  bool is_set() const { return set_; }
+
+  /// Sets the event and schedules every waiter for resumption. Idempotent.
+  void Set() {
+    if (set_) return;
+    set_ = true;
+    for (std::coroutine_handle<> handle : waiters_) {
+      simulator_->ScheduleResume(0.0, handle);
+    }
+    waiters_.clear();
+  }
+
+  /// Awaitable: suspends until Set() (no-op if already set).
+  auto Wait() {
+    struct Awaiter {
+      Event* event;
+      bool await_ready() const noexcept { return event->set_; }
+      void await_suspend(std::coroutine_handle<> handle) {
+        event->waiters_.push_back(handle);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+  size_t waiter_count() const { return waiters_.size(); }
+
+ private:
+  Simulator* simulator_;
+  bool set_ = false;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/// Fork/join counter: Add() before spawning child processes, Done() when
+/// each finishes, Wait() suspends until the count returns to zero. The
+/// count may rise and fall repeatedly; waiters wake whenever it *reaches*
+/// zero.
+class WaitGroup {
+ public:
+  explicit WaitGroup(Simulator* simulator) : simulator_(simulator) {}
+  WaitGroup(const WaitGroup&) = delete;
+  WaitGroup& operator=(const WaitGroup&) = delete;
+
+  void Add(int n = 1) {
+    MEMGOAL_CHECK(n >= 0);
+    count_ += n;
+  }
+
+  void Done() {
+    MEMGOAL_CHECK(count_ > 0);
+    if (--count_ == 0) {
+      for (std::coroutine_handle<> handle : waiters_) {
+        simulator_->ScheduleResume(0.0, handle);
+      }
+      waiters_.clear();
+    }
+  }
+
+  /// Awaitable: completes when the count is (or becomes) zero.
+  auto Wait() {
+    struct Awaiter {
+      WaitGroup* group;
+      bool await_ready() const noexcept { return group->count_ == 0; }
+      void await_suspend(std::coroutine_handle<> handle) {
+        group->waiters_.push_back(handle);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+  int count() const { return count_; }
+
+ private:
+  Simulator* simulator_;
+  int count_ = 0;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+}  // namespace memgoal::sim
+
+#endif  // MEMGOAL_SIM_SYNC_H_

@@ -1,0 +1,177 @@
+#ifndef MEMGOAL_SIM_TASK_H_
+#define MEMGOAL_SIM_TASK_H_
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+#include "common/check.h"
+
+namespace memgoal::sim {
+
+template <typename T>
+class Task;
+
+namespace internal {
+
+/// Promise machinery shared by Task<T> and Task<void>.
+///
+/// Tasks are lazy: the coroutine body does not run until the task is either
+/// co_awaited by a parent coroutine or detached via Simulator::Spawn. On
+/// completion, an awaited task symmetrically transfers control back to its
+/// parent; a detached task frees its own frame.
+struct PromiseBase {
+  /// Invoked just before a detached task frees its own frame, so the owner
+  /// (Simulator) can unregister the root. `frame_address` is the coroutine
+  /// frame address.
+  using DetachedDoneCallback = void (*)(void* context, void* frame_address);
+
+  std::coroutine_handle<> continuation;
+  bool detached = false;
+  DetachedDoneCallback on_detached_done = nullptr;
+  void* detached_done_context = nullptr;
+
+  struct FinalAwaiter {
+    bool await_ready() const noexcept { return false; }
+
+    template <typename Promise>
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<Promise> handle) noexcept {
+      PromiseBase& promise = handle.promise();
+      if (promise.detached) {
+        // Fire-and-forget process: nobody will co_await the result, so the
+        // frame is freed here. `handle` must not be touched afterwards.
+        if (promise.on_detached_done != nullptr) {
+          promise.on_detached_done(promise.detached_done_context,
+                                   handle.address());
+        }
+        handle.destroy();
+        return std::noop_coroutine();
+      }
+      // Lazily-started tasks can only reach final suspension after having
+      // been resumed by a parent, so a continuation is always present.
+      MEMGOAL_DCHECK(promise.continuation);
+      return promise.continuation;
+    }
+
+    void await_resume() const noexcept {}
+  };
+
+  std::suspend_always initial_suspend() const noexcept { return {}; }
+  FinalAwaiter final_suspend() const noexcept { return {}; }
+
+  // The library is exception-free by policy; an escaping exception in a
+  // simulation process is a programming error.
+  void unhandled_exception() { std::terminate(); }
+};
+
+}  // namespace internal
+
+/// An awaitable coroutine returning a value of type T.
+///
+/// Usage inside a simulation process:
+///
+///   sim::Task<int> Child();
+///   sim::Task<void> Parent() {
+///     int x = co_await Child();   // runs Child to completion (in sim time)
+///     ...
+///   }
+///
+/// A Task owns its coroutine frame; destroying an un-awaited task releases
+/// the frame without running the body. Tasks are move-only.
+template <typename T = void>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type : internal::PromiseBase {
+    T value{};
+
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_value(T v) { value = std::move(v); }
+  };
+
+  using Handle = std::coroutine_handle<promise_type>;
+
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      if (handle_) handle_.destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+
+  ~Task() {
+    if (handle_) handle_.destroy();
+  }
+
+  /// Relinquishes ownership of the coroutine frame (used by
+  /// Simulator::Spawn, which marks the frame self-destroying).
+  Handle Release() { return std::exchange(handle_, {}); }
+
+  // Awaiter interface: co_awaiting a task starts it and suspends the parent
+  // until the task completes.
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(
+      std::coroutine_handle<> parent) noexcept {
+    handle_.promise().continuation = parent;
+    return handle_;
+  }
+  T await_resume() { return std::move(handle_.promise().value); }
+
+ private:
+  explicit Task(Handle handle) : handle_(handle) {}
+
+  Handle handle_;
+};
+
+/// Specialization for processes that produce no value.
+template <>
+class [[nodiscard]] Task<void> {
+ public:
+  struct promise_type : internal::PromiseBase {
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_void() {}
+  };
+
+  using Handle = std::coroutine_handle<promise_type>;
+
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      if (handle_) handle_.destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+
+  ~Task() {
+    if (handle_) handle_.destroy();
+  }
+
+  Handle Release() { return std::exchange(handle_, {}); }
+
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(
+      std::coroutine_handle<> parent) noexcept {
+    handle_.promise().continuation = parent;
+    return handle_;
+  }
+  void await_resume() const noexcept {}
+
+ private:
+  explicit Task(Handle handle) : handle_(handle) {}
+
+  Handle handle_;
+};
+
+}  // namespace memgoal::sim
+
+#endif  // MEMGOAL_SIM_TASK_H_

@@ -1,0 +1,52 @@
+#ifndef MEMGOAL_STORAGE_DATABASE_H_
+#define MEMGOAL_STORAGE_DATABASE_H_
+
+#include <cstdint>
+
+#include "common/check.h"
+#include "storage/types.h"
+
+namespace memgoal::storage {
+
+/// Static description of the simulated database: M fixed-size pages, each
+/// with a permanent disk-resident copy at its *home* node. Homes are
+/// assigned round-robin across nodes (the paper's declustering scheme,
+/// §7.1: "distributed in a round-robin fashion over all nodes' disks").
+class Database {
+ public:
+  Database(uint32_t num_pages, uint32_t page_bytes, uint32_t num_nodes)
+      : num_pages_(num_pages), page_bytes_(page_bytes),
+        num_nodes_(num_nodes) {
+    MEMGOAL_CHECK(num_pages > 0);
+    MEMGOAL_CHECK(page_bytes > 0);
+    MEMGOAL_CHECK(num_nodes > 0);
+  }
+
+  uint32_t num_pages() const { return num_pages_; }
+  uint32_t page_bytes() const { return page_bytes_; }
+  uint32_t num_nodes() const { return num_nodes_; }
+  uint64_t total_bytes() const {
+    return static_cast<uint64_t>(num_pages_) * page_bytes_;
+  }
+
+  /// Home node of a page (owner of its permanent disk copy).
+  NodeId HomeOf(PageId page) const {
+    MEMGOAL_DCHECK(page < num_pages_);
+    return page % num_nodes_;
+  }
+
+  /// Number of pages homed at `node`.
+  uint32_t PagesHomedAt(NodeId node) const {
+    MEMGOAL_CHECK(node < num_nodes_);
+    return num_pages_ / num_nodes_ + (node < num_pages_ % num_nodes_ ? 1 : 0);
+  }
+
+ private:
+  uint32_t num_pages_;
+  uint32_t page_bytes_;
+  uint32_t num_nodes_;
+};
+
+}  // namespace memgoal::storage
+
+#endif  // MEMGOAL_STORAGE_DATABASE_H_

@@ -1,0 +1,19 @@
+#include "storage/types.h"
+
+namespace memgoal {
+
+const char* StorageLevelName(StorageLevel level) {
+  switch (level) {
+    case StorageLevel::kLocalBuffer:
+      return "local-buffer";
+    case StorageLevel::kRemoteBuffer:
+      return "remote-buffer";
+    case StorageLevel::kLocalDisk:
+      return "local-disk";
+    case StorageLevel::kRemoteDisk:
+      return "remote-disk";
+  }
+  return "?";
+}
+
+}  // namespace memgoal

@@ -1,0 +1,37 @@
+#ifndef MEMGOAL_STORAGE_TYPES_H_
+#define MEMGOAL_STORAGE_TYPES_H_
+
+#include <cstdint>
+
+namespace memgoal {
+
+/// Identifies a database page, 0-based.
+using PageId = uint32_t;
+
+/// Identifies a node in the network of workstations, 0-based.
+using NodeId = uint32_t;
+
+/// Identifies a workload class. Class 0 is always the no-goal class; goal
+/// classes are numbered 1..K (matching the paper's §3 convention).
+using ClassId = uint32_t;
+
+inline constexpr ClassId kNoGoalClass = 0;
+
+inline constexpr NodeId kInvalidNode = UINT32_MAX;
+
+/// Storage level a page access was ultimately served from. Tagging requests
+/// with this level is how the cost-based replacement policy learns access
+/// costs (§6).
+enum class StorageLevel {
+  kLocalBuffer = 0,
+  kRemoteBuffer = 1,
+  kLocalDisk = 2,
+  kRemoteDisk = 3,
+};
+
+/// Human-readable label for a storage level.
+const char* StorageLevelName(StorageLevel level);
+
+}  // namespace memgoal
+
+#endif  // MEMGOAL_STORAGE_TYPES_H_

@@ -1,0 +1,50 @@
+#include "txn/update_source.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace memgoal::txn {
+
+UpdateSource::UpdateSource(core::ClusterSystem* system,
+                           TransactionManager* manager, const Params& params)
+    : system_(system), manager_(manager), params_(params),
+      selector_(system->spec(params.klass)), rng_(system->ForkRng()) {
+  MEMGOAL_CHECK(params.mean_interarrival_ms > 0.0);
+  MEMGOAL_CHECK(params.reads_per_txn >= 0);
+  MEMGOAL_CHECK(params.writes_per_txn >= 0);
+  MEMGOAL_CHECK(params.reads_per_txn + params.writes_per_txn > 0);
+}
+
+void UpdateSource::Start() {
+  for (NodeId i = 0; i < system_->num_nodes(); ++i) {
+    system_->simulator().Spawn(ArrivalLoop(i));
+  }
+}
+
+sim::Task<void> UpdateSource::ArrivalLoop(NodeId node) {
+  while (true) {
+    co_await system_->simulator().Delay(
+        rng_.Exponential(params_.mean_interarrival_ms));
+    std::vector<PageId> reads(static_cast<size_t>(params_.reads_per_txn));
+    for (PageId& page : reads) page = selector_.Sample(&rng_);
+    std::vector<PageId> writes(static_cast<size_t>(params_.writes_per_txn));
+    for (PageId& page : writes) page = selector_.Sample(&rng_);
+    system_->simulator().Spawn(
+        RunOne(node, std::move(reads), std::move(writes)));
+  }
+}
+
+sim::Task<void> UpdateSource::RunOne(NodeId node, std::vector<PageId> reads,
+                                     std::vector<PageId> writes) {
+  const TxnResult result = co_await manager_->RunWithRetry(
+      node, params_.klass, std::move(reads), std::move(writes));
+  if (result.committed) {
+    ++committed_;
+    commit_latency_.Add(result.response_ms);
+  } else {
+    ++failed_;
+  }
+}
+
+}  // namespace memgoal::txn

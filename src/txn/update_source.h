@@ -1,0 +1,61 @@
+#ifndef MEMGOAL_TXN_UPDATE_SOURCE_H_
+#define MEMGOAL_TXN_UPDATE_SOURCE_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "core/system.h"
+#include "sim/task.h"
+#include "txn/transaction.h"
+#include "workload/page_selector.h"
+#include "workload/spec.h"
+
+namespace memgoal::txn {
+
+/// Open stream of read-write transactions, layered on top of the system's
+/// read-only workload classes: each arrival draws a read set and a write
+/// set from the class's page distribution and runs them through the
+/// TransactionManager.
+class UpdateSource {
+ public:
+  struct Params {
+    /// Class whose page distribution and identity the updates use.
+    ClassId klass = 1;
+    /// Mean inter-arrival of update transactions per node, ms.
+    double mean_interarrival_ms = 200.0;
+    int reads_per_txn = 3;
+    int writes_per_txn = 1;
+  };
+
+  UpdateSource(core::ClusterSystem* system, TransactionManager* manager,
+               const Params& params);
+
+  /// Spawns one arrival process per node. Call after system->Start().
+  void Start();
+
+  const common::RunningStats& commit_latency_ms() const {
+    return commit_latency_;
+  }
+  uint64_t committed() const { return committed_; }
+  uint64_t failed() const { return failed_; }
+
+ private:
+  sim::Task<void> ArrivalLoop(NodeId node);
+  sim::Task<void> RunOne(NodeId node, std::vector<PageId> reads,
+                         std::vector<PageId> writes);
+
+  core::ClusterSystem* system_;
+  TransactionManager* manager_;
+  Params params_;
+  workload::PageSelector selector_;
+  common::Rng rng_;
+  common::RunningStats commit_latency_;
+  uint64_t committed_ = 0;
+  uint64_t failed_ = 0;
+};
+
+}  // namespace memgoal::txn
+
+#endif  // MEMGOAL_TXN_UPDATE_SOURCE_H_

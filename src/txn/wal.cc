@@ -1,0 +1,25 @@
+#include "txn/wal.h"
+
+namespace memgoal::txn {
+
+uint64_t Wal::Append(uint64_t /*txn*/, uint32_t bytes) {
+  appended_bytes_ += bytes;
+  return next_lsn_++;
+}
+
+sim::Task<void> Wal::Force(uint64_t lsn) {
+  // Group commit: a force that starts after `lsn` was appended makes
+  // everything up to the current tail durable in one log write. Forces for
+  // already-durable LSNs are free.
+  while (durable_lsn_ < lsn) {
+    const uint64_t covers = next_lsn_ - 1;
+    ++forces_;
+    co_await disk_->WritePage();
+    // Everything appended before this write started is now durable. (A
+    // record appended *during* the write is covered by the next force —
+    // hence the loop.)
+    if (covers > durable_lsn_) durable_lsn_ = covers;
+  }
+}
+
+}  // namespace memgoal::txn

@@ -1,0 +1,52 @@
+#ifndef MEMGOAL_TXN_WAL_H_
+#define MEMGOAL_TXN_WAL_H_
+
+#include <cstdint>
+
+#include "sim/task.h"
+#include "storage/disk.h"
+#include "storage/types.h"
+
+namespace memgoal::txn {
+
+/// Per-node write-ahead log — the durability substrate of §3 ("we can
+/// guarantee durability by the WAL (Write-Ahead-Logging) principle").
+///
+/// Records are appended to an in-memory tail and become durable when a
+/// Force writes the tail to the log disk. Forces are grouped in the
+/// group-commit style: one log write covers every record appended before
+/// it started, and a force for an already-durable LSN returns immediately.
+class Wal {
+ public:
+  /// `disk` is the device log pages are written to (in this simulation the
+  /// node's data disk, as on the paper's single-disk nodes).
+  Wal(storage::Disk* disk, NodeId node)
+      : disk_(disk), node_(node) {}
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  /// Appends a record of `bytes` bytes; returns its LSN. Purely in-memory.
+  uint64_t Append(uint64_t txn, uint32_t bytes);
+
+  /// Makes everything up to `lsn` durable. Returns immediately if already
+  /// durable; otherwise performs (or waits for) the covering log write.
+  sim::Task<void> Force(uint64_t lsn);
+
+  uint64_t next_lsn() const { return next_lsn_; }
+  uint64_t durable_lsn() const { return durable_lsn_; }
+  uint64_t appended_bytes() const { return appended_bytes_; }
+  uint64_t forces() const { return forces_; }
+  NodeId node() const { return node_; }
+
+ private:
+  storage::Disk* disk_;
+  NodeId node_;
+  uint64_t next_lsn_ = 1;     // next LSN to hand out
+  uint64_t durable_lsn_ = 0;  // highest LSN on disk
+  uint64_t appended_bytes_ = 0;
+  uint64_t forces_ = 0;
+};
+
+}  // namespace memgoal::txn
+
+#endif  // MEMGOAL_TXN_WAL_H_

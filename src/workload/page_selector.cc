@@ -1,0 +1,43 @@
+#include "workload/page_selector.h"
+
+#include "common/check.h"
+
+namespace memgoal::workload {
+
+PageSelector::PageSelector(const ClassSpec& spec)
+    : primary_range_(spec.pages),
+      primary_(spec.pages.size(), spec.zipf_skew),
+      share_prob_(spec.share_prob) {
+  MEMGOAL_CHECK(spec.pages.size() > 0);
+  MEMGOAL_CHECK(share_prob_ >= 0.0 && share_prob_ <= 1.0);
+  if (spec.shared_pages.has_value()) {
+    MEMGOAL_CHECK(spec.shared_pages->size() > 0);
+    shared_range_ = spec.shared_pages;
+    shared_.emplace(spec.shared_pages->size(), spec.shared_skew);
+  } else {
+    MEMGOAL_CHECK(share_prob_ == 0.0);
+  }
+}
+
+PageId PageSelector::Sample(common::Rng* rng) const {
+  if (shared_.has_value() && rng->NextDouble() < share_prob_) {
+    return shared_range_->begin + shared_->Sample(rng);
+  }
+  return primary_range_.begin + primary_.Sample(rng);
+}
+
+double PageSelector::ProbabilityOf(PageId page) const {
+  double probability = 0.0;
+  if (page >= primary_range_.begin && page < primary_range_.end) {
+    probability +=
+        (1.0 - share_prob_) * primary_.ProbabilityOfRank(page - primary_range_.begin);
+  }
+  if (shared_range_.has_value() && page >= shared_range_->begin &&
+      page < shared_range_->end) {
+    probability +=
+        share_prob_ * shared_->ProbabilityOfRank(page - shared_range_->begin);
+  }
+  return probability;
+}
+
+}  // namespace memgoal::workload

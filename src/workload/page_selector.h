@@ -1,0 +1,38 @@
+#ifndef MEMGOAL_WORKLOAD_PAGE_SELECTOR_H_
+#define MEMGOAL_WORKLOAD_PAGE_SELECTOR_H_
+
+#include <optional>
+
+#include "common/rng.h"
+#include "storage/types.h"
+#include "workload/spec.h"
+#include "workload/zipf.h"
+
+namespace memgoal::workload {
+
+/// Draws page identities for one class according to its ClassSpec: Zipfian
+/// over the class's own range, mixed with an optional shared range. Rank 0
+/// maps to the first page of a range, so two classes configured with the
+/// same shared range also agree on which pages are hot — the property the
+/// data-sharing experiment (§7.4) relies on.
+class PageSelector {
+ public:
+  explicit PageSelector(const ClassSpec& spec);
+
+  PageId Sample(common::Rng* rng) const;
+
+  /// Stationary access probability of `page` under this selector (0 if the
+  /// page is outside all ranges). Used by tests and analytic baselines.
+  double ProbabilityOf(PageId page) const;
+
+ private:
+  PageRange primary_range_;
+  ZipfianGenerator primary_;
+  double share_prob_;
+  std::optional<PageRange> shared_range_;
+  std::optional<ZipfianGenerator> shared_;
+};
+
+}  // namespace memgoal::workload
+
+#endif  // MEMGOAL_WORKLOAD_PAGE_SELECTOR_H_

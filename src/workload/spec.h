@@ -1,0 +1,59 @@
+#ifndef MEMGOAL_WORKLOAD_SPEC_H_
+#define MEMGOAL_WORKLOAD_SPEC_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "storage/types.h"
+
+namespace memgoal::workload {
+
+/// Half-open page range [begin, end).
+struct PageRange {
+  PageId begin = 0;
+  PageId end = 0;
+
+  uint32_t size() const { return end - begin; }
+};
+
+/// Static description of one workload class (§3): a response-time goal (or
+/// none, for the no-goal class), the shape of its operations, and its page
+/// access distribution.
+///
+/// Data sharing across classes (§7.4) is expressed as a mixture: with
+/// probability `share_prob` an access is drawn Zipf(`shared_skew`) from
+/// `shared_pages` (typically another class's range) instead of the class's
+/// own range. share_prob = 0 gives fully disjoint page sets.
+struct ClassSpec {
+  ClassId id = kNoGoalClass;
+
+  /// Mean response-time goal in ms; nullopt marks the no-goal class. The
+  /// live goal can be changed at run time through the system.
+  std::optional<double> goal_rt_ms;
+
+  /// Page accesses per operation ("complexity", §7.2 uses 4).
+  int accesses_per_op = 4;
+
+  /// Mean exponential inter-arrival time of operations per node, ms.
+  double mean_interarrival_ms = 100.0;
+
+  /// Optional per-node override of the inter-arrival time (size must equal
+  /// the node count when non-empty). Skewed arrival distributions across
+  /// nodes are what make the §8 variance objective interesting: the busy
+  /// nodes' response times diverge from the idle ones'.
+  std::vector<double> per_node_interarrival_ms;
+
+  /// The class's own page set and access skew.
+  PageRange pages;
+  double zipf_skew = 0.0;
+
+  /// Optional shared component (see class comment).
+  std::optional<PageRange> shared_pages;
+  double share_prob = 0.0;
+  double shared_skew = 0.0;
+};
+
+}  // namespace memgoal::workload
+
+#endif  // MEMGOAL_WORKLOAD_SPEC_H_

@@ -1,0 +1,36 @@
+#include "workload/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace memgoal::workload {
+
+ZipfianGenerator::ZipfianGenerator(uint32_t n, double theta) : theta_(theta) {
+  MEMGOAL_CHECK(n > 0);
+  MEMGOAL_CHECK(theta >= 0.0);
+  cdf_.resize(n);
+  double cumulative = 0.0;
+  for (uint32_t r = 0; r < n; ++r) {
+    cumulative += 1.0 / std::pow(static_cast<double>(r + 1), theta);
+    cdf_[r] = cumulative;
+  }
+  const double total = cumulative;
+  for (double& v : cdf_) v /= total;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+uint32_t ZipfianGenerator::Sample(common::Rng* rng) const {
+  const double u = rng->NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<uint32_t>(it - cdf_.begin());
+}
+
+double ZipfianGenerator::ProbabilityOfRank(uint32_t rank) const {
+  MEMGOAL_CHECK(rank < cdf_.size());
+  if (rank == 0) return cdf_[0];
+  return cdf_[rank] - cdf_[rank - 1];
+}
+
+}  // namespace memgoal::workload

@@ -1,0 +1,37 @@
+#ifndef MEMGOAL_WORKLOAD_ZIPF_H_
+#define MEMGOAL_WORKLOAD_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace memgoal::workload {
+
+/// Zipfian rank distribution over {0, ..., n-1} with skew parameter theta,
+/// matching the paper's access model (§7.1): the access frequency of the
+/// item with rank r (1-based) is proportional to 1 / r^theta. theta = 0 is
+/// the uniform distribution; theta = 1 is "very highly skewed" (§7.3).
+///
+/// Sampling is O(log n) via binary search over the precomputed CDF.
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(uint32_t n, double theta);
+
+  /// Draws a rank in [0, n); rank 0 is the hottest item.
+  uint32_t Sample(common::Rng* rng) const;
+
+  /// Probability of the item with (0-based) rank `rank`.
+  double ProbabilityOfRank(uint32_t rank) const;
+
+  uint32_t n() const { return static_cast<uint32_t>(cdf_.size()); }
+  double theta() const { return theta_; }
+
+ private:
+  double theta_;
+  std::vector<double> cdf_;  // cdf_[r] = P(rank <= r)
+};
+
+}  // namespace memgoal::workload
+
+#endif  // MEMGOAL_WORKLOAD_ZIPF_H_

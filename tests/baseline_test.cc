@@ -1,0 +1,131 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "baseline/fencing.h"
+#include "baseline/static_controllers.h"
+#include "core/system.h"
+#include "workload/spec.h"
+
+namespace memgoal::baseline {
+namespace {
+
+core::SystemConfig TestConfig(uint64_t seed = 1) {
+  core::SystemConfig config;
+  config.num_nodes = 3;
+  config.cache_bytes_per_node = 64 * 4096;
+  config.db_pages = 200;
+  config.observation_interval_ms = 5000.0;
+  config.seed = seed;
+  return config;
+}
+
+workload::ClassSpec GoalClass(double goal_ms) {
+  workload::ClassSpec spec;
+  spec.id = 1;
+  spec.goal_rt_ms = goal_ms;
+  spec.accesses_per_op = 4;
+  spec.mean_interarrival_ms = 50.0;
+  spec.pages = {0, 100};
+  return spec;
+}
+
+workload::ClassSpec NoGoalClass() {
+  workload::ClassSpec spec;
+  spec.id = kNoGoalClass;
+  spec.accesses_per_op = 4;
+  spec.mean_interarrival_ms = 50.0;
+  spec.pages = {100, 200};
+  return spec;
+}
+
+TEST(StaticControllerTest, RejectsOverCommittedFractions) {
+  EXPECT_DEATH(StaticPartitioningController(
+                   std::map<ClassId, double>{{1, 0.7}, {2, 0.5}}),
+               "CHECK");
+}
+
+TEST(StaticControllerTest, RejectsNoGoalClassFraction) {
+  EXPECT_DEATH(
+      StaticPartitioningController(std::map<ClassId, double>{{0, 0.5}}),
+      "CHECK");
+}
+
+TEST(FragmentFencingTest, GrowsBufferWhenViolated) {
+  core::ClusterSystem system(TestConfig(41));
+  system.AddClass(GoalClass(1.0));  // tight: violated from the start
+  system.AddClass(NoGoalClass());
+  auto controller = std::make_unique<FragmentFencingController>();
+  FragmentFencingController* raw = controller.get();
+  system.SetController(std::move(controller));
+  system.Start();
+  system.RunIntervals(10);
+  EXPECT_GT(raw->adjustments(), 0u);
+  EXPECT_GT(system.TotalDedicatedBytes(1), 0u);
+}
+
+TEST(FragmentFencingTest, IdleWhenGoalLoose) {
+  core::ClusterSystem system(TestConfig(42));
+  system.AddClass(GoalClass(5000.0));
+  system.AddClass(NoGoalClass());
+  auto controller = std::make_unique<FragmentFencingController>();
+  FragmentFencingController* raw = controller.get();
+  system.SetController(std::move(controller));
+  system.Start();
+  system.RunIntervals(8);
+  // Never violated from above; with zero dedicated buffer there is nothing
+  // to release either.
+  EXPECT_EQ(system.TotalDedicatedBytes(1), 0u);
+  EXPECT_EQ(raw->adjustments(), 0u);
+}
+
+TEST(ClassFencingTest, AdjustsTowardsAchievableGoal) {
+  core::ClusterSystem system(TestConfig(43));
+  system.AddClass(GoalClass(2.5));
+  system.AddClass(NoGoalClass());
+  auto controller = std::make_unique<ClassFencingController>();
+  ClassFencingController* raw = controller.get();
+  system.SetController(std::move(controller));
+  system.Start();
+  system.RunIntervals(25);
+  EXPECT_GT(raw->adjustments(), 0u);
+  // Must have built a dedicated buffer at some point and ended with a
+  // non-absurd allocation (clamped to capacity).
+  EXPECT_LE(system.TotalDedicatedBytes(1),
+            3ull * TestConfig().cache_bytes_per_node);
+}
+
+TEST(FencingTest, DistributionFollowsArrivalRates) {
+  // With equal arrival rates everywhere, the aggregate splits evenly.
+  core::ClusterSystem system(TestConfig(44));
+  system.AddClass(GoalClass(1.0));
+  system.AddClass(NoGoalClass());
+  system.SetController(std::make_unique<FragmentFencingController>());
+  system.Start();
+  system.RunIntervals(6);
+  const uint64_t d0 = system.DedicatedBytes(1, 0);
+  const uint64_t d1 = system.DedicatedBytes(1, 1);
+  const uint64_t d2 = system.DedicatedBytes(1, 2);
+  ASSERT_GT(d0 + d1 + d2, 0u);
+  // Roughly even split; Poisson arrival-rate noise allows some skew.
+  const auto max_d = std::max({d0, d1, d2});
+  const auto min_d = std::min({d0, d1, d2});
+  EXPECT_LE(static_cast<double>(max_d), 1.6 * static_cast<double>(min_d));
+}
+
+TEST(FencingTest, ToleranceResetsOnGoalChange) {
+  core::ClusterSystem system(TestConfig(45));
+  system.AddClass(GoalClass(5.0));
+  system.AddClass(NoGoalClass());
+  system.SetController(std::make_unique<ClassFencingController>());
+  system.Start();
+  system.RunIntervals(6);
+  const double before = system.controller().ToleranceFor(1);
+  EXPECT_GT(before, 0.0);
+  system.SetGoal(1, 50.0);
+  // Fresh goal: only the relative floor applies.
+  EXPECT_DOUBLE_EQ(system.controller().ToleranceFor(1), 0.05 * 50.0);
+}
+
+}  // namespace
+}  // namespace memgoal::baseline

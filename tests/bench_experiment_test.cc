@@ -1,0 +1,120 @@
+// Tests for the experiment-protocol support library used by the benchmark
+// harness (goal-band calibration and the §7.1 goal-change driver).
+
+#include "bench/experiment.h"
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+namespace memgoal::bench {
+namespace {
+
+// gtest's Test::Setup() member shadows the bench::Setup type inside TEST
+// bodies; the alias keeps name lookup unambiguous.
+using ExperimentSetup = ::memgoal::bench::Setup;
+
+// Small, fast setup for protocol tests.
+ExperimentSetup SmallSetup(uint64_t seed) {
+  ExperimentSetup setup;
+  setup.seed = seed;
+  setup.pages_per_class = 100;
+  setup.cache_bytes_per_node = 64 * 4096;
+  setup.interarrival_ms = 50.0;
+  setup.observation_interval_ms = 2000.0;
+  return setup;
+}
+
+TEST(ExperimentTest, BuildSystemLaysOutDisjointRanges) {
+  ExperimentSetup setup = SmallSetup(1);
+  setup.goal_classes = 2;
+  std::unique_ptr<core::ClusterSystem> system = BuildSystem(setup);
+  EXPECT_EQ(system->database().num_pages(), 300u);
+  EXPECT_EQ(system->spec(1).pages.begin, 0u);
+  EXPECT_EQ(system->spec(1).pages.end, 100u);
+  EXPECT_EQ(system->spec(2).pages.begin, 100u);
+  EXPECT_EQ(system->spec(kNoGoalClass).pages.begin, 200u);
+  EXPECT_EQ(system->spec(kNoGoalClass).pages.end, 300u);
+}
+
+TEST(ExperimentTest, SharingConfiguredOnClassTwo) {
+  ExperimentSetup setup = SmallSetup(1);
+  setup.goal_classes = 2;
+  setup.share_prob = 0.5;
+  std::unique_ptr<core::ClusterSystem> system = BuildSystem(setup);
+  const workload::ClassSpec& k2 = system->spec(2);
+  ASSERT_TRUE(k2.shared_pages.has_value());
+  EXPECT_EQ(k2.shared_pages->begin, 0u);
+  EXPECT_EQ(k2.shared_pages->end, 100u);
+  EXPECT_DOUBLE_EQ(k2.share_prob, 0.5);
+  EXPECT_FALSE(system->spec(1).shared_pages.has_value());
+}
+
+TEST(ExperimentTest, CalibrationMonotoneOverOperatingBand) {
+  // More dedicated buffer means faster goal class in the operating band.
+  const ExperimentSetup setup = SmallSetup(7);
+  const double rt_half = CalibrateRt(setup, 1, 0.5, /*intervals=*/12);
+  const double rt_two_thirds =
+      CalibrateRt(setup, 1, 2.0 / 3.0, /*intervals=*/12);
+  EXPECT_LT(rt_two_thirds, rt_half);
+}
+
+TEST(ExperimentTest, GoalBandIsBindingAndOrdered) {
+  const GoalBand band = CalibrateGoalBand(SmallSetup(9));
+  EXPECT_LT(band.lo, band.hi);
+  EXPECT_LE(band.hi, 0.75 * band.rt_zero + 1e-9);
+  EXPECT_GT(band.rt_zero, 0.0);
+}
+
+TEST(GoalChangeDriverTest, CountsIterationsAndChangesGoals) {
+  ExperimentSetup setup = SmallSetup(11);
+  std::unique_ptr<core::ClusterSystem> system = BuildSystem(setup);
+  const GoalBand band = CalibrateGoalBand(SmallSetup(12));
+  GoalChangeDriver driver(system.get(), 1, band.lo, band.hi, 99);
+  const double first_goal = system->spec(1).goal_rt_ms.value();
+  EXPECT_GE(first_goal, band.lo);
+  EXPECT_LE(first_goal, band.hi);
+
+  system->SetIntervalCallback([&](const core::IntervalRecord& record) {
+    driver.OnInterval(record);
+  });
+  system->Start();
+  system->RunIntervals(60);
+
+  // Multiple goals must have been completed; the first (cold) one is not a
+  // sample.
+  EXPECT_GT(driver.goals_completed(), 1);
+  EXPECT_EQ(driver.iterations().count(), driver.goals_completed() - 1);
+  EXPECT_GE(driver.iterations().min(), 1.0);
+}
+
+TEST(GoalChangeDriverTest, NewGoalDiffersSignificantly) {
+  // Drive the protocol for a while and check every goal change moved by at
+  // least a quarter of the band.
+  ExperimentSetup setup = SmallSetup(13);
+  std::unique_ptr<core::ClusterSystem> system = BuildSystem(setup);
+  const GoalBand band = CalibrateGoalBand(SmallSetup(12));
+  GoalChangeDriver driver(system.get(), 1, band.lo, band.hi, 5);
+  double last_goal = system->spec(1).goal_rt_ms.value();
+  bool all_significant = true;
+  int changes = 0;
+  system->SetIntervalCallback([&](const core::IntervalRecord& record) {
+    driver.OnInterval(record);
+    const double goal = system->spec(1).goal_rt_ms.value();
+    if (goal != last_goal) {
+      ++changes;
+      if (std::fabs(goal - last_goal) < 0.25 * (band.hi - band.lo)) {
+        all_significant = false;
+      }
+      last_goal = goal;
+    }
+  });
+  system->Start();
+  system->RunIntervals(60);
+  EXPECT_GT(changes, 0);
+  EXPECT_TRUE(all_significant);
+}
+
+}  // namespace
+}  // namespace memgoal::bench

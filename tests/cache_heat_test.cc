@@ -1,0 +1,86 @@
+#include "cache/heat.h"
+
+#include <gtest/gtest.h>
+
+namespace memgoal::cache {
+namespace {
+
+TEST(HeatTrackerTest, NeverAccessedIsZero) {
+  HeatTracker tracker(2);
+  EXPECT_DOUBLE_EQ(tracker.HeatOf(1, 100.0), 0.0);
+  EXPECT_EQ(tracker.AccessCount(1), 0);
+}
+
+TEST(HeatTrackerTest, SingleAccessHeat) {
+  HeatTracker tracker(2, /*epsilon_ms=*/1.0);
+  tracker.RecordAccess(1, 100.0);
+  // heat = 1 / (now - t1 + eps).
+  EXPECT_DOUBLE_EQ(tracker.HeatOf(1, 150.0), 1.0 / 51.0);
+  EXPECT_EQ(tracker.AccessCount(1), 1);
+}
+
+TEST(HeatTrackerTest, LruKUsesKthMostRecent) {
+  HeatTracker tracker(2, 1.0);
+  tracker.RecordAccess(1, 100.0);
+  tracker.RecordAccess(1, 200.0);
+  tracker.RecordAccess(1, 300.0);
+  // K=2: second most recent access is at t=200.
+  EXPECT_DOUBLE_EQ(tracker.BackwardKTime(1), 200.0);
+  EXPECT_DOUBLE_EQ(tracker.HeatOf(1, 400.0), 2.0 / 201.0);
+}
+
+TEST(HeatTrackerTest, HeatDecaysOverTime) {
+  HeatTracker tracker(2, 1.0);
+  tracker.RecordAccess(1, 0.0);
+  tracker.RecordAccess(1, 10.0);
+  const double early = tracker.HeatOf(1, 20.0);
+  const double late = tracker.HeatOf(1, 2000.0);
+  EXPECT_GT(early, late);
+}
+
+TEST(HeatTrackerTest, FrequentAccessesAreHotter) {
+  HeatTracker tracker(2, 1.0);
+  tracker.RecordAccess(1, 90.0);
+  tracker.RecordAccess(1, 100.0);
+  tracker.RecordAccess(2, 10.0);
+  tracker.RecordAccess(2, 100.0);
+  EXPECT_GT(tracker.HeatOf(1, 101.0), tracker.HeatOf(2, 101.0));
+}
+
+TEST(HeatTrackerTest, HistorySurvivesForget) {
+  HeatTracker tracker(2);
+  tracker.RecordAccess(1, 10.0);
+  EXPECT_EQ(tracker.tracked_pages(), 1u);
+  tracker.Forget(1);
+  EXPECT_EQ(tracker.tracked_pages(), 0u);
+  EXPECT_DOUBLE_EQ(tracker.HeatOf(1, 20.0), 0.0);
+}
+
+TEST(HeatTrackerTest, BackwardKTimeBeforeKAccesses) {
+  HeatTracker tracker(3);
+  tracker.RecordAccess(1, 50.0);
+  tracker.RecordAccess(1, 60.0);
+  // Only 2 of 3 accesses: oldest retained is t=50.
+  EXPECT_DOUBLE_EQ(tracker.BackwardKTime(1), 50.0);
+}
+
+class HeatKSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HeatKSweepTest, CircularBufferWrapsCorrectly) {
+  const int k = GetParam();
+  HeatTracker tracker(k, 1.0);
+  // 3k accesses at times 1, 2, ..., 3k.
+  for (int t = 1; t <= 3 * k; ++t) {
+    tracker.RecordAccess(7, static_cast<double>(t));
+  }
+  // The K-th most recent is at time 3k - (k - 1) = 2k + 1.
+  EXPECT_DOUBLE_EQ(tracker.BackwardKTime(7), static_cast<double>(2 * k + 1));
+  const double now = static_cast<double>(3 * k + 10);
+  EXPECT_DOUBLE_EQ(tracker.HeatOf(7, now),
+                   static_cast<double>(k) / (now - (2 * k + 1) + 1.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, HeatKSweepTest, ::testing::Values(1, 2, 3, 5, 8));
+
+}  // namespace
+}  // namespace memgoal::cache

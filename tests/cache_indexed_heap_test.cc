@@ -1,0 +1,113 @@
+#include "cache/indexed_heap.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace memgoal::cache {
+namespace {
+
+TEST(IndexedMinHeapTest, BasicInsertPeekPop) {
+  IndexedMinHeap<int> heap;
+  EXPECT_TRUE(heap.empty());
+  heap.Insert(10, 3.0);
+  heap.Insert(20, 1.0);
+  heap.Insert(30, 2.0);
+  EXPECT_EQ(heap.size(), 3u);
+  EXPECT_EQ(heap.Peek().first, 20);
+  heap.Pop();
+  EXPECT_EQ(heap.Peek().first, 30);
+  heap.Pop();
+  EXPECT_EQ(heap.Peek().first, 10);
+  heap.Pop();
+  EXPECT_TRUE(heap.empty());
+}
+
+TEST(IndexedMinHeapTest, UpdateMovesBothDirections) {
+  IndexedMinHeap<int> heap;
+  heap.Insert(1, 1.0);
+  heap.Insert(2, 2.0);
+  heap.Insert(3, 3.0);
+  heap.Update(3, 0.5);  // decrease
+  EXPECT_EQ(heap.Peek().first, 3);
+  heap.Update(3, 10.0);  // increase
+  EXPECT_EQ(heap.Peek().first, 1);
+  heap.Update(4, 0.1);  // insert-via-update
+  EXPECT_EQ(heap.Peek().first, 4);
+}
+
+TEST(IndexedMinHeapTest, EraseMiddle) {
+  IndexedMinHeap<int> heap;
+  for (int i = 0; i < 10; ++i) heap.Insert(i, static_cast<double>(i));
+  heap.Erase(0);
+  heap.Erase(5);
+  EXPECT_EQ(heap.size(), 8u);
+  EXPECT_FALSE(heap.Contains(5));
+  EXPECT_EQ(heap.Peek().first, 1);
+}
+
+TEST(IndexedMinHeapTest, TieBrokenById) {
+  IndexedMinHeap<int> heap;
+  heap.Insert(7, 1.0);
+  heap.Insert(3, 1.0);
+  heap.Insert(5, 1.0);
+  EXPECT_EQ(heap.Peek().first, 3);
+}
+
+TEST(IndexedMinHeapTest, KeyOf) {
+  IndexedMinHeap<int> heap;
+  heap.Insert(1, 4.5);
+  EXPECT_DOUBLE_EQ(heap.KeyOf(1), 4.5);
+  heap.Update(1, 2.5);
+  EXPECT_DOUBLE_EQ(heap.KeyOf(1), 2.5);
+}
+
+// Property: under a random op sequence the heap always pops the exact
+// minimum of a reference map.
+class IndexedHeapPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(IndexedHeapPropertyTest, MatchesReferenceModel) {
+  common::Rng rng(static_cast<uint64_t>(GetParam()));
+  IndexedMinHeap<int> heap;
+  std::map<int, double> reference;
+
+  for (int step = 0; step < 3000; ++step) {
+    const int op = static_cast<int>(rng.UniformInt(0, 3));
+    const int id = static_cast<int>(rng.UniformInt(0, 100));
+    if (op == 0) {  // insert or update
+      const double key = rng.Uniform(0.0, 10.0);
+      heap.Update(id, key);
+      reference[id] = key;
+    } else if (op == 1 && reference.count(id)) {
+      heap.Erase(id);
+      reference.erase(id);
+    } else if (op == 2 && !reference.empty()) {
+      // Verify the heap min matches the reference min (key, id) order.
+      auto best = reference.begin();
+      for (auto it = reference.begin(); it != reference.end(); ++it) {
+        if (it->second < best->second ||
+            (it->second == best->second && it->first < best->first)) {
+          best = it;
+        }
+      }
+      ASSERT_EQ(heap.Peek().first, best->first);
+      ASSERT_DOUBLE_EQ(heap.Peek().second, best->second);
+    } else if (op == 3 && !reference.empty()) {
+      const int top = heap.Peek().first;
+      heap.Pop();
+      ASSERT_EQ(reference.count(top), 1u);
+      reference.erase(top);
+    }
+    ASSERT_EQ(heap.size(), reference.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IndexedHeapPropertyTest,
+                         ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace memgoal::cache

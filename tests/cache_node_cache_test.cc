@@ -1,0 +1,160 @@
+#include "cache/node_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "cache/replacement.h"
+
+namespace memgoal::cache {
+namespace {
+
+constexpr uint32_t kPage = 4096;
+constexpr uint64_t kTotal = 8 * kPage;
+
+NodeCache MakeCache() {
+  return NodeCache(/*node=*/0, kTotal, kPage,
+                   [](ClassId) { return MakeLruPolicy(); });
+}
+
+TEST(NodeCacheTest, NoGoalPoolStartsWithFullBudget) {
+  NodeCache cache = MakeCache();
+  EXPECT_EQ(cache.nogoal_bytes(), kTotal);
+  EXPECT_EQ(cache.total_dedicated_bytes(), 0u);
+}
+
+TEST(NodeCacheTest, MissThenFetchIntoNoGoalPool) {
+  NodeCache cache = MakeCache();
+  auto access = cache.OnAccess(kNoGoalClass, 1);
+  EXPECT_FALSE(access.hit);
+  auto insert = cache.InsertFetched(kNoGoalClass, 1);
+  EXPECT_TRUE(insert.inserted);
+  EXPECT_TRUE(cache.IsCached(1));
+  EXPECT_EQ(cache.LocationOf(1), kNoGoalClass);
+  EXPECT_TRUE(cache.OnAccess(kNoGoalClass, 1).hit);
+}
+
+TEST(NodeCacheTest, GoalClassWithoutPoolBytesFallsBackToNoGoal) {
+  NodeCache cache = MakeCache();
+  cache.EnsureDedicatedPool(1);  // 0 bytes
+  auto insert = cache.InsertFetched(1, 5);
+  EXPECT_TRUE(insert.inserted);
+  EXPECT_EQ(cache.LocationOf(5), kNoGoalClass);
+}
+
+TEST(NodeCacheTest, DedicatedInsertAfterAllocation) {
+  NodeCache cache = MakeCache();
+  std::vector<PageId> dropped;
+  const uint64_t granted = cache.SetDedicatedBytes(1, 2 * kPage, &dropped);
+  EXPECT_EQ(granted, 2u * kPage);
+  EXPECT_EQ(cache.nogoal_bytes(), kTotal - 2 * kPage);
+  auto insert = cache.InsertFetched(1, 5);
+  EXPECT_TRUE(insert.inserted);
+  EXPECT_EQ(cache.LocationOf(5), 1u);
+}
+
+TEST(NodeCacheTest, PromotionFromNoGoalPool) {
+  NodeCache cache = MakeCache();
+  cache.InsertFetched(kNoGoalClass, 7);
+  std::vector<PageId> dropped;
+  cache.SetDedicatedBytes(1, 2 * kPage, &dropped);
+  // Class-1 access promotes the page out of the no-goal pool (§6).
+  auto access = cache.OnAccess(1, 7);
+  EXPECT_TRUE(access.hit);
+  EXPECT_EQ(cache.LocationOf(7), 1u);
+}
+
+TEST(NodeCacheTest, NoPromotionBetweenDedicatedPools) {
+  NodeCache cache = MakeCache();
+  std::vector<PageId> dropped;
+  cache.SetDedicatedBytes(1, 2 * kPage, &dropped);
+  cache.SetDedicatedBytes(2, 2 * kPage, &dropped);
+  cache.InsertFetched(1, 9);
+  ASSERT_EQ(cache.LocationOf(9), 1u);
+  // Class 2 hits the page where it is; no movement (§6).
+  auto access = cache.OnAccess(2, 9);
+  EXPECT_TRUE(access.hit);
+  EXPECT_EQ(cache.LocationOf(9), 1u);
+}
+
+TEST(NodeCacheTest, NoGoalAccessHitsDedicatedPage) {
+  NodeCache cache = MakeCache();
+  std::vector<PageId> dropped;
+  cache.SetDedicatedBytes(1, 2 * kPage, &dropped);
+  cache.InsertFetched(1, 9);
+  auto access = cache.OnAccess(kNoGoalClass, 9);
+  EXPECT_TRUE(access.hit);
+  EXPECT_EQ(cache.LocationOf(9), 1u);
+}
+
+TEST(NodeCacheTest, DedicatedEvictionDropsCompletely) {
+  NodeCache cache = MakeCache();
+  std::vector<PageId> dropped;
+  cache.SetDedicatedBytes(1, kPage, &dropped);  // one frame
+  cache.InsertFetched(1, 1);
+  auto insert = cache.InsertFetched(1, 2);
+  EXPECT_TRUE(insert.inserted);
+  ASSERT_EQ(insert.dropped.size(), 1u);
+  EXPECT_EQ(insert.dropped[0], 1u);
+  // Dropped, not demoted: page 1 gone from the node entirely.
+  EXPECT_FALSE(cache.IsCached(1));
+}
+
+TEST(NodeCacheTest, GrowingDedicatedSqueezesNoGoal) {
+  NodeCache cache = MakeCache();
+  // Fill the no-goal pool.
+  for (PageId p = 0; p < 8; ++p) cache.InsertFetched(kNoGoalClass, p);
+  EXPECT_EQ(cache.resident_pages(), 8u);
+  std::vector<PageId> dropped;
+  cache.SetDedicatedBytes(1, 3 * kPage, &dropped);
+  EXPECT_EQ(dropped.size(), 3u);
+  EXPECT_EQ(cache.resident_pages(), 5u);
+}
+
+TEST(NodeCacheTest, ShrinkingDedicatedReturnsBytesToNoGoal) {
+  NodeCache cache = MakeCache();
+  std::vector<PageId> dropped;
+  cache.SetDedicatedBytes(1, 4 * kPage, &dropped);
+  cache.InsertFetched(1, 1);
+  cache.InsertFetched(1, 2);
+  dropped.clear();
+  cache.SetDedicatedBytes(1, kPage, &dropped);
+  EXPECT_EQ(dropped.size(), 1u);
+  EXPECT_EQ(cache.nogoal_bytes(), kTotal - kPage);
+}
+
+TEST(NodeCacheTest, AllocationClampedToAvailable) {
+  NodeCache cache = MakeCache();
+  std::vector<PageId> dropped;
+  cache.SetDedicatedBytes(1, 6 * kPage, &dropped);
+  // Class 2 asks for more than remains: clamped (§5e).
+  const uint64_t granted = cache.SetDedicatedBytes(2, 4 * kPage, &dropped);
+  EXPECT_EQ(granted, 2u * kPage);
+  EXPECT_EQ(cache.AvailableForClass(2), 2u * kPage);
+  // Class 1 could still grow into its own current allocation.
+  EXPECT_EQ(cache.AvailableForClass(1), 6u * kPage);
+  EXPECT_EQ(cache.nogoal_bytes(), 0u);
+}
+
+TEST(NodeCacheTest, PageResidesInExactlyOnePool) {
+  NodeCache cache = MakeCache();
+  std::vector<PageId> dropped;
+  cache.SetDedicatedBytes(1, 2 * kPage, &dropped);
+  cache.InsertFetched(kNoGoalClass, 3);
+  cache.OnAccess(1, 3);  // promote
+  EXPECT_EQ(cache.LocationOf(3), 1u);
+  EXPECT_EQ(cache.resident_pages(), 1u);
+  // A second class-1 access is a plain dedicated-pool hit.
+  EXPECT_TRUE(cache.OnAccess(1, 3).hit);
+  EXPECT_EQ(cache.resident_pages(), 1u);
+}
+
+TEST(NodeCacheTest, ZeroFramePromotionLeavesPageInNoGoal) {
+  NodeCache cache = MakeCache();
+  cache.EnsureDedicatedPool(1);  // zero bytes
+  cache.InsertFetched(kNoGoalClass, 4);
+  auto access = cache.OnAccess(1, 4);
+  EXPECT_TRUE(access.hit);
+  EXPECT_EQ(cache.LocationOf(4), kNoGoalClass);
+}
+
+}  // namespace
+}  // namespace memgoal::cache

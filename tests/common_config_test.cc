@@ -1,0 +1,73 @@
+#include "common/config.h"
+
+#include <gtest/gtest.h>
+
+namespace memgoal::common {
+namespace {
+
+TEST(ConfigTest, ParseArgs) {
+  const char* argv[] = {"prog", "nodes=5", "skew=0.75", "name=base"};
+  Config config;
+  ASSERT_TRUE(config.ParseArgs(4, argv));
+  EXPECT_EQ(config.GetInt("nodes", 0), 5);
+  EXPECT_DOUBLE_EQ(config.GetDouble("skew", 0.0), 0.75);
+  EXPECT_EQ(config.GetString("name", ""), "base");
+}
+
+TEST(ConfigTest, MalformedArgRejected) {
+  const char* argv[] = {"prog", "no_equals_sign"};
+  Config config;
+  EXPECT_FALSE(config.ParseArgs(2, argv));
+  EXPECT_FALSE(config.error().empty());
+}
+
+TEST(ConfigTest, FallbacksUsedWhenAbsent) {
+  Config config;
+  EXPECT_EQ(config.GetInt("missing", 42), 42);
+  EXPECT_DOUBLE_EQ(config.GetDouble("missing", 1.5), 1.5);
+  EXPECT_EQ(config.GetString("missing", "x"), "x");
+  EXPECT_TRUE(config.GetBool("missing", true));
+}
+
+TEST(ConfigTest, ParseTextWithCommentsAndBlanks) {
+  Config config;
+  ASSERT_TRUE(config.ParseText(
+      "# a comment\n"
+      "nodes = 3\n"
+      "\n"
+      "cache_bytes=2097152   # trailing comment\n"));
+  EXPECT_EQ(config.GetInt("nodes", 0), 3);
+  EXPECT_EQ(config.GetInt("cache_bytes", 0), 2097152);
+}
+
+TEST(ConfigTest, BoolSpellings) {
+  Config config;
+  config.Set("a", "true");
+  config.Set("b", "0");
+  config.Set("c", "yes");
+  config.Set("d", "off");
+  EXPECT_TRUE(config.GetBool("a", false));
+  EXPECT_FALSE(config.GetBool("b", true));
+  EXPECT_TRUE(config.GetBool("c", false));
+  EXPECT_FALSE(config.GetBool("d", true));
+}
+
+TEST(ConfigTest, UnusedKeysReported) {
+  Config config;
+  config.Set("used", "1");
+  config.Set("unused", "2");
+  config.GetInt("used", 0);
+  const auto unused = config.UnusedKeys();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "unused");
+}
+
+TEST(ConfigTest, LastSetWins) {
+  Config config;
+  config.Set("k", "1");
+  config.Set("k", "2");
+  EXPECT_EQ(config.GetInt("k", 0), 2);
+}
+
+}  // namespace
+}  // namespace memgoal::common

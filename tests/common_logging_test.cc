@@ -1,0 +1,47 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace memgoal::common {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void TearDown() override { Logger::SetLevel(LogLevel::kWarn); }
+};
+
+TEST_F(LoggingTest, LevelFiltering) {
+  Logger::SetLevel(LogLevel::kWarn);
+  EXPECT_FALSE(Logger::Enabled(LogLevel::kTrace));
+  EXPECT_FALSE(Logger::Enabled(LogLevel::kDebug));
+  EXPECT_FALSE(Logger::Enabled(LogLevel::kInfo));
+  EXPECT_TRUE(Logger::Enabled(LogLevel::kWarn));
+  EXPECT_TRUE(Logger::Enabled(LogLevel::kError));
+
+  Logger::SetLevel(LogLevel::kTrace);
+  EXPECT_TRUE(Logger::Enabled(LogLevel::kTrace));
+
+  Logger::SetLevel(LogLevel::kOff);
+  EXPECT_FALSE(Logger::Enabled(LogLevel::kError));
+}
+
+TEST_F(LoggingTest, ParseLevelNames) {
+  EXPECT_EQ(Logger::ParseLevel("trace"), LogLevel::kTrace);
+  EXPECT_EQ(Logger::ParseLevel("debug"), LogLevel::kDebug);
+  EXPECT_EQ(Logger::ParseLevel("info"), LogLevel::kInfo);
+  EXPECT_EQ(Logger::ParseLevel("warn"), LogLevel::kWarn);
+  EXPECT_EQ(Logger::ParseLevel("error"), LogLevel::kError);
+  EXPECT_EQ(Logger::ParseLevel("off"), LogLevel::kOff);
+  // Unknown names default to info.
+  EXPECT_EQ(Logger::ParseLevel("bogus"), LogLevel::kInfo);
+}
+
+TEST_F(LoggingTest, LogfDoesNotCrashWhenDisabled) {
+  Logger::SetLevel(LogLevel::kOff);
+  MEMGOAL_LOG_ERROR("never printed %d", 42);
+  Logger::SetLevel(LogLevel::kError);
+  MEMGOAL_LOG_ERROR("printed to stderr %s", "ok");
+}
+
+}  // namespace
+}  // namespace memgoal::common

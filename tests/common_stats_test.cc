@@ -1,0 +1,174 @@
+#include "common/stats.h"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace memgoal::common {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.std_error(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats s;
+  s.Add(42.0);
+  EXPECT_EQ(s.count(), 1);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 42.0);
+  EXPECT_DOUBLE_EQ(s.max(), 42.0);
+}
+
+TEST(RunningStatsTest, KnownMeanAndVariance) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1: sum of squared deviations = 32, n-1 = 7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesSequential) {
+  Rng rng(7);
+  RunningStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.Uniform(-5.0, 5.0);
+    all.Add(x);
+    (i % 3 == 0 ? a : b).Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-8);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a, b;
+  a.Add(1.0);
+  a.Add(3.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2);
+  b.Merge(a);
+  EXPECT_EQ(b.count(), 2);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(ConfidenceTest, FewSamplesIsInfinite) {
+  RunningStats s;
+  EXPECT_TRUE(std::isinf(ConfidenceHalfWidth(s, 0.99)));
+  s.Add(1.0);
+  EXPECT_TRUE(std::isinf(ConfidenceHalfWidth(s, 0.99)));
+}
+
+TEST(ConfidenceTest, MatchesTTableSmallSample) {
+  RunningStats s;
+  for (double x : {1.0, 2.0, 3.0}) s.Add(x);
+  // n=3, df=2: t_{0.99,2} = 9.925; stderr = 1/sqrt(3).
+  EXPECT_NEAR(ConfidenceHalfWidth(s, 0.99), 9.925 / std::sqrt(3.0), 1e-9);
+}
+
+TEST(ConfidenceTest, ShrinksWithSampleSize) {
+  Rng rng(13);
+  RunningStats small, large;
+  for (int i = 0; i < 10; ++i) small.Add(rng.Uniform(0.0, 1.0));
+  for (int i = 0; i < 1000; ++i) large.Add(rng.Uniform(0.0, 1.0));
+  EXPECT_LT(ConfidenceHalfWidth(large, 0.99),
+            ConfidenceHalfWidth(small, 0.99));
+  EXPECT_LT(ConfidenceHalfWidth(large, 0.90),
+            ConfidenceHalfWidth(large, 0.99));
+}
+
+TEST(TimeWeightedMeanTest, ConstantSignal) {
+  TimeWeightedMean twm;
+  twm.Start(0.0, 5.0);
+  EXPECT_DOUBLE_EQ(twm.MeanAt(10.0), 5.0);
+}
+
+TEST(TimeWeightedMeanTest, StepSignal) {
+  TimeWeightedMean twm;
+  twm.Start(0.0, 0.0);
+  twm.Update(5.0, 10.0);
+  // [0,5): 0, [5,10): 10 -> mean 5 over [0,10].
+  EXPECT_DOUBLE_EQ(twm.MeanAt(10.0), 5.0);
+  EXPECT_DOUBLE_EQ(twm.current_value(), 10.0);
+}
+
+TEST(TimeWeightedMeanTest, MultipleUpdates) {
+  TimeWeightedMean twm;
+  twm.Start(100.0, 2.0);
+  twm.Update(110.0, 4.0);
+  twm.Update(130.0, 1.0);
+  // 2*10 + 4*20 + 1*10 = 110 over 40 time units.
+  EXPECT_DOUBLE_EQ(twm.MeanAt(140.0), 110.0 / 40.0);
+}
+
+TEST(HistogramTest, QuantilesOfUniformData) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.Add(i + 0.5);
+  EXPECT_EQ(h.count(), 100);
+  EXPECT_NEAR(h.Quantile(0.5), 50.0, 1.0);
+  EXPECT_NEAR(h.Quantile(0.9), 90.0, 1.0);
+}
+
+TEST(HistogramTest, OverflowAndUnderflow) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(-1.0);
+  h.Add(100.0);
+  h.Add(5.0);
+  EXPECT_EQ(h.underflow(), 1);
+  EXPECT_EQ(h.overflow(), 1);
+  EXPECT_EQ(h.count(), 3);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 10.0);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.NextDouble(), b.NextDouble());
+  }
+}
+
+TEST(RngTest, ForkIndependence) {
+  Rng parent(99);
+  Rng child1 = parent.Fork();
+  Rng child2 = parent.Fork();
+  // Children differ from each other.
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) {
+    if (child1.NextUint64() != child2.NextUint64()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(5);
+  RunningStats s;
+  for (int i = 0; i < 100000; ++i) s.Add(rng.Exponential(25.0));
+  EXPECT_NEAR(s.mean(), 25.0, 0.5);
+}
+
+TEST(RngTest, UniformIntBounds) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+  }
+}
+
+}  // namespace
+}  // namespace memgoal::common

@@ -1,0 +1,153 @@
+// System-wide invariant checks: after arbitrary feedback-loop activity the
+// directory, the per-node caches, the pool budgets and the access counters
+// must all agree. Parameterized over replacement policies and seeds so the
+// sweep covers every bookkeeping path (promotions, admission bounces,
+// resize evictions, invalidation drops).
+
+#include <gtest/gtest.h>
+
+#include "cache/replacement.h"
+#include "core/goal_controller.h"
+#include "core/system.h"
+#include "txn/transaction.h"
+#include "txn/update_source.h"
+#include "workload/spec.h"
+
+namespace memgoal::core {
+namespace {
+
+struct Param {
+  cache::PolicyKind policy;
+  uint64_t seed;
+  bool with_updates;
+  PartitioningObjective objective;
+};
+
+class InvariantsTest : public ::testing::TestWithParam<Param> {};
+
+SystemConfig MakeConfig(const Param& param) {
+  SystemConfig config;
+  config.num_nodes = 3;
+  config.cache_bytes_per_node = 64 * 4096;
+  config.db_pages = 200;
+  config.observation_interval_ms = 2000.0;
+  config.policy = param.policy;
+  config.objective = param.objective;
+  config.seed = param.seed;
+  return config;
+}
+
+void CheckInvariants(ClusterSystem& system) {
+  const SystemConfig& config = system.config();
+
+  for (NodeId i = 0; i < config.num_nodes; ++i) {
+    const cache::NodeCache& node_cache = system.node(i).node_cache();
+
+    // Budget invariants: dedicated pools never exceed the node total, and
+    // the equation-6 bound is consistent.
+    EXPECT_LE(node_cache.total_dedicated_bytes(), node_cache.total_bytes());
+    EXPECT_EQ(node_cache.nogoal_bytes() + node_cache.total_dedicated_bytes(),
+              node_cache.total_bytes());
+    for (ClassId klass : system.goal_class_ids()) {
+      EXPECT_LE(node_cache.dedicated_bytes(klass),
+                node_cache.AvailableForClass(klass));
+    }
+
+    // Residency never exceeds the frame budget.
+    EXPECT_LE(node_cache.resident_pages(),
+              config.cache_bytes_per_node / config.page_bytes);
+
+    // Directory <-> cache agreement, page by page.
+    uint64_t resident = 0;
+    for (PageId page = 0; page < config.db_pages; ++page) {
+      const bool in_cache = node_cache.IsCached(page);
+      const bool in_directory = system.directory().IsCachedAt(i, page);
+      ASSERT_EQ(in_cache, in_directory)
+          << "node " << i << " page " << page;
+      resident += in_cache ? 1 : 0;
+    }
+    EXPECT_EQ(resident, node_cache.resident_pages());
+  }
+
+  // Copy counts equal the sum of per-node flags.
+  for (PageId page = 0; page < config.db_pages; ++page) {
+    int copies = 0;
+    for (NodeId i = 0; i < config.num_nodes; ++i) {
+      copies += system.directory().IsCachedAt(i, page) ? 1 : 0;
+    }
+    ASSERT_EQ(copies, system.directory().CopyCount(page)) << "page " << page;
+  }
+
+  // Access counters: every access has exactly one storage level, and the
+  // per-interval roll-ups sum to the same operation totals.
+  for (const workload::ClassSpec& spec : system.classes()) {
+    const AccessCounters& counters = system.counters(spec.id);
+    uint64_t level_sum = 0;
+    for (uint64_t c : counters.by_level) level_sum += c;
+    EXPECT_EQ(level_sum, counters.total());
+  }
+}
+
+TEST_P(InvariantsTest, HoldAfterFeedbackActivity) {
+  const Param param = GetParam();
+  ClusterSystem system(MakeConfig(param));
+
+  workload::ClassSpec goal_class;
+  goal_class.id = 1;
+  goal_class.goal_rt_ms = 3.0;  // binding: plenty of repartitioning
+  goal_class.accesses_per_op = 4;
+  goal_class.mean_interarrival_ms = 50.0;
+  goal_class.pages = {0, 100};
+  system.AddClass(goal_class);
+
+  workload::ClassSpec nogoal;
+  nogoal.id = kNoGoalClass;
+  nogoal.accesses_per_op = 4;
+  nogoal.mean_interarrival_ms = 50.0;
+  nogoal.pages = {100, 200};
+  system.AddClass(nogoal);
+
+  std::unique_ptr<txn::TransactionManager> manager;
+  std::unique_ptr<txn::UpdateSource> updates;
+  if (param.with_updates) {
+    manager = std::make_unique<txn::TransactionManager>(&system);
+    txn::UpdateSource::Params update_params;
+    update_params.klass = 1;
+    update_params.mean_interarrival_ms = 120.0;
+    updates = std::make_unique<txn::UpdateSource>(&system, manager.get(),
+                                                  update_params);
+  }
+
+  system.Start();
+  if (updates) updates->Start();
+
+  for (int round = 0; round < 4; ++round) {
+    system.RunIntervals(3);
+    CheckInvariants(system);
+    // Shake the partitioning: alternate tight and loose goals.
+    system.SetGoal(1, round % 2 == 0 ? 50.0 : 2.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, InvariantsTest,
+    ::testing::Values(
+        Param{cache::PolicyKind::kCostBased, 1, false,
+              PartitioningObjective::kMinimizeNoGoalRt},
+        Param{cache::PolicyKind::kCostBased, 2, true,
+              PartitioningObjective::kMinimizeNoGoalRt},
+        Param{cache::PolicyKind::kCostBased, 3, false,
+              PartitioningObjective::kMinimizeNodeVariance},
+        Param{cache::PolicyKind::kLru, 4, false,
+              PartitioningObjective::kMinimizeNoGoalRt},
+        Param{cache::PolicyKind::kLru, 5, true,
+              PartitioningObjective::kMinimizeNoGoalRt},
+        Param{cache::PolicyKind::kLruK, 6, false,
+              PartitioningObjective::kMinimizeNoGoalRt},
+        Param{cache::PolicyKind::kFifo, 7, false,
+              PartitioningObjective::kMinimizeNoGoalRt},
+        Param{cache::PolicyKind::kLruK, 8, true,
+              PartitioningObjective::kMinimizeNodeVariance}));
+
+}  // namespace
+}  // namespace memgoal::core

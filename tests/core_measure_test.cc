@@ -1,0 +1,199 @@
+#include "core/measure.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace memgoal::core {
+namespace {
+
+// Fills a 3-node store with 4 affinely independent points on a known plane.
+void FillWithPlane(MeasureStore* store, const la::Vector& grad_k,
+                   double intercept_k, const la::Vector& grad_0,
+                   double intercept_0) {
+  const std::vector<la::Vector> allocations = {
+      {0.0, 0.0, 0.0}, {100.0, 0.0, 0.0}, {0.0, 100.0, 0.0},
+      {0.0, 0.0, 100.0}};
+  for (const la::Vector& a : allocations) {
+    store->Observe(a, la::Dot(grad_k, a) + intercept_k,
+                   la::Dot(grad_0, a) + intercept_0);
+  }
+}
+
+TEST(MeasureStoreTest, NotReadyUntilNPlusOnePoints) {
+  MeasureStore store(3);
+  EXPECT_FALSE(store.ready());
+  EXPECT_FALSE(store.FitPlanes().has_value());
+  store.Observe({0, 0, 0}, 5.0, 1.0);
+  store.Observe({1, 0, 0}, 4.0, 1.1);
+  store.Observe({0, 1, 0}, 4.5, 1.2);
+  EXPECT_FALSE(store.ready());
+  store.Observe({0, 0, 1}, 4.2, 1.3);
+  EXPECT_TRUE(store.ready());
+}
+
+TEST(MeasureStoreTest, ExactPlaneRecovery) {
+  MeasureStore store(3);
+  const la::Vector grad_k = {-0.01, -0.02, -0.005};
+  const la::Vector grad_0 = {0.004, 0.008, 0.002};
+  FillWithPlane(&store, grad_k, 5.0, grad_0, 1.0);
+  ASSERT_TRUE(store.ready());
+  auto planes = store.FitPlanes();
+  ASSERT_TRUE(planes.has_value());
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(planes->grad_k[i], grad_k[i], 1e-9);
+    EXPECT_NEAR(planes->grad_0[i], grad_0[i], 1e-9);
+  }
+  EXPECT_NEAR(planes->intercept_k, 5.0, 1e-7);
+  EXPECT_NEAR(planes->intercept_0, 1.0, 1e-7);
+}
+
+TEST(MeasureStoreTest, SameAllocationRefreshesPoint) {
+  MeasureStore store(2);
+  store.Observe({0, 0}, 5.0, 1.0);
+  store.Observe({10, 0}, 4.0, 1.0);
+  store.Observe({0, 10}, 3.0, 1.0);
+  ASSERT_TRUE(store.ready());
+  EXPECT_EQ(store.size(), 3u);
+  // Re-observing an existing allocation must not add a point.
+  store.Observe({10, 0}, 4.5, 1.2);
+  EXPECT_EQ(store.size(), 3u);
+  auto planes = store.FitPlanes();
+  ASSERT_TRUE(planes.has_value());
+  // The refreshed value participates in the fit: rt at (10,0) is now 4.5.
+  EXPECT_NEAR(la::Dot(planes->grad_k, {10, 0}) + planes->intercept_k, 4.5,
+              1e-9);
+}
+
+TEST(MeasureStoreTest, ReplacementKeepsIndependence) {
+  MeasureStore store(2);
+  store.Observe({0, 0}, 5.0, 1.0);
+  store.Observe({10, 0}, 4.0, 1.0);
+  store.Observe({0, 10}, 3.0, 1.0);
+  ASSERT_TRUE(store.ready());
+  // New independent point replaces the oldest.
+  store.Observe({10, 10}, 2.0, 1.0);
+  EXPECT_TRUE(store.ready());
+  EXPECT_EQ(store.size(), 3u);
+  auto planes = store.FitPlanes();
+  ASSERT_TRUE(planes.has_value());
+  // Plane through (10,0):4, (0,10):3, (10,10):2 -> grad=(-0.1,-0.2), c=5.
+  EXPECT_NEAR(planes->grad_k[0], -0.1, 1e-9);
+  EXPECT_NEAR(planes->grad_k[1], -0.2, 1e-9);
+  EXPECT_NEAR(planes->intercept_k, 5.0, 1e-7);
+}
+
+TEST(MeasureStoreTest, DependentCandidateSkipsBadSlot) {
+  MeasureStore store(2);
+  store.Observe({0, 0}, 5.0, 1.0);
+  store.Observe({10, 0}, 4.0, 1.0);
+  store.Observe({0, 10}, 3.0, 1.0);
+  ASSERT_TRUE(store.ready());
+  // (5, 0) is affinely dependent on {(0,0), (10,0)}: replacing the oldest
+  // point (0,0) keeps independence, which the store should find.
+  store.Observe({5, 0}, 4.5, 1.0);
+  EXPECT_TRUE(store.ready());
+  EXPECT_EQ(store.rejected_points(), 0u);
+}
+
+TEST(MeasureStoreTest, FullyDependentCandidateRejected) {
+  MeasureStore store(1);
+  store.Observe({0}, 5.0, 1.0);
+  store.Observe({10}, 4.0, 1.0);
+  ASSERT_TRUE(store.ready());
+  // With n=1 any new scalar point is independent of one retained point,
+  // so rejection requires a same-point... use the same allocation as both:
+  // not constructible here; instead verify replacement works repeatedly.
+  for (int i = 2; i < 10; ++i) {
+    store.Observe({10.0 * i}, 4.0 - i * 0.1, 1.0);
+    EXPECT_TRUE(store.ready());
+  }
+}
+
+TEST(MeasureStoreTest, ManyNodesRandomizedRoundTrip) {
+  const size_t n = 8;
+  common::Rng rng(99);
+  MeasureStore store(n);
+  la::Vector grad_k(n), grad_0(n);
+  for (size_t i = 0; i < n; ++i) {
+    grad_k[i] = -rng.Uniform(0.001, 0.01);
+    grad_0[i] = rng.Uniform(0.001, 0.01);
+  }
+  // Feed 40 random points on the plane; store keeps n+1 of them.
+  for (int t = 0; t < 40; ++t) {
+    la::Vector a(n);
+    for (double& v : a) v = rng.Uniform(0.0, 1000.0);
+    store.Observe(a, la::Dot(grad_k, a) + 7.0, la::Dot(grad_0, a) + 2.0);
+  }
+  ASSERT_TRUE(store.ready());
+  auto planes = store.FitPlanes();
+  ASSERT_TRUE(planes.has_value());
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(planes->grad_k[i], grad_k[i], 1e-6);
+    EXPECT_NEAR(planes->grad_0[i], grad_0[i], 1e-6);
+  }
+  EXPECT_NEAR(planes->intercept_k, 7.0, 1e-4);
+}
+
+TEST(MeasureStoreTest, FitNodePlanesRecoversPerNodePlanes) {
+  const size_t n = 3;
+  MeasureStore store(n);
+  // Per-node planes: RT_i = c_i + g_i . LM (with cross terms).
+  const std::vector<la::Vector> grads = {
+      {-0.01, -0.001, -0.001}, {-0.002, -0.02, -0.003}, {0.0, -0.004, -0.03}};
+  const la::Vector intercepts = {5.0, 7.0, 9.0};
+  const std::vector<la::Vector> allocations = {
+      {0, 0, 0}, {100, 0, 0}, {0, 100, 0}, {0, 0, 100}};
+  for (const la::Vector& a : allocations) {
+    la::Vector per_node(n);
+    double mean = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      per_node[i] = la::Dot(grads[i], a) + intercepts[i];
+      mean += per_node[i] / 3.0;
+    }
+    store.ObserveDetailed(a, mean, 1.0, per_node);
+  }
+  ASSERT_TRUE(store.ready());
+  auto planes = store.FitNodePlanes();
+  ASSERT_TRUE(planes.has_value());
+  ASSERT_EQ(planes->size(), n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      EXPECT_NEAR((*planes)[i].grad[j], grads[i][j], 1e-9);
+    }
+    EXPECT_NEAR((*planes)[i].intercept, intercepts[i], 1e-7);
+  }
+}
+
+TEST(MeasureStoreTest, FitNodePlanesRequiresPerNodeData) {
+  MeasureStore store(2);
+  store.Observe({0, 0}, 5.0, 1.0);
+  store.Observe({10, 0}, 4.0, 1.0);
+  store.Observe({0, 10}, 3.0, 1.0);
+  ASSERT_TRUE(store.ready());
+  EXPECT_TRUE(store.FitPlanes().has_value());
+  // Points recorded without per-node vectors: no per-node fit.
+  EXPECT_FALSE(store.FitNodePlanes().has_value());
+}
+
+TEST(MeasureStoreTest, NoisyMeasurementsStillFitApproximately) {
+  const size_t n = 3;
+  common::Rng rng(5);
+  MeasureStore store(n);
+  const la::Vector grad = {-0.002, -0.003, -0.001};
+  for (int t = 0; t < 20; ++t) {
+    la::Vector a(n);
+    for (double& v : a) v = rng.Uniform(0.0, 2000.0);
+    const double noise = rng.Uniform(-0.01, 0.01);
+    store.Observe(a, la::Dot(grad, a) + 6.0 + noise, 1.0);
+  }
+  ASSERT_TRUE(store.ready());
+  auto planes = store.FitPlanes();
+  ASSERT_TRUE(planes.has_value());
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(planes->grad_k[i], grad[i], 5e-4);
+  }
+}
+
+}  // namespace
+}  // namespace memgoal::core

@@ -1,0 +1,77 @@
+#include "core/metrics.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace memgoal::core {
+namespace {
+
+IntervalRecord MakeRecord(int index) {
+  IntervalRecord record;
+  record.index = index;
+  record.end_time_ms = 5000.0 * (index + 1);
+  ClassIntervalMetrics goal_row;
+  goal_row.klass = 1;
+  goal_row.observed_rt_ms = 3.25;
+  goal_row.goal_rt_ms = 3.0;
+  goal_row.tolerance_ms = 0.3;
+  goal_row.satisfied = true;
+  goal_row.dedicated_bytes = 1 << 20;
+  goal_row.ops_completed = 100;
+  goal_row.ops_arrived = 101;
+  record.classes.push_back(goal_row);
+  ClassIntervalMetrics nogoal_row;
+  nogoal_row.klass = kNoGoalClass;
+  nogoal_row.observed_rt_ms = 7.5;
+  record.classes.push_back(nogoal_row);
+  return record;
+}
+
+TEST(MetricsTest, ForClassFindsRow) {
+  const IntervalRecord record = MakeRecord(0);
+  EXPECT_DOUBLE_EQ(record.ForClass(1).observed_rt_ms, 3.25);
+  EXPECT_DOUBLE_EQ(record.ForClass(kNoGoalClass).observed_rt_ms, 7.5);
+}
+
+TEST(MetricsTest, ForClassAbortsOnMissing) {
+  const IntervalRecord record = MakeRecord(0);
+  EXPECT_DEATH(record.ForClass(99), "CHECK");
+}
+
+TEST(MetricsTest, AccessCountersFractions) {
+  AccessCounters counters;
+  counters.by_level = {60, 30, 6, 4};
+  EXPECT_EQ(counters.total(), 100u);
+  EXPECT_DOUBLE_EQ(counters.HitFraction(StorageLevel::kLocalBuffer), 0.60);
+  EXPECT_DOUBLE_EQ(counters.HitFraction(StorageLevel::kRemoteBuffer), 0.30);
+  EXPECT_DOUBLE_EQ(counters.HitFraction(StorageLevel::kLocalDisk), 0.06);
+  EXPECT_DOUBLE_EQ(counters.HitFraction(StorageLevel::kRemoteDisk), 0.04);
+  AccessCounters empty;
+  EXPECT_DOUBLE_EQ(empty.HitFraction(StorageLevel::kLocalBuffer), 0.0);
+}
+
+TEST(MetricsTest, WriteCsvRoundTrips) {
+  MetricsLog log;
+  log.Append(MakeRecord(0));
+  log.Append(MakeRecord(1));
+
+  char buffer[4096] = {};
+  std::FILE* stream = fmemopen(buffer, sizeof(buffer), "w");
+  ASSERT_NE(stream, nullptr);
+  log.WriteCsv(stream);
+  std::fclose(stream);
+
+  const std::string csv(buffer);
+  // Header plus 2 intervals x 2 classes = 5 lines.
+  EXPECT_EQ(static_cast<int>(std::count(csv.begin(), csv.end(), '\n')), 5);
+  EXPECT_NE(csv.find("interval,end_time_ms,class"), std::string::npos);
+  EXPECT_NE(csv.find("0,5000.000,1,3.250000,3.000000,0.300000,1,1048576,"
+                     "100,101"),
+            std::string::npos);
+  EXPECT_NE(csv.find("1,10000.000,0,"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace memgoal::core

@@ -1,0 +1,150 @@
+// Failure injection and operational-change tests for the goal-oriented
+// controller: coordinator migration (§5) and best-effort message loss.
+
+#include <gtest/gtest.h>
+
+#include "core/goal_controller.h"
+#include "core/system.h"
+#include "net/network.h"
+#include "workload/spec.h"
+
+namespace memgoal::core {
+namespace {
+
+SystemConfig TestConfig(uint64_t seed = 1) {
+  SystemConfig config;
+  config.num_nodes = 3;
+  config.cache_bytes_per_node = 64 * 4096;
+  config.db_pages = 200;
+  config.observation_interval_ms = 5000.0;
+  config.seed = seed;
+  return config;
+}
+
+workload::ClassSpec GoalClass(double goal_ms) {
+  workload::ClassSpec spec;
+  spec.id = 1;
+  spec.goal_rt_ms = goal_ms;
+  spec.accesses_per_op = 4;
+  spec.mean_interarrival_ms = 50.0;
+  spec.pages = {0, 100};
+  return spec;
+}
+
+workload::ClassSpec NoGoalClass() {
+  workload::ClassSpec spec;
+  spec.id = kNoGoalClass;
+  spec.accesses_per_op = 4;
+  spec.mean_interarrival_ms = 50.0;
+  spec.pages = {100, 200};
+  return spec;
+}
+
+int SatisfiedInTail(const ClusterSystem& system, int tail) {
+  const auto& records = system.metrics().records();
+  int satisfied = 0;
+  for (size_t i = records.size() - static_cast<size_t>(tail);
+       i < records.size(); ++i) {
+    satisfied += records[i].ForClass(1).satisfied ? 1 : 0;
+  }
+  return satisfied;
+}
+
+TEST(RobustnessTest, CoordinatorMigrationKeepsControlling) {
+  ClusterSystem system(TestConfig(31));
+  system.AddClass(GoalClass(3.5));
+  system.AddClass(NoGoalClass());
+  system.Start();
+  system.RunIntervals(10);
+  auto& controller =
+      dynamic_cast<GoalOrientedController&>(system.controller());
+  ASSERT_EQ(controller.coordinator_node(1), 0u);
+
+  const uint64_t protocol_before =
+      system.network().messages_sent(net::TrafficClass::kPartitionProtocol);
+  controller.MigrateCoordinator(1, 2);
+  EXPECT_EQ(controller.coordinator_node(1), 2u);
+  system.RunIntervals(15);
+
+  // Migration sent notification traffic...
+  EXPECT_GT(
+      system.network().messages_sent(net::TrafficClass::kPartitionProtocol),
+      protocol_before + 3);
+  // ...and the loop keeps functioning from the new home: measure points
+  // keep flowing and the goal is still worked towards.
+  EXPECT_TRUE(controller.measure_store(1).ready());
+  EXPECT_GE(SatisfiedInTail(system, 10), 3);
+}
+
+TEST(RobustnessTest, MigrationToSameNodeIsNoOp) {
+  ClusterSystem system(TestConfig(32));
+  system.AddClass(GoalClass(3.5));
+  system.AddClass(NoGoalClass());
+  system.Start();
+  system.RunIntervals(1);
+  auto& controller =
+      dynamic_cast<GoalOrientedController&>(system.controller());
+  const uint64_t before =
+      system.network().messages_sent(net::TrafficClass::kPartitionProtocol);
+  controller.MigrateCoordinator(1, controller.coordinator_node(1));
+  EXPECT_EQ(
+      system.network().messages_sent(net::TrafficClass::kPartitionProtocol),
+      before);
+}
+
+TEST(RobustnessTest, FeedbackSurvivesProtocolMessageLoss) {
+  // 20% of reports/commands/acks/hints vanish; the feedback design must
+  // still converge to the goal (stale views are repaired by later rounds).
+  SystemConfig config = TestConfig(33);
+  config.network.loss_probability = 0.2;
+  ClusterSystem system(config);
+  system.AddClass(GoalClass(3.5));
+  system.AddClass(NoGoalClass());
+  system.Start();
+  system.RunIntervals(30);
+
+  EXPECT_GT(system.network().messages_dropped(
+                net::TrafficClass::kPartitionProtocol) +
+                system.network().messages_dropped(
+                    net::TrafficClass::kHeatHint),
+            0u);
+  EXPECT_GE(SatisfiedInTail(system, 10), 4);
+}
+
+TEST(RobustnessTest, ReliableCategoriesNeverDrop) {
+  SystemConfig config = TestConfig(34);
+  config.network.loss_probability = 0.5;
+  ClusterSystem system(config);
+  system.AddClass(GoalClass(1000.0));
+  system.AddClass(NoGoalClass());
+  system.Start();
+  system.RunIntervals(3);
+  EXPECT_EQ(system.network().messages_dropped(net::TrafficClass::kControl),
+            0u);
+  EXPECT_EQ(system.network().messages_dropped(net::TrafficClass::kPage), 0u);
+  EXPECT_GT(system.network().messages_sent(net::TrafficClass::kPage), 0u);
+}
+
+TEST(RobustnessTest, LossFractionMatchesConfiguredProbability) {
+  SystemConfig config = TestConfig(35);
+  config.network.loss_probability = 0.3;
+  ClusterSystem system(config);
+  system.AddClass(GoalClass(2.0));  // active goal: plenty of protocol traffic
+  system.AddClass(NoGoalClass());
+  system.Start();
+  system.RunIntervals(30);
+  const auto& network = system.network();
+  const uint64_t sent =
+      network.messages_sent(net::TrafficClass::kHeatHint) +
+      network.messages_sent(net::TrafficClass::kPartitionProtocol);
+  const uint64_t dropped =
+      network.messages_dropped(net::TrafficClass::kHeatHint) +
+      network.messages_dropped(net::TrafficClass::kPartitionProtocol);
+  ASSERT_GT(sent, 500u);
+  const double fraction =
+      static_cast<double>(dropped) / static_cast<double>(sent);
+  EXPECT_NEAR(fraction, 0.3, 0.05);
+}
+
+}  // namespace
+}  // namespace memgoal::core

@@ -1,0 +1,229 @@
+#include "core/system.h"
+
+#include <gtest/gtest.h>
+
+#include "baseline/static_controllers.h"
+#include "core/goal_controller.h"
+#include "net/network.h"
+#include "workload/spec.h"
+
+namespace memgoal::core {
+namespace {
+
+SystemConfig SmallConfig(uint64_t seed = 1) {
+  SystemConfig config;
+  config.num_nodes = 3;
+  config.cache_bytes_per_node = 64 * 4096;  // 64 frames per node
+  config.db_pages = 600;
+  config.observation_interval_ms = 1000.0;
+  config.seed = seed;
+  return config;
+}
+
+workload::ClassSpec GoalClass(ClassId id, double goal_ms) {
+  workload::ClassSpec spec;
+  spec.id = id;
+  spec.goal_rt_ms = goal_ms;
+  spec.accesses_per_op = 4;
+  spec.mean_interarrival_ms = 25.0;
+  spec.pages = {0, 300};
+  spec.zipf_skew = 0.0;
+  return spec;
+}
+
+workload::ClassSpec NoGoalClass() {
+  workload::ClassSpec spec;
+  spec.id = kNoGoalClass;
+  spec.accesses_per_op = 4;
+  spec.mean_interarrival_ms = 25.0;
+  spec.pages = {300, 600};
+  spec.zipf_skew = 0.0;
+  return spec;
+}
+
+TEST(ClusterSystemTest, SmokeRunProducesMetrics) {
+  ClusterSystem system(SmallConfig());
+  system.AddClass(GoalClass(1, 5.0));
+  system.AddClass(NoGoalClass());
+  system.Start();
+  system.RunIntervals(5);
+
+  EXPECT_EQ(system.metrics().records().size(), 5u);
+  EXPECT_EQ(system.intervals_completed(), 5);
+  const IntervalRecord& last = system.metrics().back();
+  EXPECT_EQ(last.classes.size(), 2u);
+  const ClassIntervalMetrics& goal_row = last.ForClass(1);
+  EXPECT_GT(goal_row.ops_completed, 0u);
+  EXPECT_GT(goal_row.observed_rt_ms, 0.0);
+  EXPECT_DOUBLE_EQ(goal_row.goal_rt_ms, 5.0);
+
+  // Access counters: every page access landed in exactly one level.
+  const AccessCounters& counters = system.counters(1);
+  EXPECT_GT(counters.total(), 0u);
+}
+
+TEST(ClusterSystemTest, DeterministicAcrossRuns) {
+  std::vector<double> rts_a, rts_b;
+  std::vector<uint64_t> bytes_a, bytes_b;
+  for (int run = 0; run < 2; ++run) {
+    ClusterSystem system(SmallConfig(/*seed=*/7));
+    system.AddClass(GoalClass(1, 2.0));
+    system.AddClass(NoGoalClass());
+    system.Start();
+    system.RunIntervals(8);
+    for (const IntervalRecord& record : system.metrics().records()) {
+      const auto& m = record.ForClass(1);
+      (run == 0 ? rts_a : rts_b).push_back(m.observed_rt_ms);
+      (run == 0 ? bytes_a : bytes_b).push_back(m.dedicated_bytes);
+    }
+  }
+  EXPECT_EQ(rts_a, rts_b);
+  EXPECT_EQ(bytes_a, bytes_b);
+}
+
+TEST(ClusterSystemTest, SeedChangesTrajectory) {
+  std::vector<double> rts_a, rts_b;
+  for (int run = 0; run < 2; ++run) {
+    ClusterSystem system(SmallConfig(/*seed=*/run + 1));
+    system.AddClass(GoalClass(1, 2.0));
+    system.AddClass(NoGoalClass());
+    system.Start();
+    system.RunIntervals(4);
+    for (const IntervalRecord& record : system.metrics().records()) {
+      (run == 0 ? rts_a : rts_b).push_back(record.ForClass(1).observed_rt_ms);
+    }
+  }
+  EXPECT_NE(rts_a, rts_b);
+}
+
+TEST(ClusterSystemTest, CountersCoverAllLevels) {
+  ClusterSystem system(SmallConfig());
+  system.AddClass(GoalClass(1, 5.0));
+  system.AddClass(NoGoalClass());
+  system.Start();
+  system.RunIntervals(10);
+  uint64_t total = 0;
+  for (ClassId k : {ClassId{1}, kNoGoalClass}) {
+    const AccessCounters& c = system.counters(k);
+    total += c.total();
+    // With 600 pages vs 192 cache frames there must be hits AND misses.
+    EXPECT_GT(c.by_level[static_cast<int>(StorageLevel::kLocalBuffer)], 0u);
+    EXPECT_GT(c.total() -
+                  c.by_level[static_cast<int>(StorageLevel::kLocalBuffer)],
+              0u);
+  }
+  EXPECT_GT(total, 1000u);
+}
+
+TEST(ClusterSystemTest, StaticControllerAppliesFixedPartitioning) {
+  ClusterSystem system(SmallConfig());
+  system.AddClass(GoalClass(1, 5.0));
+  system.AddClass(NoGoalClass());
+  system.SetController(
+      std::make_unique<baseline::StaticPartitioningController>(
+          std::map<ClassId, double>{{1, 0.5}}));
+  system.Start();
+  system.RunIntervals(2);
+  const uint64_t per_node = SmallConfig().cache_bytes_per_node / 2;
+  for (NodeId i = 0; i < 3; ++i) {
+    EXPECT_EQ(system.DedicatedBytes(1, i), per_node);
+  }
+  // Static never changes.
+  system.RunIntervals(2);
+  EXPECT_EQ(system.DedicatedBytes(1, 0), per_node);
+}
+
+TEST(ClusterSystemTest, NoPartitioningKeepsSharedPool) {
+  ClusterSystem system(SmallConfig());
+  system.AddClass(GoalClass(1, 0.5));  // tight goal, but controller ignores
+  system.AddClass(NoGoalClass());
+  system.SetController(std::make_unique<baseline::NoPartitioningController>());
+  system.Start();
+  system.RunIntervals(4);
+  EXPECT_EQ(system.TotalDedicatedBytes(1), 0u);
+}
+
+TEST(ClusterSystemTest, DedicatedBufferImprovesGoalClassRt) {
+  // Same workload, (a) no partitioning vs (b) static 75% dedicated to the
+  // goal class: the dedicated run must serve the goal class faster.
+  auto run = [](std::unique_ptr<Controller> controller) {
+    ClusterSystem system(SmallConfig(3));
+    workload::ClassSpec goal_spec = GoalClass(1, 5.0);
+    goal_spec.zipf_skew = 0.5;
+    system.AddClass(goal_spec);
+    system.AddClass(NoGoalClass());
+    system.SetController(std::move(controller));
+    system.Start();
+    system.RunIntervals(12);
+    // Mean observed RT over the last 6 intervals (warmed up).
+    double sum = 0;
+    int count = 0;
+    const auto& records = system.metrics().records();
+    for (size_t i = records.size() - 6; i < records.size(); ++i) {
+      sum += records[i].ForClass(1).observed_rt_ms;
+      ++count;
+    }
+    return sum / count;
+  };
+  const double rt_none = run(std::make_unique<baseline::NoPartitioningController>());
+  const double rt_dedicated =
+      run(std::make_unique<baseline::StaticPartitioningController>(
+          std::map<ClassId, double>{{1, 0.75}}));
+  EXPECT_LT(rt_dedicated, rt_none);
+}
+
+TEST(ClusterSystemTest, ApplyAllocationClampsBetweenClasses) {
+  ClusterSystem system(SmallConfig());
+  system.AddClass(GoalClass(1, 5.0));
+  system.AddClass(GoalClass(2, 5.0));
+  system.AddClass(NoGoalClass());
+  system.SetController(std::make_unique<baseline::NoPartitioningController>());
+  system.Start();
+  const uint64_t total = SmallConfig().cache_bytes_per_node;
+  EXPECT_EQ(system.ApplyAllocation(1, 0, total), total);
+  // Class 2 can only get what class 1 left (§5e).
+  EXPECT_EQ(system.ApplyAllocation(2, 0, total), 0u);
+  EXPECT_EQ(system.AvailableFor(2, 0), 0u);
+  // Class 1 shrinks; class 2 can now grow.
+  EXPECT_EQ(system.ApplyAllocation(1, 0, total / 2), total / 2);
+  EXPECT_EQ(system.ApplyAllocation(2, 0, total), total - total / 2);
+}
+
+TEST(ClusterSystemTest, ProtocolTrafficAccounted) {
+  ClusterSystem system(SmallConfig());
+  system.AddClass(GoalClass(1, 0.2));  // tight goal forces optimization
+  system.AddClass(NoGoalClass());
+  system.Start();
+  system.RunIntervals(10);
+  const net::Network& network = system.network();
+  EXPECT_GT(network.bytes_sent(net::TrafficClass::kPartitionProtocol), 0u);
+  EXPECT_GT(network.bytes_sent(net::TrafficClass::kPage), 0u);
+  // The §7.5 claim at miniature scale: protocol traffic is a tiny share.
+  const double share =
+      static_cast<double>(
+          network.bytes_sent(net::TrafficClass::kPartitionProtocol)) /
+      static_cast<double>(network.total_bytes_sent());
+  EXPECT_LT(share, 0.05);
+}
+
+TEST(ClusterSystemTest, WeightedRtMatchesObservations) {
+  ClusterSystem system(SmallConfig());
+  system.AddClass(GoalClass(1, 5.0));
+  system.AddClass(NoGoalClass());
+  system.Start();
+  system.RunIntervals(3);
+  double weights = 0.0, weighted = 0.0;
+  for (NodeId i = 0; i < 3; ++i) {
+    const auto& obs = system.observation(1, i);
+    if (!obs.has_rt) continue;
+    weighted += obs.arrival_rate_per_ms * obs.mean_rt_ms;
+    weights += obs.arrival_rate_per_ms;
+  }
+  ASSERT_GT(weights, 0.0);
+  auto rt = system.WeightedRt(1);
+  ASSERT_TRUE(rt.has_value());
+  EXPECT_NEAR(*rt, weighted / weights, 1e-12);
+}
+
+}  // namespace
+}  // namespace memgoal::core

@@ -1,0 +1,66 @@
+#include "core/tolerance.h"
+
+#include <gtest/gtest.h>
+
+namespace memgoal::core {
+namespace {
+
+TEST(ToleranceTest, FloorAppliesWithoutHistory) {
+  ToleranceEstimator estimator(0.05, 2.576);
+  EXPECT_DOUBLE_EQ(estimator.Tolerance(10.0), 0.5);
+  estimator.Observe(9.0);
+  EXPECT_DOUBLE_EQ(estimator.Tolerance(10.0), 0.5);  // one point: floor
+}
+
+TEST(ToleranceTest, VarianceWidensBand) {
+  ToleranceEstimator estimator(0.01, 2.576);
+  // Noisy observations: stderr-based band exceeds the 1% floor.
+  for (double rt : {5.0, 9.0, 4.0, 10.0, 6.0}) estimator.Observe(rt);
+  EXPECT_GT(estimator.Tolerance(10.0), 0.1);
+}
+
+TEST(ToleranceTest, SteadyObservationsShrinkTowardsFloor) {
+  ToleranceEstimator estimator(0.05, 2.576);
+  for (int i = 0; i < 100; ++i) estimator.Observe(8.0 + (i % 2) * 1e-6);
+  EXPECT_DOUBLE_EQ(estimator.Tolerance(10.0), 0.5);  // floor dominates
+}
+
+TEST(ToleranceTest, GoalChangeResetsHistory) {
+  ToleranceEstimator estimator(0.01, 2.576);
+  for (double rt : {5.0, 9.0, 4.0, 10.0}) estimator.Observe(rt);
+  const double wide = estimator.Tolerance(10.0);
+  EXPECT_GT(wide, 0.1);
+  estimator.OnGoalChanged();
+  EXPECT_EQ(estimator.observations(), 0);
+  EXPECT_DOUBLE_EQ(estimator.Tolerance(10.0), 0.1);  // back to floor
+}
+
+TEST(ToleranceTest, BandIsCappedRelativeToGoal) {
+  ToleranceEstimator estimator(0.01, 2.576);
+  for (double rt : {1.0, 500.0, 3.0, 800.0}) estimator.Observe(rt);
+  EXPECT_LE(estimator.Tolerance(10.0),
+            ToleranceEstimator::kRelCap * 10.0 + 1e-12);
+}
+
+TEST(ToleranceTest, ColdStartOutlierAgesOutOfWindow) {
+  ToleranceEstimator estimator(0.01, 2.576);
+  estimator.Observe(500.0);  // cold-cache transient
+  for (int i = 0; i < 3; ++i) estimator.Observe(8.0);
+  const double early = estimator.Tolerance(10.0);
+  // Push the outlier out of the kWindow most recent observations.
+  for (size_t i = 0; i < ToleranceEstimator::kWindow; ++i) {
+    estimator.Observe(8.0);
+  }
+  const double late = estimator.Tolerance(10.0);
+  EXPECT_LT(late, early);
+  EXPECT_DOUBLE_EQ(late, 0.1);  // back to the floor
+}
+
+TEST(ToleranceTest, ScalesWithGoal) {
+  ToleranceEstimator estimator(0.05, 2.576);
+  EXPECT_DOUBLE_EQ(estimator.Tolerance(2.0), 0.1);
+  EXPECT_DOUBLE_EQ(estimator.Tolerance(20.0), 1.0);
+}
+
+}  // namespace
+}  // namespace memgoal::core

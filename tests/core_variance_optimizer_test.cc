@@ -1,0 +1,127 @@
+#include "core/variance_optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "core/measure.h"
+
+namespace memgoal::core {
+namespace {
+
+// Two nodes; each node's response time depends only on its own allocation:
+// RT_i = 10 - 0.002 * x_i. The mean plane is the average.
+VarianceOptimizerInput SymmetricInput() {
+  VarianceOptimizerInput input;
+  input.node_planes.resize(2);
+  input.node_planes[0].grad = {-0.002, 0.0};
+  input.node_planes[0].intercept = 10.0;
+  input.node_planes[1].grad = {0.0, -0.002};
+  input.node_planes[1].intercept = 10.0;
+  input.mean_grad = {-0.001, -0.001};
+  input.mean_intercept = 10.0;
+  input.goal_rt = 6.0;
+  input.upper_bounds = {4000.0, 4000.0};
+  return input;
+}
+
+TEST(VarianceOptimizerTest, SymmetricProblemEqualizesNodes) {
+  const VarianceOptimizerOutput output =
+      SolveVariancePartitioning(SymmetricInput());
+  EXPECT_EQ(output.mode, OptimizerMode::kGoalEquality);
+  // Mean must hit the goal: 10 - 0.001(x0+x1) = 6 -> x0+x1 = 4000. The
+  // dispersion-minimizing split is the symmetric one.
+  EXPECT_NEAR(output.allocation[0] + output.allocation[1], 4000.0, 1e-6);
+  EXPECT_NEAR(output.allocation[0], 2000.0, 1e-6);
+  EXPECT_NEAR(output.allocation[1], 2000.0, 1e-6);
+  EXPECT_NEAR(output.predicted_mean_rt, 6.0, 1e-9);
+  EXPECT_NEAR(output.predicted_mad_rt, 0.0, 1e-9);
+}
+
+TEST(VarianceOptimizerTest, AsymmetricInterceptsCompensated) {
+  VarianceOptimizerInput input = SymmetricInput();
+  // Node 1 is intrinsically slower (intercept 14 vs 10): equalizing the
+  // response times requires giving node 1 more buffer.
+  input.node_planes[1].intercept = 14.0;
+  input.mean_intercept = 12.0;
+  input.goal_rt = 8.0;
+  const VarianceOptimizerOutput output = SolveVariancePartitioning(input);
+  EXPECT_EQ(output.mode, OptimizerMode::kGoalEquality);
+  // Mean: 12 - 0.001(x0+x1) = 8 -> x0+x1 = 4000.
+  // Equal RTs: 10 - 0.002 x0 = 14 - 0.002 x1 and x0 + x1 = 4000
+  //   -> x1 - x0 = 2000 -> x0 = 1000, x1 = 3000.
+  EXPECT_NEAR(output.allocation[0], 1000.0, 1e-6);
+  EXPECT_NEAR(output.allocation[1], 3000.0, 1e-6);
+  EXPECT_NEAR(output.predicted_mad_rt, 0.0, 1e-9);
+}
+
+TEST(VarianceOptimizerTest, BoundsCanForceResidualDispersion) {
+  VarianceOptimizerInput input = SymmetricInput();
+  input.node_planes[1].intercept = 14.0;
+  input.mean_intercept = 12.0;
+  input.goal_rt = 8.0;
+  input.upper_bounds = {4000.0, 2500.0};  // node 1 cannot reach 3000
+  const VarianceOptimizerOutput output = SolveVariancePartitioning(input);
+  EXPECT_EQ(output.mode, OptimizerMode::kGoalEquality);
+  EXPECT_NEAR(output.allocation[1], 2500.0, 1e-6);
+  EXPECT_NEAR(output.allocation[0], 1500.0, 1e-6);  // mean constraint
+  EXPECT_GT(output.predicted_mad_rt, 0.0);
+  // Residual spread: RT0 = 7, RT1 = 9 -> MAD = 1.
+  EXPECT_NEAR(output.predicted_mad_rt, 1.0, 1e-6);
+}
+
+TEST(VarianceOptimizerTest, UnreachableGoalSaturates) {
+  VarianceOptimizerInput input = SymmetricInput();
+  input.goal_rt = 0.5;  // max reduction 0.001*8000 = 8 -> min mean rt = 2
+  const VarianceOptimizerOutput output = SolveVariancePartitioning(input);
+  EXPECT_EQ(output.mode, OptimizerMode::kBestEffort);
+  EXPECT_NEAR(output.allocation[0], 4000.0, 1e-9);
+  EXPECT_NEAR(output.allocation[1], 4000.0, 1e-9);
+}
+
+TEST(VarianceOptimizerTest, LooseGoalUsesInequality) {
+  VarianceOptimizerInput input = SymmetricInput();
+  input.goal_rt = 15.0;  // above the zero-allocation mean of 10
+  const VarianceOptimizerOutput output = SolveVariancePartitioning(input);
+  EXPECT_EQ(output.mode, OptimizerMode::kGoalInequality);
+  // Zero allocation is optimal: RTs equal at 10, dispersion 0, goal held.
+  EXPECT_NEAR(output.allocation[0], 0.0, 1e-9);
+  EXPECT_NEAR(output.allocation[1], 0.0, 1e-9);
+  EXPECT_NEAR(output.predicted_mad_rt, 0.0, 1e-9);
+}
+
+TEST(VarianceOptimizerTest, CrossGradientsHandled) {
+  // Allocations on one node influence the other's response time (remote
+  // cache coupling, equation 3's remote term).
+  VarianceOptimizerInput input;
+  input.node_planes.resize(2);
+  input.node_planes[0].grad = {-0.002, -0.0005};
+  input.node_planes[0].intercept = 10.0;
+  input.node_planes[1].grad = {-0.0005, -0.002};
+  input.node_planes[1].intercept = 12.0;
+  input.mean_grad = {-0.00125, -0.00125};
+  input.mean_intercept = 11.0;
+  input.goal_rt = 7.0;
+  input.upper_bounds = {4000.0, 4000.0};
+  const VarianceOptimizerOutput output = SolveVariancePartitioning(input);
+  ASSERT_EQ(output.mode, OptimizerMode::kGoalEquality);
+  // The mean constraint pins x0 + x1 = 3200.
+  EXPECT_NEAR(output.allocation[0] + output.allocation[1], 3200.0, 1e-6);
+  // Dispersion should be eliminated: solve RT0 == RT1 with the sum fixed:
+  // 10 - 0.002 x0 - 0.0005 x1 = 12 - 0.0005 x0 - 0.002 x1
+  //   -> 0.0015 (x1 - x0) = 2 -> x1 - x0 = 4000/3.
+  EXPECT_NEAR(output.allocation[1] - output.allocation[0], 4000.0 / 3.0,
+              1e-5);
+  EXPECT_NEAR(output.predicted_mad_rt, 0.0, 1e-9);
+}
+
+TEST(VarianceOptimizerTest, PredictionsConsistentWithPlanes) {
+  VarianceOptimizerInput input = SymmetricInput();
+  const VarianceOptimizerOutput output = SolveVariancePartitioning(input);
+  for (size_t i = 0; i < 2; ++i) {
+    const double rt = la::Dot(input.node_planes[i].grad, output.allocation) +
+                      input.node_planes[i].intercept;
+    EXPECT_NEAR(output.predicted_rt_per_node[i], rt, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace memgoal::core

@@ -1,0 +1,202 @@
+#include "la/simplex.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace memgoal::la {
+namespace {
+
+TEST(SimplexTest, TextbookMaximization) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  ->  (2, 6), z = 36.
+  SimplexSolver solver(2);
+  solver.SetObjective(Vector{3.0, 5.0}, /*minimize=*/false);
+  solver.AddLe(Vector{1.0, 0.0}, 4.0);
+  solver.AddLe(Vector{0.0, 2.0}, 12.0);
+  solver.AddLe(Vector{3.0, 2.0}, 18.0);
+  const SimplexResult result = solver.Solve();
+  ASSERT_EQ(result.status, SimplexStatus::kOptimal);
+  EXPECT_NEAR(result.x[0], 2.0, 1e-9);
+  EXPECT_NEAR(result.x[1], 6.0, 1e-9);
+  EXPECT_NEAR(result.objective, 36.0, 1e-9);
+}
+
+TEST(SimplexTest, MinimizationWithGeRows) {
+  // min 2x + 3y s.t. x + y >= 4, x >= 1  ->  (4, 0), z = 8.
+  SimplexSolver solver(2);
+  solver.SetObjective(Vector{2.0, 3.0});
+  solver.AddGe(Vector{1.0, 1.0}, 4.0);
+  solver.AddGe(Vector{1.0, 0.0}, 1.0);
+  const SimplexResult result = solver.Solve();
+  ASSERT_EQ(result.status, SimplexStatus::kOptimal);
+  EXPECT_NEAR(result.x[0], 4.0, 1e-9);
+  EXPECT_NEAR(result.x[1], 0.0, 1e-9);
+  EXPECT_NEAR(result.objective, 8.0, 1e-9);
+}
+
+TEST(SimplexTest, EqualityConstraint) {
+  // min x + 2y s.t. x + y = 10, x <= 6  ->  (6, 4), z = 14.
+  SimplexSolver solver(2);
+  solver.SetObjective(Vector{1.0, 2.0});
+  solver.AddEq(Vector{1.0, 1.0}, 10.0);
+  solver.SetUpperBound(0, 6.0);
+  const SimplexResult result = solver.Solve();
+  ASSERT_EQ(result.status, SimplexStatus::kOptimal);
+  EXPECT_NEAR(result.x[0], 6.0, 1e-9);
+  EXPECT_NEAR(result.x[1], 4.0, 1e-9);
+  EXPECT_NEAR(result.objective, 14.0, 1e-9);
+}
+
+TEST(SimplexTest, InfeasibleDetected) {
+  // x <= 1 and x >= 2 cannot both hold.
+  SimplexSolver solver(1);
+  solver.SetObjective(Vector{1.0});
+  solver.AddLe(Vector{1.0}, 1.0);
+  solver.AddGe(Vector{1.0}, 2.0);
+  EXPECT_EQ(solver.Solve().status, SimplexStatus::kInfeasible);
+}
+
+TEST(SimplexTest, UnboundedDetected) {
+  // max x with only x >= 0 (plus a vacuous row to satisfy m > 0).
+  SimplexSolver solver(1);
+  solver.SetObjective(Vector{1.0}, /*minimize=*/false);
+  solver.AddGe(Vector{1.0}, 0.0);
+  EXPECT_EQ(solver.Solve().status, SimplexStatus::kUnbounded);
+}
+
+TEST(SimplexTest, NegativeRhsNormalized) {
+  // min x + y s.t. -x - y <= -4  (i.e. x + y >= 4)  ->  z = 4.
+  SimplexSolver solver(2);
+  solver.SetObjective(Vector{1.0, 1.0});
+  solver.AddLe(Vector{-1.0, -1.0}, -4.0);
+  const SimplexResult result = solver.Solve();
+  ASSERT_EQ(result.status, SimplexStatus::kOptimal);
+  EXPECT_NEAR(result.objective, 4.0, 1e-9);
+}
+
+TEST(SimplexTest, NegativeObjectiveCoefficients) {
+  // min -x - 2y s.t. x + y <= 3, y <= 2 -> (1,2), z=-5.
+  SimplexSolver solver(2);
+  solver.SetObjective(Vector{-1.0, -2.0});
+  solver.AddLe(Vector{1.0, 1.0}, 3.0);
+  solver.SetUpperBound(1, 2.0);
+  const SimplexResult result = solver.Solve();
+  ASSERT_EQ(result.status, SimplexStatus::kOptimal);
+  EXPECT_NEAR(result.objective, -5.0, 1e-9);
+  EXPECT_NEAR(result.x[0], 1.0, 1e-9);
+  EXPECT_NEAR(result.x[1], 2.0, 1e-9);
+}
+
+TEST(SimplexTest, DegenerateVertexTerminates) {
+  // Classic degeneracy: multiple constraints meet at the optimum.
+  SimplexSolver solver(2);
+  solver.SetObjective(Vector{-1.0, -1.0});
+  solver.AddLe(Vector{1.0, 0.0}, 1.0);
+  solver.AddLe(Vector{0.0, 1.0}, 1.0);
+  solver.AddLe(Vector{1.0, 1.0}, 2.0);  // redundant at the optimum
+  const SimplexResult result = solver.Solve();
+  ASSERT_EQ(result.status, SimplexStatus::kOptimal);
+  EXPECT_NEAR(result.objective, -2.0, 1e-9);
+}
+
+TEST(SimplexTest, RedundantEqualityRows) {
+  // Duplicate equality rows leave an artificial basic at zero; the solver
+  // must still find the optimum.
+  SimplexSolver solver(2);
+  solver.SetObjective(Vector{1.0, 1.0});
+  solver.AddEq(Vector{1.0, 1.0}, 5.0);
+  solver.AddEq(Vector{2.0, 2.0}, 10.0);
+  const SimplexResult result = solver.Solve();
+  ASSERT_EQ(result.status, SimplexStatus::kOptimal);
+  EXPECT_NEAR(result.objective, 5.0, 1e-9);
+}
+
+TEST(SimplexTest, PartitioningShapedProblem) {
+  // The shape produced by core::Optimizer: minimize sum g0_i * x_i subject
+  // to a goal hyperplane equality and per-node capacity bounds.
+  // min 0.5 x1 + 1.0 x2 + 0.8 x3
+  // s.t. -2 x1 - 1 x2 - 3 x3 = -12   (goal plane)
+  //      x_i <= 4.
+  SimplexSolver solver(3);
+  solver.SetObjective(Vector{0.5, 1.0, 0.8});
+  solver.AddEq(Vector{-2.0, -1.0, -3.0}, -12.0);
+  for (size_t i = 0; i < 3; ++i) solver.SetUpperBound(i, 4.0);
+  const SimplexResult result = solver.Solve();
+  ASSERT_EQ(result.status, SimplexStatus::kOptimal);
+  // Constraint must hold exactly.
+  EXPECT_NEAR(-2.0 * result.x[0] - result.x[1] - 3.0 * result.x[2], -12.0,
+              1e-9);
+  // Cheapest contribution per constraint unit is x1 (0.5/2 = 0.25), then x3
+  // (0.8/3 ~= 0.267): x1 saturates at 4 (covers 8), x3 covers the rest.
+  EXPECT_NEAR(result.x[0], 4.0, 1e-9);
+  EXPECT_NEAR(result.x[2], 4.0 / 3.0, 1e-9);
+  EXPECT_NEAR(result.x[1], 0.0, 1e-9);
+  EXPECT_NEAR(result.objective, 0.5 * 4.0 + 0.8 * 4.0 / 3.0, 1e-9);
+}
+
+// Property test: on random feasible LPs, the returned point must satisfy
+// every constraint and weakly dominate a cloud of random feasible points.
+class SimplexPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexPropertyTest, OptimumDominatesRandomFeasiblePoints) {
+  const int seed = GetParam();
+  common::Rng rng(static_cast<uint64_t>(seed));
+  const size_t n = static_cast<size_t>(rng.UniformInt(2, 6));
+  const size_t m = static_cast<size_t>(rng.UniformInt(1, 5));
+
+  // Random box bounds and random <= rows with nonnegative coefficients:
+  // x = 0 is always feasible, so status must be optimal.
+  SimplexSolver solver(n);
+  Vector c(n);
+  for (auto& v : c) v = rng.Uniform(-2.0, 2.0);
+  solver.SetObjective(c);
+  std::vector<Vector> rows;
+  Vector rhs;
+  for (size_t i = 0; i < m; ++i) {
+    Vector a(n);
+    for (auto& v : a) v = rng.Uniform(0.0, 3.0);
+    const double b = rng.Uniform(1.0, 10.0);
+    solver.AddLe(a, b);
+    rows.push_back(a);
+    rhs.push_back(b);
+  }
+  Vector ub(n);
+  for (size_t j = 0; j < n; ++j) {
+    ub[j] = rng.Uniform(0.5, 5.0);
+    solver.SetUpperBound(j, ub[j]);
+  }
+
+  const SimplexResult result = solver.Solve();
+  ASSERT_EQ(result.status, SimplexStatus::kOptimal);
+
+  // Feasibility of the reported optimum.
+  for (size_t j = 0; j < n; ++j) {
+    EXPECT_GE(result.x[j], -1e-9);
+    EXPECT_LE(result.x[j], ub[j] + 1e-9);
+  }
+  for (size_t i = 0; i < m; ++i) {
+    EXPECT_LE(Dot(rows[i], result.x), rhs[i] + 1e-7);
+  }
+
+  // Optimality against random feasible points: draw a point in the box,
+  // then shrink it towards the (always feasible) origin until every row
+  // holds, so each trial yields a feasible comparison point.
+  for (int trial = 0; trial < 100; ++trial) {
+    Vector p(n);
+    for (size_t j = 0; j < n; ++j) p[j] = rng.Uniform(0.0, ub[j]);
+    double shrink = 1.0;
+    for (size_t i = 0; i < m; ++i) {
+      const double lhs = Dot(rows[i], p);
+      if (lhs > rhs[i]) shrink = std::min(shrink, rhs[i] / lhs);
+    }
+    for (double& v : p) v *= shrink;
+    EXPECT_LE(result.objective, Dot(c, p) + 1e-7);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexPropertyTest, ::testing::Range(1, 26));
+
+}  // namespace
+}  // namespace memgoal::la

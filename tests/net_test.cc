@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "net/directory.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "storage/database.h"
+
+namespace memgoal::net {
+namespace {
+
+TEST(NetworkTest, TransmissionTime) {
+  sim::Simulator simulator;
+  Network::Params params;
+  params.bandwidth_mbit_per_s = 100.0;
+  params.latency_ms = 0.05;
+  Network network(&simulator, params);
+  // 4096 bytes = 32768 bits at 100 Mbit/s = 0.32768 ms.
+  EXPECT_NEAR(network.TransmissionTime(4096), 0.32768, 1e-9);
+}
+
+TEST(NetworkTest, TransferTakesTransmissionPlusLatency) {
+  sim::Simulator simulator;
+  Network network(&simulator, Network::Params{100.0, 0.05});
+  simulator.Spawn(network.Transfer(0, 1, 4096, TrafficClass::kPage));
+  simulator.Run();
+  EXPECT_NEAR(simulator.Now(), 0.32768 + 0.05, 1e-9);
+}
+
+TEST(NetworkTest, SharedMediumSerializes) {
+  sim::Simulator simulator;
+  Network network(&simulator, Network::Params{100.0, 0.0});
+  for (int i = 0; i < 3; ++i) {
+    simulator.Spawn(network.Transfer(0, 1, 4096, TrafficClass::kPage));
+  }
+  simulator.Run();
+  EXPECT_NEAR(simulator.Now(), 3 * 0.32768, 1e-9);
+}
+
+TEST(NetworkTest, SameNodeTransferIsFree) {
+  sim::Simulator simulator;
+  Network network(&simulator, Network::Params{});
+  simulator.Spawn(network.Transfer(2, 2, 4096, TrafficClass::kPage));
+  simulator.Run();
+  EXPECT_DOUBLE_EQ(simulator.Now(), 0.0);
+  EXPECT_EQ(network.total_bytes_sent(), 0u);
+}
+
+TEST(NetworkTest, PerCategoryAccounting) {
+  sim::Simulator simulator;
+  Network network(&simulator, Network::Params{});
+  simulator.Spawn(network.Transfer(0, 1, 100, TrafficClass::kControl));
+  simulator.Spawn(network.Transfer(0, 1, 4096, TrafficClass::kPage));
+  simulator.Spawn(
+      network.Transfer(1, 0, 48, TrafficClass::kPartitionProtocol));
+  simulator.Run();
+  EXPECT_EQ(network.bytes_sent(TrafficClass::kControl), 100u);
+  EXPECT_EQ(network.bytes_sent(TrafficClass::kPage), 4096u);
+  EXPECT_EQ(network.bytes_sent(TrafficClass::kPartitionProtocol), 48u);
+  EXPECT_EQ(network.bytes_sent(TrafficClass::kHeatHint), 0u);
+  EXPECT_EQ(network.total_bytes_sent(), 100u + 4096u + 48u);
+  EXPECT_EQ(network.total_messages_sent(), 3u);
+  EXPECT_EQ(network.messages_sent(TrafficClass::kPage), 1u);
+}
+
+class DirectoryTest : public ::testing::Test {
+ protected:
+  DirectoryTest() : db_(30, 4096, 3), directory_(&db_) {}
+  storage::Database db_;
+  PageDirectory directory_;
+};
+
+TEST_F(DirectoryTest, CopyTrackingIdempotent) {
+  EXPECT_EQ(directory_.CopyCount(5), 0);
+  directory_.OnPageCached(1, 5);
+  directory_.OnPageCached(1, 5);  // idempotent
+  EXPECT_EQ(directory_.CopyCount(5), 1);
+  EXPECT_TRUE(directory_.IsCachedAt(1, 5));
+  EXPECT_TRUE(directory_.IsLastCopy(1, 5));
+  directory_.OnPageCached(2, 5);
+  EXPECT_EQ(directory_.CopyCount(5), 2);
+  EXPECT_FALSE(directory_.IsLastCopy(1, 5));
+  directory_.OnPageDropped(1, 5);
+  directory_.OnPageDropped(1, 5);  // idempotent
+  EXPECT_EQ(directory_.CopyCount(5), 1);
+  EXPECT_TRUE(directory_.IsLastCopy(2, 5));
+}
+
+TEST_F(DirectoryTest, FindCopyPrefersHome) {
+  // Page 7's home is node 1 (7 % 3).
+  directory_.OnPageCached(0, 7);
+  directory_.OnPageCached(1, 7);
+  auto copy = directory_.FindCopy(7, /*except=*/2);
+  ASSERT_TRUE(copy.has_value());
+  EXPECT_EQ(*copy, 1u);
+}
+
+TEST_F(DirectoryTest, FindCopyExcludesRequester) {
+  directory_.OnPageCached(2, 7);
+  auto copy = directory_.FindCopy(7, /*except=*/2);
+  EXPECT_FALSE(copy.has_value());
+  directory_.OnPageCached(0, 7);
+  copy = directory_.FindCopy(7, /*except=*/2);
+  ASSERT_TRUE(copy.has_value());
+  EXPECT_EQ(*copy, 0u);
+}
+
+TEST_F(DirectoryTest, FindCopyNoneWhenUncached) {
+  EXPECT_FALSE(directory_.FindCopy(3, 0).has_value());
+}
+
+TEST_F(DirectoryTest, GlobalHeatAggregatesReports) {
+  directory_.ReportLocalHeat(0, 4, 0.5);
+  directory_.ReportLocalHeat(1, 4, 0.25);
+  EXPECT_DOUBLE_EQ(directory_.GlobalHeat(4), 0.75);
+  // Re-report replaces, not adds.
+  directory_.ReportLocalHeat(0, 4, 0.1);
+  EXPECT_DOUBLE_EQ(directory_.GlobalHeat(4), 0.35);
+}
+
+TEST_F(DirectoryTest, TotalCachedPages) {
+  directory_.OnPageCached(0, 1);
+  directory_.OnPageCached(1, 1);
+  directory_.OnPageCached(2, 2);
+  EXPECT_EQ(directory_.total_cached_pages(), 3u);
+  directory_.OnPageDropped(1, 1);
+  EXPECT_EQ(directory_.total_cached_pages(), 2u);
+}
+
+}  // namespace
+}  // namespace memgoal::net

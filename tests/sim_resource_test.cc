@@ -1,0 +1,122 @@
+#include "sim/resource.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+#include "sim/task.h"
+
+namespace memgoal::sim {
+namespace {
+
+Task<void> UseOnce(Simulator* simulator, Resource* resource, SimTime service,
+                   int id, std::vector<std::pair<int, double>>* done) {
+  co_await resource->Acquire();
+  co_await simulator->Delay(service);
+  resource->Release();
+  done->push_back({id, simulator->Now()});
+}
+
+TEST(ResourceTest, SerializesUnitCapacity) {
+  Simulator simulator;
+  Resource disk(&simulator, 1, "disk");
+  std::vector<std::pair<int, double>> done;
+  for (int i = 0; i < 3; ++i) {
+    simulator.Spawn(UseOnce(&simulator, &disk, 10.0, i, &done));
+  }
+  simulator.Run();
+  ASSERT_EQ(done.size(), 3u);
+  // FCFS: completion order equals arrival order, spaced by service time.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(done[i].first, i);
+    EXPECT_DOUBLE_EQ(done[i].second, 10.0 * (i + 1));
+  }
+}
+
+TEST(ResourceTest, ParallelismUpToCapacity) {
+  Simulator simulator;
+  Resource cpu(&simulator, 2, "cpu");
+  std::vector<std::pair<int, double>> done;
+  for (int i = 0; i < 4; ++i) {
+    simulator.Spawn(UseOnce(&simulator, &cpu, 10.0, i, &done));
+  }
+  simulator.Run();
+  ASSERT_EQ(done.size(), 4u);
+  // Two at a time: finish at 10, 10, 20, 20.
+  EXPECT_DOUBLE_EQ(done[0].second, 10.0);
+  EXPECT_DOUBLE_EQ(done[1].second, 10.0);
+  EXPECT_DOUBLE_EQ(done[2].second, 20.0);
+  EXPECT_DOUBLE_EQ(done[3].second, 20.0);
+}
+
+Task<void> StaggeredUse(Simulator* simulator, Resource* resource,
+                        SimTime start, SimTime service,
+                        std::vector<double>* completions) {
+  co_await simulator->Delay(start);
+  co_await resource->Acquire();
+  co_await simulator->Delay(service);
+  resource->Release();
+  completions->push_back(simulator->Now());
+}
+
+TEST(ResourceTest, WaitStatisticsRecorded) {
+  Simulator simulator;
+  Resource disk(&simulator, 1, "disk");
+  std::vector<double> completions;
+  // First arrives at 0 (no wait), second at 1 (waits 9).
+  simulator.Spawn(StaggeredUse(&simulator, &disk, 0.0, 10.0, &completions));
+  simulator.Spawn(StaggeredUse(&simulator, &disk, 1.0, 10.0, &completions));
+  simulator.Run();
+  EXPECT_EQ(disk.total_acquisitions(), 2u);
+  EXPECT_DOUBLE_EQ(disk.wait_stats().min(), 0.0);
+  EXPECT_DOUBLE_EQ(disk.wait_stats().max(), 9.0);
+}
+
+TEST(ResourceTest, UtilizationIntegratesBusyTime) {
+  Simulator simulator;
+  Resource disk(&simulator, 1, "disk");
+  std::vector<double> completions;
+  simulator.Spawn(StaggeredUse(&simulator, &disk, 0.0, 25.0, &completions));
+  simulator.Run();
+  simulator.RunUntil(100.0);
+  // Busy 25 ms of 100 ms.
+  EXPECT_NEAR(disk.UtilizationAt(simulator.Now()), 0.25, 1e-12);
+}
+
+TEST(ResourceTest, UseHelperEquivalent) {
+  Simulator simulator;
+  Resource disk(&simulator, 1, "disk");
+  simulator.Spawn(disk.Use(5.0));
+  simulator.Spawn(disk.Use(5.0));
+  simulator.Run();
+  EXPECT_DOUBLE_EQ(simulator.Now(), 10.0);
+  EXPECT_EQ(disk.total_acquisitions(), 2u);
+  EXPECT_EQ(disk.in_use(), 0);
+}
+
+Task<void> HoldAndCount(Simulator* simulator, Resource* resource,
+                        int* active, int* max_active) {
+  co_await resource->Acquire();
+  ++*active;
+  *max_active = std::max(*max_active, *active);
+  co_await simulator->Delay(1.0);
+  --*active;
+  resource->Release();
+}
+
+TEST(ResourceTest, NeverExceedsCapacity) {
+  Simulator simulator;
+  Resource resource(&simulator, 3, "r");
+  int active = 0, max_active = 0;
+  for (int i = 0; i < 20; ++i) {
+    simulator.Spawn(HoldAndCount(&simulator, &resource, &active, &max_active));
+  }
+  simulator.Run();
+  EXPECT_EQ(max_active, 3);
+  EXPECT_EQ(active, 0);
+  EXPECT_EQ(resource.queue_length(), 0u);
+}
+
+}  // namespace
+}  // namespace memgoal::sim

@@ -1,0 +1,113 @@
+#include "sim/sync.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+#include "sim/task.h"
+
+namespace memgoal::sim {
+namespace {
+
+Task<void> WaitForEvent(Simulator* simulator, Event* event,
+                        std::vector<double>* wake_times) {
+  co_await event->Wait();
+  wake_times->push_back(simulator->Now());
+}
+
+Task<void> SetAfter(Simulator* simulator, Event* event, SimTime delay) {
+  co_await simulator->Delay(delay);
+  event->Set();
+}
+
+TEST(EventTest, BroadcastWakesAllWaiters) {
+  Simulator simulator;
+  Event event(&simulator);
+  std::vector<double> wake_times;
+  for (int i = 0; i < 3; ++i) {
+    simulator.Spawn(WaitForEvent(&simulator, &event, &wake_times));
+  }
+  EXPECT_EQ(event.waiter_count(), 3u);
+  simulator.Spawn(SetAfter(&simulator, &event, 25.0));
+  simulator.Run();
+  ASSERT_EQ(wake_times.size(), 3u);
+  for (double t : wake_times) EXPECT_DOUBLE_EQ(t, 25.0);
+}
+
+TEST(EventTest, WaitOnSetEventIsImmediate) {
+  Simulator simulator;
+  Event event(&simulator);
+  event.Set();
+  std::vector<double> wake_times;
+  simulator.Spawn(WaitForEvent(&simulator, &event, &wake_times));
+  // Completed synchronously during Spawn.
+  ASSERT_EQ(wake_times.size(), 1u);
+  EXPECT_DOUBLE_EQ(wake_times[0], 0.0);
+}
+
+TEST(EventTest, SetIsIdempotent) {
+  Simulator simulator;
+  Event event(&simulator);
+  std::vector<double> wake_times;
+  simulator.Spawn(WaitForEvent(&simulator, &event, &wake_times));
+  event.Set();
+  event.Set();
+  simulator.Run();
+  EXPECT_EQ(wake_times.size(), 1u);
+  EXPECT_TRUE(event.is_set());
+}
+
+Task<void> Worker(Simulator* simulator, WaitGroup* group, SimTime work_ms) {
+  co_await simulator->Delay(work_ms);
+  group->Done();
+}
+
+Task<void> Join(Simulator* simulator, WaitGroup* group, double* joined_at) {
+  co_await group->Wait();
+  *joined_at = simulator->Now();
+}
+
+TEST(WaitGroupTest, JoinWaitsForSlowestWorker) {
+  Simulator simulator;
+  WaitGroup group(&simulator);
+  group.Add(3);
+  simulator.Spawn(Worker(&simulator, &group, 10.0));
+  simulator.Spawn(Worker(&simulator, &group, 30.0));
+  simulator.Spawn(Worker(&simulator, &group, 20.0));
+  double joined_at = -1.0;
+  simulator.Spawn(Join(&simulator, &group, &joined_at));
+  simulator.Run();
+  EXPECT_DOUBLE_EQ(joined_at, 30.0);
+  EXPECT_EQ(group.count(), 0);
+}
+
+TEST(WaitGroupTest, WaitOnZeroIsImmediate) {
+  Simulator simulator;
+  WaitGroup group(&simulator);
+  double joined_at = -1.0;
+  simulator.Spawn(Join(&simulator, &group, &joined_at));
+  EXPECT_DOUBLE_EQ(joined_at, 0.0);
+}
+
+TEST(WaitGroupTest, ReusableAcrossRounds) {
+  Simulator simulator;
+  WaitGroup group(&simulator);
+  group.Add(1);
+  simulator.Spawn(Worker(&simulator, &group, 5.0));
+  double first = -1.0;
+  simulator.Spawn(Join(&simulator, &group, &first));
+  simulator.Run();
+  EXPECT_DOUBLE_EQ(first, 5.0);
+
+  group.Add(2);
+  simulator.Spawn(Worker(&simulator, &group, 7.0));
+  simulator.Spawn(Worker(&simulator, &group, 3.0));
+  double second = -1.0;
+  simulator.Spawn(Join(&simulator, &group, &second));
+  simulator.Run();
+  EXPECT_DOUBLE_EQ(second, 12.0);  // 5 + 7
+}
+
+}  // namespace
+}  // namespace memgoal::sim

@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+#include "storage/database.h"
+#include "storage/disk.h"
+#include "storage/types.h"
+
+namespace memgoal::storage {
+namespace {
+
+TEST(DatabaseTest, RoundRobinHomes) {
+  Database db(10, 4096, 3);
+  EXPECT_EQ(db.HomeOf(0), 0u);
+  EXPECT_EQ(db.HomeOf(1), 1u);
+  EXPECT_EQ(db.HomeOf(2), 2u);
+  EXPECT_EQ(db.HomeOf(3), 0u);
+  EXPECT_EQ(db.HomeOf(9), 0u);
+}
+
+TEST(DatabaseTest, PagesHomedAtPartitionsEvenly) {
+  Database db(10, 4096, 3);
+  // 10 pages over 3 nodes: 4, 3, 3.
+  EXPECT_EQ(db.PagesHomedAt(0), 4u);
+  EXPECT_EQ(db.PagesHomedAt(1), 3u);
+  EXPECT_EQ(db.PagesHomedAt(2), 3u);
+  uint32_t total = 0;
+  for (NodeId i = 0; i < 3; ++i) total += db.PagesHomedAt(i);
+  EXPECT_EQ(total, db.num_pages());
+}
+
+TEST(DatabaseTest, TotalBytes) {
+  Database db(2000, 4096, 3);
+  EXPECT_EQ(db.total_bytes(), 2000ull * 4096);
+}
+
+TEST(DiskTest, ServiceTimeFromParameters) {
+  sim::Simulator simulator;
+  Disk::Params params;
+  params.avg_seek_ms = 8.0;
+  params.rotation_ms = 8.0;
+  params.transfer_mb_per_s = 4.096;  // 4 KB in exactly 1 ms
+  Disk disk(&simulator, params, 4096, "d");
+  EXPECT_NEAR(disk.PageServiceTime(), 8.0 + 4.0 + 1.0, 1e-9);
+}
+
+TEST(DiskTest, ReadsAreFcfsSerialized) {
+  sim::Simulator simulator;
+  Disk disk(&simulator, Disk::Params{}, 4096, "d");
+  const double service = disk.PageServiceTime();
+  for (int i = 0; i < 3; ++i) simulator.Spawn(disk.ReadPage());
+  simulator.Run();
+  EXPECT_NEAR(simulator.Now(), 3.0 * service, 1e-9);
+  EXPECT_EQ(disk.reads_completed(), 3u);
+}
+
+TEST(StorageLevelTest, Names) {
+  EXPECT_STREQ(StorageLevelName(StorageLevel::kLocalBuffer), "local-buffer");
+  EXPECT_STREQ(StorageLevelName(StorageLevel::kRemoteDisk), "remote-disk");
+}
+
+}  // namespace
+}  // namespace memgoal::storage

@@ -1,0 +1,89 @@
+#include "txn/wal.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+#include "storage/disk.h"
+
+namespace memgoal::txn {
+namespace {
+
+class WalTest : public ::testing::Test {
+ protected:
+  WalTest() : disk_(&simulator_, storage::Disk::Params{}, 4096, "log"),
+              wal_(&disk_, 0) {}
+
+  sim::Simulator simulator_;
+  storage::Disk disk_;
+  Wal wal_;
+};
+
+sim::Task<void> ForceTo(Wal* wal, uint64_t lsn, int* done) {
+  co_await wal->Force(lsn);
+  *done = 1;
+}
+
+TEST_F(WalTest, AppendAssignsMonotonicLsns) {
+  EXPECT_EQ(wal_.Append(1, 128), 1u);
+  EXPECT_EQ(wal_.Append(1, 128), 2u);
+  EXPECT_EQ(wal_.Append(2, 64), 3u);
+  EXPECT_EQ(wal_.appended_bytes(), 320u);
+  EXPECT_EQ(wal_.durable_lsn(), 0u);
+}
+
+TEST_F(WalTest, ForceWritesAndTakesDiskTime) {
+  const uint64_t lsn = wal_.Append(1, 128);
+  int done = 0;
+  simulator_.Spawn(ForceTo(&wal_, lsn, &done));
+  simulator_.Run();
+  EXPECT_EQ(done, 1);
+  EXPECT_EQ(wal_.durable_lsn(), lsn);
+  EXPECT_EQ(disk_.writes_completed(), 1u);
+  EXPECT_NEAR(simulator_.Now(), disk_.PageServiceTime(), 1e-9);
+}
+
+TEST_F(WalTest, ForceOfDurableLsnIsFree) {
+  const uint64_t lsn = wal_.Append(1, 128);
+  int done = 0;
+  simulator_.Spawn(ForceTo(&wal_, lsn, &done));
+  simulator_.Run();
+  const double after_first = simulator_.Now();
+  int done2 = 0;
+  simulator_.Spawn(ForceTo(&wal_, lsn, &done2));
+  simulator_.Run();
+  EXPECT_EQ(done2, 1);
+  EXPECT_DOUBLE_EQ(simulator_.Now(), after_first);  // no extra disk write
+  EXPECT_EQ(disk_.writes_completed(), 1u);
+}
+
+TEST_F(WalTest, GroupCommitCoversEarlierAppends) {
+  // Three records appended, one force to the last covers all of them.
+  wal_.Append(1, 128);
+  wal_.Append(2, 128);
+  const uint64_t last = wal_.Append(3, 128);
+  int done = 0;
+  simulator_.Spawn(ForceTo(&wal_, last, &done));
+  simulator_.Run();
+  EXPECT_EQ(wal_.durable_lsn(), last);
+  EXPECT_EQ(disk_.writes_completed(), 1u);
+  EXPECT_EQ(wal_.forces(), 1u);
+}
+
+TEST_F(WalTest, RecordAppendedDuringWriteNeedsAnotherForce) {
+  const uint64_t first = wal_.Append(1, 128);
+  int done1 = 0;
+  simulator_.Spawn(ForceTo(&wal_, first, &done1));
+  // While the first force's write is in flight, append and force another.
+  simulator_.RunUntil(disk_.PageServiceTime() / 2.0);
+  const uint64_t second = wal_.Append(2, 128);
+  int done2 = 0;
+  simulator_.Spawn(ForceTo(&wal_, second, &done2));
+  simulator_.Run();
+  EXPECT_EQ(done1, 1);
+  EXPECT_EQ(done2, 1);
+  EXPECT_EQ(wal_.durable_lsn(), second);
+  EXPECT_EQ(disk_.writes_completed(), 2u);
+}
+
+}  // namespace
+}  // namespace memgoal::txn

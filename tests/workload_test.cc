@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "workload/page_selector.h"
+#include "workload/spec.h"
+#include "workload/zipf.h"
+
+namespace memgoal::workload {
+namespace {
+
+TEST(ZipfTest, ZeroSkewIsUniform) {
+  ZipfianGenerator zipf(100, 0.0);
+  for (uint32_t r = 0; r < 100; ++r) {
+    EXPECT_NEAR(zipf.ProbabilityOfRank(r), 0.01, 1e-12);
+  }
+}
+
+TEST(ZipfTest, ProbabilitiesSumToOne) {
+  for (double theta : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    ZipfianGenerator zipf(500, theta);
+    double sum = 0.0;
+    for (uint32_t r = 0; r < 500; ++r) sum += zipf.ProbabilityOfRank(r);
+    EXPECT_NEAR(sum, 1.0, 1e-9) << "theta=" << theta;
+  }
+}
+
+TEST(ZipfTest, SkewMakesLowRanksHotter) {
+  ZipfianGenerator zipf(100, 1.0);
+  EXPECT_GT(zipf.ProbabilityOfRank(0), zipf.ProbabilityOfRank(1));
+  EXPECT_GT(zipf.ProbabilityOfRank(1), zipf.ProbabilityOfRank(50));
+  // Rank-0:rank-9 frequency ratio is 10 for theta=1.
+  EXPECT_NEAR(zipf.ProbabilityOfRank(0) / zipf.ProbabilityOfRank(9), 10.0,
+              1e-9);
+}
+
+TEST(ZipfTest, SampleMatchesTheory) {
+  common::Rng rng(42);
+  ZipfianGenerator zipf(50, 0.8);
+  std::vector<int> counts(50, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.Sample(&rng)];
+  for (uint32_t r : {0u, 1u, 10u, 49u}) {
+    const double expected = zipf.ProbabilityOfRank(r);
+    const double observed = static_cast<double>(counts[r]) / n;
+    EXPECT_NEAR(observed, expected, 5e-3) << "rank " << r;
+  }
+}
+
+TEST(ZipfTest, SingleItem) {
+  common::Rng rng(1);
+  ZipfianGenerator zipf(1, 1.0);
+  EXPECT_EQ(zipf.Sample(&rng), 0u);
+  EXPECT_DOUBLE_EQ(zipf.ProbabilityOfRank(0), 1.0);
+}
+
+TEST(PageSelectorTest, StaysInRange) {
+  ClassSpec spec;
+  spec.pages = {100, 200};
+  spec.zipf_skew = 0.5;
+  PageSelector selector(spec);
+  common::Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const PageId page = selector.Sample(&rng);
+    EXPECT_GE(page, 100u);
+    EXPECT_LT(page, 200u);
+  }
+}
+
+TEST(PageSelectorTest, HotPageIsRangeStart) {
+  ClassSpec spec;
+  spec.pages = {100, 200};
+  spec.zipf_skew = 1.0;
+  PageSelector selector(spec);
+  EXPECT_GT(selector.ProbabilityOf(100), selector.ProbabilityOf(101));
+  EXPECT_DOUBLE_EQ(selector.ProbabilityOf(99), 0.0);
+  EXPECT_DOUBLE_EQ(selector.ProbabilityOf(200), 0.0);
+}
+
+TEST(PageSelectorTest, SharingMixture) {
+  ClassSpec spec;
+  spec.pages = {0, 100};
+  spec.zipf_skew = 0.0;
+  spec.shared_pages = PageRange{100, 200};
+  spec.share_prob = 0.3;
+  spec.shared_skew = 0.0;
+  PageSelector selector(spec);
+
+  common::Rng rng(11);
+  int shared_draws = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (selector.Sample(&rng) >= 100) ++shared_draws;
+  }
+  EXPECT_NEAR(static_cast<double>(shared_draws) / n, 0.3, 0.01);
+  // Probability mass: own range carries 0.7, shared 0.3.
+  EXPECT_NEAR(selector.ProbabilityOf(0), 0.7 / 100, 1e-12);
+  EXPECT_NEAR(selector.ProbabilityOf(150), 0.3 / 100, 1e-12);
+}
+
+TEST(PageSelectorTest, OverlappingSharedRangeAddsMass) {
+  // Shared range overlapping the own range: probabilities add.
+  ClassSpec spec;
+  spec.pages = {0, 100};
+  spec.zipf_skew = 0.0;
+  spec.shared_pages = PageRange{50, 150};
+  spec.share_prob = 0.5;
+  spec.shared_skew = 0.0;
+  PageSelector selector(spec);
+  EXPECT_NEAR(selector.ProbabilityOf(75), 0.5 / 100 + 0.5 / 100, 1e-12);
+  EXPECT_NEAR(selector.ProbabilityOf(25), 0.5 / 100, 1e-12);
+  EXPECT_NEAR(selector.ProbabilityOf(125), 0.5 / 100, 1e-12);
+}
+
+TEST(PageSelectorTest, FullSharingMirrorsOtherClass) {
+  ClassSpec spec;
+  spec.pages = {0, 100};
+  spec.shared_pages = PageRange{200, 300};
+  spec.share_prob = 1.0;
+  spec.shared_skew = 1.0;
+  PageSelector selector(spec);
+  common::Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_GE(selector.Sample(&rng), 200u);
+  }
+}
+
+}  // namespace
+}  // namespace memgoal::workload

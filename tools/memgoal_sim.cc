@@ -1,0 +1,201 @@
+// memgoal_sim — scenario-file driven simulation runner.
+//
+// Reads a scenario description (key=value lines, '#' comments) from a file
+// given as the first argument (or from stdin with "-"), runs it, prints the
+// per-interval metrics as CSV to stdout and a summary to stderr. Any
+// further command-line key=value arguments override the file.
+//
+//   memgoal_sim scenario.conf intervals=120 seed=9
+//
+// Scenario keys (defaults in parentheses):
+//   nodes (3), cache_bytes (2097152), page_bytes (4096), db_pages (2000),
+//   interval_ms (5000), seed (1), intervals (40),
+//   policy (cost-based | lru | lru-k | fifo),
+//   objective (nogoal | variance),
+//   disk_seek_ms (8.0), disk_rotation_ms (8.33), disk_transfer (10.0),
+//   net_mbit (100.0), net_latency_ms (0.05), net_loss (0.0),
+//   classes (2)                      — total class count including class 0
+//   class<i>_goal_ms                 — omit (or 0) for the no-goal class
+//   class<i>_pages                   — "begin:end" page range
+//   class<i>_interarrival_ms (100), class<i>_accesses (4),
+//   class<i>_skew (0), class<i>_share_prob (0),
+//   class<i>_shared_pages            — "begin:end" of the shared range
+//
+// Example scenario file: see tools/scenarios/base.conf.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/config.h"
+#include "common/logging.h"
+#include "core/goal_controller.h"
+#include "core/system.h"
+#include "net/network.h"
+
+namespace {
+
+using memgoal::ClassId;
+using memgoal::PageId;
+
+bool ParseRange(const std::string& text, memgoal::workload::PageRange* out) {
+  const size_t colon = text.find(':');
+  if (colon == std::string::npos || colon == 0) return false;
+  out->begin = static_cast<PageId>(std::stoul(text.substr(0, colon)));
+  out->end = static_cast<PageId>(std::stoul(text.substr(colon + 1)));
+  return out->begin < out->end;
+}
+
+memgoal::cache::PolicyKind ParsePolicy(const std::string& name) {
+  if (name == "lru") return memgoal::cache::PolicyKind::kLru;
+  if (name == "lru-k") return memgoal::cache::PolicyKind::kLruK;
+  if (name == "fifo") return memgoal::cache::PolicyKind::kFifo;
+  return memgoal::cache::PolicyKind::kCostBased;
+}
+
+int Run(memgoal::common::Config& config) {
+  memgoal::core::SystemConfig system_config;
+  system_config.num_nodes =
+      static_cast<uint32_t>(config.GetInt("nodes", 3));
+  system_config.cache_bytes_per_node =
+      static_cast<uint64_t>(config.GetInt("cache_bytes", 2 << 20));
+  system_config.page_bytes =
+      static_cast<uint32_t>(config.GetInt("page_bytes", 4096));
+  system_config.db_pages =
+      static_cast<uint32_t>(config.GetInt("db_pages", 2000));
+  system_config.observation_interval_ms =
+      config.GetDouble("interval_ms", 5000.0);
+  system_config.seed = static_cast<uint64_t>(config.GetInt("seed", 1));
+  system_config.policy = ParsePolicy(config.GetString("policy", "cost-based"));
+  system_config.objective =
+      config.GetString("objective", "nogoal") == "variance"
+          ? memgoal::core::PartitioningObjective::kMinimizeNodeVariance
+          : memgoal::core::PartitioningObjective::kMinimizeNoGoalRt;
+  system_config.disk.avg_seek_ms = config.GetDouble("disk_seek_ms", 8.0);
+  system_config.disk.rotation_ms = config.GetDouble("disk_rotation_ms", 8.33);
+  system_config.disk.transfer_mb_per_s = config.GetDouble("disk_transfer", 10.0);
+  system_config.network.bandwidth_mbit_per_s =
+      config.GetDouble("net_mbit", 100.0);
+  system_config.network.latency_ms = config.GetDouble("net_latency_ms", 0.05);
+  system_config.network.loss_probability = config.GetDouble("net_loss", 0.0);
+
+  memgoal::core::ClusterSystem system(system_config);
+
+  const int num_classes = static_cast<int>(config.GetInt("classes", 2));
+  for (int c = 0; c < num_classes; ++c) {
+    const std::string prefix = "class" + std::to_string(c) + "_";
+    memgoal::workload::ClassSpec spec;
+    spec.id = static_cast<ClassId>(c);
+    const double goal = config.GetDouble(prefix + "goal_ms", 0.0);
+    if (c != 0 && goal > 0.0) spec.goal_rt_ms = goal;
+    if (c != 0 && goal <= 0.0) {
+      std::fprintf(stderr, "error: %sgoal_ms required for goal class %d\n",
+                   prefix.c_str(), c);
+      return 1;
+    }
+    const PageId slice = system_config.db_pages /
+                         static_cast<PageId>(num_classes);
+    const std::string default_range =
+        std::to_string(c * slice) + ":" + std::to_string((c + 1) * slice);
+    memgoal::workload::PageRange range;
+    if (!ParseRange(config.GetString(prefix + "pages", default_range),
+                    &range)) {
+      std::fprintf(stderr, "error: bad %spages\n", prefix.c_str());
+      return 1;
+    }
+    spec.pages = range;
+    spec.mean_interarrival_ms =
+        config.GetDouble(prefix + "interarrival_ms", 100.0);
+    spec.accesses_per_op =
+        static_cast<int>(config.GetInt(prefix + "accesses", 4));
+    spec.zipf_skew = config.GetDouble(prefix + "skew", 0.0);
+    spec.share_prob = config.GetDouble(prefix + "share_prob", 0.0);
+    if (spec.share_prob > 0.0) {
+      memgoal::workload::PageRange shared;
+      if (!ParseRange(config.GetString(prefix + "shared_pages", ""),
+                      &shared)) {
+        std::fprintf(stderr, "error: %sshared_pages required\n",
+                     prefix.c_str());
+        return 1;
+      }
+      spec.shared_pages = shared;
+      spec.shared_skew = config.GetDouble(prefix + "shared_skew",
+                                          spec.zipf_skew);
+    }
+    system.AddClass(spec);
+  }
+
+  const int intervals = static_cast<int>(config.GetInt("intervals", 40));
+  system.Start();
+  system.RunIntervals(intervals);
+  system.metrics().WriteCsv(stdout);
+
+  // Summary to stderr so the CSV stays clean.
+  std::fprintf(stderr, "# %d intervals, %u nodes, policy=%s\n", intervals,
+               system_config.num_nodes,
+               memgoal::cache::PolicyKindName(system_config.policy));
+  for (const auto& spec : system.classes()) {
+    const auto& counters = system.counters(spec.id);
+    std::fprintf(stderr,
+                 "# class %u: accesses=%llu local=%.3f remote=%.3f "
+                 "disk=%.3f dedicated=%llu KB\n",
+                 spec.id,
+                 static_cast<unsigned long long>(counters.total()),
+                 counters.HitFraction(memgoal::StorageLevel::kLocalBuffer),
+                 counters.HitFraction(memgoal::StorageLevel::kRemoteBuffer),
+                 counters.HitFraction(memgoal::StorageLevel::kLocalDisk) +
+                     counters.HitFraction(memgoal::StorageLevel::kRemoteDisk),
+                 static_cast<unsigned long long>(
+                     system.TotalDedicatedBytes(spec.id) / 1024));
+  }
+  const auto& network = system.network();
+  std::fprintf(stderr, "# network: %.1f MB total, protocol share %.5f%%\n",
+               static_cast<double>(network.total_bytes_sent()) / 1e6,
+               100.0 *
+                   static_cast<double>(network.bytes_sent(
+                       memgoal::net::TrafficClass::kPartitionProtocol)) /
+                   static_cast<double>(network.total_bytes_sent()));
+
+  for (const std::string& key : config.UnusedKeys()) {
+    std::fprintf(stderr, "# warning: unused key %s\n", key.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <scenario.conf|-> [key=value ...]\n", argv[0]);
+    return 1;
+  }
+
+  memgoal::common::Config config;
+  std::string text;
+  if (std::string(argv[1]) == "-") {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    text = buffer.str();
+  } else {
+    std::ifstream file(argv[1]);
+    if (!file) {
+      std::fprintf(stderr, "error: cannot open %s\n", argv[1]);
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    text = buffer.str();
+  }
+  if (!config.ParseText(text)) {
+    std::fprintf(stderr, "error: %s\n", config.error().c_str());
+    return 1;
+  }
+  if (!config.ParseArgs(argc - 1, argv + 1)) {
+    std::fprintf(stderr, "error: %s\n", config.error().c_str());
+    return 1;
+  }
+  return Run(config);
+}
