@@ -28,6 +28,8 @@ core::SystemConfig Setup::ToConfig() const {
   config.disk.transfer_mb_per_s = disk_transfer_mb_per_s;
   config.policy = policy;
   config.hint_heat_threshold = hint_heat_threshold;
+  config.faults = faults;
+  config.network = network;
   config.seed = seed;
   return config;
 }

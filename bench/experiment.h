@@ -53,6 +53,11 @@ struct Setup {
   double share_prob = 0.0;
   cache::PolicyKind policy = cache::PolicyKind::kCostBased;
   double hint_heat_threshold = 0.2;
+  /// Node crash/recovery schedule (empty = no faults), for the
+  /// degradation/recovery experiment.
+  sim::FaultInjector::Params faults;
+  /// Interconnect parameters, including the best-effort loss process.
+  net::Network::Params network;
 
   core::SystemConfig ToConfig() const;
 };

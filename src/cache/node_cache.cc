@@ -1,5 +1,6 @@
 #include "cache/node_cache.h"
 
+#include <algorithm>
 #include <string>
 #include <utility>
 
@@ -112,6 +113,23 @@ bool NodeCache::Drop(PageId page) {
   PoolFor(it->second).Erase(page);
   page_location_.erase(it);
   return true;
+}
+
+std::vector<PageId> NodeCache::Clear() {
+  std::vector<PageId> dropped;
+  dropped.reserve(page_location_.size());
+  for (const auto& [page, location] : page_location_) {
+    PoolFor(location).Erase(page);
+    dropped.push_back(page);
+  }
+  page_location_.clear();
+  std::sort(dropped.begin(), dropped.end());  // hash-map order is not stable
+  for (auto& [klass, pool] : dedicated_) {
+    const std::vector<PageId> evicted = pool.Resize(0);
+    MEMGOAL_CHECK(evicted.empty());  // pools were emptied above
+  }
+  nogoal_pool_.Resize(total_bytes_);
+  return dropped;
 }
 
 uint64_t NodeCache::SetDedicatedBytes(ClassId klass, uint64_t bytes,

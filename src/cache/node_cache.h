@@ -73,6 +73,12 @@ class NodeCache {
   /// after a committed update elsewhere). Returns false if not resident.
   bool Drop(PageId page);
 
+  /// Empties every pool and resets all dedicated budgets to zero — the
+  /// node's volatile buffer state after a crash (a recovered node restarts
+  /// with a cold cache and no dedications). Returns the pages that were
+  /// resident so the caller can clean up directory state.
+  std::vector<PageId> Clear();
+
   /// Sets class k's dedicated budget, clamped to AvailableForClass(k)
   /// (§5e: "the local agent allocates as much memory as possible").
   /// Returns the granted byte budget; pages dropped in the process (from

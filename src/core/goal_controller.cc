@@ -10,6 +10,17 @@
 
 namespace memgoal::core {
 
+namespace {
+
+bool AllFinite(const la::Vector& v) {
+  for (double x : v) {
+    if (!std::isfinite(x)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
 void GoalOrientedController::Attach(ClusterSystem* system) {
   system_ = system;
   const SystemConfig& config = system->config();
@@ -51,6 +62,62 @@ void GoalOrientedController::MigrateCoordinator(ClassId klass,
   coordinator.home = new_home;
 }
 
+void GoalOrientedController::RestartMeasurement(Coordinator* coordinator,
+                                                NodeId node) {
+  // The node's last-reported view is stale (its agent state is gone on
+  // crash, cold on recovery); every retained measure point described a
+  // cluster that no longer exists.
+  coordinator->views[node] = NodeView{};
+  coordinator->nogoal_rt[node].reset();
+  coordinator->nogoal_rate[node] = 0.0;
+  std::vector<size_t> live;
+  for (NodeId i = 0; i < system_->num_nodes(); ++i) {
+    if (system_->NodeUp(i)) live.push_back(i);
+  }
+  coordinator->store.SetActiveNodes(std::move(live));
+  coordinator->warmup_step = 0;
+  coordinator->consecutive_slow = 0;
+  ++stats_.store_resets;
+}
+
+void GoalOrientedController::OnNodeCrash(NodeId node) {
+  ++stats_.crashes_observed;
+  for (auto& [klass, coordinator] : coordinators_) {
+    if (coordinator.home == node) {
+      // The coordinator's memory died with its node: fail over to the
+      // lowest-numbered live node. No migration messages — the old home
+      // cannot send — and the state restarts fresh on the new home.
+      for (NodeId i = 0; i < system_->num_nodes(); ++i) {
+        if (system_->NodeUp(i)) {
+          coordinator.home = i;
+          break;
+        }
+      }
+      ++stats_.coordinator_failovers;
+      // Every view lived in the dead coordinator's memory.
+      for (NodeView& view : coordinator.views) view = NodeView{};
+      for (auto& rt : coordinator.nogoal_rt) rt.reset();
+      for (double& rate : coordinator.nogoal_rate) rate = 0.0;
+    }
+    RestartMeasurement(&coordinator, node);
+  }
+  // The dead node's agents forget what they last reported; on recovery
+  // they report immediately instead of sitting out the change filter.
+  for (auto& [key, last] : last_sent_) {
+    if (key.second == node) last = LastSent{};
+  }
+}
+
+void GoalOrientedController::OnNodeRecover(NodeId node) {
+  ++stats_.recoveries_observed;
+  for (auto& [klass, coordinator] : coordinators_) {
+    RestartMeasurement(&coordinator, node);
+  }
+  for (auto& [key, last] : last_sent_) {
+    if (key.second == node) last = LastSent{};
+  }
+}
+
 double GoalOrientedController::ToleranceFor(ClassId klass) const {
   auto it = coordinators_.find(klass);
   if (it == coordinators_.end()) return 0.0;
@@ -84,6 +151,11 @@ sim::Task<void> GoalOrientedController::DeliverGoalReport(
       from, coordinator->home, system_->config().report_msg_bytes,
       net::TrafficClass::kPartitionProtocol);
   if (!delivered) co_return;  // the coordinator keeps its stale view
+  if ((rt.has_value() && !std::isfinite(*rt)) || !std::isfinite(rate)) {
+    // A corrupt report must not reach the measure store.
+    ++stats_.nonfinite_observations_rejected;
+    co_return;
+  }
   NodeView& view = coordinator->views[from];
   if (rt.has_value()) view.rt_ms = rt;
   view.arrival_rate = rate;
@@ -98,6 +170,10 @@ sim::Task<void> GoalOrientedController::DeliverNoGoalReport(
       from, coordinator->home, system_->config().report_msg_bytes,
       net::TrafficClass::kPartitionProtocol);
   if (!delivered) co_return;
+  if ((rt.has_value() && !std::isfinite(*rt)) || !std::isfinite(rate)) {
+    ++stats_.nonfinite_observations_rejected;
+    co_return;
+  }
   if (rt.has_value()) coordinator->nogoal_rt[from] = rt;
   coordinator->nogoal_rate[from] = rate;
 }
@@ -105,9 +181,11 @@ sim::Task<void> GoalOrientedController::DeliverNoGoalReport(
 void GoalOrientedController::OnIntervalEnd(int) {
   const SystemConfig& config = system_->config();
 
-  // Phase (a): agents roll up and report on significant change.
+  // Phase (a): agents roll up and report on significant change. A dead
+  // node has no agents: nothing is sent from it.
   for (const workload::ClassSpec& spec : system_->classes()) {
     for (NodeId i = 0; i < config.num_nodes; ++i) {
+      if (!system_->NodeUp(i)) continue;
       const ClusterSystem::Observation& obs =
           system_->observation(spec.id, i);
       const std::optional<double> rt =
@@ -148,8 +226,10 @@ void GoalOrientedController::OnIntervalEnd(int) {
   }
 
   // Phases (b)-(e) run on the coordinators shortly afterwards, once the
-  // reports have arrived.
+  // reports have arrived. A coordinator whose home is down (possible only
+  // when a full outage left no failover target) cannot run.
   for (auto& [klass, coordinator] : coordinators_) {
+    if (!system_->NodeUp(coordinator.home)) continue;
     system_->simulator().Spawn(CoordinatorCheck(&coordinator));
   }
 }
@@ -209,9 +289,17 @@ sim::Task<void> GoalOrientedController::CoordinatorCheck(
   const SystemConfig& config = system_->config();
   co_await system_->simulator().Delay(config.coordinator_check_delay_ms);
 
+  // The home may have died between the interval boundary and this check;
+  // its successor starts from fresh state at the next interval.
+  if (!system_->NodeUp(coordinator->home)) co_return;
+
   ++stats_.checks;
   const std::optional<double> rt_k = WeightedGoalRt(*coordinator);
   if (!rt_k.has_value()) co_return;  // no data yet
+  if (!std::isfinite(*rt_k)) {
+    ++stats_.nonfinite_observations_rejected;
+    co_return;
+  }
   const double goal = system_->spec(coordinator->klass).goal_rt_ms.value();
 
   // Phase (b): fold the current measurement into the measure-point store.
@@ -229,8 +317,13 @@ sim::Task<void> GoalOrientedController::CoordinatorCheck(
     for (uint32_t i = 0; i < config.num_nodes; ++i) {
       rt_per_node[i] = coordinator->views[i].rt_ms.value_or(*rt_k);
     }
-    coordinator->store.ObserveDetailed(allocation, *rt_k, *rt_0,
-                                       rt_per_node);
+    if (std::isfinite(*rt_0) && AllFinite(allocation) &&
+        AllFinite(rt_per_node)) {
+      coordinator->store.ObserveDetailed(allocation, *rt_k, *rt_0,
+                                         rt_per_node);
+    } else {
+      ++stats_.nonfinite_observations_rejected;
+    }
   }
 
   // Phase (c): check against the goal with the tolerance band. Being too
@@ -289,12 +382,24 @@ sim::Task<void> GoalOrientedController::CoordinatorCheck(
     OptimizerInput input;
     std::optional<MeasureStore::Planes> planes =
         coordinator->store.FitPlanes();
-    MEMGOAL_CHECK(planes.has_value());
+    if (!planes.has_value() || !AllFinite(planes->grad_k) ||
+        !std::isfinite(planes->intercept_k) || !AllFinite(planes->grad_0) ||
+        !std::isfinite(planes->intercept_0)) {
+      // A degenerate or numerically broken fit must not steer the
+      // partitioning: keep the previous allocation and let fresh measure
+      // points repair the model.
+      ++stats_.degenerate_fit_skips;
+      co_return;
+    }
     input.goal_rt = goal;
+    // The optimization runs over the live nodes only: a dead node's upper
+    // bound is 0, so the LP cannot place buffer there.
     input.upper_bounds.resize(config.num_nodes);
     for (uint32_t i = 0; i < config.num_nodes; ++i) {
       input.upper_bounds[i] =
-          static_cast<double>(coordinator->views[i].bound_bytes);
+          system_->NodeUp(i)
+              ? static_cast<double>(coordinator->views[i].bound_bytes)
+              : 0.0;
     }
 
     OptimizerMode mode;
@@ -427,6 +532,9 @@ sim::Task<void> GoalOrientedController::SendAllocations(
   const SystemConfig& config = system_->config();
   const uint64_t page = config.page_bytes;
   for (uint32_t i = 0; i < config.num_nodes; ++i) {
+    // No command is sent to a dead node; its budget restarts from zero
+    // after recovery anyway.
+    if (!system_->NodeUp(i)) continue;
     // Round down to whole frames so coordinator bookkeeping matches the
     // pool's frame-granular capacity.
     uint64_t bytes = static_cast<uint64_t>(std::max(0.0, target[i]));

@@ -39,6 +39,8 @@ class GoalOrientedController final : public Controller {
   void Attach(ClusterSystem* system) override;
   void OnIntervalEnd(int interval_index) override;
   void OnGoalChanged(ClassId klass) override;
+  void OnNodeCrash(NodeId node) override;
+  void OnNodeRecover(NodeId node) override;
   double ToleranceFor(ClassId klass) const override;
   const char* name() const override { return "goal-oriented"; }
 
@@ -53,6 +55,18 @@ class GoalOrientedController final : public Controller {
     uint64_t allocation_commands = 0;
     uint64_t best_effort_allocations = 0;
     uint64_t saturations = 0;
+    // Degradation counters (fault tolerance).
+    uint64_t crashes_observed = 0;
+    uint64_t recoveries_observed = 0;
+    /// Coordinators re-homed because their node died.
+    uint64_t coordinator_failovers = 0;
+    /// Measure-store resets forced by crash/recovery (re-warm-ups).
+    uint64_t store_resets = 0;
+    /// Reports/observations rejected for non-finite rt or rate.
+    uint64_t nonfinite_observations_rejected = 0;
+    /// LP runs skipped because the fitted hyperplane was degenerate or had
+    /// non-finite coefficients (previous allocation kept).
+    uint64_t degenerate_fit_skips = 0;
   };
   const ProtocolStats& stats() const { return stats_; }
 
@@ -129,6 +143,11 @@ class GoalOrientedController final : public Controller {
   std::optional<double> WeightedNoGoalRt(const Coordinator& coordinator) const;
 
   la::Vector WarmupAllocation(Coordinator* coordinator) const;
+
+  /// Drops `node`'s stale state from `coordinator` and restarts measurement
+  /// accumulation over the current live-node set (shared crash/recovery
+  /// path; both invalidate every retained measure point).
+  void RestartMeasurement(Coordinator* coordinator, NodeId node);
 
   ClusterSystem* system_ = nullptr;
   std::map<ClassId, Coordinator> coordinators_;

@@ -15,10 +15,14 @@ constexpr size_t kNpos = std::numeric_limits<size_t>::max();
 
 MeasureStore::MeasureStore(size_t num_nodes) : num_nodes_(num_nodes) {
   MEMGOAL_CHECK(num_nodes > 0);
+  active_.resize(num_nodes);
+  for (size_t i = 0; i < num_nodes; ++i) active_[i] = i;
 }
 
-la::Vector MeasureStore::RowOf(const la::Vector& allocation) {
-  la::Vector row = allocation;
+la::Vector MeasureStore::RowOf(const la::Vector& allocation) const {
+  la::Vector row;
+  row.reserve(active_.size() + 1);
+  for (size_t i : active_) row.push_back(allocation[i]);
   row.push_back(1.0);
   return row;
 }
@@ -35,9 +39,11 @@ size_t MeasureStore::FindMatching(const la::Vector& allocation) const {
 }
 
 void MeasureStore::TryInitialize() {
-  if (entries_.size() < num_nodes_ + 1) return;
-  la::Matrix b(num_nodes_ + 1, num_nodes_ + 1);
-  for (size_t i = 0; i <= num_nodes_; ++i) {
+  if (active_.empty()) return;
+  const size_t dim = active_.size() + 1;
+  if (entries_.size() < dim) return;
+  la::Matrix b(dim, dim);
+  for (size_t i = 0; i < dim; ++i) {
     b.SetRow(i, RowOf(entries_[i].allocation));
   }
   if (!inverse_.Reset(b)) {
@@ -102,20 +108,41 @@ void MeasureStore::ObserveDetailed(const la::Vector& allocation, double rt_k,
   ++rejected_points_;
 }
 
+void MeasureStore::Reset() {
+  entries_.clear();
+  inverse_ = la::RowReplaceInverse();
+}
+
+void MeasureStore::SetActiveNodes(std::vector<size_t> active) {
+  for (size_t i : active) MEMGOAL_CHECK(i < num_nodes_);
+  for (size_t i = 1; i < active.size(); ++i) {
+    MEMGOAL_CHECK(active[i - 1] < active[i]);  // sorted, unique
+  }
+  active_ = std::move(active);
+  Reset();
+}
+
 std::optional<MeasureStore::Planes> MeasureStore::FitPlanes() const {
   if (!ready()) return std::nullopt;
-  la::Vector y_k(num_nodes_ + 1), y_0(num_nodes_ + 1);
-  for (size_t i = 0; i <= num_nodes_; ++i) {
+  const size_t dim = active_.size() + 1;
+  la::Vector y_k(dim), y_0(dim);
+  for (size_t i = 0; i < dim; ++i) {
     y_k[i] = entries_[i].rt_k;
     y_0[i] = entries_[i].rt_0;
   }
   const la::Vector beta_k = inverse_.Solve(y_k);
   const la::Vector beta_0 = inverse_.Solve(y_0);
 
+  // Gradients expand back to full dimension with 0 for inactive nodes: no
+  // allocation there can move the response time.
   Planes planes;
-  planes.grad_k.assign(beta_k.begin(), beta_k.end() - 1);
+  planes.grad_k.assign(num_nodes_, 0.0);
+  planes.grad_0.assign(num_nodes_, 0.0);
+  for (size_t j = 0; j < active_.size(); ++j) {
+    planes.grad_k[active_[j]] = beta_k[j];
+    planes.grad_0[active_[j]] = beta_0[j];
+  }
   planes.intercept_k = beta_k.back();
-  planes.grad_0.assign(beta_0.begin(), beta_0.end() - 1);
   planes.intercept_0 = beta_0.back();
   return planes;
 }
@@ -123,6 +150,10 @@ std::optional<MeasureStore::Planes> MeasureStore::FitPlanes() const {
 std::optional<std::vector<MeasureStore::NodePlane>>
 MeasureStore::FitNodePlanes() const {
   if (!ready()) return std::nullopt;
+  // Per-node plane fits (the §8 variance objective) are only meaningful
+  // with every node alive; callers fall back to the mean-plane LP during an
+  // outage.
+  if (active_.size() != num_nodes_) return std::nullopt;
   for (const Entry& entry : entries_) {
     if (entry.rt_per_node.size() != num_nodes_) return std::nullopt;
   }

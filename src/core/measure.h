@@ -79,6 +79,22 @@ class MeasureStore {
   /// per-node data.
   std::optional<std::vector<NodePlane>> FitNodePlanes() const;
 
+  /// Discards every measure point and the maintained inverse; the store
+  /// becomes not-ready and must re-accumulate points. Used when a node
+  /// crash or recovery invalidates all previous measurements (the system
+  /// the points described no longer exists).
+  void Reset();
+
+  /// Restricts the fit to the given (sorted) node-index subset and discards
+  /// every point. With `a` active nodes the store becomes ready after a+1
+  /// affinely independent points *in the active subspace*; fitted gradients
+  /// carry 0 for inactive nodes. This is how the controller shrinks its
+  /// model to the live nodes during an outage: a dead node's allocation is
+  /// pinned at 0, so full-dimension affine independence is unreachable.
+  /// An empty subset leaves the store permanently not-ready.
+  void SetActiveNodes(std::vector<size_t> active);
+  const std::vector<size_t>& active_nodes() const { return active_; }
+
   /// Number of candidate points rejected because every replacement would
   /// have made the point set affinely dependent (tests/metrics).
   uint64_t rejected_points() const { return rejected_points_; }
@@ -92,7 +108,9 @@ class MeasureStore {
     uint64_t seq = 0;        // recency: larger is newer
   };
 
-  static la::Vector RowOf(const la::Vector& allocation);
+  /// Projects an allocation onto the active coordinates and appends the
+  /// affine 1, i.e. one row of the fit's system matrix B.
+  la::Vector RowOf(const la::Vector& allocation) const;
 
   // Index of the entry whose allocation matches, or npos.
   size_t FindMatching(const la::Vector& allocation) const;
@@ -101,6 +119,7 @@ class MeasureStore {
   void TryInitialize();
 
   size_t num_nodes_;
+  std::vector<size_t> active_;  // sorted node indices the fit runs over
   std::vector<Entry> entries_;  // slot i corresponds to row i of B
   la::RowReplaceInverse inverse_;
   uint64_t next_seq_ = 0;

@@ -27,12 +27,17 @@ struct ClassIntervalMetrics {
   uint64_t dedicated_bytes = 0;
   uint64_t ops_completed = 0;
   uint64_t ops_arrived = 0;
+  /// Operations aborted this interval because their node crashed while they
+  /// were in flight (failed, not completed).
+  uint64_t ops_failed = 0;
 };
 
 /// One observation interval across all classes.
 struct IntervalRecord {
   int index = 0;
   sim::SimTime end_time_ms = 0.0;
+  /// Nodes alive at the interval boundary (availability column).
+  uint32_t nodes_up = 0;
   std::vector<ClassIntervalMetrics> classes;
 
   /// Metrics row for `klass`; aborts if absent.
@@ -42,6 +47,9 @@ struct IntervalRecord {
 /// Cumulative access counters, per storage level.
 struct AccessCounters {
   std::array<uint64_t, 4> by_level{};  // indexed by StorageLevel
+  /// Remote fetches that found their target node dead (or freshly
+  /// re-crashed) and fell back to the disk path after a detection timeout.
+  uint64_t fetch_fallbacks = 0;
 
   uint64_t total() const {
     return by_level[0] + by_level[1] + by_level[2] + by_level[3];

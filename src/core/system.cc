@@ -150,6 +150,15 @@ void Node::MaybePropagateHeat(PageId page) {
   }
 }
 
+void Node::ResetVolatileState() {
+  const int k = system_->config().lru_k;
+  accumulated_heat_ = cache::HeatTracker(k);
+  for (auto& [klass, tracker] : class_heat_) {
+    tracker = cache::HeatTracker(k);
+  }
+  reported_heat_.clear();
+}
+
 void Node::HandleDrops(const std::vector<PageId>& dropped) {
   for (PageId page : dropped) {
     system_->directory().OnPageDropped(id_, page);
@@ -178,13 +187,19 @@ sim::Task<void> Node::UseCpu(double instructions) {
   cpu_.Release();
 }
 
+bool Node::CrashedSince(uint64_t epoch) const {
+  return system_->NodeEpoch(id_) != epoch || !system_->NodeUp(id_);
+}
+
 sim::Task<StorageLevel> Node::AccessPage(ClassId klass, PageId page) {
   const SystemConfig& config = system_->config();
   net::Network& network = system_->network();
   net::PageDirectory& directory = system_->directory();
+  const uint64_t start_epoch = system_->NodeEpoch(id_);
 
   RecordAccessHeat(klass, page);
   co_await UseCpu(config.instr_buffer_access);
+  if (CrashedSince(start_epoch)) co_return StorageLevel::kLocalBuffer;
 
   cache::NodeCache::AccessResult access = cache_->OnAccess(klass, page);
   HandleDrops(access.dropped);
@@ -198,15 +213,29 @@ sim::Task<StorageLevel> Node::AccessPage(ClassId klass, PageId page) {
   const uint32_t page_msg = config.page_bytes + config.page_header_bytes;
   StorageLevel level;
 
+  // A peer that crashes while our request is in flight loses its buffer, so
+  // the fetch falls back to a disk after `crash_detect_timeout_ms` (the
+  // requester's failure-detection delay). Disks survive crashes (the NOW's
+  // disks are dual-ported), so a dead home's pages stay readable from its
+  // disk at remote-disk cost.
   if (home == id_) {
     std::optional<NodeId> copy = directory.FindCopy(page, id_);
     if (copy.has_value()) {
       // Remote buffer beats the local disk (~0.4 ms vs ~12 ms).
+      const uint64_t copy_epoch = system_->NodeEpoch(*copy);
       co_await network.Transfer(id_, *copy, config.control_msg_bytes,
                                 net::TrafficClass::kControl);
-      co_await network.Transfer(*copy, id_, page_msg,
-                                net::TrafficClass::kPage);
-      level = StorageLevel::kRemoteBuffer;
+      if (system_->NodeUp(*copy) &&
+          system_->NodeEpoch(*copy) == copy_epoch) {
+        co_await network.Transfer(*copy, id_, page_msg,
+                                  net::TrafficClass::kPage);
+        level = StorageLevel::kRemoteBuffer;
+      } else {
+        co_await system_->simulator().Delay(config.crash_detect_timeout_ms);
+        system_->CountFetchFallback(klass);
+        co_await disk_.ReadPage();
+        level = StorageLevel::kLocalDisk;
+      }
     } else {
       co_await disk_.ReadPage();
       level = StorageLevel::kLocalDisk;
@@ -214,19 +243,44 @@ sim::Task<StorageLevel> Node::AccessPage(ClassId klass, PageId page) {
   } else {
     // Ask the home: it either serves from its buffer, forwards to a caching
     // node, or reads its disk.
+    const uint64_t home_epoch = system_->NodeEpoch(home);
+    const bool home_alive_at_send = system_->NodeUp(home);
     co_await network.Transfer(id_, home, config.control_msg_bytes,
                               net::TrafficClass::kControl);
-    if (directory.IsCachedAt(home, page)) {
+    if (!home_alive_at_send || !system_->NodeUp(home) ||
+        system_->NodeEpoch(home) != home_epoch) {
+      // Dead (or stale-registered) home: declare it down after the
+      // detection timeout and read the page from its surviving disk.
+      co_await system_->simulator().Delay(config.crash_detect_timeout_ms);
+      system_->CountFetchFallback(klass);
+      co_await system_->node(home).disk().ReadPage();
+      co_await network.Transfer(home, id_, page_msg,
+                                net::TrafficClass::kPage);
+      level = StorageLevel::kRemoteDisk;
+    } else if (directory.IsCachedAt(home, page)) {
       co_await network.Transfer(home, id_, page_msg,
                                 net::TrafficClass::kPage);
       level = StorageLevel::kRemoteBuffer;
     } else if (std::optional<NodeId> copy = directory.FindCopy(page, id_);
                copy.has_value()) {
+      const uint64_t copy_epoch = system_->NodeEpoch(*copy);
       co_await network.Transfer(home, *copy, config.control_msg_bytes,
                                 net::TrafficClass::kControl);
-      co_await network.Transfer(*copy, id_, page_msg,
-                                net::TrafficClass::kPage);
-      level = StorageLevel::kRemoteBuffer;
+      if (system_->NodeUp(*copy) &&
+          system_->NodeEpoch(*copy) == copy_epoch) {
+        co_await network.Transfer(*copy, id_, page_msg,
+                                  net::TrafficClass::kPage);
+        level = StorageLevel::kRemoteBuffer;
+      } else {
+        // The forwarded-to copy holder died; the (live) home serves from
+        // its own disk instead.
+        co_await system_->simulator().Delay(config.crash_detect_timeout_ms);
+        system_->CountFetchFallback(klass);
+        co_await system_->node(home).disk().ReadPage();
+        co_await network.Transfer(home, id_, page_msg,
+                                  net::TrafficClass::kPage);
+        level = StorageLevel::kRemoteDisk;
+      }
     } else {
       co_await system_->node(home).disk().ReadPage();
       co_await network.Transfer(home, id_, page_msg,
@@ -234,6 +288,11 @@ sim::Task<StorageLevel> Node::AccessPage(ClassId klass, PageId page) {
       level = StorageLevel::kRemoteDisk;
     }
   }
+
+  // Our own node may have crashed while we fetched: the wiped (or freshly
+  // recovered) cache must not receive the stale page, and the access is not
+  // counted (the operation fails).
+  if (CrashedSince(start_epoch)) co_return level;
 
   // A concurrent operation may have cached the page while we fetched.
   if (!cache_->IsCached(page)) {
@@ -258,12 +317,17 @@ ClusterSystem::ClusterSystem(const SystemConfig& config)
       network_(&simulator_, config.network),
       directory_(&database_),
       cost_model_(DeriveCostModel(config)),
-      master_rng_(config.seed) {
+      master_rng_(config.seed),
+      fault_injector_(&simulator_, config.num_nodes, config.faults) {
   MEMGOAL_CHECK(config.num_nodes > 0);
+  MEMGOAL_CHECK(config.crash_detect_timeout_ms >= 0.0);
   nodes_.reserve(config.num_nodes);
   for (NodeId i = 0; i < config.num_nodes; ++i) {
     nodes_.push_back(std::make_unique<Node>(this, i));
   }
+  fault_injector_.SetCallbacks(
+      [this](uint32_t node) { HandleNodeCrash(node); },
+      [this](uint32_t node) { HandleNodeRecover(node); });
   controller_ = std::make_unique<GoalOrientedController>();
 }
 
@@ -316,6 +380,25 @@ void ClusterSystem::Start() {
     }
   }
   simulator_.Spawn(IntervalLoop());
+  fault_injector_.Start();
+}
+
+void ClusterSystem::HandleNodeCrash(NodeId node) {
+  // Everything volatile on the node disappears at one instant in simulated
+  // time: buffer contents, dedicated budgets, directory registrations and
+  // heat bookkeeping. In-flight operations notice via the epoch counter and
+  // fail; no hint traffic is emitted (a dead node cannot send).
+  Node& n = *nodes_[node];
+  n.node_cache().Clear();
+  directory_.DropNode(node);
+  n.ResetVolatileState();
+  controller_->OnNodeCrash(node);
+}
+
+void ClusterSystem::HandleNodeRecover(NodeId node) {
+  // The node rejoins with a cold cache and zero dedications (enforced at
+  // crash time); the controller re-enters warm-up for it.
+  controller_->OnNodeRecover(node);
 }
 
 const workload::ClassSpec& ClusterSystem::spec(ClassId klass) const {
@@ -383,6 +466,10 @@ void ClusterSystem::CountAccess(ClassId klass, StorageLevel level) {
   counters_[klass].by_level[static_cast<int>(level)]++;
 }
 
+void ClusterSystem::CountFetchFallback(ClassId klass) {
+  counters_[klass].fetch_fallbacks++;
+}
+
 ClusterSystem::IntervalAccumulator& ClusterSystem::Accumulator(ClassId klass,
                                                                NodeId node) {
   return accumulators_[{klass, node}];
@@ -397,6 +484,9 @@ const ClusterSystem::Observation& ClusterSystem::observation(
 
 uint64_t ClusterSystem::ApplyAllocation(ClassId klass, NodeId node,
                                         uint64_t bytes) {
+  // A dead node grants nothing; its budgets are re-established after
+  // recovery by the controller's re-warm-up.
+  if (!fault_injector_.IsUp(node)) return 0;
   std::vector<PageId> dropped;
   const uint64_t granted =
       nodes_[node]->node_cache().SetDedicatedBytes(klass, bytes, &dropped);
@@ -460,6 +550,10 @@ sim::Task<void> ClusterSystem::WorkloadSource(NodeId node, ClassId klass) {
             ? class_spec.mean_interarrival_ms
             : class_spec.per_node_interarrival_ms[node];
     co_await simulator_.Delay(rng.Exponential(interarrival));
+    // A dead node issues no work: the source keeps drawing interarrival
+    // times (so the stream stays deterministic) but stays silent until the
+    // node recovers.
+    if (!fault_injector_.IsUp(node)) continue;
     Accumulator(klass, node).arrived++;
     std::vector<PageId> pages(static_cast<size_t>(class_spec.accesses_per_op));
     for (PageId& page : pages) page = selector.Sample(&rng);
@@ -470,8 +564,16 @@ sim::Task<void> ClusterSystem::WorkloadSource(NodeId node, ClassId klass) {
 sim::Task<void> ClusterSystem::RunOperation(NodeId node, ClassId klass,
                                             std::vector<PageId> pages) {
   const sim::SimTime start = simulator_.Now();
+  const uint64_t epoch = fault_injector_.epoch(node);
   for (PageId page : pages) {
     co_await nodes_[node]->AccessPage(klass, page);
+    if (fault_injector_.epoch(node) != epoch ||
+        !fault_injector_.IsUp(node)) {
+      // The node crashed under this operation: it fails (neither retried
+      // nor counted completed).
+      Accumulator(klass, node).failed++;
+      co_return;
+    }
   }
   IntervalAccumulator& acc = Accumulator(klass, node);
   acc.completed++;
@@ -490,6 +592,7 @@ sim::Task<void> ClusterSystem::IntervalLoop() {
         Observation& obs = observations_[{class_spec.id, i}];
         obs.arrived = acc.arrived;
         obs.completed = acc.completed;
+        obs.failed = acc.failed;
         obs.arrival_rate_per_ms =
             static_cast<double>(acc.arrived) / config_.observation_interval_ms;
         obs.has_rt = acc.completed > 0;
@@ -503,6 +606,7 @@ sim::Task<void> ClusterSystem::IntervalLoop() {
     IntervalRecord record;
     record.index = index;
     record.end_time_ms = simulator_.Now();
+    record.nodes_up = fault_injector_.nodes_up();
     for (const workload::ClassSpec& class_spec : classes_) {
       ClassIntervalMetrics m;
       m.klass = class_spec.id;
@@ -514,6 +618,7 @@ sim::Task<void> ClusterSystem::IntervalLoop() {
         const Observation& obs = observation(class_spec.id, i);
         m.ops_completed += obs.completed;
         m.ops_arrived += obs.arrived;
+        m.ops_failed += obs.failed;
       }
       m.satisfied = class_spec.goal_rt_ms.has_value() &&
                     m.ops_completed > 0 &&

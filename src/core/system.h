@@ -16,6 +16,7 @@
 #include "core/metrics.h"
 #include "net/directory.h"
 #include "net/network.h"
+#include "sim/fault_injector.h"
 #include "sim/resource.h"
 #include "sim/simulator.h"
 #include "sim/task.h"
@@ -51,6 +52,14 @@ struct SystemConfig {
   uint32_t db_pages = 2000;
   storage::Disk::Params disk;
   net::Network::Params network;
+
+  // -- Fault model ----------------------------------------------------------
+  /// Node crash/recovery schedule and stochastic fault process. The default
+  /// (empty script, mttf 0) injects no faults.
+  sim::FaultInjector::Params faults;
+  /// Time (ms) a requester waits before declaring a non-responding node
+  /// dead and falling back to the disk path.
+  double crash_detect_timeout_ms = 2.0;
 
   // -- CPU model (100 MIPS nodes; costs in instructions) -------------------
   double cpu_mips = 100.0;
@@ -130,6 +139,16 @@ class Controller {
   /// Called when a class's response-time goal changes.
   virtual void OnGoalChanged(ClassId /*klass*/) {}
 
+  /// Called synchronously at the instant `node` crashes (after the system
+  /// wiped the node's cache and directory state). Controllers drop the dead
+  /// node's measurements and shrink their optimization to the live nodes;
+  /// the default ignores faults.
+  virtual void OnNodeCrash(NodeId /*node*/) {}
+
+  /// Called synchronously at the instant `node` recovers (cold cache, zero
+  /// dedications). Controllers re-enter warm-up for the rejoined node.
+  virtual void OnNodeRecover(NodeId /*node*/) {}
+
   /// Tolerance band currently applied to `klass` (used for the `satisfied`
   /// flag in metrics). Default: no band.
   virtual double ToleranceFor(ClassId /*klass*/) const { return 0.0; }
@@ -167,6 +186,15 @@ class Node {
 
  private:
   friend class ClusterSystem;
+
+  /// Resets the node's volatile heat bookkeeping after a crash (the cache
+  /// itself is wiped via NodeCache::Clear). Tracker objects are reassigned
+  /// in place so pointers held by replacement policies stay valid.
+  void ResetVolatileState();
+
+  /// True if this node crashed (epoch moved) or is down since `epoch` was
+  /// captured; in-flight accesses abort instead of touching the wiped cache.
+  bool CrashedSince(uint64_t epoch) const;
 
   sim::Task<void> UseCpu(double instructions);
   sim::Task<void> DeliverHeatReport(NodeId home, PageId page, double heat);
@@ -252,6 +280,13 @@ class ClusterSystem {
   uint32_t num_nodes() const { return config_.num_nodes; }
   Node& node(NodeId id) { return *nodes_[id]; }
   Controller& controller() { return *controller_; }
+  sim::FaultInjector& fault_injector() { return fault_injector_; }
+
+  /// Availability of `node` right now (delegates to the fault injector).
+  bool NodeUp(NodeId node) const { return fault_injector_.IsUp(node); }
+  /// Crash count of `node`; in-flight work captures it before suspending to
+  /// detect that its node died in between.
+  uint64_t NodeEpoch(NodeId node) const { return fault_injector_.epoch(node); }
 
   const std::vector<workload::ClassSpec>& classes() const { return classes_; }
   const workload::ClassSpec& spec(ClassId klass) const;
@@ -267,6 +302,7 @@ class ClusterSystem {
     double arrival_rate_per_ms = 0.0;  // arrivals / interval length
     uint64_t completed = 0;
     uint64_t arrived = 0;
+    uint64_t failed = 0;  // aborted by a crash of the node
     bool has_rt = false;
   };
   const Observation& observation(ClassId klass, NodeId node) const;
@@ -295,6 +331,9 @@ class ClusterSystem {
 
   common::Rng ForkRng() { return master_rng_.Fork(); }
   void CountAccess(ClassId klass, StorageLevel level);
+  /// Counts a remote fetch that found its target dead and fell back to the
+  /// disk path.
+  void CountFetchFallback(ClassId klass);
 
  private:
   sim::Task<void> WorkloadSource(NodeId node, ClassId klass);
@@ -302,9 +341,16 @@ class ClusterSystem {
                                std::vector<PageId> pages);
   sim::Task<void> IntervalLoop();
 
+  /// Crash instant: atomically wipe the node's cache, directory
+  /// registrations and heat bookkeeping, then notify the controller.
+  void HandleNodeCrash(NodeId node);
+  /// Recovery instant: the node rejoins cold; notify the controller.
+  void HandleNodeRecover(NodeId node);
+
   struct IntervalAccumulator {
     uint64_t arrived = 0;
     uint64_t completed = 0;
+    uint64_t failed = 0;
     double rt_sum = 0.0;
   };
   IntervalAccumulator& Accumulator(ClassId klass, NodeId node);
@@ -316,6 +362,7 @@ class ClusterSystem {
   net::PageDirectory directory_;
   cache::CostModel cost_model_;
   common::Rng master_rng_;
+  sim::FaultInjector fault_injector_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<workload::ClassSpec> classes_;
   std::unique_ptr<Controller> controller_;

@@ -13,10 +13,11 @@ constexpr double kEps = 1e-9;
 constexpr int kMaxIterations = 100000;
 }  // namespace
 
+// num_vars == 0 is allowed: the partitioning LP degenerates to zero
+// variables when every node is down, and the solver then just classifies
+// the constant constraints as satisfied or infeasible.
 SimplexSolver::SimplexSolver(size_t num_vars)
-    : num_vars_(num_vars), objective_(num_vars, 0.0) {
-  MEMGOAL_CHECK(num_vars > 0);
-}
+    : num_vars_(num_vars), objective_(num_vars, 0.0) {}
 
 void SimplexSolver::SetObjective(const Vector& c, bool minimize) {
   MEMGOAL_CHECK(c.size() == num_vars_);
@@ -105,7 +106,22 @@ bool SimplexSolver::Iterate(size_t allowed_cols) {
 
 SimplexResult SimplexSolver::Solve() {
   const size_t m = relations_.size();
-  MEMGOAL_CHECK(m > 0);
+  if (m == 0) {
+    // No constraints: the optimum sits at the lower bounds unless some
+    // objective direction improves without limit.
+    SimplexResult result;
+    const double sign = minimize_ ? 1.0 : -1.0;
+    for (size_t j = 0; j < num_vars_; ++j) {
+      if (sign * objective_[j] < -kEps) {
+        result.status = SimplexStatus::kUnbounded;
+        return result;
+      }
+    }
+    result.status = SimplexStatus::kOptimal;
+    result.x.assign(num_vars_, 0.0);
+    result.objective = 0.0;
+    return result;
+  }
 
   // Normalize rows to nonnegative RHS.
   std::vector<Vector> rows = rows_;

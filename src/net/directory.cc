@@ -30,6 +30,26 @@ void PageDirectory::OnPageDropped(NodeId node, PageId page) {
   --total_cached_;
 }
 
+int PageDirectory::DropNode(NodeId node) {
+  MEMGOAL_DCHECK(node < num_nodes_);
+  int dropped = 0;
+  for (PageId page = 0; page < database_->num_pages(); ++page) {
+    const size_t idx = Index(node, page);
+    if (cached_[idx]) {
+      cached_[idx] = false;
+      MEMGOAL_CHECK(copy_count_[page] > 0);
+      --copy_count_[page];
+      --total_cached_;
+      ++dropped;
+    }
+    if (heat_[idx] != 0.0) {
+      global_heat_[page] -= heat_[idx];
+      heat_[idx] = 0.0;
+    }
+  }
+  return dropped;
+}
+
 bool PageDirectory::IsCachedAt(NodeId node, PageId page) const {
   MEMGOAL_DCHECK(node < num_nodes_ && page < database_->num_pages());
   return cached_[Index(node, page)];

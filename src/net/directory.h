@@ -32,6 +32,13 @@ class PageDirectory {
   /// Registers that `node` dropped `page`. Idempotent.
   void OnPageDropped(NodeId node, PageId page);
 
+  /// Bulk-drops every registration of `node`: cached-copy entries and heat
+  /// contributions. One code path serves both a node crash (the node's
+  /// volatile state is gone) and an administrative shrink-to-zero of a
+  /// node's buffer pool. Idempotent; returns the number of copy entries
+  /// removed.
+  int DropNode(NodeId node);
+
   bool IsCachedAt(NodeId node, PageId page) const;
   int CopyCount(PageId page) const;
 

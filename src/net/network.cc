@@ -35,6 +35,33 @@ Network::Network(sim::Simulator* simulator, const Params& params)
   MEMGOAL_CHECK(params.latency_ms >= 0.0);
   MEMGOAL_CHECK(params.loss_probability >= 0.0 &&
                 params.loss_probability < 1.0);
+  MEMGOAL_CHECK(params.burst_good_to_bad >= 0.0 &&
+                params.burst_good_to_bad <= 1.0);
+  MEMGOAL_CHECK(params.burst_bad_to_good >= 0.0 &&
+                params.burst_bad_to_good <= 1.0);
+  MEMGOAL_CHECK(params.burst_loss_good >= 0.0 &&
+                params.burst_loss_good <= 1.0);
+  MEMGOAL_CHECK(params.burst_loss_bad >= 0.0 &&
+                params.burst_loss_bad <= 1.0);
+}
+
+bool Network::DrawLoss() {
+  if (params_.loss_model == LossModel::kBurst) {
+    // State transition first, then the per-state drop draw, so a freshly
+    // entered bad state already afflicts the triggering message.
+    if (burst_bad_) {
+      if (loss_rng_.NextDouble() < params_.burst_bad_to_good) {
+        burst_bad_ = false;
+      }
+    } else if (loss_rng_.NextDouble() < params_.burst_good_to_bad) {
+      burst_bad_ = true;
+    }
+    const double p =
+        burst_bad_ ? params_.burst_loss_bad : params_.burst_loss_good;
+    return p > 0.0 && loss_rng_.NextDouble() < p;
+  }
+  return params_.loss_probability > 0.0 &&
+         loss_rng_.NextDouble() < params_.loss_probability;
 }
 
 sim::SimTime Network::TransmissionTime(uint32_t bytes) const {
@@ -51,8 +78,7 @@ sim::Task<bool> Network::Transfer(NodeId from, NodeId to, uint32_t bytes,
   co_await simulator_->Delay(TransmissionTime(bytes));
   medium_.Release();
   co_await simulator_->Delay(params_.latency_ms);
-  if (params_.loss_probability > 0.0 && IsBestEffort(traffic_class) &&
-      loss_rng_.NextDouble() < params_.loss_probability) {
+  if (IsBestEffort(traffic_class) && DrawLoss()) {
     ++messages_dropped_[static_cast<int>(traffic_class)];
     co_return false;
   }

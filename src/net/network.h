@@ -32,6 +32,18 @@ inline constexpr int kNumTrafficClasses = 4;
 
 const char* TrafficClassName(TrafficClass traffic_class);
 
+/// How best-effort message loss is generated.
+enum class LossModel {
+  /// Each best-effort message is dropped independently with
+  /// Params::loss_probability.
+  kIid,
+  /// Two-state Gilbert–Elliott chain: the channel alternates between a
+  /// good and a bad state (transitioning per best-effort message), with a
+  /// per-state drop probability. Losses then arrive in bursts, which is
+  /// what congested or fading links actually produce.
+  kBurst,
+};
+
 /// Shared-medium local network (the paper's 100 Mbit/s interconnect, §7.1).
 ///
 /// Messages hold the single shared medium for their transmission time
@@ -53,6 +65,16 @@ class Network {
     double loss_probability = 0.0;
     /// Seed of the loss process.
     uint64_t loss_seed = 0x1055;
+    /// Loss process shape. kIid uses loss_probability; kBurst uses the
+    /// Gilbert–Elliott parameters below (loss_probability is then ignored).
+    LossModel loss_model = LossModel::kIid;
+    /// P(good -> bad) per best-effort message.
+    double burst_good_to_bad = 0.0;
+    /// P(bad -> good) per best-effort message.
+    double burst_bad_to_good = 0.5;
+    /// Drop probability while the channel is in the good / bad state.
+    double burst_loss_good = 0.0;
+    double burst_loss_bad = 1.0;
   };
 
   Network(sim::Simulator* simulator, const Params& params);
@@ -83,11 +105,19 @@ class Network {
 
   const sim::Resource& medium() const { return medium_; }
 
+  /// Current Gilbert–Elliott channel state (burst mode; tests).
+  bool in_burst() const { return burst_bad_; }
+
  private:
+  /// Advances the loss process for one best-effort message and reports
+  /// whether it is dropped.
+  bool DrawLoss();
+
   sim::Simulator* simulator_;
   Params params_;
   sim::Resource medium_;
   common::Rng loss_rng_;
+  bool burst_bad_ = false;
   std::array<uint64_t, kNumTrafficClasses> bytes_sent_{};
   std::array<uint64_t, kNumTrafficClasses> messages_sent_{};
   std::array<uint64_t, kNumTrafficClasses> messages_dropped_{};

@@ -1,0 +1,83 @@
+#include "sim/fault_injector.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace memgoal::sim {
+
+FaultInjector::FaultInjector(Simulator* simulator, uint32_t num_nodes,
+                             const Params& params)
+    : simulator_(simulator), params_(params), rng_(params.seed),
+      up_(num_nodes, true), epochs_(num_nodes, 0), nodes_up_(num_nodes) {
+  MEMGOAL_CHECK(simulator != nullptr);
+  MEMGOAL_CHECK(num_nodes > 0);
+  MEMGOAL_CHECK(params.mttf_ms >= 0.0);
+  MEMGOAL_CHECK(params.mttr_ms > 0.0 || params.mttf_ms == 0.0);
+  for (const ScriptEvent& event : params.script) {
+    MEMGOAL_CHECK(event.at_ms >= 0.0);
+    MEMGOAL_CHECK(event.node < num_nodes);
+  }
+}
+
+void FaultInjector::SetCallbacks(Callback on_crash, Callback on_recover) {
+  on_crash_ = std::move(on_crash);
+  on_recover_ = std::move(on_recover);
+}
+
+void FaultInjector::Start() {
+  MEMGOAL_CHECK(!started_);
+  started_ = true;
+  for (const ScriptEvent& event : params_.script) {
+    simulator_->At(event.at_ms, [this, event] {
+      if (event.crash) {
+        Crash(event.node);
+      } else {
+        Recover(event.node);
+      }
+    });
+  }
+  if (params_.mttf_ms > 0.0) {
+    // One independent stochastic stream per node, forked from the master
+    // seed, so adding a node never perturbs another node's draws.
+    for (uint32_t node = 0; node < num_nodes(); ++node) {
+      simulator_->Spawn(LifeCycle(node, rng_.Fork()));
+    }
+  }
+}
+
+bool FaultInjector::Crash(uint32_t node) {
+  MEMGOAL_CHECK(node < num_nodes());
+  if (!up_[node]) return false;
+  if (nodes_up_ <= params_.min_live_nodes) {
+    ++stats_.suppressed;
+    return false;
+  }
+  up_[node] = false;
+  --nodes_up_;
+  ++epochs_[node];
+  ++stats_.crashes;
+  if (on_crash_) on_crash_(node);
+  return true;
+}
+
+bool FaultInjector::Recover(uint32_t node) {
+  MEMGOAL_CHECK(node < num_nodes());
+  if (up_[node]) return false;
+  up_[node] = true;
+  ++nodes_up_;
+  ++stats_.recoveries;
+  if (on_recover_) on_recover_(node);
+  return true;
+}
+
+Task<void> FaultInjector::LifeCycle(uint32_t node, common::Rng rng) {
+  while (true) {
+    co_await simulator_->Delay(rng.Exponential(params_.mttf_ms));
+    if (!Crash(node)) continue;  // suppressed or scripted-down: retry later
+    co_await simulator_->Delay(rng.Exponential(params_.mttr_ms));
+    Recover(node);
+  }
+}
+
+}  // namespace memgoal::sim

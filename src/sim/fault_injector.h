@@ -1,0 +1,112 @@
+#ifndef MEMGOAL_SIM_FAULT_INJECTOR_H_
+#define MEMGOAL_SIM_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/simulator.h"
+#include "sim/task.h"
+
+namespace memgoal::sim {
+
+/// Schedules node crash and recovery events on the simulator clock.
+///
+/// Two event sources compose:
+///  - a deterministic script of (time, node, crash|recover) events, and
+///  - a seeded stochastic process per node that alternates exponentially
+///    distributed time-to-failure (MTTF) and time-to-repair (MTTR) phases.
+///
+/// The injector is the single source of truth for node availability: it
+/// tracks an up/down flag and a crash epoch per node (the epoch increments
+/// on every crash, letting in-flight work detect that its node died and
+/// came back while it was suspended). Owners register callbacks that run
+/// synchronously at the crash/recovery instant; everything a crash must
+/// atomically destroy (cache contents, directory registrations, controller
+/// views) happens inside those callbacks, at one point in simulated time.
+///
+/// A safety floor keeps at least `min_live_nodes` nodes up: a crash that
+/// would violate the floor is suppressed (and counted), so stochastic fault
+/// processes cannot take the whole cluster down unless explicitly allowed.
+class FaultInjector {
+ public:
+  struct ScriptEvent {
+    SimTime at_ms = 0.0;
+    uint32_t node = 0;
+    /// true = crash at `at_ms`, false = recover.
+    bool crash = true;
+  };
+
+  struct Params {
+    /// Deterministic crash/recovery schedule (may be empty).
+    std::vector<ScriptEvent> script;
+    /// Mean time to failure of the per-node stochastic process, ms;
+    /// 0 disables the process entirely.
+    double mttf_ms = 0.0;
+    /// Mean time to repair once crashed, ms.
+    double mttr_ms = 10000.0;
+    /// Seed of the stochastic failure/repair draws.
+    uint64_t seed = 0xFA171;
+    /// Crashes that would leave fewer than this many nodes up are
+    /// suppressed. 0 allows a full-cluster outage.
+    uint32_t min_live_nodes = 1;
+  };
+
+  struct Stats {
+    uint64_t crashes = 0;
+    uint64_t recoveries = 0;
+    /// Crashes suppressed by the min_live_nodes floor.
+    uint64_t suppressed = 0;
+  };
+
+  using Callback = std::function<void(uint32_t node)>;
+
+  FaultInjector(Simulator* simulator, uint32_t num_nodes,
+                const Params& params);
+
+  /// Registers the owner's crash/recovery handlers. Both run synchronously
+  /// inside Crash()/Recover(); either may be null.
+  void SetCallbacks(Callback on_crash, Callback on_recover);
+
+  /// Schedules the script and spawns the stochastic per-node processes.
+  /// Call at most once, before running the simulation.
+  void Start();
+
+  bool IsUp(uint32_t node) const { return up_[node]; }
+  uint32_t nodes_up() const { return nodes_up_; }
+  uint32_t num_nodes() const { return static_cast<uint32_t>(up_.size()); }
+
+  /// Number of crashes `node` has suffered so far. A process that captured
+  /// the epoch before suspending can compare it afterwards to detect that
+  /// its node crashed in between (even if it also recovered).
+  uint64_t epoch(uint32_t node) const { return epochs_[node]; }
+
+  /// Manually crashes `node` now. Returns false if the node is already down
+  /// or the min_live_nodes floor would be violated.
+  bool Crash(uint32_t node);
+
+  /// Manually recovers `node` now. Returns false if the node is up.
+  bool Recover(uint32_t node);
+
+  const Stats& stats() const { return stats_; }
+  const Params& params() const { return params_; }
+
+ private:
+  Task<void> LifeCycle(uint32_t node, common::Rng rng);
+
+  Simulator* simulator_;
+  Params params_;
+  common::Rng rng_;
+  std::vector<bool> up_;
+  std::vector<uint64_t> epochs_;
+  uint32_t nodes_up_;
+  Stats stats_;
+  Callback on_crash_;
+  Callback on_recover_;
+  bool started_ = false;
+};
+
+}  // namespace memgoal::sim
+
+#endif  // MEMGOAL_SIM_FAULT_INJECTOR_H_

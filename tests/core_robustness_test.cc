@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "core/goal_controller.h"
 #include "core/system.h"
 #include "net/network.h"
@@ -144,6 +146,151 @@ TEST(RobustnessTest, LossFractionMatchesConfiguredProbability) {
   const double fraction =
       static_cast<double>(dropped) / static_cast<double>(sent);
   EXPECT_NEAR(fraction, 0.3, 0.05);
+}
+
+TEST(FaultToleranceTest, CrashDuringWarmupStillConverges) {
+  // Node 2 dies at 7.5 s — while the coordinator is still collecting its
+  // first measure points — and returns at 40 s. Both transitions reset the
+  // store; the controller must re-warm-up and still reach the goal.
+  SystemConfig config = TestConfig(41);
+  config.faults.script = {{7500.0, 2, /*crash=*/true},
+                          {40000.0, 2, /*crash=*/false}};
+  ClusterSystem system(config);
+  system.AddClass(GoalClass(3.5));
+  system.AddClass(NoGoalClass());
+  system.Start();
+  system.RunIntervals(30);
+
+  const auto& controller =
+      dynamic_cast<GoalOrientedController&>(system.controller());
+  EXPECT_EQ(controller.stats().crashes_observed, 1u);
+  EXPECT_EQ(controller.stats().recoveries_observed, 1u);
+  // Crash and recovery each force a measurement restart.
+  EXPECT_GE(controller.stats().store_resets, 2u);
+  EXPECT_EQ(system.fault_injector().stats().crashes, 1u);
+  EXPECT_GE(SatisfiedInTail(system, 10), 4);
+}
+
+TEST(FaultToleranceTest, CoordinatorCrashFailsOverToLowestLiveNode) {
+  ClusterSystem system(TestConfig(42));
+  system.AddClass(GoalClass(3.5));
+  system.AddClass(NoGoalClass());
+  system.Start();
+  system.RunIntervals(12);
+  auto& controller =
+      dynamic_cast<GoalOrientedController&>(system.controller());
+  ASSERT_EQ(controller.coordinator_node(1), 0u);
+
+  // The coordinator's own node dies: its views and measure points lived in
+  // that memory, so the class re-homes on the lowest live node with a fresh
+  // store.
+  ASSERT_TRUE(system.fault_injector().Crash(0));
+  EXPECT_EQ(controller.coordinator_node(1), 1u);
+  EXPECT_EQ(controller.stats().coordinator_failovers, 1u);
+  EXPECT_FALSE(controller.measure_store(1).ready());
+
+  // Control keeps running from the new home during the outage: operations
+  // on the surviving nodes complete in every interval.
+  system.RunIntervals(8);
+  const auto& records = system.metrics().records();
+  for (size_t i = 12; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].nodes_up, 2u);
+    EXPECT_GT(records[i].ForClass(1).ops_completed, 0u);
+    EXPECT_GT(records[i].ForClass(kNoGoalClass).ops_completed, 0u);
+  }
+
+  ASSERT_TRUE(system.fault_injector().Recover(0));
+  system.RunIntervals(20);
+  // The coordinator stays at its failover home, and the loop re-converges
+  // over the full node set.
+  EXPECT_EQ(controller.coordinator_node(1), 1u);
+  EXPECT_EQ(system.metrics().back().nodes_up, 3u);
+  EXPECT_GE(SatisfiedInTail(system, 10), 4);
+}
+
+TEST(FaultToleranceTest, RecoveryShrinksThenRestoresActiveNodeSet) {
+  ClusterSystem system(TestConfig(43));
+  system.AddClass(GoalClass(3.5));
+  system.AddClass(NoGoalClass());
+  system.Start();
+  system.RunIntervals(10);
+  auto& controller =
+      dynamic_cast<GoalOrientedController&>(system.controller());
+
+  ASSERT_TRUE(system.fault_injector().Crash(2));
+  // The fit shrinks to the live subspace {0, 1}...
+  EXPECT_EQ(controller.measure_store(1).active_nodes(),
+            (std::vector<size_t>{0, 1}));
+  const uint64_t resets_after_crash = controller.stats().store_resets;
+  EXPECT_GE(resets_after_crash, 1u);
+
+  // ...and with 2 live nodes it needs only 3 points to become ready again.
+  system.RunIntervals(10);
+  const uint64_t warmups_during_outage = controller.stats().warmup_steps;
+
+  ASSERT_TRUE(system.fault_injector().Recover(2));
+  // Full dimensionality restored, store reset once more, warm-up re-entered.
+  EXPECT_EQ(controller.measure_store(1).active_nodes(),
+            (std::vector<size_t>{0, 1, 2}));
+  EXPECT_GT(controller.stats().store_resets, resets_after_crash);
+  EXPECT_FALSE(controller.measure_store(1).ready());
+  system.RunIntervals(15);
+  EXPECT_GT(controller.stats().warmup_steps, warmups_during_outage);
+  EXPECT_GE(SatisfiedInTail(system, 8), 3);
+}
+
+TEST(FaultToleranceTest, EndToEndCrashRecoveryWithBurstLoss) {
+  // The acceptance scenario: 3 nodes, node 2 crashes at 57 s and recovers
+  // at 112 s, with bursty best-effort message loss on top. During the
+  // outage both classes keep being served; after recovery the goal class
+  // re-converges within a bounded number of intervals.
+  SystemConfig config = TestConfig(44);
+  config.faults.script = {{57000.0, 2, /*crash=*/true},
+                          {112000.0, 2, /*crash=*/false}};
+  config.network.loss_model = net::LossModel::kBurst;
+  config.network.burst_good_to_bad = 0.05;
+  config.network.burst_bad_to_good = 0.5;
+  config.network.burst_loss_good = 0.0;
+  config.network.burst_loss_bad = 0.8;
+  ClusterSystem system(config);
+  system.AddClass(GoalClass(3.5));
+  system.AddClass(NoGoalClass());
+  system.Start();
+  system.RunIntervals(45);
+
+  // Availability column: the outage exactly covers the interval boundaries
+  // at 60..110 s (records 11..21).
+  const auto& records = system.metrics().records();
+  ASSERT_EQ(records.size(), 45u);
+  EXPECT_EQ(records[10].nodes_up, 3u);
+  for (size_t i = 11; i <= 21; ++i) {
+    EXPECT_EQ(records[i].nodes_up, 2u) << "record " << i;
+    // Degraded, not dead: both classes complete operations throughout.
+    EXPECT_GT(records[i].ForClass(1).ops_completed, 0u) << "record " << i;
+    EXPECT_GT(records[i].ForClass(kNoGoalClass).ops_completed, 0u)
+        << "record " << i;
+  }
+  EXPECT_EQ(records[22].nodes_up, 3u);
+
+  // Remote fetches that targeted the dead node fell back to its disk.
+  EXPECT_GT(system.counters(1).fetch_fallbacks +
+                system.counters(kNoGoalClass).fetch_fallbacks,
+            0u);
+
+  const auto& controller =
+      dynamic_cast<GoalOrientedController&>(system.controller());
+  EXPECT_EQ(system.fault_injector().stats().crashes, 1u);
+  EXPECT_EQ(system.fault_injector().stats().recoveries, 1u);
+  EXPECT_EQ(controller.stats().crashes_observed, 1u);
+  EXPECT_EQ(controller.stats().recoveries_observed, 1u);
+  EXPECT_GT(system.network().messages_dropped(
+                net::TrafficClass::kPartitionProtocol) +
+                system.network().messages_dropped(net::TrafficClass::kHeatHint),
+            0u);
+
+  // Re-convergence after recovery: the goal class is satisfied through most
+  // of the tail (recovery at record 22, tail starts at record 35).
+  EXPECT_GE(SatisfiedInTail(system, 10), 4);
 }
 
 }  // namespace

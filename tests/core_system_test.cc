@@ -206,6 +206,35 @@ TEST(ClusterSystemTest, ProtocolTrafficAccounted) {
   EXPECT_LT(share, 0.05);
 }
 
+TEST(ClusterSystemTest, BaselineControllersSurviveCrashRecovery) {
+  // Baselines don't react to faults (base-class no-op hooks), but a crash
+  // mid-run must not abort them: volatile state is wiped, operations keep
+  // completing on the survivors, and the node rejoins on recovery.
+  SystemConfig config = SmallConfig(9);
+  config.faults.script = {{2500.0, 1, /*crash=*/true},
+                          {6500.0, 1, /*crash=*/false}};
+  ClusterSystem system(config);
+  system.AddClass(GoalClass(1, 5.0));
+  system.AddClass(NoGoalClass());
+  system.SetController(std::make_unique<baseline::StaticPartitioningController>(
+      std::map<ClassId, double>{{1, 0.5}}));
+  system.Start();
+  system.RunIntervals(10);
+
+  const auto& records = system.metrics().records();
+  ASSERT_EQ(records.size(), 10u);
+  for (const auto& record : records) {
+    EXPECT_GT(record.ForClass(1).ops_completed, 0u);
+    EXPECT_GT(record.ForClass(kNoGoalClass).ops_completed, 0u);
+  }
+  // Outage covers the boundaries at 3..6 s (records 2..5).
+  EXPECT_EQ(records[1].nodes_up, 3u);
+  EXPECT_EQ(records[3].nodes_up, 2u);
+  EXPECT_EQ(records[9].nodes_up, 3u);
+  EXPECT_EQ(system.fault_injector().stats().crashes, 1u);
+  EXPECT_EQ(system.fault_injector().stats().recoveries, 1u);
+}
+
 TEST(ClusterSystemTest, WeightedRtMatchesObservations) {
   ClusterSystem system(SmallConfig());
   system.AddClass(GoalClass(1, 5.0));

@@ -136,6 +136,93 @@ TEST(SimplexTest, PartitioningShapedProblem) {
   EXPECT_NEAR(result.objective, 0.5 * 4.0 + 0.8 * 4.0 / 3.0, 1e-9);
 }
 
+TEST(SimplexTest, ZeroVariablesNoConstraints) {
+  // Empty live-node set: the LP degenerates to nothing at all. The unique
+  // point of R^0 is trivially optimal.
+  SimplexSolver solver(0);
+  const SimplexResult result = solver.Solve();
+  ASSERT_EQ(result.status, SimplexStatus::kOptimal);
+  EXPECT_TRUE(result.x.empty());
+  EXPECT_DOUBLE_EQ(result.objective, 0.0);
+}
+
+TEST(SimplexTest, ZeroVariablesConstantConstraints) {
+  // Constant rows classify as satisfied or infeasible with no variables to
+  // adjust. 0 <= 3 holds...
+  {
+    SimplexSolver solver(0);
+    solver.AddLe(Vector{}, 3.0);
+    EXPECT_EQ(solver.Solve().status, SimplexStatus::kOptimal);
+  }
+  // ...but 0 >= 2 cannot.
+  {
+    SimplexSolver solver(0);
+    solver.AddGe(Vector{}, 2.0);
+    EXPECT_EQ(solver.Solve().status, SimplexStatus::kInfeasible);
+  }
+}
+
+TEST(SimplexTest, NoConstraintsOptimalAtOriginOrUnbounded) {
+  // m == 0 with variables: optimum sits at the lower bounds unless some
+  // objective direction improves without limit.
+  {
+    SimplexSolver solver(2);
+    solver.SetObjective(Vector{1.0, 2.0});  // minimize: origin is optimal
+    const SimplexResult result = solver.Solve();
+    ASSERT_EQ(result.status, SimplexStatus::kOptimal);
+    EXPECT_NEAR(result.x[0], 0.0, 1e-12);
+    EXPECT_NEAR(result.x[1], 0.0, 1e-12);
+  }
+  {
+    SimplexSolver solver(2);
+    solver.SetObjective(Vector{1.0, 2.0}, /*minimize=*/false);
+    EXPECT_EQ(solver.Solve().status, SimplexStatus::kUnbounded);
+  }
+}
+
+TEST(SimplexTest, AllZeroConstraintRows) {
+  // Rows the degraded controller can emit for dead nodes: a zero gradient
+  // over the live subspace. 0 <= b holds for b >= 0 and fails for b < 0;
+  // 0 >= b holds only for b <= 0.
+  {
+    SimplexSolver solver(2);
+    solver.SetObjective(Vector{1.0, 1.0});
+    solver.AddLe(Vector{0.0, 0.0}, 0.0);
+    solver.AddLe(Vector{0.0, 0.0}, 5.0);
+    solver.AddGe(Vector{0.0, 0.0}, -1.0);
+    const SimplexResult result = solver.Solve();
+    ASSERT_EQ(result.status, SimplexStatus::kOptimal);
+    EXPECT_NEAR(result.objective, 0.0, 1e-9);
+  }
+  {
+    SimplexSolver solver(2);
+    solver.SetObjective(Vector{1.0, 1.0});
+    solver.AddLe(Vector{0.0, 0.0}, -2.0);  // 0 <= -2: impossible
+    EXPECT_EQ(solver.Solve().status, SimplexStatus::kInfeasible);
+  }
+  {
+    SimplexSolver solver(2);
+    solver.SetObjective(Vector{1.0, 1.0});
+    solver.AddGe(Vector{0.0, 0.0}, 2.0);  // 0 >= 2: impossible
+    EXPECT_EQ(solver.Solve().status, SimplexStatus::kInfeasible);
+  }
+}
+
+TEST(SimplexTest, DegenerateBoundsLoEqualsHi) {
+  // A variable pinned to a single value: x0 >= 3 and x0 <= 3 force x0 = 3,
+  // and the rest of the problem optimizes around the fixed coordinate.
+  SimplexSolver solver(2);
+  solver.SetObjective(Vector{1.0, 1.0});
+  solver.AddGe(Vector{1.0, 0.0}, 3.0);
+  solver.SetUpperBound(0, 3.0);
+  solver.AddGe(Vector{0.0, 1.0}, 1.0);
+  const SimplexResult result = solver.Solve();
+  ASSERT_EQ(result.status, SimplexStatus::kOptimal);
+  EXPECT_NEAR(result.x[0], 3.0, 1e-9);
+  EXPECT_NEAR(result.x[1], 1.0, 1e-9);
+  EXPECT_NEAR(result.objective, 4.0, 1e-9);
+}
+
 // Property test: on random feasible LPs, the returned point must satisfy
 // every constraint and weakly dominate a cloud of random feasible points.
 class SimplexPropertyTest : public ::testing::TestWithParam<int> {};

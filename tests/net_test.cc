@@ -62,6 +62,88 @@ TEST(NetworkTest, PerCategoryAccounting) {
   EXPECT_EQ(network.messages_sent(TrafficClass::kPage), 1u);
 }
 
+TEST(NetworkTest, BurstLossDropsPerClassCounters) {
+  // Force the Gilbert–Elliott chain into the bad state on the first
+  // best-effort message and keep it there: every protocol/hint message
+  // drops, while the reliable classes sail through untouched.
+  sim::Simulator simulator;
+  Network::Params params;
+  params.loss_model = LossModel::kBurst;
+  params.burst_good_to_bad = 1.0;
+  params.burst_bad_to_good = 0.0;
+  params.burst_loss_good = 0.0;
+  params.burst_loss_bad = 1.0;
+  Network network(&simulator, params);
+  for (int i = 0; i < 5; ++i) {
+    simulator.Spawn(
+        network.Transfer(0, 1, 48, TrafficClass::kPartitionProtocol));
+    simulator.Spawn(network.Transfer(0, 1, 32, TrafficClass::kHeatHint));
+    simulator.Spawn(network.Transfer(0, 1, 64, TrafficClass::kControl));
+    simulator.Spawn(network.Transfer(0, 1, 4096, TrafficClass::kPage));
+  }
+  simulator.Run();
+  EXPECT_TRUE(network.in_burst());
+  EXPECT_EQ(network.messages_dropped(TrafficClass::kPartitionProtocol), 5u);
+  EXPECT_EQ(network.messages_dropped(TrafficClass::kHeatHint), 5u);
+  EXPECT_EQ(network.messages_dropped(TrafficClass::kControl), 0u);
+  EXPECT_EQ(network.messages_dropped(TrafficClass::kPage), 0u);
+}
+
+TEST(NetworkTest, BurstLossIsBursty) {
+  // With rare good->bad transitions, a lossless good state and a lossy bad
+  // state, drops must cluster: the overall drop rate tracks the stationary
+  // bad-state probability, and consecutive drops (runs) must occur far more
+  // often than an i.i.d. process at the same rate would produce.
+  sim::Simulator simulator;
+  Network::Params params;
+  params.loss_model = LossModel::kBurst;
+  params.burst_good_to_bad = 0.02;
+  params.burst_bad_to_good = 0.2;
+  params.burst_loss_good = 0.0;
+  params.burst_loss_bad = 1.0;
+  Network network(&simulator, params);
+
+  const int kMessages = 4000;
+  int dropped = 0, paired_drops = 0;
+  bool last_dropped = false;
+  for (int i = 0; i < kMessages; ++i) {
+    bool delivered = true;
+    simulator.Spawn([](Network* net, bool* out) -> sim::Task<void> {
+      *out = co_await net->Transfer(0, 1, 32, TrafficClass::kHeatHint);
+    }(&network, &delivered));
+    simulator.Run();
+    if (!delivered) {
+      ++dropped;
+      if (last_dropped) ++paired_drops;
+    }
+    last_dropped = !delivered;
+  }
+  // Stationary bad probability = g2b / (g2b + b2g) = 0.02/0.22 ~ 9%.
+  const double rate = static_cast<double>(dropped) / kMessages;
+  EXPECT_NEAR(rate, 0.09, 0.04);
+  // P(drop | previous dropped) ~ P(stay bad) = 0.8 >> rate: strong
+  // clustering. An i.i.d. process would give paired_drops/dropped ~ rate.
+  const double conditional =
+      static_cast<double>(paired_drops) / static_cast<double>(dropped);
+  EXPECT_GT(conditional, 0.5);
+}
+
+TEST(NetworkTest, IidLossUnaffectedByBurstKnobs) {
+  // Default model stays i.i.d.: burst knobs are inert and zero probability
+  // means zero drops (and no RNG draws, preserving old seeds' streams).
+  sim::Simulator simulator;
+  Network::Params params;
+  params.loss_probability = 0.0;
+  params.burst_good_to_bad = 1.0;  // would drop everything in burst mode
+  Network network(&simulator, params);
+  for (int i = 0; i < 10; ++i) {
+    simulator.Spawn(network.Transfer(0, 1, 32, TrafficClass::kHeatHint));
+  }
+  simulator.Run();
+  EXPECT_EQ(network.messages_dropped(TrafficClass::kHeatHint), 0u);
+  EXPECT_FALSE(network.in_burst());
+}
+
 class DirectoryTest : public ::testing::Test {
  protected:
   DirectoryTest() : db_(30, 4096, 3), directory_(&db_) {}

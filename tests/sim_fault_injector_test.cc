@@ -1,0 +1,133 @@
+#include "sim/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace memgoal::sim {
+namespace {
+
+TEST(FaultInjectorTest, ScriptedCrashAndRecovery) {
+  Simulator simulator;
+  FaultInjector::Params params;
+  params.script = {{100.0, 1, /*crash=*/true}, {250.0, 1, /*crash=*/false}};
+  FaultInjector injector(&simulator, 3, params);
+
+  std::vector<std::pair<double, bool>> events;  // (time, is_crash)
+  injector.SetCallbacks(
+      [&](uint32_t node) {
+        EXPECT_EQ(node, 1u);
+        // The crash state is already committed when the callback runs.
+        EXPECT_FALSE(injector.IsUp(1));
+        events.emplace_back(simulator.Now(), true);
+      },
+      [&](uint32_t node) {
+        EXPECT_EQ(node, 1u);
+        EXPECT_TRUE(injector.IsUp(1));
+        events.emplace_back(simulator.Now(), false);
+      });
+  injector.Start();
+
+  EXPECT_TRUE(injector.IsUp(1));
+  EXPECT_EQ(injector.nodes_up(), 3u);
+  EXPECT_EQ(injector.epoch(1), 0u);
+
+  simulator.RunUntil(150.0);
+  EXPECT_FALSE(injector.IsUp(1));
+  EXPECT_TRUE(injector.IsUp(0));
+  EXPECT_EQ(injector.nodes_up(), 2u);
+  EXPECT_EQ(injector.epoch(1), 1u);
+
+  simulator.RunUntil(300.0);
+  EXPECT_TRUE(injector.IsUp(1));
+  EXPECT_EQ(injector.nodes_up(), 3u);
+  // Recovery does not bump the epoch; only crashes do.
+  EXPECT_EQ(injector.epoch(1), 1u);
+
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_DOUBLE_EQ(events[0].first, 100.0);
+  EXPECT_TRUE(events[0].second);
+  EXPECT_DOUBLE_EQ(events[1].first, 250.0);
+  EXPECT_FALSE(events[1].second);
+  EXPECT_EQ(injector.stats().crashes, 1u);
+  EXPECT_EQ(injector.stats().recoveries, 1u);
+  EXPECT_EQ(injector.stats().suppressed, 0u);
+}
+
+TEST(FaultInjectorTest, MinLiveNodesFloorSuppressesCrashes) {
+  Simulator simulator;
+  FaultInjector::Params params;
+  params.min_live_nodes = 2;
+  FaultInjector injector(&simulator, 3, params);
+
+  EXPECT_TRUE(injector.Crash(0));
+  EXPECT_EQ(injector.nodes_up(), 2u);
+  // A second crash would leave only one node up — below the floor.
+  EXPECT_FALSE(injector.Crash(1));
+  EXPECT_TRUE(injector.IsUp(1));
+  EXPECT_EQ(injector.stats().suppressed, 1u);
+  EXPECT_EQ(injector.stats().crashes, 1u);
+
+  EXPECT_TRUE(injector.Recover(0));
+  EXPECT_TRUE(injector.Crash(1));
+  EXPECT_EQ(injector.nodes_up(), 2u);
+}
+
+TEST(FaultInjectorTest, DoubleCrashAndDoubleRecoverAreRejected) {
+  Simulator simulator;
+  FaultInjector::Params params;
+  params.min_live_nodes = 0;
+  FaultInjector injector(&simulator, 2, params);
+
+  EXPECT_FALSE(injector.Recover(0));  // already up
+  EXPECT_TRUE(injector.Crash(0));
+  EXPECT_FALSE(injector.Crash(0));  // already down
+  EXPECT_EQ(injector.epoch(0), 1u);
+  EXPECT_TRUE(injector.Recover(0));
+  EXPECT_FALSE(injector.Recover(0));
+  EXPECT_EQ(injector.stats().crashes, 1u);
+  EXPECT_EQ(injector.stats().recoveries, 1u);
+}
+
+TEST(FaultInjectorTest, StochasticProcessIsDeterministicUnderSeed) {
+  auto run = [](uint64_t seed) {
+    Simulator simulator;
+    FaultInjector::Params params;
+    params.mttf_ms = 5000.0;
+    params.mttr_ms = 1000.0;
+    params.seed = seed;
+    params.min_live_nodes = 1;
+    FaultInjector injector(&simulator, 3, params);
+    std::vector<std::pair<double, uint32_t>> crashes;
+    injector.SetCallbacks(
+        [&](uint32_t node) { crashes.emplace_back(simulator.Now(), node); },
+        nullptr);
+    injector.Start();
+    simulator.RunUntil(100000.0);
+    EXPECT_GE(injector.nodes_up(), 1u);
+    return crashes;
+  };
+
+  const auto a = run(7);
+  const auto b = run(7);
+  const auto c = run(8);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(FaultInjectorTest, StochasticProcessDisabledByZeroMttf) {
+  Simulator simulator;
+  FaultInjector::Params params;
+  params.mttf_ms = 0.0;
+  FaultInjector injector(&simulator, 3, params);
+  injector.Start();
+  simulator.RunUntil(1e6);
+  EXPECT_EQ(injector.nodes_up(), 3u);
+  EXPECT_EQ(injector.stats().crashes, 0u);
+}
+
+}  // namespace
+}  // namespace memgoal::sim

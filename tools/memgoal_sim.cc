@@ -14,6 +14,13 @@
 //   objective (nogoal | variance),
 //   disk_seek_ms (8.0), disk_rotation_ms (8.33), disk_transfer (10.0),
 //   net_mbit (100.0), net_latency_ms (0.05), net_loss (0.0),
+//   net_loss_model (iid | burst), net_burst_g2b (0.0), net_burst_b2g (0.5),
+//   net_burst_loss_good (0.0), net_burst_loss_bad (1.0),
+//   crash_node (-1), crash_at_ms (0), recover_at_ms (0)
+//                                    — scripted crash/recovery of one node
+//   fault_mttf_ms (0), fault_mttr_ms (10000), fault_seed (1024369),
+//   fault_min_live (1)               — stochastic per-node fault process
+//   crash_detect_timeout_ms (2.0),
 //   classes (2)                      — total class count including class 0
 //   class<i>_goal_ms                 — omit (or 0) for the no-goal class
 //   class<i>_pages                   — "begin:end" page range
@@ -80,6 +87,37 @@ int Run(memgoal::common::Config& config) {
       config.GetDouble("net_mbit", 100.0);
   system_config.network.latency_ms = config.GetDouble("net_latency_ms", 0.05);
   system_config.network.loss_probability = config.GetDouble("net_loss", 0.0);
+  if (config.GetString("net_loss_model", "iid") == "burst") {
+    system_config.network.loss_model = memgoal::net::LossModel::kBurst;
+    system_config.network.burst_good_to_bad =
+        config.GetDouble("net_burst_g2b", 0.0);
+    system_config.network.burst_bad_to_good =
+        config.GetDouble("net_burst_b2g", 0.5);
+    system_config.network.burst_loss_good =
+        config.GetDouble("net_burst_loss_good", 0.0);
+    system_config.network.burst_loss_bad =
+        config.GetDouble("net_burst_loss_bad", 1.0);
+  }
+
+  const int crash_node = static_cast<int>(config.GetInt("crash_node", -1));
+  if (crash_node >= 0) {
+    const double crash_at = config.GetDouble("crash_at_ms", 0.0);
+    const double recover_at = config.GetDouble("recover_at_ms", 0.0);
+    system_config.faults.script.push_back(
+        {crash_at, static_cast<uint32_t>(crash_node), /*crash=*/true});
+    if (recover_at > crash_at) {
+      system_config.faults.script.push_back(
+          {recover_at, static_cast<uint32_t>(crash_node), /*crash=*/false});
+    }
+  }
+  system_config.faults.mttf_ms = config.GetDouble("fault_mttf_ms", 0.0);
+  system_config.faults.mttr_ms = config.GetDouble("fault_mttr_ms", 10000.0);
+  system_config.faults.seed = static_cast<uint64_t>(
+      config.GetInt("fault_seed", 0xFA171));
+  system_config.faults.min_live_nodes =
+      static_cast<uint32_t>(config.GetInt("fault_min_live", 1));
+  system_config.crash_detect_timeout_ms =
+      config.GetDouble("crash_detect_timeout_ms", 2.0);
 
   memgoal::core::ClusterSystem system(system_config);
 
@@ -149,6 +187,16 @@ int Run(memgoal::common::Config& config) {
                      counters.HitFraction(memgoal::StorageLevel::kRemoteDisk),
                  static_cast<unsigned long long>(
                      system.TotalDedicatedBytes(spec.id) / 1024));
+  }
+  const auto& fault_stats = system.fault_injector().stats();
+  if (fault_stats.crashes > 0 || fault_stats.suppressed > 0) {
+    std::fprintf(stderr,
+                 "# faults: crashes=%llu recoveries=%llu suppressed=%llu "
+                 "nodes_up=%u/%u\n",
+                 static_cast<unsigned long long>(fault_stats.crashes),
+                 static_cast<unsigned long long>(fault_stats.recoveries),
+                 static_cast<unsigned long long>(fault_stats.suppressed),
+                 system.fault_injector().nodes_up(), system.num_nodes());
   }
   const auto& network = system.network();
   std::fprintf(stderr, "# network: %.1f MB total, protocol share %.5f%%\n",
