@@ -6,10 +6,12 @@
 // nearly flat — the justification for threshold-based (rather than eager)
 // dissemination.
 //
-// Usage: bench_ablation_hints [key=value ...]  (intervals=30 seed=1)
+// Usage: bench_ablation_hints [key=value ...] [--quick] [--threads=N]
+//        (intervals=30 seed=1 threads=0)
 
 #include <cstdio>
 #include <memory>
+#include <vector>
 
 #include "baseline/static_controllers.h"
 #include "bench/experiment.h"
@@ -26,45 +28,65 @@ int Run(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", args.error().c_str());
     return 1;
   }
-  const int intervals = static_cast<int>(args.GetInt("intervals", 30));
+  const bool quick = args.GetBool("quick", false);
+  const int intervals =
+      static_cast<int>(args.GetInt("intervals", quick ? 10 : 30));
   const uint64_t seed = static_cast<uint64_t>(args.GetInt("seed", 1));
+  TrialRunner runner(static_cast<int>(args.GetInt("threads", 0)));
+
+  // One trial per threshold on the runner's pool.
+  const std::vector<double> thresholds =
+      quick ? std::vector<double>{0.1, 1.0}
+            : std::vector<double>{0.05, 0.1, 0.2, 0.5, 1.0, 2.0};
+  struct HintRow {
+    uint64_t hint_bytes = 0;
+    uint64_t hint_msgs = 0;
+    double hint_share = 0.0;
+    double rt_goal = 0.0;
+    double disk = 0.0;
+  };
+  const std::vector<HintRow> rows = runner.Run(
+      static_cast<int>(thresholds.size()), [&](int trial) {
+        Setup setup;
+        setup.seed = seed;
+        setup.hint_heat_threshold = thresholds[static_cast<size_t>(trial)];
+        std::unique_ptr<core::ClusterSystem> system = BuildSystem(setup);
+        system->SetController(
+            std::make_unique<baseline::NoPartitioningController>());
+        system->Start();
+        for (NodeId i = 0; i < setup.num_nodes; ++i) {
+          system->ApplyAllocation(1, i, setup.cache_bytes_per_node / 2);
+        }
+        system->RunIntervals(intervals);
+
+        common::RunningStats rt_goal;
+        const auto& records = system->metrics().records();
+        for (size_t i = records.size() / 2; i < records.size(); ++i) {
+          rt_goal.Add(records[i].ForClass(1).observed_rt_ms);
+        }
+        const net::Network& network = system->network();
+        const core::AccessCounters& counters = system->counters(1);
+        HintRow row;
+        row.hint_bytes = network.bytes_sent(net::TrafficClass::kHeatHint);
+        row.hint_msgs = network.messages_sent(net::TrafficClass::kHeatHint);
+        row.hint_share = static_cast<double>(row.hint_bytes) /
+                         static_cast<double>(network.total_bytes_sent());
+        row.rt_goal = rt_goal.mean();
+        row.disk = counters.HitFraction(StorageLevel::kLocalDisk) +
+                   counters.HitFraction(StorageLevel::kRemoteDisk);
+        return row;
+      });
 
   std::printf(
       "hint_threshold,hint_bytes,hint_msgs,hint_share,goal_rt_ms,"
       "disk_frac\n");
-  for (double threshold : {0.05, 0.1, 0.2, 0.5, 1.0, 2.0}) {
-    Setup setup;
-    setup.seed = seed;
-    setup.hint_heat_threshold = threshold;
-    std::unique_ptr<core::ClusterSystem> system = BuildSystem(setup);
-    system->SetController(
-        std::make_unique<baseline::NoPartitioningController>());
-    system->Start();
-    for (NodeId i = 0; i < setup.num_nodes; ++i) {
-      system->ApplyAllocation(1, i, setup.cache_bytes_per_node / 2);
-    }
-    system->RunIntervals(intervals);
-
-    common::RunningStats rt_goal;
-    const auto& records = system->metrics().records();
-    for (size_t i = records.size() / 2; i < records.size(); ++i) {
-      rt_goal.Add(records[i].ForClass(1).observed_rt_ms);
-    }
-    const net::Network& network = system->network();
-    const uint64_t hint_bytes =
-        network.bytes_sent(net::TrafficClass::kHeatHint);
-    const core::AccessCounters& counters = system->counters(1);
-    const double disk = counters.HitFraction(StorageLevel::kLocalDisk) +
-                        counters.HitFraction(StorageLevel::kRemoteDisk);
-    std::printf("%.2f,%llu,%llu,%.4f,%.3f,%.3f\n", threshold,
-                static_cast<unsigned long long>(hint_bytes),
-                static_cast<unsigned long long>(
-                    network.messages_sent(net::TrafficClass::kHeatHint)),
-                static_cast<double>(hint_bytes) /
-                    static_cast<double>(network.total_bytes_sent()),
-                rt_goal.mean(), disk);
-    std::fflush(stdout);
+  for (size_t i = 0; i < thresholds.size(); ++i) {
+    std::printf("%.2f,%llu,%llu,%.4f,%.3f,%.3f\n", thresholds[i],
+                static_cast<unsigned long long>(rows[i].hint_bytes),
+                static_cast<unsigned long long>(rows[i].hint_msgs),
+                rows[i].hint_share, rows[i].rt_goal, rows[i].disk);
   }
+  std::fflush(stdout);
   return 0;
 }
 

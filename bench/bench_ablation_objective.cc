@@ -6,7 +6,8 @@
 // flatten the per-node response-time profile, at some cost to the no-goal
 // class.
 //
-// Usage: bench_ablation_objective [key=value ...]  (intervals=60 seed=1)
+// Usage: bench_ablation_objective [key=value ...] [--quick] [--threads=N]
+//        (intervals=60 seed=1 threads=0)
 
 #include <cmath>
 #include <cstdio>
@@ -101,12 +102,16 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", args.error().c_str());
     return 1;
   }
-  const int intervals = static_cast<int>(args.GetInt("intervals", 60));
+  const bool quick = args.GetBool("quick", false);
+  const int intervals =
+      static_cast<int>(args.GetInt("intervals", quick ? 20 : 60));
   const auto seed = static_cast<uint64_t>(args.GetInt("seed", 1));
+  TrialRunner runner(static_cast<int>(args.GetInt("threads", 0)));
 
   Setup calibration;
   calibration.seed = seed + 999;
-  const GoalBand band = CalibrateGoalBand(calibration);
+  const GoalBand band =
+      CalibrateGoalBand(calibration, 1, &runner, quick ? 12 : 18);
   const double goal = band.lo + 0.4 * (band.hi - band.lo);
   std::printf("# goal %.3f ms (band [%.3f, %.3f])\n", goal, band.lo,
               band.hi);
@@ -123,17 +128,21 @@ int Main(int argc, char** argv) {
       {"min-node-variance",
        core::PartitioningObjective::kMinimizeNodeVariance},
   };
-  for (const RowSpec& row : rows) {
-    const Outcome outcome = Run(row.objective, goal, seed, intervals);
+  // One trial per objective on the runner's pool.
+  const std::vector<Outcome> outcomes = runner.Run(2, [&](int trial) {
+    return Run(rows[trial].objective, goal, seed, intervals);
+  });
+  for (int i = 0; i < 2; ++i) {
+    const Outcome& outcome = outcomes[static_cast<size_t>(i)];
     std::printf("%s,%.3f,%.3f,%.3f,%.3f,%.3f,%.0f,%.0f,%.0f,%.2f,%.3f\n",
-                row.name, outcome.rt_mean, outcome.rt_spread,
+                rows[i].name, outcome.rt_mean, outcome.rt_spread,
                 outcome.per_node_rt[0], outcome.per_node_rt[1],
                 outcome.per_node_rt[2], outcome.per_node_dedicated[0] / 1024,
                 outcome.per_node_dedicated[1] / 1024,
                 outcome.per_node_dedicated[2] / 1024,
                 outcome.satisfied_frac, outcome.nogoal_rt);
-    std::fflush(stdout);
   }
+  std::fflush(stdout);
   return 0;
 }
 

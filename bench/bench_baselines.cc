@@ -6,11 +6,14 @@
 // and how reliably each controller satisfies it, and what it costs the
 // no-goal class.
 //
-// Usage: bench_baselines [key=value ...]  (intervals=50 seed=1)
+// Usage: bench_baselines [key=value ...] [--quick] [--threads=N]
+//        (intervals=50 seed=1 threads=0)
 
 #include <cstdio>
 #include <functional>
+#include <iterator>
 #include <memory>
+#include <vector>
 
 #include "baseline/fencing.h"
 #include "baseline/static_controllers.h"
@@ -33,14 +36,17 @@ int Run(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", args.error().c_str());
     return 1;
   }
-  const int intervals = static_cast<int>(args.GetInt("intervals", 50));
+  const bool quick = args.GetBool("quick", false);
+  const int intervals =
+      static_cast<int>(args.GetInt("intervals", quick ? 16 : 50));
   const uint64_t seed = static_cast<uint64_t>(args.GetInt("seed", 1));
+  TrialRunner runner(static_cast<int>(args.GetInt("threads", 0)));
 
   Setup setup;
   setup.seed = seed;
 
   // A binding goal one third into the calibrated band.
-  const GoalBand band = CalibrateGoalBand(setup);
+  const GoalBand band = CalibrateGoalBand(setup, 1, &runner, quick ? 12 : 18);
   const double goal = band.lo + (band.hi - band.lo) / 3.0;
   std::printf("# binding goal: %.3f ms (band [%.3f, %.3f], RT(0)=%.3f)\n",
               goal, band.lo, band.hi, band.rt_zero);
@@ -61,10 +67,17 @@ int Run(int argc, char** argv) {
        [] { return std::make_unique<baseline::NoPartitioningController>(); }},
   };
 
-  std::printf(
-      "controller,first_satisfied_interval,satisfied_frac,goal_rt_mean_ms,"
-      "nogoal_rt_mean_ms,final_dedicated_bytes\n");
-  for (const Row& row : rows) {
+  // One trial per controller on the runner's pool.
+  struct Outcome {
+    int first_satisfied = -1;
+    double satisfied_frac = 0.0;
+    double rt_goal = 0.0;
+    double rt_nogoal = 0.0;
+    uint64_t dedicated_bytes = 0;
+  };
+  constexpr int kNumRows = static_cast<int>(std::size(rows));
+  const std::vector<Outcome> outcomes = runner.Run(kNumRows, [&](int trial) {
+    const Row& row = rows[trial];
     std::unique_ptr<core::ClusterSystem> system = BuildSystem(setup);
     system->SetController(row.make());
     system->SetGoal(1, goal);
@@ -84,13 +97,26 @@ int Run(int argc, char** argv) {
     });
     system->Start();
     system->RunIntervals(intervals);
-    std::printf("%s,%d,%.2f,%.3f,%.3f,%llu\n", row.name, first_satisfied,
-                counted > 0 ? static_cast<double>(satisfied) / counted : 0.0,
-                rt_goal.mean(), rt_nogoal.mean(),
-                static_cast<unsigned long long>(
-                    system->TotalDedicatedBytes(1)));
-    std::fflush(stdout);
+    Outcome outcome;
+    outcome.first_satisfied = first_satisfied;
+    outcome.satisfied_frac =
+        counted > 0 ? static_cast<double>(satisfied) / counted : 0.0;
+    outcome.rt_goal = rt_goal.mean();
+    outcome.rt_nogoal = rt_nogoal.mean();
+    outcome.dedicated_bytes = system->TotalDedicatedBytes(1);
+    return outcome;
+  });
+
+  std::printf(
+      "controller,first_satisfied_interval,satisfied_frac,goal_rt_mean_ms,"
+      "nogoal_rt_mean_ms,final_dedicated_bytes\n");
+  for (int i = 0; i < kNumRows; ++i) {
+    std::printf("%s,%d,%.2f,%.3f,%.3f,%llu\n", rows[i].name,
+                outcomes[i].first_satisfied, outcomes[i].satisfied_frac,
+                outcomes[i].rt_goal, outcomes[i].rt_nogoal,
+                static_cast<unsigned long long>(outcomes[i].dedicated_bytes));
   }
+  std::fflush(stdout);
   return 0;
 }
 

@@ -6,11 +6,12 @@
 // the fault-free baseline. An optional bursty best-effort loss process can
 // be stacked on top to stress the partition protocol while degraded.
 //
-// Usage: bench_faults [key=value ...]
-//        (intervals=60 seed=1 crash_at_ms=100000 burst=0)
+// Usage: bench_faults [key=value ...] [--quick] [--threads=N]
+//        (intervals=60 seed=1 crash_at_ms=100000 burst=0 threads=0)
 
 #include <cstdio>
 #include <memory>
+#include <vector>
 
 #include "bench/experiment.h"
 #include "common/config.h"
@@ -21,91 +22,124 @@
 namespace memgoal::bench {
 namespace {
 
+struct OutageRow {
+  double satisfied_pre = 0.0;
+  double satisfied_outage = 0.0;
+  double satisfied_post = 0.0;
+  int reconverge = -1;
+  uint64_t fetch_fallbacks = 0;
+  uint64_t ops_failed = 0;
+  uint64_t store_resets = 0;
+};
+
 int Run(int argc, char** argv) {
   common::Config args;
   if (!args.ParseArgs(argc, argv)) {
     std::fprintf(stderr, "%s\n", args.error().c_str());
     return 1;
   }
-  const int intervals = static_cast<int>(args.GetInt("intervals", 60));
+  const bool quick = args.GetBool("quick", false);
+  const int intervals =
+      static_cast<int>(args.GetInt("intervals", quick ? 36 : 60));
   const uint64_t seed = static_cast<uint64_t>(args.GetInt("seed", 1));
   const double crash_at = args.GetDouble("crash_at_ms", 100000.0);
   const bool burst = args.GetInt("burst", 0) != 0;
+  TrialRunner runner(static_cast<int>(args.GetInt("threads", 0)));
 
   Setup base;
   base.seed = seed;
-  const GoalBand band = CalibrateGoalBand(base);
+  const GoalBand band =
+      CalibrateGoalBand(base, 1, &runner, quick ? 12 : 18);
   const double goal = band.lo + (band.hi - band.lo) / 3.0;
   std::printf("# binding goal: %.3f ms (band [%.3f, %.3f])\n", goal, band.lo,
               band.hi);
 
+  // Each outage duration is an independent trial on the runner's pool.
+  const std::vector<double> outages =
+      quick ? std::vector<double>{0.0, 30000.0}
+            : std::vector<double>{0.0, 30000.0, 60000.0, 120000.0};
+  const std::vector<OutageRow> rows = runner.Run(
+      static_cast<int>(outages.size()), [&](int trial) {
+        const double outage_ms = outages[static_cast<size_t>(trial)];
+        Setup setup = base;
+        const uint32_t victim = setup.num_nodes - 1;
+        if (outage_ms > 0.0) {
+          setup.faults.script = {
+              {crash_at, victim, /*crash=*/true},
+              {crash_at + outage_ms, victim, /*crash=*/false}};
+        }
+        if (burst) {
+          setup.network.loss_model = net::LossModel::kBurst;
+          setup.network.burst_good_to_bad = 0.05;
+          setup.network.burst_bad_to_good = 0.5;
+          setup.network.burst_loss_bad = 0.8;
+        }
+        std::unique_ptr<core::ClusterSystem> system = BuildSystem(setup);
+        system->SetGoal(1, goal);
+
+        const double interval_ms = setup.observation_interval_ms;
+        const int outage_first = static_cast<int>(crash_at / interval_ms);
+        const int outage_last =
+            static_cast<int>((crash_at + outage_ms) / interval_ms);
+        int pre_satisfied = 0, pre_counted = 0;
+        int out_satisfied = 0, out_counted = 0;
+        int post_satisfied = 0, post_counted = 0;
+        int reconverge = -1;
+        uint64_t ops_failed = 0;
+        system->SetIntervalCallback([&](const core::IntervalRecord& record) {
+          const auto& m = record.ForClass(1);
+          ops_failed += m.ops_failed;
+          if (record.index < 5) return;  // cold-cache ramp
+          if (outage_ms > 0.0 && record.index >= outage_first &&
+              record.index <= outage_last) {
+            out_satisfied += m.satisfied ? 1 : 0;
+            ++out_counted;
+          } else if (outage_ms > 0.0 && record.index > outage_last) {
+            post_satisfied += m.satisfied ? 1 : 0;
+            ++post_counted;
+            if (reconverge < 0 && m.satisfied) {
+              reconverge = record.index - outage_last;
+            }
+          } else {
+            pre_satisfied += m.satisfied ? 1 : 0;
+            ++pre_counted;
+          }
+        });
+        system->Start();
+        system->RunIntervals(intervals);
+
+        const auto& controller =
+            dynamic_cast<const core::GoalOrientedController&>(
+                system->controller());
+        auto frac = [](int num, int den) {
+          return den > 0 ? static_cast<double>(num) / den : 0.0;
+        };
+        OutageRow row;
+        row.satisfied_pre = frac(pre_satisfied, pre_counted);
+        row.satisfied_outage = frac(out_satisfied, out_counted);
+        row.satisfied_post = frac(post_satisfied, post_counted);
+        row.reconverge = reconverge;
+        row.fetch_fallbacks =
+            system->counters(1).fetch_fallbacks +
+            system->counters(kNoGoalClass).fetch_fallbacks;
+        row.ops_failed = ops_failed;
+        row.store_resets = controller.stats().store_resets;
+        return row;
+      });
+
   std::printf(
       "outage_ms,satisfied_pre,satisfied_outage,satisfied_post,"
       "reconverge_intervals,fetch_fallbacks,ops_failed,store_resets\n");
-  for (double outage_ms : {0.0, 30000.0, 60000.0, 120000.0}) {
-    Setup setup = base;
-    const uint32_t victim = setup.num_nodes - 1;
-    if (outage_ms > 0.0) {
-      setup.faults.script = {{crash_at, victim, /*crash=*/true},
-                             {crash_at + outage_ms, victim, /*crash=*/false}};
-    }
-    if (burst) {
-      setup.network.loss_model = net::LossModel::kBurst;
-      setup.network.burst_good_to_bad = 0.05;
-      setup.network.burst_bad_to_good = 0.5;
-      setup.network.burst_loss_bad = 0.8;
-    }
-    std::unique_ptr<core::ClusterSystem> system = BuildSystem(setup);
-    system->SetGoal(1, goal);
-
-    const double interval_ms = setup.observation_interval_ms;
-    const int outage_first = static_cast<int>(crash_at / interval_ms);
-    const int outage_last =
-        static_cast<int>((crash_at + outage_ms) / interval_ms);
-    int pre_satisfied = 0, pre_counted = 0;
-    int out_satisfied = 0, out_counted = 0;
-    int post_satisfied = 0, post_counted = 0;
-    int reconverge = -1;
-    uint64_t ops_failed = 0;
-    system->SetIntervalCallback([&](const core::IntervalRecord& record) {
-      const auto& m = record.ForClass(1);
-      ops_failed += m.ops_failed;
-      if (record.index < 5) return;  // cold-cache ramp
-      if (outage_ms > 0.0 && record.index >= outage_first &&
-          record.index <= outage_last) {
-        out_satisfied += m.satisfied ? 1 : 0;
-        ++out_counted;
-      } else if (outage_ms > 0.0 && record.index > outage_last) {
-        post_satisfied += m.satisfied ? 1 : 0;
-        ++post_counted;
-        if (reconverge < 0 && m.satisfied) {
-          reconverge = record.index - outage_last;
-        }
-      } else {
-        pre_satisfied += m.satisfied ? 1 : 0;
-        ++pre_counted;
-      }
-    });
-    system->Start();
-    system->RunIntervals(intervals);
-
-    const auto& controller =
-        dynamic_cast<const core::GoalOrientedController&>(
-            system->controller());
-    const uint64_t fallbacks = system->counters(1).fetch_fallbacks +
-                               system->counters(kNoGoalClass).fetch_fallbacks;
-    auto frac = [](int num, int den) {
-      return den > 0 ? static_cast<double>(num) / den : 0.0;
-    };
-    std::printf("%.0f,%.2f,%.2f,%.2f,%d,%llu,%llu,%llu\n", outage_ms,
-                frac(pre_satisfied, pre_counted),
-                frac(out_satisfied, out_counted),
-                frac(post_satisfied, post_counted), reconverge,
-                static_cast<unsigned long long>(fallbacks),
-                static_cast<unsigned long long>(ops_failed),
-                static_cast<unsigned long long>(controller.stats().store_resets));
-    std::fflush(stdout);
+  for (size_t i = 0; i < outages.size(); ++i) {
+    const OutageRow& row = rows[i];
+    std::printf("%.0f,%.2f,%.2f,%.2f,%d,%llu,%llu,%llu\n", outages[i],
+                row.satisfied_pre, row.satisfied_outage, row.satisfied_post,
+                row.reconverge,
+                static_cast<unsigned long long>(row.fetch_fallbacks),
+                static_cast<unsigned long long>(row.ops_failed),
+                static_cast<unsigned long long>(row.store_resets));
   }
+  std::fflush(stdout);
   return 0;
 }
 

@@ -5,7 +5,8 @@
 // over and over. Prints the figure's three series (observed response time,
 // response-time goal, total dedicated cache) as CSV.
 //
-// Usage: bench_fig2_base [key=value ...]   (intervals=80 seed=1 skew=0.0)
+// Usage: bench_fig2_base [key=value ...] [--quick] [--threads=N]
+//        (intervals=80 seed=1 skew=0.0 threads=0)
 
 #include <cstdio>
 
@@ -24,10 +25,13 @@ int Run(int argc, char** argv) {
   Setup setup;
   setup.seed = static_cast<uint64_t>(args.GetInt("seed", 1));
   setup.skew = args.GetDouble("skew", 0.0);
-  const int intervals = static_cast<int>(args.GetInt("intervals", 80));
+  const bool quick = args.GetBool("quick", false);
+  const int intervals =
+      static_cast<int>(args.GetInt("intervals", quick ? 24 : 80));
+  TrialRunner runner(static_cast<int>(args.GetInt("threads", 0)));
 
   std::fprintf(stderr, "# fig2: calibrating goal band...\n");
-  const GoalBand band = CalibrateGoalBand(setup);
+  const GoalBand band = CalibrateGoalBand(setup, 1, &runner, quick ? 12 : 18);
   const double goal_lo = band.lo;
   const double goal_hi = band.hi;
   std::fprintf(stderr, "# goal band [%.3f, %.3f] ms\n", goal_lo, goal_hi);

@@ -9,7 +9,8 @@
 // buffer shrinks (it freerides on class 1's pool) and eventually reaches
 // zero while its goal stays satisfied — the paper's Example 2.
 //
-// Usage: bench_multiclass [key=value ...] (intervals=100 part=ab)
+// Usage: bench_multiclass [key=value ...] [--quick] [--threads=N]
+//        (intervals=100 part=ab threads=0)
 
 #include <cstdio>
 #include <memory>
@@ -33,23 +34,20 @@ Setup TwoClassSetup(uint64_t seed) {
   return setup;
 }
 
-void PartA(int intervals, int max_runs, uint64_t seed0) {
+void PartA(const ConvergencePlan& plan, uint64_t seed0, bool quick,
+           TrialRunner* runner) {
   std::printf("# Part A: disjoint page sets, convergence of class 1\n");
   std::printf(
       "skew,mean_iterations,ci99_half_width,samples,censored,"
       "paper_single_class\n");
   const double skews[] = {0.0, 0.5, 1.0};
   const double paper[] = {1.84, 3.55, 3.95};
-  for (int s = 0; s < 3; ++s) {
-    Setup setup = TwoClassSetup(seed0);
+  const int num_rows = quick ? 1 : 3;
+  for (int s = 0; s < num_rows; ++s) {
+    Setup setup = TwoClassSetup(seed0 + 40 + 10 * static_cast<uint64_t>(s));
     setup.skew = skews[s];
-    std::vector<uint64_t> seeds;
-    for (int r = 0; r < max_runs; ++r) {
-      seeds.push_back(seed0 + 40 + 10 * static_cast<uint64_t>(s) +
-                      static_cast<uint64_t>(r));
-    }
     const ConvergenceResult result =
-        MeasureConvergence(setup, seeds, intervals);
+        MeasureConvergence(setup, plan, runner);
     std::printf("%.2f,%.3f,%.3f,%lld,%d,%.2f\n", skews[s],
                 result.iterations.mean(),
                 common::ConfidenceHalfWidth(result.iterations, 0.99),
@@ -86,7 +84,7 @@ std::pair<double, double> CalibratePartB(uint64_t seed) {
   return {rt_k1.mean(), rt_k2.mean()};
 }
 
-void PartB(int intervals, uint64_t seed0) {
+void PartB(int intervals, uint64_t seed0, bool quick, TrialRunner* runner) {
   std::printf("\n# Part B: data-sharing sweep (class 2 shares class 1's "
               "pages)\n");
 
@@ -99,37 +97,57 @@ void PartB(int intervals, uint64_t seed0) {
   std::printf("# goal_k1=%.3f ms (tight), goal_k2=%.3f ms\n", goal_k1,
               goal_k2);
 
+  // Each sweep point is an independent trial on the runner's pool; results
+  // are printed in sweep order after all trials joined.
+  const std::vector<double> shares =
+      quick ? std::vector<double>{0.0, 1.0}
+            : std::vector<double>{0.0, 0.25, 0.5, 0.75, 1.0};
+  struct ShareRow {
+    double dedicated_k1 = 0.0;
+    double dedicated_k2 = 0.0;
+    double satisfied_k2_frac = 0.0;
+    double rt_k2_ms = 0.0;
+  };
+  const std::vector<ShareRow> results = runner->Run(
+      static_cast<int>(shares.size()), [&](int trial) {
+        Setup setup = TwoClassSetup(seed0);
+        setup.share_prob = shares[static_cast<size_t>(trial)];
+        std::unique_ptr<core::ClusterSystem> system = BuildSystem(setup);
+        system->SetGoal(1, goal_k1);
+        system->SetGoal(2, goal_k2);
+
+        common::RunningStats dedicated_k1, dedicated_k2, rt_k2;
+        int satisfied_k2 = 0, counted = 0;
+        system->SetIntervalCallback([&](const core::IntervalRecord& record) {
+          if (record.index < intervals / 2) return;  // settle first
+          dedicated_k1.Add(static_cast<double>(
+              record.ForClass(1).dedicated_bytes));
+          dedicated_k2.Add(static_cast<double>(
+              record.ForClass(2).dedicated_bytes));
+          rt_k2.Add(record.ForClass(2).observed_rt_ms);
+          satisfied_k2 += record.ForClass(2).satisfied ? 1 : 0;
+          ++counted;
+        });
+        system->Start();
+        system->RunIntervals(intervals);
+        ShareRow row;
+        row.dedicated_k1 = dedicated_k1.mean();
+        row.dedicated_k2 = dedicated_k2.mean();
+        row.satisfied_k2_frac =
+            counted > 0 ? static_cast<double>(satisfied_k2) / counted : 0.0;
+        row.rt_k2_ms = rt_k2.mean();
+        return row;
+      });
+
   std::printf(
       "share_prob,dedicated_k1_bytes,dedicated_k2_bytes,satisfied_k2_frac,"
       "rt_k2_ms\n");
-  for (double share : {0.0, 0.25, 0.5, 0.75, 1.0}) {
-    Setup setup = TwoClassSetup(seed0);
-    setup.share_prob = share;
-    std::unique_ptr<core::ClusterSystem> system = BuildSystem(setup);
-    system->SetGoal(1, goal_k1);
-    system->SetGoal(2, goal_k2);
-
-    common::RunningStats dedicated_k1, dedicated_k2, rt_k2;
-    int satisfied_k2 = 0, counted = 0;
-    system->SetIntervalCallback([&](const core::IntervalRecord& record) {
-      if (record.index < intervals / 2) return;  // settle first
-      dedicated_k1.Add(static_cast<double>(
-          record.ForClass(1).dedicated_bytes));
-      dedicated_k2.Add(static_cast<double>(
-          record.ForClass(2).dedicated_bytes));
-      rt_k2.Add(record.ForClass(2).observed_rt_ms);
-      satisfied_k2 += record.ForClass(2).satisfied ? 1 : 0;
-      ++counted;
-    });
-    system->Start();
-    system->RunIntervals(intervals);
-    std::printf("%.2f,%.0f,%.0f,%.2f,%.3f\n", share, dedicated_k1.mean(),
-                dedicated_k2.mean(),
-                counted > 0 ? static_cast<double>(satisfied_k2) / counted
-                            : 0.0,
-                rt_k2.mean());
-    std::fflush(stdout);
+  for (size_t i = 0; i < shares.size(); ++i) {
+    std::printf("%.2f,%.0f,%.0f,%.2f,%.3f\n", shares[i],
+                results[i].dedicated_k1, results[i].dedicated_k2,
+                results[i].satisfied_k2_frac, results[i].rt_k2_ms);
   }
+  std::fflush(stdout);
 }
 
 int Run(int argc, char** argv) {
@@ -138,12 +156,26 @@ int Run(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", args.error().c_str());
     return 1;
   }
-  const int intervals = static_cast<int>(args.GetInt("intervals", 100));
-  const int max_runs = static_cast<int>(args.GetInt("max_runs", 4));
+  const bool quick = args.GetBool("quick", false);
+  const int intervals =
+      static_cast<int>(args.GetInt("intervals", quick ? 24 : 100));
+  const int max_runs =
+      static_cast<int>(args.GetInt("max_runs", quick ? 2 : 4));
   const uint64_t seed0 = static_cast<uint64_t>(args.GetInt("seed", 1));
   const std::string part = args.GetString("part", "ab");
-  if (part.find('a') != std::string::npos) PartA(intervals, max_runs, seed0);
-  if (part.find('b') != std::string::npos) PartB(intervals / 2 * 2, seed0);
+  TrialRunner runner(static_cast<int>(args.GetInt("threads", 0)));
+
+  ConvergencePlan plan;
+  plan.max_runs = max_runs;
+  plan.intervals_per_run = intervals;
+  if (quick) plan.calibration_intervals = 12;
+
+  if (part.find('a') != std::string::npos) {
+    PartA(plan, seed0, quick, &runner);
+  }
+  if (part.find('b') != std::string::npos) {
+    PartB(intervals / 2 * 2, seed0, quick, &runner);
+  }
   return 0;
 }
 

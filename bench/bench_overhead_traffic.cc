@@ -4,7 +4,8 @@
 // total network traffic, with negligible CPU and memory overhead (CPU costs
 // are measured separately by bench_table1_overhead).
 //
-// Usage: bench_overhead_traffic [key=value ...]  (intervals=60 seed=1)
+// Usage: bench_overhead_traffic [key=value ...] [--quick] [--threads=N]
+//        (intervals=60 seed=1 threads=0)
 
 #include <cstdio>
 #include <memory>
@@ -25,9 +26,12 @@ int Run(int argc, char** argv) {
   }
   Setup setup;
   setup.seed = static_cast<uint64_t>(args.GetInt("seed", 1));
-  const int intervals = static_cast<int>(args.GetInt("intervals", 60));
+  const bool quick = args.GetBool("quick", false);
+  const int intervals =
+      static_cast<int>(args.GetInt("intervals", quick ? 20 : 60));
+  TrialRunner runner(static_cast<int>(args.GetInt("threads", 0)));
 
-  const GoalBand band = CalibrateGoalBand(setup);
+  const GoalBand band = CalibrateGoalBand(setup, 1, &runner, quick ? 12 : 18);
   const double goal_lo = band.lo;
   const double goal_hi = band.hi;
 

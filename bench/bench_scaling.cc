@@ -8,7 +8,8 @@
 // the standard goal-change protocol plus the partitioning-protocol traffic
 // share, which must stay negligible as N grows.
 //
-// Usage: bench_scaling [key=value ...]  (intervals=80 seed=1 part=ab)
+// Usage: bench_scaling [key=value ...] [--quick] [--threads=N]
+//        (intervals=80 seed=1 part=ab threads=0)
 
 #include <cstdio>
 #include <memory>
@@ -32,8 +33,9 @@ struct RowResult {
 double MeasureProtocolShare(const Setup& setup, double goal_lo,
                             double goal_hi, int intervals) {
   std::unique_ptr<core::ClusterSystem> system = BuildSystem(setup);
-  GoalChangeDriver driver(system.get(), 1, goal_lo, goal_hi,
-                          setup.seed + 99);
+  GoalChangeDriver driver(
+      system.get(), 1, goal_lo, goal_hi,
+      common::DeriveStreamSeed(setup.seed, kAuxStreamBase));
   system->SetIntervalCallback([&](const core::IntervalRecord& record) {
     driver.OnInterval(record);
   });
@@ -45,15 +47,17 @@ double MeasureProtocolShare(const Setup& setup, double goal_lo,
          static_cast<double>(network.total_bytes_sent());
 }
 
-RowResult RunRow(Setup setup, int intervals, uint64_t seed0) {
+RowResult RunRow(Setup setup, const ConvergencePlan& plan, uint64_t seed0,
+                 TrialRunner* runner) {
   RowResult row;
-  std::vector<uint64_t> seeds = {seed0, seed0 + 1, seed0 + 2};
-  row.convergence = MeasureConvergence(setup, seeds, intervals);
+  setup.seed = seed0;
+  row.convergence = MeasureConvergence(setup, plan, runner);
   Setup traffic_setup = setup;
-  traffic_setup.seed = seed0 + 7;
+  traffic_setup.seed = common::DeriveStreamSeed(seed0, kAuxStreamBase + 1);
   row.protocol_share =
       MeasureProtocolShare(traffic_setup, row.convergence.goal_lo,
-                           row.convergence.goal_hi, intervals / 2);
+                           row.convergence.goal_hi,
+                           plan.intervals_per_run / 2);
   return row;
 }
 
@@ -72,23 +76,33 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", args.error().c_str());
     return 1;
   }
-  const int intervals = static_cast<int>(args.GetInt("intervals", 80));
+  const bool quick = args.GetBool("quick", false);
+  const int intervals =
+      static_cast<int>(args.GetInt("intervals", quick ? 24 : 80));
   const auto seed = static_cast<uint64_t>(args.GetInt("seed", 1));
   const std::string part = args.GetString("part", "ab");
+  TrialRunner runner(static_cast<int>(args.GetInt("threads", 0)));
+
+  ConvergencePlan plan;
+  plan.max_runs = quick ? 2 : 3;
+  plan.intervals_per_run = intervals;
+  if (quick) plan.calibration_intervals = 12;
 
   if (part.find('a') != std::string::npos) {
     std::printf("# Part A: node count sweep\n");
     std::printf(
         "nodes,mean_iterations,ci99,samples,censored,protocol_share\n");
-    for (uint32_t nodes : {3u, 6u, 9u, 12u}) {
+    const std::vector<uint32_t> node_counts =
+        quick ? std::vector<uint32_t>{3u, 6u}
+              : std::vector<uint32_t>{3u, 6u, 9u, 12u};
+    for (uint32_t nodes : node_counts) {
       Setup setup;
-      setup.seed = seed;
       setup.num_nodes = nodes;
       // Keep the per-node load and the cache:working-set ratio constant:
       // the database grows with the cluster.
       setup.pages_per_class =
           1000u * nodes / 3u;
-      const RowResult row = RunRow(setup, intervals, seed + 10 * nodes);
+      const RowResult row = RunRow(setup, plan, seed + 10 * nodes, &runner);
       Print("nodes", nodes, row);
     }
   }
@@ -98,14 +112,16 @@ int Main(int argc, char** argv) {
     std::printf(
         "accesses_per_op,mean_iterations,ci99,samples,censored,"
         "protocol_share\n");
-    for (int accesses : {1, 4, 16}) {
+    const std::vector<int> access_counts =
+        quick ? std::vector<int>{1, 4} : std::vector<int>{1, 4, 16};
+    for (int accesses : access_counts) {
       Setup setup;
-      setup.seed = seed;
       setup.accesses_per_op = accesses;
       // Constant page-access rate: inter-arrival scales with op size.
       setup.interarrival_ms = 10.0 * accesses;
-      const RowResult row =
-          RunRow(setup, intervals, seed + 1000 + 10 * accesses);
+      const RowResult row = RunRow(
+          setup, plan, seed + 1000 + 10 * static_cast<uint64_t>(accesses),
+          &runner);
       Print("accesses", accesses, row);
     }
   }

@@ -8,7 +8,8 @@
 // Paper's values: theta  0     0.25  0.5   0.75  1
 //                 iters  1.84  2.41  3.55  3.88  3.95
 //
-// Usage: bench_table2_skew [key=value ...]  (intervals=100 max_runs=5)
+// Usage: bench_table2_skew [key=value ...] [--quick] [--threads=N]
+//        (intervals=100 max_runs=5 threads=0; threads=0 uses all cores)
 
 #include <cstdio>
 #include <vector>
@@ -26,27 +27,35 @@ int Run(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", args.error().c_str());
     return 1;
   }
-  const int intervals = static_cast<int>(args.GetInt("intervals", 100));
-  const int max_runs = static_cast<int>(args.GetInt("max_runs", 5));
+  const bool quick = args.GetBool("quick", false);
+  const int intervals =
+      static_cast<int>(args.GetInt("intervals", quick ? 30 : 100));
+  const int max_runs = static_cast<int>(args.GetInt("max_runs", quick ? 2 : 5));
   const uint64_t seed0 = static_cast<uint64_t>(args.GetInt("seed", 1));
+  TrialRunner runner(static_cast<int>(args.GetInt("threads", 0)));
 
   const double paper[] = {1.84, 2.41, 3.55, 3.88, 3.95};
   const double skews[] = {0.0, 0.25, 0.5, 0.75, 1.0};
+  // Quick mode keeps the endpoints of the sweep.
+  const std::vector<int> rows =
+      quick ? std::vector<int>{0, 4} : std::vector<int>{0, 1, 2, 3, 4};
+
+  ConvergencePlan plan;
+  plan.max_runs = max_runs;
+  plan.intervals_per_run = intervals;
+  if (quick) plan.calibration_intervals = 12;
 
   std::printf(
       "skew,mean_iterations,ci99_half_width,samples,censored,runs,"
       "goal_lo_ms,goal_hi_ms,paper_iterations\n");
-  for (int s = 0; s < 5; ++s) {
+  for (int s : rows) {
     Setup setup;
     setup.skew = skews[s];
-    setup.seed = seed0;
-    std::vector<uint64_t> seeds;
-    for (int r = 0; r < max_runs; ++r) {
-      seeds.push_back(seed0 + 100 * static_cast<uint64_t>(s) +
-                      static_cast<uint64_t>(r));
-    }
+    // One master seed per row; the row's trials derive their streams from
+    // it by trial index.
+    setup.seed = seed0 + 100 * static_cast<uint64_t>(s);
     const ConvergenceResult result =
-        MeasureConvergence(setup, seeds, intervals);
+        MeasureConvergence(setup, plan, &runner);
     std::printf("%.2f,%.3f,%.3f,%lld,%d,%d,%.3f,%.3f,%.2f\n", skews[s],
                 result.iterations.mean(),
                 common::ConfidenceHalfWidth(result.iterations, 0.99),

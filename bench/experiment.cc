@@ -109,12 +109,19 @@ GoalChangeDriver::GoalChangeDriver(core::ClusterSystem* system, ClassId klass,
 
 void GoalChangeDriver::PickNewGoal() {
   const double current = system_->spec(klass_).goal_rt_ms.value();
+  const double quarter_band = 0.25 * (goal_hi_ - goal_lo_);
   double next = current;
   // "Randomly chosen so that it should be satisfiable under the current
   // workload and also differs significantly from the current goal" (§7.1).
-  do {
+  // Bounded: when the band is a few ulps wide every draw rounds onto the
+  // current goal and the re-draw condition is unsatisfiable.
+  for (int draws = 0; draws < kMaxGoalRedraws; ++draws) {
     next = rng_.Uniform(goal_lo_, goal_hi_);
-  } while (std::fabs(next - current) < 0.25 * (goal_hi_ - goal_lo_));
+    if (std::fabs(next - current) >= quarter_band) break;
+  }
+  if (std::fabs(next - current) < quarter_band) {
+    next = (current - goal_lo_ >= goal_hi_ - current) ? goal_lo_ : goal_hi_;
+  }
   system_->SetGoal(klass_, next);
   converging_ = true;
   intervals_since_change_ = 0;
@@ -147,26 +154,53 @@ void GoalChangeDriver::OnInterval(const core::IntervalRecord& record) {
   if (satisfied_streak_ >= kSatisfiedStreakForChange) PickNewGoal();
 }
 
-GoalBand CalibrateGoalBand(const Setup& setup, ClassId klass) {
+GoalBand CalibrateGoalBand(const Setup& setup, ClassId klass,
+                           TrialRunner* runner, int intervals) {
+  // The three calibration points are independent seeded trials; each draws
+  // its randomness from its own stream of setup.seed, so the band is the
+  // same whether the points run serially or on a pool.
+  const double fractions[] = {2.0 / 3.0, 1.0 / 3.0, 0.0};
+  TrialRunner serial(1);
+  TrialRunner& pool = runner != nullptr ? *runner : serial;
+  const std::vector<double> rt =
+      pool.Run(3, [&](int point) {
+        Setup calibration = setup;
+        calibration.seed = common::DeriveStreamSeed(
+            setup.seed, kCalibrationStreamBase + static_cast<uint64_t>(point));
+        return CalibrateRt(calibration, klass, fractions[point], intervals);
+      });
+
   GoalBand band;
-  Setup calibration = setup;
-  calibration.seed = setup.seed + 1000003;
-  band.lo = CalibrateRt(calibration, klass, 2.0 / 3.0);
-  calibration.seed = setup.seed + 2000003;
-  band.rt_third = CalibrateRt(calibration, klass, 1.0 / 3.0);
-  calibration.seed = setup.seed + 3000003;
-  band.rt_zero = CalibrateRt(calibration, klass, 0.0);
+  band.lo = rt[0];
+  band.rt_third = rt[1];
+  band.rt_zero = rt[2];
   band.hi = std::min(band.rt_third, 0.75 * band.rt_zero);
   MEMGOAL_CHECK_MSG(band.lo < band.hi,
                     "calibration produced an empty goal band");
   return band;
 }
 
+namespace {
+
+/// What one convergence trial hands back to the trial-index-ordered
+/// reduction.
+struct TrialOutcome {
+  common::RunningStats iterations;
+  int goals_completed = 0;
+  int censored = 0;
+};
+
+}  // namespace
+
 ConvergenceResult MeasureConvergence(const Setup& base_setup,
-                                     const std::vector<uint64_t>& run_seeds,
-                                     int intervals_per_run) {
+                                     const ConvergencePlan& plan,
+                                     TrialRunner* runner) {
+  TrialRunner serial(1);
+  TrialRunner& pool = runner != nullptr ? *runner : serial;
+
   ConvergenceResult result;
-  const GoalBand band = CalibrateGoalBand(base_setup);
+  const GoalBand band = CalibrateGoalBand(base_setup, 1, &pool,
+                                          plan.calibration_intervals);
   result.goal_lo = band.lo;
   result.goal_hi = band.hi;
 
@@ -176,31 +210,50 @@ ConvergenceResult MeasureConvergence(const Setup& base_setup,
   double goal_k2 = 0.0;
   if (base_setup.goal_classes >= 2) {
     Setup calibration = base_setup;
-    calibration.seed = base_setup.seed + 4000003;
-    goal_k2 = 1.05 * CalibrateRt(calibration, 2, 1.0 / 3.0);
+    calibration.seed = common::DeriveStreamSeed(base_setup.seed,
+                                                kCalibrationStreamBase + 3);
+    goal_k2 = 1.05 * CalibrateRt(calibration, 2, 1.0 / 3.0,
+                                 plan.calibration_intervals);
   }
 
-  for (uint64_t seed : run_seeds) {
-    Setup setup = base_setup;
-    setup.seed = seed;
-    std::unique_ptr<core::ClusterSystem> system = BuildSystem(setup);
-    if (setup.goal_classes >= 2) {
-      // Both coordinators are live concurrently (§5 drops the one-class-
-      // at-a-time restriction); only class 1's convergence is measured.
-      system->SetGoal(2, goal_k2);
-    }
-    GoalChangeDriver driver(system.get(), 1, result.goal_lo, result.goal_hi,
-                            seed ^ 0x9e3779b97f4a7c15ull);
-    system->SetIntervalCallback(
-        [&driver](const core::IntervalRecord& record) {
-          driver.OnInterval(record);
-        });
-    system->Start();
-    system->RunIntervals(intervals_per_run);
+  const std::vector<TrialOutcome> outcomes = pool.Run(
+      plan.max_runs, [&](int trial) {
+        Setup setup = base_setup;
+        setup.seed = common::DeriveStreamSeed(
+            base_setup.seed, static_cast<uint64_t>(trial));
+        std::unique_ptr<core::ClusterSystem> system = BuildSystem(setup);
+        if (setup.goal_classes >= 2) {
+          // Both coordinators are live concurrently (§5 drops the one-
+          // class-at-a-time restriction); only class 1's convergence is
+          // measured.
+          system->SetGoal(2, goal_k2);
+        }
+        GoalChangeDriver driver(
+            system.get(), 1, band.lo, band.hi,
+            common::DeriveStreamSeed(
+                base_setup.seed,
+                kGoalDriverStreamBase + static_cast<uint64_t>(trial)));
+        system->SetIntervalCallback(
+            [&driver](const core::IntervalRecord& record) {
+              driver.OnInterval(record);
+            });
+        system->Start();
+        system->RunIntervals(plan.intervals_per_run);
 
-    result.iterations.Merge(driver.iterations());
-    result.goals_completed += driver.goals_completed();
-    result.censored += driver.censored();
+        TrialOutcome outcome;
+        outcome.iterations = driver.iterations();
+        outcome.goals_completed = driver.goals_completed();
+        outcome.censored = driver.censored();
+        return outcome;
+      });
+
+  // Reduce in trial-index order with the serial loop's stopping rule: a
+  // parallel run may have computed trials past the stopping point, but they
+  // are not merged, so the pooled statistics match a 1-thread run exactly.
+  for (const TrialOutcome& outcome : outcomes) {
+    result.iterations.Merge(outcome.iterations);
+    result.goals_completed += outcome.goals_completed;
+    result.censored += outcome.censored;
     ++result.runs_used;
     if (result.iterations.count() >= 10 &&
         common::ConfidenceHalfWidth(result.iterations, 0.99) < 1.0) {

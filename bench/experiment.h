@@ -5,6 +5,7 @@
 #include <optional>
 #include <vector>
 
+#include "bench/trial_runner.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "core/metrics.h"
@@ -74,6 +75,13 @@ std::unique_ptr<core::ClusterSystem> BuildSystem(const Setup& setup);
 double CalibrateRt(const Setup& setup, ClassId klass, double fraction,
                    int intervals = 18);
 
+/// Stream-id bases for common::DeriveStreamSeed(setup.seed, ...). Trial
+/// indices occupy [0, 2^32); every auxiliary stream lives in its own
+/// disjoint 2^32-wide band so no (purpose, index) pair ever aliases another.
+inline constexpr uint64_t kCalibrationStreamBase = 1ull << 32;
+inline constexpr uint64_t kGoalDriverStreamBase = 2ull << 32;
+inline constexpr uint64_t kAuxStreamBase = 3ull << 32;
+
 /// The satisfiable goal band of the §7.1 protocol. The paper draws goals
 /// from [RT(2/3 of cache dedicated), RT(1/3 dedicated)]; our richer
 /// simulator additionally exposes a non-monotone region at small dedicated
@@ -87,7 +95,13 @@ struct GoalBand {
   double rt_zero = 0.0;  // RT with no dedicated buffer
   double rt_third = 0.0;  // RT at 1/3 dedicated (uncapped, for reporting)
 };
-GoalBand CalibrateGoalBand(const Setup& setup, ClassId klass = 1);
+/// The three calibration points are independent seeded trials (streams
+/// kCalibrationStreamBase + {0,1,2} of setup.seed); when `runner` is given
+/// they run concurrently on its pool, with results identical for any thread
+/// count. `intervals` is forwarded to CalibrateRt (the --quick smoke modes
+/// shorten it).
+GoalBand CalibrateGoalBand(const Setup& setup, ClassId klass = 1,
+                           TrialRunner* runner = nullptr, int intervals = 18);
 
 /// Implements the §7.1 measurement protocol for one goal class: once the
 /// goal has been satisfied for four consecutive intervals, draw a new goal
@@ -113,6 +127,13 @@ class GoalChangeDriver {
 
   static constexpr int kSatisfiedStreakForChange = 4;
   static constexpr int kCensorLimit = 40;
+  /// Bound on the §7.1 "differs significantly" re-draw loop. With a healthy
+  /// band a draw succeeds with probability >= 1/2, so 64 tries failing is a
+  /// ~2^-64 event — but when goal_hi - goal_lo underflows toward one ulp
+  /// every draw rounds onto the current goal and the unbounded loop would
+  /// spin forever. After the bound the driver jumps to the band endpoint
+  /// farthest from the current goal.
+  static constexpr int kMaxGoalRedraws = 64;
 
  private:
   void PickNewGoal();
@@ -132,10 +153,25 @@ class GoalChangeDriver {
 };
 
 /// Runs the full Table-2 protocol for one skew value: calibrate the goal
-/// band, then run `run_seeds.size()` independent simulations of
+/// band, then run up to `max_runs` independent simulations of
 /// `intervals_per_run` intervals each, pooling convergence samples, until
 /// the pooled 99% confidence half-width drops below 1 iteration (or the
-/// seeds are exhausted). Returns the pooled statistics.
+/// runs are exhausted). Returns the pooled statistics.
+///
+/// Trial `i` draws its workload from stream `i` and its goal sequence from
+/// stream kGoalDriverStreamBase + i of `base_setup.seed`, so the pooled
+/// result is a pure function of (setup, plan): with a TrialRunner the
+/// trials execute concurrently, the reduction runs in trial-index order on
+/// the caller's thread, and the result is bit-identical for any thread
+/// count. (A parallel run may execute trials beyond the confidence stopping
+/// point; they are computed but never merged, exactly as if the serial loop
+/// had stopped.)
+struct ConvergencePlan {
+  int max_runs = 5;
+  int intervals_per_run = 100;
+  /// Observation intervals per goal-band calibration point.
+  int calibration_intervals = 18;
+};
 struct ConvergenceResult {
   common::RunningStats iterations;
   int goals_completed = 0;
@@ -145,8 +181,8 @@ struct ConvergenceResult {
   double goal_hi = 0.0;
 };
 ConvergenceResult MeasureConvergence(const Setup& base_setup,
-                                     const std::vector<uint64_t>& run_seeds,
-                                     int intervals_per_run);
+                                     const ConvergencePlan& plan,
+                                     TrialRunner* runner = nullptr);
 
 }  // namespace memgoal::bench
 

@@ -20,10 +20,27 @@ std::string Trim(const std::string& s) {
 
 bool Config::ParseArgs(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
-    const std::string token = argv[i];
+    std::string token = argv[i];
+    // GNU-style spellings map onto the key=value store: `--threads=8` is
+    // `threads=8` and a bare switch like `--quick` is `quick=1` (which the
+    // boolean getter accepts as true).
+    const bool dashed = token.rfind("--", 0) == 0;
+    if (dashed) token.erase(0, 2);
     const size_t eq = token.find('=');
-    if (eq == std::string::npos || eq == 0) {
-      error_ = "malformed argument (expected key=value): " + token;
+    if (eq == std::string::npos) {
+      if (dashed && !token.empty()) {
+        Set(token, "1");
+        continue;
+      }
+      error_ = std::string("malformed argument (expected key=value or "
+                           "--flag): ") +
+               argv[i];
+      return false;
+    }
+    if (eq == 0) {
+      error_ = std::string("malformed argument (expected key=value or "
+                           "--flag): ") +
+               argv[i];
       return false;
     }
     Set(token.substr(0, eq), token.substr(eq + 1));

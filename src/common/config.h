@@ -20,6 +20,8 @@ class Config {
   Config() = default;
 
   /// Parses `key=value` tokens from an argv-style array (skipping argv[0]).
+  /// GNU-style spellings are accepted too: `--key=value` is equivalent to
+  /// `key=value`, and a bare `--flag` stores `flag=1` (true for GetBool).
   /// Returns false (and records an error message) on malformed tokens.
   bool ParseArgs(int argc, const char* const* argv);
 

@@ -1,10 +1,11 @@
 #include "common/logging.h"
 
 #include <cstdio>
+#include <vector>
 
 namespace memgoal::common {
 
-LogLevel Logger::level_ = LogLevel::kWarn;
+std::atomic<LogLevel> Logger::level_{LogLevel::kWarn};
 
 namespace {
 
@@ -30,12 +31,24 @@ const char* LevelTag(LogLevel level) {
 
 void Logger::Logf(LogLevel level, const char* format, ...) {
   if (!Enabled(level)) return;
-  std::fprintf(stderr, "[%s] ", LevelTag(level));
+  // Format into a private buffer and emit with a single stdio call so that
+  // messages from concurrent bench trials never interleave within a line
+  // (each stdio call locks the stream; separate calls do not compose).
+  char stack_buf[512];
   va_list args;
   va_start(args, format);
-  std::vfprintf(stderr, format, args);
+  int needed = std::vsnprintf(stack_buf, sizeof stack_buf, format, args);
   va_end(args);
-  std::fputc('\n', stderr);
+  if (needed < 0) return;
+  if (static_cast<size_t>(needed) < sizeof stack_buf) {
+    std::fprintf(stderr, "[%s] %s\n", LevelTag(level), stack_buf);
+    return;
+  }
+  std::vector<char> heap_buf(static_cast<size_t>(needed) + 1);
+  va_start(args, format);
+  std::vsnprintf(heap_buf.data(), heap_buf.size(), format, args);
+  va_end(args);
+  std::fprintf(stderr, "[%s] %s\n", LevelTag(level), heap_buf.data());
 }
 
 LogLevel Logger::ParseLevel(const std::string& name) {

@@ -1,6 +1,7 @@
 #ifndef MEMGOAL_COMMON_LOGGING_H_
 #define MEMGOAL_COMMON_LOGGING_H_
 
+#include <atomic>
 #include <cstdarg>
 #include <string>
 
@@ -18,17 +19,24 @@ enum class LogLevel {
 
 /// Minimal printf-style leveled logger writing to stderr.
 ///
-/// The logger is intentionally global and unsynchronized: the simulator is
-/// single-threaded by design, and benchmarks want zero logging overhead when
-/// the level filter rejects a message (a single integer compare).
+/// Each simulation is single-threaded, but the bench TrialRunner runs many
+/// simulations on concurrent threads, so the global sink must be
+/// thread-safe: the level filter is a relaxed atomic load (still a single
+/// integer compare on the fast path) and each message is formatted into a
+/// private buffer and emitted with one stdio call, so concurrent trials
+/// never interleave within a line.
 class Logger {
  public:
   /// Sets the global minimum level. Messages below it are dropped.
-  static void SetLevel(LogLevel level) { level_ = level; }
-  static LogLevel level() { return level_; }
+  static void SetLevel(LogLevel level) {
+    level_.store(level, std::memory_order_relaxed);
+  }
+  static LogLevel level() { return level_.load(std::memory_order_relaxed); }
 
   /// Returns true if a message at `level` would be emitted.
-  static bool Enabled(LogLevel level) { return level >= level_; }
+  static bool Enabled(LogLevel level) {
+    return level >= level_.load(std::memory_order_relaxed);
+  }
 
   /// Emits one formatted line, prefixed with the level tag.
   static void Logf(LogLevel level, const char* format, ...)
@@ -39,7 +47,7 @@ class Logger {
   static LogLevel ParseLevel(const std::string& name);
 
  private:
-  static LogLevel level_;
+  static std::atomic<LogLevel> level_;
 };
 
 }  // namespace memgoal::common

@@ -6,6 +6,33 @@
 
 namespace memgoal::common {
 
+/// SplitMix64 output mix (Steele, Lea & Flood; also xorshift-family seeding).
+/// Bijective on uint64_t, so distinct inputs never collide.
+inline constexpr uint64_t Mix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Stable seed for stream `stream_index` of the experiment keyed by
+/// `master_seed`. Unlike `Rng::Fork()`, which advances the parent engine and
+/// therefore depends on how many forks happened before, this is a pure
+/// function of the pair: stream k of seed s is the same value no matter
+/// which streams were derived earlier, from which thread, or in what order.
+/// Parallel trial harnesses use it so that trial k's randomness is
+/// identical for any thread count and any scheduling.
+inline constexpr uint64_t DeriveStreamSeed(uint64_t master_seed,
+                                           uint64_t stream_index) {
+  // Two chained splitmix rounds keyed by the golden-ratio increment: the
+  // first decorrelates the (typically small, sequential) master seeds, the
+  // second folds in the (equally small) stream index.
+  constexpr uint64_t kGolden = 0x9e3779b97f4a7c15ull;
+  return Mix64(Mix64(master_seed + kGolden) + kGolden * (stream_index + 1));
+}
+
 /// Seeded pseudo-random number generator used throughout the simulator.
 ///
 /// All stochastic behaviour in a simulation run flows through explicitly
@@ -22,6 +49,13 @@ class Rng {
   /// parent state twice yields two different children, but re-running the
   /// program yields the same children again.
   Rng Fork() { return Rng(engine_()); }
+
+  /// Stateless alternative to `Fork()` for parallel trials: the generator
+  /// for stream `stream_index` of `master_seed`, independent of any other
+  /// stream ever derived (see DeriveStreamSeed).
+  static Rng ForStream(uint64_t master_seed, uint64_t stream_index) {
+    return Rng(DeriveStreamSeed(master_seed, stream_index));
+  }
 
   /// Uniform double in [0, 1).
   double NextDouble() {

@@ -1,0 +1,180 @@
+// Reproducibility harness for the parallel trial runner: the same `Setup`
+// must yield bit-identical interval records no matter when it runs, and a
+// pooled experiment must yield bit-identical statistics no matter how many
+// runner threads execute its trials. These tests pin the contract stated in
+// bench/trial_runner.h; a failure here means some shared mutable state or
+// order-dependent seeding crept back into the trial path.
+
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench/experiment.h"
+#include "bench/trial_runner.h"
+#include "common/rng.h"
+#include "core/metrics.h"
+#include "core/system.h"
+
+namespace memgoal::bench {
+namespace {
+
+using ExperimentSetup = ::memgoal::bench::Setup;
+
+ExperimentSetup SmallSetup(uint64_t seed) {
+  ExperimentSetup setup;
+  setup.seed = seed;
+  setup.pages_per_class = 100;
+  setup.cache_bytes_per_node = 64 * 4096;
+  setup.interarrival_ms = 50.0;
+  setup.observation_interval_ms = 2000.0;
+  return setup;
+}
+
+// Renders a run's full interval log as CSV, the same bytes
+// `tools/memgoal_sim` would emit. Comparing the serialized form catches any
+// divergence in any field of any record.
+std::string CsvOf(const core::MetricsLog& log) {
+  char* buf = nullptr;
+  size_t size = 0;
+  std::FILE* stream = open_memstream(&buf, &size);
+  log.WriteCsv(stream);
+  std::fclose(stream);
+  std::string csv(buf, size);
+  std::free(buf);
+  return csv;
+}
+
+// One complete simulation trial -> its interval CSV.
+std::string RunTrialCsv(uint64_t master_seed, int trial, int intervals) {
+  ExperimentSetup setup =
+      SmallSetup(common::DeriveStreamSeed(master_seed, static_cast<uint64_t>(trial)));
+  std::unique_ptr<core::ClusterSystem> system = BuildSystem(setup);
+  system->SetGoal(1, 30.0);
+  system->Start();
+  system->RunIntervals(intervals);
+  return CsvOf(system->metrics());
+}
+
+uint64_t Bits(double x) { return std::bit_cast<uint64_t>(x); }
+
+TEST(TrialRunnerTest, ResultsLandInTrialOrder) {
+  TrialRunner runner(4);
+  const std::vector<int> results =
+      runner.Run(16, [](int trial) { return trial * trial; });
+  ASSERT_EQ(results.size(), 16u);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(results[static_cast<size_t>(i)], i * i);
+}
+
+TEST(TrialRunnerTest, HandlesZeroTrialsAndMoreThreadsThanTrials) {
+  TrialRunner runner(8);
+  EXPECT_TRUE(runner.Run(0, [](int trial) { return trial; }).empty());
+  const std::vector<int> two = runner.Run(2, [](int trial) { return trial + 1; });
+  ASSERT_EQ(two.size(), 2u);
+  EXPECT_EQ(two[0], 1);
+  EXPECT_EQ(two[1], 2);
+}
+
+TEST(TrialRunnerTest, PropagatesTrialExceptions) {
+  TrialRunner runner(4);
+  EXPECT_THROW(runner.Run(8,
+                          [](int trial) {
+                            if (trial == 5) throw std::runtime_error("trial 5");
+                            return trial;
+                          }),
+               std::runtime_error);
+}
+
+TEST(DeterminismTest, SameSetupTwiceGivesIdenticalIntervalCsv) {
+  // Two cold runs of the same Setup in the same process: every interval
+  // record must serialize to the same bytes. Guards against static caches
+  // or other cross-run state in the simulator.
+  const std::string first = RunTrialCsv(17, 0, 10);
+  const std::string second = RunTrialCsv(17, 0, 10);
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+TEST(DeterminismTest, TrialCsvsIdenticalAcrossThreadCounts) {
+  // Four independent trials run serially and on a 4-thread pool must
+  // produce identical per-trial CSVs: trial randomness derives from
+  // (master_seed, trial_index) only, never from scheduling order.
+  constexpr int kTrials = 4;
+  const auto run_all = [](int threads) {
+    TrialRunner runner(threads);
+    return runner.Run(kTrials, [](int trial) {
+      return RunTrialCsv(23, trial, 8);
+    });
+  };
+  const std::vector<std::string> serial = run_all(1);
+  const std::vector<std::string> parallel = run_all(4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (int i = 0; i < kTrials; ++i) {
+    EXPECT_EQ(serial[static_cast<size_t>(i)], parallel[static_cast<size_t>(i)])
+        << "trial " << i << " diverged between 1 and 4 threads";
+  }
+  // And the trials are genuinely distinct experiments, not copies.
+  EXPECT_NE(serial[0], serial[1]);
+}
+
+TEST(DeterminismTest, PooledConvergenceStatsBitIdenticalAcrossThreadCounts) {
+  // The full Table-2 protocol: calibration + pooled convergence runs. Every
+  // field of the pooled result — including the accumulated doubles — must
+  // be bit-for-bit identical between a serial and a 4-thread execution.
+  const ExperimentSetup base = SmallSetup(31);
+  ConvergencePlan plan;
+  plan.max_runs = 3;
+  plan.intervals_per_run = 20;
+  plan.calibration_intervals = 8;
+
+  TrialRunner serial_runner(1);
+  TrialRunner parallel_runner(4);
+  const ConvergenceResult serial = MeasureConvergence(base, plan, &serial_runner);
+  const ConvergenceResult parallel =
+      MeasureConvergence(base, plan, &parallel_runner);
+
+  EXPECT_EQ(serial.goals_completed, parallel.goals_completed);
+  EXPECT_EQ(serial.censored, parallel.censored);
+  EXPECT_EQ(serial.runs_used, parallel.runs_used);
+  EXPECT_EQ(Bits(serial.goal_lo), Bits(parallel.goal_lo));
+  EXPECT_EQ(Bits(serial.goal_hi), Bits(parallel.goal_hi));
+  EXPECT_EQ(serial.iterations.count(), parallel.iterations.count());
+  EXPECT_EQ(Bits(serial.iterations.mean()), Bits(parallel.iterations.mean()));
+  EXPECT_EQ(Bits(serial.iterations.variance()),
+            Bits(parallel.iterations.variance()));
+  EXPECT_EQ(Bits(serial.iterations.min()), Bits(parallel.iterations.min()));
+  EXPECT_EQ(Bits(serial.iterations.max()), Bits(parallel.iterations.max()));
+
+  // The protocol actually produced samples (the assertions above are not
+  // vacuously comparing empty accumulators).
+  EXPECT_GT(serial.iterations.count(), 0);
+  EXPECT_GT(serial.goals_completed, 0);
+}
+
+TEST(DeterminismTest, MeasureConvergenceDefaultsToInlineRunner) {
+  // Without a runner the protocol runs inline and must match a 1-thread
+  // runner exactly.
+  const ExperimentSetup base = SmallSetup(37);
+  ConvergencePlan plan;
+  plan.max_runs = 2;
+  plan.intervals_per_run = 15;
+  plan.calibration_intervals = 6;
+  TrialRunner one(1);
+  const ConvergenceResult inline_result = MeasureConvergence(base, plan);
+  const ConvergenceResult runner_result = MeasureConvergence(base, plan, &one);
+  EXPECT_EQ(inline_result.iterations.count(), runner_result.iterations.count());
+  EXPECT_EQ(Bits(inline_result.iterations.mean()),
+            Bits(runner_result.iterations.mean()));
+  EXPECT_EQ(inline_result.runs_used, runner_result.runs_used);
+  EXPECT_EQ(Bits(inline_result.goal_lo), Bits(runner_result.goal_lo));
+  EXPECT_EQ(Bits(inline_result.goal_hi), Bits(runner_result.goal_hi));
+}
+
+}  // namespace
+}  // namespace memgoal::bench

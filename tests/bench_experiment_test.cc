@@ -89,6 +89,40 @@ TEST(GoalChangeDriverTest, CountsIterationsAndChangesGoals) {
   EXPECT_GE(driver.iterations().min(), 1.0);
 }
 
+// Synthetic interval in which class 1 met its goal; enough for
+// GoalChangeDriver::OnInterval, which reads only its class's row.
+core::IntervalRecord SatisfiedRecord(int index) {
+  core::IntervalRecord record;
+  record.index = index;
+  core::ClassIntervalMetrics m;
+  m.klass = 1;
+  m.satisfied = true;
+  record.classes.push_back(m);
+  return record;
+}
+
+TEST(GoalChangeDriverTest, DegenerateBandTerminates) {
+  // A band one ulp wide: every uniform draw rounds onto an endpoint, so the
+  // "differs by a quarter band" re-draw condition can be unsatisfiable.
+  // Before the kMaxGoalRedraws bound this spun forever inside PickNewGoal;
+  // now it must fall back to the far endpoint and keep cycling goals.
+  ExperimentSetup setup = SmallSetup(15);
+  std::unique_ptr<core::ClusterSystem> system = BuildSystem(setup);
+  const double lo = 1.0;
+  const double hi = std::nextafter(1.0, 2.0);
+  GoalChangeDriver driver(system.get(), 1, lo, hi, 3);
+
+  // One satisfied interval completes the first (cold) goal; each further
+  // streak of four triggers PickNewGoal. 32 intervals exercise the re-draw
+  // path repeatedly.
+  for (int i = 0; i < 32; ++i) driver.OnInterval(SatisfiedRecord(i));
+
+  const double goal = system->spec(1).goal_rt_ms.value();
+  EXPECT_GE(goal, lo);
+  EXPECT_LE(goal, hi);
+  EXPECT_GT(driver.goals_completed(), 1);
+}
+
 TEST(GoalChangeDriverTest, NewGoalDiffersSignificantly) {
   // Drive the protocol for a while and check every goal change moved by at
   // least a quarter of the band.

@@ -21,6 +21,24 @@ TEST(ConfigTest, MalformedArgRejected) {
   EXPECT_FALSE(config.error().empty());
 }
 
+TEST(ConfigTest, GnuStyleFlagsAccepted) {
+  // Bench binaries take GNU-style switches: --key=value is stripped of its
+  // dashes, and a bare --flag stores "1" so GetBool sees it as set.
+  const char* argv[] = {"prog", "--threads=4", "--quick", "intervals=9"};
+  Config config;
+  ASSERT_TRUE(config.ParseArgs(4, argv));
+  EXPECT_EQ(config.GetInt("threads", 0), 4);
+  EXPECT_TRUE(config.GetBool("quick", false));
+  EXPECT_EQ(config.GetInt("intervals", 0), 9);
+}
+
+TEST(ConfigTest, BareDashesRejected) {
+  const char* argv[] = {"prog", "--"};
+  Config config;
+  EXPECT_FALSE(config.ParseArgs(2, argv));
+  EXPECT_FALSE(config.error().empty());
+}
+
 TEST(ConfigTest, FallbacksUsedWhenAbsent) {
   Config config;
   EXPECT_EQ(config.GetInt("missing", 42), 42);
