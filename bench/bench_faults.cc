@@ -1,13 +1,32 @@
-// Degradation and recovery under node crashes. A binding goal is installed,
-// node N-1 crashes at a fixed instant and recovers after a swept outage
-// duration; we report goal satisfaction before / during / after the outage,
-// how many intervals the controller needs to re-satisfy the goal after
-// recovery, and the disk-fallback traffic the outage induced. Duration 0 is
-// the fault-free baseline. An optional bursty best-effort loss process can
-// be stacked on top to stress the partition protocol while degraded.
+// Degradation and recovery under node faults. A binding goal is installed
+// and node N-1 suffers a fault at a fixed instant:
+//
+//  - Default (crash) mode: the node fail-stops and recovers after a swept
+//    outage duration; we report goal satisfaction before / during / after
+//    the outage, how many intervals the controller needs to re-satisfy the
+//    goal after recovery, and the disk-fallback traffic the outage induced.
+//    Duration 0 is the fault-free baseline. An optional bursty best-effort
+//    loss process can be stacked on top (burst=1).
+//
+//  - Gray mode (gray=1): the node stays up but serves everything slower by
+//    a swept factor for a fixed episode. Hedged remote reads and
+//    health-ranked replica selection route around its buffers, but its
+//    disk partition has no replica: at 50x the victim's disk saturates and
+//    operations homed there queue up for the whole episode, which no
+//    memory-management policy can hide. The scenario gate therefore checks
+//    the *lasting* damage: after the episode lifts and the backlog drains,
+//    the goal class must re-converge into its tolerance band and the mean
+//    no-goal response time over the settled tail must come back within 2x
+//    of the fault-free baseline (factor 1) — i.e. the episode neither
+//    poisons the fitted planes nor leaves the victim shunned forever. The
+//    episode itself is reported separately (satisfied_episode,
+//    nogoal_rt_episode, the victim disk's busy/wait p99). The process
+//    exits nonzero if the gate fails, so the --quick run doubles as a
+//    smoke gate.
 //
 // Usage: bench_faults [key=value ...] [--quick] [--threads=N]
-//        (intervals=60 seed=1 crash_at_ms=100000 burst=0 threads=0)
+//        (intervals=60 seed=1 crash_at_ms=100000 burst=0 gray=0
+//         degrade_at_ms=60000 degrade_duration_ms=50000 threads=0)
 
 #include <cstdio>
 #include <memory>
@@ -32,6 +51,172 @@ struct OutageRow {
   uint64_t store_resets = 0;
 };
 
+struct GrayRow {
+  double satisfied_pre = 0.0;
+  double satisfied_episode = 0.0;
+  double satisfied_post = 0.0;
+  double satisfied_tail = 0.0;
+  int reconverge = -1;
+  double nogoal_rt_episode = 0.0;
+  double nogoal_rt_tail = 0.0;
+  uint64_t fetch_fallbacks = 0;
+  uint64_t outlier_rejections = 0;
+  uint64_t lp_relaxed_retries = 0;
+  double victim_disk_busy_p99 = 0.0;
+  double victim_disk_wait_p99 = 0.0;
+};
+
+/// Intervals of the settled tail the gray gate compares across trials.
+constexpr int kGrayTail = 10;
+
+// The gray-failure scenario: node N-1 serves everything `factor` times
+// slower between degrade_at and degrade_at + duration; factor 1 is the
+// fault-free baseline the 2x no-goal check compares against.
+int RunGray(common::Config& args, const Setup& base, double goal,
+            int intervals, TrialRunner* runner, bool quick) {
+  // At 50x the victim's disk is saturated, so the whole episode's arrivals
+  // pile up as backlog that drains open-loop afterwards (~2.5 intervals of
+  // drain per episode interval): the episode length bounds how soon the
+  // tail settles.
+  const double degrade_at = args.GetDouble("degrade_at_ms", 60000.0);
+  const double duration =
+      args.GetDouble("degrade_duration_ms", quick ? 25000.0 : 50000.0);
+  const std::vector<double> factors =
+      quick ? std::vector<double>{1.0, 50.0}
+            : std::vector<double>{1.0, 10.0, 50.0};
+
+  const std::vector<GrayRow> rows = runner->Run(
+      static_cast<int>(factors.size()), [&](int trial) {
+        const double factor = factors[static_cast<size_t>(trial)];
+        Setup setup = base;
+        const uint32_t victim = setup.num_nodes - 1;
+        if (factor > 1.0) {
+          setup.faults.degradation_script = {
+              {degrade_at, victim, /*begin=*/true, factor},
+              {degrade_at + duration, victim, /*begin=*/false}};
+        }
+        std::unique_ptr<core::ClusterSystem> system = BuildSystem(setup);
+        system->SetGoal(1, goal);
+
+        const double interval_ms = setup.observation_interval_ms;
+        const int episode_first = static_cast<int>(degrade_at / interval_ms);
+        const int episode_last =
+            static_cast<int>((degrade_at + duration) / interval_ms);
+        const int tail_first = intervals - kGrayTail;
+        int pre_satisfied = 0, pre_counted = 0;
+        int epi_satisfied = 0, epi_counted = 0;
+        int post_satisfied = 0, post_counted = 0;
+        int tail_satisfied = 0;
+        int reconverge = -1;
+        double epi_rt_sum = 0.0, tail_rt_sum = 0.0;
+        int epi_rt_counted = 0, tail_rt_counted = 0;
+        system->SetIntervalCallback([&](const core::IntervalRecord& record) {
+          if (record.index < 5) return;  // cold-cache ramp
+          const bool in_episode = record.index >= episode_first &&
+                                  record.index <= episode_last;
+          const auto& nogoal = record.ForClass(kNoGoalClass);
+          if (nogoal.ops_completed > 0) {
+            // The same interval sets accumulate in every trial, so the
+            // episode/tail means are directly comparable across factors.
+            if (in_episode) {
+              epi_rt_sum += nogoal.observed_rt_ms;
+              ++epi_rt_counted;
+            }
+            if (record.index >= tail_first) {
+              tail_rt_sum += nogoal.observed_rt_ms;
+              ++tail_rt_counted;
+            }
+          }
+          const auto& m = record.ForClass(1);
+          if (record.index >= tail_first) tail_satisfied += m.satisfied;
+          if (factor > 1.0 && in_episode) {
+            epi_satisfied += m.satisfied ? 1 : 0;
+            ++epi_counted;
+          } else if (factor > 1.0 && record.index > episode_last) {
+            post_satisfied += m.satisfied ? 1 : 0;
+            ++post_counted;
+            if (reconverge < 0 && m.satisfied) {
+              reconverge = record.index - episode_last;
+            }
+          } else {
+            pre_satisfied += m.satisfied ? 1 : 0;
+            ++pre_counted;
+          }
+        });
+        system->Start();
+        system->RunIntervals(intervals);
+
+        const auto& controller =
+            dynamic_cast<const core::GoalOrientedController&>(
+                system->controller());
+        auto frac = [](int num, int den) {
+          return den > 0 ? static_cast<double>(num) / den : 0.0;
+        };
+        GrayRow row;
+        row.satisfied_pre = frac(pre_satisfied, pre_counted);
+        row.satisfied_episode = frac(epi_satisfied, epi_counted);
+        row.satisfied_post = frac(post_satisfied, post_counted);
+        row.satisfied_tail = frac(tail_satisfied, kGrayTail);
+        row.reconverge = reconverge;
+        row.nogoal_rt_episode =
+            epi_rt_counted > 0 ? epi_rt_sum / epi_rt_counted : 0.0;
+        row.nogoal_rt_tail =
+            tail_rt_counted > 0 ? tail_rt_sum / tail_rt_counted : 0.0;
+        row.fetch_fallbacks =
+            system->counters(1).fetch_fallbacks +
+            system->counters(kNoGoalClass).fetch_fallbacks;
+        row.outlier_rejections =
+            controller.measure_store(1).outlier_rejections();
+        row.lp_relaxed_retries = controller.stats().lp_relaxed_retries;
+        const sim::Resource& disk = system->node(victim).disk().resource();
+        row.victim_disk_busy_p99 = disk.BusyQuantile(0.99);
+        row.victim_disk_wait_p99 = disk.WaitQuantile(0.99);
+        return row;
+      });
+
+  std::printf(
+      "factor,satisfied_pre,satisfied_episode,satisfied_post,satisfied_tail,"
+      "reconverge_intervals,nogoal_rt_episode_ms,nogoal_rt_tail_ms,"
+      "fetch_fallbacks,outlier_rejections,lp_relaxed_retries,"
+      "victim_disk_busy_p99_ms,victim_disk_wait_p99_ms\n");
+  for (size_t i = 0; i < factors.size(); ++i) {
+    const GrayRow& row = rows[i];
+    std::printf(
+        "%.0f,%.2f,%.2f,%.2f,%.2f,%d,%.3f,%.3f,%llu,%llu,%llu,%.2f,%.2f\n",
+        factors[i], row.satisfied_pre, row.satisfied_episode,
+        row.satisfied_post, row.satisfied_tail, row.reconverge,
+        row.nogoal_rt_episode, row.nogoal_rt_tail,
+        static_cast<unsigned long long>(row.fetch_fallbacks),
+        static_cast<unsigned long long>(row.outlier_rejections),
+        static_cast<unsigned long long>(row.lp_relaxed_retries),
+        row.victim_disk_busy_p99, row.victim_disk_wait_p99);
+  }
+
+  // Scenario gate, on the worst sweep factor: the goal class re-converges
+  // into its tolerance band after the episode, and the settled no-goal mean
+  // comes back within 2x of the fault-free baseline.
+  const GrayRow& baseline = rows.front();
+  const GrayRow& worst = rows.back();
+  bool ok = true;
+  if (worst.reconverge < 0 || worst.satisfied_tail < 0.4) {
+    std::printf("# FAIL: goal class did not re-converge after the episode "
+                "(reconverge=%d, satisfied_tail=%.2f)\n",
+                worst.reconverge, worst.satisfied_tail);
+    ok = false;
+  }
+  const double ratio = baseline.nogoal_rt_tail > 0.0
+                           ? worst.nogoal_rt_tail / baseline.nogoal_rt_tail
+                           : 0.0;
+  std::printf("# settled no-goal RT ratio (worst/fault-free): %.3f\n", ratio);
+  if (ratio > 2.0) {
+    std::printf("# FAIL: settled no-goal mean RT more than 2x the "
+                "fault-free baseline\n");
+    ok = false;
+  }
+  std::fflush(stdout);
+  return ok ? 0 : 1;
+}
+
 int Run(int argc, char** argv) {
   common::Config args;
   if (!args.ParseArgs(argc, argv)) {
@@ -39,8 +224,11 @@ int Run(int argc, char** argv) {
     return 1;
   }
   const bool quick = args.GetBool("quick", false);
-  const int intervals =
-      static_cast<int>(args.GetInt("intervals", quick ? 36 : 60));
+  const bool gray = args.GetInt("gray", 0) != 0;
+  // The quick gray run needs room after the episode for the victim's
+  // backlog to drain before the settled tail is sampled.
+  const int intervals = static_cast<int>(
+      args.GetInt("intervals", quick ? (gray ? 48 : 36) : (gray ? 72 : 60)));
   const uint64_t seed = static_cast<uint64_t>(args.GetInt("seed", 1));
   const double crash_at = args.GetDouble("crash_at_ms", 100000.0);
   const bool burst = args.GetInt("burst", 0) != 0;
@@ -53,6 +241,8 @@ int Run(int argc, char** argv) {
   const double goal = band.lo + (band.hi - band.lo) / 3.0;
   std::printf("# binding goal: %.3f ms (band [%.3f, %.3f])\n", goal, band.lo,
               band.hi);
+
+  if (gray) return RunGray(args, base, goal, intervals, &runner, quick);
 
   // Each outage duration is an independent trial on the runner's pool.
   const std::vector<double> outages =

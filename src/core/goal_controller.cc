@@ -125,6 +125,22 @@ double GoalOrientedController::ToleranceFor(ClassId klass) const {
   return it->second.tolerance.Tolerance(goal);
 }
 
+LpOutcomeCounters GoalOrientedController::LpOutcomes() const {
+  LpOutcomeCounters counters;
+  counters.optimal = stats_.lp_status_optimal;
+  counters.infeasible = stats_.lp_status_infeasible;
+  counters.unbounded = stats_.lp_status_unbounded;
+  counters.relaxed_retries = stats_.lp_relaxed_retries;
+  return counters;
+}
+
+void GoalOrientedController::AccumulateLpStats(const LpOutcomeStats& lp) {
+  stats_.lp_status_optimal += lp.optimal;
+  stats_.lp_status_infeasible += lp.infeasible;
+  stats_.lp_status_unbounded += lp.unbounded;
+  stats_.lp_relaxed_retries += lp.relaxed_retries;
+}
+
 void GoalOrientedController::OnGoalChanged(ClassId klass) {
   auto it = coordinators_.find(klass);
   if (it != coordinators_.end()) it->second.tolerance.OnGoalChanged();
@@ -419,11 +435,13 @@ sim::Task<void> GoalOrientedController::CoordinatorCheck(
           SolveVariancePartitioning(variance_input);
       target = std::move(output.allocation);
       mode = output.mode;
+      AccumulateLpStats(output.lp_stats);
     } else {
       input.planes = std::move(*planes);
       OptimizerOutput output = SolvePartitioning(input);
       target = std::move(output.allocation);
       mode = output.mode;
+      AccumulateLpStats(output.lp_stats);
     }
     ++stats_.lp_optimizations;
     if (mode == OptimizerMode::kBestEffort) {

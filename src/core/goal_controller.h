@@ -42,6 +42,7 @@ class GoalOrientedController final : public Controller {
   void OnNodeCrash(NodeId node) override;
   void OnNodeRecover(NodeId node) override;
   double ToleranceFor(ClassId klass) const override;
+  LpOutcomeCounters LpOutcomes() const override;
   const char* name() const override { return "goal-oriented"; }
 
   /// Protocol/algorithm activity counters for the overhead experiment and
@@ -67,6 +68,13 @@ class GoalOrientedController final : public Controller {
     /// LP runs skipped because the fitted hyperplane was degenerate or had
     /// non-finite coefficients (previous allocation kept).
     uint64_t degenerate_fit_skips = 0;
+    /// Per-SimplexStatus outcomes across every simplex solve of the
+    /// fallback chain (one optimization may count several solves), plus
+    /// relaxed-goal retries taken after an infeasible inequality LP.
+    uint64_t lp_status_optimal = 0;
+    uint64_t lp_status_infeasible = 0;
+    uint64_t lp_status_unbounded = 0;
+    uint64_t lp_relaxed_retries = 0;
   };
   const ProtocolStats& stats() const { return stats_; }
 
@@ -128,6 +136,9 @@ class GoalOrientedController final : public Controller {
 
   bool SignificantChange(const LastSent& last, double rt, double rate,
                          uint64_t granted, uint64_t bound) const;
+
+  /// Folds one optimization's simplex outcomes into the protocol stats.
+  void AccumulateLpStats(const LpOutcomeStats& lp);
 
   // Message-modelled deliveries (spawned).
   sim::Task<void> DeliverGoalReport(Coordinator* coordinator, NodeId from,

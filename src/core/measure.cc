@@ -10,7 +10,39 @@
 namespace memgoal::core {
 
 namespace {
+
 constexpr size_t kNpos = std::numeric_limits<size_t>::max();
+
+double MedianOf(std::vector<double> values) {
+  MEMGOAL_CHECK(!values.empty());
+  const size_t mid = values.size() / 2;
+  std::nth_element(values.begin(), values.begin() + mid, values.end());
+  double median = values[mid];
+  if (values.size() % 2 == 0) {
+    // Lower middle is the max of the left half after nth_element.
+    median = (median + *std::max_element(values.begin(),
+                                         values.begin() + mid)) /
+             2.0;
+  }
+  return median;
+}
+
+/// |x - median| in units of the normal-consistent MAD scale over `window`.
+double RobustZ(const std::deque<double>& window, double x) {
+  std::vector<double> values(window.begin(), window.end());
+  const double median = MedianOf(values);
+  for (double& v : values) v = std::fabs(v - median);
+  // 1.4826 makes the MAD estimate σ for normal data.
+  double scale = 1.4826 * MedianOf(std::move(values));
+  if (scale <= 0.0) {
+    // Degenerate window (more than half the samples identical): fall back
+    // to a small relative scale so a genuinely different value still
+    // registers but floating-point jitter does not.
+    scale = 0.05 * std::max(std::fabs(median), 1e-9);
+  }
+  return std::fabs(x - median) / scale;
+}
+
 }  // namespace
 
 MeasureStore::MeasureStore(size_t num_nodes) : num_nodes_(num_nodes) {
@@ -38,6 +70,29 @@ size_t MeasureStore::FindMatching(const la::Vector& allocation) const {
   return kNpos;
 }
 
+bool MeasureStore::IsOutlier(double rt_k, double rt_0) {
+  bool outlier = false;
+  if (rt_k_window_.size() >= kOutlierMinSamples) {
+    outlier = RobustZ(rt_k_window_, rt_k) > kOutlierZ ||
+              RobustZ(rt_0_window_, rt_0) > kOutlierZ;
+  }
+  // Rejected samples still enter the window: a sustained level shift
+  // re-centers the median within half a window and is accepted thereafter.
+  rt_k_window_.push_back(rt_k);
+  rt_0_window_.push_back(rt_0);
+  while (rt_k_window_.size() > kOutlierWindow) rt_k_window_.pop_front();
+  while (rt_0_window_.size() > kOutlierWindow) rt_0_window_.pop_front();
+  return outlier;
+}
+
+void MeasureStore::MaybeConditionReset() {
+  if (!inverse_.initialized()) return;
+  if (inverse_.ConditionEstimate() <= kConditionResetLimit) return;
+  ++condition_resets_;
+  entries_.clear();
+  inverse_ = la::RowReplaceInverse();
+}
+
 void MeasureStore::TryInitialize() {
   if (active_.empty()) return;
   const size_t dim = active_.size() + 1;
@@ -55,7 +110,9 @@ void MeasureStore::TryInitialize() {
       if (entries_[i].seq < entries_[oldest].seq) oldest = i;
     }
     entries_.erase(entries_.begin() + static_cast<ptrdiff_t>(oldest));
+    return;
   }
+  MaybeConditionReset();
 }
 
 void MeasureStore::Observe(const la::Vector& allocation, double rt_k,
@@ -68,6 +125,11 @@ void MeasureStore::ObserveDetailed(const la::Vector& allocation, double rt_k,
                                    const la::Vector& rt_per_node) {
   MEMGOAL_CHECK(allocation.size() == num_nodes_);
   MEMGOAL_CHECK(rt_per_node.empty() || rt_per_node.size() == num_nodes_);
+
+  if (IsOutlier(rt_k, rt_0)) {
+    ++outlier_rejections_;
+    return;
+  }
 
   const size_t match = FindMatching(allocation);
   if (match != kNpos) {
@@ -100,6 +162,7 @@ void MeasureStore::ObserveDetailed(const la::Vector& allocation, double rt_k,
   for (size_t slot : order) {
     if (inverse_.ReplaceRow(slot, row)) {
       entries_[slot] = std::move(entry);
+      MaybeConditionReset();
       return;
     }
   }
@@ -111,6 +174,10 @@ void MeasureStore::ObserveDetailed(const la::Vector& allocation, double rt_k,
 void MeasureStore::Reset() {
   entries_.clear();
   inverse_ = la::RowReplaceInverse();
+  // The old response-time regime is gone with the points; a fresh window
+  // avoids rejecting the first post-reset samples against stale levels.
+  rt_k_window_.clear();
+  rt_0_window_.clear();
 }
 
 void MeasureStore::SetActiveNodes(std::vector<size_t> active) {

@@ -2,6 +2,7 @@
 #define MEMGOAL_CORE_MEASURE_H_
 
 #include <cstdint>
+#include <deque>
 #include <optional>
 #include <vector>
 
@@ -24,12 +25,37 @@ namespace memgoal::core {
 /// new point is an O(N) denominator probe, a committed replacement is
 /// O(N^2), and each hyperplane fit is an O(N^2) inverse-vector product —
 /// the complexities reported in the paper's Table 1.
+///
+/// Two robustness guards protect the fit from gray failures. First, an
+/// incoming measurement whose response times sit far outside the recent
+/// sample window (robust median/MAD z-score) is rejected before it can
+/// poison a hyperplane — a node serving pages 50× slower produces exactly
+/// such excursions. Rejected samples still enter the window, so a genuine
+/// sustained level shift re-centers the median within half a window and is
+/// accepted from then on. Second, after every committed inverse update the
+/// store probes the system matrix's condition estimate; past a sanity
+/// limit the fit would amplify measurement noise into nonsense gradients,
+/// so the store resets and re-accumulates fresh points instead.
 class MeasureStore {
  public:
   /// Allocations closer than this (bytes, infinity norm) count as the same
   /// partitioning: the newer measurement then refreshes the existing
   /// point's response times instead of adding a point.
   static constexpr double kSameAllocationTolerance = 0.5;
+
+  /// Robust z-score (|x - median| / (1.4826·MAD)) beyond which a
+  /// measurement is rejected as an outlier. 3.5 is the customary Hampel
+  /// threshold: ~4.7σ under normality, loose enough that ordinary queueing
+  /// noise passes.
+  static constexpr double kOutlierZ = 3.5;
+  /// Size of the sliding sample window the median/MAD run over.
+  static constexpr size_t kOutlierWindow = 16;
+  /// No rejection until this many samples are in the window (early medians
+  /// are too noisy to judge against).
+  static constexpr size_t kOutlierMinSamples = 8;
+  /// Condition-estimate limit of the measure-point matrix; a committed
+  /// update pushing ‖B‖∞·‖B⁻¹‖∞ past this forces a store reset.
+  static constexpr double kConditionResetLimit = 1e12;
 
   explicit MeasureStore(size_t num_nodes);
 
@@ -99,6 +125,12 @@ class MeasureStore {
   /// have made the point set affinely dependent (tests/metrics).
   uint64_t rejected_points() const { return rejected_points_; }
 
+  /// Number of measurements rejected by the median/MAD outlier filter.
+  uint64_t outlier_rejections() const { return outlier_rejections_; }
+
+  /// Number of forced resets triggered by the condition-estimate guard.
+  uint64_t condition_resets() const { return condition_resets_; }
+
  private:
   struct Entry {
     la::Vector allocation;
@@ -118,12 +150,23 @@ class MeasureStore {
   // Attempts to (re)initialize the inverse from the current entries.
   void TryInitialize();
 
+  // True if (rt_k, rt_0) is a robust outlier against the sliding windows.
+  // Always absorbs the sample into the windows afterwards.
+  bool IsOutlier(double rt_k, double rt_0);
+
+  // Resets the store if the maintained inverse drifted ill-conditioned.
+  void MaybeConditionReset();
+
   size_t num_nodes_;
   std::vector<size_t> active_;  // sorted node indices the fit runs over
   std::vector<Entry> entries_;  // slot i corresponds to row i of B
   la::RowReplaceInverse inverse_;
   uint64_t next_seq_ = 0;
   uint64_t rejected_points_ = 0;
+  uint64_t outlier_rejections_ = 0;
+  uint64_t condition_resets_ = 0;
+  std::deque<double> rt_k_window_;  // recent goal-class samples
+  std::deque<double> rt_0_window_;  // recent no-goal samples
 };
 
 }  // namespace memgoal::core

@@ -14,11 +14,12 @@ double PredictRt(const la::Vector& grad, double intercept,
   return la::Dot(grad, x) + intercept;
 }
 
-la::SimplexResult SolveLp(const OptimizerInput& input, bool equality) {
+la::SimplexResult SolveLp(const OptimizerInput& input, bool equality,
+                          double goal_rt, LpOutcomeStats* stats) {
   const size_t n = input.upper_bounds.size();
   la::SimplexSolver solver(n);
   solver.SetObjective(input.planes.grad_0);
-  const double rhs = input.goal_rt - input.planes.intercept_k;
+  const double rhs = goal_rt - input.planes.intercept_k;
   if (equality) {
     solver.AddEq(input.planes.grad_k, rhs);
   } else {
@@ -27,7 +28,9 @@ la::SimplexResult SolveLp(const OptimizerInput& input, bool equality) {
   for (size_t i = 0; i < n; ++i) {
     solver.SetUpperBound(i, input.upper_bounds[i]);
   }
-  return solver.Solve();
+  la::SimplexResult result = solver.Solve();
+  CountLpOutcome(result.status, stats);
+  return result;
 }
 
 }  // namespace
@@ -40,25 +43,44 @@ OptimizerOutput SolvePartitioning(const OptimizerInput& input) {
 
   OptimizerOutput output;
 
-  la::SimplexResult lp = SolveLp(input, /*equality=*/true);
+  la::SimplexResult lp =
+      SolveLp(input, /*equality=*/true, input.goal_rt, &output.lp_stats);
   if (lp.status == la::SimplexStatus::kOptimal) {
     output.mode = OptimizerMode::kGoalEquality;
     output.allocation = std::move(lp.x);
   } else {
-    lp = SolveLp(input, /*equality=*/false);
+    lp = SolveLp(input, /*equality=*/false, input.goal_rt, &output.lp_stats);
     if (lp.status == la::SimplexStatus::kOptimal) {
       output.mode = OptimizerMode::kGoalInequality;
       output.allocation = std::move(lp.x);
-    } else {
-      // Goal unreachable within bounds according to the fitted plane. The
-      // fit may well be stale or noisy here (points collected around a
-      // stuck allocation are nearly collinear), so fall back on the paper's
-      // §3 monotonicity assumption — more dedicated buffer never hurts the
-      // class — and allocate everything available. The feedback loop
-      // revisits the decision with fresh measurements next interval.
-      output.mode = OptimizerMode::kBestEffort;
-      output.allocation = input.upper_bounds;
     }
+  }
+  if (output.allocation.empty()) {
+    // Inequality infeasible: retry with proportionally relaxed goals
+    // before giving up, so a transiently pessimistic fit (e.g. points
+    // polluted by a gray-failure episode) still yields a best *aimed*
+    // allocation rather than silently keeping the stale one.
+    for (double rho : kGoalRelaxationLadder) {
+      ++output.lp_stats.relaxed_retries;
+      const double relaxed = input.goal_rt * (1.0 + rho);
+      lp = SolveLp(input, /*equality=*/false, relaxed, &output.lp_stats);
+      if (lp.status == la::SimplexStatus::kOptimal) {
+        output.mode = OptimizerMode::kGoalRelaxed;
+        output.relaxed_goal_rt = relaxed;
+        output.allocation = std::move(lp.x);
+        break;
+      }
+    }
+  }
+  if (output.allocation.empty()) {
+    // Goal unreachable within bounds according to the fitted plane. The
+    // fit may well be stale or noisy here (points collected around a
+    // stuck allocation are nearly collinear), so fall back on the paper's
+    // §3 monotonicity assumption — more dedicated buffer never hurts the
+    // class — and allocate everything available. The feedback loop
+    // revisits the decision with fresh measurements next interval.
+    output.mode = OptimizerMode::kBestEffort;
+    output.allocation = input.upper_bounds;
   }
 
   // Clamp tiny negative values from LP arithmetic.

@@ -1,8 +1,11 @@
 #ifndef MEMGOAL_CORE_OPTIMIZER_H_
 #define MEMGOAL_CORE_OPTIMIZER_H_
 
+#include <cstdint>
+
 #include "core/measure.h"
 #include "la/matrix.h"
+#include "la/simplex.h"
 
 namespace memgoal::core {
 
@@ -25,11 +28,54 @@ enum class OptimizerMode {
   /// Equality was infeasible within bounds but satisfying the goal with
   /// slack was possible (predicted RT_k <= goal).
   kGoalInequality,
+  /// Even the inequality LP was infeasible, but a retry with a
+  /// proportionally relaxed goal succeeded: the allocation aims at the
+  /// loosest of goal·(1+ρ) that was feasible per the fitted planes,
+  /// instead of silently keeping a stale partitioning.
+  kGoalRelaxed,
   /// The goal is unreachable even with all available memory: the allocation
   /// minimizes the predicted RT_k instead, and the feedback loop retries
   /// next interval.
   kBestEffort,
 };
+
+/// Per-SimplexStatus outcome counts accumulated across the fallback chain
+/// of one solve (an equality miss plus an inequality hit counts both).
+struct LpOutcomeStats {
+  uint64_t optimal = 0;
+  uint64_t infeasible = 0;
+  uint64_t unbounded = 0;
+  /// Relaxed-goal retries attempted after the inequality LP was infeasible.
+  uint64_t relaxed_retries = 0;
+
+  LpOutcomeStats& operator+=(const LpOutcomeStats& other) {
+    optimal += other.optimal;
+    infeasible += other.infeasible;
+    unbounded += other.unbounded;
+    relaxed_retries += other.relaxed_retries;
+    return *this;
+  }
+};
+
+/// Relaxation ladder tried when the inequality LP is infeasible: the goal
+/// constraint is re-posed at goal·(1+ρ) for each ρ in order, first feasible
+/// wins. Beyond +50% the best-effort saturation is more honest.
+inline constexpr double kGoalRelaxationLadder[] = {0.10, 0.25, 0.50};
+
+/// Adds one simplex solve's terminal status to the counters.
+inline void CountLpOutcome(la::SimplexStatus status, LpOutcomeStats* stats) {
+  switch (status) {
+    case la::SimplexStatus::kOptimal:
+      ++stats->optimal;
+      break;
+    case la::SimplexStatus::kInfeasible:
+      ++stats->infeasible;
+      break;
+    case la::SimplexStatus::kUnbounded:
+      ++stats->unbounded;
+      break;
+  }
+}
 
 struct OptimizerOutput {
   OptimizerMode mode = OptimizerMode::kBestEffort;
@@ -38,6 +84,10 @@ struct OptimizerOutput {
   /// Plane-predicted response times at `allocation`.
   double predicted_rt_k = 0.0;
   double predicted_rt_0 = 0.0;
+  /// The relaxed goal actually used (mode == kGoalRelaxed only).
+  double relaxed_goal_rt = 0.0;
+  /// Simplex outcome counts of this solve's fallback chain.
+  LpOutcomeStats lp_stats;
 };
 
 /// Solves for the new partitioning of one goal class: minimize the

@@ -1,6 +1,7 @@
 #include "core/system.h"
 
 #include <algorithm>
+#include <cmath>
 #include <string>
 #include <utility>
 
@@ -182,13 +183,62 @@ void Node::AfterInsert(PageId page) {
 }
 
 sim::Task<void> Node::UseCpu(double instructions) {
-  co_await cpu_.Acquire();
-  co_await system_->simulator().Delay(system_->config().CpuMs(instructions));
-  cpu_.Release();
+  // Use() applies the node's current slowdown factor, so a degraded node's
+  // CPU work stretches along with its disk and network latency.
+  co_await cpu_.Use(system_->config().CpuMs(instructions));
 }
 
 bool Node::CrashedSince(uint64_t epoch) const {
   return system_->NodeEpoch(id_) != epoch || !system_->NodeUp(id_);
+}
+
+sim::Task<void> Node::FetchAttempt(std::shared_ptr<FetchState> state,
+                                   NodeId target, PageId page,
+                                   bool via_home) {
+  const SystemConfig& config = system_->config();
+  net::Network& network = system_->network();
+  const uint64_t target_epoch = system_->NodeEpoch(target);
+  if (via_home) {
+    // The directory lives at the page's home: request there, home forwards
+    // to the copy holder.
+    const NodeId home = system_->database().HomeOf(page);
+    const bool home_alive = system_->NodeUp(home);
+    co_await network.Transfer(id_, home, config.control_msg_bytes,
+                              net::TrafficClass::kControl);
+    if (!home_alive || !system_->NodeUp(home)) {
+      co_return;  // request died with the home; the phase timer detects it
+    }
+    co_await network.Transfer(home, target, config.control_msg_bytes,
+                              net::TrafficClass::kControl);
+  } else {
+    co_await network.Transfer(id_, target, config.control_msg_bytes,
+                              net::TrafficClass::kControl);
+  }
+  if (!system_->NodeUp(target) ||
+      system_->NodeEpoch(target) != target_epoch ||
+      !system_->directory().IsCachedAt(target, page)) {
+    // Dead, rebooted, or meanwhile evicted: silence; the timer fires.
+    co_return;
+  }
+  co_await network.Transfer(target, id_,
+                            config.page_bytes + config.page_header_bytes,
+                            net::TrafficClass::kPage);
+  // Every completed attempt — even one that lost the hedge race or arrived
+  // after the requester gave up — is a latency observation of the target.
+  system_->RecordFetchLatency(
+      target, system_->simulator().Now() - state->started_ms);
+  if (!state->delivered) {
+    state->delivered = true;
+    state->server = target;
+    if (state->wake != nullptr) state->wake->Set();
+  }
+}
+
+sim::Task<void> Node::FetchPhaseTimer(std::shared_ptr<FetchState> state,
+                                      sim::Event* phase, sim::SimTime delay) {
+  co_await system_->simulator().Delay(delay);
+  phase->Set();  // idempotent: a no-op if a delivery already fired it
+  (void)state;   // held so the event outlives the requester
 }
 
 sim::Task<StorageLevel> Node::AccessPage(ClassId klass, PageId page) {
@@ -213,75 +263,68 @@ sim::Task<StorageLevel> Node::AccessPage(ClassId klass, PageId page) {
   const uint32_t page_msg = config.page_bytes + config.page_header_bytes;
   StorageLevel level;
 
-  // A peer that crashes while our request is in flight loses its buffer, so
-  // the fetch falls back to a disk after `crash_detect_timeout_ms` (the
-  // requester's failure-detection delay). Disks survive crashes (the NOW's
-  // disks are dual-ported), so a dead home's pages stay readable from its
-  // disk at remote-disk cost.
-  if (home == id_) {
-    std::optional<NodeId> copy = directory.FindCopy(page, id_);
-    if (copy.has_value()) {
-      // Remote buffer beats the local disk (~0.4 ms vs ~12 ms).
-      const uint64_t copy_epoch = system_->NodeEpoch(*copy);
-      co_await network.Transfer(id_, *copy, config.control_msg_bytes,
-                                net::TrafficClass::kControl);
-      if (system_->NodeUp(*copy) &&
-          system_->NodeEpoch(*copy) == copy_epoch) {
-        co_await network.Transfer(*copy, id_, page_msg,
-                                  net::TrafficClass::kPage);
-        level = StorageLevel::kRemoteBuffer;
-      } else {
-        co_await system_->simulator().Delay(config.crash_detect_timeout_ms);
-        system_->CountFetchFallback(klass);
-        co_await disk_.ReadPage();
-        level = StorageLevel::kLocalDisk;
-      }
-    } else {
+  // Remote-buffer fetch with per-request deadlines and one hedged retry:
+  // the requester tries the best-ranked copy holder, and if the page has
+  // not arrived within `crash_detect_timeout_ms` it hedges to the
+  // next-best replica. Silence *is* the failure detector — a dead or
+  // rebooted peer never answers, a merely degraded one answers late (the
+  // late page still completes and feeds the health score, it just loses
+  // the race). After the hedge budget an exponential backoff precedes the
+  // disk fallback. Disks survive crashes (the NOW's disks are dual-ported),
+  // so a dead home's pages stay readable from its disk at remote-disk cost.
+  const std::vector<NodeId> candidates = directory.RankedCopies(page, id_);
+  auto state = std::make_shared<FetchState>();
+  state->started_ms = system_->simulator().Now();
+  int failed_attempts = 0;
+  const size_t max_attempts = std::min<size_t>(candidates.size(), 2);
+  for (size_t phase = 0; phase < max_attempts && !state->delivered;
+       ++phase) {
+    const NodeId target = candidates[phase];
+    state->phase_events.push_back(
+        std::make_unique<sim::Event>(&system_->simulator()));
+    sim::Event* event = state->phase_events.back().get();
+    state->wake = event;
+    const bool via_home = home != id_ && target != home;
+    system_->simulator().Spawn(FetchAttempt(state, target, page, via_home));
+    system_->simulator().Spawn(
+        FetchPhaseTimer(state, event, config.crash_detect_timeout_ms));
+    co_await event->Wait();
+    if (!state->delivered) {
+      ++failed_attempts;
+      system_->RecordFetchTimeout(target, config.crash_detect_timeout_ms);
+    }
+  }
+  state->wake = nullptr;
+  state->abandoned = !state->delivered;
+
+  if (state->delivered) {
+    level = StorageLevel::kRemoteBuffer;
+  } else {
+    if (failed_attempts > 0) {
+      // Deadline(s) expired: brief exponential backoff, then the disk.
+      const double backoff =
+          std::min(config.fetch_backoff_base_ms *
+                       std::pow(2.0, failed_attempts - 1),
+                   config.fetch_backoff_max_ms);
+      co_await system_->simulator().Delay(backoff);
+      system_->CountFetchFallback(klass);
+    }
+    if (home == id_) {
       co_await disk_.ReadPage();
       level = StorageLevel::kLocalDisk;
-    }
-  } else {
-    // Ask the home: it either serves from its buffer, forwards to a caching
-    // node, or reads its disk.
-    const uint64_t home_epoch = system_->NodeEpoch(home);
-    const bool home_alive_at_send = system_->NodeUp(home);
-    co_await network.Transfer(id_, home, config.control_msg_bytes,
-                              net::TrafficClass::kControl);
-    if (!home_alive_at_send || !system_->NodeUp(home) ||
-        system_->NodeEpoch(home) != home_epoch) {
-      // Dead (or stale-registered) home: declare it down after the
-      // detection timeout and read the page from its surviving disk.
-      co_await system_->simulator().Delay(config.crash_detect_timeout_ms);
-      system_->CountFetchFallback(klass);
-      co_await system_->node(home).disk().ReadPage();
-      co_await network.Transfer(home, id_, page_msg,
-                                net::TrafficClass::kPage);
-      level = StorageLevel::kRemoteDisk;
-    } else if (directory.IsCachedAt(home, page)) {
-      co_await network.Transfer(home, id_, page_msg,
-                                net::TrafficClass::kPage);
-      level = StorageLevel::kRemoteBuffer;
-    } else if (std::optional<NodeId> copy = directory.FindCopy(page, id_);
-               copy.has_value()) {
-      const uint64_t copy_epoch = system_->NodeEpoch(*copy);
-      co_await network.Transfer(home, *copy, config.control_msg_bytes,
-                                net::TrafficClass::kControl);
-      if (system_->NodeUp(*copy) &&
-          system_->NodeEpoch(*copy) == copy_epoch) {
-        co_await network.Transfer(*copy, id_, page_msg,
-                                  net::TrafficClass::kPage);
-        level = StorageLevel::kRemoteBuffer;
-      } else {
-        // The forwarded-to copy holder died; the (live) home serves from
-        // its own disk instead.
-        co_await system_->simulator().Delay(config.crash_detect_timeout_ms);
-        system_->CountFetchFallback(klass);
-        co_await system_->node(home).disk().ReadPage();
-        co_await network.Transfer(home, id_, page_msg,
-                                  net::TrafficClass::kPage);
-        level = StorageLevel::kRemoteDisk;
-      }
     } else {
+      if (candidates.empty()) {
+        // No cached copy anywhere: the classic ask-the-home disk read. A
+        // dead home is detected by one deadline wait (shared by the whole
+        // request — it is the only wait this path pays).
+        const bool home_alive = system_->NodeUp(home);
+        co_await network.Transfer(id_, home, config.control_msg_bytes,
+                                  net::TrafficClass::kControl);
+        if (!home_alive || !system_->NodeUp(home)) {
+          co_await system_->simulator().Delay(config.crash_detect_timeout_ms);
+          system_->CountFetchFallback(klass);
+        }
+      }
       co_await system_->node(home).disk().ReadPage();
       co_await network.Transfer(home, id_, page_msg,
                                 net::TrafficClass::kPage);
@@ -321,13 +364,29 @@ ClusterSystem::ClusterSystem(const SystemConfig& config)
       fault_injector_(&simulator_, config.num_nodes, config.faults) {
   MEMGOAL_CHECK(config.num_nodes > 0);
   MEMGOAL_CHECK(config.crash_detect_timeout_ms >= 0.0);
+  MEMGOAL_CHECK(config.fetch_backoff_base_ms >= 0.0);
+  MEMGOAL_CHECK(config.fetch_backoff_max_ms >= config.fetch_backoff_base_ms);
+  MEMGOAL_CHECK(config.health_ewma_alpha > 0.0 &&
+                config.health_ewma_alpha <= 1.0);
+  MEMGOAL_CHECK(config.health_recovery_decay >= 0.0 &&
+                config.health_recovery_decay <= 1.0);
   nodes_.reserve(config.num_nodes);
   for (NodeId i = 0; i < config.num_nodes; ++i) {
     nodes_.push_back(std::make_unique<Node>(this, i));
   }
+  // Health scores start at the cost model's healthy remote-buffer fetch
+  // time and are mirrored into the directory's replica ranking, so the
+  // all-healthy ranking is exactly the historic home-first scan order.
+  health_ewma_.assign(config.num_nodes, cost_model_.remote_buffer_ms);
+  for (NodeId i = 0; i < config.num_nodes; ++i) {
+    directory_.SetNodeCost(i, health_ewma_[i]);
+  }
   fault_injector_.SetCallbacks(
       [this](uint32_t node) { HandleNodeCrash(node); },
       [this](uint32_t node) { HandleNodeRecover(node); });
+  fault_injector_.SetDegradationCallbacks(
+      [this](uint32_t node) { HandleNodeDegrade(node); },
+      [this](uint32_t node) { HandleNodeRestore(node); });
   controller_ = std::make_unique<GoalOrientedController>();
 }
 
@@ -397,8 +456,45 @@ void ClusterSystem::HandleNodeCrash(NodeId node) {
 
 void ClusterSystem::HandleNodeRecover(NodeId node) {
   // The node rejoins with a cold cache and zero dedications (enforced at
-  // crash time); the controller re-enters warm-up for it.
+  // crash time); the controller re-enters warm-up for it. Its health score
+  // heals a step so the rejoined node gets fetch traffic again.
+  DecayHealth(node);
   controller_->OnNodeRecover(node);
+}
+
+void ClusterSystem::HandleNodeDegrade(NodeId node) {
+  const double factor = fault_injector_.SlowdownOf(node);
+  nodes_[node]->cpu().SetSlowdown(factor);
+  nodes_[node]->disk().SetSlowdown(factor);
+  network_.SetNodeSlowdown(node, factor);
+}
+
+void ClusterSystem::HandleNodeRestore(NodeId node) {
+  nodes_[node]->cpu().SetSlowdown(1.0);
+  nodes_[node]->disk().SetSlowdown(1.0);
+  network_.SetNodeSlowdown(node, 1.0);
+  DecayHealth(node);
+}
+
+void ClusterSystem::RecordFetchLatency(NodeId node, double latency_ms) {
+  const double a = config_.health_ewma_alpha;
+  health_ewma_[node] = (1.0 - a) * health_ewma_[node] + a * latency_ms;
+  directory_.SetNodeCost(node, health_ewma_[node]);
+}
+
+void ClusterSystem::RecordFetchTimeout(NodeId node, double waited_ms) {
+  // The observation is censored — the fetch would have taken *at least*
+  // `waited_ms` — so feed a pessimistic multiple of the larger of the wait
+  // and the current score. Repeated timeouts therefore escalate the score
+  // geometrically instead of plateauing at the deadline.
+  RecordFetchLatency(node, 2.0 * std::max(waited_ms, health_ewma_[node]));
+}
+
+void ClusterSystem::DecayHealth(NodeId node) {
+  const double baseline = cost_model_.remote_buffer_ms;
+  health_ewma_[node] +=
+      config_.health_recovery_decay * (baseline - health_ewma_[node]);
+  directory_.SetNodeCost(node, health_ewma_[node]);
 }
 
 const workload::ClassSpec& ClusterSystem::spec(ClassId klass) const {
@@ -607,6 +703,7 @@ sim::Task<void> ClusterSystem::IntervalLoop() {
     record.index = index;
     record.end_time_ms = simulator_.Now();
     record.nodes_up = fault_injector_.nodes_up();
+    record.lp = controller_->LpOutcomes();
     for (const workload::ClassSpec& class_spec : classes_) {
       ClassIntervalMetrics m;
       m.klass = class_spec.id;

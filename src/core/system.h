@@ -19,6 +19,7 @@
 #include "sim/fault_injector.h"
 #include "sim/resource.h"
 #include "sim/simulator.h"
+#include "sim/sync.h"
 #include "sim/task.h"
 #include "storage/database.h"
 #include "storage/disk.h"
@@ -54,12 +55,28 @@ struct SystemConfig {
   net::Network::Params network;
 
   // -- Fault model ----------------------------------------------------------
-  /// Node crash/recovery schedule and stochastic fault process. The default
-  /// (empty script, mttf 0) injects no faults.
+  /// Node crash/recovery schedule, stochastic fault process and gray
+  /// degradation episodes. The default (empty scripts, mttf/mttd 0) injects
+  /// no faults.
   sim::FaultInjector::Params faults;
-  /// Time (ms) a requester waits before declaring a non-responding node
-  /// dead and falling back to the disk path.
+  /// Per-request deadline (ms) of a remote page fetch: if the page has not
+  /// arrived within this budget, the requester hedges to the next-best
+  /// replica, and after the hedge's deadline falls back to the disk path.
+  /// Doubles as the failure-detection delay — a dead peer simply never
+  /// answers, so the deadline expiring *is* the detection.
   double crash_detect_timeout_ms = 2.0;
+  /// Exponential backoff inserted before the disk fallback after failed
+  /// fetch attempts: min(base · 2^(attempts-1), max) ms. Gives a slow peer
+  /// that answered just after the deadline a moment to stop thrashing the
+  /// requester, without stalling the crash case.
+  double fetch_backoff_base_ms = 0.5;
+  double fetch_backoff_max_ms = 8.0;
+  /// EWMA smoothing of the per-node fetch-latency health score used for
+  /// replica ranking and hedging (higher alpha = faster reaction).
+  double health_ewma_alpha = 0.2;
+  /// Fraction of the gap back to the cost-model baseline the health score
+  /// recovers per restore/recover event (forgiveness after an episode).
+  double health_recovery_decay = 0.25;
 
   // -- CPU model (100 MIPS nodes; costs in instructions) -------------------
   double cpu_mips = 100.0;
@@ -153,6 +170,11 @@ class Controller {
   /// flag in metrics). Default: no band.
   virtual double ToleranceFor(ClassId /*klass*/) const { return 0.0; }
 
+  /// Cumulative per-SimplexStatus outcome counters of the controller's
+  /// partitioning LPs (interval CSV columns). Default: all zero for
+  /// controllers that never solve an LP.
+  virtual LpOutcomeCounters LpOutcomes() const { return {}; }
+
   virtual const char* name() const = 0;
 };
 
@@ -186,6 +208,36 @@ class Node {
 
  private:
   friend class ClusterSystem;
+
+  /// Shared state of one hedged remote fetch. The requester and its
+  /// spawned attempt/timer coroutines all hold the shared_ptr, so a late
+  /// timer or straggling attempt can never dangle; each hedging phase gets
+  /// its own one-shot event (stored here so it outlives the requester).
+  struct FetchState {
+    sim::SimTime started_ms = 0.0;
+    /// Some attempt delivered the page.
+    bool delivered = false;
+    /// The requester gave up and went to disk; late deliveries only feed
+    /// the health score.
+    bool abandoned = false;
+    /// Node whose copy was delivered first (valid when delivered).
+    NodeId server = 0;
+    /// Event the requester currently waits on; attempts fire it on
+    /// delivery. Null once the requester stopped waiting.
+    sim::Event* wake = nullptr;
+    std::vector<std::unique_ptr<sim::Event>> phase_events;
+  };
+
+  /// One fetch attempt against `target`'s cached copy: control message(s),
+  /// liveness/epoch/eviction checks, page transfer, health-score report.
+  /// Returns silently when the target (or the forwarding home) is dead —
+  /// the requester's phase timer turns that silence into a timeout.
+  sim::Task<void> FetchAttempt(std::shared_ptr<FetchState> state,
+                               NodeId target, PageId page, bool via_home);
+
+  /// Fires `phase` after `delay`; holds `state` so the event stays alive.
+  sim::Task<void> FetchPhaseTimer(std::shared_ptr<FetchState> state,
+                                  sim::Event* phase, sim::SimTime delay);
 
   /// Resets the node's volatile heat bookkeeping after a crash (the cache
   /// itself is wiped via NodeCache::Clear). Tracker objects are reassigned
@@ -331,9 +383,24 @@ class ClusterSystem {
 
   common::Rng ForkRng() { return master_rng_.Fork(); }
   void CountAccess(ClassId klass, StorageLevel level);
-  /// Counts a remote fetch that found its target dead and fell back to the
-  /// disk path.
+  /// Counts a remote fetch that exhausted its deadline/hedge budget and
+  /// fell back to the disk path.
   void CountFetchFallback(ClassId klass);
+
+  // -- Node health (gray-failure awareness) ---------------------------------
+
+  /// EWMA of observed fetch latency against `node` (ms). Seeded at the
+  /// cost model's healthy remote-buffer time; also mirrored into the
+  /// directory's replica ranking as the node's cost.
+  double HealthScore(NodeId node) const { return health_ewma_[node]; }
+  /// Feeds a completed fetch's observed latency into the score.
+  void RecordFetchLatency(NodeId node, double latency_ms);
+  /// Feeds a timed-out fetch: the true latency is censored at `waited_ms`,
+  /// so the sample is pessimistically inflated instead of discarded.
+  void RecordFetchTimeout(NodeId node, double waited_ms);
+  /// Moves the score a step back toward the healthy baseline (forgiveness
+  /// after a recovery or a lifted degradation episode).
+  void DecayHealth(NodeId node);
 
  private:
   sim::Task<void> WorkloadSource(NodeId node, ClassId klass);
@@ -346,6 +413,11 @@ class ClusterSystem {
   void HandleNodeCrash(NodeId node);
   /// Recovery instant: the node rejoins cold; notify the controller.
   void HandleNodeRecover(NodeId node);
+  /// Degradation instant: stretch the node's CPU, disk and network-latency
+  /// service times by the injector's slowdown factor.
+  void HandleNodeDegrade(NodeId node);
+  /// Episode lifted: service times back to nominal; health starts healing.
+  void HandleNodeRestore(NodeId node);
 
   struct IntervalAccumulator {
     uint64_t arrived = 0;
@@ -375,6 +447,7 @@ class ClusterSystem {
   std::map<ClassId, AccessCounters> counters_;
   MetricsLog metrics_;
   int intervals_completed_ = 0;
+  std::vector<double> health_ewma_;  // [node] fetch-latency EWMA, ms
 };
 
 }  // namespace memgoal::core

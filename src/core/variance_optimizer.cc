@@ -11,8 +11,8 @@ namespace memgoal::core {
 namespace {
 
 // Builds and solves the LP over variables [x_0..x_{n-1}, t_0..t_{n-1}].
-la::SimplexResult SolveLp(const VarianceOptimizerInput& input,
-                          bool equality) {
+la::SimplexResult SolveLp(const VarianceOptimizerInput& input, bool equality,
+                          double goal_rt, LpOutcomeStats* stats) {
   const size_t n = input.upper_bounds.size();
   la::SimplexSolver solver(2 * n);
 
@@ -46,7 +46,7 @@ la::SimplexResult SolveLp(const VarianceOptimizerInput& input,
 
   la::Vector goal_row(2 * n, 0.0);
   for (size_t j = 0; j < n; ++j) goal_row[j] = input.mean_grad[j];
-  const double rhs = input.goal_rt - input.mean_intercept;
+  const double rhs = goal_rt - input.mean_intercept;
   if (equality) {
     solver.AddEq(goal_row, rhs);
   } else {
@@ -55,7 +55,9 @@ la::SimplexResult SolveLp(const VarianceOptimizerInput& input,
   for (size_t j = 0; j < n; ++j) {
     solver.SetUpperBound(j, input.upper_bounds[j]);
   }
-  return solver.Solve();
+  la::SimplexResult result = solver.Solve();
+  CountLpOutcome(result.status, stats);
+  return result;
 }
 
 }  // namespace
@@ -71,22 +73,40 @@ VarianceOptimizerOutput SolveVariancePartitioning(
   }
 
   VarianceOptimizerOutput output;
-  la::SimplexResult lp = SolveLp(input, /*equality=*/true);
+  bool solved = false;
+  la::SimplexResult lp =
+      SolveLp(input, /*equality=*/true, input.goal_rt, &output.lp_stats);
   if (lp.status == la::SimplexStatus::kOptimal) {
     output.mode = OptimizerMode::kGoalEquality;
+    solved = true;
   } else {
-    lp = SolveLp(input, /*equality=*/false);
+    lp = SolveLp(input, /*equality=*/false, input.goal_rt, &output.lp_stats);
     if (lp.status == la::SimplexStatus::kOptimal) {
       output.mode = OptimizerMode::kGoalInequality;
-    } else {
-      // Goal unreachable per the fits: saturate, as in SolvePartitioning.
-      output.mode = OptimizerMode::kBestEffort;
-      output.allocation = input.upper_bounds;
+      solved = true;
     }
   }
-  if (output.mode != OptimizerMode::kBestEffort) {
+  if (!solved) {
+    // Same relaxed-goal ladder as SolvePartitioning before saturating.
+    for (double rho : kGoalRelaxationLadder) {
+      ++output.lp_stats.relaxed_retries;
+      const double relaxed = input.goal_rt * (1.0 + rho);
+      lp = SolveLp(input, /*equality=*/false, relaxed, &output.lp_stats);
+      if (lp.status == la::SimplexStatus::kOptimal) {
+        output.mode = OptimizerMode::kGoalRelaxed;
+        output.relaxed_goal_rt = relaxed;
+        solved = true;
+        break;
+      }
+    }
+  }
+  if (solved) {
     output.allocation.assign(lp.x.begin(),
                              lp.x.begin() + static_cast<ptrdiff_t>(n));
+  } else {
+    // Goal unreachable per the fits: saturate, as in SolvePartitioning.
+    output.mode = OptimizerMode::kBestEffort;
+    output.allocation = input.upper_bounds;
   }
   for (size_t i = 0; i < n; ++i) {
     output.allocation[i] =

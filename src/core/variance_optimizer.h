@@ -33,6 +33,10 @@ struct VarianceOptimizerOutput {
   /// Predicted mean and mean absolute deviation across nodes.
   double predicted_mean_rt = 0.0;
   double predicted_mad_rt = 0.0;
+  /// The relaxed goal actually used (mode == kGoalRelaxed only).
+  double relaxed_goal_rt = 0.0;
+  /// Simplex outcome counts of this solve's fallback chain.
+  LpOutcomeStats lp_stats;
 };
 
 /// Solves
@@ -47,7 +51,7 @@ struct VarianceOptimizerOutput {
 /// mean the two rank allocations identically to first order).
 ///
 /// Falls back exactly like SolvePartitioning: equality, then inequality,
-/// then the §3 monotonicity saturation.
+/// then the relaxed-goal ladder, then the §3 monotonicity saturation.
 VarianceOptimizerOutput SolveVariancePartitioning(
     const VarianceOptimizerInput& input);
 

@@ -1,5 +1,6 @@
 #include "la/row_replace_inverse.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "la/gauss.h"
@@ -80,6 +81,25 @@ bool RowReplaceInverse::ReplaceRow(size_t row, const Vector& new_row) {
 Vector RowReplaceInverse::Solve(const Vector& b) const {
   MEMGOAL_CHECK(initialized_);
   return inverse_.Multiply(b);
+}
+
+namespace {
+
+double InfinityNorm(const Matrix& m) {
+  double norm = 0.0;
+  for (size_t i = 0; i < m.rows(); ++i) {
+    double row_sum = 0.0;
+    for (size_t j = 0; j < m.cols(); ++j) row_sum += std::fabs(m(i, j));
+    norm = std::max(norm, row_sum);
+  }
+  return norm;
+}
+
+}  // namespace
+
+double RowReplaceInverse::ConditionEstimate() const {
+  MEMGOAL_CHECK(initialized_);
+  return InfinityNorm(a_) * InfinityNorm(inverse_);
 }
 
 }  // namespace memgoal::la

@@ -51,6 +51,11 @@ class RowReplaceInverse {
   /// Solves A x = b in O(n^2) using the maintained inverse.
   Vector Solve(const Vector& b) const;
 
+  /// Infinity-norm condition estimate ‖A‖∞·‖A⁻¹‖∞ in O(n^2). Cheap upper
+  /// proxy for how amplified measurement noise gets in Solve(); callers
+  /// reset their store when it drifts past a sanity limit.
+  double ConditionEstimate() const;
+
  private:
   double Denominator(size_t row, const Vector& new_row) const;
 

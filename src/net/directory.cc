@@ -1,5 +1,7 @@
 #include "net/directory.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 
 namespace memgoal::net {
@@ -9,7 +11,8 @@ PageDirectory::PageDirectory(const storage::Database* database)
       cached_(static_cast<size_t>(database->num_pages()) * num_nodes_, false),
       copy_count_(database->num_pages(), 0),
       heat_(static_cast<size_t>(database->num_pages()) * num_nodes_, 0.0),
-      global_heat_(database->num_pages(), 0.0) {}
+      global_heat_(database->num_pages(), 0.0),
+      node_cost_(num_nodes_, 0.0) {}
 
 void PageDirectory::OnPageCached(NodeId node, PageId page) {
   MEMGOAL_DCHECK(node < num_nodes_ && page < database_->num_pages());
@@ -66,15 +69,40 @@ bool PageDirectory::IsLastCopy(NodeId node, PageId page) const {
 
 std::optional<NodeId> PageDirectory::FindCopy(PageId page,
                                               NodeId except) const {
-  if (copy_count_[page] == 0) return std::nullopt;
+  const std::vector<NodeId> ranked = RankedCopies(page, except);
+  if (ranked.empty()) return std::nullopt;
+  return ranked.front();
+}
+
+std::vector<NodeId> PageDirectory::RankedCopies(PageId page,
+                                                NodeId except) const {
+  std::vector<NodeId> copies;
+  if (copy_count_[page] == 0) return copies;
+  // Classic scan order first: home, then deterministically from the home.
   const NodeId home = database_->HomeOf(page);
-  if (home != except && IsCachedAt(home, page)) return home;
   for (uint32_t offset = 0; offset < num_nodes_; ++offset) {
     const NodeId node = (home + offset) % num_nodes_;
     if (node == except) continue;
-    if (IsCachedAt(node, page)) return node;
+    if (IsCachedAt(node, page)) copies.push_back(node);
   }
-  return std::nullopt;
+  // Stable sort by health cost: equal costs (the healthy steady state)
+  // preserve the scan order exactly, so ranking only reorders when the
+  // fetch layer has actually observed asymmetric latencies.
+  std::stable_sort(copies.begin(), copies.end(),
+                   [this](NodeId a, NodeId b) {
+                     return node_cost_[a] < node_cost_[b];
+                   });
+  return copies;
+}
+
+void PageDirectory::SetNodeCost(NodeId node, double cost) {
+  MEMGOAL_DCHECK(node < num_nodes_);
+  node_cost_[node] = cost;
+}
+
+double PageDirectory::NodeCost(NodeId node) const {
+  MEMGOAL_DCHECK(node < num_nodes_);
+  return node_cost_[node];
 }
 
 void PageDirectory::ReportLocalHeat(NodeId node, PageId page, double heat) {

@@ -45,10 +45,24 @@ class PageDirectory {
   /// True if `node` holds the only cached copy of `page` in the system.
   bool IsLastCopy(NodeId node, PageId page) const;
 
-  /// A node other than `except` that caches `page`, if any. Prefers the
-  /// page's home node (no forward hop needed), then scans deterministically
-  /// from the home.
+  /// A node other than `except` that caches `page`, if any. The best-ranked
+  /// copy holder: lowest health cost first, ties broken by the classic scan
+  /// order (the page's home node — no forward hop needed — then
+  /// deterministically from the home). With all costs equal this is exactly
+  /// the historic home-first scan.
   std::optional<NodeId> FindCopy(PageId page, NodeId except) const;
+
+  /// All nodes other than `except` that cache `page`, best first, same
+  /// ranking as FindCopy. The fetch path hedges down this list.
+  std::vector<NodeId> RankedCopies(PageId page, NodeId except) const;
+
+  // -- Node health ranking -------------------------------------------------
+
+  /// Sets the replica-ranking cost of `node` (lower = preferred; the fetch
+  /// layer feeds its per-node health score, an EWMA of observed fetch
+  /// latency, through here). Nodes default to cost 0.
+  void SetNodeCost(NodeId node, double cost);
+  double NodeCost(NodeId node) const;
 
   // -- Global heat ---------------------------------------------------------
 
@@ -72,6 +86,7 @@ class PageDirectory {
   std::vector<uint16_t> copy_count_;  // [page]
   std::vector<double> heat_;        // [page * num_nodes + node]
   std::vector<double> global_heat_;  // [page], maintained sum
+  std::vector<double> node_cost_;    // [node], replica-ranking cost
   uint64_t total_cached_ = 0;
 };
 

@@ -1,5 +1,7 @@
 #include "net/network.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 
 namespace memgoal::net {
@@ -64,6 +66,18 @@ bool Network::DrawLoss() {
          loss_rng_.NextDouble() < params_.loss_probability;
 }
 
+void Network::SetNodeSlowdown(NodeId node, double factor) {
+  MEMGOAL_CHECK(factor > 0.0);
+  if (node >= node_slowdown_.size()) {
+    node_slowdown_.resize(node + 1, 1.0);
+  }
+  node_slowdown_[node] = factor;
+}
+
+double Network::NodeSlowdown(NodeId node) const {
+  return node < node_slowdown_.size() ? node_slowdown_[node] : 1.0;
+}
+
 sim::SimTime Network::TransmissionTime(uint32_t bytes) const {
   const double bits = static_cast<double>(bytes) * 8.0;
   return bits / (params_.bandwidth_mbit_per_s * 1e6) * 1e3;
@@ -77,7 +91,8 @@ sim::Task<bool> Network::Transfer(NodeId from, NodeId to, uint32_t bytes,
   co_await medium_.Acquire();
   co_await simulator_->Delay(TransmissionTime(bytes));
   medium_.Release();
-  co_await simulator_->Delay(params_.latency_ms);
+  co_await simulator_->Delay(params_.latency_ms *
+                             std::max(NodeSlowdown(from), NodeSlowdown(to)));
   if (IsBestEffort(traffic_class) && DrawLoss()) {
     ++messages_dropped_[static_cast<int>(traffic_class)];
     co_return false;

@@ -3,6 +3,7 @@
 
 #include <array>
 #include <cstdint>
+#include <vector>
 
 #include "common/rng.h"
 #include "sim/resource.h"
@@ -91,6 +92,14 @@ class Network {
 
   double latency_ms() const { return params_.latency_ms; }
 
+  /// Per-node latency multiplier modeling a degraded (slow-but-alive) NIC
+  /// or stack: a transfer's fixed latency is stretched by the worse of its
+  /// endpoints' factors. The shared-medium transmission time is *not*
+  /// scaled — a slow endpoint delays its own messages, it does not shrink
+  /// the wire. Owned by the fault injection layer; 1.0 = healthy.
+  void SetNodeSlowdown(NodeId node, double factor);
+  double NodeSlowdown(NodeId node) const;
+
   uint64_t bytes_sent(TrafficClass traffic_class) const {
     return bytes_sent_[static_cast<int>(traffic_class)];
   }
@@ -118,6 +127,7 @@ class Network {
   sim::Resource medium_;
   common::Rng loss_rng_;
   bool burst_bad_ = false;
+  std::vector<double> node_slowdown_;  // lazily sized; 1.0 = healthy
   std::array<uint64_t, kNumTrafficClasses> bytes_sent_{};
   std::array<uint64_t, kNumTrafficClasses> messages_sent_{};
   std::array<uint64_t, kNumTrafficClasses> messages_dropped_{};

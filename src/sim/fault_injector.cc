@@ -9,20 +9,35 @@ namespace memgoal::sim {
 FaultInjector::FaultInjector(Simulator* simulator, uint32_t num_nodes,
                              const Params& params)
     : simulator_(simulator), params_(params), rng_(params.seed),
-      up_(num_nodes, true), epochs_(num_nodes, 0), nodes_up_(num_nodes) {
+      up_(num_nodes, true), epochs_(num_nodes, 0),
+      slowdown_(num_nodes, 1.0), nodes_up_(num_nodes) {
   MEMGOAL_CHECK(simulator != nullptr);
   MEMGOAL_CHECK(num_nodes > 0);
   MEMGOAL_CHECK(params.mttf_ms >= 0.0);
   MEMGOAL_CHECK(params.mttr_ms > 0.0 || params.mttf_ms == 0.0);
+  MEMGOAL_CHECK(params.mttd_ms >= 0.0);
+  MEMGOAL_CHECK(params.degradation_repair_ms > 0.0 || params.mttd_ms == 0.0);
+  MEMGOAL_CHECK(params.degradation_factor > 1.0 || params.mttd_ms == 0.0);
   for (const ScriptEvent& event : params.script) {
     MEMGOAL_CHECK(event.at_ms >= 0.0);
     MEMGOAL_CHECK(event.node < num_nodes);
+  }
+  for (const DegradationEvent& event : params.degradation_script) {
+    MEMGOAL_CHECK(event.at_ms >= 0.0);
+    MEMGOAL_CHECK(event.node < num_nodes);
+    MEMGOAL_CHECK(!event.begin || event.factor > 1.0);
   }
 }
 
 void FaultInjector::SetCallbacks(Callback on_crash, Callback on_recover) {
   on_crash_ = std::move(on_crash);
   on_recover_ = std::move(on_recover);
+}
+
+void FaultInjector::SetDegradationCallbacks(Callback on_degrade,
+                                            Callback on_restore) {
+  on_degrade_ = std::move(on_degrade);
+  on_restore_ = std::move(on_restore);
 }
 
 void FaultInjector::Start() {
@@ -37,11 +52,27 @@ void FaultInjector::Start() {
       }
     });
   }
+  for (const DegradationEvent& event : params_.degradation_script) {
+    simulator_->At(event.at_ms, [this, event] {
+      if (event.begin) {
+        Degrade(event.node, event.factor);
+      } else {
+        Restore(event.node);
+      }
+    });
+  }
+  // One independent stochastic stream per node per failure kind, forked
+  // from the master seed so adding a node never perturbs another node's
+  // draws. Crash streams fork first: enabling degradation leaves existing
+  // crash schedules bit-identical.
   if (params_.mttf_ms > 0.0) {
-    // One independent stochastic stream per node, forked from the master
-    // seed, so adding a node never perturbs another node's draws.
     for (uint32_t node = 0; node < num_nodes(); ++node) {
       simulator_->Spawn(LifeCycle(node, rng_.Fork()));
+    }
+  }
+  if (params_.mttd_ms > 0.0) {
+    for (uint32_t node = 0; node < num_nodes(); ++node) {
+      simulator_->Spawn(DegradationCycle(node, rng_.Fork()));
     }
   }
 }
@@ -71,12 +102,41 @@ bool FaultInjector::Recover(uint32_t node) {
   return true;
 }
 
+bool FaultInjector::Degrade(uint32_t node, double factor) {
+  MEMGOAL_CHECK(node < num_nodes());
+  MEMGOAL_CHECK(factor > 1.0);
+  if (slowdown_[node] != 1.0) return false;
+  slowdown_[node] = factor;
+  ++stats_.degradations;
+  if (on_degrade_) on_degrade_(node);
+  return true;
+}
+
+bool FaultInjector::Restore(uint32_t node) {
+  MEMGOAL_CHECK(node < num_nodes());
+  if (slowdown_[node] == 1.0) return false;
+  slowdown_[node] = 1.0;
+  ++stats_.degradation_recoveries;
+  if (on_restore_) on_restore_(node);
+  return true;
+}
+
 Task<void> FaultInjector::LifeCycle(uint32_t node, common::Rng rng) {
   while (true) {
     co_await simulator_->Delay(rng.Exponential(params_.mttf_ms));
     if (!Crash(node)) continue;  // suppressed or scripted-down: retry later
     co_await simulator_->Delay(rng.Exponential(params_.mttr_ms));
     Recover(node);
+  }
+}
+
+Task<void> FaultInjector::DegradationCycle(uint32_t node, common::Rng rng) {
+  while (true) {
+    co_await simulator_->Delay(rng.Exponential(params_.mttd_ms));
+    if (!Degrade(node, params_.degradation_factor)) continue;  // scripted
+    co_await simulator_->Delay(
+        rng.Exponential(params_.degradation_repair_ms));
+    Restore(node);
   }
 }
 

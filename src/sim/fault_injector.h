@@ -11,20 +11,31 @@
 
 namespace memgoal::sim {
 
-/// Schedules node crash and recovery events on the simulator clock.
+/// Schedules node crash/recovery and degradation events on the simulator
+/// clock.
 ///
-/// Two event sources compose:
-///  - a deterministic script of (time, node, crash|recover) events, and
-///  - a seeded stochastic process per node that alternates exponentially
-///    distributed time-to-failure (MTTF) and time-to-repair (MTTR) phases.
+/// Two failure *kinds* are modeled, each with two composable event sources
+/// (a deterministic script and a seeded stochastic process per node):
 ///
-/// The injector is the single source of truth for node availability: it
-/// tracks an up/down flag and a crash epoch per node (the epoch increments
-/// on every crash, letting in-flight work detect that its node died and
-/// came back while it was suspended). Owners register callbacks that run
-/// synchronously at the crash/recovery instant; everything a crash must
-/// atomically destroy (cache contents, directory registrations, controller
-/// views) happens inside those callbacks, at one point in simulated time.
+///  - **Fail-stop crashes**: the node is down, its volatile state is gone.
+///    The stochastic process alternates exponentially distributed
+///    time-to-failure (MTTF) and time-to-repair (MTTR) phases.
+///  - **Gray degradation**: the node stays up but serves everything slower
+///    by a multiplicative factor (disk and CPU service times, its share of
+///    network latency). The stochastic process alternates exponentially
+///    distributed time-to-degradation (MTTD) and repair phases. Crashes and
+///    degradation compose freely: a degraded node can crash, and a node
+///    that recovers from a crash is still degraded until its episode lifts.
+///
+/// The injector is the single source of truth for node availability and
+/// health: it tracks an up/down flag, a crash epoch and a slowdown factor
+/// per node (the epoch increments on every crash, letting in-flight work
+/// detect that its node died and came back while it was suspended). Owners
+/// register callbacks that run synchronously at the transition instant;
+/// everything a crash must atomically destroy (cache contents, directory
+/// registrations, controller views) and everything a degradation must slow
+/// down (resource slowdown factors) happens inside those callbacks, at one
+/// point in simulated time.
 ///
 /// A safety floor keeps at least `min_live_nodes` nodes up: a crash that
 /// would violate the floor is suppressed (and counted), so stochastic fault
@@ -36,6 +47,15 @@ class FaultInjector {
     uint32_t node = 0;
     /// true = crash at `at_ms`, false = recover.
     bool crash = true;
+  };
+
+  struct DegradationEvent {
+    SimTime at_ms = 0.0;
+    uint32_t node = 0;
+    /// true = the degradation episode begins at `at_ms`, false = it lifts.
+    bool begin = true;
+    /// Service-time multiplier while degraded (used when begin).
+    double factor = 10.0;
   };
 
   struct Params {
@@ -51,6 +71,16 @@ class FaultInjector {
     /// Crashes that would leave fewer than this many nodes up are
     /// suppressed. 0 allows a full-cluster outage.
     uint32_t min_live_nodes = 1;
+
+    /// Deterministic degradation schedule (may be empty).
+    std::vector<DegradationEvent> degradation_script;
+    /// Mean time to degradation of the per-node stochastic gray-failure
+    /// process, ms; 0 disables it.
+    double mttd_ms = 0.0;
+    /// Mean duration of a stochastic degradation episode, ms.
+    double degradation_repair_ms = 10000.0;
+    /// Slowdown factor of stochastic degradation episodes.
+    double degradation_factor = 10.0;
   };
 
   struct Stats {
@@ -58,6 +88,9 @@ class FaultInjector {
     uint64_t recoveries = 0;
     /// Crashes suppressed by the min_live_nodes floor.
     uint64_t suppressed = 0;
+    /// Degradation episodes begun / lifted.
+    uint64_t degradations = 0;
+    uint64_t degradation_recoveries = 0;
   };
 
   using Callback = std::function<void(uint32_t node)>;
@@ -69,7 +102,12 @@ class FaultInjector {
   /// inside Crash()/Recover(); either may be null.
   void SetCallbacks(Callback on_crash, Callback on_recover);
 
-  /// Schedules the script and spawns the stochastic per-node processes.
+  /// Registers the owner's degradation handlers. `on_degrade` runs
+  /// synchronously when an episode begins (query SlowdownOf for the
+  /// factor), `on_restore` when it lifts. Either may be null.
+  void SetDegradationCallbacks(Callback on_degrade, Callback on_restore);
+
+  /// Schedules the scripts and spawns the stochastic per-node processes.
   /// Call at most once, before running the simulation.
   void Start();
 
@@ -89,21 +127,38 @@ class FaultInjector {
   /// Manually recovers `node` now. Returns false if the node is up.
   bool Recover(uint32_t node);
 
+  /// Current service-time multiplier of `node`; 1.0 when healthy. Survives
+  /// crashes: a degraded node that reboots is still degraded.
+  double SlowdownOf(uint32_t node) const { return slowdown_[node]; }
+  bool IsDegraded(uint32_t node) const { return slowdown_[node] != 1.0; }
+
+  /// Manually begins a degradation episode on `node` with the given
+  /// slowdown factor. Returns false if the node is already degraded.
+  bool Degrade(uint32_t node, double factor);
+
+  /// Manually lifts `node`'s degradation episode. Returns false if the node
+  /// is not degraded.
+  bool Restore(uint32_t node);
+
   const Stats& stats() const { return stats_; }
   const Params& params() const { return params_; }
 
  private:
   Task<void> LifeCycle(uint32_t node, common::Rng rng);
+  Task<void> DegradationCycle(uint32_t node, common::Rng rng);
 
   Simulator* simulator_;
   Params params_;
   common::Rng rng_;
   std::vector<bool> up_;
   std::vector<uint64_t> epochs_;
+  std::vector<double> slowdown_;
   uint32_t nodes_up_;
   Stats stats_;
   Callback on_crash_;
   Callback on_recover_;
+  Callback on_degrade_;
+  Callback on_restore_;
   bool started_ = false;
 };
 

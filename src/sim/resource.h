@@ -25,9 +25,22 @@ namespace memgoal::sim {
 /// strict FIFO order through the event queue, preserving determinism.
 ///
 /// The resource records utilization (time-weighted fraction of busy units)
-/// and queueing statistics, which the experiment harness reports.
+/// and queueing statistics, which the experiment harness reports. Beyond the
+/// means, fixed-width histograms expose tail percentiles of the queue-wait
+/// and busy-hold times — a gray-failure episode (service times inflated by a
+/// slowdown factor) is visible in the p99 long before it moves the mean.
+///
+/// A slowdown factor models *degraded* (slow-but-alive) hardware: Use()
+/// stretches its service time by the factor. The factor is owned by the
+/// fault injection layer; 1.0 means healthy.
 class Resource {
  public:
+  /// Histogram range for wait/busy tail percentiles (ms). Samples beyond
+  /// the range land in the overflow bucket and quantiles saturate at the
+  /// upper bound.
+  static constexpr double kHistogramMaxMs = 1000.0;
+  static constexpr int kHistogramBuckets = 2000;
+
   Resource(Simulator* simulator, int capacity, std::string name);
   Resource(const Resource&) = delete;
   Resource& operator=(const Resource&) = delete;
@@ -57,8 +70,14 @@ class Resource {
   /// simulated time.
   void Release();
 
-  /// Convenience process: acquire, hold for `service_time`, release.
+  /// Convenience process: acquire, hold for `service_time` stretched by the
+  /// current slowdown factor, release.
   Task<void> Use(SimTime service_time);
+
+  /// Service-time multiplier applied by Use(); 1.0 = healthy. Set by the
+  /// fault injection layer while the owning node is degraded.
+  void SetSlowdown(double factor);
+  double slowdown() const { return slowdown_; }
 
   int capacity() const { return capacity_; }
   int in_use() const { return in_use_; }
@@ -72,6 +91,13 @@ class Resource {
   double UtilizationAt(SimTime now) const {
     return busy_units_.MeanAt(now) / static_cast<double>(capacity_);
   }
+
+  /// Approximate quantile of the queue-wait distribution (q in [0,1]).
+  double WaitQuantile(double q) const { return wait_hist_.Quantile(q); }
+  /// Approximate quantile of the per-acquisition busy-hold time. Holds are
+  /// attributed FIFO (exact for capacity 1, which covers every resource in
+  /// the simulated NOW).
+  double BusyQuantile(double q) const { return busy_hist_.Quantile(q); }
 
  private:
   struct Waiter {
@@ -87,11 +113,15 @@ class Resource {
   int capacity_;
   std::string name_;
   int in_use_ = 0;
+  double slowdown_ = 1.0;
   std::deque<Waiter> waiters_;
 
   uint64_t total_acquisitions_ = 0;
   common::RunningStats wait_stats_;
   common::TimeWeightedMean busy_units_;
+  common::Histogram wait_hist_;
+  common::Histogram busy_hist_;
+  std::deque<SimTime> hold_starts_;  // FIFO acquisition timestamps
 };
 
 }  // namespace memgoal::sim

@@ -26,16 +26,12 @@ Disk::Disk(sim::Simulator* simulator, const Params& params,
       arm_(simulator, /*capacity=*/1, std::move(name)) {}
 
 sim::Task<void> Disk::ReadPage() {
-  co_await arm_.Acquire();
-  co_await simulator_->Delay(page_service_ms_);
-  arm_.Release();
+  co_await arm_.Use(page_service_ms_);
   ++reads_completed_;
 }
 
 sim::Task<void> Disk::WritePage() {
-  co_await arm_.Acquire();
-  co_await simulator_->Delay(page_service_ms_);
-  arm_.Release();
+  co_await arm_.Use(page_service_ms_);
   ++writes_completed_;
 }
 

@@ -39,6 +39,11 @@ class Disk {
   /// the FORCE-at-commit policy of the transactional layer).
   sim::Task<void> WritePage();
 
+  /// Service-time multiplier while the owning node is degraded (gray
+  /// failure); 1.0 = healthy. Affects requests that start after the call.
+  void SetSlowdown(double factor) { arm_.SetSlowdown(factor); }
+  double slowdown() const { return arm_.slowdown(); }
+
   uint64_t reads_completed() const { return reads_completed_; }
   uint64_t writes_completed() const { return writes_completed_; }
   const sim::Resource& resource() const { return arm_; }

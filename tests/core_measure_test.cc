@@ -195,5 +195,104 @@ TEST(MeasureStoreTest, NoisyMeasurementsStillFitApproximately) {
   }
 }
 
+// Seeds the outlier windows with kOutlierMinSamples in-regime measurements
+// (slightly varied so the MAD is nonzero) at distinct allocations.
+void WarmOutlierWindow(MeasureStore* store) {
+  for (int i = 0; i < static_cast<int>(MeasureStore::kOutlierMinSamples);
+       ++i) {
+    // Alternate the axes so the points stay affinely independent.
+    const la::Vector allocation = (i % 2 == 0)
+                                      ? la::Vector{100.0 * (i + 1), 0.0}
+                                      : la::Vector{0.0, 100.0 * (i + 1)};
+    store->Observe(allocation, 5.0 + 0.05 * (i % 4), 1.0 + 0.02 * (i % 3));
+  }
+}
+
+TEST(MeasureStoreTest, OutlierMeasurementRejected) {
+  MeasureStore store(2);
+  WarmOutlierWindow(&store);
+  ASSERT_TRUE(store.ready());
+  EXPECT_EQ(store.outlier_rejections(), 0u);
+
+  // A gray-failure excursion: rt far outside the recent regime. The
+  // measurement must not reach the point set.
+  const uint64_t rejected_before = store.rejected_points();
+  store.Observe({5000.0, 5000.0}, 250.0, 1.0);
+  EXPECT_EQ(store.outlier_rejections(), 1u);
+  EXPECT_EQ(store.rejected_points(), rejected_before);
+  // The no-goal response time alone can also trip the filter.
+  store.Observe({6000.0, 6000.0}, 5.0, 80.0);
+  EXPECT_EQ(store.outlier_rejections(), 2u);
+
+  // In-regime measurements keep flowing.
+  store.Observe({7000.0, 7000.0}, 5.1, 1.01);
+  EXPECT_EQ(store.outlier_rejections(), 2u);
+}
+
+TEST(MeasureStoreTest, NoRejectionBeforeMinSamples) {
+  MeasureStore store(2);
+  store.Observe({0.0, 0.0}, 5.0, 1.0);
+  // Early windows are too noisy to judge against: even a wild value passes.
+  store.Observe({100.0, 0.0}, 500.0, 1.0);
+  EXPECT_EQ(store.outlier_rejections(), 0u);
+  EXPECT_EQ(store.size(), 2u);
+}
+
+TEST(MeasureStoreTest, SustainedLevelShiftReCentersWindow) {
+  MeasureStore store(2);
+  WarmOutlierWindow(&store);
+
+  // The workload genuinely moved to a 10x slower regime. The first samples
+  // are rejected, but rejected samples still enter the window, so the
+  // median re-centers and later samples must be accepted.
+  uint64_t last_rejections = store.outlier_rejections();
+  bool accepted_again = false;
+  for (int i = 0; i < static_cast<int>(MeasureStore::kOutlierWindow); ++i) {
+    store.Observe({1000.0 + 10.0 * i, 0.0}, 50.0 + 0.1 * (i % 4), 1.0);
+    if (store.outlier_rejections() == last_rejections) {
+      accepted_again = true;
+      break;
+    }
+    last_rejections = store.outlier_rejections();
+  }
+  EXPECT_TRUE(accepted_again);
+  EXPECT_GT(store.outlier_rejections(), 0u);
+}
+
+TEST(MeasureStoreTest, ConditionGuardResetsIllConditionedStore) {
+  MeasureStore store(2);
+  store.Observe({0.0, 0.0}, 5.0, 1.0);
+  store.Observe({1e8, 0.0}, 4.0, 1.0);
+  store.Observe({0.0, 1e8}, 3.0, 1.0);
+  ASSERT_TRUE(store.ready());
+  EXPECT_EQ(store.condition_resets(), 0u);
+
+  // Replacing the oldest point with (1e8, 10) passes the denominator probe
+  // (|det ratio| = 1e-7) but leaves two rows differing by ~1e-7 relative —
+  // condition far past the reset limit. The guard must clear the store.
+  store.Observe({1e8, 10.0}, 4.5, 1.0);
+  EXPECT_EQ(store.condition_resets(), 1u);
+  EXPECT_FALSE(store.ready());
+  EXPECT_EQ(store.size(), 0u);
+
+  // The store re-accumulates well-spread points and becomes ready again.
+  store.Observe({0.0, 0.0}, 5.0, 1.0);
+  store.Observe({1000.0, 0.0}, 4.0, 1.0);
+  store.Observe({0.0, 1000.0}, 3.0, 1.0);
+  EXPECT_TRUE(store.ready());
+  EXPECT_EQ(store.condition_resets(), 1u);
+}
+
+TEST(MeasureStoreTest, ResetClearsOutlierWindows) {
+  MeasureStore store(2);
+  WarmOutlierWindow(&store);
+  store.Reset();
+  // Post-reset regimes are judged fresh: a value that would have been an
+  // outlier against the stale window is accepted.
+  store.Observe({0.0, 0.0}, 500.0, 1.0);
+  EXPECT_EQ(store.outlier_rejections(), 0u);
+  EXPECT_EQ(store.size(), 1u);
+}
+
 }  // namespace
 }  // namespace memgoal::core

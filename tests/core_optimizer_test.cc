@@ -94,6 +94,54 @@ TEST(OptimizerTest, BestEffortIgnoresNoisyGradientSigns) {
   EXPECT_NEAR(output.allocation[1], 1000.0, 1e-9);
 }
 
+TEST(OptimizerTest, RelaxedRetryWhenInequalityInfeasible) {
+  OptimizerInput input = MakeInput();
+  // Max reduction = 0.002*2000 + 0.001*2000 = 6, so RT bottoms out at 4.
+  // Goal 3.8 is infeasible, but 3.8 * 1.10 = 4.18 is reachable: the first
+  // rung of the relaxation ladder must succeed.
+  input.goal_rt = 3.8;
+  input.upper_bounds = {2000.0, 2000.0};
+  const OptimizerOutput output = SolvePartitioning(input);
+  EXPECT_EQ(output.mode, OptimizerMode::kGoalRelaxed);
+  EXPECT_NEAR(output.relaxed_goal_rt, 3.8 * 1.10, 1e-12);
+  EXPECT_LE(output.predicted_rt_k, output.relaxed_goal_rt + 1e-9);
+  // Solve trail: equality infeasible, inequality infeasible, one relaxed
+  // retry that ran to optimality.
+  EXPECT_EQ(output.lp_stats.infeasible, 2u);
+  EXPECT_EQ(output.lp_stats.relaxed_retries, 1u);
+  EXPECT_EQ(output.lp_stats.optimal, 1u);
+  EXPECT_EQ(output.lp_stats.unbounded, 0u);
+}
+
+TEST(OptimizerTest, BestEffortAfterRelaxationLadderExhausted) {
+  OptimizerInput input = MakeInput();
+  // Even the loosest rung (1.0 * 1.50 = 1.5) is below the reachable
+  // minimum RT of 4: every retry fails and best effort saturates.
+  input.goal_rt = 1.0;
+  input.upper_bounds = {2000.0, 2000.0};
+  const OptimizerOutput output = SolvePartitioning(input);
+  EXPECT_EQ(output.mode, OptimizerMode::kBestEffort);
+  EXPECT_NEAR(output.allocation[0], 2000.0, 1e-9);
+  EXPECT_NEAR(output.allocation[1], 2000.0, 1e-9);
+  EXPECT_EQ(output.lp_stats.relaxed_retries, 3u);
+  EXPECT_EQ(output.lp_stats.infeasible, 5u);  // equality + inequality + 3
+  EXPECT_EQ(output.lp_stats.optimal, 0u);
+}
+
+TEST(OptimizerTest, LpStatsCountSuccessfulSolves) {
+  OptimizerInput input = MakeInput();
+  const OptimizerOutput output = SolvePartitioning(input);
+  ASSERT_EQ(output.mode, OptimizerMode::kGoalEquality);
+  EXPECT_EQ(output.lp_stats.optimal, 1u);
+  EXPECT_EQ(output.lp_stats.infeasible, 0u);
+  EXPECT_EQ(output.lp_stats.relaxed_retries, 0u);
+
+  LpOutcomeStats total;
+  total += output.lp_stats;
+  total += output.lp_stats;
+  EXPECT_EQ(total.optimal, 2u);
+}
+
 TEST(OptimizerTest, PredictionsEvaluateBothPlanes) {
   OptimizerInput input = MakeInput();
   const OptimizerOutput output = SolvePartitioning(input);

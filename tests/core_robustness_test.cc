@@ -293,5 +293,111 @@ TEST(FaultToleranceTest, EndToEndCrashRecoveryWithBurstLoss) {
   EXPECT_GE(SatisfiedInTail(system, 10), 4);
 }
 
+TEST(GrayFailureTest, DegradationWiringAppliesAndRestoresSlowdowns) {
+  ClusterSystem system(TestConfig(52));
+  system.AddClass(GoalClass(3.5));
+  system.AddClass(NoGoalClass());
+  system.Start();
+  system.RunIntervals(2);
+
+  ASSERT_TRUE(system.fault_injector().Degrade(2, 25.0));
+  // The degradation callback pushes the factor into every service center of
+  // the node and its network endpoint.
+  EXPECT_DOUBLE_EQ(system.node(2).disk().slowdown(), 25.0);
+  EXPECT_DOUBLE_EQ(system.node(2).cpu().slowdown(), 25.0);
+  EXPECT_DOUBLE_EQ(system.network().NodeSlowdown(2), 25.0);
+  EXPECT_DOUBLE_EQ(system.node(0).disk().slowdown(), 1.0);
+
+  ASSERT_TRUE(system.fault_injector().Restore(2));
+  EXPECT_DOUBLE_EQ(system.node(2).disk().slowdown(), 1.0);
+  EXPECT_DOUBLE_EQ(system.node(2).cpu().slowdown(), 1.0);
+  EXPECT_DOUBLE_EQ(system.network().NodeSlowdown(2), 1.0);
+}
+
+TEST(GrayFailureTest, HealthScoreTracksTimeoutsAndDecays) {
+  ClusterSystem system(TestConfig(53));
+  system.AddClass(GoalClass(3.5));
+  system.AddClass(NoGoalClass());
+  const double baseline = system.HealthScore(2);
+  ASSERT_GT(baseline, 0.0);
+  EXPECT_DOUBLE_EQ(system.directory().NodeCost(2), baseline);
+
+  // A hedged fetch that hit its deadline feeds a censored sample: the
+  // score escalates past the deadline it waited (the true latency is only
+  // known to exceed it) and the directory cost tracks it.
+  system.RecordFetchTimeout(2, 2.0);
+  const double after_timeout = system.HealthScore(2);
+  EXPECT_GT(after_timeout, baseline);
+  EXPECT_DOUBLE_EQ(system.directory().NodeCost(2), after_timeout);
+  system.RecordFetchTimeout(2, 2.0);
+  EXPECT_GT(system.HealthScore(2), after_timeout);
+
+  // Recovery decays the score toward the healthy baseline so a repaired
+  // node is probed again instead of being shunned forever.
+  double previous = system.HealthScore(2);
+  for (int i = 0; i < 40; ++i) {
+    system.DecayHealth(2);
+    EXPECT_LE(system.HealthScore(2), previous);
+    previous = system.HealthScore(2);
+  }
+  EXPECT_NEAR(system.HealthScore(2), baseline, 0.05 * baseline);
+}
+
+TEST(GrayFailureTest, DegradedNodeConvergesBackIntoTolerance) {
+  // The acceptance scenario: node 2 serves everything 50x slower between
+  // 60 s and 110 s — alive the whole time, so no crash handling fires.
+  // Hedged reads route around it while it is slow, and the robust
+  // measurement filter keeps the episode from poisoning the fit; after the
+  // episode lifts the goal class must converge back inside its tolerance.
+  SystemConfig config = TestConfig(51);
+  config.faults.degradation_script = {{60000.0, 2, /*begin=*/true, 50.0},
+                                      {110000.0, 2, /*begin=*/false}};
+  ClusterSystem system(config);
+  system.AddClass(GoalClass(3.5));
+  system.AddClass(NoGoalClass());
+  system.Start();
+
+  system.RunIntervals(20);  // 100 s: mid-episode
+  EXPECT_TRUE(system.fault_injector().IsDegraded(2));
+  EXPECT_DOUBLE_EQ(system.node(2).disk().slowdown(), 50.0);
+  // The health EWMA has learned that node 2 is slow: replica ranking now
+  // prefers the healthy nodes.
+  EXPECT_GT(system.HealthScore(2), system.HealthScore(0));
+  EXPECT_GT(system.HealthScore(2), system.HealthScore(1));
+
+  system.RunIntervals(25);  // through recovery at 110 s, out to 225 s
+  EXPECT_FALSE(system.fault_injector().IsDegraded(2));
+  EXPECT_DOUBLE_EQ(system.node(2).disk().slowdown(), 1.0);
+  EXPECT_EQ(system.fault_injector().stats().degradations, 1u);
+  EXPECT_EQ(system.fault_injector().stats().degradation_recoveries, 1u);
+  EXPECT_EQ(system.fault_injector().stats().crashes, 0u);
+
+  // Gray, not fail-stop: every node stays up and both classes complete
+  // operations in every interval.
+  const auto& records = system.metrics().records();
+  ASSERT_EQ(records.size(), 45u);
+  for (const IntervalRecord& record : records) {
+    EXPECT_EQ(record.nodes_up, 3u);
+    EXPECT_GT(record.ForClass(1).ops_completed, 0u);
+    EXPECT_GT(record.ForClass(kNoGoalClass).ops_completed, 0u);
+  }
+
+  // Fetches that waited out their hedge deadlines fell back to disk.
+  EXPECT_GT(system.counters(1).fetch_fallbacks +
+                system.counters(kNoGoalClass).fetch_fallbacks,
+            0u);
+
+  // The control loop kept optimizing throughout, and the interval CSV
+  // carries the simplex outcome counters.
+  const auto& controller =
+      dynamic_cast<const GoalOrientedController&>(system.controller());
+  EXPECT_GT(controller.stats().lp_status_optimal, 0u);
+  EXPECT_GT(system.metrics().back().lp.optimal, 0u);
+
+  // Re-convergence: the goal class sits inside its tolerance band through
+  // most of the post-recovery tail.
+  EXPECT_GE(SatisfiedInTail(system, 10), 4);
+}
+
 }  // namespace
 }  // namespace memgoal::core

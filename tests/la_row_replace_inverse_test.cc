@@ -92,6 +92,45 @@ TEST(RowReplaceInverseTest, SolveMatchesGauss) {
   for (size_t i = 0; i < 6; ++i) EXPECT_NEAR(x[i], (*expected)[i], 1e-8);
 }
 
+TEST(RowReplaceInverseTest, DenominatorToleranceBoundary) {
+  // Replacing row 1 of the identity with {1, eps} gives determinant eps, so
+  // the Sherman–Morrison denominator is exactly eps: the replacement must be
+  // rejected just inside the tolerance and accepted just outside it.
+  constexpr double kTol = RowReplaceInverse::kDenominatorTolerance;
+  {
+    RowReplaceInverse rri;
+    ASSERT_TRUE(rri.Reset(Matrix::Identity(2)));
+    EXPECT_FALSE(rri.WouldRemainNonsingular(1, Vector{1.0, kTol * 0.5}));
+    EXPECT_FALSE(rri.ReplaceRow(1, Vector{1.0, kTol * 0.5}));
+    // Rejection left the inverse untouched.
+    ExpectIsInverse(Matrix::Identity(2), rri.inverse(), 1e-12);
+  }
+  {
+    RowReplaceInverse rri;
+    ASSERT_TRUE(rri.Reset(Matrix::Identity(2)));
+    const Vector row{1.0, kTol * 4.0};
+    EXPECT_TRUE(rri.WouldRemainNonsingular(1, row));
+    ASSERT_TRUE(rri.ReplaceRow(1, row));
+    Matrix expected = Matrix::Identity(2);
+    expected.SetRow(1, row);
+    ExpectIsInverse(expected, rri.inverse(), 1e-6);
+  }
+}
+
+TEST(RowReplaceInverseTest, ConditionEstimateTracksIllConditioning) {
+  RowReplaceInverse rri;
+  ASSERT_TRUE(rri.Reset(Matrix::Identity(3)));
+  EXPECT_DOUBLE_EQ(rri.ConditionEstimate(), 1.0);
+
+  // diag(1, 1, 1e-6): ||A||_inf = 1, ||A^-1||_inf = 1e6.
+  ASSERT_TRUE(rri.ReplaceRow(2, Vector{0.0, 0.0, 1e-6}));
+  EXPECT_NEAR(rri.ConditionEstimate(), 1e6, 1.0);
+
+  // Restoring the row brings the estimate back down.
+  ASSERT_TRUE(rri.ReplaceRow(2, Vector{0.0, 0.0, 1.0}));
+  EXPECT_NEAR(rri.ConditionEstimate(), 1.0, 1e-6);
+}
+
 // Property sweep: long sequences of row replacements stay consistent with
 // the exact inverse (exercises the periodic refresh path too).
 class RowReplacePropertyTest : public ::testing::TestWithParam<size_t> {};

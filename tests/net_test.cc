@@ -144,6 +144,35 @@ TEST(NetworkTest, IidLossUnaffectedByBurstKnobs) {
   EXPECT_FALSE(network.in_burst());
 }
 
+TEST(NetworkTest, NodeSlowdownStretchesLatencyOnly) {
+  sim::Simulator simulator;
+  Network network(&simulator, Network::Params{100.0, 0.05});
+  network.SetNodeSlowdown(1, 10.0);
+  EXPECT_DOUBLE_EQ(network.NodeSlowdown(1), 10.0);
+  EXPECT_DOUBLE_EQ(network.NodeSlowdown(0), 1.0);
+  // Latency is paced by the degraded endpoint's NIC/stack; the shared
+  // medium's transmission time is unaffected.
+  simulator.Spawn(network.Transfer(0, 1, 4096, TrafficClass::kPage));
+  simulator.Run();
+  EXPECT_NEAR(simulator.Now(), 0.32768 + 0.5, 1e-9);
+}
+
+TEST(NetworkTest, NodeSlowdownUsesWorseEndpoint) {
+  sim::Simulator simulator;
+  Network network(&simulator, Network::Params{100.0, 0.05});
+  network.SetNodeSlowdown(0, 20.0);
+  network.SetNodeSlowdown(1, 10.0);
+  simulator.Spawn(network.Transfer(1, 0, 4096, TrafficClass::kPage));
+  simulator.Run();
+  EXPECT_NEAR(simulator.Now(), 0.32768 + 1.0, 1e-9);
+  // Restoring both endpoints restores the nominal latency.
+  network.SetNodeSlowdown(0, 1.0);
+  network.SetNodeSlowdown(1, 1.0);
+  simulator.Spawn(network.Transfer(0, 1, 4096, TrafficClass::kPage));
+  simulator.Run();
+  EXPECT_NEAR(simulator.Now(), 2 * 0.32768 + 1.0 + 0.05, 1e-9);
+}
+
 class DirectoryTest : public ::testing::Test {
  protected:
   DirectoryTest() : db_(30, 4096, 3), directory_(&db_) {}
@@ -197,6 +226,37 @@ TEST_F(DirectoryTest, GlobalHeatAggregatesReports) {
   // Re-report replaces, not adds.
   directory_.ReportLocalHeat(0, 4, 0.1);
   EXPECT_DOUBLE_EQ(directory_.GlobalHeat(4), 0.35);
+}
+
+TEST_F(DirectoryTest, RankedCopiesPreservesScanOrderWhenCostsEqual) {
+  // Page 7's home is node 1 (7 % 3); with equal costs the ranking must be
+  // exactly the historic home-first scan order.
+  directory_.OnPageCached(0, 7);
+  directory_.OnPageCached(1, 7);
+  directory_.OnPageCached(2, 7);
+  EXPECT_EQ(directory_.RankedCopies(7, /*except=*/2),
+            (std::vector<NodeId>{1, 0}));
+  EXPECT_EQ(directory_.RankedCopies(7, /*except=*/0),
+            (std::vector<NodeId>{1, 2}));
+}
+
+TEST_F(DirectoryTest, RankedCopiesOrdersByNodeCost) {
+  directory_.OnPageCached(0, 7);
+  directory_.OnPageCached(1, 7);
+  // The home node turns expensive (e.g. its fetch-latency EWMA spiked): a
+  // cheaper replica outranks it, and FindCopy follows the ranking.
+  directory_.SetNodeCost(1, 5.0);
+  directory_.SetNodeCost(0, 1.0);
+  EXPECT_DOUBLE_EQ(directory_.NodeCost(1), 5.0);
+  EXPECT_EQ(directory_.RankedCopies(7, /*except=*/2),
+            (std::vector<NodeId>{0, 1}));
+  auto copy = directory_.FindCopy(7, /*except=*/2);
+  ASSERT_TRUE(copy.has_value());
+  EXPECT_EQ(*copy, 0u);
+  // Costs converging back restores the home-first preference.
+  directory_.SetNodeCost(1, 1.0);
+  EXPECT_EQ(directory_.RankedCopies(7, /*except=*/2),
+            (std::vector<NodeId>{1, 0}));
 }
 
 TEST_F(DirectoryTest, TotalCachedPages) {

@@ -129,5 +129,122 @@ TEST(FaultInjectorTest, StochasticProcessDisabledByZeroMttf) {
   EXPECT_EQ(injector.stats().crashes, 0u);
 }
 
+TEST(FaultInjectorTest, ScriptedDegradationBeginsAndLifts) {
+  Simulator simulator;
+  FaultInjector::Params params;
+  params.degradation_script = {{100.0, 1, /*begin=*/true, 50.0},
+                               {250.0, 1, /*begin=*/false}};
+  FaultInjector injector(&simulator, 3, params);
+
+  std::vector<std::pair<double, bool>> events;  // (time, is_begin)
+  injector.SetDegradationCallbacks(
+      [&](uint32_t node) {
+        EXPECT_EQ(node, 1u);
+        // The slowdown is already committed when the callback runs.
+        EXPECT_DOUBLE_EQ(injector.SlowdownOf(1), 50.0);
+        events.emplace_back(simulator.Now(), true);
+      },
+      [&](uint32_t node) {
+        EXPECT_EQ(node, 1u);
+        EXPECT_DOUBLE_EQ(injector.SlowdownOf(1), 1.0);
+        events.emplace_back(simulator.Now(), false);
+      });
+  injector.Start();
+
+  EXPECT_FALSE(injector.IsDegraded(1));
+  simulator.RunUntil(150.0);
+  EXPECT_TRUE(injector.IsDegraded(1));
+  EXPECT_DOUBLE_EQ(injector.SlowdownOf(1), 50.0);
+  EXPECT_FALSE(injector.IsDegraded(0));
+  // A degraded node is still up: gray, not fail-stop.
+  EXPECT_TRUE(injector.IsUp(1));
+  EXPECT_EQ(injector.nodes_up(), 3u);
+
+  simulator.RunUntil(300.0);
+  EXPECT_FALSE(injector.IsDegraded(1));
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_DOUBLE_EQ(events[0].first, 100.0);
+  EXPECT_TRUE(events[0].second);
+  EXPECT_DOUBLE_EQ(events[1].first, 250.0);
+  EXPECT_FALSE(events[1].second);
+  EXPECT_EQ(injector.stats().degradations, 1u);
+  EXPECT_EQ(injector.stats().degradation_recoveries, 1u);
+  EXPECT_EQ(injector.stats().crashes, 0u);
+}
+
+TEST(FaultInjectorTest, DegradationComposesWithCrashes) {
+  Simulator simulator;
+  FaultInjector injector(&simulator, 2, FaultInjector::Params{});
+
+  ASSERT_TRUE(injector.Degrade(0, 10.0));
+  EXPECT_FALSE(injector.Degrade(0, 5.0));  // already degraded
+  EXPECT_TRUE(injector.Crash(0));
+  // The crash does not clear the episode: the hardware is still bad.
+  EXPECT_TRUE(injector.IsDegraded(0));
+  EXPECT_DOUBLE_EQ(injector.SlowdownOf(0), 10.0);
+  EXPECT_TRUE(injector.Recover(0));
+  // A rebooted node is still degraded until the episode lifts.
+  EXPECT_TRUE(injector.IsDegraded(0));
+  EXPECT_TRUE(injector.Restore(0));
+  EXPECT_FALSE(injector.Restore(0));  // already healthy
+  EXPECT_DOUBLE_EQ(injector.SlowdownOf(0), 1.0);
+  EXPECT_EQ(injector.stats().degradations, 1u);
+  EXPECT_EQ(injector.stats().degradation_recoveries, 1u);
+}
+
+TEST(FaultInjectorTest, StochasticDegradationIsDeterministicUnderSeed) {
+  auto run = [](uint64_t seed) {
+    Simulator simulator;
+    FaultInjector::Params params;
+    params.mttd_ms = 5000.0;
+    params.degradation_repair_ms = 1000.0;
+    params.degradation_factor = 8.0;
+    params.seed = seed;
+    FaultInjector injector(&simulator, 3, params);
+    std::vector<std::pair<double, uint32_t>> episodes;
+    injector.SetDegradationCallbacks(
+        [&](uint32_t node) { episodes.emplace_back(simulator.Now(), node); },
+        nullptr);
+    injector.Start();
+    simulator.RunUntil(100000.0);
+    return episodes;
+  };
+
+  const auto a = run(7);
+  const auto b = run(7);
+  const auto c = run(8);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(FaultInjectorTest, EnablingDegradationKeepsCrashScheduleIdentical) {
+  // The crash streams fork from the master seed before the degradation
+  // streams: turning gray failures on must not perturb an existing crash
+  // schedule (old seeds stay reproducible).
+  auto crashes = [](double mttd_ms) {
+    Simulator simulator;
+    FaultInjector::Params params;
+    params.mttf_ms = 5000.0;
+    params.mttr_ms = 1000.0;
+    params.seed = 7;
+    params.min_live_nodes = 1;
+    params.mttd_ms = mttd_ms;
+    FaultInjector injector(&simulator, 3, params);
+    std::vector<std::pair<double, uint32_t>> log;
+    injector.SetCallbacks(
+        [&](uint32_t node) { log.emplace_back(simulator.Now(), node); },
+        nullptr);
+    injector.Start();
+    simulator.RunUntil(100000.0);
+    return log;
+  };
+
+  const auto without = crashes(0.0);
+  const auto with = crashes(4000.0);
+  EXPECT_FALSE(without.empty());
+  EXPECT_EQ(without, with);
+}
+
 }  // namespace
 }  // namespace memgoal::sim

@@ -105,6 +105,49 @@ Task<void> HoldAndCount(Simulator* simulator, Resource* resource,
   resource->Release();
 }
 
+TEST(ResourceTest, SlowdownStretchesUse) {
+  Simulator simulator;
+  Resource disk(&simulator, 1, "disk");
+  disk.SetSlowdown(4.0);
+  simulator.Spawn(disk.Use(5.0));
+  simulator.Run();
+  EXPECT_DOUBLE_EQ(simulator.Now(), 20.0);
+  // Lifting the episode restores nominal service times.
+  disk.SetSlowdown(1.0);
+  simulator.Spawn(disk.Use(5.0));
+  simulator.Run();
+  EXPECT_DOUBLE_EQ(simulator.Now(), 25.0);
+}
+
+TEST(ResourceTest, WaitAndBusyQuantiles) {
+  Simulator simulator;
+  Resource disk(&simulator, 1, "disk");
+  // Five simultaneous arrivals at a unit-capacity server: waits are
+  // 0, 10, 20, 30, 40 ms and every busy hold is 10 ms.
+  for (int i = 0; i < 5; ++i) simulator.Spawn(disk.Use(10.0));
+  simulator.Run();
+  const double bucket = Resource::kHistogramMaxMs / Resource::kHistogramBuckets;
+  EXPECT_NEAR(disk.WaitQuantile(0.99), 40.0, bucket + 1e-9);
+  EXPECT_NEAR(disk.WaitQuantile(0.5), 20.0, bucket + 1e-9);
+  EXPECT_NEAR(disk.BusyQuantile(0.5), 10.0, bucket + 1e-9);
+  EXPECT_NEAR(disk.BusyQuantile(0.99), 10.0, bucket + 1e-9);
+}
+
+TEST(ResourceTest, QuantilesSeeSlowdownInflatedTail) {
+  Simulator simulator;
+  Resource disk(&simulator, 1, "disk");
+  for (int i = 0; i < 9; ++i) simulator.Spawn(disk.Use(2.0));
+  simulator.Run();
+  // One gray episode stretches the tenth hold 50x: the p99 busy hold jumps
+  // to the degraded service time while the median stays nominal.
+  disk.SetSlowdown(50.0);
+  simulator.Spawn(disk.Use(2.0));
+  simulator.Run();
+  const double bucket = Resource::kHistogramMaxMs / Resource::kHistogramBuckets;
+  EXPECT_NEAR(disk.BusyQuantile(0.5), 2.0, bucket + 1e-9);
+  EXPECT_NEAR(disk.BusyQuantile(0.99), 100.0, bucket + 1e-9);
+}
+
 TEST(ResourceTest, NeverExceedsCapacity) {
   Simulator simulator;
   Resource resource(&simulator, 3, "r");

@@ -20,6 +20,10 @@
 //                                    — scripted crash/recovery of one node
 //   fault_mttf_ms (0), fault_mttr_ms (10000), fault_seed (1024369),
 //   fault_min_live (1)               — stochastic per-node fault process
+//   degrade_node (-1), degrade_at_ms (0), degrade_factor (10),
+//   restore_at_ms (0)                — scripted gray degradation of one node
+//   fault_mttd_ms (0), fault_degrade_repair_ms (10000),
+//   fault_degrade_factor (10)        — stochastic gray-failure process
 //   crash_detect_timeout_ms (2.0),
 //   classes (2)                      — total class count including class 0
 //   class<i>_goal_ms                 — omit (or 0) for the no-goal class
@@ -116,6 +120,25 @@ int Run(memgoal::common::Config& config) {
       config.GetInt("fault_seed", 0xFA171));
   system_config.faults.min_live_nodes =
       static_cast<uint32_t>(config.GetInt("fault_min_live", 1));
+  const int degrade_node =
+      static_cast<int>(config.GetInt("degrade_node", -1));
+  if (degrade_node >= 0) {
+    const double degrade_at = config.GetDouble("degrade_at_ms", 0.0);
+    const double restore_at = config.GetDouble("restore_at_ms", 0.0);
+    system_config.faults.degradation_script.push_back(
+        {degrade_at, static_cast<uint32_t>(degrade_node), /*begin=*/true,
+         config.GetDouble("degrade_factor", 10.0)});
+    if (restore_at > degrade_at) {
+      system_config.faults.degradation_script.push_back(
+          {restore_at, static_cast<uint32_t>(degrade_node),
+           /*begin=*/false});
+    }
+  }
+  system_config.faults.mttd_ms = config.GetDouble("fault_mttd_ms", 0.0);
+  system_config.faults.degradation_repair_ms =
+      config.GetDouble("fault_degrade_repair_ms", 10000.0);
+  system_config.faults.degradation_factor =
+      config.GetDouble("fault_degrade_factor", 10.0);
   system_config.crash_detect_timeout_ms =
       config.GetDouble("crash_detect_timeout_ms", 2.0);
 
@@ -197,6 +220,12 @@ int Run(memgoal::common::Config& config) {
                  static_cast<unsigned long long>(fault_stats.recoveries),
                  static_cast<unsigned long long>(fault_stats.suppressed),
                  system.fault_injector().nodes_up(), system.num_nodes());
+  }
+  if (fault_stats.degradations > 0) {
+    std::fprintf(
+        stderr, "# gray faults: episodes=%llu lifted=%llu\n",
+        static_cast<unsigned long long>(fault_stats.degradations),
+        static_cast<unsigned long long>(fault_stats.degradation_recoveries));
   }
   const auto& network = system.network();
   std::fprintf(stderr, "# network: %.1f MB total, protocol share %.5f%%\n",
