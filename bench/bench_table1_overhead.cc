@@ -8,12 +8,29 @@
 // three orders of magnitude smaller, but the growth with N — quadratic
 // store/fit, LP growing most slowly — is the reproducible shape.
 
+// Running with `--quick` skips the google-benchmark tables and instead runs
+// the tracing-overhead gate: two identical deterministic cluster runs, one
+// without a tracer and one with a tracer attached but disabled, must agree
+// bit-for-bit on the simulation outcome and stay within a small wall-clock
+// envelope of each other. This is the guard that keeps the disabled tracing
+// path a branch-on-bool.
+
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
 
 #include "common/rng.h"
 #include "core/measure.h"
 #include "core/optimizer.h"
+#include "core/system.h"
 #include "la/matrix.h"
+#include "obs/trace.h"
+#include "workload/spec.h"
 
 namespace memgoal::bench {
 namespace {
@@ -115,7 +132,131 @@ BENCHMARK(BM_Approximation)->Arg(5)->Arg(10)->Arg(20)->Arg(30)->Arg(40)->Arg(50)
 BENCHMARK(BM_Optimization)->Arg(5)->Arg(10)->Arg(20)->Arg(30)->Arg(40)->Arg(50);
 BENCHMARK(BM_Overall)->Arg(5)->Arg(10)->Arg(20)->Arg(30)->Arg(40)->Arg(50);
 
+// -- Tracing-overhead gate (--quick) -----------------------------------------
+
+std::unique_ptr<core::ClusterSystem> BuildGateSystem() {
+  core::SystemConfig config;
+  config.num_nodes = 3;
+  config.cache_bytes_per_node = 2ull << 20;
+  config.db_pages = 2000;
+  config.seed = 7;
+  auto system = std::make_unique<core::ClusterSystem>(config);
+  workload::ClassSpec goal;
+  goal.id = 1;
+  goal.goal_rt_ms = 8.0;
+  goal.pages = {0, 1000};
+  goal.mean_interarrival_ms = 40.0;
+  workload::ClassSpec nogoal;
+  nogoal.id = 0;
+  nogoal.pages = {1000, 2000};
+  nogoal.mean_interarrival_ms = 40.0;
+  system->AddClass(goal);
+  system->AddClass(nogoal);
+  return system;
+}
+
+struct GateRun {
+  double wall_ms = 0.0;
+  uint64_t fingerprint = 0;
+};
+
+// One full deterministic run; `attach_tracer` wires a Tracer that stays
+// disabled, exercising exactly the branch-on-bool no-op path the gate is
+// about. The fingerprint folds every per-class access counter plus the
+// network byte totals, so any behavioral divergence fails loudly.
+GateRun RunGateArm(bool attach_tracer, int intervals) {
+  auto system = BuildGateSystem();
+  obs::Tracer tracer;  // never enabled
+  if (attach_tracer) system->SetTracer(&tracer);
+  const auto start = std::chrono::steady_clock::now();
+  system->Start();
+  system->RunIntervals(intervals);
+  const auto stop = std::chrono::steady_clock::now();
+
+  GateRun run;
+  run.wall_ms =
+      std::chrono::duration<double, std::milli>(stop - start).count();
+  uint64_t fp = 1469598103934665603ull;
+  const auto mix = [&fp](uint64_t v) {
+    fp ^= v;
+    fp *= 1099511628211ull;
+  };
+  for (const workload::ClassSpec& spec : system->classes()) {
+    const core::AccessCounters& counters = system->counters(spec.id);
+    for (uint64_t count : counters.by_level) mix(count);
+    mix(counters.fetch_fallbacks);
+    mix(system->TotalDedicatedBytes(spec.id));
+  }
+  mix(system->network().total_bytes_sent());
+  run.fingerprint = fp;
+  return run;
+}
+
+int RunTracingOverheadGate() {
+  constexpr int kReps = 7;
+  constexpr int kIntervals = 40;
+  constexpr double kMaxOverheadRatio = 1.02;
+  // Floor on the allowed absolute gap: on very fast runs scheduler noise
+  // alone exceeds 2%, and the ratio gate would be measuring the OS, not us.
+  constexpr double kAbsoluteSlackMs = 15.0;
+
+  // Warm-up pass (page cache, allocator arenas), results discarded.
+  (void)RunGateArm(false, kIntervals);
+  (void)RunGateArm(true, kIntervals);
+
+  double plain_min = 0.0;
+  double traced_min = 0.0;
+  uint64_t plain_fp = 0;
+  uint64_t traced_fp = 0;
+  // Interleaved reps so slow drift (thermal, background load) hits both
+  // arms alike; min-of-reps is the standard noise-robust wall estimator.
+  for (int rep = 0; rep < kReps; ++rep) {
+    const GateRun plain = RunGateArm(false, kIntervals);
+    const GateRun traced = RunGateArm(true, kIntervals);
+    plain_min = rep == 0 ? plain.wall_ms : std::min(plain_min, plain.wall_ms);
+    traced_min =
+        rep == 0 ? traced.wall_ms : std::min(traced_min, traced.wall_ms);
+    plain_fp = plain.fingerprint;
+    traced_fp = traced.fingerprint;
+  }
+
+  const double ratio = traced_min / plain_min;
+  std::printf("tracing_overhead_gate: plain=%.2f ms traced=%.2f ms "
+              "ratio=%.4f (limit %.2f, slack %.1f ms)\n",
+              plain_min, traced_min, ratio, kMaxOverheadRatio,
+              kAbsoluteSlackMs);
+  if (plain_fp != traced_fp) {
+    std::fprintf(stderr,
+                 "FAIL: disabled tracer changed the simulation "
+                 "(fingerprint %llu vs %llu)\n",
+                 static_cast<unsigned long long>(plain_fp),
+                 static_cast<unsigned long long>(traced_fp));
+    return 1;
+  }
+  if (ratio > kMaxOverheadRatio &&
+      traced_min - plain_min > kAbsoluteSlackMs) {
+    std::fprintf(stderr,
+                 "FAIL: disabled tracing costs %.1f%% wall clock "
+                 "(limit %.0f%%)\n",
+                 100.0 * (ratio - 1.0), 100.0 * (kMaxOverheadRatio - 1.0));
+    return 1;
+  }
+  std::printf("tracing_overhead_gate: PASS\n");
+  return 0;
+}
+
 }  // namespace
 }  // namespace memgoal::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      return memgoal::bench::RunTracingOverheadGate();
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

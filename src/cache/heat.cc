@@ -47,4 +47,22 @@ int HeatTracker::AccessCount(PageId page) const {
   return it == history_.end() ? 0 : it->second.count;
 }
 
+size_t HeatTracker::EvictColderThan(
+    sim::SimTime horizon, const std::function<bool(PageId)>& retain) {
+  size_t evicted = 0;
+  for (auto it = history_.begin(); it != history_.end();) {
+    const History& h = it->second;
+    const int m = std::min(h.count, k_);
+    const int oldest = ((h.next - m) % k_ + k_) % k_;
+    const sim::SimTime backward_k = h.times[static_cast<size_t>(oldest)];
+    if (backward_k < horizon && (!retain || !retain(it->first))) {
+      it = history_.erase(it);
+      ++evicted;
+    } else {
+      ++it;
+    }
+  }
+  return evicted;
+}
+
 }  // namespace memgoal::cache

@@ -2,6 +2,7 @@
 #define MEMGOAL_CACHE_HEAT_H_
 
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 #include <vector>
 
@@ -18,9 +19,14 @@ namespace memgoal::cache {
 /// from the backward K-distance: with m = min(count, K) recorded accesses
 /// and t_m the m-th most recent access time,
 ///     heat(p, now) = m / (now - t_m + epsilon).
-/// Pages never accessed have heat 0. History survives eviction (the defining
-/// property of LRU-K); memory is bounded by the number of distinct pages a
-/// scope ever touches, which is bounded by the database size.
+/// Pages never accessed have heat 0. History survives cache eviction (the
+/// defining property of LRU-K) so a re-fetched page keeps its frequency
+/// estimate, but it must not survive forever: without pruning, every page
+/// ever touched holds a K-slot record until process exit, so a scan-heavy
+/// workload grows the map without bound. EvictColderThan prunes records
+/// whose backward-K time has fallen behind a caller-chosen horizon — such a
+/// page's heat is indistinguishable from a cold restart anyway — while a
+/// retain predicate protects pages the caller still holds resident.
 class HeatTracker {
  public:
   explicit HeatTracker(int k, double epsilon_ms = 1.0);
@@ -38,6 +44,13 @@ class HeatTracker {
   int AccessCount(PageId page) const;
 
   void Forget(PageId page) { history_.erase(page); }
+
+  /// Drops the history of every page whose backward-K time is older than
+  /// `horizon` and for which `retain` (if given) returns false. Returns the
+  /// number of records evicted. Typical use: horizon = now - a few
+  /// observation intervals, retain = "page is cache-resident".
+  size_t EvictColderThan(sim::SimTime horizon,
+                         const std::function<bool(PageId)>& retain = nullptr);
 
   int k() const { return k_; }
   size_t tracked_pages() const { return history_.size(); }

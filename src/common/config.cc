@@ -1,5 +1,6 @@
 #include "common/config.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <sstream>
 
@@ -25,7 +26,15 @@ bool Config::ParseArgs(int argc, const char* const* argv) {
     // `threads=8` and a bare switch like `--quick` is `quick=1` (which the
     // boolean getter accepts as true).
     const bool dashed = token.rfind("--", 0) == 0;
-    if (dashed) token.erase(0, 2);
+    if (dashed) {
+      token.erase(0, 2);
+      // Dashed keys use the GNU spelling of the underscored scenario key:
+      // `--trace-out=x` is `trace_out=x`. Only the key part is rewritten.
+      const size_t key_end = std::min(token.find('='), token.size());
+      for (size_t j = 0; j < key_end; ++j) {
+        if (token[j] == '-') token[j] = '_';
+      }
+    }
     const size_t eq = token.find('=');
     if (eq == std::string::npos) {
       if (dashed && !token.empty()) {

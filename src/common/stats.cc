@@ -71,10 +71,14 @@ constexpr double kTTable[30][3] = {
 
 constexpr double kZValues[3] = {1.645, 1.960, 2.576};
 
+// Confidence levels may arrive via config parsing or arithmetic, so 0.90
+// can show up as 0.8999999...; match with a tolerance instead of ==.
+constexpr double kLevelTolerance = 1e-6;
+
 int LevelIndex(double level) {
-  if (level == 0.90) return 0;
-  if (level == 0.95) return 1;
-  if (level == 0.99) return 2;
+  if (std::abs(level - 0.90) <= kLevelTolerance) return 0;
+  if (std::abs(level - 0.95) <= kLevelTolerance) return 1;
+  if (std::abs(level - 0.99) <= kLevelTolerance) return 2;
   MEMGOAL_CHECK_MSG(false, "unsupported confidence level");
   return 2;
 }
@@ -143,21 +147,23 @@ void Histogram::Reset() {
   count_ = 0;
 }
 
-double Histogram::Quantile(double q) const {
-  if (count_ == 0) return 0.0;
+Histogram::QuantileValue Histogram::QuantileWithSaturation(double q) const {
+  if (count_ == 0) return {0.0, false};
   MEMGOAL_CHECK(q >= 0.0 && q <= 1.0);
   const double target = q * static_cast<double>(count_);
   double cum = static_cast<double>(underflow_);
-  if (target <= cum) return lo_;
+  if (target <= cum) return {lo_, underflow_ > 0};
   for (size_t i = 0; i < buckets_.size(); ++i) {
     const double next = cum + static_cast<double>(buckets_[i]);
     if (target <= next && buckets_[i] > 0) {
       const double frac = (target - cum) / static_cast<double>(buckets_[i]);
-      return lo_ + (static_cast<double>(i) + frac) * width_;
+      return {lo_ + (static_cast<double>(i) + frac) * width_, false};
     }
     cum = next;
   }
-  return hi_;
+  // The quantile lands in the overflow bucket: hi_ is a lower bound on the
+  // true value, not an estimate of it.
+  return {hi_, true};
 }
 
 }  // namespace memgoal::common

@@ -78,9 +78,22 @@ class Histogram {
   void Reset();
 
   int64_t count() const { return count_; }
-  /// Approximate q-quantile (q in [0,1]). Returns lo/hi bounds for samples
-  /// in the under/overflow buckets. Returns 0 when empty.
-  double Quantile(double q) const;
+
+  /// Quantile result plus whether the value was clipped at a histogram
+  /// bound (the requested quantile fell in the under/overflow bucket, so
+  /// `value` is a bound, not an estimate of the true quantile).
+  struct QuantileValue {
+    double value = 0.0;
+    bool saturated = false;
+  };
+
+  /// Approximate q-quantile (q in [0,1]). Returns lo/hi bounds with
+  /// `saturated` set for samples in the under/overflow buckets. Returns
+  /// {0, false} when empty.
+  QuantileValue QuantileWithSaturation(double q) const;
+
+  /// Value-only convenience wrapper around QuantileWithSaturation.
+  double Quantile(double q) const { return QuantileWithSaturation(q).value; }
 
   const std::vector<int64_t>& buckets() const { return buckets_; }
   int64_t underflow() const { return underflow_; }

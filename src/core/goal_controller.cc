@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 #include "common/check.h"
 #include "common/logging.h"
@@ -139,6 +140,52 @@ void GoalOrientedController::AccumulateLpStats(const LpOutcomeStats& lp) {
   stats_.lp_status_infeasible += lp.infeasible;
   stats_.lp_status_unbounded += lp.unbounded;
   stats_.lp_relaxed_retries += lp.relaxed_retries;
+}
+
+void GoalOrientedController::PublishMetrics(obs::Registry* registry) {
+  registry->GetCounter("ctrl.reports_sent")->Set(stats_.reports_sent);
+  registry->GetCounter("ctrl.checks")->Set(stats_.checks);
+  registry->GetCounter("ctrl.violations")->Set(stats_.violations);
+  registry->GetCounter("ctrl.lp_optimizations")->Set(stats_.lp_optimizations);
+  registry->GetCounter("ctrl.warmup_steps")->Set(stats_.warmup_steps);
+  registry->GetCounter("ctrl.allocation_commands")
+      ->Set(stats_.allocation_commands);
+  registry->GetCounter("ctrl.best_effort_allocations")
+      ->Set(stats_.best_effort_allocations);
+  registry->GetCounter("ctrl.saturations")->Set(stats_.saturations);
+  registry->GetCounter("ctrl.crashes_observed")->Set(stats_.crashes_observed);
+  registry->GetCounter("ctrl.recoveries_observed")
+      ->Set(stats_.recoveries_observed);
+  registry->GetCounter("ctrl.coordinator_failovers")
+      ->Set(stats_.coordinator_failovers);
+  registry->GetCounter("ctrl.store_resets")->Set(stats_.store_resets);
+  registry->GetCounter("ctrl.nonfinite_observations_rejected")
+      ->Set(stats_.nonfinite_observations_rejected);
+  registry->GetCounter("ctrl.degenerate_fit_skips")
+      ->Set(stats_.degenerate_fit_skips);
+  registry->GetCounter("ctrl.lp_status.optimal")->Set(stats_.lp_status_optimal);
+  registry->GetCounter("ctrl.lp_status.infeasible")
+      ->Set(stats_.lp_status_infeasible);
+  registry->GetCounter("ctrl.lp_status.unbounded")
+      ->Set(stats_.lp_status_unbounded);
+  registry->GetCounter("ctrl.lp_relaxed_retries")
+      ->Set(stats_.lp_relaxed_retries);
+  char name[64];
+  for (const auto& [klass, coordinator] : coordinators_) {
+    const MeasureStore& store = coordinator.store;
+    std::snprintf(name, sizeof(name), "class%u.store.rejected_points", klass);
+    registry->GetCounter(name)->Set(store.rejected_points());
+    std::snprintf(name, sizeof(name), "class%u.store.outlier_rejections",
+                  klass);
+    registry->GetCounter(name)->Set(store.outlier_rejections());
+    std::snprintf(name, sizeof(name), "class%u.store.condition_resets", klass);
+    registry->GetCounter(name)->Set(store.condition_resets());
+    std::snprintf(name, sizeof(name), "class%u.store.size", klass);
+    registry->GetGauge(name)->Set(static_cast<double>(store.size()));
+    std::snprintf(name, sizeof(name), "class%u.store.condition_estimate",
+                  klass);
+    registry->GetGauge(name)->Set(store.ConditionEstimate());
+  }
 }
 
 void GoalOrientedController::OnGoalChanged(ClassId klass) {
@@ -310,6 +357,27 @@ sim::Task<void> GoalOrientedController::CoordinatorCheck(
   if (!system_->NodeUp(coordinator->home)) co_return;
 
   ++stats_.checks;
+
+  // Decision log: one record per counted check. The RAII appender fires on
+  // every co_return path (coroutine locals are destroyed at final suspend),
+  // so early exits — no data, within tolerance, degenerate fit — are
+  // logged too; a null sink makes the whole capture a no-op.
+  obs::DecisionLog* decision_log = system_->decision_log();
+  obs::DecisionRecord record;
+  struct RecordAppender {
+    obs::DecisionLog* log;
+    obs::DecisionRecord* record;
+    ~RecordAppender() {
+      if (log != nullptr) log->Append(std::move(*record));
+    }
+  } appender{decision_log, &record};
+  if (decision_log != nullptr) {
+    record.interval = system_->intervals_completed() - 1;
+    record.sim_time_ms = system_->simulator().Now();
+    record.klass = static_cast<int>(coordinator->klass);
+    record.home = static_cast<int>(coordinator->home);
+  }
+
   const std::optional<double> rt_k = WeightedGoalRt(*coordinator);
   if (!rt_k.has_value()) co_return;  // no data yet
   if (!std::isfinite(*rt_k)) {
@@ -335,11 +403,25 @@ sim::Task<void> GoalOrientedController::CoordinatorCheck(
     }
     if (std::isfinite(*rt_0) && AllFinite(allocation) &&
         AllFinite(rt_per_node)) {
-      coordinator->store.ObserveDetailed(allocation, *rt_k, *rt_0,
-                                         rt_per_node);
+      const MeasureStore::ObserveOutcome outcome =
+          coordinator->store.ObserveDetailed(allocation, *rt_k, *rt_0,
+                                             rt_per_node);
+      if (decision_log != nullptr) {
+        record.measure_outcome = MeasureStore::OutcomeName(outcome);
+      }
     } else {
       ++stats_.nonfinite_observations_rejected;
     }
+  }
+  if (decision_log != nullptr) {
+    record.observed_rt_k = *rt_k;
+    record.has_observed_rt_0 = rt_0.has_value();
+    record.observed_rt_0 = rt_0.value_or(0.0);
+    record.goal_rt = goal;
+    record.measured_allocation = allocation;
+    record.condition_estimate = coordinator->store.ConditionEstimate();
+    record.store_ready = coordinator->store.ready();
+    record.store_size = static_cast<int>(coordinator->store.size());
   }
 
   // Phase (c): check against the goal with the tolerance band. Being too
@@ -347,6 +429,7 @@ sim::Task<void> GoalOrientedController::CoordinatorCheck(
   // matters when the class actually holds dedicated buffer that the no-goal
   // class could reclaim.
   const double delta = coordinator->tolerance.Tolerance(goal);
+  if (decision_log != nullptr) record.tolerance_delta = delta;
   const bool too_slow = *rt_k > goal + delta;
   const bool too_fast = *rt_k < goal - delta;
   if (!too_slow && !too_fast) co_return;
@@ -374,7 +457,8 @@ sim::Task<void> GoalOrientedController::CoordinatorCheck(
     for (uint32_t i = 0; i < config.num_nodes; ++i) {
       full[i] = static_cast<double>(coordinator->views[i].bound_bytes);
     }
-    co_await SendAllocations(coordinator, std::move(full));
+    co_await SendAllocations(coordinator, std::move(full),
+                             decision_log != nullptr ? &record : nullptr);
     co_return;
   }
 
@@ -417,6 +501,14 @@ sim::Task<void> GoalOrientedController::CoordinatorCheck(
               ? static_cast<double>(coordinator->views[i].bound_bytes)
               : 0.0;
     }
+    if (decision_log != nullptr) {
+      record.has_planes = true;
+      record.grad_k = planes->grad_k;
+      record.intercept_k = planes->intercept_k;
+      record.grad_0 = planes->grad_0;
+      record.intercept_0 = planes->intercept_0;
+      record.upper_bounds = input.upper_bounds;
+    }
 
     OptimizerMode mode;
     std::optional<std::vector<MeasureStore::NodePlane>> node_planes;
@@ -436,12 +528,33 @@ sim::Task<void> GoalOrientedController::CoordinatorCheck(
       target = std::move(output.allocation);
       mode = output.mode;
       AccumulateLpStats(output.lp_stats);
+      if (decision_log != nullptr) {
+        record.lp_run = true;
+        record.lp_mode = OptimizerModeName(mode);
+        record.relaxed_goal_rt = output.relaxed_goal_rt;
+        record.lp_optimal = output.lp_stats.optimal;
+        record.lp_infeasible = output.lp_stats.infeasible;
+        record.lp_unbounded = output.lp_stats.unbounded;
+        record.lp_relaxed_retries = output.lp_stats.relaxed_retries;
+        record.lp_allocation = target;
+      }
     } else {
       input.planes = std::move(*planes);
       OptimizerOutput output = SolvePartitioning(input);
       target = std::move(output.allocation);
       mode = output.mode;
       AccumulateLpStats(output.lp_stats);
+      if (decision_log != nullptr) {
+        record.lp_run = true;
+        record.lp_mode = OptimizerModeName(mode);
+        record.relaxed_rung = output.relaxed_rung;
+        record.relaxed_goal_rt = output.relaxed_goal_rt;
+        record.lp_optimal = output.lp_stats.optimal;
+        record.lp_infeasible = output.lp_stats.infeasible;
+        record.lp_unbounded = output.lp_stats.unbounded;
+        record.lp_relaxed_retries = output.lp_stats.relaxed_retries;
+        record.lp_allocation = target;
+      }
     }
     ++stats_.lp_optimizations;
     if (mode == OptimizerMode::kBestEffort) {
@@ -542,13 +655,19 @@ sim::Task<void> GoalOrientedController::CoordinatorCheck(
   }
 
   // Phase (e): ship the allocation to the agents.
-  co_await SendAllocations(coordinator, std::move(target));
+  co_await SendAllocations(coordinator, std::move(target),
+                           decision_log != nullptr ? &record : nullptr);
 }
 
 sim::Task<void> GoalOrientedController::SendAllocations(
-    Coordinator* coordinator, la::Vector target) {
+    Coordinator* coordinator, la::Vector target,
+    obs::DecisionRecord* record) {
   const SystemConfig& config = system_->config();
   const uint64_t page = config.page_bytes;
+  if (record != nullptr) {
+    record->shipped_allocation.assign(config.num_nodes, 0.0);
+    record->granted_allocation.assign(config.num_nodes, 0.0);
+  }
   for (uint32_t i = 0; i < config.num_nodes; ++i) {
     // No command is sent to a dead node; its budget restarts from zero
     // after recovery anyway.
@@ -557,6 +676,9 @@ sim::Task<void> GoalOrientedController::SendAllocations(
     // pool's frame-granular capacity.
     uint64_t bytes = static_cast<uint64_t>(std::max(0.0, target[i]));
     bytes = bytes / page * page;
+    if (record != nullptr) {
+      record->shipped_allocation[i] = static_cast<double>(bytes);
+    }
     if (bytes == coordinator->views[i].granted_bytes) continue;
     ++stats_.allocation_commands;
     const bool command_delivered = co_await system_->network().Transfer(
@@ -576,6 +698,12 @@ sim::Task<void> GoalOrientedController::SendAllocations(
     coordinator->views[i].bound_bytes =
         system_->AvailableFor(coordinator->klass, i);
     last_sent_[{coordinator->klass, i}].granted_bytes = granted;
+  }
+  if (record != nullptr) {
+    for (uint32_t i = 0; i < config.num_nodes; ++i) {
+      record->granted_allocation[i] =
+          static_cast<double>(coordinator->views[i].granted_bytes);
+    }
   }
 }
 

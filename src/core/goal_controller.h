@@ -43,6 +43,7 @@ class GoalOrientedController final : public Controller {
   void OnNodeRecover(NodeId node) override;
   double ToleranceFor(ClassId klass) const override;
   LpOutcomeCounters LpOutcomes() const override;
+  void PublishMetrics(obs::Registry* registry) override;
   const char* name() const override { return "goal-oriented"; }
 
   /// Protocol/algorithm activity counters for the overhead experiment and
@@ -147,8 +148,11 @@ class GoalOrientedController final : public Controller {
   sim::Task<void> DeliverNoGoalReport(Coordinator* coordinator, NodeId from,
                                       std::optional<double> rt, double rate);
   sim::Task<void> CoordinatorCheck(Coordinator* coordinator);
-  sim::Task<void> SendAllocations(Coordinator* coordinator,
-                                  la::Vector target);
+  /// Ships `target` to the live agents. When `record` is non-null the
+  /// shipped (post-rounding) and granted (post-clamp, acked) per-node
+  /// allocations are captured into it for the decision log.
+  sim::Task<void> SendAllocations(Coordinator* coordinator, la::Vector target,
+                                  obs::DecisionRecord* record = nullptr);
 
   std::optional<double> WeightedGoalRt(const Coordinator& coordinator) const;
   std::optional<double> WeightedNoGoalRt(const Coordinator& coordinator) const;

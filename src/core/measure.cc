@@ -85,12 +85,50 @@ bool MeasureStore::IsOutlier(double rt_k, double rt_0) {
   return outlier;
 }
 
+const char* MeasureStore::OutcomeName(ObserveOutcome outcome) {
+  switch (outcome) {
+    case ObserveOutcome::kAccepted:
+      return "accepted";
+    case ObserveOutcome::kRefreshed:
+      return "refreshed";
+    case ObserveOutcome::kOutlier:
+      return "outlier";
+    case ObserveOutcome::kRejectedDependent:
+      return "rejected_dependent";
+    case ObserveOutcome::kConditionReset:
+      return "condition_reset";
+  }
+  return "?";
+}
+
+double MeasureStore::ConditionEstimate() const {
+  return inverse_.initialized() ? inverse_.ConditionEstimate() : 0.0;
+}
+
 void MeasureStore::MaybeConditionReset() {
   if (!inverse_.initialized()) return;
   if (inverse_.ConditionEstimate() <= kConditionResetLimit) return;
   ++condition_resets_;
   entries_.clear();
   inverse_ = la::RowReplaceInverse();
+}
+
+bool MeasureStore::RestoreInverse(size_t slot) {
+  // Prefer the exact rank-one undo: putting the stored row back reverses
+  // the failed replacement up to rounding. A full re-inversion would reject
+  // any basis past Gauss's ~1/kSingularTolerance pivot ceiling — far
+  // stricter than kConditionResetLimit — and needlessly reset a
+  // marginal-but-legal store.
+  if (inverse_.ReplaceRow(slot, RowOf(entries_[slot].allocation))) {
+    return true;
+  }
+  const size_t dim = active_.size() + 1;
+  MEMGOAL_DCHECK(entries_.size() == dim);
+  la::Matrix b(dim, dim);
+  for (size_t i = 0; i < dim; ++i) {
+    b.SetRow(i, RowOf(entries_[i].allocation));
+  }
+  return inverse_.Reset(b);
 }
 
 void MeasureStore::TryInitialize() {
@@ -115,20 +153,20 @@ void MeasureStore::TryInitialize() {
   MaybeConditionReset();
 }
 
-void MeasureStore::Observe(const la::Vector& allocation, double rt_k,
-                           double rt_0) {
-  ObserveDetailed(allocation, rt_k, rt_0, la::Vector());
+MeasureStore::ObserveOutcome MeasureStore::Observe(
+    const la::Vector& allocation, double rt_k, double rt_0) {
+  return ObserveDetailed(allocation, rt_k, rt_0, la::Vector());
 }
 
-void MeasureStore::ObserveDetailed(const la::Vector& allocation, double rt_k,
-                                   double rt_0,
-                                   const la::Vector& rt_per_node) {
+MeasureStore::ObserveOutcome MeasureStore::ObserveDetailed(
+    const la::Vector& allocation, double rt_k, double rt_0,
+    const la::Vector& rt_per_node) {
   MEMGOAL_CHECK(allocation.size() == num_nodes_);
   MEMGOAL_CHECK(rt_per_node.empty() || rt_per_node.size() == num_nodes_);
 
   if (IsOutlier(rt_k, rt_0)) {
     ++outlier_rejections_;
-    return;
+    return ObserveOutcome::kOutlier;
   }
 
   const size_t match = FindMatching(allocation);
@@ -139,7 +177,7 @@ void MeasureStore::ObserveDetailed(const la::Vector& allocation, double rt_k,
     entries_[match].rt_0 = rt_0;
     entries_[match].rt_per_node = rt_per_node;
     entries_[match].seq = next_seq_++;
-    return;
+    return ObserveOutcome::kRefreshed;
   }
 
   Entry entry{allocation, rt_k, rt_0, rt_per_node, next_seq_++};
@@ -147,12 +185,15 @@ void MeasureStore::ObserveDetailed(const la::Vector& allocation, double rt_k,
   if (!ready()) {
     entries_.push_back(std::move(entry));
     TryInitialize();
-    return;
+    return ObserveOutcome::kAccepted;
   }
 
   // Full store: replace the oldest point whose replacement keeps the set
-  // affinely independent. The O(N) probe mirrors the paper's incremental
-  // linear-independence test.
+  // affinely independent *and* well-conditioned. The O(N) probe mirrors the
+  // paper's incremental linear-independence test; the condition check runs
+  // before the entry is committed, so a replacement that would degrade the
+  // basis is rolled back and the next-oldest slot is tried instead of
+  // poisoning the store and forcing a reset after the fact.
   std::vector<size_t> order(entries_.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
   std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
@@ -160,15 +201,25 @@ void MeasureStore::ObserveDetailed(const la::Vector& allocation, double rt_k,
   });
   const la::Vector row = RowOf(allocation);
   for (size_t slot : order) {
-    if (inverse_.ReplaceRow(slot, row)) {
+    if (!inverse_.ReplaceRow(slot, row)) continue;
+    if (inverse_.ConditionEstimate() <= kConditionResetLimit) {
       entries_[slot] = std::move(entry);
-      MaybeConditionReset();
-      return;
+      return ObserveOutcome::kAccepted;
+    }
+    if (!RestoreInverse(slot)) {
+      // Both the rank-one undo and the exact re-inversion failed: the
+      // incrementally maintained basis has drifted past usability. Reset
+      // and re-accumulate; the measurement is dropped with the store.
+      ++condition_resets_;
+      entries_.clear();
+      inverse_ = la::RowReplaceInverse();
+      return ObserveOutcome::kConditionReset;
     }
   }
-  // New point lies in the affine hull of every retained subset; keep the
+  // Every replacement was affinely dependent or ill-conditioned; keep the
   // old basis (it still spans the measurement space).
   ++rejected_points_;
+  return ObserveOutcome::kRejectedDependent;
 }
 
 void MeasureStore::Reset() {

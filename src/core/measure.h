@@ -32,10 +32,13 @@ namespace memgoal::core {
 /// poison a hyperplane — a node serving pages 50× slower produces exactly
 /// such excursions. Rejected samples still enter the window, so a genuine
 /// sustained level shift re-centers the median within half a window and is
-/// accepted from then on. Second, after every committed inverse update the
-/// store probes the system matrix's condition estimate; past a sanity
-/// limit the fit would amplify measurement noise into nonsense gradients,
-/// so the store resets and re-accumulates fresh points instead.
+/// accepted from then on. Second, a candidate row replacement that would
+/// push the system matrix's condition estimate past a sanity limit is
+/// rolled back before it is committed — past that limit the fit would
+/// amplify measurement noise into nonsense gradients — and the next-oldest
+/// slot is probed instead; only if the rollback itself fails (the
+/// incrementally maintained inverse has drifted until the basis no longer
+/// inverts exactly) does the store reset and re-accumulate fresh points.
 class MeasureStore {
  public:
   /// Allocations closer than this (bytes, infinity norm) count as the same
@@ -59,18 +62,38 @@ class MeasureStore {
 
   explicit MeasureStore(size_t num_nodes);
 
+  /// What happened to one observed measurement (decision-log vocabulary).
+  enum class ObserveOutcome {
+    /// Entered the store as a new point (warm-up append or committed
+    /// replacement of the oldest compatible slot).
+    kAccepted,
+    /// Matched a stored allocation; refreshed that point's response times.
+    kRefreshed,
+    /// Rejected by the median/MAD outlier filter.
+    kOutlier,
+    /// Every candidate replacement was affinely dependent or would have
+    /// left the basis ill-conditioned; the store kept its old points.
+    kRejectedDependent,
+    /// The maintained inverse had drifted unusably; the store reset and the
+    /// measurement was dropped with it.
+    kConditionReset,
+  };
+
+  static const char* OutcomeName(ObserveOutcome outcome);
+
   /// Records the measurement of one observation interval. `allocation` is
   /// the class's current per-node dedicated buffer vector (bytes); rt_k and
   /// rt_0 are the weighted mean response times of the goal class and of the
   /// no-goal class under that allocation.
-  void Observe(const la::Vector& allocation, double rt_k, double rt_0);
+  ObserveOutcome Observe(const la::Vector& allocation, double rt_k,
+                         double rt_0);
 
   /// Like Observe, but additionally records the goal class's *per-node*
   /// response times (size N), enabling per-node plane fits for the §8
   /// variance-aware objective. Nodes without fresh data should carry the
   /// coordinator's last-known value.
-  void ObserveDetailed(const la::Vector& allocation, double rt_k,
-                       double rt_0, const la::Vector& rt_per_node);
+  ObserveOutcome ObserveDetailed(const la::Vector& allocation, double rt_k,
+                                 double rt_0, const la::Vector& rt_per_node);
 
   /// True once N+1 affinely independent points are held, i.e. hyperplane
   /// fits are possible.
@@ -131,6 +154,10 @@ class MeasureStore {
   /// Number of forced resets triggered by the condition-estimate guard.
   uint64_t condition_resets() const { return condition_resets_; }
 
+  /// Condition estimate ‖B‖∞·‖B⁻¹‖∞ of the current measure-point matrix;
+  /// 0 until ready().
+  double ConditionEstimate() const;
+
  private:
   struct Entry {
     la::Vector allocation;
@@ -156,6 +183,11 @@ class MeasureStore {
 
   // Resets the store if the maintained inverse drifted ill-conditioned.
   void MaybeConditionReset();
+
+  // Undoes an uncommitted replacement of `slot` — first via the exact
+  // rank-one reverse update, then by rebuilding from the retained entries.
+  // False if the basis cannot be recovered either way.
+  bool RestoreInverse(size_t slot);
 
   size_t num_nodes_;
   std::vector<size_t> active_;  // sorted node indices the fit runs over

@@ -1,6 +1,7 @@
 #include "core/optimizer.h"
 
 #include <cmath>
+#include <iterator>
 
 #include "common/check.h"
 #include "la/simplex.h"
@@ -60,13 +61,15 @@ OptimizerOutput SolvePartitioning(const OptimizerInput& input) {
     // before giving up, so a transiently pessimistic fit (e.g. points
     // polluted by a gray-failure episode) still yields a best *aimed*
     // allocation rather than silently keeping the stale one.
-    for (double rho : kGoalRelaxationLadder) {
+    for (size_t rung = 0; rung < std::size(kGoalRelaxationLadder); ++rung) {
       ++output.lp_stats.relaxed_retries;
-      const double relaxed = input.goal_rt * (1.0 + rho);
+      const double relaxed =
+          input.goal_rt * (1.0 + kGoalRelaxationLadder[rung]);
       lp = SolveLp(input, /*equality=*/false, relaxed, &output.lp_stats);
       if (lp.status == la::SimplexStatus::kOptimal) {
         output.mode = OptimizerMode::kGoalRelaxed;
         output.relaxed_goal_rt = relaxed;
+        output.relaxed_rung = static_cast<int>(rung);
         output.allocation = std::move(lp.x);
         break;
       }

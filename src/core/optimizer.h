@@ -57,6 +57,21 @@ struct LpOutcomeStats {
   }
 };
 
+/// Stable label for logs and the decision records.
+inline const char* OptimizerModeName(OptimizerMode mode) {
+  switch (mode) {
+    case OptimizerMode::kGoalEquality:
+      return "goal_equality";
+    case OptimizerMode::kGoalInequality:
+      return "goal_inequality";
+    case OptimizerMode::kGoalRelaxed:
+      return "goal_relaxed";
+    case OptimizerMode::kBestEffort:
+      return "best_effort";
+  }
+  return "?";
+}
+
 /// Relaxation ladder tried when the inequality LP is infeasible: the goal
 /// constraint is re-posed at goal·(1+ρ) for each ρ in order, first feasible
 /// wins. Beyond +50% the best-effort saturation is more honest.
@@ -86,6 +101,9 @@ struct OptimizerOutput {
   double predicted_rt_0 = 0.0;
   /// The relaxed goal actually used (mode == kGoalRelaxed only).
   double relaxed_goal_rt = 0.0;
+  /// Index into kGoalRelaxationLadder of the rung that produced a feasible
+  /// LP (mode == kGoalRelaxed only); -1 otherwise.
+  int relaxed_rung = -1;
   /// Simplex outcome counts of this solve's fallback chain.
   LpOutcomeStats lp_stats;
 };

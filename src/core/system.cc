@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <string>
 #include <utility>
 
@@ -160,6 +161,33 @@ void Node::ResetVolatileState() {
   reported_heat_.clear();
 }
 
+size_t Node::HeatHistorySize() const {
+  size_t total = accumulated_heat_.tracked_pages();
+  for (const auto& [klass, tracker] : class_heat_) {
+    total += tracker.tracked_pages();
+  }
+  return total;
+}
+
+void Node::SweepHeatHistory(sim::SimTime horizon) {
+  const auto resident = [this](PageId page) { return cache_->IsCached(page); };
+  accumulated_heat_.EvictColderThan(horizon, resident);
+  for (auto& [klass, tracker] : class_heat_) {
+    tracker.EvictColderThan(horizon, resident);
+  }
+  // Hint bookkeeping for pages whose history just aged out would otherwise
+  // grow the same way; a page without history and without residency will be
+  // re-reported from scratch if it ever comes back.
+  for (auto it = reported_heat_.begin(); it != reported_heat_.end();) {
+    if (accumulated_heat_.AccessCount(it->first) == 0 &&
+        !cache_->IsCached(it->first)) {
+      it = reported_heat_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
 void Node::HandleDrops(const std::vector<PageId>& dropped) {
   for (PageId page : dropped) {
     system_->directory().OnPageDropped(id_, page);
@@ -247,14 +275,37 @@ sim::Task<StorageLevel> Node::AccessPage(ClassId klass, PageId page) {
   net::PageDirectory& directory = system_->directory();
   const uint64_t start_epoch = system_->NodeEpoch(id_);
 
+  // Request spans: one trace track per page access, phases as sub-spans.
+  // When no tracer is attached or it is disabled, every emission below
+  // reduces to this one bool test.
+  obs::Tracer* tracer = system_->tracer();
+  const bool tracing = tracer != nullptr && tracer->enabled();
+  const uint64_t track = tracing ? tracer->NextTrack() : 0;
+  const sim::SimTime access_start = system_->simulator().Now();
+  const auto emit_access_span = [&](StorageLevel level) {
+    char args[96];
+    std::snprintf(args, sizeof(args),
+                  "{\"class\":%u,\"page\":%u,\"level\":\"%s\"}",
+                  static_cast<unsigned>(klass), static_cast<unsigned>(page),
+                  StorageLevelName(level));
+    tracer->Complete("access", "access", id_, track, access_start,
+                     system_->simulator().Now(), args);
+  };
+
   RecordAccessHeat(klass, page);
   co_await UseCpu(config.instr_buffer_access);
   if (CrashedSince(start_epoch)) co_return StorageLevel::kLocalBuffer;
 
   cache::NodeCache::AccessResult access = cache_->OnAccess(klass, page);
   HandleDrops(access.dropped);
+  if (tracing) {
+    tracer->Complete("cache_probe", "access", id_, track, access_start,
+                     system_->simulator().Now(),
+                     access.hit ? "{\"hit\":true}" : "{\"hit\":false}");
+  }
   if (access.hit) {
     system_->CountAccess(klass, StorageLevel::kLocalBuffer);
+    if (tracing) emit_access_span(StorageLevel::kLocalBuffer);
     co_return StorageLevel::kLocalBuffer;
   }
 
@@ -273,6 +324,12 @@ sim::Task<StorageLevel> Node::AccessPage(ClassId klass, PageId page) {
   // disk fallback. Disks survive crashes (the NOW's disks are dual-ported),
   // so a dead home's pages stay readable from its disk at remote-disk cost.
   const std::vector<NodeId> candidates = directory.RankedCopies(page, id_);
+  if (tracing) {
+    char args[48];
+    std::snprintf(args, sizeof(args), "{\"copies\":%zu}", candidates.size());
+    tracer->Instant("dir_lookup", "access", id_, track,
+                    system_->simulator().Now(), args);
+  }
   auto state = std::make_shared<FetchState>();
   state->started_ms = system_->simulator().Now();
   int failed_attempts = 0;
@@ -280,6 +337,13 @@ sim::Task<StorageLevel> Node::AccessPage(ClassId klass, PageId page) {
   for (size_t phase = 0; phase < max_attempts && !state->delivered;
        ++phase) {
     const NodeId target = candidates[phase];
+    if (tracing && phase > 0) {
+      char args[48];
+      std::snprintf(args, sizeof(args), "{\"target\":%u}",
+                    static_cast<unsigned>(target));
+      tracer->Instant("hedge", "access", id_, track,
+                      system_->simulator().Now(), args);
+    }
     state->phase_events.push_back(
         std::make_unique<sim::Event>(&system_->simulator()));
     sim::Event* event = state->phase_events.back().get();
@@ -292,10 +356,23 @@ sim::Task<StorageLevel> Node::AccessPage(ClassId klass, PageId page) {
     if (!state->delivered) {
       ++failed_attempts;
       system_->RecordFetchTimeout(target, config.crash_detect_timeout_ms);
+      if (tracing) {
+        char args[48];
+        std::snprintf(args, sizeof(args), "{\"target\":%u}",
+                      static_cast<unsigned>(target));
+        tracer->Instant("fetch_timeout", "access", id_, track,
+                        system_->simulator().Now(), args);
+      }
     }
   }
   state->wake = nullptr;
   state->abandoned = !state->delivered;
+  if (tracing && max_attempts > 0) {
+    tracer->Complete("fetch_wait", "access", id_, track, state->started_ms,
+                     system_->simulator().Now(),
+                     state->delivered ? "{\"delivered\":true}"
+                                      : "{\"delivered\":false}");
+  }
 
   if (state->delivered) {
     level = StorageLevel::kRemoteBuffer;
@@ -306,9 +383,15 @@ sim::Task<StorageLevel> Node::AccessPage(ClassId klass, PageId page) {
           std::min(config.fetch_backoff_base_ms *
                        std::pow(2.0, failed_attempts - 1),
                    config.fetch_backoff_max_ms);
+      const sim::SimTime backoff_start = system_->simulator().Now();
       co_await system_->simulator().Delay(backoff);
+      if (tracing) {
+        tracer->Complete("backoff", "access", id_, track, backoff_start,
+                         system_->simulator().Now());
+      }
       system_->CountFetchFallback(klass);
     }
+    const sim::SimTime disk_start = system_->simulator().Now();
     if (home == id_) {
       co_await disk_.ReadPage();
       level = StorageLevel::kLocalDisk;
@@ -330,6 +413,13 @@ sim::Task<StorageLevel> Node::AccessPage(ClassId klass, PageId page) {
                                 net::TrafficClass::kPage);
       level = StorageLevel::kRemoteDisk;
     }
+    if (tracing) {
+      char args[48];
+      std::snprintf(args, sizeof(args), "{\"home\":%u}",
+                    static_cast<unsigned>(home));
+      tracer->Complete("disk_read", "access", id_, track, disk_start,
+                       system_->simulator().Now(), args);
+    }
   }
 
   // Our own node may have crashed while we fetched: the wiped (or freshly
@@ -347,6 +437,7 @@ sim::Task<StorageLevel> Node::AccessPage(ClassId klass, PageId page) {
     HandleDrops(touch.dropped);
   }
   system_->CountAccess(klass, level);
+  if (tracing) emit_access_span(level);
   co_return level;
 }
 
@@ -424,6 +515,16 @@ void ClusterSystem::SetController(std::unique_ptr<Controller> controller) {
   controller_ = std::move(controller);
 }
 
+void ClusterSystem::SetTracer(obs::Tracer* tracer) {
+  tracer_ = tracer;
+  network_.SetTracer(tracer);
+  if (tracer != nullptr && tracer->enabled()) {
+    for (NodeId i = 0; i < config_.num_nodes; ++i) {
+      tracer->SetProcessName(i, "node" + std::to_string(i));
+    }
+  }
+}
+
 void ClusterSystem::SetIntervalCallback(IntervalCallback callback) {
   interval_callback_ = std::move(callback);
 }
@@ -432,6 +533,21 @@ void ClusterSystem::Start() {
   MEMGOAL_CHECK(!started_);
   MEMGOAL_CHECK_MSG(!classes_.empty(), "no workload classes configured");
   started_ = true;
+  // Resource histograms live as long as the system; register the views once
+  // so every interval snapshot carries their quantiles with saturation
+  // state.
+  char name[64];
+  for (NodeId i = 0; i < config_.num_nodes; ++i) {
+    std::snprintf(name, sizeof(name), "node%u.cpu.wait_ms", i);
+    registry_.RegisterHistogram(name, &nodes_[i]->cpu().wait_histogram(),
+                                {0.5, 0.99});
+    std::snprintf(name, sizeof(name), "node%u.disk.wait_ms", i);
+    registry_.RegisterHistogram(name, &nodes_[i]->disk().resource().wait_histogram(),
+                                {0.5, 0.99});
+  }
+  registry_.RegisterHistogram("net.medium.wait_ms",
+                              &network_.medium().wait_histogram(),
+                              {0.5, 0.99});
   controller_->Attach(this);
   for (const workload::ClassSpec& spec : classes_) {
     for (NodeId i = 0; i < config_.num_nodes; ++i) {
@@ -724,12 +840,73 @@ sim::Task<void> ClusterSystem::IntervalLoop() {
     }
     metrics_.Append(record);
 
+    // Bounded-memory sweep of the LRU-K heat histories: records of
+    // non-resident pages whose backward-K time fell behind the horizon are
+    // dropped (their heat is indistinguishable from never-seen by now).
+    if (config_.heat_horizon_intervals > 0.0) {
+      const sim::SimTime horizon =
+          simulator_.Now() -
+          config_.heat_horizon_intervals * config_.observation_interval_ms;
+      if (horizon > 0.0) {
+        for (auto& node : nodes_) node->SweepHeatHistory(horizon);
+      }
+    }
+
     // The user callback runs before the controller so that goal changes
     // made in reaction to this interval (e.g. the experiment protocol of
     // §7.1) are visible to the controller's check of the same interval.
     if (interval_callback_) interval_callback_(metrics_.back());
     controller_->OnIntervalEnd(index);
+    PublishRegistrySnapshot(index);
   }
+}
+
+void ClusterSystem::PublishRegistrySnapshot(int interval_index) {
+  char name[64];
+  for (const auto& [klass, counters] : counters_) {
+    for (int level = 0; level < 4; ++level) {
+      std::snprintf(name, sizeof(name), "class%u.access.%s",
+                    static_cast<unsigned>(klass),
+                    StorageLevelName(static_cast<StorageLevel>(level)));
+      registry_.GetCounter(name)->Set(counters.by_level[level]);
+    }
+    std::snprintf(name, sizeof(name), "class%u.fetch_fallbacks",
+                  static_cast<unsigned>(klass));
+    registry_.GetCounter(name)->Set(counters.fetch_fallbacks);
+  }
+  for (const workload::ClassSpec& class_spec : classes_) {
+    std::snprintf(name, sizeof(name), "class%u.rt.observed_ms",
+                  static_cast<unsigned>(class_spec.id));
+    registry_.GetGauge(name)->Set(WeightedRt(class_spec.id).value_or(0.0));
+    if (class_spec.goal_rt_ms.has_value()) {
+      std::snprintf(name, sizeof(name), "class%u.rt.goal_ms",
+                    static_cast<unsigned>(class_spec.id));
+      registry_.GetGauge(name)->Set(*class_spec.goal_rt_ms);
+      std::snprintf(name, sizeof(name), "class%u.dedicated_bytes",
+                    static_cast<unsigned>(class_spec.id));
+      registry_.GetGauge(name)->Set(
+          static_cast<double>(TotalDedicatedBytes(class_spec.id)));
+    }
+  }
+  for (int tc = 0; tc < net::kNumTrafficClasses; ++tc) {
+    const auto traffic_class = static_cast<net::TrafficClass>(tc);
+    const char* tc_name = net::TrafficClassName(traffic_class);
+    std::snprintf(name, sizeof(name), "net.bytes.%s", tc_name);
+    registry_.GetCounter(name)->Set(network_.bytes_sent(traffic_class));
+    std::snprintf(name, sizeof(name), "net.msgs.%s", tc_name);
+    registry_.GetCounter(name)->Set(network_.messages_sent(traffic_class));
+    std::snprintf(name, sizeof(name), "net.dropped.%s", tc_name);
+    registry_.GetCounter(name)->Set(network_.messages_dropped(traffic_class));
+  }
+  registry_.GetGauge("cluster.nodes_up")
+      ->Set(static_cast<double>(fault_injector_.nodes_up()));
+  for (NodeId i = 0; i < config_.num_nodes; ++i) {
+    std::snprintf(name, sizeof(name), "node%u.heat.tracked_pages", i);
+    registry_.GetGauge(name)->Set(
+        static_cast<double>(nodes_[i]->HeatHistorySize()));
+  }
+  controller_->PublishMetrics(&registry_);
+  registry_.TakeSnapshot(interval_index, simulator_.Now());
 }
 
 void ClusterSystem::RunIntervals(int count) {

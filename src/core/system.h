@@ -16,6 +16,9 @@
 #include "core/metrics.h"
 #include "net/directory.h"
 #include "net/network.h"
+#include "obs/decision_log.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "sim/fault_injector.h"
 #include "sim/resource.h"
 #include "sim/simulator.h"
@@ -121,6 +124,16 @@ struct SystemConfig {
   /// heat changed by more than this relative factor (threshold-based
   /// dissemination).
   double hint_heat_threshold = 0.2;
+  /// Heat-history retention horizon in observation intervals: once per
+  /// interval each node drops LRU-K records of non-resident pages whose
+  /// backward-K time is older than `heat_horizon_intervals` intervals, so
+  /// the trackers stay bounded under scan workloads instead of keeping a
+  /// K-slot record for every page ever touched. 0 disables the sweep. The
+  /// default is deliberately long: pages that old carry near-zero heat, so
+  /// pruning them bounds memory without perturbing victim selection (short
+  /// horizons measurably flatten the memory/response-time curve at low
+  /// access skew).
+  double heat_horizon_intervals = 64.0;
 
   // -- Message sizes (bytes) ------------------------------------------------
   uint32_t control_msg_bytes = 64;
@@ -175,6 +188,11 @@ class Controller {
   /// controllers that never solve an LP.
   virtual LpOutcomeCounters LpOutcomes() const { return {}; }
 
+  /// Mirrors the controller's internal counters into the unified metrics
+  /// registry; called once per observation interval just before the
+  /// registry snapshot. Default: publishes nothing.
+  virtual void PublishMetrics(obs::Registry* /*registry*/) {}
+
   virtual const char* name() const = 0;
 };
 
@@ -205,6 +223,10 @@ class Node {
   /// Drops pages from the directory and emits hint traffic; used by the
   /// system when allocations shrink pools.
   void HandleDrops(const std::vector<PageId>& dropped);
+
+  /// Total LRU-K history records held across the accumulated and per-class
+  /// heat trackers (bounded-memory regression tests).
+  size_t HeatHistorySize() const;
 
  private:
   friend class ClusterSystem;
@@ -247,6 +269,10 @@ class Node {
   /// True if this node crashed (epoch moved) or is down since `epoch` was
   /// captured; in-flight accesses abort instead of touching the wiped cache.
   bool CrashedSince(uint64_t epoch) const;
+
+  /// Drops heat history older than `horizon` for pages no longer resident
+  /// in this node's cache, and the matching stale hint bookkeeping.
+  void SweepHeatHistory(sim::SimTime horizon);
 
   sim::Task<void> UseCpu(double instructions);
   sim::Task<void> DeliverHeatReport(NodeId home, PageId page, double heat);
@@ -348,6 +374,23 @@ class ClusterSystem {
   const AccessCounters& counters(ClassId klass) const;
   int intervals_completed() const { return intervals_completed_; }
 
+  // -- Observability ---------------------------------------------------------
+
+  /// Attaches a request tracer (spans on the page-access and network paths).
+  /// Null detaches. Must outlive the system's runs; the caller owns it and
+  /// controls Enable().
+  void SetTracer(obs::Tracer* tracer);
+  obs::Tracer* tracer() { return tracer_; }
+
+  /// Attaches a controller decision-log sink (one record per goal-class
+  /// check). Null detaches; the caller owns the log.
+  void SetDecisionLog(obs::DecisionLog* log) { decision_log_ = log; }
+  obs::DecisionLog* decision_log() { return decision_log_; }
+
+  /// Unified metrics registry, snapshotted once per observation interval.
+  obs::Registry& registry() { return registry_; }
+  const obs::Registry& registry() const { return registry_; }
+
   /// Last completed interval's raw observation for (klass, node).
   struct Observation {
     double mean_rt_ms = 0.0;           // 0 when nothing completed
@@ -408,6 +451,10 @@ class ClusterSystem {
                                std::vector<PageId> pages);
   sim::Task<void> IntervalLoop();
 
+  /// Mirrors system-level counters/gauges into the registry and takes the
+  /// per-interval snapshot (after the controller published its own).
+  void PublishRegistrySnapshot(int interval_index);
+
   /// Crash instant: atomically wipe the node's cache, directory
   /// registrations and heat bookkeeping, then notify the controller.
   void HandleNodeCrash(NodeId node);
@@ -448,6 +495,10 @@ class ClusterSystem {
   MetricsLog metrics_;
   int intervals_completed_ = 0;
   std::vector<double> health_ewma_;  // [node] fetch-latency EWMA, ms
+
+  obs::Tracer* tracer_ = nullptr;
+  obs::DecisionLog* decision_log_ = nullptr;
+  obs::Registry registry_;
 };
 
 }  // namespace memgoal::core

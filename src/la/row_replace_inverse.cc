@@ -49,10 +49,14 @@ bool RowReplaceInverse::ReplaceRow(size_t row, const Vector& new_row) {
     Matrix updated = a_;
     updated.SetRow(row, new_row);
     if (Reset(updated)) return true;
-    // The exact inversion disagreed with the O(n) probe near the tolerance
-    // boundary; treat as singular and keep the previous state.
-    MEMGOAL_CHECK(Reset(a_));
-    return false;
+    // The exact re-inversion gave up even though the O(n) probe passed:
+    // Gauss pivoting rejects matrices around condition 1/kSingularTolerance,
+    // well before the incremental update loses meaning. Defer the refresh
+    // and fall through to the rank-one update; callers with stricter needs
+    // gate on ConditionEstimate(). The failed Reset() only cleared the
+    // initialized flag — a_ and inverse_ are assigned on success alone.
+    initialized_ = true;
+    updates_since_refresh_ = kRefreshInterval;
   }
 
   // u = A^{-1} e_row (column `row` of the inverse);

@@ -1,6 +1,7 @@
 #include "net/network.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "common/check.h"
 
@@ -88,16 +89,28 @@ sim::Task<bool> Network::Transfer(NodeId from, NodeId to, uint32_t bytes,
   if (from == to) co_return true;
   bytes_sent_[static_cast<int>(traffic_class)] += bytes;
   ++messages_sent_[static_cast<int>(traffic_class)];
+  const sim::SimTime start = simulator_->Now();
   co_await medium_.Acquire();
   co_await simulator_->Delay(TransmissionTime(bytes));
   medium_.Release();
   co_await simulator_->Delay(params_.latency_ms *
                              std::max(NodeSlowdown(from), NodeSlowdown(to)));
+  bool delivered = true;
   if (IsBestEffort(traffic_class) && DrawLoss()) {
     ++messages_dropped_[static_cast<int>(traffic_class)];
-    co_return false;
+    delivered = false;
   }
-  co_return true;
+  if (tracer_ && tracer_->enabled()) {
+    char args[128];
+    std::snprintf(args, sizeof(args),
+                  "{\"to\":%u,\"bytes\":%u,\"class\":\"%s\",\"delivered\":%s}",
+                  static_cast<unsigned>(to), bytes,
+                  TrafficClassName(traffic_class),
+                  delivered ? "true" : "false");
+    tracer_->Complete("net_transfer", "net", static_cast<uint32_t>(from),
+                      tracer_->NextTrack(), start, simulator_->Now(), args);
+  }
+  co_return delivered;
 }
 
 uint64_t Network::total_bytes_sent() const {

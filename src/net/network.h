@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "obs/trace.h"
 #include "sim/resource.h"
 #include "sim/simulator.h"
 #include "sim/task.h"
@@ -114,6 +115,11 @@ class Network {
 
   const sim::Resource& medium() const { return medium_; }
 
+  /// Attaches a tracer; each cross-node transfer then emits a "net_transfer"
+  /// complete span (cat "net") covering queueing + transmission + latency.
+  /// Null (the default) disables emission entirely.
+  void SetTracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
   /// Current Gilbert–Elliott channel state (burst mode; tests).
   bool in_burst() const { return burst_bad_; }
 
@@ -124,6 +130,7 @@ class Network {
 
   sim::Simulator* simulator_;
   Params params_;
+  obs::Tracer* tracer_ = nullptr;
   sim::Resource medium_;
   common::Rng loss_rng_;
   bool burst_bad_ = false;

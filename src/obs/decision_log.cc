@@ -1,0 +1,251 @@
+#include "obs/decision_log.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace memgoal::obs {
+
+namespace {
+
+void AppendDouble(std::string* out, double v) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", v);
+  *out += buffer;
+}
+
+void AppendField(std::string* out, const char* key, double v) {
+  *out += ",\"";
+  *out += key;
+  *out += "\":";
+  AppendDouble(out, v);
+}
+
+void AppendField(std::string* out, const char* key, int v) {
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), ",\"%s\":%d", key, v);
+  *out += buffer;
+}
+
+void AppendField(std::string* out, const char* key, uint64_t v) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), ",\"%s\":%" PRIu64, key, v);
+  *out += buffer;
+}
+
+void AppendField(std::string* out, const char* key, bool v) {
+  *out += ",\"";
+  *out += key;
+  *out += v ? "\":true" : "\":false";
+}
+
+/// Values are controlled enum-ish strings ("accepted", "goal_relaxed", ...),
+/// never free text, so no escaping is needed.
+void AppendField(std::string* out, const char* key, const std::string& v) {
+  *out += ",\"";
+  *out += key;
+  *out += "\":\"";
+  *out += v;
+  *out += '"';
+}
+
+void AppendField(std::string* out, const char* key,
+                 const std::vector<double>& v) {
+  *out += ",\"";
+  *out += key;
+  *out += "\":[";
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) *out += ',';
+    AppendDouble(out, v[i]);
+  }
+  *out += ']';
+}
+
+/// Returns the position just past `"key":`, or npos.
+size_t FindValue(const std::string& json, const char* key) {
+  std::string needle = "\"";
+  needle += key;
+  needle += "\":";
+  const size_t pos = json.find(needle);
+  if (pos == std::string::npos) return std::string::npos;
+  return pos + needle.size();
+}
+
+bool ParseDouble(const std::string& json, const char* key, double* out) {
+  const size_t pos = FindValue(json, key);
+  if (pos == std::string::npos) return false;
+  char* end = nullptr;
+  *out = std::strtod(json.c_str() + pos, &end);
+  return end != json.c_str() + pos;
+}
+
+bool ParseInt(const std::string& json, const char* key, int* out) {
+  double v = 0.0;
+  if (!ParseDouble(json, key, &v)) return false;
+  *out = static_cast<int>(v);
+  return true;
+}
+
+bool ParseU64(const std::string& json, const char* key, uint64_t* out) {
+  const size_t pos = FindValue(json, key);
+  if (pos == std::string::npos) return false;
+  char* end = nullptr;
+  *out = std::strtoull(json.c_str() + pos, &end, 10);
+  return end != json.c_str() + pos;
+}
+
+bool ParseBool(const std::string& json, const char* key, bool* out) {
+  const size_t pos = FindValue(json, key);
+  if (pos == std::string::npos) return false;
+  if (json.compare(pos, 4, "true") == 0) {
+    *out = true;
+    return true;
+  }
+  if (json.compare(pos, 5, "false") == 0) {
+    *out = false;
+    return true;
+  }
+  return false;
+}
+
+bool ParseString(const std::string& json, const char* key, std::string* out) {
+  size_t pos = FindValue(json, key);
+  if (pos == std::string::npos || pos >= json.size() || json[pos] != '"') {
+    return false;
+  }
+  ++pos;
+  const size_t close = json.find('"', pos);
+  if (close == std::string::npos) return false;
+  *out = json.substr(pos, close - pos);
+  return true;
+}
+
+bool ParseArray(const std::string& json, const char* key,
+                std::vector<double>* out) {
+  size_t pos = FindValue(json, key);
+  if (pos == std::string::npos || pos >= json.size() || json[pos] != '[') {
+    return false;
+  }
+  out->clear();
+  ++pos;
+  while (pos < json.size() && json[pos] != ']') {
+    char* end = nullptr;
+    const double v = std::strtod(json.c_str() + pos, &end);
+    if (end == json.c_str() + pos) return false;
+    out->push_back(v);
+    pos = static_cast<size_t>(end - json.c_str());
+    if (pos < json.size() && json[pos] == ',') ++pos;
+  }
+  return pos < json.size();
+}
+
+}  // namespace
+
+std::string DecisionRecord::ToJson() const {
+  std::string out;
+  out.reserve(1024);
+  out += "{\"interval\":";
+  {
+    char buffer[16];
+    std::snprintf(buffer, sizeof(buffer), "%d", interval);
+    out += buffer;
+  }
+  AppendField(&out, "sim_time_ms", sim_time_ms);
+  AppendField(&out, "class", klass);
+  AppendField(&out, "home", home);
+  AppendField(&out, "observed_rt_k", observed_rt_k);
+  AppendField(&out, "has_observed_rt_0", has_observed_rt_0);
+  AppendField(&out, "observed_rt_0", observed_rt_0);
+  AppendField(&out, "goal_rt", goal_rt);
+  AppendField(&out, "tolerance_delta", tolerance_delta);
+  AppendField(&out, "measure_outcome", measure_outcome);
+  AppendField(&out, "measured_allocation", measured_allocation);
+  AppendField(&out, "condition_estimate", condition_estimate);
+  AppendField(&out, "store_ready", store_ready);
+  AppendField(&out, "store_size", store_size);
+  AppendField(&out, "has_planes", has_planes);
+  AppendField(&out, "grad_k", grad_k);
+  AppendField(&out, "intercept_k", intercept_k);
+  AppendField(&out, "grad_0", grad_0);
+  AppendField(&out, "intercept_0", intercept_0);
+  AppendField(&out, "upper_bounds", upper_bounds);
+  AppendField(&out, "lp_run", lp_run);
+  AppendField(&out, "lp_mode", lp_mode);
+  AppendField(&out, "relaxed_rung", relaxed_rung);
+  AppendField(&out, "relaxed_goal_rt", relaxed_goal_rt);
+  AppendField(&out, "lp_optimal", lp_optimal);
+  AppendField(&out, "lp_infeasible", lp_infeasible);
+  AppendField(&out, "lp_unbounded", lp_unbounded);
+  AppendField(&out, "lp_relaxed_retries", lp_relaxed_retries);
+  AppendField(&out, "lp_allocation", lp_allocation);
+  AppendField(&out, "shipped_allocation", shipped_allocation);
+  AppendField(&out, "granted_allocation", granted_allocation);
+  out += '}';
+  return out;
+}
+
+bool DecisionRecord::FromJson(const std::string& json, DecisionRecord* out) {
+  DecisionRecord rec;
+  if (!ParseInt(json, "interval", &rec.interval)) return false;
+  if (!ParseDouble(json, "sim_time_ms", &rec.sim_time_ms)) return false;
+  if (!ParseInt(json, "class", &rec.klass)) return false;
+  if (!ParseInt(json, "home", &rec.home)) return false;
+  if (!ParseDouble(json, "observed_rt_k", &rec.observed_rt_k)) return false;
+  if (!ParseBool(json, "has_observed_rt_0", &rec.has_observed_rt_0)) {
+    return false;
+  }
+  if (!ParseDouble(json, "observed_rt_0", &rec.observed_rt_0)) return false;
+  if (!ParseDouble(json, "goal_rt", &rec.goal_rt)) return false;
+  if (!ParseDouble(json, "tolerance_delta", &rec.tolerance_delta)) {
+    return false;
+  }
+  if (!ParseString(json, "measure_outcome", &rec.measure_outcome)) {
+    return false;
+  }
+  if (!ParseArray(json, "measured_allocation", &rec.measured_allocation)) {
+    return false;
+  }
+  if (!ParseDouble(json, "condition_estimate", &rec.condition_estimate)) {
+    return false;
+  }
+  if (!ParseBool(json, "store_ready", &rec.store_ready)) return false;
+  if (!ParseInt(json, "store_size", &rec.store_size)) return false;
+  if (!ParseBool(json, "has_planes", &rec.has_planes)) return false;
+  if (!ParseArray(json, "grad_k", &rec.grad_k)) return false;
+  if (!ParseDouble(json, "intercept_k", &rec.intercept_k)) return false;
+  if (!ParseArray(json, "grad_0", &rec.grad_0)) return false;
+  if (!ParseDouble(json, "intercept_0", &rec.intercept_0)) return false;
+  if (!ParseArray(json, "upper_bounds", &rec.upper_bounds)) return false;
+  if (!ParseBool(json, "lp_run", &rec.lp_run)) return false;
+  if (!ParseString(json, "lp_mode", &rec.lp_mode)) return false;
+  if (!ParseInt(json, "relaxed_rung", &rec.relaxed_rung)) return false;
+  if (!ParseDouble(json, "relaxed_goal_rt", &rec.relaxed_goal_rt)) {
+    return false;
+  }
+  if (!ParseU64(json, "lp_optimal", &rec.lp_optimal)) return false;
+  if (!ParseU64(json, "lp_infeasible", &rec.lp_infeasible)) return false;
+  if (!ParseU64(json, "lp_unbounded", &rec.lp_unbounded)) return false;
+  if (!ParseU64(json, "lp_relaxed_retries", &rec.lp_relaxed_retries)) {
+    return false;
+  }
+  if (!ParseArray(json, "lp_allocation", &rec.lp_allocation)) return false;
+  if (!ParseArray(json, "shipped_allocation", &rec.shipped_allocation)) {
+    return false;
+  }
+  if (!ParseArray(json, "granted_allocation", &rec.granted_allocation)) {
+    return false;
+  }
+  *out = std::move(rec);
+  return true;
+}
+
+void DecisionLog::WriteJsonl(std::FILE* out) const {
+  for (const DecisionRecord& record : records_) {
+    const std::string line = record.ToJson();
+    std::fwrite(line.data(), 1, line.size(), out);
+    std::fputc('\n', out);
+  }
+}
+
+}  // namespace memgoal::obs

@@ -1,0 +1,98 @@
+#ifndef MEMGOAL_OBS_DECISION_LOG_H_
+#define MEMGOAL_OBS_DECISION_LOG_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace memgoal::obs {
+
+/// One structured record per controller observation interval, tracing the
+/// full feedback chain of the paper's method: the measure point (accepted
+/// or rejected, and why), the basis condition estimate, the fitted plane
+/// coefficients, the LP status including which relaxation rung fired, and
+/// the shipped vs. clamped vs. granted per-node allocation.
+///
+/// Doubles serialize with %.17g, so a record round-trips bit-exactly: the
+/// replay test parses one record and re-runs SolvePartitioning on the
+/// logged {planes, goal, bounds} to reproduce the logged allocation
+/// bit-for-bit. Stage fields are optional (has_* / *_run flags) because a
+/// check can exit early — e.g. no finished requests, within tolerance, or
+/// a warm-up resize that never reaches the LP.
+struct DecisionRecord {
+  int interval = 0;
+  double sim_time_ms = 0.0;
+  int klass = 0;
+  int home = 0;
+
+  // Measurement stage.
+  double observed_rt_k = 0.0;
+  bool has_observed_rt_0 = false;
+  double observed_rt_0 = 0.0;
+  double goal_rt = 0.0;
+  double tolerance_delta = 0.0;
+  /// "accepted", "refreshed", "outlier", "rejected_dependent",
+  /// "condition_reset", or "" when no measurement was recorded.
+  std::string measure_outcome;
+  std::vector<double> measured_allocation;
+  double condition_estimate = 0.0;
+  bool store_ready = false;
+  int store_size = 0;
+
+  // Approximation stage.
+  bool has_planes = false;
+  std::vector<double> grad_k;
+  double intercept_k = 0.0;
+  std::vector<double> grad_0;
+  double intercept_0 = 0.0;
+
+  // Optimization stage.
+  std::vector<double> upper_bounds;
+  bool lp_run = false;
+  /// "goal_equality", "goal_inequality", "goal_relaxed", "best_effort".
+  std::string lp_mode;
+  /// Index into kGoalRelaxationLadder that produced a feasible LP, or -1.
+  int relaxed_rung = -1;
+  double relaxed_goal_rt = 0.0;
+  uint64_t lp_optimal = 0;
+  uint64_t lp_infeasible = 0;
+  uint64_t lp_unbounded = 0;
+  uint64_t lp_relaxed_retries = 0;
+  /// Raw LP solution before damping/clamping/rounding.
+  std::vector<double> lp_allocation;
+
+  // Actuation stage.
+  /// What SendAllocations asked each node for after damping and frame
+  /// rounding ("" / empty when the check exited before resizing).
+  std::vector<double> shipped_allocation;
+  /// What the nodes actually granted (ack'd views).
+  std::vector<double> granted_allocation;
+
+  /// Single-line JSON object (no trailing newline).
+  std::string ToJson() const;
+
+  /// Parses a record serialized by ToJson. Returns false on malformed
+  /// input. Only scans for ToJson's own key layout — this is a test/replay
+  /// helper, not a general JSON parser.
+  static bool FromJson(const std::string& json, DecisionRecord* out);
+};
+
+/// Append-only JSONL sink for decision records.
+class DecisionLog {
+ public:
+  void Append(DecisionRecord record) { records_.push_back(std::move(record)); }
+
+  const std::vector<DecisionRecord>& records() const { return records_; }
+  size_t size() const { return records_.size(); }
+
+  /// One ToJson line per record.
+  void WriteJsonl(std::FILE* out) const;
+
+ private:
+  std::vector<DecisionRecord> records_;
+};
+
+}  // namespace memgoal::obs
+
+#endif  // MEMGOAL_OBS_DECISION_LOG_H_

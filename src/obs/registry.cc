@@ -1,0 +1,128 @@
+#include "obs/registry.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace memgoal::obs {
+
+void Registry::Counter::Set(uint64_t cumulative) {
+  MEMGOAL_DCHECK(cumulative >= value_);
+  value_ = cumulative;
+}
+
+Registry::Counter* Registry::GetCounter(const std::string& name) {
+  MEMGOAL_DCHECK(gauges_.find(name) == gauges_.end());
+  MEMGOAL_DCHECK(histograms_.find(name) == histograms_.end());
+  return &counters_[name];
+}
+
+Registry::Gauge* Registry::GetGauge(const std::string& name) {
+  MEMGOAL_DCHECK(counters_.find(name) == counters_.end());
+  MEMGOAL_DCHECK(histograms_.find(name) == histograms_.end());
+  return &gauges_[name];
+}
+
+void Registry::RegisterHistogram(const std::string& name,
+                                 const common::Histogram* histogram,
+                                 std::vector<double> quantiles) {
+  MEMGOAL_CHECK(histogram != nullptr);
+  MEMGOAL_DCHECK(counters_.find(name) == counters_.end());
+  MEMGOAL_DCHECK(gauges_.find(name) == gauges_.end());
+  histograms_[name] = HistogramView{histogram, std::move(quantiles)};
+}
+
+const Registry::Snapshot& Registry::TakeSnapshot(int interval,
+                                                 double sim_time_ms) {
+  Snapshot snap;
+  snap.interval = interval;
+  snap.sim_time_ms = sim_time_ms;
+  for (auto& [name, counter] : counters_) {
+    SnapshotEntry entry;
+    entry.name = name;
+    entry.kind = Kind::kCounter;
+    entry.value = static_cast<double>(counter.value_);
+    entry.delta = counter.value_ - counter.snapshot_base_;
+    counter.snapshot_base_ = counter.value_;
+    snap.entries.push_back(std::move(entry));
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    SnapshotEntry entry;
+    entry.name = name;
+    entry.kind = Kind::kGauge;
+    entry.value = gauge.value();
+    snap.entries.push_back(std::move(entry));
+  }
+  char suffix[32];
+  for (const auto& [name, view] : histograms_) {
+    for (double q : view.quantiles) {
+      const common::Histogram::QuantileValue qv =
+          view.histogram->QuantileWithSaturation(q);
+      SnapshotEntry entry;
+      std::snprintf(suffix, sizeof(suffix), ".p%g", q * 100.0);
+      entry.name = name + suffix;
+      entry.kind = Kind::kQuantile;
+      entry.value = qv.value;
+      entry.saturated = qv.saturated;
+      entry.overflow = static_cast<uint64_t>(view.histogram->overflow());
+      snap.entries.push_back(std::move(entry));
+    }
+  }
+  history_.push_back(std::move(snap));
+  return history_.back();
+}
+
+namespace {
+
+const char* KindName(Registry::Kind kind) {
+  switch (kind) {
+    case Registry::Kind::kCounter:
+      return "counter";
+    case Registry::Kind::kGauge:
+      return "gauge";
+    case Registry::Kind::kQuantile:
+      return "quantile";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+void Registry::WriteCsv(std::FILE* out) const {
+  std::fprintf(out,
+               "interval,sim_time_ms,name,kind,value,delta,saturated,"
+               "overflow\n");
+  for (const Snapshot& snap : history_) {
+    for (const SnapshotEntry& e : snap.entries) {
+      std::fprintf(out,
+                   "%d,%.3f,%s,%s,%.17g,%" PRIu64 ",%d,%" PRIu64 "\n",
+                   snap.interval, snap.sim_time_ms, e.name.c_str(),
+                   KindName(e.kind), e.value, e.delta,
+                   e.saturated ? 1 : 0, e.overflow);
+    }
+  }
+}
+
+void Registry::WriteJsonl(std::FILE* out) const {
+  for (const Snapshot& snap : history_) {
+    std::fprintf(out, "{\"interval\":%d,\"sim_time_ms\":%.3f,\"metrics\":{",
+                 snap.interval, snap.sim_time_ms);
+    bool first = true;
+    for (const SnapshotEntry& e : snap.entries) {
+      std::fprintf(out, "%s\"%s\":%.17g", first ? "" : ",", e.name.c_str(),
+                   e.value);
+      first = false;
+    }
+    std::fprintf(out, "},\"saturated\":[");
+    first = true;
+    for (const SnapshotEntry& e : snap.entries) {
+      if (!e.saturated) continue;
+      std::fprintf(out, "%s\"%s\"", first ? "" : ",", e.name.c_str());
+      first = false;
+    }
+    std::fprintf(out, "]}\n");
+  }
+}
+
+}  // namespace memgoal::obs

@@ -1,0 +1,115 @@
+#include "obs/trace.h"
+
+#include <cinttypes>
+#include <utility>
+
+#include "common/check.h"
+
+namespace memgoal::obs {
+
+namespace {
+
+/// Trace names/categories are compile-time literals and process names are
+/// "nodeN"; escaping covers the characters that could still break the JSON
+/// if a caller passes something unusual.
+void AppendEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) >= 0x20) out->push_back(c);
+    }
+  }
+}
+
+}  // namespace
+
+void Tracer::Complete(const char* name, const char* category, uint32_t pid,
+                      uint64_t tid, double start_ms, double end_ms,
+                      std::string args_json) {
+  if (!enabled_) return;
+  MEMGOAL_DCHECK(end_ms >= start_ms);
+  TraceEvent event;
+  event.name = name;
+  event.category = category;
+  event.ph = 'X';
+  event.pid = pid;
+  event.tid = tid;
+  event.ts_us = start_ms * 1000.0;
+  event.dur_us = (end_ms - start_ms) * 1000.0;
+  event.args_json = std::move(args_json);
+  events_.push_back(std::move(event));
+}
+
+void Tracer::Instant(const char* name, const char* category, uint32_t pid,
+                     uint64_t tid, double ts_ms, std::string args_json) {
+  if (!enabled_) return;
+  TraceEvent event;
+  event.name = name;
+  event.category = category;
+  event.ph = 'i';
+  event.pid = pid;
+  event.tid = tid;
+  event.ts_us = ts_ms * 1000.0;
+  event.args_json = std::move(args_json);
+  events_.push_back(std::move(event));
+}
+
+void Tracer::SetProcessName(uint32_t pid, const std::string& name) {
+  if (!enabled_) return;
+  TraceEvent event;
+  event.name = "process_name";
+  event.category = "__metadata";
+  event.ph = 'M';
+  event.pid = pid;
+  event.args_json = "{\"name\":\"" + name + "\"}";
+  events_.push_back(std::move(event));
+}
+
+void Tracer::AppendJson(std::string* out) const {
+  *out += "{\"traceEvents\":[\n";
+  char buffer[128];
+  for (size_t i = 0; i < events_.size(); ++i) {
+    const TraceEvent& e = events_[i];
+    *out += "{\"name\":\"";
+    AppendEscaped(out, e.name);
+    *out += "\",\"cat\":\"";
+    AppendEscaped(out, e.category);
+    *out += "\",\"ph\":\"";
+    out->push_back(e.ph);
+    std::snprintf(buffer, sizeof(buffer),
+                  "\",\"pid\":%" PRIu32 ",\"tid\":%" PRIu64 ",\"ts\":%.3f",
+                  e.pid, e.tid, e.ts_us);
+    *out += buffer;
+    if (e.ph == 'X') {
+      std::snprintf(buffer, sizeof(buffer), ",\"dur\":%.3f", e.dur_us);
+      *out += buffer;
+    } else if (e.ph == 'i') {
+      *out += ",\"s\":\"t\"";  // thread-scoped instant
+    }
+    if (!e.args_json.empty()) {
+      *out += ",\"args\":";
+      *out += e.args_json;
+    }
+    *out += '}';
+    if (i + 1 < events_.size()) *out += ',';
+    *out += '\n';
+  }
+  *out += "]}\n";
+}
+
+void Tracer::WriteJson(std::FILE* out) const {
+  std::string text;
+  AppendJson(&text);
+  std::fwrite(text.data(), 1, text.size(), out);
+}
+
+}  // namespace memgoal::obs

@@ -1,5 +1,7 @@
 #include "cache/heat.h"
 
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
 namespace memgoal::cache {
@@ -81,6 +83,63 @@ TEST_P(HeatKSweepTest, CircularBufferWrapsCorrectly) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Ks, HeatKSweepTest, ::testing::Values(1, 2, 3, 5, 8));
+
+TEST(HeatTrackerTest, EvictColderThanDropsStaleHistory) {
+  HeatTracker tracker(2);
+  tracker.RecordAccess(1, 10.0);
+  tracker.RecordAccess(1, 20.0);   // backward-2 time 10
+  tracker.RecordAccess(2, 90.0);   // backward time 90
+  tracker.RecordAccess(3, 40.0);
+  tracker.RecordAccess(3, 95.0);   // backward-2 time 40
+  ASSERT_EQ(tracker.tracked_pages(), 3u);
+
+  EXPECT_EQ(tracker.EvictColderThan(50.0), 2u);  // pages 1 and 3
+  EXPECT_EQ(tracker.tracked_pages(), 1u);
+  EXPECT_EQ(tracker.AccessCount(1), 0);
+  EXPECT_EQ(tracker.AccessCount(3), 0);
+  // Page 2 survives with its history intact.
+  EXPECT_DOUBLE_EQ(tracker.BackwardKTime(2), 90.0);
+  // An evicted page restarts cold, exactly like one never seen.
+  EXPECT_DOUBLE_EQ(tracker.HeatOf(1, 100.0), 0.0);
+  tracker.RecordAccess(1, 100.0);
+  EXPECT_EQ(tracker.AccessCount(1), 1);
+}
+
+TEST(HeatTrackerTest, EvictColderThanHonorsRetainPredicate) {
+  HeatTracker tracker(2);
+  tracker.RecordAccess(1, 10.0);
+  tracker.RecordAccess(2, 10.0);
+  // Both are stale, but page 1 is "resident" and must be kept.
+  const size_t evicted = tracker.EvictColderThan(
+      50.0, [](PageId page) { return page == 1; });
+  EXPECT_EQ(evicted, 1u);
+  EXPECT_EQ(tracker.tracked_pages(), 1u);
+  EXPECT_EQ(tracker.AccessCount(1), 1);
+  EXPECT_EQ(tracker.AccessCount(2), 0);
+}
+
+TEST(HeatTrackerTest, LongScanStaysBoundedUnderPeriodicEviction) {
+  // A pure sequential scan touches each page once. Without pruning the map
+  // grows by one record per page forever; with a periodic horizon sweep the
+  // footprint is bounded by the pages touched within one horizon.
+  HeatTracker tracker(2);
+  constexpr double kHorizonMs = 1000.0;
+  constexpr double kStepMs = 1.0;
+  size_t max_tracked = 0;
+  for (int page = 0; page < 20000; ++page) {
+    const double now = page * kStepMs;
+    tracker.RecordAccess(static_cast<PageId>(page), now);
+    if (page % 500 == 0 && now > kHorizonMs) {
+      tracker.EvictColderThan(now - kHorizonMs);
+    }
+    max_tracked = std::max(max_tracked, tracker.tracked_pages());
+  }
+  // Bound: one horizon's worth of scan pages plus one sweep period of slack
+  // — far below the 20000 pages touched.
+  EXPECT_LE(max_tracked,
+            static_cast<size_t>(kHorizonMs / kStepMs) + 500 + 1);
+  EXPECT_GE(max_tracked, static_cast<size_t>(kHorizonMs / kStepMs) / 2);
+}
 
 }  // namespace
 }  // namespace memgoal::cache

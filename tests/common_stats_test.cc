@@ -135,6 +135,49 @@ TEST(HistogramTest, OverflowAndUnderflow) {
   EXPECT_DOUBLE_EQ(h.Quantile(1.0), 10.0);
 }
 
+TEST(HistogramTest, QuantileSurfacesSaturation) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 9; ++i) h.Add(5.0);
+  h.Add(100.0);  // one sample past hi: the top decile is clipped
+
+  // Quantiles inside the bucket range interpolate and are not saturated.
+  const Histogram::QuantileValue mid = h.QuantileWithSaturation(0.5);
+  EXPECT_FALSE(mid.saturated);
+  EXPECT_NEAR(mid.value, 5.5, 0.6);
+  // The tail quantile falls in the overflow mass: the returned hi bound is
+  // only a *lower* bound on the true value, and the flag must say so.
+  const Histogram::QuantileValue tail = h.QuantileWithSaturation(1.0);
+  EXPECT_TRUE(tail.saturated);
+  EXPECT_DOUBLE_EQ(tail.value, 10.0);
+
+  // Underflow mass saturates symmetrically at lo.
+  Histogram low(0.0, 10.0, 10);
+  low.Add(-5.0);
+  low.Add(5.0);
+  const Histogram::QuantileValue head = low.QuantileWithSaturation(0.25);
+  EXPECT_TRUE(head.saturated);
+  EXPECT_DOUBLE_EQ(head.value, 0.0);
+  // An empty histogram reports zero without a saturation claim.
+  Histogram empty(0.0, 10.0, 10);
+  EXPECT_FALSE(empty.QuantileWithSaturation(0.5).saturated);
+}
+
+TEST(ConfidenceTest, AcceptsInexactConfidenceLevels) {
+  RunningStats s;
+  for (int i = 0; i < 4; ++i) s.Add(static_cast<double>(i));
+  // Levels arriving via parsing/arithmetic are not exactly representable:
+  // 0.9 accumulated in thirds is 0.899999... and must still match the 0.90
+  // row instead of tripping the unsupported-level check.
+  const double drifted = 0.3 + 0.3 + 0.3;
+  ASSERT_NE(drifted, 0.9);
+  EXPECT_DOUBLE_EQ(ConfidenceHalfWidth(s, drifted),
+                   ConfidenceHalfWidth(s, 0.90));
+  EXPECT_DOUBLE_EQ(ConfidenceHalfWidth(s, 0.95 + 1e-9),
+                   ConfidenceHalfWidth(s, 0.95));
+  EXPECT_DOUBLE_EQ(ConfidenceHalfWidth(s, 0.99 - 1e-9),
+                   ConfidenceHalfWidth(s, 0.99));
+}
+
 TEST(RngTest, Deterministic) {
   Rng a(123), b(123);
   for (int i = 0; i < 100; ++i) {

@@ -5,7 +5,10 @@
 #include <algorithm>
 
 #include "baseline/static_controllers.h"
+#include "core/optimizer.h"
 #include "core/system.h"
+#include "obs/decision_log.h"
+#include "obs/registry.h"
 #include "workload/spec.h"
 
 namespace memgoal::core {
@@ -196,6 +199,95 @@ TEST(GoalControllerTest, ReportFilterLimitsTraffic) {
   // Filter off: every interval reports from every node for both classes
   // (goal reports to 1 coordinator, no-goal reports to 1 coordinator).
   EXPECT_EQ(without_filter, 20u * 3u * 2u);
+}
+
+TEST(GoalControllerTest, DecisionLogTracesEveryCheckAndReplaysTheLp) {
+  ClusterSystem system(TestConfig(29));
+  system.AddClass(GoalClass(1, 0.2));  // always violated: warm-up then LP
+  system.AddClass(NoGoalClass());
+  obs::DecisionLog log;
+  system.SetDecisionLog(&log);
+  system.Start();
+  system.RunIntervals(20);
+
+  const auto& controller =
+      dynamic_cast<GoalOrientedController&>(system.controller());
+  // One record per coordinator check that observed data.
+  ASSERT_FALSE(log.records().empty());
+  EXPECT_LE(log.size(), controller.stats().checks);
+
+  int last_interval = -1;
+  bool replayed = false;
+  for (const obs::DecisionRecord& record : log.records()) {
+    EXPECT_GT(record.interval, last_interval);  // strictly ordered
+    last_interval = record.interval;
+    EXPECT_EQ(record.klass, 1);
+    EXPECT_FALSE(record.measure_outcome.empty());
+    if (!record.lp_run) continue;
+    ASSERT_TRUE(record.has_planes);
+    ASSERT_FALSE(record.lp_mode.empty());
+
+    // The acceptance gate: a record round-tripped through its JSON form
+    // must reproduce the logged LP decision bit-for-bit.
+    obs::DecisionRecord parsed;
+    ASSERT_TRUE(obs::DecisionRecord::FromJson(record.ToJson(), &parsed));
+    OptimizerInput input;
+    input.planes.grad_k = parsed.grad_k;
+    input.planes.intercept_k = parsed.intercept_k;
+    input.planes.grad_0 = parsed.grad_0;
+    input.planes.intercept_0 = parsed.intercept_0;
+    input.goal_rt = parsed.goal_rt;
+    input.upper_bounds = parsed.upper_bounds;
+    const OptimizerOutput output = SolvePartitioning(input);
+    ASSERT_EQ(output.allocation.size(), parsed.lp_allocation.size());
+    for (size_t i = 0; i < output.allocation.size(); ++i) {
+      EXPECT_EQ(output.allocation[i], parsed.lp_allocation[i]);
+    }
+    EXPECT_EQ(OptimizerModeName(output.mode), parsed.lp_mode);
+    EXPECT_EQ(output.relaxed_rung, parsed.relaxed_rung);
+    // Actuation is recorded whenever the check shipped an allocation.
+    EXPECT_EQ(parsed.shipped_allocation.size(), 3u);
+    EXPECT_EQ(parsed.granted_allocation.size(), 3u);
+    replayed = true;
+  }
+  EXPECT_TRUE(replayed);
+}
+
+TEST(GoalControllerTest, PublishMetricsMirrorsProtocolStatsIntoRegistry) {
+  ClusterSystem system(TestConfig(31));
+  system.AddClass(GoalClass(1, 0.2));
+  system.AddClass(NoGoalClass());
+  system.Start();
+  system.RunIntervals(10);
+
+  const auto& controller =
+      dynamic_cast<GoalOrientedController&>(system.controller());
+  const auto& history = system.registry().history();
+  ASSERT_EQ(history.size(), 10u);
+  // Snapshots are taken right after each controller interval hook, before
+  // the (1 ms delayed) coordinator check coroutine runs, so the last
+  // snapshot reflects the counters as of the previous check.
+  auto find = [&](const std::string& name) -> const obs::Registry::SnapshotEntry* {
+    for (const auto& entry : history.back().entries) {
+      if (entry.name == name) return &entry;
+    }
+    return nullptr;
+  };
+  const auto* checks = find("ctrl.checks");
+  ASSERT_NE(checks, nullptr);
+  EXPECT_GT(checks->value, 0.0);
+  EXPECT_LE(checks->value,
+            static_cast<double>(controller.stats().checks));
+  ASSERT_NE(find("ctrl.lp_optimizations"), nullptr);
+  ASSERT_NE(find("class1.store.rejected_points"), nullptr);
+  const auto* store_size = find("class1.store.size");
+  ASSERT_NE(store_size, nullptr);
+  EXPECT_EQ(store_size->kind, obs::Registry::Kind::kGauge);
+  // System-side instruments share the same namespace and snapshot.
+  ASSERT_NE(find("class1.access.local-buffer"), nullptr);
+  ASSERT_NE(find("cluster.nodes_up"), nullptr);
+  ASSERT_NE(find("net.bytes.partition-protocol"), nullptr);
+  ASSERT_NE(find("node0.cpu.wait_ms.p99"), nullptr);
 }
 
 TEST(GoalControllerTest, CoordinatorPlacementSpreadsClasses) {

@@ -259,7 +259,7 @@ TEST(MeasureStoreTest, SustainedLevelShiftReCentersWindow) {
   EXPECT_GT(store.outlier_rejections(), 0u);
 }
 
-TEST(MeasureStoreTest, ConditionGuardResetsIllConditionedStore) {
+TEST(MeasureStoreTest, IllConditionedReplacementRollsBackAndTriesNextSlot) {
   MeasureStore store(2);
   store.Observe({0.0, 0.0}, 5.0, 1.0);
   store.Observe({1e8, 0.0}, 4.0, 1.0);
@@ -267,20 +267,113 @@ TEST(MeasureStoreTest, ConditionGuardResetsIllConditionedStore) {
   ASSERT_TRUE(store.ready());
   EXPECT_EQ(store.condition_resets(), 0u);
 
-  // Replacing the oldest point with (1e8, 10) passes the denominator probe
-  // (|det ratio| = 1e-7) but leaves two rows differing by ~1e-7 relative —
-  // condition far past the reset limit. The guard must clear the store.
-  store.Observe({1e8, 10.0}, 4.5, 1.0);
-  EXPECT_EQ(store.condition_resets(), 1u);
+  // Replacing the oldest point (0,0) with (1e8, 10) passes the denominator
+  // probe (|det ratio| = 1e-7) but leaves two rows differing by ~1e-7
+  // relative — condition far past the limit. The pre-commit guard rolls
+  // that replacement back and tries the next-oldest slot, (1e8, 0), whose
+  // replacement is well-conditioned and commits. No reset, nothing lost.
+  EXPECT_EQ(store.Observe({1e8, 10.0}, 4.5, 1.0),
+            MeasureStore::ObserveOutcome::kAccepted);
+  EXPECT_EQ(store.condition_resets(), 0u);
+  EXPECT_EQ(store.rejected_points(), 0u);
+  EXPECT_TRUE(store.ready());
+  EXPECT_EQ(store.size(), 3u);
+  auto planes = store.FitPlanes();
+  ASSERT_TRUE(planes.has_value());
+  // The surviving set {(0,0), (1e8,10), (0,1e8)} interpolates exactly.
+  EXPECT_NEAR(la::Dot(planes->grad_k, {1e8, 10.0}) + planes->intercept_k,
+              4.5, 1e-6);
+  EXPECT_NEAR(planes->intercept_k, 5.0, 1e-6);
+}
+
+TEST(MeasureStoreTest, MarginalCandidateRejectedWithStoreIntact) {
+  // kD is sized so a unit-ish gap between two scalar measure points sits
+  // just inside the condition limit: cond({D+1.1, D}) ~ 5.8e11 < 1e12 but
+  // cond of any 0.55 gap ~ 1.16e12 > 1e12.
+  constexpr double kD = 565685.0;
+  MeasureStore store(1);
+  store.Observe({kD + 100.0}, 10.0, 1.0);
+  store.Observe({kD}, 10.2, 1.0);
+  ASSERT_TRUE(store.ready());
+  // Tighten the basis to {D+1.1, D}, still within the limit.
+  EXPECT_EQ(store.Observe({kD + 1.1}, 10.1, 1.0),
+            MeasureStore::ObserveOutcome::kAccepted);
+  ASSERT_EQ(store.rejected_points(), 0u);
+  ASSERT_EQ(store.condition_resets(), 0u);
+
+  // kD + 0.55 sits 0.55 from both retained points — outside the 0.5
+  // same-allocation tolerance, so it is a genuinely new point — yet
+  // replacing either one narrows the gap to 0.55 and pushes the condition
+  // past the limit. Every slot is rolled back; the candidate is counted as
+  // rejected and the previous basis survives untouched.
+  EXPECT_EQ(store.Observe({kD + 0.55}, 10.15, 1.0),
+            MeasureStore::ObserveOutcome::kRejectedDependent);
+  EXPECT_EQ(store.rejected_points(), 1u);
+  EXPECT_EQ(store.condition_resets(), 0u);
+  EXPECT_TRUE(store.ready());
+  EXPECT_EQ(store.size(), 2u);
+  auto planes = store.FitPlanes();
+  ASSERT_TRUE(planes.has_value());
+  EXPECT_NEAR(la::Dot(planes->grad_k, {kD}) + planes->intercept_k, 10.2,
+              1e-6);
+}
+
+TEST(MeasureStoreTest, ActiveSetShrinkThenRegrowRestoresPerNodeFits) {
+  const size_t n = 3;
+  MeasureStore store(n);
+  const auto observe_on_plane = [&store, n](const la::Vector& a) {
+    la::Vector per_node(n);
+    double mean = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      per_node[i] = 4.0 + static_cast<double>(i) - 0.001 * a[i];
+      mean += per_node[i] / static_cast<double>(n);
+    }
+    return store.ObserveDetailed(a, mean, 1.0, per_node);
+  };
+  observe_on_plane({0, 0, 0});
+  observe_on_plane({100, 0, 0});
+  observe_on_plane({0, 100, 0});
+  observe_on_plane({0, 0, 100});
+  ASSERT_TRUE(store.ready());
+  ASSERT_TRUE(store.FitNodePlanes().has_value());
+
+  // Node 1 dies: the active set shrinks and every retained point (which
+  // described a 3-node cluster) is invalidated.
+  store.SetActiveNodes({0, 2});
   EXPECT_FALSE(store.ready());
   EXPECT_EQ(store.size(), 0u);
 
-  // The store re-accumulates well-spread points and becomes ready again.
-  store.Observe({0.0, 0.0}, 5.0, 1.0);
-  store.Observe({1000.0, 0.0}, 4.0, 1.0);
-  store.Observe({0.0, 1000.0}, 3.0, 1.0);
-  EXPECT_TRUE(store.ready());
-  EXPECT_EQ(store.condition_resets(), 1u);
+  // Over the reduced set the basis is 3-dimensional: ready after 3 points.
+  observe_on_plane({0, 0, 0});
+  observe_on_plane({100, 0, 0});
+  observe_on_plane({0, 0, 100});
+  ASSERT_TRUE(store.ready());
+  auto reduced = store.FitPlanes();
+  ASSERT_TRUE(reduced.has_value());
+  // The dead node's gradient is pinned to zero: no allocation there can
+  // move the response time.
+  EXPECT_EQ(reduced->grad_k[1], 0.0);
+  EXPECT_NEAR(reduced->grad_k[0], -0.001 / 3.0, 1e-9);
+  // Per-node fits stay off during the outage even though per-node data is
+  // present (the §8 objective needs every node alive).
+  EXPECT_FALSE(store.FitNodePlanes().has_value());
+
+  // Node 1 recovers: regrow, re-accumulate, and the per-node fit returns.
+  store.SetActiveNodes({0, 1, 2});
+  EXPECT_FALSE(store.ready());
+  observe_on_plane({0, 0, 0});
+  observe_on_plane({200, 0, 0});
+  observe_on_plane({0, 200, 0});
+  observe_on_plane({0, 0, 200});
+  ASSERT_TRUE(store.ready());
+  auto per_node_planes = store.FitNodePlanes();
+  ASSERT_TRUE(per_node_planes.has_value());
+  ASSERT_EQ(per_node_planes->size(), n);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR((*per_node_planes)[i].intercept, 4.0 + static_cast<double>(i),
+                1e-7);
+    EXPECT_NEAR((*per_node_planes)[i].grad[i], -0.001, 1e-9);
+  }
 }
 
 TEST(MeasureStoreTest, ResetClearsOutlierWindows) {

@@ -1,5 +1,7 @@
 #include "core/system.h"
 
+#include <memory>
+
 #include <gtest/gtest.h>
 
 #include "baseline/static_controllers.h"
@@ -233,6 +235,38 @@ TEST(ClusterSystemTest, BaselineControllersSurviveCrashRecovery) {
   EXPECT_EQ(records[9].nodes_up, 3u);
   EXPECT_EQ(system.fault_injector().stats().crashes, 1u);
   EXPECT_EQ(system.fault_injector().stats().recoveries, 1u);
+}
+
+TEST(ClusterSystemTest, HeatHistoryStaysBoundedUnderScan) {
+  // A uniform workload over a database ~9x the aggregate cache touches far
+  // more pages than fit resident. Without the horizon sweep every touched
+  // page keeps an LRU-K record forever; with it the per-node history stays
+  // near the resident set plus one horizon of recency.
+  auto run = [](double horizon_intervals) {
+    SystemConfig config = SmallConfig(41);
+    config.db_pages = 1800;
+    config.heat_horizon_intervals = horizon_intervals;
+    auto system = std::make_unique<ClusterSystem>(config);
+    workload::ClassSpec goal = GoalClass(1, 5000.0);  // loose: no resizing
+    goal.pages = {0, 900};
+    workload::ClassSpec nogoal = NoGoalClass();
+    nogoal.pages = {900, 1800};
+    system->AddClass(goal);
+    system->AddClass(nogoal);
+    system->Start();
+    system->RunIntervals(30);
+    size_t tracked = 0;
+    for (NodeId i = 0; i < 3; ++i) tracked += system->node(i).HeatHistorySize();
+    return tracked;
+  };
+  const size_t unbounded = run(0.0);     // sweep disabled
+  const size_t bounded = run(2.0);       // horizon = 2 intervals
+  // Disabled: the map approaches every page touched (several thousand
+  // records across accumulated + per-class trackers).
+  EXPECT_GT(unbounded, 2 * bounded);
+  // Enabled: bounded by residency + recency, far below the touched set.
+  EXPECT_LT(bounded, unbounded);
+  EXPECT_GT(bounded, 0u);
 }
 
 TEST(ClusterSystemTest, WeightedRtMatchesObservations) {

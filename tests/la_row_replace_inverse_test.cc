@@ -131,6 +131,42 @@ TEST(RowReplaceInverseTest, ConditionEstimateTracksIllConditioning) {
   EXPECT_NEAR(rri.ConditionEstimate(), 1.0, 1e-6);
 }
 
+TEST(RowReplaceInverseTest, RefreshOnMarginalMatrixDefersInsteadOfFailing) {
+  // The periodic refresh re-inverts from scratch, but Gauss pivoting gives
+  // up around condition 1/kSingularTolerance — long before the rank-one
+  // update loses meaning. When the refresh lands on such a marginal matrix
+  // the update must go through incrementally (and stay initialized), with
+  // the exact refresh retried on the next commit.
+  Matrix a(2, 2);
+  a.SetRow(0, Vector{0.0, 1.0});
+  a.SetRow(1, Vector{100.0, 1.0});
+  RowReplaceInverse rri;
+  ASSERT_TRUE(rri.Reset(a));
+
+  // Benign updates up to one shy of the refresh boundary...
+  for (int i = 1; i <= RowReplaceInverse::kRefreshInterval - 2; ++i) {
+    ASSERT_TRUE(rri.ReplaceRow(0, Vector{i % 2 == 0 ? 0.0 : 50.0, 1.0}));
+  }
+  ASSERT_TRUE(rri.ReplaceRow(0, Vector{99.9, 1.0}));
+
+  // ...then the boundary update creates a matrix whose determinant (-1e-7)
+  // passes the O(n) denominator probe (ratio 1e-6) but fails the exact
+  // inversion's pivot threshold (1e-9 against 1e-8).
+  const Vector marginal{100.0 - 1e-7, 1.0};
+  EXPECT_TRUE(rri.ReplaceRow(0, marginal));
+  EXPECT_TRUE(rri.initialized());
+  EXPECT_DOUBLE_EQ(rri.matrix()(0, 0), 100.0 - 1e-7);
+  EXPECT_GT(rri.ConditionEstimate(), 1e8);
+
+  // Backing off to a well-conditioned matrix triggers the deferred refresh,
+  // which now succeeds and restores an exact inverse.
+  ASSERT_TRUE(rri.ReplaceRow(0, Vector{0.0, 1.0}));
+  Matrix recovered(2, 2);
+  recovered.SetRow(0, Vector{0.0, 1.0});
+  recovered.SetRow(1, Vector{100.0, 1.0});
+  ExpectIsInverse(recovered, rri.inverse(), 1e-9);
+}
+
 // Property sweep: long sequences of row replacements stay consistent with
 // the exact inverse (exercises the periodic refresh path too).
 class RowReplacePropertyTest : public ::testing::TestWithParam<size_t> {};

@@ -1,0 +1,119 @@
+#include "obs/registry.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+
+namespace memgoal::obs {
+namespace {
+
+// Reads a whole FILE* produced by the Write* helpers via tmpfile().
+std::string Slurp(void (*write)(Registry*, std::FILE*), Registry* registry) {
+  std::FILE* file = std::tmpfile();
+  EXPECT_NE(file, nullptr);
+  write(registry, file);
+  std::fseek(file, 0, SEEK_END);
+  const long size = std::ftell(file);
+  std::fseek(file, 0, SEEK_SET);
+  std::string text(static_cast<size_t>(size), '\0');
+  EXPECT_EQ(std::fread(text.data(), 1, text.size(), file), text.size());
+  std::fclose(file);
+  return text;
+}
+
+TEST(RegistryTest, CounterAccumulatesAndReportsDeltas) {
+  Registry registry;
+  Registry::Counter* counter = registry.GetCounter("ctrl.checks");
+  counter->Add();
+  counter->Add(4);
+  EXPECT_EQ(counter->value(), 5u);
+
+  const Registry::Snapshot& first = registry.TakeSnapshot(0, 5000.0);
+  ASSERT_EQ(first.entries.size(), 1u);
+  EXPECT_EQ(first.entries[0].name, "ctrl.checks");
+  EXPECT_EQ(first.entries[0].kind, Registry::Kind::kCounter);
+  EXPECT_DOUBLE_EQ(first.entries[0].value, 5.0);
+  EXPECT_EQ(first.entries[0].delta, 5u);
+
+  counter->Add(2);
+  const Registry::Snapshot& second = registry.TakeSnapshot(1, 10000.0);
+  EXPECT_DOUBLE_EQ(second.entries[0].value, 7.0);
+  EXPECT_EQ(second.entries[0].delta, 2u);  // per-interval rate, not total
+}
+
+TEST(RegistryTest, CounterSetMirrorsExternalCumulativeValue) {
+  Registry registry;
+  Registry::Counter* counter = registry.GetCounter("net.bytes");
+  counter->Set(100);
+  registry.TakeSnapshot(0, 1.0);
+  counter->Set(250);
+  const Registry::Snapshot& snap = registry.TakeSnapshot(1, 2.0);
+  EXPECT_DOUBLE_EQ(snap.entries[0].value, 250.0);
+  EXPECT_EQ(snap.entries[0].delta, 150u);
+}
+
+TEST(RegistryTest, InstrumentPointersAreStableAndShared) {
+  Registry registry;
+  Registry::Counter* a = registry.GetCounter("x");
+  // Interleave enough creations to force rehash in a hash-map world; the
+  // std::map backing must keep `a` valid and identical on re-lookup.
+  for (int i = 0; i < 100; ++i) {
+    registry.GetCounter("fill." + std::to_string(i));
+  }
+  EXPECT_EQ(registry.GetCounter("x"), a);
+  Registry::Gauge* g = registry.GetGauge("g");
+  g->Set(3.5);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("g")->value(), 3.5);
+}
+
+TEST(RegistryTest, HistogramViewExportsQuantilesWithSaturation) {
+  common::Histogram histogram(1.0, 100.0, 20);
+  for (int i = 0; i < 90; ++i) histogram.Add(10.0);
+  Registry registry;
+  registry.RegisterHistogram("disk.wait", &histogram, {0.5, 0.99});
+
+  const Registry::Snapshot& ok = registry.TakeSnapshot(0, 1.0);
+  ASSERT_EQ(ok.entries.size(), 2u);
+  EXPECT_EQ(ok.entries[0].name, "disk.wait.p50");
+  EXPECT_EQ(ok.entries[0].kind, Registry::Kind::kQuantile);
+  EXPECT_FALSE(ok.entries[0].saturated);
+  EXPECT_EQ(ok.entries[0].overflow, 0u);
+
+  // Push 5% of samples past the bound: p50 still interpolates, p99 lands in
+  // the overflow mass and must carry the saturation flag + overflow count.
+  for (int i = 0; i < 5; ++i) histogram.Add(1000.0);
+  const Registry::Snapshot& sat = registry.TakeSnapshot(1, 2.0);
+  EXPECT_FALSE(sat.entries[0].saturated);
+  EXPECT_TRUE(sat.entries[1].saturated);
+  EXPECT_EQ(sat.entries[1].overflow, 5u);
+  EXPECT_DOUBLE_EQ(sat.entries[1].value, 100.0);  // clipped at hi
+}
+
+TEST(RegistryTest, CsvAndJsonlCarryEveryInstrument) {
+  Registry registry;
+  registry.GetCounter("c")->Add(3);
+  registry.GetGauge("g")->Set(1.25);
+  registry.TakeSnapshot(0, 5000.0);
+
+  const std::string csv = Slurp(
+      [](Registry* r, std::FILE* f) { r->WriteCsv(f); }, &registry);
+  EXPECT_NE(csv.find("interval,sim_time_ms,name,kind,value,delta"),
+            std::string::npos);
+  EXPECT_NE(csv.find("0,5000.000,c,counter,3,3,0,0"), std::string::npos);
+  EXPECT_NE(csv.find(",g,gauge,1.25,"), std::string::npos);
+
+  const std::string jsonl = Slurp(
+      [](Registry* r, std::FILE* f) { r->WriteJsonl(f); }, &registry);
+  EXPECT_NE(jsonl.find("\"interval\":0"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"c\":3"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"g\":1.25"), std::string::npos);
+  // One line per snapshot.
+  EXPECT_EQ(std::count(jsonl.begin(), jsonl.end(), '\n'), 1);
+}
+
+}  // namespace
+}  // namespace memgoal::obs

@@ -26,6 +26,14 @@
 //   fault_degrade_factor (10)        — stochastic gray-failure process
 //   crash_detect_timeout_ms (2.0),
 //   classes (2)                      — total class count including class 0
+//
+// Observability outputs (also accepted as --trace-out=..., --decision-log=...
+// style flags; a path of "" disables):
+//   trace_out                        — Chrome trace-event JSON of request
+//                                      spans (open in Perfetto / about:tracing)
+//   decision_log                     — JSONL, one controller decision record
+//                                      per coordinator check
+//   obs_csv, obs_jsonl               — metrics-registry snapshot history
 //   class<i>_goal_ms                 — omit (or 0) for the no-goal class
 //   class<i>_pages                   — "begin:end" page range
 //   class<i>_interarrival_ms (100), class<i>_accesses (4),
@@ -45,8 +53,26 @@
 #include "core/goal_controller.h"
 #include "core/system.h"
 #include "net/network.h"
+#include "obs/decision_log.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 
 namespace {
+
+// Writes `writer(file)` to `path`; returns false (with a message) on I/O
+// failure so a bad path fails the run visibly instead of silently.
+template <typename Writer>
+bool WriteFileOrComplain(const std::string& path, const char* what,
+                         Writer&& writer) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "error: cannot write %s to %s\n", what, path.c_str());
+    return false;
+  }
+  writer(file);
+  std::fclose(file);
+  return true;
+}
 
 using memgoal::ClassId;
 using memgoal::PageId;
@@ -188,10 +214,52 @@ int Run(memgoal::common::Config& config) {
     system.AddClass(spec);
   }
 
+  const std::string trace_path = config.GetString("trace_out", "");
+  const std::string decision_path = config.GetString("decision_log", "");
+  const std::string obs_csv_path = config.GetString("obs_csv", "");
+  const std::string obs_jsonl_path = config.GetString("obs_jsonl", "");
+  memgoal::obs::Tracer tracer;
+  memgoal::obs::DecisionLog decision_log;
+  if (!trace_path.empty()) {
+    tracer.Enable(true);
+    system.SetTracer(&tracer);
+  }
+  if (!decision_path.empty()) system.SetDecisionLog(&decision_log);
+
   const int intervals = static_cast<int>(config.GetInt("intervals", 40));
   system.Start();
   system.RunIntervals(intervals);
   system.metrics().WriteCsv(stdout);
+
+  bool obs_ok = true;
+  if (!trace_path.empty()) {
+    obs_ok &= WriteFileOrComplain(trace_path, "trace", [&](std::FILE* f) {
+      tracer.WriteJson(f);
+    });
+    std::fprintf(stderr, "# trace: %zu events -> %s\n", tracer.size(),
+                 trace_path.c_str());
+  }
+  if (!decision_path.empty()) {
+    obs_ok &=
+        WriteFileOrComplain(decision_path, "decision log", [&](std::FILE* f) {
+          decision_log.WriteJsonl(f);
+        });
+    std::fprintf(stderr, "# decision log: %zu records -> %s\n",
+                 decision_log.size(), decision_path.c_str());
+  }
+  if (!obs_csv_path.empty()) {
+    obs_ok &=
+        WriteFileOrComplain(obs_csv_path, "metrics CSV", [&](std::FILE* f) {
+          system.registry().WriteCsv(f);
+        });
+  }
+  if (!obs_jsonl_path.empty()) {
+    obs_ok &=
+        WriteFileOrComplain(obs_jsonl_path, "metrics JSONL", [&](std::FILE* f) {
+          system.registry().WriteJsonl(f);
+        });
+  }
+  if (!obs_ok) return 1;
 
   // Summary to stderr so the CSV stays clean.
   std::fprintf(stderr, "# %d intervals, %u nodes, policy=%s\n", intervals,
