@@ -32,7 +32,15 @@ int Run(int argc, char** argv) {
   const int intervals =
       static_cast<int>(args.GetInt("intervals", quick ? 10 : 30));
   const uint64_t seed = static_cast<uint64_t>(args.GetInt("seed", 1));
+  BenchReporter reporter("ablation_hints", &args);
+  if (!args.RejectUnknownFlags()) {
+    std::fprintf(stderr, "%s\n", args.error().c_str());
+    return 1;
+  }
   TrialRunner runner(static_cast<int>(args.GetInt("threads", 0)));
+  runner.SetProfiler(reporter.profiler());
+  reporter.AddSetup("seed", static_cast<double>(seed));
+  reporter.AddSetup("intervals", intervals);
 
   // One trial per threshold on the runner's pool.
   const std::vector<double> thresholds =
@@ -58,6 +66,8 @@ int Run(int argc, char** argv) {
           system->ApplyAllocation(1, i, setup.cache_bytes_per_node / 2);
         }
         system->RunIntervals(intervals);
+        reporter.AddEvents(system->simulator().events_processed(),
+                           system->simulator().Now());
 
         common::RunningStats rt_goal;
         const auto& records = system->metrics().records();
@@ -85,8 +95,13 @@ int Run(int argc, char** argv) {
                 static_cast<unsigned long long>(rows[i].hint_bytes),
                 static_cast<unsigned long long>(rows[i].hint_msgs),
                 rows[i].hint_share, rows[i].rt_goal, rows[i].disk);
+    char metric[48];
+    std::snprintf(metric, sizeof(metric), "goal_rt_ms_threshold_%.2f",
+                  thresholds[i]);
+    reporter.AddMetric(metric, rows[i].rt_goal);
   }
   std::fflush(stdout);
+  reporter.Finish();
   return 0;
 }
 

@@ -32,7 +32,7 @@ struct Outcome {
 };
 
 Outcome Run(core::PartitioningObjective objective, double goal,
-            uint64_t seed, int intervals) {
+            uint64_t seed, int intervals, BenchReporter* reporter) {
   Setup setup;
   setup.seed = seed;
   core::SystemConfig config = setup.ToConfig();
@@ -78,6 +78,8 @@ Outcome Run(core::PartitioningObjective objective, double goal,
 
   system->Start();
   system->RunIntervals(intervals);
+  reporter->AddEvents(system->simulator().events_processed(),
+                      system->simulator().Now());
 
   Outcome outcome;
   outcome.rt_mean = rt.mean();
@@ -106,7 +108,15 @@ int Main(int argc, char** argv) {
   const int intervals =
       static_cast<int>(args.GetInt("intervals", quick ? 20 : 60));
   const auto seed = static_cast<uint64_t>(args.GetInt("seed", 1));
+  BenchReporter reporter("ablation_objective", &args);
+  if (!args.RejectUnknownFlags()) {
+    std::fprintf(stderr, "%s\n", args.error().c_str());
+    return 1;
+  }
   TrialRunner runner(static_cast<int>(args.GetInt("threads", 0)));
+  runner.SetProfiler(reporter.profiler());
+  reporter.AddSetup("seed", static_cast<double>(seed));
+  reporter.AddSetup("intervals", intervals);
 
   Setup calibration;
   calibration.seed = seed + 999;
@@ -130,7 +140,7 @@ int Main(int argc, char** argv) {
   };
   // One trial per objective on the runner's pool.
   const std::vector<Outcome> outcomes = runner.Run(2, [&](int trial) {
-    return Run(rows[trial].objective, goal, seed, intervals);
+    return Run(rows[trial].objective, goal, seed, intervals, &reporter);
   });
   for (int i = 0; i < 2; ++i) {
     const Outcome& outcome = outcomes[static_cast<size_t>(i)];
@@ -141,8 +151,11 @@ int Main(int argc, char** argv) {
                 outcome.per_node_dedicated[1] / 1024,
                 outcome.per_node_dedicated[2] / 1024,
                 outcome.satisfied_frac, outcome.nogoal_rt);
+    reporter.AddMetric(std::string("node_spread_ms_") + rows[i].name,
+                       outcome.rt_spread);
   }
   std::fflush(stdout);
+  reporter.Finish();
   return 0;
 }
 

@@ -33,7 +33,16 @@ int Run(int argc, char** argv) {
       static_cast<int>(args.GetInt("intervals", quick ? 12 : 30));
   const uint64_t seed = static_cast<uint64_t>(args.GetInt("seed", 1));
   const double fraction = args.GetDouble("fraction", 0.5);
+  BenchReporter reporter("ablation_replacement", &args);
+  if (!args.RejectUnknownFlags()) {
+    std::fprintf(stderr, "%s\n", args.error().c_str());
+    return 1;
+  }
   TrialRunner runner(static_cast<int>(args.GetInt("threads", 0)));
+  runner.SetProfiler(reporter.profiler());
+  reporter.AddSetup("seed", static_cast<double>(seed));
+  reporter.AddSetup("intervals", intervals);
+  reporter.AddSetup("fraction", fraction);
 
   // One trial per replacement policy.
   const std::array<cache::PolicyKind, 4> policies = {
@@ -61,6 +70,8 @@ int Run(int argc, char** argv) {
           system->ApplyAllocation(1, i, bytes);
         }
         system->RunIntervals(intervals);
+        reporter.AddEvents(system->simulator().events_processed(),
+                           system->simulator().Now());
 
         common::RunningStats rt_goal, rt_nogoal;
         const auto& records = system->metrics().records();
@@ -86,8 +97,12 @@ int Run(int argc, char** argv) {
     std::printf("%s,%.3f,%.3f,%.3f,%.3f,%.3f\n", PolicyKindName(policies[i]),
                 rows[i].rt_goal, rows[i].rt_nogoal, rows[i].local,
                 rows[i].remote, rows[i].disk);
+    reporter.AddMetric(std::string("rt_goal_ms_") +
+                           PolicyKindName(policies[i]),
+                       rows[i].rt_goal);
   }
   std::fflush(stdout);
+  reporter.Finish();
   return 0;
 }
 

@@ -30,7 +30,15 @@ int Main(int argc, char** argv) {
   const int intervals =
       static_cast<int>(args.GetInt("intervals", quick ? 16 : 40));
   const auto seed = static_cast<uint64_t>(args.GetInt("seed", 1));
+  BenchReporter reporter("ablation_updates", &args);
+  if (!args.RejectUnknownFlags()) {
+    std::fprintf(stderr, "%s\n", args.error().c_str());
+    return 1;
+  }
   TrialRunner runner(static_cast<int>(args.GetInt("threads", 0)));
+  runner.SetProfiler(reporter.profiler());
+  reporter.AddSetup("seed", static_cast<double>(seed));
+  reporter.AddSetup("intervals", intervals);
 
   Setup calibration;
   calibration.seed = seed + 999;
@@ -87,6 +95,8 @@ int Main(int argc, char** argv) {
         system->Start();
         if (updates) updates->Start();
         system->RunIntervals(intervals);
+        reporter.AddEvents(system->simulator().events_processed(),
+                           system->simulator().Now());
 
         UpdateRow row;
         row.committed = updates ? updates->committed() : 0;
@@ -112,8 +122,13 @@ int Main(int argc, char** argv) {
                 row.dedicated_kb,
                 static_cast<unsigned long long>(row.invalidations),
                 static_cast<unsigned long long>(row.deaths));
+    char metric[48];
+    std::snprintf(metric, sizeof(metric), "goal_rt_ms_interarrival_%.0f",
+                  interarrivals[i]);
+    reporter.AddMetric(metric, row.rt);
   }
   std::fflush(stdout);
+  reporter.Finish();
   return 0;
 }
 

@@ -40,7 +40,15 @@ int Run(int argc, char** argv) {
   const int intervals =
       static_cast<int>(args.GetInt("intervals", quick ? 16 : 50));
   const uint64_t seed = static_cast<uint64_t>(args.GetInt("seed", 1));
+  BenchReporter reporter("baselines", &args);
+  if (!args.RejectUnknownFlags()) {
+    std::fprintf(stderr, "%s\n", args.error().c_str());
+    return 1;
+  }
   TrialRunner runner(static_cast<int>(args.GetInt("threads", 0)));
+  runner.SetProfiler(reporter.profiler());
+  reporter.AddSetup("seed", static_cast<double>(seed));
+  reporter.AddSetup("intervals", intervals);
 
   Setup setup;
   setup.seed = seed;
@@ -97,6 +105,8 @@ int Run(int argc, char** argv) {
     });
     system->Start();
     system->RunIntervals(intervals);
+    reporter.AddEvents(system->simulator().events_processed(),
+                       system->simulator().Now());
     Outcome outcome;
     outcome.first_satisfied = first_satisfied;
     outcome.satisfied_frac =
@@ -115,8 +125,11 @@ int Run(int argc, char** argv) {
                 outcomes[i].first_satisfied, outcomes[i].satisfied_frac,
                 outcomes[i].rt_goal, outcomes[i].rt_nogoal,
                 static_cast<unsigned long long>(outcomes[i].dedicated_bytes));
+    reporter.AddMetric(std::string("satisfied_frac_") + rows[i].name,
+                       outcomes[i].satisfied_frac);
   }
   std::fflush(stdout);
+  reporter.Finish();
   return 0;
 }
 

@@ -72,15 +72,9 @@ constexpr int kGrayTail = 10;
 // The gray-failure scenario: node N-1 serves everything `factor` times
 // slower between degrade_at and degrade_at + duration; factor 1 is the
 // fault-free baseline the 2x no-goal check compares against.
-int RunGray(common::Config& args, const Setup& base, double goal,
-            int intervals, TrialRunner* runner, bool quick) {
-  // At 50x the victim's disk is saturated, so the whole episode's arrivals
-  // pile up as backlog that drains open-loop afterwards (~2.5 intervals of
-  // drain per episode interval): the episode length bounds how soon the
-  // tail settles.
-  const double degrade_at = args.GetDouble("degrade_at_ms", 60000.0);
-  const double duration =
-      args.GetDouble("degrade_duration_ms", quick ? 25000.0 : 50000.0);
+int RunGray(double degrade_at, double duration, const Setup& base,
+            double goal, int intervals, TrialRunner* runner, bool quick,
+            BenchReporter* reporter) {
   const std::vector<double> factors =
       quick ? std::vector<double>{1.0, 50.0}
             : std::vector<double>{1.0, 10.0, 50.0};
@@ -145,6 +139,8 @@ int RunGray(common::Config& args, const Setup& base, double goal,
         });
         system->Start();
         system->RunIntervals(intervals);
+        reporter->AddEvents(system->simulator().events_processed(),
+                            system->simulator().Now());
 
         const auto& controller =
             dynamic_cast<const core::GoalOrientedController&>(
@@ -214,6 +210,8 @@ int RunGray(common::Config& args, const Setup& base, double goal,
     ok = false;
   }
   std::fflush(stdout);
+  reporter->AddMetric("gray_nogoal_rt_tail_ratio", ratio);
+  reporter->AddMetric("gray_satisfied_tail", worst.satisfied_tail);
   return ok ? 0 : 1;
 }
 
@@ -232,7 +230,24 @@ int Run(int argc, char** argv) {
   const uint64_t seed = static_cast<uint64_t>(args.GetInt("seed", 1));
   const double crash_at = args.GetDouble("crash_at_ms", 100000.0);
   const bool burst = args.GetInt("burst", 0) != 0;
+  // Gray-mode knobs, read unconditionally so the strict flag check below
+  // knows them. At 50x the victim's disk is saturated, so the whole
+  // episode's arrivals pile up as backlog that drains open-loop afterwards
+  // (~2.5 intervals of drain per episode interval): the episode length
+  // bounds how soon the tail settles.
+  const double degrade_at = args.GetDouble("degrade_at_ms", 60000.0);
+  const double degrade_duration =
+      args.GetDouble("degrade_duration_ms", quick ? 25000.0 : 50000.0);
+  BenchReporter reporter("faults", &args);
+  if (!args.RejectUnknownFlags()) {
+    std::fprintf(stderr, "%s\n", args.error().c_str());
+    return 1;
+  }
   TrialRunner runner(static_cast<int>(args.GetInt("threads", 0)));
+  runner.SetProfiler(reporter.profiler());
+  reporter.AddSetup("seed", static_cast<double>(seed));
+  reporter.AddSetup("intervals", intervals);
+  reporter.AddSetup("gray", gray ? 1.0 : 0.0);
 
   Setup base;
   base.seed = seed;
@@ -242,7 +257,12 @@ int Run(int argc, char** argv) {
   std::printf("# binding goal: %.3f ms (band [%.3f, %.3f])\n", goal, band.lo,
               band.hi);
 
-  if (gray) return RunGray(args, base, goal, intervals, &runner, quick);
+  if (gray) {
+    const int rc = RunGray(degrade_at, degrade_duration, base, goal,
+                           intervals, &runner, quick, &reporter);
+    reporter.Finish();
+    return rc;
+  }
 
   // Each outage duration is an independent trial on the runner's pool.
   const std::vector<double> outages =
@@ -297,6 +317,8 @@ int Run(int argc, char** argv) {
         });
         system->Start();
         system->RunIntervals(intervals);
+        reporter.AddEvents(system->simulator().events_processed(),
+                           system->simulator().Now());
 
         const auto& controller =
             dynamic_cast<const core::GoalOrientedController&>(
@@ -328,8 +350,13 @@ int Run(int argc, char** argv) {
                 static_cast<unsigned long long>(row.fetch_fallbacks),
                 static_cast<unsigned long long>(row.ops_failed),
                 static_cast<unsigned long long>(row.store_resets));
+    char metric[48];
+    std::snprintf(metric, sizeof(metric), "satisfied_post_outage_%.0f",
+                  outages[i]);
+    reporter.AddMetric(metric, row.satisfied_post);
   }
   std::fflush(stdout);
+  reporter.Finish();
   return 0;
 }
 

@@ -35,7 +35,7 @@ Setup TwoClassSetup(uint64_t seed) {
 }
 
 void PartA(const ConvergencePlan& plan, uint64_t seed0, bool quick,
-           TrialRunner* runner) {
+           TrialRunner* runner, BenchReporter* reporter) {
   std::printf("# Part A: disjoint page sets, convergence of class 1\n");
   std::printf(
       "skew,mean_iterations,ci99_half_width,samples,censored,"
@@ -54,6 +54,11 @@ void PartA(const ConvergencePlan& plan, uint64_t seed0, bool quick,
                 static_cast<long long>(result.iterations.count()),
                 result.censored, paper[s]);
     std::fflush(stdout);
+    reporter->AddEvents(result.events_processed, result.sim_time_ms);
+    char metric[48];
+    std::snprintf(metric, sizeof(metric), "parta_iterations_skew_%.2f",
+                  skews[s]);
+    reporter->AddMetric(metric, result.iterations.mean());
   }
 }
 
@@ -84,7 +89,8 @@ std::pair<double, double> CalibratePartB(uint64_t seed) {
   return {rt_k1.mean(), rt_k2.mean()};
 }
 
-void PartB(int intervals, uint64_t seed0, bool quick, TrialRunner* runner) {
+void PartB(int intervals, uint64_t seed0, bool quick, TrialRunner* runner,
+           BenchReporter* reporter) {
   std::printf("\n# Part B: data-sharing sweep (class 2 shares class 1's "
               "pages)\n");
 
@@ -130,6 +136,8 @@ void PartB(int intervals, uint64_t seed0, bool quick, TrialRunner* runner) {
         });
         system->Start();
         system->RunIntervals(intervals);
+        reporter->AddEvents(system->simulator().events_processed(),
+                            system->simulator().Now());
         ShareRow row;
         row.dedicated_k1 = dedicated_k1.mean();
         row.dedicated_k2 = dedicated_k2.mean();
@@ -146,6 +154,10 @@ void PartB(int intervals, uint64_t seed0, bool quick, TrialRunner* runner) {
     std::printf("%.2f,%.0f,%.0f,%.2f,%.3f\n", shares[i],
                 results[i].dedicated_k1, results[i].dedicated_k2,
                 results[i].satisfied_k2_frac, results[i].rt_k2_ms);
+    char metric[48];
+    std::snprintf(metric, sizeof(metric), "partb_rt_k2_share_%.2f",
+                  shares[i]);
+    reporter->AddMetric(metric, results[i].rt_k2_ms);
   }
   std::fflush(stdout);
 }
@@ -163,7 +175,16 @@ int Run(int argc, char** argv) {
       static_cast<int>(args.GetInt("max_runs", quick ? 2 : 4));
   const uint64_t seed0 = static_cast<uint64_t>(args.GetInt("seed", 1));
   const std::string part = args.GetString("part", "ab");
+  BenchReporter reporter("multiclass", &args);
+  if (!args.RejectUnknownFlags()) {
+    std::fprintf(stderr, "%s\n", args.error().c_str());
+    return 1;
+  }
   TrialRunner runner(static_cast<int>(args.GetInt("threads", 0)));
+  runner.SetProfiler(reporter.profiler());
+  reporter.AddSetup("seed", static_cast<double>(seed0));
+  reporter.AddSetup("intervals", intervals);
+  reporter.AddSetup("part", part);
 
   ConvergencePlan plan;
   plan.max_runs = max_runs;
@@ -171,11 +192,12 @@ int Run(int argc, char** argv) {
   if (quick) plan.calibration_intervals = 12;
 
   if (part.find('a') != std::string::npos) {
-    PartA(plan, seed0, quick, &runner);
+    PartA(plan, seed0, quick, &runner, &reporter);
   }
   if (part.find('b') != std::string::npos) {
-    PartB(intervals / 2 * 2, seed0, quick, &runner);
+    PartB(intervals / 2 * 2, seed0, quick, &runner, &reporter);
   }
+  reporter.Finish();
   return 0;
 }
 

@@ -31,7 +31,8 @@ struct RowResult {
 // Runs the goal-change protocol once more on a fresh system to measure the
 // traffic share (MeasureConvergence does not expose its systems).
 double MeasureProtocolShare(const Setup& setup, double goal_lo,
-                            double goal_hi, int intervals) {
+                            double goal_hi, int intervals,
+                            BenchReporter* reporter) {
   std::unique_ptr<core::ClusterSystem> system = BuildSystem(setup);
   GoalChangeDriver driver(
       system.get(), 1, goal_lo, goal_hi,
@@ -41,6 +42,8 @@ double MeasureProtocolShare(const Setup& setup, double goal_lo,
   });
   system->Start();
   system->RunIntervals(intervals);
+  reporter->AddEvents(system->simulator().events_processed(),
+                      system->simulator().Now());
   const net::Network& network = system->network();
   return static_cast<double>(
              network.bytes_sent(net::TrafficClass::kPartitionProtocol)) /
@@ -48,16 +51,18 @@ double MeasureProtocolShare(const Setup& setup, double goal_lo,
 }
 
 RowResult RunRow(Setup setup, const ConvergencePlan& plan, uint64_t seed0,
-                 TrialRunner* runner) {
+                 TrialRunner* runner, BenchReporter* reporter) {
   RowResult row;
   setup.seed = seed0;
   row.convergence = MeasureConvergence(setup, plan, runner);
+  reporter->AddEvents(row.convergence.events_processed,
+                      row.convergence.sim_time_ms);
   Setup traffic_setup = setup;
   traffic_setup.seed = common::DeriveStreamSeed(seed0, kAuxStreamBase + 1);
   row.protocol_share =
       MeasureProtocolShare(traffic_setup, row.convergence.goal_lo,
                            row.convergence.goal_hi,
-                           plan.intervals_per_run / 2);
+                           plan.intervals_per_run / 2, reporter);
   return row;
 }
 
@@ -81,7 +86,16 @@ int Main(int argc, char** argv) {
       static_cast<int>(args.GetInt("intervals", quick ? 24 : 80));
   const auto seed = static_cast<uint64_t>(args.GetInt("seed", 1));
   const std::string part = args.GetString("part", "ab");
+  BenchReporter reporter("scaling", &args);
+  if (!args.RejectUnknownFlags()) {
+    std::fprintf(stderr, "%s\n", args.error().c_str());
+    return 1;
+  }
   TrialRunner runner(static_cast<int>(args.GetInt("threads", 0)));
+  runner.SetProfiler(reporter.profiler());
+  reporter.AddSetup("seed", static_cast<double>(seed));
+  reporter.AddSetup("intervals", intervals);
+  reporter.AddSetup("part", part);
 
   ConvergencePlan plan;
   plan.max_runs = quick ? 2 : 3;
@@ -102,8 +116,12 @@ int Main(int argc, char** argv) {
       // the database grows with the cluster.
       setup.pages_per_class =
           1000u * nodes / 3u;
-      const RowResult row = RunRow(setup, plan, seed + 10 * nodes, &runner);
+      const RowResult row =
+          RunRow(setup, plan, seed + 10 * nodes, &runner, &reporter);
       Print("nodes", nodes, row);
+      char metric[48];
+      std::snprintf(metric, sizeof(metric), "iterations_nodes_%u", nodes);
+      reporter.AddMetric(metric, row.convergence.iterations.mean());
     }
   }
 
@@ -121,10 +139,15 @@ int Main(int argc, char** argv) {
       setup.interarrival_ms = 10.0 * accesses;
       const RowResult row = RunRow(
           setup, plan, seed + 1000 + 10 * static_cast<uint64_t>(accesses),
-          &runner);
+          &runner, &reporter);
       Print("accesses", accesses, row);
+      char metric[48];
+      std::snprintf(metric, sizeof(metric), "iterations_accesses_%d",
+                    accesses);
+      reporter.AddMetric(metric, row.convergence.iterations.mean());
     }
   }
+  reporter.Finish();
   return 0;
 }
 

@@ -9,26 +9,30 @@
 // store/fit, LP growing most slowly — is the reproducible shape.
 
 // Running with `--quick` skips the google-benchmark tables and instead runs
-// the tracing-overhead gate: two identical deterministic cluster runs, one
-// without a tracer and one with a tracer attached but disabled, must agree
-// bit-for-bit on the simulation outcome and stay within a small wall-clock
-// envelope of each other. This is the guard that keeps the disabled tracing
-// path a branch-on-bool.
+// the instrumentation-overhead gate: identical deterministic cluster runs —
+// bare, with a tracer and a profiler attached but disabled, and with the
+// profiler enabled — must agree bit-for-bit on the simulation outcome, and
+// the disabled arm must stay within a small wall-clock envelope of the bare
+// one. This is the guard that keeps the disabled tracing/profiling paths a
+// branch-on-bool, and the guard that an *enabled* profiler (which only
+// reads the wall clock) cannot perturb the simulation.
 
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
-#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <memory>
 #include <vector>
 
+#include "bench/experiment.h"
+#include "common/config.h"
 #include "common/rng.h"
 #include "core/measure.h"
 #include "core/optimizer.h"
 #include "core/system.h"
 #include "la/matrix.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "workload/spec.h"
 
@@ -155,27 +159,35 @@ std::unique_ptr<core::ClusterSystem> BuildGateSystem() {
   return system;
 }
 
-struct GateRun {
-  double wall_ms = 0.0;
-  uint64_t fingerprint = 0;
+enum class GateArm {
+  kBare,              // no instrumentation objects at all
+  kDisabled,          // tracer + profiler attached, both disabled
+  kProfilerEnabled,   // profiler enabled: must not perturb the simulation
 };
 
-// One full deterministic run; `attach_tracer` wires a Tracer that stays
-// disabled, exercising exactly the branch-on-bool no-op path the gate is
-// about. The fingerprint folds every per-class access counter plus the
-// network byte totals, so any behavioral divergence fails loudly.
-GateRun RunGateArm(bool attach_tracer, int intervals) {
+// One full deterministic run under the selected instrumentation arm. The
+// kDisabled arm exercises exactly the branch-on-bool no-op paths the wall
+// gate is about; kProfilerEnabled accumulates real phase timings (discarded
+// here) and is checked for fingerprint equality only. The fingerprint folds
+// every per-class access counter plus the network byte totals, so any
+// behavioral divergence fails loudly.
+uint64_t RunGateArm(GateArm arm, int intervals, BenchReporter* reporter) {
   auto system = BuildGateSystem();
   obs::Tracer tracer;  // never enabled
-  if (attach_tracer) system->SetTracer(&tracer);
-  const auto start = std::chrono::steady_clock::now();
+  obs::Profiler profiler;
+  profiler.Enable(arm == GateArm::kProfilerEnabled);
+  // The bare arm installs null so a --profile reporter on this thread can
+  // never leak instrumentation into the reference timing.
+  obs::Profiler::ScopedInstall install(arm == GateArm::kBare ? nullptr
+                                                             : &profiler);
+  if (arm != GateArm::kBare) system->SetTracer(&tracer);
   system->Start();
   system->RunIntervals(intervals);
-  const auto stop = std::chrono::steady_clock::now();
+  if (reporter != nullptr) {
+    reporter->AddEvents(system->simulator().events_processed(),
+                        system->simulator().Now());
+  }
 
-  GateRun run;
-  run.wall_ms =
-      std::chrono::duration<double, std::milli>(stop - start).count();
   uint64_t fp = 1469598103934665603ull;
   const auto mix = [&fp](uint64_t v) {
     fp ^= v;
@@ -188,11 +200,10 @@ GateRun RunGateArm(bool attach_tracer, int intervals) {
     mix(system->TotalDedicatedBytes(spec.id));
   }
   mix(system->network().total_bytes_sent());
-  run.fingerprint = fp;
-  return run;
+  return fp;
 }
 
-int RunTracingOverheadGate() {
+int RunInstrumentationOverheadGate(common::Config* args) {
   constexpr int kReps = 7;
   constexpr int kIntervals = 40;
   constexpr double kMaxOverheadRatio = 1.02;
@@ -200,49 +211,75 @@ int RunTracingOverheadGate() {
   // alone exceeds 2%, and the ratio gate would be measuring the OS, not us.
   constexpr double kAbsoluteSlackMs = 15.0;
 
-  // Warm-up pass (page cache, allocator arenas), results discarded.
-  (void)RunGateArm(false, kIntervals);
-  (void)RunGateArm(true, kIntervals);
+  BenchReporter reporter("table1_overhead", args);
+  if (!args->RejectUnknownFlags()) {
+    std::fprintf(stderr, "%s\n", args->error().c_str());
+    return 1;
+  }
+  reporter.AddSetup("intervals", kIntervals);
+  reporter.AddSetup("reps", kReps);
 
-  double plain_min = 0.0;
-  double traced_min = 0.0;
+  // Warm-up pass (page cache, allocator arenas), results discarded.
+  (void)RunGateArm(GateArm::kBare, kIntervals, nullptr);
+  (void)RunGateArm(GateArm::kDisabled, kIntervals, nullptr);
+
+  // Wall arms use the shared min-of-reps estimator: the minimum is immune
+  // to the strictly additive noise (scheduler, thermal drift) that would
+  // otherwise dominate a 2% comparison.
   uint64_t plain_fp = 0;
   uint64_t traced_fp = 0;
-  // Interleaved reps so slow drift (thermal, background load) hits both
-  // arms alike; min-of-reps is the standard noise-robust wall estimator.
-  for (int rep = 0; rep < kReps; ++rep) {
-    const GateRun plain = RunGateArm(false, kIntervals);
-    const GateRun traced = RunGateArm(true, kIntervals);
-    plain_min = rep == 0 ? plain.wall_ms : std::min(plain_min, plain.wall_ms);
-    traced_min =
-        rep == 0 ? traced.wall_ms : std::min(traced_min, traced.wall_ms);
-    plain_fp = plain.fingerprint;
-    traced_fp = traced.fingerprint;
-  }
+  const double plain_min_s = MinOfRepsSeconds(
+      kReps, [&] { plain_fp = RunGateArm(GateArm::kBare, kIntervals,
+                                         &reporter); });
+  const double traced_min_s = MinOfRepsSeconds(
+      kReps, [&] { traced_fp = RunGateArm(GateArm::kDisabled, kIntervals,
+                                          &reporter); });
+  const double plain_min = plain_min_s * 1e3;
+  const double traced_min = traced_min_s * 1e3;
+
+  // The enabled-profiler arm is correctness-only: it pays for its clock
+  // reads, so it is exempt from the wall envelope, but it must not change
+  // one bit of simulation output.
+  const uint64_t profiled_fp =
+      RunGateArm(GateArm::kProfilerEnabled, kIntervals, &reporter);
 
   const double ratio = traced_min / plain_min;
-  std::printf("tracing_overhead_gate: plain=%.2f ms traced=%.2f ms "
-              "ratio=%.4f (limit %.2f, slack %.1f ms)\n",
+  std::printf("instrumentation_overhead_gate: plain=%.2f ms "
+              "instrumented=%.2f ms ratio=%.4f (limit %.2f, slack %.1f ms)\n",
               plain_min, traced_min, ratio, kMaxOverheadRatio,
               kAbsoluteSlackMs);
+  reporter.AddMetric("plain_wall_ms", plain_min);
+  reporter.AddMetric("instrumented_wall_ms", traced_min);
+  reporter.AddMetric("overhead_ratio", ratio);
+
+  int rc = 0;
   if (plain_fp != traced_fp) {
     std::fprintf(stderr,
-                 "FAIL: disabled tracer changed the simulation "
+                 "FAIL: disabled instrumentation changed the simulation "
                  "(fingerprint %llu vs %llu)\n",
                  static_cast<unsigned long long>(plain_fp),
                  static_cast<unsigned long long>(traced_fp));
-    return 1;
+    rc = 1;
+  }
+  if (profiled_fp != plain_fp) {
+    std::fprintf(stderr,
+                 "FAIL: ENABLED profiler changed the simulation "
+                 "(fingerprint %llu vs %llu)\n",
+                 static_cast<unsigned long long>(plain_fp),
+                 static_cast<unsigned long long>(profiled_fp));
+    rc = 1;
   }
   if (ratio > kMaxOverheadRatio &&
       traced_min - plain_min > kAbsoluteSlackMs) {
     std::fprintf(stderr,
-                 "FAIL: disabled tracing costs %.1f%% wall clock "
+                 "FAIL: disabled instrumentation costs %.1f%% wall clock "
                  "(limit %.0f%%)\n",
                  100.0 * (ratio - 1.0), 100.0 * (kMaxOverheadRatio - 1.0));
-    return 1;
+    rc = 1;
   }
-  std::printf("tracing_overhead_gate: PASS\n");
-  return 0;
+  if (rc == 0) std::printf("instrumentation_overhead_gate: PASS\n");
+  reporter.Finish();
+  return rc;
 }
 
 }  // namespace
@@ -251,7 +288,14 @@ int RunTracingOverheadGate() {
 int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
-      return memgoal::bench::RunTracingOverheadGate();
+      // Config parsing only happens on the gate path: in table mode the
+      // arguments belong to google-benchmark untouched.
+      memgoal::common::Config args;
+      if (!args.ParseArgs(argc, argv)) {
+        std::fprintf(stderr, "%s\n", args.error().c_str());
+        return 1;
+      }
+      return memgoal::bench::RunInstrumentationOverheadGate(&args);
     }
   }
   benchmark::Initialize(&argc, argv);

@@ -1,0 +1,542 @@
+#include "bench/compare.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+
+namespace memgoal::bench {
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [name, value] : object) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+namespace {
+
+// Recursive-descent JSON parser. Depth-limited so a malicious or corrupt
+// file cannot overflow the stack.
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool Parse(JsonValue* out, std::string* error) {
+    if (!ParseValue(out, 0)) {
+      *error = error_ + " at byte " + std::to_string(pos_);
+      return false;
+    }
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      *error = "trailing content at byte " + std::to_string(pos_);
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 32;
+
+  void SkipSpace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Fail(const std::string& message) {
+    error_ = message;
+    return false;
+  }
+
+  bool Consume(char expected) {
+    if (pos_ < text_.size() && text_[pos_] == expected) {
+      ++pos_;
+      return true;
+    }
+    return Fail(std::string("expected '") + expected + "'");
+  }
+
+  bool ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return Fail("nesting too deep");
+    SkipSpace();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"':
+        out->kind = JsonValue::Kind::kString;
+        return ParseString(&out->str);
+      case 't':
+        out->kind = JsonValue::Kind::kBool;
+        out->boolean = true;
+        return ConsumeWord("true");
+      case 'f':
+        out->kind = JsonValue::Kind::kBool;
+        out->boolean = false;
+        return ConsumeWord("false");
+      case 'n':
+        out->kind = JsonValue::Kind::kNull;
+        return ConsumeWord("null");
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ConsumeWord(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p) {
+      if (pos_ >= text_.size() || text_[pos_] != *p) {
+        return Fail(std::string("expected '") + word + "'");
+      }
+      ++pos_;
+    }
+    return true;
+  }
+
+  bool ParseObject(JsonValue* out, int depth) {
+    out->kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipSpace();
+      std::string key;
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Fail("expected object key");
+      }
+      if (!ParseString(&key)) return false;
+      SkipSpace();
+      if (!Consume(':')) return false;
+      JsonValue value;
+      if (!ParseValue(&value, depth + 1)) return false;
+      out->object.emplace_back(std::move(key), std::move(value));
+      SkipSpace();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      return Consume('}');
+    }
+  }
+
+  bool ParseArray(JsonValue* out, int depth) {
+    out->kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JsonValue value;
+      if (!ParseValue(&value, depth + 1)) return false;
+      out->array.push_back(std::move(value));
+      SkipSpace();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      return Consume(']');
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    ++pos_;  // '"'
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else
+              return Fail("bad \\u escape");
+          }
+          // BENCH files only escape control characters; anything else is
+          // preserved as UTF-8 by JsonEscape, so a Latin-1 fold suffices.
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Fail("bad escape character");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' ||
+          c == '+' || c == '-') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) return Fail("expected a value");
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    out->number = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return Fail("bad number");
+    out->kind = JsonValue::Kind::kNumber;
+    return true;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+double NumberOr(const JsonValue& root, const std::string& key,
+                double fallback) {
+  const JsonValue* v = root.Find(key);
+  if (v == nullptr || v->kind != JsonValue::Kind::kNumber) return fallback;
+  return v->number;
+}
+
+std::string RenderValue(const JsonValue& v) {
+  switch (v.kind) {
+    case JsonValue::Kind::kNull: return "null";
+    case JsonValue::Kind::kBool: return v.boolean ? "true" : "false";
+    case JsonValue::Kind::kString: return v.str;
+    case JsonValue::Kind::kNumber: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.9g", v.number);
+      return buf;
+    }
+    default: return "<composite>";
+  }
+}
+
+std::string FormatNumber(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
+// Relative change of candidate vs baseline, as a signed percentage string.
+std::string FormatDeltaPercent(double baseline, double candidate) {
+  if (baseline == 0.0) return candidate == 0.0 ? "+0.0%" : "n/a";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%+.1f%%",
+                100.0 * (candidate - baseline) / baseline);
+  return buf;
+}
+
+const char* StatusLabel(CompareRow::Status status) {
+  switch (status) {
+    case CompareRow::Status::kOk: return "ok";
+    case CompareRow::Status::kInfo: return "changed";
+    case CompareRow::Status::kRegression: return "**REGRESSION**";
+    case CompareRow::Status::kMissing: return "**MISSING**";
+  }
+  return "?";
+}
+
+}  // namespace
+
+bool ParseJson(const std::string& text, JsonValue* out, std::string* error) {
+  JsonParser parser(text);
+  return parser.Parse(out, error);
+}
+
+bool ParseBenchReport(const std::string& json_text, BenchReport* out,
+                      std::string* error) {
+  JsonValue root;
+  if (!ParseJson(json_text, &root, error)) return false;
+  if (root.kind != JsonValue::Kind::kObject) {
+    *error = "top-level value is not an object";
+    return false;
+  }
+  out->schema_version =
+      static_cast<int>(NumberOr(root, "schema_version", 0));
+  if (out->schema_version != 1) {
+    *error = "unsupported schema_version " +
+             std::to_string(out->schema_version);
+    return false;
+  }
+  const JsonValue* bench = root.Find("bench");
+  if (bench == nullptr || bench->kind != JsonValue::Kind::kString ||
+      bench->str.empty()) {
+    *error = "missing \"bench\" name";
+    return false;
+  }
+  out->bench = bench->str;
+  if (const JsonValue* v = root.Find("wall_seconds");
+      v == nullptr || v->kind != JsonValue::Kind::kNumber) {
+    *error = "missing \"wall_seconds\"";
+    return false;
+  }
+  out->wall_seconds = NumberOr(root, "wall_seconds", 0.0);
+  out->calib_wall_seconds = NumberOr(root, "calib_wall_seconds", 0.0);
+  out->events_processed =
+      static_cast<uint64_t>(NumberOr(root, "events_processed", 0.0));
+  out->events_per_second = NumberOr(root, "events_per_second", 0.0);
+  out->sim_ms_per_wall_ms = NumberOr(root, "sim_ms_per_wall_ms", 0.0);
+  out->threads = static_cast<int>(NumberOr(root, "threads", 0.0));
+  if (const JsonValue* v = root.Find("quick");
+      v != nullptr && v->kind == JsonValue::Kind::kBool) {
+    out->quick = v->boolean;
+  }
+  if (const JsonValue* v = root.Find("git_describe");
+      v != nullptr && v->kind == JsonValue::Kind::kString) {
+    out->git_describe = v->str;
+  }
+  if (const JsonValue* setup = root.Find("setup");
+      setup != nullptr && setup->kind == JsonValue::Kind::kObject) {
+    for (const auto& [key, value] : setup->object) {
+      out->setup[key] = RenderValue(value);
+    }
+  }
+  if (const JsonValue* metrics = root.Find("metrics");
+      metrics != nullptr && metrics->kind == JsonValue::Kind::kObject) {
+    for (const auto& [key, value] : metrics->object) {
+      if (value.kind == JsonValue::Kind::kNumber) {
+        out->metrics[key] = value.number;
+      }
+    }
+  }
+  return true;
+}
+
+bool LoadBenchReport(const std::string& path, BenchReport* out,
+                     std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    *error = "cannot open " + path;
+    return false;
+  }
+  std::string text;
+  char buffer[4096];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    text.append(buffer, n);
+  }
+  std::fclose(f);
+  if (!ParseBenchReport(text, out, error)) {
+    error->insert(0, path + ": ");
+    return false;
+  }
+  return true;
+}
+
+CompareResult CompareReports(const std::vector<BenchReport>& baseline,
+                             const std::vector<BenchReport>& candidate,
+                             const CompareOptions& options) {
+  CompareResult result;
+  std::map<std::string, const BenchReport*> base_by_name;
+  std::map<std::string, const BenchReport*> cand_by_name;
+  for (const BenchReport& report : baseline) {
+    base_by_name[report.bench] = &report;
+  }
+  for (const BenchReport& report : candidate) {
+    cand_by_name[report.bench] = &report;
+  }
+
+  auto add_row = [&result](CompareRow row) {
+    if (row.status == CompareRow::Status::kRegression ||
+        row.status == CompareRow::Status::kMissing) {
+      ++result.regressions;
+    } else if (row.status == CompareRow::Status::kInfo) {
+      ++result.changes;
+    }
+    result.rows.push_back(std::move(row));
+  };
+
+  for (const auto& [name, base] : base_by_name) {
+    auto cand_it = cand_by_name.find(name);
+    if (cand_it == cand_by_name.end()) {
+      CompareRow row;
+      row.bench = name;
+      row.metric = "(report)";
+      row.status = CompareRow::Status::kMissing;
+      row.note = "bench missing from candidate set";
+      add_row(std::move(row));
+      continue;
+    }
+    const BenchReport& cand = *cand_it->second;
+
+    // Wall clock, normalized by the calibration spin so a uniformly slower
+    // machine cancels out of the ratio.
+    double normalization = 1.0;
+    if (base->calib_wall_seconds > 0.0 && cand.calib_wall_seconds > 0.0) {
+      normalization = base->calib_wall_seconds / cand.calib_wall_seconds;
+    }
+    const double normalized_wall = cand.wall_seconds * normalization;
+    {
+      CompareRow row;
+      row.bench = name;
+      row.metric = "wall_seconds";
+      row.baseline = base->wall_seconds;
+      row.candidate = normalized_wall;
+      const double limit = base->wall_seconds * (1.0 + options.wall_threshold);
+      const bool over_ratio = normalized_wall > limit;
+      const bool over_slack =
+          normalized_wall - base->wall_seconds > options.wall_abs_slack_seconds;
+      if (over_ratio && over_slack) {
+        row.status = CompareRow::Status::kRegression;
+        char note[96];
+        std::snprintf(note, sizeof(note),
+                      "normalized slowdown beyond %.0f%% threshold",
+                      100.0 * options.wall_threshold);
+        row.note = note;
+      } else {
+        row.status = CompareRow::Status::kOk;
+        if (normalization != 1.0) row.note = "calibration-normalized";
+      }
+      add_row(std::move(row));
+    }
+
+    // Throughput rows are derived from the same wall measurement; report
+    // them for context but let wall_seconds be the single gate so one noisy
+    // run cannot fail three ways at once.
+    {
+      CompareRow row;
+      row.bench = name;
+      row.metric = "events_per_second";
+      row.baseline = base->events_per_second;
+      // events/s scales inversely with wall time, so divide by the factor
+      // that multiplied the wall clock.
+      row.candidate = normalization > 0.0
+                          ? cand.events_per_second / normalization
+                          : cand.events_per_second;
+      row.status = CompareRow::Status::kOk;
+      add_row(std::move(row));
+    }
+
+    // Deterministic simulation outputs: identical seeds must give identical
+    // numbers, so any drift is a real behavior change worth surfacing.
+    if (base->events_processed != cand.events_processed) {
+      CompareRow row;
+      row.bench = name;
+      row.metric = "events_processed";
+      row.baseline = static_cast<double>(base->events_processed);
+      row.candidate = static_cast<double>(cand.events_processed);
+      row.status = CompareRow::Status::kInfo;
+      row.note = "simulation event count changed";
+      add_row(std::move(row));
+    }
+    std::set<std::string> metric_names;
+    for (const auto& [metric, value] : base->metrics) {
+      metric_names.insert(metric);
+    }
+    for (const auto& [metric, value] : cand.metrics) {
+      metric_names.insert(metric);
+    }
+    for (const std::string& metric : metric_names) {
+      const auto base_it = base->metrics.find(metric);
+      const auto cand_metric_it = cand.metrics.find(metric);
+      CompareRow row;
+      row.bench = name;
+      row.metric = metric;
+      if (base_it == base->metrics.end()) {
+        row.candidate = cand_metric_it->second;
+        row.status = CompareRow::Status::kInfo;
+        row.note = "new metric";
+        add_row(std::move(row));
+        continue;
+      }
+      if (cand_metric_it == cand.metrics.end()) {
+        row.baseline = base_it->second;
+        row.status = CompareRow::Status::kMissing;
+        row.note = "metric missing from candidate";
+        add_row(std::move(row));
+        continue;
+      }
+      row.baseline = base_it->second;
+      row.candidate = cand_metric_it->second;
+      const auto threshold_it = options.metric_thresholds.find(metric);
+      if (threshold_it != options.metric_thresholds.end()) {
+        const double tolerated =
+            std::fabs(row.baseline) * threshold_it->second;
+        if (std::fabs(row.candidate - row.baseline) > tolerated) {
+          row.status = CompareRow::Status::kRegression;
+          row.note = "beyond per-metric threshold";
+        }
+      } else if (row.candidate != row.baseline) {
+        row.status = CompareRow::Status::kInfo;
+      }
+      add_row(std::move(row));
+    }
+  }
+
+  // New benches in the candidate are progress, not regressions.
+  for (const auto& [name, cand] : cand_by_name) {
+    if (base_by_name.count(name) != 0) continue;
+    CompareRow row;
+    row.bench = name;
+    row.metric = "(report)";
+    row.candidate = cand->wall_seconds;
+    row.status = CompareRow::Status::kInfo;
+    row.note = "new bench (no baseline)";
+    add_row(std::move(row));
+  }
+
+  std::string& md = result.markdown;
+  md += "| bench | metric | baseline | candidate | delta | status |\n";
+  md += "|---|---|---:|---:|---:|---|\n";
+  for (const CompareRow& row : result.rows) {
+    md += "| ";
+    md.append(row.bench);
+    md += " | ";
+    md.append(row.metric);
+    md += " | ";
+    md.append(FormatNumber(row.baseline));
+    md += " | ";
+    md.append(FormatNumber(row.candidate));
+    md += " | ";
+    md.append(FormatDeltaPercent(row.baseline, row.candidate));
+    md += " | ";
+    md.append(StatusLabel(row.status));
+    if (!row.note.empty()) {
+      md += " — ";
+      md.append(row.note);
+    }
+    md += " |\n";
+  }
+  return result;
+}
+
+}  // namespace memgoal::bench

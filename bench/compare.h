@@ -1,0 +1,111 @@
+// Regression comparison for BENCH_*.json telemetry files.
+//
+// A BenchReport is the parsed form of one BENCH_<name>.json emitted by
+// BenchReporter (bench/experiment.h). CompareReports diffs a candidate set
+// against a baseline set with per-metric noise thresholds:
+//
+//  - wall_seconds is the gating metric. The candidate's wall clock is first
+//    normalized by the ratio of the two calibration spins
+//    (baseline.calib_wall_seconds / candidate.calib_wall_seconds), so a
+//    slower CI machine does not read as a regression. A normalized slowdown
+//    beyond the relative threshold AND the absolute slack fails.
+//  - deterministic simulation metrics (the metrics{} object and
+//    events_processed) are bit-stable across machines, so any change is
+//    surfaced in the delta table — informational by default, gating when the
+//    caller lists the metric in CompareOptions::metric_thresholds.
+//  - a bench present in the baseline but missing from the candidate is a
+//    coverage regression and fails; a new candidate bench is informational.
+//
+// The JSON parser below is a minimal recursive-descent parser sufficient for
+// the BENCH_*.json schema (objects, arrays, strings, numbers, bools, null);
+// it exists so the tool needs no third-party dependency.
+
+#ifndef MEMGOAL_BENCH_COMPARE_H_
+#define MEMGOAL_BENCH_COMPARE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace memgoal::bench {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kObject, kArray };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  // Insertion order is preserved so round-trips and diffs are deterministic.
+  std::vector<std::pair<std::string, JsonValue>> object;
+  std::vector<JsonValue> array;
+
+  // Returns the member value for `key`, or nullptr. Objects only.
+  const JsonValue* Find(const std::string& key) const;
+};
+
+// Parses `text` into `*out`. On failure returns false and describes the
+// first error (with byte offset) in `*error`.
+bool ParseJson(const std::string& text, JsonValue* out, std::string* error);
+
+struct BenchReport {
+  std::string bench;
+  std::string git_describe;
+  int schema_version = 0;
+  int threads = 0;
+  bool quick = false;
+  double wall_seconds = 0.0;
+  double calib_wall_seconds = 0.0;
+  uint64_t events_processed = 0;
+  double events_per_second = 0.0;
+  double sim_ms_per_wall_ms = 0.0;
+  std::map<std::string, std::string> setup;
+  std::map<std::string, double> metrics;
+};
+
+// Parses one BENCH_*.json document. Requires schema_version 1 and the
+// "bench" / "wall_seconds" fields; everything else is optional.
+bool ParseBenchReport(const std::string& json_text, BenchReport* out,
+                      std::string* error);
+
+// Reads the file at `path` and parses it with ParseBenchReport.
+bool LoadBenchReport(const std::string& path, BenchReport* out,
+                     std::string* error);
+
+struct CompareOptions {
+  // Relative wall-clock slowdown tolerated after calibration normalization.
+  // 0.15 means a normalized candidate may be up to 15% slower.
+  double wall_threshold = 0.15;
+  // Absolute slack: normalized slowdowns below this many seconds never fail,
+  // whatever the ratio — sub-second quick benches are noise-dominated.
+  double wall_abs_slack_seconds = 0.05;
+  // Extra gating: metric name -> tolerated relative change (either
+  // direction). Metrics not listed here are informational.
+  std::map<std::string, double> metric_thresholds;
+};
+
+struct CompareRow {
+  enum class Status { kOk, kInfo, kRegression, kMissing };
+  std::string bench;
+  std::string metric;
+  double baseline = 0.0;
+  double candidate = 0.0;
+  Status status = Status::kOk;
+  std::string note;
+};
+
+struct CompareResult {
+  std::vector<CompareRow> rows;
+  int regressions = 0;   // rows with Status::kRegression or kMissing
+  int changes = 0;       // informational rows whose values differ
+  std::string markdown;  // the delta table, ready to print or publish
+};
+
+CompareResult CompareReports(const std::vector<BenchReport>& baseline,
+                             const std::vector<BenchReport>& candidate,
+                             const CompareOptions& options);
+
+}  // namespace memgoal::bench
+
+#endif  // MEMGOAL_BENCH_COMPARE_H_

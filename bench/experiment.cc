@@ -1,10 +1,16 @@
 #include "bench/experiment.h"
 
 #include <algorithm>
+#include <cinttypes>
 #include <cmath>
+#include <cstdio>
 
 #include "baseline/static_controllers.h"
 #include "common/check.h"
+
+#ifndef MEMGOAL_GIT_DESCRIBE
+#define MEMGOAL_GIT_DESCRIBE "unknown"
+#endif
 
 namespace memgoal::bench {
 
@@ -188,6 +194,8 @@ struct TrialOutcome {
   common::RunningStats iterations;
   int goals_completed = 0;
   int censored = 0;
+  uint64_t events_processed = 0;
+  double sim_time_ms = 0.0;
 };
 
 }  // namespace
@@ -244,6 +252,8 @@ ConvergenceResult MeasureConvergence(const Setup& base_setup,
         outcome.iterations = driver.iterations();
         outcome.goals_completed = driver.goals_completed();
         outcome.censored = driver.censored();
+        outcome.events_processed = system->simulator().events_processed();
+        outcome.sim_time_ms = system->simulator().Now();
         return outcome;
       });
 
@@ -254,6 +264,8 @@ ConvergenceResult MeasureConvergence(const Setup& base_setup,
     result.iterations.Merge(outcome.iterations);
     result.goals_completed += outcome.goals_completed;
     result.censored += outcome.censored;
+    result.events_processed += outcome.events_processed;
+    result.sim_time_ms += outcome.sim_time_ms;
     ++result.runs_used;
     if (result.iterations.count() >= 10 &&
         common::ConfidenceHalfWidth(result.iterations, 0.99) < 1.0) {
@@ -261,6 +273,225 @@ ConvergenceResult MeasureConvergence(const Setup& base_setup,
     }
   }
   return result;
+}
+
+// -- Bench telemetry ---------------------------------------------------------
+
+double MinOfRepsSeconds(int reps, const std::function<void()>& fn) {
+  MEMGOAL_CHECK(reps >= 1);
+  double best = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    best = rep == 0 ? elapsed.count() : std::min(best, elapsed.count());
+  }
+  return best;
+}
+
+namespace {
+
+/// The calibration spin: a fixed FNV-style integer mix long enough
+/// (~tens of ms) that timer granularity is negligible but short enough to
+/// be an acceptable fixed cost per bench run.
+uint64_t CalibrationSpin() {
+  uint64_t h = 1469598103934665603ull;
+  for (uint64_t i = 0; i < 20'000'000ull; ++i) {
+    h ^= i;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+  return buffer;
+}
+
+}  // namespace
+
+double CalibrateMachineSeconds() {
+  volatile uint64_t sink = 0;
+  return MinOfRepsSeconds(3, [&sink] { sink = CalibrationSpin(); });
+}
+
+BenchReporter::BenchReporter(std::string name, common::Config* args)
+    : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {
+  MEMGOAL_CHECK(args != nullptr);
+  json_dir_ = args->GetString("bench_json", ".");
+  if (json_dir_ == "0" || json_dir_ == "off") json_dir_.clear();
+  profiler_.Enable(args->GetBool("profile", false));
+  threads_ = static_cast<int>(args->GetInt("threads", 0));
+  quick_ = args->GetBool("quick", false);
+  if (profiler_.enabled()) install_.emplace(&profiler_);
+}
+
+BenchReporter::~BenchReporter() {
+  MEMGOAL_DCHECK(finished_);  // a bench that never Finish()es reports nothing
+}
+
+void BenchReporter::AddSetup(const std::string& key,
+                             const std::string& value) {
+  // Assembled with append(): GCC 12 raises a spurious -Wrestrict on the
+  // equivalent operator+ chain.
+  std::string quoted;
+  quoted.append(1, '"');
+  quoted.append(JsonEscape(value));
+  quoted.append(1, '"');
+  setup_.emplace_back(key, quoted);
+}
+
+void BenchReporter::AddSetup(const std::string& key, double value) {
+  setup_.emplace_back(key, JsonNumber(value));
+}
+
+void BenchReporter::AddMetric(const std::string& name, double value) {
+  metrics_.emplace_back(name, value);
+}
+
+void BenchReporter::AddEvents(uint64_t events, double sim_time_ms) {
+  events_.fetch_add(events, std::memory_order_relaxed);
+  // Microsecond ticks keep the accumulator an integer (atomic<double> has
+  // no fetch_add pre-C++20-TS on every toolchain) with ample range.
+  sim_time_us_.fetch_add(static_cast<uint64_t>(sim_time_ms * 1e3),
+                         std::memory_order_relaxed);
+}
+
+void BenchReporter::Finish() {
+  MEMGOAL_CHECK(!finished_);
+  finished_ = true;
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start_;
+  const double wall_seconds = elapsed.count();
+  install_.reset();
+
+  const uint64_t events = events_.load(std::memory_order_relaxed);
+  const double sim_ms =
+      static_cast<double>(sim_time_us_.load(std::memory_order_relaxed)) / 1e3;
+  const double events_per_second =
+      wall_seconds > 0.0 ? static_cast<double>(events) / wall_seconds : 0.0;
+  const double sim_per_wall =
+      wall_seconds > 0.0 ? sim_ms / (wall_seconds * 1e3) : 0.0;
+
+  std::fprintf(stderr,
+               "# bench %s: wall=%.3f s events=%" PRIu64
+               " events/s=%.3g sim/wall=%.3g\n",
+               name_.c_str(), wall_seconds, events, events_per_second,
+               sim_per_wall);
+
+  if (json_dir_.empty()) return;
+
+  // The calibration spin runs after the measured work so it never inflates
+  // wall_seconds.
+  const double calib_seconds = CalibrateMachineSeconds();
+
+  std::string json;
+  json.reserve(2048);
+  json += "{\n";
+  json += "  \"schema_version\": 1,\n";
+  json += "  \"bench\": \"";
+  json.append(JsonEscape(name_));
+  json += "\",\n  \"git_describe\": \"";
+  json.append(JsonEscape(MEMGOAL_GIT_DESCRIBE));
+  json += "\",\n  \"threads\": ";
+  json.append(std::to_string(threads_));
+  json += ",\n  \"quick\": ";
+  json += quick_ ? "true" : "false";
+  json += ",\n";
+  json += "  \"setup\": {";
+  for (size_t i = 0; i < setup_.size(); ++i) {
+    if (i != 0) json += ", ";
+    json.append(1, '"');
+    json.append(JsonEscape(setup_[i].first));
+    json.append("\": ");
+    json.append(setup_[i].second);
+  }
+  json += "},\n";
+  json += "  \"metrics\": {";
+  for (size_t i = 0; i < metrics_.size(); ++i) {
+    if (i != 0) json += ", ";
+    json.append(1, '"');
+    json.append(JsonEscape(metrics_[i].first));
+    json.append("\": ");
+    json.append(JsonNumber(metrics_[i].second));
+  }
+  json += "},\n";
+  json += "  \"wall_seconds\": ";
+  json.append(JsonNumber(wall_seconds));
+  json += ",\n  \"calib_wall_seconds\": ";
+  json.append(JsonNumber(calib_seconds));
+  json += ",\n  \"events_processed\": ";
+  json.append(std::to_string(events));
+  json += ",\n  \"events_per_second\": ";
+  json.append(JsonNumber(events_per_second));
+  json += ",\n  \"sim_ms_per_wall_ms\": ";
+  json.append(JsonNumber(sim_per_wall));
+  json += ",\n  \"profile\": ";
+  if (profiler_.enabled()) {
+    profiler_.AppendJson(&json);
+  } else {
+    json += "null";
+  }
+  json += "\n}\n";
+
+  std::string json_path = json_dir_;
+  json_path.append("/BENCH_");
+  json_path.append(name_);
+  json_path.append(".json");
+  std::FILE* out = std::fopen(json_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "# bench %s: cannot write %s\n", name_.c_str(),
+                 json_path.c_str());
+    return;
+  }
+  std::fwrite(json.data(), 1, json.size(), out);
+  std::fclose(out);
+
+  if (profiler_.enabled()) {
+    std::string folded_path = json_dir_;
+    folded_path.append("/BENCH_");
+    folded_path.append(name_);
+    folded_path.append(".folded");
+    std::FILE* folded = std::fopen(folded_path.c_str(), "w");
+    if (folded != nullptr) {
+      profiler_.WriteFolded(folded);
+      std::fclose(folded);
+    }
+    profiler_.WriteTable(stderr, wall_seconds);
+  }
 }
 
 }  // namespace memgoal::bench

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "obs/profiler.h"
 
 namespace memgoal::cache {
 
@@ -15,20 +16,27 @@ CostBasedPolicy::CostBasedPolicy(BenefitFn benefit_fn, int revalidation_limit)
 }
 
 void CostBasedPolicy::OnInsert(PageId page) {
+  obs::ProfileScope profile(obs::Phase::kHeapMaintain);
   residents_.Insert(page, benefit_fn_(page));
 }
 
 void CostBasedPolicy::OnAccess(PageId page) {
+  obs::ProfileScope profile(obs::Phase::kHeapMaintain);
   residents_.Update(page, benefit_fn_(page));
 }
 
-void CostBasedPolicy::OnErase(PageId page) { residents_.Erase(page); }
+void CostBasedPolicy::OnErase(PageId page) {
+  obs::ProfileScope profile(obs::Phase::kHeapMaintain);
+  residents_.Erase(page);
+}
 
 void CostBasedPolicy::Refresh(PageId page) {
+  obs::ProfileScope profile(obs::Phase::kHeapMaintain);
   if (residents_.Contains(page)) residents_.Update(page, benefit_fn_(page));
 }
 
 std::optional<PageId> CostBasedPolicy::ChooseVictim() {
+  obs::ProfileScope profile(obs::Phase::kVictimSelect);
   if (residents_.empty()) return std::nullopt;
   // Lazy revalidation: keys may be stale; recompute the apparent minimum
   // and re-heapify until the minimum is confirmed (or we hit the bound, in

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "obs/profiler.h"
 
 namespace memgoal::cache {
 
@@ -13,6 +14,7 @@ HeatTracker::HeatTracker(int k, double epsilon_ms)
 }
 
 void HeatTracker::RecordAccess(PageId page, sim::SimTime now) {
+  obs::ProfileScope profile(obs::Phase::kHeatUpdate);
   History& h = history_[page];
   if (h.times.empty()) h.times.assign(static_cast<size_t>(k_), 0.0);
   h.times[static_cast<size_t>(h.next)] = now;
@@ -49,6 +51,7 @@ int HeatTracker::AccessCount(PageId page) const {
 
 size_t HeatTracker::EvictColderThan(
     sim::SimTime horizon, const std::function<bool(PageId)>& retain) {
+  obs::ProfileScope profile(obs::Phase::kHeatUpdate);
   size_t evicted = 0;
   for (auto it = history_.begin(); it != history_.end();) {
     const History& h = it->second;

@@ -39,6 +39,7 @@ bool Config::ParseArgs(int argc, const char* const* argv) {
     if (eq == std::string::npos) {
       if (dashed && !token.empty()) {
         Set(token, "1");
+        dashed_.insert(token);
         continue;
       }
       error_ = std::string("malformed argument (expected key=value or "
@@ -53,6 +54,7 @@ bool Config::ParseArgs(int argc, const char* const* argv) {
       return false;
     }
     Set(token.substr(0, eq), token.substr(eq + 1));
+    if (dashed) dashed_.insert(token.substr(0, eq));
   }
   return true;
 }
@@ -87,6 +89,7 @@ bool Config::Has(const std::string& key) const {
 }
 
 std::optional<std::string> Config::Lookup(const std::string& key) {
+  known_.insert(key);
   auto it = values_.find(key);
   if (it == values_.end()) return std::nullopt;
   used_[key] = true;
@@ -133,6 +136,56 @@ std::vector<std::string> Config::UnusedKeys() const {
     if (!was_used) keys.push_back(key);
   }
   return keys;
+}
+
+namespace {
+
+size_t EditDistance(const std::string& a, const std::string& b) {
+  std::vector<size_t> row(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    size_t diagonal = row[0];
+    row[0] = i;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      const size_t substitution =
+          diagonal + (a[i - 1] == b[j - 1] ? 0 : 1);
+      diagonal = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, substitution});
+    }
+  }
+  return row[b.size()];
+}
+
+std::string GnuSpelling(const std::string& key) {
+  std::string flag = "--" + key;
+  std::replace(flag.begin(), flag.end(), '_', '-');
+  return flag;
+}
+
+}  // namespace
+
+bool Config::RejectUnknownFlags() {
+  for (const std::string& key : dashed_) {
+    if (used_.at(key)) continue;
+    error_ = "unknown flag " + GnuSpelling(key);
+    // Nearest key any getter queried, within edit distance 2 — far enough
+    // for a dropped letter or transposed pair, near enough not to suggest
+    // unrelated knobs.
+    size_t best = 3;
+    std::string suggestion;
+    for (const std::string& candidate : known_) {
+      const size_t distance = EditDistance(key, candidate);
+      if (distance < best) {
+        best = distance;
+        suggestion = candidate;
+      }
+    }
+    if (!suggestion.empty()) {
+      error_ += " (did you mean " + GnuSpelling(suggestion) + "?)";
+    }
+    return false;
+  }
+  return true;
 }
 
 }  // namespace memgoal::common

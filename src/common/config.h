@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -45,6 +46,14 @@ class Config {
   /// about misspelled overrides.
   std::vector<std::string> UnusedKeys() const;
 
+  /// Strict check for command-line `--flag` spellings: call after every
+  /// getter has run. Any dashed argument whose key no getter ever asked
+  /// about is a typo, not a tunable — returns false and records an error
+  /// naming the flag, with a "did you mean --x" suggestion when a key some
+  /// getter *did* query is within edit distance 2. Scenario-file and bare
+  /// `key=value` tokens keep the soft UnusedKeys() warning instead.
+  bool RejectUnknownFlags();
+
   const std::string& error() const { return error_; }
 
  private:
@@ -52,6 +61,11 @@ class Config {
 
   std::map<std::string, std::string> values_;
   std::map<std::string, bool> used_;
+  /// Keys some getter queried (present or not): the vocabulary the binary
+  /// actually understands, used for near-miss suggestions.
+  std::set<std::string> known_;
+  /// Keys that arrived as `--flag[=value]` on the command line.
+  std::set<std::string> dashed_;
   std::string error_;
 };
 

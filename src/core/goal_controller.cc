@@ -8,6 +8,7 @@
 #include "common/logging.h"
 #include "core/variance_optimizer.h"
 #include "net/network.h"
+#include "obs/profiler.h"
 
 namespace memgoal::core {
 
@@ -242,6 +243,9 @@ sim::Task<void> GoalOrientedController::DeliverNoGoalReport(
 }
 
 void GoalOrientedController::OnIntervalEnd(int) {
+  // Synchronous (no coroutine suspension): the whole interval rollup and
+  // report fan-out is one profile frame.
+  obs::ProfileScope profile(obs::Phase::kControllerCheck);
   const SystemConfig& config = system_->config();
 
   // Phase (a): agents roll up and report on significant change. A dead

@@ -4,10 +4,12 @@
 #include <cmath>
 
 #include "la/gauss.h"
+#include "obs/profiler.h"
 
 namespace memgoal::la {
 
 bool RowReplaceInverse::Reset(const Matrix& a) {
+  obs::ProfileScope profile(obs::Phase::kRowReplace);
   MEMGOAL_CHECK(a.rows() == a.cols());
   std::optional<Matrix> inv = Invert(a);
   if (!inv.has_value()) {
@@ -40,6 +42,7 @@ bool RowReplaceInverse::WouldRemainNonsingular(size_t row,
 }
 
 bool RowReplaceInverse::ReplaceRow(size_t row, const Vector& new_row) {
+  obs::ProfileScope profile(obs::Phase::kRowReplace);
   const double den = Denominator(row, new_row);
   if (std::fabs(den) <= kDenominatorTolerance) return false;
 

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/check.h"
+#include "obs/profiler.h"
 
 namespace memgoal::la {
 
@@ -105,6 +106,7 @@ bool SimplexSolver::Iterate(size_t allowed_cols) {
 }
 
 SimplexResult SimplexSolver::Solve() {
+  obs::ProfileScope profile(obs::Phase::kSimplexSolve);
   const size_t m = relations_.size();
   if (m == 0) {
     // No constraints: the optimum sits at the lower bounds unless some

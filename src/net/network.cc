@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "common/check.h"
+#include "obs/profiler.h"
 
 namespace memgoal::net {
 
@@ -87,28 +88,40 @@ sim::SimTime Network::TransmissionTime(uint32_t bytes) const {
 sim::Task<bool> Network::Transfer(NodeId from, NodeId to, uint32_t bytes,
                                   TrafficClass traffic_class) {
   if (from == to) co_return true;
-  bytes_sent_[static_cast<int>(traffic_class)] += bytes;
-  ++messages_sent_[static_cast<int>(traffic_class)];
-  const sim::SimTime start = simulator_->Now();
+  sim::SimTime start;
+  {
+    // Scoped so the profile frame closes before the first co_await below:
+    // a ProfileScope must never span a suspension point, or the suspended
+    // wall time would be billed to this phase.
+    obs::ProfileScope profile(obs::Phase::kNetSend);
+    bytes_sent_[static_cast<int>(traffic_class)] += bytes;
+    ++messages_sent_[static_cast<int>(traffic_class)];
+    start = simulator_->Now();
+  }
   co_await medium_.Acquire();
   co_await simulator_->Delay(TransmissionTime(bytes));
   medium_.Release();
   co_await simulator_->Delay(params_.latency_ms *
                              std::max(NodeSlowdown(from), NodeSlowdown(to)));
   bool delivered = true;
-  if (IsBestEffort(traffic_class) && DrawLoss()) {
-    ++messages_dropped_[static_cast<int>(traffic_class)];
-    delivered = false;
-  }
-  if (tracer_ && tracer_->enabled()) {
-    char args[128];
-    std::snprintf(args, sizeof(args),
-                  "{\"to\":%u,\"bytes\":%u,\"class\":\"%s\",\"delivered\":%s}",
-                  static_cast<unsigned>(to), bytes,
-                  TrafficClassName(traffic_class),
-                  delivered ? "true" : "false");
-    tracer_->Complete("net_transfer", "net", static_cast<uint32_t>(from),
-                      tracer_->NextTrack(), start, simulator_->Now(), args);
+  {
+    // No co_await between here and co_return, so the scope is safe; it
+    // covers the delivery-side bookkeeping (loss draw + trace emission).
+    obs::ProfileScope profile(obs::Phase::kNetReceive);
+    if (IsBestEffort(traffic_class) && DrawLoss()) {
+      ++messages_dropped_[static_cast<int>(traffic_class)];
+      delivered = false;
+    }
+    if (tracer_ && tracer_->enabled()) {
+      char args[128];
+      std::snprintf(args, sizeof(args),
+                    "{\"to\":%u,\"bytes\":%u,\"class\":\"%s\",\"delivered\":%s}",
+                    static_cast<unsigned>(to), bytes,
+                    TrafficClassName(traffic_class),
+                    delivered ? "true" : "false");
+      tracer_->Complete("net_transfer", "net", static_cast<uint32_t>(from),
+                        tracer_->NextTrack(), start, simulator_->Now(), args);
+    }
   }
   co_return delivered;
 }

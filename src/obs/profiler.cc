@@ -1,0 +1,212 @@
+#include "obs/profiler.h"
+
+#include <algorithm>
+#include <cinttypes>
+
+#include "common/check.h"
+
+namespace memgoal::obs {
+
+namespace {
+
+thread_local Profiler* t_current_profiler = nullptr;
+
+}  // namespace
+
+const char* PhaseName(Phase phase) {
+  switch (phase) {
+    case Phase::kSimStep:
+      return "sim.step";
+    case Phase::kVictimSelect:
+      return "cache.victim_select";
+    case Phase::kHeapMaintain:
+      return "cache.heap_maintain";
+    case Phase::kHeatUpdate:
+      return "cache.heat_update";
+    case Phase::kSimplexSolve:
+      return "la.simplex_solve";
+    case Phase::kRowReplace:
+      return "la.row_replace";
+    case Phase::kNetSend:
+      return "net.send";
+    case Phase::kNetReceive:
+      return "net.receive";
+    case Phase::kControllerCheck:
+      return "ctrl.check";
+  }
+  return "?";
+}
+
+Profiler* Profiler::Current() { return t_current_profiler; }
+
+Profiler::ScopedInstall::ScopedInstall(Profiler* profiler)
+    : previous_(t_current_profiler) {
+  t_current_profiler = profiler;
+}
+
+Profiler::ScopedInstall::~ScopedInstall() {
+  t_current_profiler = previous_;
+}
+
+void Profiler::Push(Phase phase) {
+  Frame frame;
+  frame.phase = phase;
+  frame.child_ns = 0;
+  frame.parent_path = current_path_;
+  if (stack_.size() < static_cast<size_t>(kMaxEncodedDepth)) {
+    current_path_ =
+        (current_path_ << 5) | (static_cast<uint64_t>(phase) + 1);
+  }
+  frame.start_ns = NowNs();  // last: exclude the push bookkeeping itself
+  stack_.push_back(frame);
+}
+
+void Profiler::Pop() {
+  const uint64_t now = NowNs();
+  MEMGOAL_DCHECK(!stack_.empty());
+  const Frame frame = stack_.back();
+  stack_.pop_back();
+  const uint64_t elapsed = now - frame.start_ns;
+
+  PhaseStats& flat = phases_[static_cast<size_t>(frame.phase)];
+  ++flat.count;
+  flat.total_ns += elapsed;
+  flat.max_ns = std::max(flat.max_ns, elapsed);
+
+  PathStats& path = paths_[current_path_];
+  ++path.count;
+  path.self_ns += elapsed - std::min(elapsed, frame.child_ns);
+
+  if (!stack_.empty()) stack_.back().child_ns += elapsed;
+  current_path_ = frame.parent_path;
+}
+
+void Profiler::AddSample(Phase phase, uint64_t ns) {
+  PhaseStats& flat = phases_[static_cast<size_t>(phase)];
+  ++flat.count;
+  flat.total_ns += ns;
+  flat.max_ns = std::max(flat.max_ns, ns);
+  PathStats& path = paths_[static_cast<uint64_t>(phase) + 1];
+  ++path.count;
+  path.self_ns += ns;
+}
+
+void Profiler::Merge(const Profiler& other) {
+  MEMGOAL_DCHECK(other.stack_.empty());
+  for (int i = 0; i < kNumPhases; ++i) {
+    const PhaseStats& theirs = other.phases_[static_cast<size_t>(i)];
+    PhaseStats& ours = phases_[static_cast<size_t>(i)];
+    ours.count += theirs.count;
+    ours.total_ns += theirs.total_ns;
+    ours.max_ns = std::max(ours.max_ns, theirs.max_ns);
+  }
+  for (const auto& [encoded, theirs] : other.paths_) {
+    PathStats& ours = paths_[encoded];
+    ours.count += theirs.count;
+    ours.self_ns += theirs.self_ns;
+  }
+}
+
+uint64_t Profiler::total_count() const {
+  uint64_t total = 0;
+  for (const PhaseStats& stats : phases_) total += stats.count;
+  return total;
+}
+
+uint64_t Profiler::profiled_ns() const {
+  // Self times partition the profiled wall clock — every nanosecond under a
+  // scope is attributed to exactly one stack path — so summing all paths
+  // yields the inclusive total of the root-level scopes.
+  uint64_t total = 0;
+  for (const auto& [encoded, stats] : paths_) {
+    total += stats.self_ns;
+  }
+  return total;
+}
+
+namespace {
+
+/// Decodes a 5-bits-per-level path into "memgoal;phase;phase...".
+std::string DecodePath(uint64_t encoded) {
+  std::vector<Phase> levels;
+  while (encoded != 0) {
+    levels.push_back(static_cast<Phase>((encoded & 31) - 1));
+    encoded >>= 5;
+  }
+  std::string out = "memgoal";
+  for (auto it = levels.rbegin(); it != levels.rend(); ++it) {
+    out += ';';
+    out += PhaseName(*it);
+  }
+  return out;
+}
+
+}  // namespace
+
+void Profiler::WriteTable(std::FILE* out, double run_wall_seconds) const {
+  // Sorted by inclusive total, descending; ties break on phase index so the
+  // table is deterministic.
+  std::vector<int> order;
+  for (int i = 0; i < kNumPhases; ++i) {
+    if (phases_[static_cast<size_t>(i)].count > 0) order.push_back(i);
+  }
+  std::sort(order.begin(), order.end(), [this](int a, int b) {
+    const uint64_t ta = phases_[static_cast<size_t>(a)].total_ns;
+    const uint64_t tb = phases_[static_cast<size_t>(b)].total_ns;
+    if (ta != tb) return ta > tb;
+    return a < b;
+  });
+
+  std::fprintf(out,
+               "%-22s %12s %12s %10s %10s %7s\n", "phase", "count",
+               "total_ms", "mean_us", "max_us", "pct");
+  for (int i : order) {
+    const PhaseStats& stats = phases_[static_cast<size_t>(i)];
+    const double total_ms = static_cast<double>(stats.total_ns) / 1e6;
+    const double mean_us = static_cast<double>(stats.total_ns) / 1e3 /
+                           static_cast<double>(stats.count);
+    const double max_us = static_cast<double>(stats.max_ns) / 1e3;
+    if (run_wall_seconds > 0.0) {
+      std::fprintf(out, "%-22s %12" PRIu64 " %12.3f %10.2f %10.2f %6.2f%%\n",
+                   PhaseName(static_cast<Phase>(i)), stats.count, total_ms,
+                   mean_us, max_us, 100.0 * total_ms / 1e3 / run_wall_seconds);
+    } else {
+      std::fprintf(out, "%-22s %12" PRIu64 " %12.3f %10.2f %10.2f %7s\n",
+                   PhaseName(static_cast<Phase>(i)), stats.count, total_ms,
+                   mean_us, max_us, "-");
+    }
+  }
+}
+
+void Profiler::WriteFolded(std::FILE* out) const {
+  for (const auto& [encoded, stats] : paths_) {
+    if (stats.self_ns == 0 && stats.count == 0) continue;
+    std::fprintf(out, "%s %" PRIu64 "\n", DecodePath(encoded).c_str(),
+                 stats.self_ns);
+  }
+}
+
+void Profiler::AppendJson(std::string* out) const {
+  char buffer[256];
+  out->append("{\"phases\":[");
+  bool first = true;
+  for (int i = 0; i < kNumPhases; ++i) {
+    const PhaseStats& stats = phases_[static_cast<size_t>(i)];
+    if (stats.count == 0) continue;
+    std::snprintf(buffer, sizeof(buffer),
+                  "%s{\"name\":\"%s\",\"count\":%" PRIu64
+                  ",\"total_ms\":%.6f,\"mean_us\":%.3f,\"max_us\":%.3f}",
+                  first ? "" : ",", PhaseName(static_cast<Phase>(i)),
+                  stats.count, static_cast<double>(stats.total_ns) / 1e6,
+                  static_cast<double>(stats.total_ns) / 1e3 /
+                      static_cast<double>(stats.count),
+                  static_cast<double>(stats.max_ns) / 1e3);
+    out->append(buffer);
+    first = false;
+  }
+  std::snprintf(buffer, sizeof(buffer), "],\"profiled_ms\":%.6f}",
+                static_cast<double>(profiled_ns()) / 1e6);
+  out->append(buffer);
+}
+
+}  // namespace memgoal::obs

@@ -8,8 +8,16 @@
 namespace memgoal::obs {
 
 void Registry::Counter::Set(uint64_t cumulative) {
-  MEMGOAL_DCHECK(cumulative >= value_);
-  value_ = cumulative;
+  const uint64_t mirrored = external_offset_ + cumulative;
+  if (mirrored < value_) {
+    // The source went backwards (reset/restart/rollover). Re-anchor the
+    // offset so this call holds the counter steady (delta clamps to zero)
+    // and the source's subsequent increments advance it again.
+    external_offset_ = value_ - cumulative;
+    ++regressions_;
+    return;
+  }
+  value_ = mirrored;
 }
 
 Registry::Counter* Registry::GetCounter(const std::string& name) {
@@ -38,6 +46,7 @@ const Registry::Snapshot& Registry::TakeSnapshot(int interval,
   Snapshot snap;
   snap.interval = interval;
   snap.sim_time_ms = sim_time_ms;
+  uint64_t total_regressions = 0;
   for (auto& [name, counter] : counters_) {
     SnapshotEntry entry;
     entry.name = name;
@@ -45,6 +54,18 @@ const Registry::Snapshot& Registry::TakeSnapshot(int interval,
     entry.value = static_cast<double>(counter.value_);
     entry.delta = counter.value_ - counter.snapshot_base_;
     counter.snapshot_base_ = counter.value_;
+    total_regressions += counter.regressions_;
+    snap.entries.push_back(std::move(entry));
+  }
+  // Mirror-health telemetry: only materialized once a clamp has happened,
+  // so healthy runs don't grow a permanently-zero instrument.
+  if (total_regressions > 0) {
+    SnapshotEntry entry;
+    entry.name = "obs.counter_regressions";
+    entry.kind = Kind::kCounter;
+    entry.value = static_cast<double>(total_regressions);
+    entry.delta = total_regressions - regressions_snapshot_base_;
+    regressions_snapshot_base_ = total_regressions;
     snap.entries.push_back(std::move(entry));
   }
   for (const auto& [name, gauge] : gauges_) {

@@ -31,15 +31,26 @@ class Registry {
   class Counter {
    public:
     void Add(uint64_t n = 1) { value_ += n; }
-    /// Mirrors an externally accumulated cumulative count; must not go
-    /// backwards.
+    /// Mirrors an externally accumulated cumulative count. A mirror that
+    /// goes backwards (the source was reset or restarted) is clamped: the
+    /// counter holds its current value for that call — a monotonic counter
+    /// never decreases, so the per-interval delta reads zero instead of
+    /// wrapping — and later increments from the source advance it again.
+    /// Each clamp is counted; snapshots surface the registry-wide total as
+    /// a synthetic "obs.counter_regressions" counter.
     void Set(uint64_t cumulative);
     uint64_t value() const { return value_; }
+    /// Number of times Set() observed the mirror going backwards.
+    uint64_t regressions() const { return regressions_; }
 
    private:
     friend class Registry;
     uint64_t value_ = 0;
     uint64_t snapshot_base_ = 0;
+    // value_ = external_offset_ + the source's last mirrored reading, so a
+    // re-anchored (post-reset) source keeps producing correct deltas.
+    uint64_t external_offset_ = 0;
+    uint64_t regressions_ = 0;
   };
 
   /// Last-value gauge.
@@ -111,6 +122,8 @@ class Registry {
   std::map<std::string, Gauge> gauges_;
   std::map<std::string, HistogramView> histograms_;
   std::vector<Snapshot> history_;
+  // Delta base for the synthetic "obs.counter_regressions" entry.
+  uint64_t regressions_snapshot_base_ = 0;
 };
 
 }  // namespace memgoal::obs

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "obs/profiler.h"
 
 namespace memgoal::sim {
 
@@ -44,7 +45,13 @@ bool Simulator::Step() {
   MEMGOAL_CHECK(event.time >= now_);
   now_ = event.time;
   ++events_processed_;
-  event.fn();
+  {
+    // Event dispatch is the simulation's outermost hot path: everything a
+    // run does (coroutine resumptions included) happens inside some event,
+    // so deeper phases nest under this scope in the folded stacks.
+    obs::ProfileScope profile(obs::Phase::kSimStep);
+    event.fn();
+  }
   return true;
 }
 

@@ -1,0 +1,204 @@
+// Pins the regression-gate semantics of bench/compare.h: a +20% wall
+// regression fails, within-noise drift passes, the calibration spin cancels
+// machine speed out of the wall comparison, deterministic metric changes
+// are informational unless explicitly gated, and a bench disappearing from
+// the candidate set is itself a regression.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench/compare.h"
+
+namespace memgoal::bench {
+namespace {
+
+BenchReport MakeReport(const std::string& name, double wall_seconds,
+                       double calib_seconds = 1.0) {
+  BenchReport report;
+  report.schema_version = 1;
+  report.bench = name;
+  report.wall_seconds = wall_seconds;
+  report.calib_wall_seconds = calib_seconds;
+  report.events_processed = 1000;
+  report.events_per_second = 1000.0 / wall_seconds;
+  report.metrics["goal_rt_ms"] = 5.0;
+  return report;
+}
+
+int RegressionRows(const CompareResult& result) {
+  int n = 0;
+  for (const CompareRow& row : result.rows) {
+    if (row.status == CompareRow::Status::kRegression ||
+        row.status == CompareRow::Status::kMissing) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+TEST(CompareTest, IdenticalReportsPass) {
+  const std::vector<BenchReport> base = {MakeReport("fig2", 10.0)};
+  const std::vector<BenchReport> cand = {MakeReport("fig2", 10.0)};
+  const CompareResult result = CompareReports(base, cand, CompareOptions());
+  EXPECT_EQ(result.regressions, 0);
+  EXPECT_EQ(result.changes, 0);
+  EXPECT_EQ(RegressionRows(result), 0);
+}
+
+TEST(CompareTest, WithinNoiseWallDriftPasses) {
+  const std::vector<BenchReport> base = {MakeReport("fig2", 10.0)};
+  const std::vector<BenchReport> cand = {MakeReport("fig2", 10.5)};  // +5%
+  const CompareResult result = CompareReports(base, cand, CompareOptions());
+  EXPECT_EQ(result.regressions, 0);
+}
+
+TEST(CompareTest, TwentyPercentWallRegressionFails) {
+  const std::vector<BenchReport> base = {MakeReport("fig2", 10.0)};
+  const std::vector<BenchReport> cand = {MakeReport("fig2", 12.0)};  // +20%
+  const CompareResult result = CompareReports(base, cand, CompareOptions());
+  EXPECT_GE(result.regressions, 1);
+  bool found = false;
+  for (const CompareRow& row : result.rows) {
+    if (row.metric == "wall_seconds" &&
+        row.status == CompareRow::Status::kRegression) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_NE(result.markdown.find("REGRESSION"), std::string::npos);
+}
+
+TEST(CompareTest, CalibrationSpinCancelsMachineSpeed) {
+  // The candidate ran on a machine 1.3x slower: both its wall clock and its
+  // calibration spin scale up together, so no regression.
+  const std::vector<BenchReport> base = {MakeReport("fig2", 10.0, 1.0)};
+  const std::vector<BenchReport> cand = {MakeReport("fig2", 13.0, 1.3)};
+  const CompareResult result = CompareReports(base, cand, CompareOptions());
+  EXPECT_EQ(result.regressions, 0);
+  // A genuine +20% on top of the slower machine still fails.
+  const std::vector<BenchReport> slow = {MakeReport("fig2", 15.6, 1.3)};
+  EXPECT_GE(CompareReports(base, slow, CompareOptions()).regressions, 1);
+}
+
+TEST(CompareTest, AbsoluteSlackAbsorbsFastBenchNoise) {
+  // +400% relative, but the absolute gap (40 ms) is under the 50 ms slack:
+  // sub-second quick benches are noise-dominated.
+  const std::vector<BenchReport> base = {MakeReport("tiny", 0.010)};
+  const std::vector<BenchReport> cand = {MakeReport("tiny", 0.050)};
+  const CompareResult result = CompareReports(base, cand, CompareOptions());
+  EXPECT_EQ(result.regressions, 0);
+}
+
+TEST(CompareTest, MissingBenchIsARegression) {
+  const std::vector<BenchReport> base = {MakeReport("fig2", 10.0),
+                                         MakeReport("scaling", 5.0)};
+  const std::vector<BenchReport> cand = {MakeReport("fig2", 10.0)};
+  const CompareResult result = CompareReports(base, cand, CompareOptions());
+  EXPECT_GE(result.regressions, 1);
+  EXPECT_NE(result.markdown.find("MISSING"), std::string::npos);
+}
+
+TEST(CompareTest, NewBenchIsInformational) {
+  const std::vector<BenchReport> base = {MakeReport("fig2", 10.0)};
+  const std::vector<BenchReport> cand = {MakeReport("fig2", 10.0),
+                                         MakeReport("extra", 1.0)};
+  const CompareResult result = CompareReports(base, cand, CompareOptions());
+  EXPECT_EQ(result.regressions, 0);
+  EXPECT_GE(result.changes, 1);
+}
+
+TEST(CompareTest, DeterministicMetricChangeIsInformational) {
+  const std::vector<BenchReport> base = {MakeReport("fig2", 10.0)};
+  std::vector<BenchReport> cand = {MakeReport("fig2", 10.0)};
+  cand[0].metrics["goal_rt_ms"] = 6.0;
+  const CompareResult result = CompareReports(base, cand, CompareOptions());
+  EXPECT_EQ(result.regressions, 0);
+  EXPECT_GE(result.changes, 1);
+}
+
+TEST(CompareTest, PerMetricThresholdGatesWhenConfigured) {
+  const std::vector<BenchReport> base = {MakeReport("fig2", 10.0)};
+  std::vector<BenchReport> cand = {MakeReport("fig2", 10.0)};
+  cand[0].metrics["goal_rt_ms"] = 6.0;  // +20%
+  CompareOptions options;
+  options.metric_thresholds["goal_rt_ms"] = 0.10;
+  EXPECT_GE(CompareReports(base, cand, options).regressions, 1);
+  options.metric_thresholds["goal_rt_ms"] = 0.30;
+  EXPECT_EQ(CompareReports(base, cand, options).regressions, 0);
+}
+
+constexpr char kSampleJson[] = R"({
+  "schema_version": 1,
+  "bench": "fig2_base",
+  "git_describe": "abc123-dirty",
+  "threads": 4,
+  "quick": true,
+  "setup": {"seed": 1, "mode": "base\n"},
+  "metrics": {"goal_lo_ms": 2.5, "goals_completed": 2},
+  "wall_seconds": 0.85,
+  "calib_wall_seconds": 0.027,
+  "events_processed": 614830,
+  "events_per_second": 717537.8,
+  "sim_ms_per_wall_ms": 140.0,
+  "profile": null
+})";
+
+TEST(CompareTest, ParsesBenchReportJson) {
+  BenchReport report;
+  std::string error;
+  ASSERT_TRUE(ParseBenchReport(kSampleJson, &report, &error)) << error;
+  EXPECT_EQ(report.bench, "fig2_base");
+  EXPECT_EQ(report.git_describe, "abc123-dirty");
+  EXPECT_EQ(report.threads, 4);
+  EXPECT_TRUE(report.quick);
+  EXPECT_DOUBLE_EQ(report.wall_seconds, 0.85);
+  EXPECT_DOUBLE_EQ(report.calib_wall_seconds, 0.027);
+  EXPECT_EQ(report.events_processed, 614830u);
+  ASSERT_EQ(report.metrics.count("goal_lo_ms"), 1u);
+  EXPECT_DOUBLE_EQ(report.metrics.at("goal_lo_ms"), 2.5);
+  ASSERT_EQ(report.setup.count("mode"), 1u);
+  EXPECT_EQ(report.setup.at("mode"), "base\n");  // escape round-trip
+}
+
+TEST(CompareTest, RejectsMalformedReports) {
+  BenchReport report;
+  std::string error;
+  EXPECT_FALSE(ParseBenchReport("{", &report, &error));
+  EXPECT_FALSE(ParseBenchReport("[]", &report, &error));
+  EXPECT_FALSE(ParseBenchReport(R"({"schema_version": 99, "bench": "x",)"
+                                R"( "wall_seconds": 1})",
+                                &report, &error));
+  EXPECT_NE(error.find("schema_version"), std::string::npos);
+  EXPECT_FALSE(ParseBenchReport(R"({"schema_version": 1,)"
+                                R"( "wall_seconds": 1})",
+                                &report, &error));
+  EXPECT_NE(error.find("bench"), std::string::npos);
+  EXPECT_FALSE(ParseBenchReport(R"({"schema_version": 1, "bench": "x"})",
+                                &report, &error));
+  EXPECT_NE(error.find("wall_seconds"), std::string::npos);
+  EXPECT_FALSE(ParseBenchReport("{} trailing", &report, &error));
+}
+
+TEST(CompareTest, JsonParserHandlesNestingAndEscapes) {
+  JsonValue root;
+  std::string error;
+  ASSERT_TRUE(ParseJson(R"({"a": [1, -2.5e3, "x\ty"], "b": {"c": true}})",
+                        &root, &error))
+      << error;
+  const JsonValue* a = root.Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(a->array[1].number, -2500.0);
+  EXPECT_EQ(a->array[2].str, "x\ty");
+  const JsonValue* b = root.Find("b");
+  ASSERT_NE(b, nullptr);
+  const JsonValue* c = b->Find("c");
+  ASSERT_NE(c, nullptr);
+  EXPECT_TRUE(c->boolean);
+  EXPECT_EQ(root.Find("zzz"), nullptr);
+}
+
+}  // namespace
+}  // namespace memgoal::bench

@@ -87,5 +87,55 @@ TEST(ConfigTest, LastSetWins) {
   EXPECT_EQ(config.GetInt("k", 0), 2);
 }
 
+TEST(ConfigTest, RejectUnknownFlagsPassesWhenAllFlagsConsumed) {
+  const char* argv[] = {"prog", "--threads=4", "--quick", "intervals=9"};
+  Config config;
+  ASSERT_TRUE(config.ParseArgs(4, argv));
+  config.GetInt("threads", 0);
+  config.GetBool("quick", false);
+  // `intervals` was plain key=value, not a --flag, so it is exempt even
+  // though nothing read it: scenario files legitimately carry extra keys.
+  EXPECT_TRUE(config.RejectUnknownFlags());
+}
+
+TEST(ConfigTest, RejectUnknownFlagsFailsOnUnconsumedFlag) {
+  const char* argv[] = {"prog", "--bogus=1"};
+  Config config;
+  ASSERT_TRUE(config.ParseArgs(2, argv));
+  config.GetInt("threads", 0);
+  EXPECT_FALSE(config.RejectUnknownFlags());
+  EXPECT_NE(config.error().find("--bogus"), std::string::npos);
+}
+
+TEST(ConfigTest, RejectUnknownFlagsSuggestsNearMiss) {
+  // "--thread" is one edit from the queried "threads" key; the error must
+  // offer it back in GNU spelling (underscores rendered as dashes).
+  const char* argv[] = {"prog", "--thread=4"};
+  Config config;
+  ASSERT_TRUE(config.ParseArgs(2, argv));
+  config.GetInt("threads", 0);
+  config.GetString("bench_json", "");
+  EXPECT_FALSE(config.RejectUnknownFlags());
+  EXPECT_NE(config.error().find("did you mean --threads?"),
+            std::string::npos);
+
+  const char* argv2[] = {"prog", "--bench-jsn=out"};
+  Config config2;
+  ASSERT_TRUE(config2.ParseArgs(2, argv2));
+  config2.GetString("bench_json", "");
+  EXPECT_FALSE(config2.RejectUnknownFlags());
+  EXPECT_NE(config2.error().find("did you mean --bench-json?"),
+            std::string::npos);
+}
+
+TEST(ConfigTest, RejectUnknownFlagsOmitsFarFetchedSuggestions) {
+  const char* argv[] = {"prog", "--zzzzzz=1"};
+  Config config;
+  ASSERT_TRUE(config.ParseArgs(2, argv));
+  config.GetInt("threads", 0);
+  EXPECT_FALSE(config.RejectUnknownFlags());
+  EXPECT_EQ(config.error().find("did you mean"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace memgoal::common

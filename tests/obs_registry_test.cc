@@ -56,6 +56,47 @@ TEST(RegistryTest, CounterSetMirrorsExternalCumulativeValue) {
   EXPECT_EQ(snap.entries[0].delta, 150u);
 }
 
+TEST(RegistryTest, CounterSetClampsNonMonotonicMirror) {
+  Registry registry;
+  Registry::Counter* counter = registry.GetCounter("net.bytes");
+  counter->Set(100);
+  registry.TakeSnapshot(0, 1.0);
+
+  // The external source reset (e.g. a restarted component re-counts from
+  // zero). The counter must hold rather than go backwards, the interval
+  // delta must clamp to zero, and the clamp must be counted.
+  counter->Set(10);
+  EXPECT_EQ(counter->value(), 100u);
+  EXPECT_EQ(counter->regressions(), 1u);
+  const Registry::Snapshot& clamped = registry.TakeSnapshot(1, 2.0);
+  ASSERT_EQ(clamped.entries.size(), 2u);
+  EXPECT_EQ(clamped.entries[0].name, "net.bytes");
+  EXPECT_DOUBLE_EQ(clamped.entries[0].value, 100.0);
+  EXPECT_EQ(clamped.entries[0].delta, 0u);
+  // The registry surfaces the clamp as a synthetic counter.
+  EXPECT_EQ(clamped.entries[1].name, "obs.counter_regressions");
+  EXPECT_DOUBLE_EQ(clamped.entries[1].value, 1.0);
+  EXPECT_EQ(clamped.entries[1].delta, 1u);
+
+  // The re-anchored mirror keeps producing correct deltas: the source
+  // advancing 10 -> 60 is +50 on top of the held value.
+  counter->Set(60);
+  EXPECT_EQ(counter->value(), 150u);
+  const Registry::Snapshot& resumed = registry.TakeSnapshot(2, 3.0);
+  EXPECT_DOUBLE_EQ(resumed.entries[0].value, 150.0);
+  EXPECT_EQ(resumed.entries[0].delta, 50u);
+  // No new clamp: the synthetic counter's delta falls back to zero.
+  EXPECT_EQ(resumed.entries[1].delta, 0u);
+}
+
+TEST(RegistryTest, HealthyCountersEmitNoRegressionEntry) {
+  Registry registry;
+  registry.GetCounter("ok")->Set(5);
+  const Registry::Snapshot& snap = registry.TakeSnapshot(0, 1.0);
+  ASSERT_EQ(snap.entries.size(), 1u);
+  EXPECT_EQ(snap.entries[0].name, "ok");
+}
+
 TEST(RegistryTest, InstrumentPointersAreStableAndShared) {
   Registry registry;
   Registry::Counter* a = registry.GetCounter("x");

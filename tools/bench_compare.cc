@@ -1,0 +1,156 @@
+// bench_compare — regression gate over BENCH_*.json telemetry.
+//
+// Usage:
+//   bench_compare <baseline-dir> <candidate-dir> [flags...]
+//   bench_compare <baseline-dir-or-file...> --candidate=<dir-or-file>
+//       [--wall-threshold=0.15] [--abs-slack-ms=50] [--output=<markdown>]
+//
+// Each positional argument (and the --candidate value) may be a directory —
+// scanned for BENCH_*.json — or a single .json file. Prints the markdown
+// delta table to stdout (and to --output when given).
+//
+// Exit codes: 0 no regression, 1 regression or missing bench, 2 usage or
+// load error.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench/compare.h"
+#include "common/config.h"
+
+namespace memgoal::bench {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Expands a directory into its BENCH_*.json files (sorted, so runs are
+// deterministic); passes regular files through unchanged.
+bool CollectReportPaths(const std::string& root,
+                        std::vector<std::string>* paths) {
+  std::error_code ec;
+  if (fs::is_directory(root, ec)) {
+    std::vector<std::string> found;
+    for (const fs::directory_entry& entry : fs::directory_iterator(root, ec)) {
+      const std::string name = entry.path().filename().string();
+      if (name.rfind("BENCH_", 0) == 0 && name.size() > 5 &&
+          name.compare(name.size() - 5, 5, ".json") == 0) {
+        found.push_back(entry.path().string());
+      }
+    }
+    if (ec) {
+      std::fprintf(stderr, "bench_compare: cannot read %s: %s\n",
+                   root.c_str(), ec.message().c_str());
+      return false;
+    }
+    std::sort(found.begin(), found.end());
+    if (found.empty()) {
+      std::fprintf(stderr, "bench_compare: no BENCH_*.json under %s\n",
+                   root.c_str());
+      return false;
+    }
+    paths->insert(paths->end(), found.begin(), found.end());
+    return true;
+  }
+  if (fs::is_regular_file(root, ec)) {
+    paths->push_back(root);
+    return true;
+  }
+  std::fprintf(stderr, "bench_compare: no such file or directory: %s\n",
+               root.c_str());
+  return false;
+}
+
+bool LoadReports(const std::vector<std::string>& roots,
+                 std::vector<BenchReport>* reports) {
+  std::vector<std::string> paths;
+  for (const std::string& root : roots) {
+    if (!CollectReportPaths(root, &paths)) return false;
+  }
+  for (const std::string& path : paths) {
+    BenchReport report;
+    std::string error;
+    if (!LoadBenchReport(path, &report, &error)) {
+      std::fprintf(stderr, "bench_compare: %s\n", error.c_str());
+      return false;
+    }
+    reports->push_back(std::move(report));
+  }
+  return true;
+}
+
+int Main(int argc, char** argv) {
+  // Split positionals (baseline, then candidate) from --flags so the Config
+  // parser — which expects key=value — only sees the flags.
+  std::vector<std::string> positionals;
+  std::vector<char*> flag_args;
+  flag_args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--", 2) == 0) {
+      flag_args.push_back(argv[i]);
+    } else {
+      positionals.emplace_back(argv[i]);
+    }
+  }
+  common::Config args;
+  if (!args.ParseArgs(static_cast<int>(flag_args.size()), flag_args.data())) {
+    std::fprintf(stderr, "bench_compare: %s\n", args.error().c_str());
+    return 2;
+  }
+
+  CompareOptions options;
+  options.wall_threshold = args.GetDouble("wall_threshold", 0.15);
+  options.wall_abs_slack_seconds = args.GetDouble("abs_slack_ms", 50.0) / 1e3;
+  const std::string candidate_arg = args.GetString("candidate", "");
+  const std::string output_path = args.GetString("output", "");
+  if (!args.RejectUnknownFlags()) {
+    std::fprintf(stderr, "bench_compare: %s\n", args.error().c_str());
+    return 2;
+  }
+
+  std::vector<std::string> baseline_roots = positionals;
+  std::vector<std::string> candidate_roots;
+  if (!candidate_arg.empty()) {
+    candidate_roots.push_back(candidate_arg);
+  } else if (baseline_roots.size() >= 2) {
+    candidate_roots.push_back(baseline_roots.back());
+    baseline_roots.pop_back();
+  }
+  if (baseline_roots.empty() || candidate_roots.empty()) {
+    std::fprintf(stderr,
+                 "usage: bench_compare <baseline-dir> <candidate-dir> "
+                 "[--wall-threshold=0.15] [--abs-slack-ms=50] "
+                 "[--output=FILE]\n");
+    return 2;
+  }
+
+  std::vector<BenchReport> baseline;
+  std::vector<BenchReport> candidate;
+  if (!LoadReports(baseline_roots, &baseline)) return 2;
+  if (!LoadReports(candidate_roots, &candidate)) return 2;
+
+  const CompareResult result = CompareReports(baseline, candidate, options);
+  std::fputs(result.markdown.c_str(), stdout);
+  std::printf("\n%d regression(s), %d informational change(s) across %zu "
+              "baseline bench(es)\n",
+              result.regressions, result.changes, baseline.size());
+  if (!output_path.empty()) {
+    std::FILE* out = std::fopen(output_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "bench_compare: cannot write %s\n",
+                   output_path.c_str());
+      return 2;
+    }
+    std::fputs(result.markdown.c_str(), out);
+    std::fclose(out);
+  }
+  return result.regressions > 0 ? 1 : 0;
+}
+
+}  // namespace
+}  // namespace memgoal::bench
+
+int main(int argc, char** argv) { return memgoal::bench::Main(argc, argv); }

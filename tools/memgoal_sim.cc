@@ -28,12 +28,16 @@
 //   classes (2)                      — total class count including class 0
 //
 // Observability outputs (also accepted as --trace-out=..., --decision-log=...
-// style flags; a path of "" disables):
+// style flags; a path of "" disables; unknown --flags are rejected with a
+// near-miss suggestion):
 //   trace_out                        — Chrome trace-event JSON of request
 //                                      spans (open in Perfetto / about:tracing)
 //   decision_log                     — JSONL, one controller decision record
 //                                      per coordinator check
 //   obs_csv, obs_jsonl               — metrics-registry snapshot history
+//   profile_out                      — hot-path wall-clock profile as JSON
+//   profile_folded                   — same profile as folded stacks
+//                                      (flamegraph.pl / speedscope input)
 //   class<i>_goal_ms                 — omit (or 0) for the no-goal class
 //   class<i>_pages                   — "begin:end" page range
 //   class<i>_interarrival_ms (100), class<i>_accesses (4),
@@ -42,9 +46,12 @@
 //
 // Example scenario file: see tools/scenarios/base.conf.
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -54,6 +61,7 @@
 #include "core/system.h"
 #include "net/network.h"
 #include "obs/decision_log.h"
+#include "obs/profiler.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
 
@@ -117,22 +125,24 @@ int Run(memgoal::common::Config& config) {
       config.GetDouble("net_mbit", 100.0);
   system_config.network.latency_ms = config.GetDouble("net_latency_ms", 0.05);
   system_config.network.loss_probability = config.GetDouble("net_loss", 0.0);
+  // Conditional keys are still read unconditionally so RejectUnknownFlags
+  // below never mistakes a dormant knob for a typo.
+  const double burst_g2b = config.GetDouble("net_burst_g2b", 0.0);
+  const double burst_b2g = config.GetDouble("net_burst_b2g", 0.5);
+  const double burst_loss_good = config.GetDouble("net_burst_loss_good", 0.0);
+  const double burst_loss_bad = config.GetDouble("net_burst_loss_bad", 1.0);
   if (config.GetString("net_loss_model", "iid") == "burst") {
     system_config.network.loss_model = memgoal::net::LossModel::kBurst;
-    system_config.network.burst_good_to_bad =
-        config.GetDouble("net_burst_g2b", 0.0);
-    system_config.network.burst_bad_to_good =
-        config.GetDouble("net_burst_b2g", 0.5);
-    system_config.network.burst_loss_good =
-        config.GetDouble("net_burst_loss_good", 0.0);
-    system_config.network.burst_loss_bad =
-        config.GetDouble("net_burst_loss_bad", 1.0);
+    system_config.network.burst_good_to_bad = burst_g2b;
+    system_config.network.burst_bad_to_good = burst_b2g;
+    system_config.network.burst_loss_good = burst_loss_good;
+    system_config.network.burst_loss_bad = burst_loss_bad;
   }
 
   const int crash_node = static_cast<int>(config.GetInt("crash_node", -1));
+  const double crash_at = config.GetDouble("crash_at_ms", 0.0);
+  const double recover_at = config.GetDouble("recover_at_ms", 0.0);
   if (crash_node >= 0) {
-    const double crash_at = config.GetDouble("crash_at_ms", 0.0);
-    const double recover_at = config.GetDouble("recover_at_ms", 0.0);
     system_config.faults.script.push_back(
         {crash_at, static_cast<uint32_t>(crash_node), /*crash=*/true});
     if (recover_at > crash_at) {
@@ -148,12 +158,13 @@ int Run(memgoal::common::Config& config) {
       static_cast<uint32_t>(config.GetInt("fault_min_live", 1));
   const int degrade_node =
       static_cast<int>(config.GetInt("degrade_node", -1));
+  const double degrade_at = config.GetDouble("degrade_at_ms", 0.0);
+  const double restore_at = config.GetDouble("restore_at_ms", 0.0);
+  const double degrade_factor = config.GetDouble("degrade_factor", 10.0);
   if (degrade_node >= 0) {
-    const double degrade_at = config.GetDouble("degrade_at_ms", 0.0);
-    const double restore_at = config.GetDouble("restore_at_ms", 0.0);
     system_config.faults.degradation_script.push_back(
         {degrade_at, static_cast<uint32_t>(degrade_node), /*begin=*/true,
-         config.GetDouble("degrade_factor", 10.0)});
+         degrade_factor});
     if (restore_at > degrade_at) {
       system_config.faults.degradation_script.push_back(
           {restore_at, static_cast<uint32_t>(degrade_node),
@@ -199,17 +210,19 @@ int Run(memgoal::common::Config& config) {
         static_cast<int>(config.GetInt(prefix + "accesses", 4));
     spec.zipf_skew = config.GetDouble(prefix + "skew", 0.0);
     spec.share_prob = config.GetDouble(prefix + "share_prob", 0.0);
+    const std::string shared_text =
+        config.GetString(prefix + "shared_pages", "");
+    const double shared_skew =
+        config.GetDouble(prefix + "shared_skew", spec.zipf_skew);
     if (spec.share_prob > 0.0) {
       memgoal::workload::PageRange shared;
-      if (!ParseRange(config.GetString(prefix + "shared_pages", ""),
-                      &shared)) {
+      if (!ParseRange(shared_text, &shared)) {
         std::fprintf(stderr, "error: %sshared_pages required\n",
                      prefix.c_str());
         return 1;
       }
       spec.shared_pages = shared;
-      spec.shared_skew = config.GetDouble(prefix + "shared_skew",
-                                          spec.zipf_skew);
+      spec.shared_skew = shared_skew;
     }
     system.AddClass(spec);
   }
@@ -218,17 +231,37 @@ int Run(memgoal::common::Config& config) {
   const std::string decision_path = config.GetString("decision_log", "");
   const std::string obs_csv_path = config.GetString("obs_csv", "");
   const std::string obs_jsonl_path = config.GetString("obs_jsonl", "");
+  const std::string profile_path = config.GetString("profile_out", "");
+  const std::string profile_folded_path =
+      config.GetString("profile_folded", "");
   memgoal::obs::Tracer tracer;
   memgoal::obs::DecisionLog decision_log;
+  memgoal::obs::Profiler profiler;
+  std::optional<memgoal::obs::Profiler::ScopedInstall> profile_install;
   if (!trace_path.empty()) {
     tracer.Enable(true);
     system.SetTracer(&tracer);
   }
   if (!decision_path.empty()) system.SetDecisionLog(&decision_log);
+  if (!profile_path.empty() || !profile_folded_path.empty()) {
+    profiler.Enable(true);
+    profile_install.emplace(&profiler);
+  }
 
   const int intervals = static_cast<int>(config.GetInt("intervals", 40));
+  // All keys have been queried by now; a --flag nothing consumed is a typo.
+  if (!config.RejectUnknownFlags()) {
+    std::fprintf(stderr, "error: %s\n", config.error().c_str());
+    return 1;
+  }
+  const auto wall_start = std::chrono::steady_clock::now();
   system.Start();
   system.RunIntervals(intervals);
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  profile_install.reset();
   system.metrics().WriteCsv(stdout);
 
   bool obs_ok = true;
@@ -259,9 +292,34 @@ int Run(memgoal::common::Config& config) {
           system.registry().WriteJsonl(f);
         });
   }
+  if (!profile_path.empty()) {
+    obs_ok &= WriteFileOrComplain(profile_path, "profile", [&](std::FILE* f) {
+      std::string json;
+      profiler.AppendJson(&json);
+      std::fputs(json.c_str(), f);
+      std::fputc('\n', f);
+    });
+    std::fprintf(stderr, "# profile: %llu samples -> %s\n",
+                 static_cast<unsigned long long>(profiler.total_count()),
+                 profile_path.c_str());
+  }
+  if (!profile_folded_path.empty()) {
+    obs_ok &= WriteFileOrComplain(profile_folded_path, "folded profile",
+                                  [&](std::FILE* f) {
+                                    profiler.WriteFolded(f);
+                                  });
+  }
   if (!obs_ok) return 1;
 
   // Summary to stderr so the CSV stays clean.
+  const uint64_t events = system.simulator().events_processed();
+  const double sim_ms = system.simulator().Now();
+  const double safe_wall = std::max(wall_seconds, 1e-9);
+  std::fprintf(stderr,
+               "# wall=%.3f s events=%llu events/s=%.3g sim/wall=%.3g\n",
+               wall_seconds, static_cast<unsigned long long>(events),
+               static_cast<double>(events) / safe_wall,
+               sim_ms / (safe_wall * 1e3));
   std::fprintf(stderr, "# %d intervals, %u nodes, policy=%s\n", intervals,
                system_config.num_nodes,
                memgoal::cache::PolicyKindName(system_config.policy));
