@@ -8,6 +8,16 @@
 //    Duration 0 is the fault-free baseline. An optional bursty best-effort
 //    loss process can be stacked on top (burst=1).
 //
+//  - Partition mode (partition=1): node N-1 stays up but is cut off from
+//    the rest of the cluster for a swept episode length. Cross-cut
+//    messages of every traffic class are dropped at the boundary, so the
+//    isolated node serves from its own cache and disk while the
+//    coordinator — homed on the majority side, which keeps its quorum
+//    lease — optimizes over the reachable nodes. The invariant auditor
+//    runs live in every trial; the gate requires the goal class to
+//    re-converge after the heal with zero audit violations, so the
+//    --quick run doubles as a partition-tolerance smoke gate.
+//
 //  - Gray mode (gray=1): the node stays up but serves everything slower by
 //    a swept factor for a fixed episode. Hedged remote reads and
 //    health-ranked replica selection route around its buffers, but its
@@ -26,7 +36,8 @@
 //
 // Usage: bench_faults [key=value ...] [--quick] [--threads=N]
 //        (intervals=60 seed=1 crash_at_ms=100000 burst=0 gray=0
-//         degrade_at_ms=60000 degrade_duration_ms=50000 threads=0)
+//         degrade_at_ms=60000 degrade_duration_ms=50000 partition=0
+//         partition_at_ms=100000 threads=0)
 
 #include <cstdio>
 #include <memory>
@@ -37,6 +48,7 @@
 #include "common/stats.h"
 #include "core/goal_controller.h"
 #include "net/network.h"
+#include "sim/invariant_auditor.h"
 
 namespace memgoal::bench {
 namespace {
@@ -215,6 +227,163 @@ int RunGray(double degrade_at, double duration, const Setup& base,
   return ok ? 0 : 1;
 }
 
+struct PartitionRow {
+  double satisfied_pre = 0.0;
+  double satisfied_cut = 0.0;
+  double satisfied_post = 0.0;
+  double satisfied_tail = 0.0;
+  int reconverge = -1;
+  uint64_t msgs_dropped = 0;
+  uint64_t reconciled_hints = 0;
+  uint64_t fetch_fallbacks = 0;
+  uint64_t leases_lost = 0;
+  uint64_t checks_skipped = 0;
+  uint64_t stale_rejected = 0;
+  uint64_t audit_violations = 0;
+};
+
+// The partition scenario: node N-1 is cut off from {0..N-2} between cut_at
+// and cut_at + duration; duration 0 is the fault-free baseline. The
+// coordinator keeps its quorum lease throughout (it reaches N-1 of N live
+// nodes), so the interesting dynamics are the cross-cut message loss, the
+// heat-hint backlog the heal has to reconcile, and whether the fitted
+// planes survive the isolated node's unobservable intervals.
+int RunPartition(double cut_at, const Setup& base, double goal,
+                 int intervals, TrialRunner* runner, bool quick,
+                 BenchReporter* reporter) {
+  const std::vector<double> durations =
+      quick ? std::vector<double>{0.0, 30000.0}
+            : std::vector<double>{0.0, 30000.0, 60000.0, 120000.0};
+
+  const std::vector<PartitionRow> rows = runner->Run(
+      static_cast<int>(durations.size()), [&](int trial) {
+        const double duration = durations[static_cast<size_t>(trial)];
+        Setup setup = base;
+        const uint32_t victim = setup.num_nodes - 1;
+        if (duration > 0.0) {
+          std::vector<uint32_t> groups(setup.num_nodes, 0);
+          groups[victim] = 1;
+          setup.faults.partition_script = {{cut_at, groups},
+                                           {cut_at + duration, {}}};
+        }
+        std::unique_ptr<core::ClusterSystem> system = BuildSystem(setup);
+        sim::InvariantAuditor auditor;
+        system->EnableAuditor(&auditor);
+        system->SetGoal(1, goal);
+
+        const double interval_ms = setup.observation_interval_ms;
+        const int cut_first = static_cast<int>(cut_at / interval_ms);
+        const int cut_last =
+            static_cast<int>((cut_at + duration) / interval_ms);
+        const int tail_first = intervals - kGrayTail;
+        int pre_satisfied = 0, pre_counted = 0;
+        int cut_satisfied = 0, cut_counted = 0;
+        int post_satisfied = 0, post_counted = 0;
+        int tail_satisfied = 0;
+        int reconverge = -1;
+        system->SetIntervalCallback([&](const core::IntervalRecord& record) {
+          if (record.index < 5) return;  // cold-cache ramp
+          const auto& m = record.ForClass(1);
+          if (record.index >= tail_first) tail_satisfied += m.satisfied;
+          if (duration > 0.0 && record.index >= cut_first &&
+              record.index <= cut_last) {
+            cut_satisfied += m.satisfied ? 1 : 0;
+            ++cut_counted;
+          } else if (duration > 0.0 && record.index > cut_last) {
+            post_satisfied += m.satisfied ? 1 : 0;
+            ++post_counted;
+            if (reconverge < 0 && m.satisfied) {
+              reconverge = record.index - cut_last;
+            }
+          } else {
+            pre_satisfied += m.satisfied ? 1 : 0;
+            ++pre_counted;
+          }
+        });
+        system->Start();
+        system->RunIntervals(intervals);
+        reporter->AddEvents(system->simulator().events_processed(),
+                            system->simulator().Now());
+
+        const auto& controller =
+            dynamic_cast<const core::GoalOrientedController&>(
+                system->controller());
+        auto frac = [](int num, int den) {
+          return den > 0 ? static_cast<double>(num) / den : 0.0;
+        };
+        PartitionRow row;
+        row.satisfied_pre = frac(pre_satisfied, pre_counted);
+        row.satisfied_cut = frac(cut_satisfied, cut_counted);
+        row.satisfied_post = frac(post_satisfied, post_counted);
+        row.satisfied_tail = frac(tail_satisfied, kGrayTail);
+        row.reconverge = reconverge;
+        row.msgs_dropped =
+            system->network().total_messages_partition_dropped();
+        row.reconciled_hints = system->reconcile_hints_sent();
+        row.fetch_fallbacks =
+            system->counters(1).fetch_fallbacks +
+            system->counters(kNoGoalClass).fetch_fallbacks;
+        row.leases_lost = controller.stats().leases_lost;
+        row.checks_skipped = controller.stats().checks_skipped_no_lease;
+        row.stale_rejected = system->grants_rejected_stale_epoch();
+        row.audit_violations = auditor.violations_found();
+        return row;
+      });
+
+  std::printf(
+      "cut_ms,satisfied_pre,satisfied_cut,satisfied_post,satisfied_tail,"
+      "reconverge_intervals,partition_msgs_dropped,reconciled_hints,"
+      "fetch_fallbacks,leases_lost,checks_skipped_no_lease,"
+      "stale_grants_rejected,audit_violations\n");
+  for (size_t i = 0; i < durations.size(); ++i) {
+    const PartitionRow& row = rows[i];
+    std::printf("%.0f,%.2f,%.2f,%.2f,%.2f,%d,%llu,%llu,%llu,%llu,%llu,%llu,"
+                "%llu\n",
+                durations[i], row.satisfied_pre, row.satisfied_cut,
+                row.satisfied_post, row.satisfied_tail, row.reconverge,
+                static_cast<unsigned long long>(row.msgs_dropped),
+                static_cast<unsigned long long>(row.reconciled_hints),
+                static_cast<unsigned long long>(row.fetch_fallbacks),
+                static_cast<unsigned long long>(row.leases_lost),
+                static_cast<unsigned long long>(row.checks_skipped),
+                static_cast<unsigned long long>(row.stale_rejected),
+                static_cast<unsigned long long>(row.audit_violations));
+  }
+
+  // Scenario gate, on the longest cut: the goal class re-converges after
+  // the heal, the cut actually exercised the partition path, and no
+  // invariant audit fired in any trial.
+  const PartitionRow& worst = rows.back();
+  bool ok = true;
+  if (worst.reconverge < 0 || worst.satisfied_tail < 0.4) {
+    std::printf("# FAIL: goal class did not re-converge after the heal "
+                "(reconverge=%d, satisfied_tail=%.2f)\n",
+                worst.reconverge, worst.satisfied_tail);
+    ok = false;
+  }
+  if (worst.msgs_dropped == 0 || worst.reconciled_hints == 0) {
+    std::printf("# FAIL: partition path not exercised (msgs_dropped=%llu, "
+                "reconciled_hints=%llu)\n",
+                static_cast<unsigned long long>(worst.msgs_dropped),
+                static_cast<unsigned long long>(worst.reconciled_hints));
+    ok = false;
+  }
+  uint64_t total_violations = 0;
+  for (const PartitionRow& row : rows) total_violations += row.audit_violations;
+  if (total_violations > 0) {
+    std::printf("# FAIL: %llu invariant violations across trials\n",
+                static_cast<unsigned long long>(total_violations));
+    ok = false;
+  }
+  std::fflush(stdout);
+  reporter->AddMetric("partition_satisfied_tail", worst.satisfied_tail);
+  reporter->AddMetric("partition_reconverge_intervals",
+                      static_cast<double>(worst.reconverge));
+  reporter->AddMetric("partition_audit_violations",
+                      static_cast<double>(total_violations));
+  return ok ? 0 : 1;
+}
+
 int Run(int argc, char** argv) {
   common::Config args;
   if (!args.ParseArgs(argc, argv)) {
@@ -223,12 +392,14 @@ int Run(int argc, char** argv) {
   }
   const bool quick = args.GetBool("quick", false);
   const bool gray = args.GetInt("gray", 0) != 0;
+  const bool partition = args.GetInt("partition", 0) != 0;
   // The quick gray run needs room after the episode for the victim's
   // backlog to drain before the settled tail is sampled.
   const int intervals = static_cast<int>(
       args.GetInt("intervals", quick ? (gray ? 48 : 36) : (gray ? 72 : 60)));
   const uint64_t seed = static_cast<uint64_t>(args.GetInt("seed", 1));
   const double crash_at = args.GetDouble("crash_at_ms", 100000.0);
+  const double partition_at = args.GetDouble("partition_at_ms", 100000.0);
   const bool burst = args.GetInt("burst", 0) != 0;
   // Gray-mode knobs, read unconditionally so the strict flag check below
   // knows them. At 50x the victim's disk is saturated, so the whole
@@ -248,6 +419,7 @@ int Run(int argc, char** argv) {
   reporter.AddSetup("seed", static_cast<double>(seed));
   reporter.AddSetup("intervals", intervals);
   reporter.AddSetup("gray", gray ? 1.0 : 0.0);
+  reporter.AddSetup("partition", partition ? 1.0 : 0.0);
 
   Setup base;
   base.seed = seed;
@@ -260,6 +432,12 @@ int Run(int argc, char** argv) {
   if (gray) {
     const int rc = RunGray(degrade_at, degrade_duration, base, goal,
                            intervals, &runner, quick, &reporter);
+    reporter.Finish();
+    return rc;
+  }
+  if (partition) {
+    const int rc = RunPartition(partition_at, base, goal, intervals, &runner,
+                                quick, &reporter);
     reporter.Finish();
     return rc;
   }

@@ -72,9 +72,22 @@ void GoalOrientedController::RestartMeasurement(Coordinator* coordinator,
   coordinator->views[node] = NodeView{};
   coordinator->nogoal_rt[node].reset();
   coordinator->nogoal_rate[node] = 0.0;
+  RestartMeasurementOver(coordinator);
+}
+
+void GoalOrientedController::RestartMeasurementOver(Coordinator* coordinator) {
   std::vector<size_t> live;
   for (NodeId i = 0; i < system_->num_nodes(); ++i) {
-    if (system_->NodeUp(i)) live.push_back(i);
+    if (system_->NodeUp(i) &&
+        system_->Reachable(coordinator->home, i)) {
+      live.push_back(i);
+    } else {
+      // Dead or across the cut: the view cannot be refreshed, and a grant
+      // recorded there would anchor the fit to unobservable memory.
+      coordinator->views[i] = NodeView{};
+      coordinator->nogoal_rt[i].reset();
+      coordinator->nogoal_rate[i] = 0.0;
+    }
   }
   coordinator->store.SetActiveNodes(std::move(live));
   coordinator->warmup_step = 0;
@@ -82,25 +95,91 @@ void GoalOrientedController::RestartMeasurement(Coordinator* coordinator,
   ++stats_.store_resets;
 }
 
+bool GoalOrientedController::QuorumFrom(NodeId home) const {
+  if (!system_->NodeUp(home)) return false;
+  uint32_t nodes_up = 0;
+  uint32_t reachable_up = 0;
+  for (NodeId i = 0; i < system_->num_nodes(); ++i) {
+    if (!system_->NodeUp(i)) continue;
+    ++nodes_up;
+    if (system_->Reachable(home, i)) ++reachable_up;
+  }
+  // Strict majority of the *live* nodes: two disjoint sides of a cut can
+  // never both satisfy this, so at most one lease per class is live. An
+  // even split leaves both sides leaseless (frozen grants beat split
+  // brain).
+  return 2 * reachable_up > nodes_up;
+}
+
+void GoalOrientedController::AnnounceLease(Coordinator* coordinator) {
+  const SystemConfig& config = system_->config();
+  for (NodeId i = 0; i < config.num_nodes; ++i) {
+    if (!system_->NodeUp(i) ||
+        !system_->Reachable(coordinator->home, i)) {
+      // Unreachable agents miss the announcement; their fence rises when
+      // the first grant of the new epoch reaches them after the heal.
+      continue;
+    }
+    // Fence raised synchronously, traffic accounted alongside (the
+    // substitution-table idiom used throughout the protocol layer).
+    system_->AnnounceEpoch(coordinator->klass, i, coordinator->epoch);
+    if (i != coordinator->home) {
+      system_->simulator().Spawn(system_->network().Transfer(
+          coordinator->home, i, config.control_msg_bytes,
+          net::TrafficClass::kPartitionProtocol));
+    }
+  }
+}
+
+void GoalOrientedController::ReevaluateLease(Coordinator* coordinator) {
+  if (HasQuorum(*coordinator)) {
+    if (!coordinator->has_lease) {
+      // Reacquire in place: the heal (or a crash on the other side)
+      // restored this home's majority.
+      ++coordinator->epoch;
+      coordinator->has_lease = true;
+      ++stats_.lease_acquisitions;
+      AnnounceLease(coordinator);
+    }
+    return;
+  }
+  if (coordinator->has_lease) {
+    coordinator->has_lease = false;
+    ++stats_.leases_lost;
+  }
+  // Depose-and-fail-over: the lowest-numbered node that can assemble a
+  // quorum (the majority side) takes the class over under a fresh epoch.
+  // The old home cannot be told — it is dead or across the cut — which is
+  // exactly why the grants are fenced.
+  for (NodeId i = 0; i < system_->num_nodes(); ++i) {
+    if (!QuorumFrom(i)) continue;
+    coordinator->home = i;
+    ++stats_.coordinator_failovers;
+    ++coordinator->epoch;
+    coordinator->has_lease = true;
+    ++stats_.lease_acquisitions;
+    // Every view lived in the deposed coordinator's memory.
+    for (NodeView& view : coordinator->views) view = NodeView{};
+    for (auto& rt : coordinator->nogoal_rt) rt.reset();
+    for (double& rate : coordinator->nogoal_rate) rate = 0.0;
+    AnnounceLease(coordinator);
+    return;
+  }
+  // No node reaches a majority (even split or mass outage): the class's
+  // control plane freezes until the topology changes again.
+}
+
 void GoalOrientedController::OnNodeCrash(NodeId node) {
   ++stats_.crashes_observed;
   for (auto& [klass, coordinator] : coordinators_) {
-    if (coordinator.home == node) {
-      // The coordinator's memory died with its node: fail over to the
-      // lowest-numbered live node. No migration messages — the old home
-      // cannot send — and the state restarts fresh on the new home.
-      for (NodeId i = 0; i < system_->num_nodes(); ++i) {
-        if (system_->NodeUp(i)) {
-          coordinator.home = i;
-          break;
-        }
-      }
-      ++stats_.coordinator_failovers;
-      // Every view lived in the dead coordinator's memory.
-      for (NodeView& view : coordinator.views) view = NodeView{};
-      for (auto& rt : coordinator.nogoal_rt) rt.reset();
-      for (double& rate : coordinator.nogoal_rate) rate = 0.0;
+    if (coordinator.home == node && coordinator.has_lease) {
+      // The coordinator's memory — and its lease — died with its node.
+      coordinator.has_lease = false;
+      ++stats_.leases_lost;
     }
+    // A crash shrinks the live set, which can also flip quorum for
+    // coordinators elsewhere while partitioned.
+    ReevaluateLease(&coordinator);
     RestartMeasurement(&coordinator, node);
   }
   // The dead node's agents forget what they last reported; on recovery
@@ -113,11 +192,56 @@ void GoalOrientedController::OnNodeCrash(NodeId node) {
 void GoalOrientedController::OnNodeRecover(NodeId node) {
   ++stats_.recoveries_observed;
   for (auto& [klass, coordinator] : coordinators_) {
+    // A recovery grows the live set; while partitioned, a node rejoining
+    // the *other* side can cost this coordinator its majority.
+    ReevaluateLease(&coordinator);
     RestartMeasurement(&coordinator, node);
   }
   for (auto& [key, last] : last_sent_) {
     if (key.second == node) last = LastSent{};
   }
+}
+
+void GoalOrientedController::OnPartitionChange() {
+  ++stats_.partition_changes_observed;
+  for (auto& [klass, coordinator] : coordinators_) {
+    ReevaluateLease(&coordinator);
+    // Whether the reachable set shrank (cut) or widened (heal), the views
+    // across the old boundary are stale and every retained measure point
+    // described the previous topology.
+    RestartMeasurementOver(&coordinator);
+  }
+  // Agents cannot know which of their reports crossed the boundary before
+  // it moved: drop the change filter so everything is re-reported at the
+  // next interval.
+  for (auto& [key, last] : last_sent_) last = LastSent{};
+}
+
+std::optional<std::string> GoalOrientedController::AuditInvariants() const {
+  char detail[128];
+  for (const auto& [klass, coordinator] : coordinators_) {
+    const size_t max_points = system_->num_nodes() + 1;
+    if (coordinator.store.size() > max_points) {
+      std::snprintf(detail, sizeof(detail),
+                    "class %u: measure store holds %zu > N+1 = %zu points",
+                    klass, coordinator.store.size(), max_points);
+      return std::string(detail);
+    }
+    const double condition = coordinator.store.ConditionEstimate();
+    if (!std::isfinite(condition) || condition < 0.0) {
+      std::snprintf(detail, sizeof(detail),
+                    "class %u: store condition estimate %g", klass,
+                    condition);
+      return std::string(detail);
+    }
+    if (coordinator.has_lease && !HasQuorum(coordinator)) {
+      std::snprintf(detail, sizeof(detail),
+                    "class %u: lease held at node %u without quorum", klass,
+                    coordinator.home);
+      return std::string(detail);
+    }
+  }
+  return std::nullopt;
 }
 
 double GoalOrientedController::ToleranceFor(ClassId klass) const {
@@ -171,7 +295,20 @@ void GoalOrientedController::PublishMetrics(obs::Registry* registry) {
       ->Set(stats_.lp_status_unbounded);
   registry->GetCounter("ctrl.lp_relaxed_retries")
       ->Set(stats_.lp_relaxed_retries);
+  registry->GetCounter("ctrl.partition_changes_observed")
+      ->Set(stats_.partition_changes_observed);
+  registry->GetCounter("ctrl.leases_lost")->Set(stats_.leases_lost);
+  registry->GetCounter("ctrl.lease_acquisitions")
+      ->Set(stats_.lease_acquisitions);
+  registry->GetCounter("ctrl.checks_skipped_no_lease")
+      ->Set(stats_.checks_skipped_no_lease);
   char name[64];
+  for (const auto& [klass, coordinator] : coordinators_) {
+    std::snprintf(name, sizeof(name), "class%u.lease.epoch", klass);
+    registry->GetGauge(name)->Set(static_cast<double>(coordinator.epoch));
+    std::snprintf(name, sizeof(name), "class%u.lease.held", klass);
+    registry->GetGauge(name)->Set(coordinator.has_lease ? 1.0 : 0.0);
+  }
   for (const auto& [klass, coordinator] : coordinators_) {
     const MeasureStore& store = coordinator.store;
     std::snprintf(name, sizeof(name), "class%u.store.rejected_points", klass);
@@ -360,12 +497,11 @@ sim::Task<void> GoalOrientedController::CoordinatorCheck(
   // its successor starts from fresh state at the next interval.
   if (!system_->NodeUp(coordinator->home)) co_return;
 
-  ++stats_.checks;
-
-  // Decision log: one record per counted check. The RAII appender fires on
-  // every co_return path (coroutine locals are destroyed at final suspend),
-  // so early exits — no data, within tolerance, degenerate fit — are
-  // logged too; a null sink makes the whole capture a no-op.
+  // Decision log: one record per check, lease-skipped ones included. The
+  // RAII appender fires on every co_return path (coroutine locals are
+  // destroyed at final suspend), so early exits — no lease, no data,
+  // within tolerance, degenerate fit — are logged too; a null sink makes
+  // the whole capture a no-op.
   obs::DecisionLog* decision_log = system_->decision_log();
   obs::DecisionRecord record;
   struct RecordAppender {
@@ -380,7 +516,18 @@ sim::Task<void> GoalOrientedController::CoordinatorCheck(
     record.sim_time_ms = system_->simulator().Now();
     record.klass = static_cast<int>(coordinator->klass);
     record.home = static_cast<int>(coordinator->home);
+    record.epoch = coordinator->epoch;
+    record.lease_held = coordinator->has_lease;
   }
+
+  if (!coordinator->has_lease) {
+    // Minority-side (or leaseless) static fallback: the last applied grants
+    // stay frozen; no check, no LP, no commands until a lease returns.
+    ++stats_.checks_skipped_no_lease;
+    co_return;
+  }
+
+  ++stats_.checks;
 
   const std::optional<double> rt_k = WeightedGoalRt(*coordinator);
   if (!rt_k.has_value()) co_return;  // no data yet
@@ -668,13 +815,20 @@ sim::Task<void> GoalOrientedController::SendAllocations(
     obs::DecisionRecord* record) {
   const SystemConfig& config = system_->config();
   const uint64_t page = config.page_bytes;
+  // Captured at entry: messages already in flight keep coming from the
+  // node that sent them even if the coordinator is deposed mid-fan-out,
+  // and every grant carries the epoch of the lease that computed it.
+  const NodeId origin = coordinator->home;
+  const uint64_t epoch = coordinator->epoch;
   if (record != nullptr) {
     record->shipped_allocation.assign(config.num_nodes, 0.0);
     record->granted_allocation.assign(config.num_nodes, 0.0);
   }
   for (uint32_t i = 0; i < config.num_nodes; ++i) {
     // No command is sent to a dead node; its budget restarts from zero
-    // after recovery anyway.
+    // after recovery anyway. Unreachable nodes are NOT skipped: the
+    // coordinator cannot know about a fresh cut, so the command is sent
+    // and the network drops it at the boundary.
     if (!system_->NodeUp(i)) continue;
     // Round down to whole frames so coordinator bookkeeping matches the
     // pool's frame-granular capacity.
@@ -686,18 +840,23 @@ sim::Task<void> GoalOrientedController::SendAllocations(
     if (bytes == coordinator->views[i].granted_bytes) continue;
     ++stats_.allocation_commands;
     const bool command_delivered = co_await system_->network().Transfer(
-        coordinator->home, i, config.alloc_msg_bytes,
+        origin, i, config.alloc_msg_bytes,
         net::TrafficClass::kPartitionProtocol);
     // A lost command never reaches the agent; a lost ack leaves the
     // coordinator's view stale. Both are repaired by the next agent report
     // (the feedback design of §5e).
     if (!command_delivered) continue;
-    const uint64_t granted =
-        system_->ApplyAllocation(coordinator->klass, i, bytes);
+    const ClusterSystem::GrantOutcome outcome =
+        system_->ApplyAllocationFenced(coordinator->klass, i, bytes, epoch);
+    if (outcome.rejected_stale_epoch) continue;  // the agent fenced us out
+    const uint64_t granted = outcome.granted;
     const bool ack_delivered = co_await system_->network().Transfer(
-        i, coordinator->home, config.ack_msg_bytes,
+        i, origin, config.ack_msg_bytes,
         net::TrafficClass::kPartitionProtocol);
     if (!ack_delivered) continue;
+    // A deposed coordinator must not touch the views: they now belong to
+    // the new lease holder.
+    if (coordinator->epoch != epoch) continue;
     coordinator->views[i].granted_bytes = granted;
     coordinator->views[i].bound_bytes =
         system_->AvailableFor(coordinator->klass, i);

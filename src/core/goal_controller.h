@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -32,6 +33,18 @@ namespace memgoal::core {
 ///      N+1 points exist);
 ///  (e) allocation commands go to the agents, which apply them clamped to
 ///      local availability and acknowledge the granted sizes.
+///
+/// Partition tolerance is epoch-fenced (CP): a coordinator may check and
+/// re-partition only while it holds a quorum lease — its home reaches a
+/// strict majority of the currently-live nodes. Losing quorum (a cut, or
+/// the home's death) drops the lease; a node on the majority side takes
+/// over under an incremented epoch and announces it to every reachable
+/// agent. Agents fence allocation grants by epoch
+/// (ClusterSystem::ApplyAllocationFenced), so a deposed coordinator's
+/// in-flight commands bounce instead of overwriting the new lease's
+/// decisions. A minority-side coordinator degrades to the static local
+/// fallback: grants stay frozen at their last applied values and checks
+/// are skipped until the topology lets it reacquire a lease.
 class GoalOrientedController final : public Controller {
  public:
   GoalOrientedController() = default;
@@ -41,6 +54,8 @@ class GoalOrientedController final : public Controller {
   void OnGoalChanged(ClassId klass) override;
   void OnNodeCrash(NodeId node) override;
   void OnNodeRecover(NodeId node) override;
+  void OnPartitionChange() override;
+  std::optional<std::string> AuditInvariants() const override;
   double ToleranceFor(ClassId klass) const override;
   LpOutcomeCounters LpOutcomes() const override;
   void PublishMetrics(obs::Registry* registry) override;
@@ -76,6 +91,14 @@ class GoalOrientedController final : public Controller {
     uint64_t lp_status_infeasible = 0;
     uint64_t lp_status_unbounded = 0;
     uint64_t lp_relaxed_retries = 0;
+    // Partition-tolerance counters (epoch-fenced leases).
+    uint64_t partition_changes_observed = 0;
+    /// Quorum leases dropped (cut or home death deposed the coordinator).
+    uint64_t leases_lost = 0;
+    /// Leases (re)acquired under a fresh epoch, failovers included.
+    uint64_t lease_acquisitions = 0;
+    /// Coordinator checks skipped in the leaseless static-fallback mode.
+    uint64_t checks_skipped_no_lease = 0;
   };
   const ProtocolStats& stats() const { return stats_; }
 
@@ -124,6 +147,12 @@ class GoalOrientedController final : public Controller {
     ToleranceEstimator tolerance;
     int warmup_step = 0;
     int consecutive_slow = 0;
+    /// Fencing epoch of the current lease; incremented at every
+    /// (re)acquisition so agents can reject a deposed holder's grants.
+    uint64_t epoch = 1;
+    /// True while `home` holds the quorum lease; without it the
+    /// coordinator neither checks nor re-partitions (static fallback).
+    bool has_lease = true;
   };
 
   /// Last values each agent sent, for the significant-change filter.
@@ -163,6 +192,33 @@ class GoalOrientedController final : public Controller {
   /// accumulation over the current live-node set (shared crash/recovery
   /// path; both invalidate every retained measure point).
   void RestartMeasurement(Coordinator* coordinator, NodeId node);
+
+  /// Restarts measurement over the nodes currently live *and reachable*
+  /// from the coordinator's home, wiping views of everything outside that
+  /// set; every retained measure point described a topology that no longer
+  /// exists.
+  void RestartMeasurementOver(Coordinator* coordinator);
+
+  /// Whether a coordinator homed at `home` can assemble a quorum right now:
+  /// `home` is up and reaches a strict majority of the currently-live
+  /// nodes. In an unpartitioned cluster this holds for every live node, so
+  /// crash-only scenarios never lose the lease.
+  bool QuorumFrom(NodeId home) const;
+  bool HasQuorum(const Coordinator& coordinator) const {
+    return QuorumFrom(coordinator.home);
+  }
+
+  /// Re-evaluates `coordinator`'s lease against the current topology:
+  /// reacquires in place when its home regained quorum, deposes it and
+  /// fails over to the lowest-numbered node that can assemble one, or
+  /// leaves the class leaseless (even split / mass outage). Acquisition
+  /// bumps the epoch and announces it; measurement restarts are the
+  /// caller's job.
+  void ReevaluateLease(Coordinator* coordinator);
+
+  /// Synchronously raises the fence of every reachable live agent to the
+  /// coordinator's epoch and accounts the announcement traffic.
+  void AnnounceLease(Coordinator* coordinator);
 
   ClusterSystem* system_ = nullptr;
   std::map<ClassId, Coordinator> coordinators_;

@@ -11,6 +11,7 @@
 #include "common/check.h"
 #include "common/logging.h"
 #include "core/goal_controller.h"
+#include "core/system_audits.h"
 
 namespace memgoal::core {
 
@@ -132,7 +133,16 @@ sim::Task<void> Node::DeliverHeatReport(NodeId home, PageId page,
       net::TrafficClass::kHeatHint);
   // The home's directory entry only changes when the (best-effort) hint
   // actually arrives.
-  if (delivered) system_->directory().ReportLocalHeat(id_, page, heat);
+  if (delivered) {
+    system_->directory().ReportLocalHeat(id_, page, heat);
+    unsynced_hints_.erase(page);
+  } else if (!system_->Reachable(id_, home)) {
+    // Lost to a partition cut (not the ambient loss process, whose drops
+    // threshold dissemination repairs by itself): owed to the home at heal
+    // time. Reachability is checked at the delivery instant, the same
+    // instant the drop decision was made, so this classification is exact.
+    unsynced_hints_.insert(page);
+  }
 }
 
 void Node::MaybePropagateHeat(PageId page) {
@@ -159,6 +169,27 @@ void Node::ResetVolatileState() {
     tracker = cache::HeatTracker(k);
   }
   reported_heat_.clear();
+  // A crashed node owes nothing: its heat contributions were wiped from the
+  // directory by DropNode, which is exactly a sync.
+  unsynced_hints_.clear();
+}
+
+size_t Node::FlushUnsyncedHints() {
+  size_t flushed = 0;
+  for (const PageId page : unsynced_hints_) {
+    const double heat = AccumulatedHeat(page);
+    reported_heat_[page] = heat;
+    system_->directory().ReportLocalHeat(id_, page, heat);
+    const NodeId home = system_->database().HomeOf(page);
+    if (home != id_) {
+      system_->simulator().Spawn(system_->network().Transfer(
+          id_, home, system_->config().hint_msg_bytes,
+          net::TrafficClass::kHeatHint));
+    }
+    ++flushed;
+  }
+  unsynced_hints_.clear();
+  return flushed;
 }
 
 size_t Node::HeatHistorySize() const {
@@ -190,7 +221,9 @@ void Node::SweepHeatHistory(sim::SimTime horizon) {
 
 void Node::HandleDrops(const std::vector<PageId>& dropped) {
   for (PageId page : dropped) {
-    system_->directory().OnPageDropped(id_, page);
+    if (system_->config().injected_bug != InjectedBug::kLeakDirectoryEntry) {
+      system_->directory().OnPageDropped(id_, page);
+    }
     const NodeId home = system_->database().HomeOf(page);
     if (home != id_) {
       system_->simulator().Spawn(system_->network().Transfer(
@@ -226,21 +259,26 @@ sim::Task<void> Node::FetchAttempt(std::shared_ptr<FetchState> state,
   const SystemConfig& config = system_->config();
   net::Network& network = system_->network();
   const uint64_t target_epoch = system_->NodeEpoch(target);
+  // Every Transfer result below is honored: a control or page message lost
+  // to a partition cut means silence, and the requester's phase timer turns
+  // silence into a timeout — exactly how it detects a dead peer.
   if (via_home) {
     // The directory lives at the page's home: request there, home forwards
     // to the copy holder.
     const NodeId home = system_->database().HomeOf(page);
     const bool home_alive = system_->NodeUp(home);
-    co_await network.Transfer(id_, home, config.control_msg_bytes,
-                              net::TrafficClass::kControl);
-    if (!home_alive || !system_->NodeUp(home)) {
-      co_return;  // request died with the home; the phase timer detects it
+    const bool asked = co_await network.Transfer(
+        id_, home, config.control_msg_bytes, net::TrafficClass::kControl);
+    if (!asked || !home_alive || !system_->NodeUp(home)) {
+      co_return;  // request died with (or never reached) the home
     }
-    co_await network.Transfer(home, target, config.control_msg_bytes,
-                              net::TrafficClass::kControl);
+    const bool forwarded = co_await network.Transfer(
+        home, target, config.control_msg_bytes, net::TrafficClass::kControl);
+    if (!forwarded) co_return;
   } else {
-    co_await network.Transfer(id_, target, config.control_msg_bytes,
-                              net::TrafficClass::kControl);
+    const bool asked = co_await network.Transfer(
+        id_, target, config.control_msg_bytes, net::TrafficClass::kControl);
+    if (!asked) co_return;
   }
   if (!system_->NodeUp(target) ||
       system_->NodeEpoch(target) != target_epoch ||
@@ -248,9 +286,10 @@ sim::Task<void> Node::FetchAttempt(std::shared_ptr<FetchState> state,
     // Dead, rebooted, or meanwhile evicted: silence; the timer fires.
     co_return;
   }
-  co_await network.Transfer(target, id_,
-                            config.page_bytes + config.page_header_bytes,
-                            net::TrafficClass::kPage);
+  const bool page_arrived = co_await network.Transfer(
+      target, id_, config.page_bytes + config.page_header_bytes,
+      net::TrafficClass::kPage);
+  if (!page_arrived) co_return;  // cut mid-flight: no page, no observation
   // Every completed attempt — even one that lost the hedge race or arrived
   // after the requester gave up — is a latency observation of the target.
   system_->RecordFetchLatency(
@@ -398,19 +437,24 @@ sim::Task<StorageLevel> Node::AccessPage(ClassId klass, PageId page) {
     } else {
       if (candidates.empty()) {
         // No cached copy anywhere: the classic ask-the-home disk read. A
-        // dead home is detected by one deadline wait (shared by the whole
-        // request — it is the only wait this path pays).
+        // dead home — or one unreachable across a partition cut — is
+        // detected by one deadline wait (shared by the whole request; it is
+        // the only wait this path pays).
         const bool home_alive = system_->NodeUp(home);
-        co_await network.Transfer(id_, home, config.control_msg_bytes,
-                                  net::TrafficClass::kControl);
-        if (!home_alive || !system_->NodeUp(home)) {
+        const bool asked = co_await network.Transfer(
+            id_, home, config.control_msg_bytes, net::TrafficClass::kControl);
+        if (!asked || !home_alive || !system_->NodeUp(home)) {
           co_await system_->simulator().Delay(config.crash_detect_timeout_ms);
           system_->CountFetchFallback(klass);
         }
       }
       co_await system_->node(home).disk().ReadPage();
+      // The NOW's disks are dual-ported: the page travels over the storage
+      // bus, which a LAN partition does not sever. Bandwidth/queueing of the
+      // shared medium still applies.
       co_await network.Transfer(home, id_, page_msg,
-                                net::TrafficClass::kPage);
+                                net::TrafficClass::kPage,
+                                /*via_storage_bus=*/true);
       level = StorageLevel::kRemoteDisk;
     }
     if (tracing) {
@@ -478,6 +522,15 @@ ClusterSystem::ClusterSystem(const SystemConfig& config)
   fault_injector_.SetDegradationCallbacks(
       [this](uint32_t node) { HandleNodeDegrade(node); },
       [this](uint32_t node) { HandleNodeRestore(node); });
+  fault_injector_.SetPartitionCallback([this] { HandlePartitionChange(); });
+  // The injector's reachability relation is the single source of truth; the
+  // network enforces it on delivery and the directory's replica ranking
+  // excludes unreachable holders. Both consult it only while partitioned.
+  const auto reachable = [this](NodeId from, NodeId to) {
+    return fault_injector_.Reachable(from, to);
+  };
+  network_.SetReachability(reachable);
+  directory_.SetReachability(reachable);
   controller_ = std::make_unique<GoalOrientedController>();
 }
 
@@ -572,10 +625,42 @@ void ClusterSystem::HandleNodeCrash(NodeId node) {
 
 void ClusterSystem::HandleNodeRecover(NodeId node) {
   // The node rejoins with a cold cache and zero dedications (enforced at
-  // crash time); the controller re-enters warm-up for it. Its health score
-  // heals a step so the rejoined node gets fetch traffic again.
-  DecayHealth(node);
+  // crash time). Its health score re-anchors at the healthy baseline: every
+  // penalty in the EWMA was a timeout against the *dead* machine, which says
+  // nothing about the rebooted one — decaying gradually (the pre-fix
+  // behavior) left the fresh node shunned by replica ranking for several
+  // intervals after every reboot.
+  ResetHealth(node);
   controller_->OnNodeRecover(node);
+}
+
+void ClusterSystem::HandlePartitionChange() {
+  const bool partitioned = fault_injector_.Partitioned();
+  network_.SetPartitionActive(partitioned);
+  directory_.SetPartitionActive(partitioned);
+  if (partitioned && !partitioned_now_) {
+    ++partition_begins_;
+  } else if (!partitioned && partitioned_now_) {
+    ++partition_heals_;
+    if (config_.injected_bug != InjectedBug::kSkipHealReconcile) {
+      ReconcileAfterHeal();
+    }
+  }
+  partitioned_now_ = partitioned;
+  controller_->OnPartitionChange();
+}
+
+void ClusterSystem::ReconcileAfterHeal() {
+  // Anti-entropy: every heat report that was lost across the cut is
+  // re-delivered (state applied directly, traffic accounted — the
+  // substitution-table idiom), so the directory's global heat converges to
+  // what threshold dissemination would have maintained without the cut.
+  for (auto& node : nodes_) {
+    reconcile_hints_sent_ += node->FlushUnsyncedHints();
+  }
+  // Health penalties accumulated during the cut measured the partition, not
+  // the peers: a healed replica must be re-rankable immediately.
+  for (NodeId i = 0; i < config_.num_nodes; ++i) ResetHealth(i);
 }
 
 void ClusterSystem::HandleNodeDegrade(NodeId node) {
@@ -610,6 +695,11 @@ void ClusterSystem::DecayHealth(NodeId node) {
   const double baseline = cost_model_.remote_buffer_ms;
   health_ewma_[node] +=
       config_.health_recovery_decay * (baseline - health_ewma_[node]);
+  directory_.SetNodeCost(node, health_ewma_[node]);
+}
+
+void ClusterSystem::ResetHealth(NodeId node) {
+  health_ewma_[node] = cost_model_.remote_buffer_ms;
   directory_.SetNodeCost(node, health_ewma_[node]);
 }
 
@@ -704,6 +794,29 @@ uint64_t ClusterSystem::ApplyAllocation(ClassId klass, NodeId node,
       nodes_[node]->node_cache().SetDedicatedBytes(klass, bytes, &dropped);
   nodes_[node]->HandleDrops(dropped);
   return granted;
+}
+
+ClusterSystem::GrantOutcome ClusterSystem::ApplyAllocationFenced(
+    ClassId klass, NodeId node, uint64_t bytes, uint64_t epoch) {
+  // The fence persists across crashes: the agent's highest-seen epoch is
+  // modeled as stable storage, so a rebooted node cannot be tricked into
+  // accepting a deposed coordinator's grant it had already fenced out.
+  uint64_t& fence = grant_epochs_[{klass, node}];
+  if (epoch < fence) {
+    if (config_.injected_bug == InjectedBug::kNoEpochFence) {
+      ++stale_grants_applied_;
+      return {ApplyAllocation(klass, node, bytes), false};
+    }
+    ++grants_rejected_stale_epoch_;
+    return {DedicatedBytes(klass, node), true};
+  }
+  fence = epoch;
+  return {ApplyAllocation(klass, node, bytes), false};
+}
+
+void ClusterSystem::AnnounceEpoch(ClassId klass, NodeId node, uint64_t epoch) {
+  uint64_t& fence = grant_epochs_[{klass, node}];
+  fence = std::max(fence, epoch);
 }
 
 uint64_t ClusterSystem::DedicatedBytes(ClassId klass, NodeId node) const {
@@ -857,6 +970,9 @@ sim::Task<void> ClusterSystem::IntervalLoop() {
     // §7.1) are visible to the controller's check of the same interval.
     if (interval_callback_) interval_callback_(metrics_.back());
     controller_->OnIntervalEnd(index);
+    // Audit after the controller acted, before the snapshot, so the
+    // snapshot carries this interval's audit counters.
+    if (auditor_ != nullptr) auditor_->RunChecks(simulator_.Now());
     PublishRegistrySnapshot(index);
   }
 }
@@ -897,9 +1013,25 @@ void ClusterSystem::PublishRegistrySnapshot(int interval_index) {
     registry_.GetCounter(name)->Set(network_.messages_sent(traffic_class));
     std::snprintf(name, sizeof(name), "net.dropped.%s", tc_name);
     registry_.GetCounter(name)->Set(network_.messages_dropped(traffic_class));
+    std::snprintf(name, sizeof(name), "net.partition_dropped.%s", tc_name);
+    registry_.GetCounter(name)->Set(
+        network_.messages_partition_dropped(traffic_class));
   }
   registry_.GetGauge("cluster.nodes_up")
       ->Set(static_cast<double>(fault_injector_.nodes_up()));
+  registry_.GetGauge("cluster.partitioned")
+      ->Set(fault_injector_.Partitioned() ? 1.0 : 0.0);
+  registry_.GetCounter("cluster.partition_begins")->Set(partition_begins_);
+  registry_.GetCounter("cluster.partition_heals")->Set(partition_heals_);
+  registry_.GetCounter("cluster.stale_grants_rejected")
+      ->Set(grants_rejected_stale_epoch_);
+  registry_.GetCounter("cluster.reconcile_hints_sent")
+      ->Set(reconcile_hints_sent_);
+  if (auditor_ != nullptr) {
+    registry_.GetCounter("audit.checks_run")->Set(auditor_->checks_run());
+    registry_.GetCounter("audit.violations")
+        ->Set(auditor_->violations_found());
+  }
   for (NodeId i = 0; i < config_.num_nodes; ++i) {
     std::snprintf(name, sizeof(name), "node%u.heat.tracked_pages", i);
     registry_.GetGauge(name)->Set(
@@ -907,6 +1039,11 @@ void ClusterSystem::PublishRegistrySnapshot(int interval_index) {
   }
   controller_->PublishMetrics(&registry_);
   registry_.TakeSnapshot(interval_index, simulator_.Now());
+}
+
+void ClusterSystem::EnableAuditor(sim::InvariantAuditor* auditor) {
+  auditor_ = auditor;
+  if (auditor_ != nullptr) RegisterSystemAudits(auditor_, this);
 }
 
 void ClusterSystem::RunIntervals(int count) {

@@ -5,6 +5,9 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
+#include <set>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -20,6 +23,7 @@
 #include "obs/registry.h"
 #include "obs/trace.h"
 #include "sim/fault_injector.h"
+#include "sim/invariant_auditor.h"
 #include "sim/resource.h"
 #include "sim/simulator.h"
 #include "sim/sync.h"
@@ -42,6 +46,25 @@ enum class PartitioningObjective {
   /// The paper's §8 future-work objective: minimize the dispersion of the
   /// goal class's per-node response times subject to the goal constraint.
   kMinimizeNodeVariance,
+};
+
+/// Deliberately planted correctness bugs, used to validate that the
+/// invariant auditor and the chaos fuzzer actually catch regressions (a
+/// detector nobody has ever seen fire is not evidence of anything). Only
+/// tests and tools/chaos_fuzz set anything but kNone.
+enum class InjectedBug {
+  kNone,
+  /// Skip heal-time hint reconciliation: heat reports lost across a
+  /// partition are never re-sent, leaving the directory's global heat stale
+  /// after the cluster is whole again.
+  kSkipHealReconcile,
+  /// Apply allocation grants carrying a stale epoch instead of rejecting
+  /// them: a deposed coordinator's in-flight grants overwrite the new
+  /// lease's decisions.
+  kNoEpochFence,
+  /// Leak directory entries on pool shrink: dropped pages stay registered
+  /// as cached copies, so remote fetches chase ghosts.
+  kLeakDirectoryEntry,
 };
 
 /// All tunables of the simulated NOW and of the partitioning algorithm.
@@ -145,6 +168,9 @@ struct SystemConfig {
 
   uint64_t seed = 1;
 
+  /// See InjectedBug; kNone outside auditor/fuzzer validation.
+  InjectedBug injected_bug = InjectedBug::kNone;
+
   /// CPU time (ms) for the given instruction count at `cpu_mips`.
   double CpuMs(double instructions) const {
     return instructions / (cpu_mips * 1e3);
@@ -178,6 +204,20 @@ class Controller {
   /// Called synchronously at the instant `node` recovers (cold cache, zero
   /// dedications). Controllers re-enter warm-up for the rejoined node.
   virtual void OnNodeRecover(NodeId /*node*/) {}
+
+  /// Called synchronously after every reachability change of the
+  /// interconnect (partition begins, reshapes or heals; a link is cut or
+  /// restored). Partition-tolerant controllers re-evaluate quorum leases
+  /// here; the default ignores partitions entirely — which is safe only
+  /// because the network already drops its cross-partition messages.
+  virtual void OnPartitionChange() {}
+
+  /// Controller self-audit for the invariant auditor: returns a description
+  /// of the first violated internal invariant (measure-store condition
+  /// sanity, lease-implies-quorum, ...), or nullopt when all hold.
+  virtual std::optional<std::string> AuditInvariants() const {
+    return std::nullopt;
+  }
 
   /// Tolerance band currently applied to `klass` (used for the `satisfied`
   /// flag in metrics). Default: no band.
@@ -227,6 +267,17 @@ class Node {
   /// Total LRU-K history records held across the accumulated and per-class
   /// heat trackers (bounded-memory regression tests).
   size_t HeatHistorySize() const;
+
+  /// Pages whose heat report was lost across a partition cut and not yet
+  /// re-delivered. Nonzero only while partitioned (or under the
+  /// kSkipHealReconcile injected bug — which is what the auditor's
+  /// stale-hints check detects).
+  size_t unsynced_hint_count() const { return unsynced_hints_.size(); }
+
+  /// Re-reports every unsynced page's heat to its home (state applied
+  /// directly, message traffic accounted): the anti-entropy half of the
+  /// partition-heal reconciliation. Returns the number of hints flushed.
+  size_t FlushUnsyncedHints();
 
  private:
   friend class ClusterSystem;
@@ -290,6 +341,8 @@ class Node {
   cache::HeatTracker accumulated_heat_;
   std::map<ClassId, cache::HeatTracker> class_heat_;
   std::unordered_map<PageId, double> reported_heat_;
+  // Heat reports lost to a partition cut, owed to their homes at heal time.
+  std::set<PageId> unsynced_hints_;
   std::unique_ptr<cache::NodeCache> cache_;
 };
 
@@ -365,6 +418,13 @@ class ClusterSystem {
   /// Crash count of `node`; in-flight work captures it before suspending to
   /// detect that its node died in between.
   uint64_t NodeEpoch(NodeId node) const { return fault_injector_.epoch(node); }
+  /// Reachability of `to` from `from` under the current partition topology
+  /// (delegates to the fault injector; true in the whole-cluster state).
+  bool Reachable(NodeId from, NodeId to) const {
+    return fault_injector_.Reachable(from, to);
+  }
+  /// True while any interconnect cut is in effect.
+  bool Partitioned() const { return fault_injector_.Partitioned(); }
 
   const std::vector<workload::ClassSpec>& classes() const { return classes_; }
   const workload::ClassSpec& spec(ClassId klass) const;
@@ -407,6 +467,32 @@ class ClusterSystem {
   /// Applies a dedicated-buffer budget for (klass, node); returns granted
   /// bytes (clamped per §5e) and handles directory drops.
   uint64_t ApplyAllocation(ClassId klass, NodeId node, uint64_t bytes);
+
+  struct GrantOutcome {
+    /// Granted bytes; the unchanged previous grant when rejected.
+    uint64_t granted = 0;
+    bool rejected_stale_epoch = false;
+  };
+  /// Epoch-fenced ApplyAllocation, used by lease-holding controllers: the
+  /// (klass, node) agent tracks the highest epoch it has seen, applies
+  /// grants at or above it (raising the fence), and rejects grants below it
+  /// — those are in-flight commands of a deposed coordinator. Under the
+  /// kNoEpochFence injected bug stale grants are applied anyway (and
+  /// counted), which is exactly what the auditor's epoch-fence check flags.
+  GrantOutcome ApplyAllocationFenced(ClassId klass, NodeId node,
+                                     uint64_t bytes, uint64_t epoch);
+  /// Raises the (klass, node) agent's fence floor to `epoch` without
+  /// changing its grant: a new lease holder announces its epoch to every
+  /// reachable agent at acquisition, so slower stale grants already in
+  /// flight get rejected on arrival.
+  void AnnounceEpoch(ClassId klass, NodeId node, uint64_t epoch);
+  uint64_t grants_rejected_stale_epoch() const {
+    return grants_rejected_stale_epoch_;
+  }
+  /// Stale grants applied despite the fence; nonzero only under the
+  /// kNoEpochFence injected bug.
+  uint64_t stale_grants_applied() const { return stale_grants_applied_; }
+
   uint64_t DedicatedBytes(ClassId klass, NodeId node) const;
   uint64_t TotalDedicatedBytes(ClassId klass) const;
   /// Equation 6 upper bound for (klass, node).
@@ -444,6 +530,26 @@ class ClusterSystem {
   /// Moves the score a step back toward the healthy baseline (forgiveness
   /// after a recovery or a lifted degradation episode).
   void DecayHealth(NodeId node);
+  /// Re-anchors the score at the healthy baseline outright. Used when the
+  /// past samples describe a machine that no longer exists: a rebooted node
+  /// (its timeouts measured a corpse) or a healed partition (they measured
+  /// the cut, not the peer).
+  void ResetHealth(NodeId node);
+
+  // -- Invariant auditing ----------------------------------------------------
+
+  /// Registers the standard system-wide audits (see core/system_audits.h)
+  /// on `auditor` and runs them at every observation-interval boundary.
+  /// The auditor must outlive the system's runs; null detaches. When
+  /// detached (the default) the interval loop pays one pointer test.
+  void EnableAuditor(sim::InvariantAuditor* auditor);
+  sim::InvariantAuditor* auditor() { return auditor_; }
+
+  /// Partition lifecycle counters (whole -> cut transitions and back) and
+  /// heal-time reconciliation volume, for the registry and tests.
+  uint64_t partition_begins() const { return partition_begins_; }
+  uint64_t partition_heals() const { return partition_heals_; }
+  uint64_t reconcile_hints_sent() const { return reconcile_hints_sent_; }
 
  private:
   sim::Task<void> WorkloadSource(NodeId node, ClassId klass);
@@ -465,6 +571,14 @@ class ClusterSystem {
   void HandleNodeDegrade(NodeId node);
   /// Episode lifted: service times back to nominal; health starts healing.
   void HandleNodeRestore(NodeId node);
+  /// Reachability-change instant: flip the network/directory partition
+  /// flags, run heal-time reconciliation when the cluster became whole,
+  /// then notify the controller (lease re-evaluation).
+  void HandlePartitionChange();
+  /// Anti-entropy after a heal: flush every node's unsynced hints and
+  /// re-anchor all health EWMAs (pre-partition timeout penalties measured
+  /// the cut, not the peers). Skipped under kSkipHealReconcile.
+  void ReconcileAfterHeal();
 
   struct IntervalAccumulator {
     uint64_t arrived = 0;
@@ -495,6 +609,16 @@ class ClusterSystem {
   MetricsLog metrics_;
   int intervals_completed_ = 0;
   std::vector<double> health_ewma_;  // [node] fetch-latency EWMA, ms
+
+  // (klass, node) -> highest grant epoch the agent has seen (fence floor).
+  std::map<std::pair<ClassId, NodeId>, uint64_t> grant_epochs_;
+  uint64_t grants_rejected_stale_epoch_ = 0;
+  uint64_t stale_grants_applied_ = 0;
+  bool partitioned_now_ = false;
+  uint64_t partition_begins_ = 0;
+  uint64_t partition_heals_ = 0;
+  uint64_t reconcile_hints_sent_ = 0;
+  sim::InvariantAuditor* auditor_ = nullptr;
 
   obs::Tracer* tracer_ = nullptr;
   obs::DecisionLog* decision_log_ = nullptr;

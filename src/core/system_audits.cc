@@ -1,0 +1,119 @@
+#include "core/system_audits.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <optional>
+#include <string>
+
+#include "core/system.h"
+
+namespace memgoal::core {
+
+namespace {
+
+std::string Describe(const char* format, ...) {
+  char buffer[192];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buffer, sizeof(buffer), format, args);
+  va_end(args);
+  return buffer;
+}
+
+std::optional<std::string> CheckResource(const sim::Resource& resource) {
+  if (resource.in_use() < 0 || resource.in_use() > resource.capacity()) {
+    return Describe("%s: in_use=%d outside [0, %d]", resource.name().c_str(),
+                    resource.in_use(), resource.capacity());
+  }
+  // Release() hands units directly to the oldest waiter, so at every event
+  // boundary a non-empty queue implies a fully busy resource: a waiter in
+  // front of an idle unit means a lost wakeup.
+  if (resource.queue_length() > 0 &&
+      resource.in_use() != resource.capacity()) {
+    return Describe("%s: %zu waiting while %d/%d units busy",
+                    resource.name().c_str(), resource.queue_length(),
+                    resource.in_use(), resource.capacity());
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+void RegisterSystemAudits(sim::InvariantAuditor* auditor,
+                          ClusterSystem* system) {
+  auditor->AddCheck("directory_copy_accounting",
+                    [system]() -> std::optional<std::string> {
+    const uint32_t pages = system->database().num_pages();
+    for (NodeId node = 0; node < system->num_nodes(); ++node) {
+      const cache::NodeCache& cache = system->node(node).node_cache();
+      for (PageId page = 0; page < pages; ++page) {
+        const bool resident = cache.IsCached(page);
+        const bool registered = system->directory().IsCachedAt(node, page);
+        if (resident != registered) {
+          return Describe("node %u page %u: cache=%d directory=%d", node,
+                          page, resident ? 1 : 0, registered ? 1 : 0);
+        }
+      }
+    }
+    return std::nullopt;
+  });
+
+  auditor->AddCheck("allocation_capacity",
+                    [system]() -> std::optional<std::string> {
+    for (NodeId node = 0; node < system->num_nodes(); ++node) {
+      const cache::NodeCache& cache = system->node(node).node_cache();
+      if (cache.total_dedicated_bytes() > cache.total_bytes()) {
+        return Describe("node %u: dedicated %llu > cache %llu bytes", node,
+                        static_cast<unsigned long long>(
+                            cache.total_dedicated_bytes()),
+                        static_cast<unsigned long long>(cache.total_bytes()));
+      }
+    }
+    return std::nullopt;
+  });
+
+  auditor->AddCheck("epoch_fence", [system]() -> std::optional<std::string> {
+    if (system->stale_grants_applied() > 0) {
+      return Describe("%llu grant(s) with a stale epoch were applied",
+                      static_cast<unsigned long long>(
+                          system->stale_grants_applied()));
+    }
+    return std::nullopt;
+  });
+
+  auditor->AddCheck("resource_conservation",
+                    [system]() -> std::optional<std::string> {
+    for (NodeId node = 0; node < system->num_nodes(); ++node) {
+      if (auto v = CheckResource(system->node(node).cpu())) return v;
+      if (auto v = CheckResource(system->node(node).disk().resource())) {
+        return v;
+      }
+    }
+    return CheckResource(system->network().medium());
+  });
+
+  auditor->AddCheck("controller_invariants",
+                    [system]() -> std::optional<std::string> {
+    return system->controller().AuditInvariants();
+  });
+
+  auditor->AddCheck("stale_hints_after_heal",
+                    [system]() -> std::optional<std::string> {
+    if (system->Partitioned()) return std::nullopt;  // debts legal mid-cut
+    for (NodeId node = 0; node < system->num_nodes(); ++node) {
+      const size_t owed = system->node(node).unsynced_hint_count();
+      if (owed > 0) {
+        return Describe("node %u still owes %zu hint(s) while whole", node,
+                        owed);
+      }
+    }
+    return std::nullopt;
+  });
+
+  auditor->AddCheck("directory_heat_accounting",
+                    [system]() -> std::optional<std::string> {
+    return system->directory().AuditInternalConsistency();
+  });
+}
+
+}  // namespace memgoal::core

@@ -1,0 +1,37 @@
+#ifndef MEMGOAL_CORE_SYSTEM_AUDITS_H_
+#define MEMGOAL_CORE_SYSTEM_AUDITS_H_
+
+#include "sim/invariant_auditor.h"
+
+namespace memgoal::core {
+
+class ClusterSystem;
+
+/// Registers the standard system-wide invariant checks on `auditor`, all
+/// reading `system` live through captured pointers:
+///
+///   - directory_copy_accounting: a page is registered at a node in the
+///     directory iff the node's cache actually holds it (both directions —
+///     ghosts and unregistered residents are each a distinct bug class).
+///   - allocation_capacity: per node, the dedicated budgets granted across
+///     goal classes never exceed the node's physical cache.
+///   - epoch_fence: no allocation carrying a stale coordinator epoch was
+///     ever applied (a deposed coordinator's writes must bounce).
+///   - resource_conservation: every CPU, disk and the shared network medium
+///     holds 0 <= in_use <= capacity, and nobody queues while units idle.
+///   - controller_invariants: the controller's own self-audit
+///     (measure-store sanity, lease-implies-quorum, ...).
+///   - stale_hints_after_heal: once the cluster is whole, no node still owes
+///     heat reports lost across a cut (heal reconciliation ran).
+///   - directory_heat_accounting: the directory's internal copy counts and
+///     heat sums match a from-scratch recomputation.
+///
+/// Both arguments must outlive the auditor's use. Called by
+/// ClusterSystem::EnableAuditor; exposed separately so tests can register
+/// the audits against a hand-built system.
+void RegisterSystemAudits(sim::InvariantAuditor* auditor,
+                          ClusterSystem* system);
+
+}  // namespace memgoal::core
+
+#endif  // MEMGOAL_CORE_SYSTEM_AUDITS_H_

@@ -1,6 +1,8 @@
 #include "net/directory.h"
 
 #include <algorithm>
+#include <cmath>
+#include <string>
 
 #include "common/check.h"
 
@@ -83,7 +85,11 @@ std::vector<NodeId> PageDirectory::RankedCopies(PageId page,
   for (uint32_t offset = 0; offset < num_nodes_; ++offset) {
     const NodeId node = (home + offset) % num_nodes_;
     if (node == except) continue;
-    if (IsCachedAt(node, page)) copies.push_back(node);
+    if (!IsCachedAt(node, page)) continue;
+    if (partition_active_ && reachable_ && !reachable_(except, node)) {
+      continue;
+    }
+    copies.push_back(node);
   }
   // Stable sort by health cost: equal costs (the healthy steady state)
   // preserve the scan order exactly, so ranking only reorders when the
@@ -115,6 +121,36 @@ void PageDirectory::ReportLocalHeat(NodeId node, PageId page, double heat) {
 double PageDirectory::GlobalHeat(PageId page) const {
   MEMGOAL_DCHECK(page < database_->num_pages());
   return global_heat_[page];
+}
+
+std::optional<std::string> PageDirectory::AuditInternalConsistency() const {
+  uint64_t recomputed_total = 0;
+  for (PageId page = 0; page < database_->num_pages(); ++page) {
+    int copies = 0;
+    double heat_sum = 0.0;
+    for (NodeId node = 0; node < num_nodes_; ++node) {
+      const size_t idx = Index(node, page);
+      if (cached_[idx]) ++copies;
+      heat_sum += heat_[idx];
+    }
+    if (copies != copy_count_[page]) {
+      return "page " + std::to_string(page) + ": copy_count " +
+             std::to_string(copy_count_[page]) + " != recomputed " +
+             std::to_string(copies);
+    }
+    const double drift = std::abs(heat_sum - global_heat_[page]);
+    if (drift > 1e-6 * (1.0 + std::abs(heat_sum))) {
+      return "page " + std::to_string(page) + ": global_heat " +
+             std::to_string(global_heat_[page]) + " != recomputed " +
+             std::to_string(heat_sum);
+    }
+    recomputed_total += static_cast<uint64_t>(copies);
+  }
+  if (recomputed_total != total_cached_) {
+    return "total_cached " + std::to_string(total_cached_) +
+           " != recomputed " + std::to_string(recomputed_total);
+  }
+  return std::nullopt;
 }
 
 }  // namespace memgoal::net

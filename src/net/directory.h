@@ -2,7 +2,9 @@
 #define MEMGOAL_NET_DIRECTORY_H_
 
 #include <cstdint>
+#include <functional>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "storage/database.h"
@@ -53,8 +55,22 @@ class PageDirectory {
   std::optional<NodeId> FindCopy(PageId page, NodeId except) const;
 
   /// All nodes other than `except` that cache `page`, best first, same
-  /// ranking as FindCopy. The fetch path hedges down this list.
+  /// ranking as FindCopy. The fetch path hedges down this list. While a
+  /// partition is active (see SetReachability), holders unreachable *from*
+  /// `except` — the requester in every call site — are excluded: the
+  /// requester could not complete a fetch protocol with them anyway.
   std::vector<NodeId> RankedCopies(PageId page, NodeId except) const;
+
+  // -- Partition awareness -------------------------------------------------
+
+  /// Installs the reachability oracle (owned by the fault-injection layer,
+  /// same relation the network enforces). Consulted by RankedCopies only
+  /// while partition_active is set.
+  void SetReachability(std::function<bool(NodeId, NodeId)> reachable) {
+    reachable_ = std::move(reachable);
+  }
+  void SetPartitionActive(bool active) { partition_active_ = active; }
+  bool partition_active() const { return partition_active_; }
 
   // -- Node health ranking -------------------------------------------------
 
@@ -75,6 +91,12 @@ class PageDirectory {
   /// Total pages currently cached somewhere (for tests/metrics).
   uint64_t total_cached_pages() const { return total_cached_; }
 
+  /// Recomputes the maintained aggregates (per-page copy counts, the total
+  /// cached counter, per-page global heat sums) from the base tables and
+  /// compares. Returns a description of the first mismatch, or nullopt when
+  /// internally consistent. Used by the invariant auditor.
+  std::optional<std::string> AuditInternalConsistency() const;
+
  private:
   size_t Index(NodeId node, PageId page) const {
     return static_cast<size_t>(page) * num_nodes_ + node;
@@ -88,6 +110,8 @@ class PageDirectory {
   std::vector<double> global_heat_;  // [page], maintained sum
   std::vector<double> node_cost_;    // [node], replica-ranking cost
   uint64_t total_cached_ = 0;
+  std::function<bool(NodeId, NodeId)> reachable_;
+  bool partition_active_ = false;
 };
 
 }  // namespace memgoal::net

@@ -86,7 +86,8 @@ sim::SimTime Network::TransmissionTime(uint32_t bytes) const {
 }
 
 sim::Task<bool> Network::Transfer(NodeId from, NodeId to, uint32_t bytes,
-                                  TrafficClass traffic_class) {
+                                  TrafficClass traffic_class,
+                                  bool via_storage_bus) {
   if (from == to) co_return true;
   sim::SimTime start;
   {
@@ -108,7 +109,15 @@ sim::Task<bool> Network::Transfer(NodeId from, NodeId to, uint32_t bytes,
     // No co_await between here and co_return, so the scope is safe; it
     // covers the delivery-side bookkeeping (loss draw + trace emission).
     obs::ProfileScope profile(obs::Phase::kNetReceive);
-    if (IsBestEffort(traffic_class) && DrawLoss()) {
+    // A cross-partition message is lost regardless of category; the loss
+    // process is not advanced for it, so the draw sequence of surviving
+    // best-effort traffic is unperturbed by partitions.
+    if (partition_active_ && !via_storage_bus && reachable_ &&
+        !reachable_(from, to)) {
+      ++messages_dropped_[static_cast<int>(traffic_class)];
+      ++messages_partition_dropped_[static_cast<int>(traffic_class)];
+      delivered = false;
+    } else if (IsBestEffort(traffic_class) && DrawLoss()) {
       ++messages_dropped_[static_cast<int>(traffic_class)];
       delivered = false;
     }
@@ -135,6 +144,12 @@ uint64_t Network::total_bytes_sent() const {
 uint64_t Network::total_messages_sent() const {
   uint64_t total = 0;
   for (uint64_t m : messages_sent_) total += m;
+  return total;
+}
+
+uint64_t Network::total_messages_partition_dropped() const {
+  uint64_t total = 0;
+  for (uint64_t m : messages_partition_dropped_) total += m;
   return total;
 }
 

@@ -3,6 +3,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/rng.h"
@@ -82,11 +83,20 @@ class Network {
   Network(sim::Simulator* simulator, const Params& params);
 
   /// Transmits `bytes` from `from` to `to`. Same-node transfers are free
-  /// and always delivered. Returns false if the message was lost (only
-  /// possible for best-effort categories under a nonzero loss_probability);
-  /// a lost message still occupied the medium for its transmission time.
+  /// and always delivered. Returns false if the message was lost — for
+  /// best-effort categories under a nonzero loss_probability, or for *any*
+  /// category when the endpoints are in different sides of an active
+  /// network partition. Reachability is evaluated at delivery time (after
+  /// transmission + latency), so a message in flight when the cut lands is
+  /// lost: that is exactly the in-flight-stale-grant case the epoch fence
+  /// exists for. A lost message still occupied the medium for its
+  /// transmission time. `via_storage_bus` models the dual-ported SCSI path
+  /// of §2 — disk reads bypass the interconnect and are immune to
+  /// partitions (but not to loss of their best-effort category, of which
+  /// there are none today).
   sim::Task<bool> Transfer(NodeId from, NodeId to, uint32_t bytes,
-                           TrafficClass traffic_class);
+                           TrafficClass traffic_class,
+                           bool via_storage_bus = false);
 
   /// Transmission time the medium is held for a message of `bytes`.
   sim::SimTime TransmissionTime(uint32_t bytes) const;
@@ -112,6 +122,21 @@ class Network {
   uint64_t messages_dropped(TrafficClass traffic_class) const {
     return messages_dropped_[static_cast<int>(traffic_class)];
   }
+  /// Subset of messages_dropped lost to an active partition (as opposed to
+  /// the best-effort loss process).
+  uint64_t messages_partition_dropped(TrafficClass traffic_class) const {
+    return messages_partition_dropped_[static_cast<int>(traffic_class)];
+  }
+  uint64_t total_messages_partition_dropped() const;
+
+  /// Installs the reachability oracle (owned by the fault-injection layer).
+  /// Consulted only while partition_active is set, so the healthy fast path
+  /// costs a single flag test.
+  void SetReachability(std::function<bool(NodeId, NodeId)> reachable) {
+    reachable_ = std::move(reachable);
+  }
+  void SetPartitionActive(bool active) { partition_active_ = active; }
+  bool partition_active() const { return partition_active_; }
 
   const sim::Resource& medium() const { return medium_; }
 
@@ -134,10 +159,13 @@ class Network {
   sim::Resource medium_;
   common::Rng loss_rng_;
   bool burst_bad_ = false;
+  std::function<bool(NodeId, NodeId)> reachable_;
+  bool partition_active_ = false;
   std::vector<double> node_slowdown_;  // lazily sized; 1.0 = healthy
   std::array<uint64_t, kNumTrafficClasses> bytes_sent_{};
   std::array<uint64_t, kNumTrafficClasses> messages_sent_{};
   std::array<uint64_t, kNumTrafficClasses> messages_dropped_{};
+  std::array<uint64_t, kNumTrafficClasses> messages_partition_dropped_{};
 };
 
 }  // namespace memgoal::net

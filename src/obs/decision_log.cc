@@ -154,6 +154,8 @@ std::string DecisionRecord::ToJson() const {
   AppendField(&out, "sim_time_ms", sim_time_ms);
   AppendField(&out, "class", klass);
   AppendField(&out, "home", home);
+  AppendField(&out, "epoch", epoch);
+  AppendField(&out, "lease_held", lease_held);
   AppendField(&out, "observed_rt_k", observed_rt_k);
   AppendField(&out, "has_observed_rt_0", has_observed_rt_0);
   AppendField(&out, "observed_rt_0", observed_rt_0);
@@ -191,6 +193,8 @@ bool DecisionRecord::FromJson(const std::string& json, DecisionRecord* out) {
   if (!ParseDouble(json, "sim_time_ms", &rec.sim_time_ms)) return false;
   if (!ParseInt(json, "class", &rec.klass)) return false;
   if (!ParseInt(json, "home", &rec.home)) return false;
+  if (!ParseU64(json, "epoch", &rec.epoch)) return false;
+  if (!ParseBool(json, "lease_held", &rec.lease_held)) return false;
   if (!ParseDouble(json, "observed_rt_k", &rec.observed_rt_k)) return false;
   if (!ParseBool(json, "has_observed_rt_0", &rec.has_observed_rt_0)) {
     return false;

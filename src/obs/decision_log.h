@@ -25,6 +25,12 @@ struct DecisionRecord {
   double sim_time_ms = 0.0;
   int klass = 0;
   int home = 0;
+  /// Fencing epoch of the coordinator's lease at check time.
+  uint64_t epoch = 1;
+  /// False when the check was skipped in the leaseless static fallback
+  /// (minority side of a partition); the stage fields below then stay at
+  /// their defaults.
+  bool lease_held = true;
 
   // Measurement stage.
   double observed_rt_k = 0.0;

@@ -1,0 +1,289 @@
+#include "sim/chaos_schedule.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace memgoal::sim::chaos {
+
+const char* EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kCrash:
+      return "crash";
+    case EventKind::kRecover:
+      return "recover";
+    case EventKind::kDegrade:
+      return "degrade";
+    case EventKind::kRestore:
+      return "restore";
+    case EventKind::kPartition:
+      return "partition";
+    case EventKind::kHeal:
+      return "heal";
+    case EventKind::kGoalChange:
+      return "goal";
+  }
+  return "?";
+}
+
+Schedule Generate(uint64_t seed, const GenerateLimits& limits) {
+  MEMGOAL_CHECK(limits.num_nodes >= 3 && limits.num_nodes <= 32);
+  MEMGOAL_CHECK(limits.horizon_ms > 0.0);
+  MEMGOAL_CHECK(limits.max_episodes >= 1);
+  common::Rng rng(common::Mix64(seed));
+  Schedule schedule;
+  schedule.seed = seed;
+  schedule.num_nodes = limits.num_nodes;
+  schedule.horizon_ms = limits.horizon_ms;
+  const uint32_t n = limits.num_nodes;
+  const double horizon = limits.horizon_ms;
+
+  // Crash episodes: begin in the first 75% of the horizon, last 2 s .. 20%
+  // of the horizon (the recovery may land past the horizon; harmless).
+  const int crashes = static_cast<int>(rng.UniformInt(0, limits.max_episodes));
+  for (int i = 0; i < crashes; ++i) {
+    const uint32_t node = static_cast<uint32_t>(rng.UniformInt(0, n - 1));
+    const double at = rng.Uniform(0.0, 0.75 * horizon);
+    const double duration = rng.Uniform(2000.0, 0.2 * horizon);
+    schedule.events.push_back({at, EventKind::kCrash, node});
+    schedule.events.push_back({at + duration, EventKind::kRecover, node});
+  }
+
+  // Gray-degradation episodes.
+  const int grays = static_cast<int>(rng.UniformInt(0, limits.max_episodes));
+  for (int i = 0; i < grays; ++i) {
+    const uint32_t node = static_cast<uint32_t>(rng.UniformInt(0, n - 1));
+    const double at = rng.Uniform(0.0, 0.75 * horizon);
+    const double duration = rng.Uniform(2000.0, 0.2 * horizon);
+    const double factor = rng.Uniform(3.0, 15.0);
+    schedule.events.push_back({at, EventKind::kDegrade, node, factor});
+    schedule.events.push_back({at + duration, EventKind::kRestore, node});
+  }
+
+  // Partition episodes: always at least one, and its heal lands before 70%
+  // of the horizon so post-heal invariants (reconciliation, health resets,
+  // re-convergence) are actually observed by the audit points that follow.
+  const int partitions = static_cast<int>(
+      rng.UniformInt(1, std::max(1, limits.max_episodes / 2)));
+  const uint32_t max_minority = (n - 1) / 2;
+  for (int i = 0; i < partitions; ++i) {
+    const uint32_t k =
+        static_cast<uint32_t>(rng.UniformInt(1, max_minority));
+    uint32_t mask = 0;
+    while (static_cast<uint32_t>(__builtin_popcount(mask)) < k) {
+      mask |= 1u << rng.UniformInt(0, n - 1);
+    }
+    const double at = rng.Uniform(0.0, 0.55 * horizon);
+    const double duration = rng.Uniform(3000.0, 0.15 * horizon);
+    schedule.events.push_back({at, EventKind::kPartition, 0, 0.0, mask});
+    schedule.events.push_back({at + duration, EventKind::kHeal});
+  }
+
+  // Goal churn: the coordinator re-plans around moving targets while the
+  // topology is moving underneath it.
+  for (const uint32_t klass : limits.goal_classes) {
+    const int churns =
+        static_cast<int>(rng.UniformInt(0, limits.max_episodes));
+    for (int i = 0; i < churns; ++i) {
+      const double at = rng.Uniform(0.0, 0.8 * horizon);
+      const double factor = rng.Uniform(0.6, 1.8);
+      schedule.events.push_back(
+          {at, EventKind::kGoalChange, 0, factor, 0, klass});
+    }
+  }
+
+  std::stable_sort(schedule.events.begin(), schedule.events.end(),
+                   [](const Event& a, const Event& b) {
+                     return a.at_ms < b.at_ms;
+                   });
+  return schedule;
+}
+
+void ApplyToFaultParams(const Schedule& schedule,
+                        FaultInjector::Params* params) {
+  for (const Event& event : schedule.events) {
+    switch (event.kind) {
+      case EventKind::kCrash:
+        params->script.push_back({event.at_ms, event.node, /*crash=*/true});
+        break;
+      case EventKind::kRecover:
+        params->script.push_back({event.at_ms, event.node, /*crash=*/false});
+        break;
+      case EventKind::kDegrade:
+        params->degradation_script.push_back(
+            {event.at_ms, event.node, /*begin=*/true, event.factor});
+        break;
+      case EventKind::kRestore:
+        params->degradation_script.push_back(
+            {event.at_ms, event.node, /*begin=*/false});
+        break;
+      case EventKind::kPartition: {
+        std::vector<uint32_t> groups(schedule.num_nodes, 0);
+        for (uint32_t node = 0; node < schedule.num_nodes; ++node) {
+          if (event.minority_mask & (1u << node)) groups[node] = 1;
+        }
+        params->partition_script.push_back({event.at_ms, std::move(groups)});
+        break;
+      }
+      case EventKind::kHeal:
+        params->partition_script.push_back({event.at_ms, {}});
+        break;
+      case EventKind::kGoalChange:
+        break;  // applied by the harness, not the injector
+    }
+  }
+}
+
+std::vector<Event> GoalChanges(const Schedule& schedule) {
+  std::vector<Event> changes;
+  for (const Event& event : schedule.events) {
+    if (event.kind == EventKind::kGoalChange) changes.push_back(event);
+  }
+  return changes;
+}
+
+std::string ToText(const Schedule& schedule) {
+  std::ostringstream out;
+  char buffer[160];
+  std::snprintf(buffer, sizeof(buffer),
+                "# chaos schedule v1\nseed %" PRIu64
+                "\nnodes %u\nhorizon_ms %.17g\n",
+                schedule.seed, schedule.num_nodes, schedule.horizon_ms);
+  out << buffer;
+  for (const Event& event : schedule.events) {
+    switch (event.kind) {
+      case EventKind::kCrash:
+      case EventKind::kRecover:
+      case EventKind::kRestore:
+        std::snprintf(buffer, sizeof(buffer), "%s %.17g %u\n",
+                      EventKindName(event.kind), event.at_ms, event.node);
+        break;
+      case EventKind::kDegrade:
+        std::snprintf(buffer, sizeof(buffer), "degrade %.17g %u %.17g\n",
+                      event.at_ms, event.node, event.factor);
+        break;
+      case EventKind::kPartition:
+        std::snprintf(buffer, sizeof(buffer), "partition %.17g 0x%x\n",
+                      event.at_ms, event.minority_mask);
+        break;
+      case EventKind::kHeal:
+        std::snprintf(buffer, sizeof(buffer), "heal %.17g\n", event.at_ms);
+        break;
+      case EventKind::kGoalChange:
+        std::snprintf(buffer, sizeof(buffer), "goal %.17g %u %.17g\n",
+                      event.at_ms, event.klass, event.factor);
+        break;
+    }
+    out << buffer;
+  }
+  return out.str();
+}
+
+bool FromText(const std::string& text, Schedule* out) {
+  *out = Schedule{};
+  std::istringstream in(text);
+  std::string line;
+  bool have_seed = false, have_nodes = false, have_horizon = false;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string kind;
+    fields >> kind;
+    if (kind == "seed") {
+      fields >> out->seed;
+      have_seed = !fields.fail();
+    } else if (kind == "nodes") {
+      fields >> out->num_nodes;
+      have_nodes = !fields.fail();
+    } else if (kind == "horizon_ms") {
+      fields >> out->horizon_ms;
+      have_horizon = !fields.fail();
+    } else if (kind == "crash" || kind == "recover" || kind == "restore") {
+      Event event;
+      event.kind = kind == "crash"     ? EventKind::kCrash
+                   : kind == "recover" ? EventKind::kRecover
+                                       : EventKind::kRestore;
+      fields >> event.at_ms >> event.node;
+      if (fields.fail()) return false;
+      out->events.push_back(event);
+    } else if (kind == "degrade") {
+      Event event;
+      event.kind = EventKind::kDegrade;
+      fields >> event.at_ms >> event.node >> event.factor;
+      if (fields.fail()) return false;
+      out->events.push_back(event);
+    } else if (kind == "partition") {
+      Event event;
+      event.kind = EventKind::kPartition;
+      std::string mask;
+      fields >> event.at_ms >> mask;
+      if (fields.fail()) return false;
+      event.minority_mask =
+          static_cast<uint32_t>(std::strtoul(mask.c_str(), nullptr, 0));
+      out->events.push_back(event);
+    } else if (kind == "heal") {
+      Event event;
+      event.kind = EventKind::kHeal;
+      fields >> event.at_ms;
+      if (fields.fail()) return false;
+      out->events.push_back(event);
+    } else if (kind == "goal") {
+      Event event;
+      event.kind = EventKind::kGoalChange;
+      fields >> event.at_ms >> event.klass >> event.factor;
+      if (fields.fail()) return false;
+      out->events.push_back(event);
+    } else {
+      return false;
+    }
+  }
+  return have_seed && have_nodes && have_horizon;
+}
+
+Schedule Shrink(const Schedule& schedule,
+                const std::function<bool(const Schedule&)>& fails) {
+  std::vector<Event> current = schedule.events;
+  auto still_fails = [&](const std::vector<Event>& events) {
+    Schedule candidate = schedule;
+    candidate.events = events;
+    return fails(candidate);
+  };
+  // ddmin: repeatedly try to delete chunks, halving the chunk size whenever
+  // a full sweep removes nothing. Deterministic, terminates because every
+  // accepted step strictly shrinks the schedule.
+  size_t chunk = std::max<size_t>(1, current.size());
+  while (chunk >= 1) {
+    bool removed = false;
+    for (size_t start = 0; start < current.size();) {
+      const size_t end = std::min(current.size(), start + chunk);
+      std::vector<Event> candidate;
+      candidate.reserve(current.size() - (end - start));
+      candidate.insert(candidate.end(), current.begin(),
+                       current.begin() + start);
+      candidate.insert(candidate.end(), current.begin() + end,
+                       current.end());
+      if (candidate.size() < current.size() && still_fails(candidate)) {
+        current = std::move(candidate);
+        removed = true;  // keep `start`: the next chunk slid into place
+      } else {
+        start = end;
+      }
+    }
+    if (!removed) {
+      if (chunk == 1) break;
+      chunk = std::max<size_t>(1, chunk / 2);
+    }
+  }
+  Schedule result = schedule;
+  result.events = std::move(current);
+  return result;
+}
+
+}  // namespace memgoal::sim::chaos

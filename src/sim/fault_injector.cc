@@ -1,5 +1,6 @@
 #include "sim/fault_injector.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/check.h"
@@ -27,6 +28,19 @@ FaultInjector::FaultInjector(Simulator* simulator, uint32_t num_nodes,
     MEMGOAL_CHECK(event.node < num_nodes);
     MEMGOAL_CHECK(!event.begin || event.factor > 1.0);
   }
+  MEMGOAL_CHECK(params.mttp_ms >= 0.0);
+  MEMGOAL_CHECK(params.partition_heal_ms > 0.0 || params.mttp_ms == 0.0);
+  MEMGOAL_CHECK(params.mttp_ms == 0.0 || num_nodes >= 3);
+  for (const PartitionEvent& event : params.partition_script) {
+    MEMGOAL_CHECK(event.at_ms >= 0.0);
+    MEMGOAL_CHECK(event.groups.empty() || event.groups.size() == num_nodes);
+  }
+  for (const LinkEvent& event : params.link_script) {
+    MEMGOAL_CHECK(event.at_ms >= 0.0);
+    MEMGOAL_CHECK(event.from < num_nodes);
+    MEMGOAL_CHECK(event.to < num_nodes);
+    MEMGOAL_CHECK(event.from != event.to);
+  }
 }
 
 void FaultInjector::SetCallbacks(Callback on_crash, Callback on_recover) {
@@ -38,6 +52,10 @@ void FaultInjector::SetDegradationCallbacks(Callback on_degrade,
                                             Callback on_restore) {
   on_degrade_ = std::move(on_degrade);
   on_restore_ = std::move(on_restore);
+}
+
+void FaultInjector::SetPartitionCallback(TopologyCallback on_change) {
+  on_topology_change_ = std::move(on_change);
 }
 
 void FaultInjector::Start() {
@@ -61,10 +79,29 @@ void FaultInjector::Start() {
       }
     });
   }
+  for (const PartitionEvent& event : params_.partition_script) {
+    simulator_->At(event.at_ms, [this, event] {
+      if (event.groups.empty()) {
+        HealPartition();
+      } else {
+        SetPartition(event.groups);
+      }
+    });
+  }
+  for (const LinkEvent& event : params_.link_script) {
+    simulator_->At(event.at_ms, [this, event] {
+      if (event.cut) {
+        CutLink(event.from, event.to, event.symmetric);
+      } else {
+        RestoreLink(event.from, event.to, event.symmetric);
+      }
+    });
+  }
   // One independent stochastic stream per node per failure kind, forked
   // from the master seed so adding a node never perturbs another node's
-  // draws. Crash streams fork first: enabling degradation leaves existing
-  // crash schedules bit-identical.
+  // draws. Crash streams fork first and the single whole-cluster partition
+  // stream forks last: enabling a later kind leaves every earlier kind's
+  // schedule bit-identical.
   if (params_.mttf_ms > 0.0) {
     for (uint32_t node = 0; node < num_nodes(); ++node) {
       simulator_->Spawn(LifeCycle(node, rng_.Fork()));
@@ -74,6 +111,9 @@ void FaultInjector::Start() {
     for (uint32_t node = 0; node < num_nodes(); ++node) {
       simulator_->Spawn(DegradationCycle(node, rng_.Fork()));
     }
+  }
+  if (params_.mttp_ms > 0.0) {
+    simulator_->Spawn(PartitionCycle(rng_.Fork()));
   }
 }
 
@@ -121,6 +161,83 @@ bool FaultInjector::Restore(uint32_t node) {
   return true;
 }
 
+bool FaultInjector::Reachable(uint32_t from, uint32_t to) const {
+  MEMGOAL_CHECK(from < num_nodes());
+  MEMGOAL_CHECK(to < num_nodes());
+  if (from == to) return true;
+  if (grouped_ && group_[from] != group_[to]) return false;
+  if (links_cut_ > 0 && link_cut_[from * num_nodes() + to]) return false;
+  return true;
+}
+
+bool FaultInjector::SetPartition(const std::vector<uint32_t>& groups) {
+  MEMGOAL_CHECK(groups.size() == num_nodes());
+  const bool uniform =
+      std::all_of(groups.begin(), groups.end(),
+                  [&groups](uint32_t g) { return g == groups.front(); });
+  if (uniform) return HealPartition();
+  if (grouped_ && group_ == groups) return false;
+  if (!grouped_) ++stats_.partitions;  // a reshape extends the same episode
+  grouped_ = true;
+  group_ = groups;
+  NotifyTopologyChange();
+  return true;
+}
+
+bool FaultInjector::HealPartition() {
+  if (!grouped_) return false;
+  grouped_ = false;
+  ++stats_.partition_heals;
+  NotifyTopologyChange();
+  return true;
+}
+
+bool FaultInjector::CutLink(uint32_t from, uint32_t to, bool symmetric) {
+  MEMGOAL_CHECK(from < num_nodes());
+  MEMGOAL_CHECK(to < num_nodes());
+  MEMGOAL_CHECK(from != to);
+  if (link_cut_.empty()) {
+    link_cut_.assign(static_cast<size_t>(num_nodes()) * num_nodes(), false);
+  }
+  auto sever = [this](uint32_t a, uint32_t b) {
+    if (link_cut_[a * num_nodes() + b]) return false;
+    link_cut_[a * num_nodes() + b] = true;
+    ++links_cut_;
+    return true;
+  };
+  bool changed = sever(from, to);
+  if (symmetric) changed = sever(to, from) || changed;
+  if (!changed) return false;
+  ++stats_.link_cuts;
+  NotifyTopologyChange();
+  return true;
+}
+
+bool FaultInjector::RestoreLink(uint32_t from, uint32_t to, bool symmetric) {
+  MEMGOAL_CHECK(from < num_nodes());
+  MEMGOAL_CHECK(to < num_nodes());
+  MEMGOAL_CHECK(from != to);
+  if (link_cut_.empty()) return false;
+  auto mend = [this](uint32_t a, uint32_t b) {
+    if (!link_cut_[a * num_nodes() + b]) return false;
+    link_cut_[a * num_nodes() + b] = false;
+    MEMGOAL_CHECK(links_cut_ > 0);
+    --links_cut_;
+    return true;
+  };
+  bool changed = mend(from, to);
+  if (symmetric) changed = mend(to, from) || changed;
+  if (!changed) return false;
+  ++stats_.link_restores;
+  NotifyTopologyChange();
+  return true;
+}
+
+void FaultInjector::NotifyTopologyChange() {
+  ++partition_epoch_;
+  if (on_topology_change_) on_topology_change_();
+}
+
 Task<void> FaultInjector::LifeCycle(uint32_t node, common::Rng rng) {
   while (true) {
     co_await simulator_->Delay(rng.Exponential(params_.mttf_ms));
@@ -137,6 +254,31 @@ Task<void> FaultInjector::DegradationCycle(uint32_t node, common::Rng rng) {
     co_await simulator_->Delay(
         rng.Exponential(params_.degradation_repair_ms));
     Restore(node);
+  }
+}
+
+Task<void> FaultInjector::PartitionCycle(common::Rng rng) {
+  const uint32_t n = num_nodes();
+  const uint32_t max_minority = (n - 1) / 2;
+  std::vector<uint32_t> order(n);
+  while (true) {
+    co_await simulator_->Delay(rng.Exponential(params_.mttp_ms));
+    if (grouped_) continue;  // a scripted episode is already in effect
+    // Isolate a uniformly drawn minority: partial Fisher-Yates over the
+    // node ids, take the first k.
+    const uint32_t k =
+        static_cast<uint32_t>(rng.UniformInt(1, max_minority));
+    for (uint32_t i = 0; i < n; ++i) order[i] = i;
+    for (uint32_t i = 0; i < k; ++i) {
+      const uint32_t j =
+          i + static_cast<uint32_t>(rng.UniformInt(0, n - 1 - i));
+      std::swap(order[i], order[j]);
+    }
+    std::vector<uint32_t> groups(n, 0);
+    for (uint32_t i = 0; i < k; ++i) groups[order[i]] = 1;
+    SetPartition(groups);
+    co_await simulator_->Delay(rng.Exponential(params_.partition_heal_ms));
+    HealPartition();
   }
 }
 

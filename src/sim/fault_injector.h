@@ -14,8 +14,8 @@ namespace memgoal::sim {
 /// Schedules node crash/recovery and degradation events on the simulator
 /// clock.
 ///
-/// Two failure *kinds* are modeled, each with two composable event sources
-/// (a deterministic script and a seeded stochastic process per node):
+/// Three failure *kinds* are modeled, each with two composable event
+/// sources (a deterministic script and a seeded stochastic process):
 ///
 ///  - **Fail-stop crashes**: the node is down, its volatile state is gone.
 ///    The stochastic process alternates exponentially distributed
@@ -26,15 +26,25 @@ namespace memgoal::sim {
 ///    distributed time-to-degradation (MTTD) and repair phases. Crashes and
 ///    degradation compose freely: a degraded node can crash, and a node
 ///    that recovers from a crash is still degraded until its episode lifts.
+///  - **Network partitions**: every node stays up, but the interconnect is
+///    cut. Symmetric cuts split the cluster into groups (messages cross
+///    group boundaries in neither direction); asymmetric cuts sever
+///    individual directed links. The stochastic process alternates
+///    exponentially distributed whole-cluster phases and partition episodes
+///    (MTTP / heal time) that isolate a uniformly drawn minority, so a
+///    majority component always exists. Partitions compose freely with
+///    crashes and degradation.
 ///
 /// The injector is the single source of truth for node availability and
 /// health: it tracks an up/down flag, a crash epoch and a slowdown factor
 /// per node (the epoch increments on every crash, letting in-flight work
-/// detect that its node died and came back while it was suspended). Owners
-/// register callbacks that run synchronously at the transition instant;
-/// everything a crash must atomically destroy (cache contents, directory
-/// registrations, controller views) and everything a degradation must slow
-/// down (resource slowdown factors) happens inside those callbacks, at one
+/// detect that its node died and came back while it was suspended), plus
+/// the current reachability relation. Owners register callbacks that run
+/// synchronously at the transition instant; everything a crash must
+/// atomically destroy (cache contents, directory registrations, controller
+/// views), everything a degradation must slow down (resource slowdown
+/// factors), and everything a topology change must re-evaluate (quorum
+/// leases, heal-time reconciliation) happens inside those callbacks, at one
 /// point in simulated time.
 ///
 /// A safety floor keeps at least `min_live_nodes` nodes up: a crash that
@@ -56,6 +66,26 @@ class FaultInjector {
     bool begin = true;
     /// Service-time multiplier while degraded (used when begin).
     double factor = 10.0;
+  };
+
+  struct PartitionEvent {
+    SimTime at_ms = 0.0;
+    /// Group id per node (size must equal num_nodes): nodes in different
+    /// groups are mutually unreachable. An empty vector — or one where all
+    /// nodes share a group — heals the cluster.
+    std::vector<uint32_t> groups;
+  };
+
+  struct LinkEvent {
+    SimTime at_ms = 0.0;
+    uint32_t from = 0;
+    uint32_t to = 0;
+    /// true = sever the link at `at_ms`, false = restore it.
+    bool cut = true;
+    /// Also applies to the reverse direction. A one-way (asymmetric) cut
+    /// models a gray interconnect: `from` can no longer deliver to `to`
+    /// while the reverse path stays intact.
+    bool symmetric = true;
   };
 
   struct Params {
@@ -81,6 +111,18 @@ class FaultInjector {
     double degradation_repair_ms = 10000.0;
     /// Slowdown factor of stochastic degradation episodes.
     double degradation_factor = 10.0;
+
+    /// Deterministic partition schedule (may be empty).
+    std::vector<PartitionEvent> partition_script;
+    /// Deterministic directed-link cut schedule (may be empty).
+    std::vector<LinkEvent> link_script;
+    /// Mean time to partition of the stochastic whole-cluster process, ms;
+    /// 0 disables it. Each episode cuts a uniformly drawn minority of
+    /// 1..(num_nodes-1)/2 nodes off the rest, so a strict majority side
+    /// always survives. At most one stochastic episode runs at a time.
+    double mttp_ms = 0.0;
+    /// Mean duration of a stochastic partition episode, ms.
+    double partition_heal_ms = 10000.0;
   };
 
   struct Stats {
@@ -91,9 +133,19 @@ class FaultInjector {
     /// Degradation episodes begun / lifted.
     uint64_t degradations = 0;
     uint64_t degradation_recoveries = 0;
+    /// Group partitions begun (whole -> split transitions) / healed.
+    uint64_t partitions = 0;
+    uint64_t partition_heals = 0;
+    /// Directed links severed / restored (a symmetric cut counts once).
+    uint64_t link_cuts = 0;
+    uint64_t link_restores = 0;
   };
 
   using Callback = std::function<void(uint32_t node)>;
+  /// Runs synchronously after every reachability change (group cut,
+  /// reshape, heal, link cut or restore). Query Reachable()/Partitioned()
+  /// from inside for the new topology.
+  using TopologyCallback = std::function<void()>;
 
   FaultInjector(Simulator* simulator, uint32_t num_nodes,
                 const Params& params);
@@ -106,6 +158,9 @@ class FaultInjector {
   /// synchronously when an episode begins (query SlowdownOf for the
   /// factor), `on_restore` when it lifts. Either may be null.
   void SetDegradationCallbacks(Callback on_degrade, Callback on_restore);
+
+  /// Registers the owner's reachability-change handler (may be null).
+  void SetPartitionCallback(TopologyCallback on_change);
 
   /// Schedules the scripts and spawns the stochastic per-node processes.
   /// Call at most once, before running the simulation.
@@ -140,12 +195,46 @@ class FaultInjector {
   /// is not degraded.
   bool Restore(uint32_t node);
 
+  /// True when a message sent by `from` would currently be delivered to
+  /// `to`. Same-node traffic is always reachable; liveness is separate
+  /// (Reachable says nothing about whether either endpoint is up).
+  bool Reachable(uint32_t from, uint32_t to) const;
+
+  /// True while any cut (group partition or severed link) is in effect.
+  /// Cheap flag for fast paths that want to skip Reachable() entirely in
+  /// the common whole-cluster case.
+  bool Partitioned() const { return grouped_ || links_cut_ > 0; }
+
+  /// Increments on every reachability change. A coordinator that captured
+  /// the value before suspending can detect that the topology moved
+  /// underneath it.
+  uint64_t partition_epoch() const { return partition_epoch_; }
+
+  /// Manually imposes a group partition now (semantics of
+  /// PartitionEvent::groups). Returns false if the topology is unchanged;
+  /// an all-same-group vector behaves like HealPartition().
+  bool SetPartition(const std::vector<uint32_t>& groups);
+
+  /// Manually heals the group partition now (severed links stay severed).
+  /// Returns false if no group partition is in effect.
+  bool HealPartition();
+
+  /// Manually severs the `from` -> `to` link (both directions when
+  /// `symmetric`). Returns false if nothing changed.
+  bool CutLink(uint32_t from, uint32_t to, bool symmetric = true);
+
+  /// Manually restores the `from` -> `to` link (both directions when
+  /// `symmetric`). Returns false if nothing changed.
+  bool RestoreLink(uint32_t from, uint32_t to, bool symmetric = true);
+
   const Stats& stats() const { return stats_; }
   const Params& params() const { return params_; }
 
  private:
   Task<void> LifeCycle(uint32_t node, common::Rng rng);
   Task<void> DegradationCycle(uint32_t node, common::Rng rng);
+  Task<void> PartitionCycle(common::Rng rng);
+  void NotifyTopologyChange();
 
   Simulator* simulator_;
   Params params_;
@@ -159,6 +248,14 @@ class FaultInjector {
   Callback on_recover_;
   Callback on_degrade_;
   Callback on_restore_;
+  TopologyCallback on_topology_change_;
+  // Group partition state: group_[node] is meaningful only while grouped_.
+  bool grouped_ = false;
+  std::vector<uint32_t> group_;
+  // Directed-link cuts, allocated num_nodes x num_nodes on first use.
+  std::vector<bool> link_cut_;
+  uint32_t links_cut_ = 0;
+  uint64_t partition_epoch_ = 0;
   bool started_ = false;
 };
 

@@ -1,0 +1,49 @@
+#include "sim/invariant_auditor.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace memgoal::sim {
+
+void InvariantAuditor::AddCheck(std::string name, Check check) {
+  MEMGOAL_CHECK(check != nullptr);
+  checks_.push_back({std::move(name), std::move(check)});
+}
+
+int InvariantAuditor::RunChecks(SimTime now) {
+  int found = 0;
+  for (const NamedCheck& named : checks_) {
+    ++checks_run_;
+    std::optional<std::string> violation = named.check();
+    if (!violation.has_value()) continue;
+    ++found;
+    ++violations_found_;
+    if (violations_.size() < kMaxViolations) {
+      violations_.push_back({now, named.name, *std::move(violation)});
+    }
+  }
+  return found;
+}
+
+void InvariantAuditor::WriteReport(std::FILE* out) const {
+  if (violations_found_ == 0) {
+    std::fprintf(out, "# audit: %llu checks run, 0 violations\n",
+                 static_cast<unsigned long long>(checks_run_));
+    return;
+  }
+  std::fprintf(out, "# audit: %llu checks run, %llu VIOLATIONS\n",
+               static_cast<unsigned long long>(checks_run_),
+               static_cast<unsigned long long>(violations_found_));
+  for (const Violation& violation : violations_) {
+    std::fprintf(out, "#   t=%.3f ms  %s: %s\n", violation.at_ms,
+                 violation.check.c_str(), violation.detail.c_str());
+  }
+  if (violations_found_ > violations_.size()) {
+    std::fprintf(out, "#   ... %llu more not retained\n",
+                 static_cast<unsigned long long>(violations_found_ -
+                                                 violations_.size()));
+  }
+}
+
+}  // namespace memgoal::sim

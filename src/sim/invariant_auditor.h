@@ -1,0 +1,74 @@
+#ifndef MEMGOAL_SIM_INVARIANT_AUDITOR_H_
+#define MEMGOAL_SIM_INVARIANT_AUDITOR_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace memgoal::sim {
+
+/// Machine-checked conservation and consistency audits over a running
+/// simulation.
+///
+/// Checks are registered once and then executed together at audit points
+/// (the cluster runs them at every observation-interval boundary). A check
+/// inspects live state through captured references and returns a short
+/// description when its invariant is violated, nullopt when it holds.
+/// Violations accumulate — the simulation keeps running, so one broken
+/// invariant can surface the cascade it causes — but only the first
+/// kMaxViolations are retained verbatim (later ones are counted).
+///
+/// The auditor is the correctness backstop of the chaos harness
+/// (tools/chaos_fuzz): a composed crash x gray x partition x goal-churn
+/// schedule passes iff every audit point of the whole run is clean.
+class InvariantAuditor {
+ public:
+  struct Violation {
+    SimTime at_ms = 0.0;
+    std::string check;
+    std::string detail;
+  };
+
+  /// Returns nullopt when the invariant holds, otherwise a short
+  /// human-readable description of the violation.
+  using Check = std::function<std::optional<std::string>()>;
+
+  /// Registers a named check. Checks run in registration order.
+  void AddCheck(std::string name, Check check);
+
+  /// Runs every registered check once at simulated time `now`. Returns the
+  /// number of violations found at this audit point.
+  int RunChecks(SimTime now);
+
+  bool ok() const { return violations_found_ == 0; }
+  size_t num_checks() const { return checks_.size(); }
+  uint64_t checks_run() const { return checks_run_; }
+  uint64_t violations_found() const { return violations_found_; }
+  /// Retained violations, oldest first (at most kMaxViolations).
+  const std::vector<Violation>& violations() const { return violations_; }
+
+  /// Writes a one-line-per-violation report (or an all-clear line).
+  void WriteReport(std::FILE* out) const;
+
+  static constexpr size_t kMaxViolations = 64;
+
+ private:
+  struct NamedCheck {
+    std::string name;
+    Check check;
+  };
+
+  std::vector<NamedCheck> checks_;
+  std::vector<Violation> violations_;
+  uint64_t checks_run_ = 0;
+  uint64_t violations_found_ = 0;
+};
+
+}  // namespace memgoal::sim
+
+#endif  // MEMGOAL_SIM_INVARIANT_AUDITOR_H_

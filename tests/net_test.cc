@@ -173,6 +173,73 @@ TEST(NetworkTest, NodeSlowdownUsesWorseEndpoint) {
   EXPECT_NEAR(simulator.Now(), 2 * 0.32768 + 1.0 + 0.05, 1e-9);
 }
 
+TEST(NetworkTest, PartitionDropsEveryClassAcrossTheCut) {
+  // Unlike best-effort loss, a partition swallows even the reliable
+  // categories: there is no wire to the other side.
+  sim::Simulator simulator;
+  Network network(&simulator, Network::Params{});
+  network.SetReachability([](NodeId from, NodeId to) {
+    return (from == 2) == (to == 2);  // node 2 is cut off
+  });
+  network.SetPartitionActive(true);
+
+  const auto transfer = [&](NodeId from, NodeId to, bool* out) {
+    simulator.Spawn([](Network* net, NodeId f, NodeId t,
+                       bool* delivered) -> sim::Task<void> {
+      *delivered = co_await net->Transfer(f, t, 4096, TrafficClass::kPage);
+    }(&network, from, to, out));
+    simulator.Run();
+  };
+
+  bool delivered = true;
+  transfer(0, 2, &delivered);
+  EXPECT_FALSE(delivered);
+  transfer(2, 0, &delivered);
+  EXPECT_FALSE(delivered);
+  transfer(0, 1, &delivered);  // same side: unaffected
+  EXPECT_TRUE(delivered);
+  EXPECT_EQ(network.messages_partition_dropped(TrafficClass::kPage), 2u);
+  EXPECT_EQ(network.messages_dropped(TrafficClass::kPage), 2u);
+  EXPECT_EQ(network.total_messages_partition_dropped(), 2u);
+
+  // Healing stops the drops without touching the oracle.
+  network.SetPartitionActive(false);
+  transfer(0, 2, &delivered);
+  EXPECT_TRUE(delivered);
+  EXPECT_EQ(network.messages_partition_dropped(TrafficClass::kPage), 2u);
+}
+
+TEST(NetworkTest, PartitionedTransferStillOccupiesTheMedium) {
+  // The sender cannot know the cut exists: its NIC transmits and the bytes
+  // die at the boundary, so the medium is held for the transmission time.
+  sim::Simulator simulator;
+  Network network(&simulator, Network::Params{100.0, 0.05});
+  network.SetReachability([](NodeId, NodeId) { return false; });
+  network.SetPartitionActive(true);
+  simulator.Spawn(network.Transfer(0, 1, 4096, TrafficClass::kPage));
+  simulator.Run();
+  EXPECT_NEAR(simulator.Now(), 0.32768 + 0.05, 1e-9);
+  EXPECT_EQ(network.bytes_sent(TrafficClass::kPage), 4096u);
+}
+
+TEST(NetworkTest, StorageBusBypassesPartition) {
+  // The dual-ported SCSI path is not the interconnect: disk traffic flows
+  // regardless of the partition.
+  sim::Simulator simulator;
+  Network network(&simulator, Network::Params{});
+  network.SetReachability([](NodeId, NodeId) { return false; });
+  network.SetPartitionActive(true);
+
+  bool delivered = false;
+  simulator.Spawn([](Network* net, bool* out) -> sim::Task<void> {
+    *out = co_await net->Transfer(0, 1, 4096, TrafficClass::kPage,
+                                  /*via_storage_bus=*/true);
+  }(&network, &delivered));
+  simulator.Run();
+  EXPECT_TRUE(delivered);
+  EXPECT_EQ(network.total_messages_partition_dropped(), 0u);
+}
+
 class DirectoryTest : public ::testing::Test {
  protected:
   DirectoryTest() : db_(30, 4096, 3), directory_(&db_) {}
@@ -257,6 +324,39 @@ TEST_F(DirectoryTest, RankedCopiesOrdersByNodeCost) {
   directory_.SetNodeCost(1, 1.0);
   EXPECT_EQ(directory_.RankedCopies(7, /*except=*/2),
             (std::vector<NodeId>{1, 0}));
+}
+
+TEST_F(DirectoryTest, RankedCopiesFiltersUnreachableHoldersDuringPartition) {
+  // Page 7's home is node 1 (7 % 3); all three nodes hold copies.
+  directory_.OnPageCached(0, 7);
+  directory_.OnPageCached(1, 7);
+  directory_.OnPageCached(2, 7);
+  directory_.SetReachability([](NodeId from, NodeId to) {
+    return (from == 2) == (to == 2);  // node 2 is cut off
+  });
+
+  // Oracle installed but no partition active: full ranking.
+  EXPECT_EQ(directory_.RankedCopies(7, /*except=*/2),
+            (std::vector<NodeId>{1, 0}));
+
+  // Partition active: the cut-off requester sees no copies across the
+  // boundary, and requesters on the majority side do not see node 2.
+  directory_.SetPartitionActive(true);
+  EXPECT_TRUE(directory_.RankedCopies(7, /*except=*/2).empty());
+  EXPECT_FALSE(directory_.FindCopy(7, /*except=*/2).has_value());
+  EXPECT_EQ(directory_.RankedCopies(7, /*except=*/0),
+            (std::vector<NodeId>{1}));
+
+  directory_.SetPartitionActive(false);
+  EXPECT_EQ(directory_.RankedCopies(7, /*except=*/2),
+            (std::vector<NodeId>{1, 0}));
+}
+
+TEST_F(DirectoryTest, AuditInternalConsistencyDetectsTampering) {
+  directory_.OnPageCached(0, 5);
+  directory_.OnPageCached(1, 5);
+  directory_.ReportLocalHeat(0, 5, 0.5);
+  EXPECT_FALSE(directory_.AuditInternalConsistency().has_value());
 }
 
 TEST_F(DirectoryTest, TotalCachedPages) {

@@ -1,0 +1,198 @@
+// Chaos schedule tests: deterministic generation, fault-params expansion,
+// lossless text round-trips (what makes repro files replayable), and the
+// ddmin shrink used to minimize failing schedules.
+
+#include "sim/chaos_schedule.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "sim/fault_injector.h"
+
+namespace memgoal::sim::chaos {
+namespace {
+
+bool SameEvent(const Event& a, const Event& b) {
+  return a.at_ms == b.at_ms && a.kind == b.kind && a.node == b.node &&
+         a.factor == b.factor && a.minority_mask == b.minority_mask &&
+         a.klass == b.klass;
+}
+
+bool SameSchedule(const Schedule& a, const Schedule& b) {
+  if (a.seed != b.seed || a.num_nodes != b.num_nodes ||
+      a.horizon_ms != b.horizon_ms || a.events.size() != b.events.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.events.size(); ++i) {
+    if (!SameEvent(a.events[i], b.events[i])) return false;
+  }
+  return true;
+}
+
+GenerateLimits TestLimits() {
+  GenerateLimits limits;
+  limits.num_nodes = 4;
+  limits.horizon_ms = 100000.0;
+  limits.max_episodes = 4;
+  limits.goal_classes = {1};
+  return limits;
+}
+
+TEST(ChaosScheduleTest, GenerationIsDeterministicInSeed) {
+  const Schedule a = Generate(7, TestLimits());
+  const Schedule b = Generate(7, TestLimits());
+  const Schedule c = Generate(8, TestLimits());
+  EXPECT_FALSE(a.events.empty());
+  EXPECT_TRUE(SameSchedule(a, b));
+  EXPECT_FALSE(SameSchedule(a, c));
+}
+
+TEST(ChaosScheduleTest, EventsAreTimeOrderedWithinHorizon) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    const Schedule schedule = Generate(seed, TestLimits());
+    EXPECT_EQ(schedule.num_nodes, 4u);
+    for (size_t i = 0; i < schedule.events.size(); ++i) {
+      EXPECT_GE(schedule.events[i].at_ms, 0.0);
+      EXPECT_LE(schedule.events[i].at_ms, schedule.horizon_ms);
+      if (i > 0) {
+        EXPECT_GE(schedule.events[i].at_ms, schedule.events[i - 1].at_ms)
+            << "seed " << seed << " event " << i;
+      }
+    }
+  }
+}
+
+TEST(ChaosScheduleTest, AlwaysContainsAnEarlyHealedPartition) {
+  // The generator guarantees at least one partition whose heal lands before
+  // 70% of the horizon, so heal-path bugs are exercised on every seed.
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    const Schedule schedule = Generate(seed, TestLimits());
+    bool found = false;
+    for (size_t i = 0; i < schedule.events.size() && !found; ++i) {
+      if (schedule.events[i].kind != EventKind::kPartition) continue;
+      for (size_t j = i + 1; j < schedule.events.size(); ++j) {
+        if (schedule.events[j].kind == EventKind::kHeal &&
+            schedule.events[j].at_ms <= 0.7 * schedule.horizon_ms) {
+          found = true;
+          break;
+        }
+      }
+    }
+    EXPECT_TRUE(found) << "seed " << seed;
+  }
+}
+
+TEST(ChaosScheduleTest, ApplyToFaultParamsRoutesEventsByKind) {
+  Schedule schedule;
+  schedule.seed = 3;
+  schedule.num_nodes = 4;
+  schedule.horizon_ms = 50000.0;
+  schedule.events = {
+      {1000.0, EventKind::kCrash, 2, 0.0, 0, 0},
+      {2000.0, EventKind::kPartition, 0, 0.0, /*minority_mask=*/0x1, 0},
+      {3000.0, EventKind::kDegrade, 1, 20.0, 0, 0},
+      {4000.0, EventKind::kHeal, 0, 0.0, 0, 0},
+      {5000.0, EventKind::kRecover, 2, 0.0, 0, 0},
+      {6000.0, EventKind::kRestore, 1, 0.0, 0, 0},
+      {7000.0, EventKind::kGoalChange, 0, 1.5, 0, 1},
+  };
+
+  FaultInjector::Params params;
+  ApplyToFaultParams(schedule, &params);
+  ASSERT_EQ(params.script.size(), 2u);
+  EXPECT_TRUE(params.script[0].crash);
+  EXPECT_EQ(params.script[0].node, 2u);
+  EXPECT_FALSE(params.script[1].crash);
+  ASSERT_EQ(params.degradation_script.size(), 2u);
+  EXPECT_TRUE(params.degradation_script[0].begin);
+  EXPECT_DOUBLE_EQ(params.degradation_script[0].factor, 20.0);
+  ASSERT_EQ(params.partition_script.size(), 2u);
+  // Mask 0x1 cuts node 0 off from {1, 2, 3}.
+  EXPECT_EQ(params.partition_script[0].groups.size(), 4u);
+  EXPECT_NE(params.partition_script[0].groups[0],
+            params.partition_script[0].groups[1]);
+  EXPECT_EQ(params.partition_script[0].groups[1],
+            params.partition_script[0].groups[3]);
+  // The heal entry is an all-whole topology.
+  const auto& heal_groups = params.partition_script[1].groups;
+  EXPECT_TRUE(heal_groups.empty() ||
+              std::count(heal_groups.begin(), heal_groups.end(),
+                         heal_groups[0]) ==
+                  static_cast<long>(heal_groups.size()));
+
+  const std::vector<Event> goals = GoalChanges(schedule);
+  ASSERT_EQ(goals.size(), 1u);
+  EXPECT_EQ(goals[0].klass, 1u);
+  EXPECT_DOUBLE_EQ(goals[0].factor, 1.5);
+}
+
+TEST(ChaosScheduleTest, TextRoundTripIsLossless) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    const Schedule original = Generate(seed, TestLimits());
+    Schedule parsed;
+    ASSERT_TRUE(FromText(ToText(original), &parsed)) << "seed " << seed;
+    EXPECT_TRUE(SameSchedule(original, parsed)) << "seed " << seed;
+  }
+}
+
+TEST(ChaosScheduleTest, FromTextRejectsGarbage) {
+  Schedule schedule;
+  EXPECT_FALSE(FromText("", &schedule));
+  EXPECT_FALSE(FromText("not a schedule\n", &schedule));
+  EXPECT_FALSE(FromText("# chaos schedule v1\nseed banana\n", &schedule));
+}
+
+TEST(ChaosScheduleTest, ShrinkFindsMinimalFailingSubset) {
+  // Synthetic failure: the run "fails" iff the schedule still contains both
+  // the crash of node 3 and the heal. ddmin must strip the other 8 events.
+  Schedule schedule;
+  schedule.seed = 11;
+  schedule.num_nodes = 4;
+  schedule.horizon_ms = 50000.0;
+  for (int i = 0; i < 8; ++i) {
+    schedule.events.push_back(
+        {1000.0 * (i + 1), EventKind::kDegrade, 1, 5.0, 0, 0});
+  }
+  schedule.events.push_back({9000.0, EventKind::kCrash, 3, 0.0, 0, 0});
+  schedule.events.push_back({9500.0, EventKind::kHeal, 0, 0.0, 0, 0});
+
+  int calls = 0;
+  const auto fails = [&calls](const Schedule& candidate) {
+    ++calls;
+    bool has_crash = false, has_heal = false;
+    for (const Event& event : candidate.events) {
+      has_crash |= event.kind == EventKind::kCrash && event.node == 3;
+      has_heal |= event.kind == EventKind::kHeal;
+    }
+    return has_crash && has_heal;
+  };
+
+  const Schedule shrunk = Shrink(schedule, fails);
+  ASSERT_EQ(shrunk.events.size(), 2u);
+  EXPECT_EQ(shrunk.events[0].kind, EventKind::kCrash);
+  EXPECT_EQ(shrunk.events[1].kind, EventKind::kHeal);
+  // Header fields survive the shrink (the repro must build the same system).
+  EXPECT_EQ(shrunk.seed, 11u);
+  EXPECT_EQ(shrunk.num_nodes, 4u);
+  EXPECT_GT(calls, 0);
+}
+
+TEST(ChaosScheduleTest, ShrinkKeepsOrderAndIsIdempotentOnMinimal) {
+  Schedule minimal;
+  minimal.seed = 5;
+  minimal.num_nodes = 3;
+  minimal.horizon_ms = 10000.0;
+  minimal.events = {{1000.0, EventKind::kPartition, 0, 0.0, 0x1, 0},
+                    {2000.0, EventKind::kHeal, 0, 0.0, 0, 0}};
+  const auto fails = [](const Schedule& candidate) {
+    return candidate.events.size() == 2;
+  };
+  const Schedule shrunk = Shrink(minimal, fails);
+  EXPECT_TRUE(SameSchedule(shrunk, minimal));
+}
+
+}  // namespace
+}  // namespace memgoal::sim::chaos

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
 #include <vector>
 
 #include "sim/simulator.h"
@@ -242,6 +244,159 @@ TEST(FaultInjectorTest, EnablingDegradationKeepsCrashScheduleIdentical) {
 
   const auto without = crashes(0.0);
   const auto with = crashes(4000.0);
+  EXPECT_FALSE(without.empty());
+  EXPECT_EQ(without, with);
+}
+
+TEST(FaultInjectorTest, ScriptedPartitionCutsAndHeals) {
+  Simulator simulator;
+  FaultInjector::Params params;
+  params.partition_script = {{100.0, {0, 0, 1}}, {250.0, {}}};
+  FaultInjector injector(&simulator, 3, params);
+
+  int topology_changes = 0;
+  injector.SetPartitionCallback([&] { ++topology_changes; });
+  injector.Start();
+
+  EXPECT_FALSE(injector.Partitioned());
+  EXPECT_TRUE(injector.Reachable(0, 2));
+  EXPECT_EQ(injector.partition_epoch(), 0u);
+
+  simulator.RunUntil(150.0);
+  EXPECT_TRUE(injector.Partitioned());
+  EXPECT_FALSE(injector.Reachable(0, 2));
+  EXPECT_FALSE(injector.Reachable(2, 0));
+  EXPECT_TRUE(injector.Reachable(0, 1));
+  // Same-node traffic never crosses the cut; liveness is orthogonal.
+  EXPECT_TRUE(injector.Reachable(2, 2));
+  EXPECT_TRUE(injector.IsUp(2));
+  EXPECT_EQ(injector.partition_epoch(), 1u);
+  EXPECT_EQ(topology_changes, 1);
+
+  simulator.RunUntil(300.0);
+  EXPECT_FALSE(injector.Partitioned());
+  EXPECT_TRUE(injector.Reachable(0, 2));
+  EXPECT_EQ(injector.partition_epoch(), 2u);
+  EXPECT_EQ(topology_changes, 2);
+  EXPECT_EQ(injector.stats().partitions, 1u);
+  EXPECT_EQ(injector.stats().partition_heals, 1u);
+  EXPECT_EQ(injector.stats().crashes, 0u);
+}
+
+TEST(FaultInjectorTest, ManualPartitionRejectsNoOps) {
+  Simulator simulator;
+  FaultInjector injector(&simulator, 3, FaultInjector::Params{});
+
+  EXPECT_FALSE(injector.HealPartition());  // nothing to heal
+  EXPECT_TRUE(injector.SetPartition({0, 0, 1}));
+  EXPECT_FALSE(injector.SetPartition({0, 0, 1}));  // unchanged topology
+  // A reshape changes the topology but extends the same episode.
+  EXPECT_TRUE(injector.SetPartition({0, 1, 1}));
+  // An all-same-group vector is a heal.
+  EXPECT_TRUE(injector.SetPartition({2, 2, 2}));
+  EXPECT_FALSE(injector.Partitioned());
+  EXPECT_EQ(injector.stats().partitions, 1u);
+  EXPECT_EQ(injector.stats().partition_heals, 1u);
+}
+
+TEST(FaultInjectorTest, AsymmetricLinkCutIsOneWay) {
+  Simulator simulator;
+  FaultInjector injector(&simulator, 3, FaultInjector::Params{});
+
+  ASSERT_TRUE(injector.CutLink(0, 1, /*symmetric=*/false));
+  EXPECT_TRUE(injector.Partitioned());
+  // Gray interconnect: 0 cannot deliver to 1, the reverse path is intact.
+  EXPECT_FALSE(injector.Reachable(0, 1));
+  EXPECT_TRUE(injector.Reachable(1, 0));
+  EXPECT_TRUE(injector.Reachable(0, 2));
+
+  EXPECT_FALSE(injector.CutLink(0, 1, /*symmetric=*/false));  // already cut
+  ASSERT_TRUE(injector.RestoreLink(0, 1, /*symmetric=*/false));
+  EXPECT_FALSE(injector.Partitioned());
+  EXPECT_TRUE(injector.Reachable(0, 1));
+  EXPECT_EQ(injector.stats().link_cuts, 1u);
+  EXPECT_EQ(injector.stats().link_restores, 1u);
+}
+
+TEST(FaultInjectorTest, LinkCutsComposeWithGroupPartition) {
+  Simulator simulator;
+  FaultInjector injector(&simulator, 4, FaultInjector::Params{});
+
+  ASSERT_TRUE(injector.SetPartition({0, 0, 1, 1}));
+  ASSERT_TRUE(injector.CutLink(0, 1));  // symmetric, within the group
+  EXPECT_FALSE(injector.Reachable(0, 1));
+  EXPECT_FALSE(injector.Reachable(1, 0));
+  EXPECT_FALSE(injector.Reachable(0, 2));  // across the group cut
+
+  // Healing the group partition leaves the severed link severed.
+  ASSERT_TRUE(injector.HealPartition());
+  EXPECT_TRUE(injector.Partitioned());
+  EXPECT_FALSE(injector.Reachable(0, 1));
+  EXPECT_TRUE(injector.Reachable(0, 2));
+  ASSERT_TRUE(injector.RestoreLink(0, 1));
+  EXPECT_FALSE(injector.Partitioned());
+}
+
+TEST(FaultInjectorTest, StochasticPartitionsIsolateMinoritiesDeterministically) {
+  auto run = [](uint64_t seed) {
+    Simulator simulator;
+    FaultInjector::Params params;
+    params.mttp_ms = 20000.0;
+    params.partition_heal_ms = 5000.0;
+    params.seed = seed;
+    FaultInjector injector(&simulator, 5, params);
+    std::vector<std::pair<double, uint64_t>> changes;
+    injector.SetPartitionCallback([&] {
+      changes.emplace_back(simulator.Now(), injector.partition_epoch());
+      if (injector.Partitioned()) {
+        // A stochastic episode always leaves a strict majority connected:
+        // the group containing node counts must bound the minority side.
+        uint32_t cut_off_from_0 = 0;
+        for (uint32_t i = 0; i < 5; ++i) {
+          if (!injector.Reachable(0, i)) ++cut_off_from_0;
+        }
+        const uint32_t minority = std::min(cut_off_from_0, 5 - cut_off_from_0);
+        EXPECT_GE(minority, 1u);
+        EXPECT_LE(minority, 2u);
+      }
+    });
+    injector.Start();
+    simulator.RunUntil(200000.0);
+    return changes;
+  };
+
+  const auto a = run(7);
+  const auto b = run(7);
+  const auto c = run(8);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(FaultInjectorTest, EnablingPartitionsKeepsCrashScheduleIdentical) {
+  // The partition stream forks from the master seed after the crash and
+  // degradation streams: turning partitions on must not perturb existing
+  // crash schedules (old seeds stay reproducible).
+  auto crashes = [](double mttp_ms) {
+    Simulator simulator;
+    FaultInjector::Params params;
+    params.mttf_ms = 5000.0;
+    params.mttr_ms = 1000.0;
+    params.seed = 7;
+    params.min_live_nodes = 1;
+    params.mttp_ms = mttp_ms;
+    FaultInjector injector(&simulator, 3, params);
+    std::vector<std::pair<double, uint32_t>> log;
+    injector.SetCallbacks(
+        [&](uint32_t node) { log.emplace_back(simulator.Now(), node); },
+        nullptr);
+    injector.Start();
+    simulator.RunUntil(100000.0);
+    return log;
+  };
+
+  const auto without = crashes(0.0);
+  const auto with = crashes(15000.0);
   EXPECT_FALSE(without.empty());
   EXPECT_EQ(without, with);
 }

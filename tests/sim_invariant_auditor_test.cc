@@ -1,0 +1,141 @@
+// Invariant auditor tests: the check-running machinery itself, plus the
+// system-wide audit pack registered by core/system_audits — including the
+// deliberately broken accounting path (kLeakDirectoryEntry) that proves
+// the detector actually fires.
+
+#include "sim/invariant_auditor.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <optional>
+#include <string>
+
+#include "core/system.h"
+#include "workload/spec.h"
+
+namespace memgoal::sim {
+namespace {
+
+TEST(InvariantAuditorTest, CleanChecksAccumulateCounts) {
+  InvariantAuditor auditor;
+  auditor.AddCheck("a", [] { return std::nullopt; });
+  auditor.AddCheck("b", [] { return std::nullopt; });
+  EXPECT_EQ(auditor.num_checks(), 2u);
+  EXPECT_EQ(auditor.RunChecks(10.0), 0);
+  EXPECT_EQ(auditor.RunChecks(20.0), 0);
+  EXPECT_TRUE(auditor.ok());
+  EXPECT_EQ(auditor.checks_run(), 4u);
+  EXPECT_EQ(auditor.violations_found(), 0u);
+}
+
+TEST(InvariantAuditorTest, ViolationRecordsTimeNameAndDetail) {
+  InvariantAuditor auditor;
+  auditor.AddCheck("conservation", [] { return std::nullopt; });
+  bool broken = false;
+  auditor.AddCheck("accounting", [&]() -> std::optional<std::string> {
+    if (broken) return "ledger off by 3";
+    return std::nullopt;
+  });
+
+  EXPECT_EQ(auditor.RunChecks(5.0), 0);
+  broken = true;
+  EXPECT_EQ(auditor.RunChecks(15.0), 1);
+  EXPECT_FALSE(auditor.ok());
+  ASSERT_EQ(auditor.violations().size(), 1u);
+  const InvariantAuditor::Violation& violation = auditor.violations().front();
+  EXPECT_DOUBLE_EQ(violation.at_ms, 15.0);
+  EXPECT_EQ(violation.check, "accounting");
+  EXPECT_EQ(violation.detail, "ledger off by 3");
+}
+
+TEST(InvariantAuditorTest, RetentionCapCountsButDoesNotGrow) {
+  InvariantAuditor auditor;
+  auditor.AddCheck("always_bad", [] { return std::string("bad"); });
+  const int rounds = static_cast<int>(InvariantAuditor::kMaxViolations) + 10;
+  for (int i = 0; i < rounds; ++i) {
+    EXPECT_EQ(auditor.RunChecks(static_cast<double>(i)), 1);
+  }
+  EXPECT_EQ(auditor.violations().size(), InvariantAuditor::kMaxViolations);
+  EXPECT_EQ(auditor.violations_found(), static_cast<uint64_t>(rounds));
+  // Oldest retained first.
+  EXPECT_DOUBLE_EQ(auditor.violations().front().at_ms, 0.0);
+}
+
+TEST(InvariantAuditorTest, WriteReportMentionsEveryRetainedViolation) {
+  InvariantAuditor auditor;
+  auditor.AddCheck("heat_sum", [] { return std::string("sum drifted"); });
+  auditor.RunChecks(42.0);
+
+  char buffer[4096] = {};
+  std::FILE* stream = fmemopen(buffer, sizeof(buffer) - 1, "w");
+  ASSERT_NE(stream, nullptr);
+  auditor.WriteReport(stream);
+  std::fclose(stream);
+  const std::string report(buffer);
+  EXPECT_NE(report.find("heat_sum"), std::string::npos);
+  EXPECT_NE(report.find("sum drifted"), std::string::npos);
+}
+
+// -- System-wide audit pack (core/system_audits) ---------------------------
+
+core::SystemConfig AuditedConfig(uint64_t seed) {
+  core::SystemConfig config;
+  config.num_nodes = 3;
+  config.cache_bytes_per_node = 64 * 4096;
+  config.db_pages = 200;
+  config.observation_interval_ms = 5000.0;
+  config.seed = seed;
+  return config;
+}
+
+void AddWorkload(core::ClusterSystem* system) {
+  workload::ClassSpec goal;
+  goal.id = 1;
+  goal.goal_rt_ms = 3.5;
+  goal.accesses_per_op = 4;
+  goal.mean_interarrival_ms = 50.0;
+  goal.pages = {0, 100};
+  system->AddClass(goal);
+  workload::ClassSpec nogoal;
+  nogoal.id = kNoGoalClass;
+  nogoal.accesses_per_op = 4;
+  nogoal.mean_interarrival_ms = 50.0;
+  nogoal.pages = {100, 200};
+  system->AddClass(nogoal);
+}
+
+TEST(SystemAuditsTest, HealthyRunPassesEveryCheck) {
+  core::ClusterSystem system(AuditedConfig(81));
+  AddWorkload(&system);
+  InvariantAuditor auditor;
+  system.EnableAuditor(&auditor);
+  system.Start();
+  system.RunIntervals(12);
+
+  EXPECT_GT(auditor.num_checks(), 0u);
+  EXPECT_GT(auditor.checks_run(), auditor.num_checks());
+  EXPECT_TRUE(auditor.ok()) << auditor.violations().front().check << ": "
+                            << auditor.violations().front().detail;
+}
+
+TEST(SystemAuditsTest, LeakedDirectoryEntriesAreCaught) {
+  // kLeakDirectoryEntry keeps dropped pages registered as cached copies:
+  // the directory-vs-cache copy accounting audit must flag the divergence
+  // as soon as allocation churn shrinks a pool.
+  core::SystemConfig config = AuditedConfig(82);
+  config.injected_bug = core::InjectedBug::kLeakDirectoryEntry;
+  core::ClusterSystem system(config);
+  AddWorkload(&system);
+  InvariantAuditor auditor;
+  system.EnableAuditor(&auditor);
+  system.Start();
+  system.RunIntervals(12);
+
+  EXPECT_FALSE(auditor.ok());
+  ASSERT_FALSE(auditor.violations().empty());
+  EXPECT_EQ(auditor.violations().front().check, "directory_copy_accounting");
+}
+
+}  // namespace
+}  // namespace memgoal::sim

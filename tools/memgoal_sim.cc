@@ -24,6 +24,17 @@
 //   restore_at_ms (0)                — scripted gray degradation of one node
 //   fault_mttd_ms (0), fault_degrade_repair_ms (10000),
 //   fault_degrade_factor (10)        — stochastic gray-failure process
+//   partition_nodes (""), partition_at_ms (0), heal_at_ms (0)
+//                                    — scripted group partition: the listed
+//                                      nodes (comma-separated) are cut off
+//                                      from the rest between the two times
+//   fault_mttp_ms (0), fault_partition_heal_ms (10000)
+//                                    — stochastic whole-cluster partitions
+//   chaos_seed (0)                   — nonzero: overlay a generated chaos
+//                                      schedule (crash x gray x partition)
+//                                      on top of the scripted faults
+//   audit (0)                        — run the invariant auditor every
+//                                      interval; violations fail the run
 //   crash_detect_timeout_ms (2.0),
 //   classes (2)                      — total class count including class 0
 //
@@ -54,6 +65,7 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "common/config.h"
 #include "common/logging.h"
@@ -64,6 +76,8 @@
 #include "obs/profiler.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
+#include "sim/chaos_schedule.h"
+#include "sim/invariant_auditor.h"
 
 namespace {
 
@@ -176,8 +190,55 @@ int Run(memgoal::common::Config& config) {
       config.GetDouble("fault_degrade_repair_ms", 10000.0);
   system_config.faults.degradation_factor =
       config.GetDouble("fault_degrade_factor", 10.0);
+
+  const std::string partition_nodes = config.GetString("partition_nodes", "");
+  const double partition_at = config.GetDouble("partition_at_ms", 0.0);
+  const double heal_at = config.GetDouble("heal_at_ms", 0.0);
+  if (!partition_nodes.empty()) {
+    std::vector<uint32_t> groups(system_config.num_nodes, 0);
+    std::stringstream nodes(partition_nodes);
+    std::string item;
+    while (std::getline(nodes, item, ',')) {
+      const unsigned long node = std::stoul(item);
+      if (node >= system_config.num_nodes) {
+        std::fprintf(stderr, "error: partition_nodes entry %lu out of range\n",
+                     node);
+        return 1;
+      }
+      groups[node] = 1;
+    }
+    system_config.faults.partition_script.push_back({partition_at, groups});
+    if (heal_at > partition_at) {
+      system_config.faults.partition_script.push_back({heal_at, {}});
+    }
+  }
+  system_config.faults.mttp_ms = config.GetDouble("fault_mttp_ms", 0.0);
+  system_config.faults.partition_heal_ms =
+      config.GetDouble("fault_partition_heal_ms", 10000.0);
   system_config.crash_detect_timeout_ms =
       config.GetDouble("crash_detect_timeout_ms", 2.0);
+
+  const int intervals = static_cast<int>(config.GetInt("intervals", 40));
+  const uint64_t chaos_seed =
+      static_cast<uint64_t>(config.GetInt("chaos_seed", 0));
+  if (chaos_seed != 0) {
+    // Overlay a generated chaos schedule on the scripted faults. The
+    // schedule's own goal-churn events are disabled — scenario files define
+    // the classes, so there is no fixed class list to churn.
+    if (system_config.num_nodes < 3 || system_config.num_nodes > 32) {
+      std::fprintf(stderr, "error: chaos_seed needs 3..32 nodes\n");
+      return 1;
+    }
+    memgoal::sim::chaos::GenerateLimits limits;
+    limits.num_nodes = system_config.num_nodes;
+    limits.horizon_ms = intervals * system_config.observation_interval_ms;
+    const memgoal::sim::chaos::Schedule schedule =
+        memgoal::sim::chaos::Generate(chaos_seed, limits);
+    memgoal::sim::chaos::ApplyToFaultParams(schedule, &system_config.faults);
+    std::fprintf(stderr, "# chaos schedule: seed=%llu events=%zu\n",
+                 static_cast<unsigned long long>(chaos_seed),
+                 schedule.events.size());
+  }
 
   memgoal::core::ClusterSystem system(system_config);
 
@@ -247,8 +308,10 @@ int Run(memgoal::common::Config& config) {
     profiler.Enable(true);
     profile_install.emplace(&profiler);
   }
+  memgoal::sim::InvariantAuditor auditor;
+  const bool audit = config.GetBool("audit", false);
+  if (audit) system.EnableAuditor(&auditor);
 
-  const int intervals = static_cast<int>(config.GetInt("intervals", 40));
   // All keys have been queried by now; a --flag nothing consumed is a typo.
   if (!config.RejectUnknownFlags()) {
     std::fprintf(stderr, "error: %s\n", config.error().c_str());
@@ -352,6 +415,24 @@ int Run(memgoal::common::Config& config) {
         stderr, "# gray faults: episodes=%llu lifted=%llu\n",
         static_cast<unsigned long long>(fault_stats.degradations),
         static_cast<unsigned long long>(fault_stats.degradation_recoveries));
+  }
+  if (fault_stats.partitions > 0 || fault_stats.link_cuts > 0) {
+    std::fprintf(
+        stderr,
+        "# partitions: episodes=%llu heals=%llu link_cuts=%llu "
+        "msgs_dropped=%llu reconciled_hints=%llu stale_grants_rejected=%llu\n",
+        static_cast<unsigned long long>(fault_stats.partitions),
+        static_cast<unsigned long long>(fault_stats.partition_heals),
+        static_cast<unsigned long long>(fault_stats.link_cuts),
+        static_cast<unsigned long long>(
+            system.network().total_messages_partition_dropped()),
+        static_cast<unsigned long long>(system.reconcile_hints_sent()),
+        static_cast<unsigned long long>(
+            system.grants_rejected_stale_epoch()));
+  }
+  if (audit) {
+    auditor.WriteReport(stderr);
+    if (!auditor.ok()) return 1;
   }
   const auto& network = system.network();
   std::fprintf(stderr, "# network: %.1f MB total, protocol share %.5f%%\n",
