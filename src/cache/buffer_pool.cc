@@ -20,15 +20,19 @@ void BufferPool::Touch(PageId page) {
   policy_->OnAccess(page);
 }
 
-void BufferPool::EvictDownTo(size_t limit, std::vector<PageId>* out) {
+template <typename Out>
+void BufferPool::EvictDownTo(size_t limit, Out* out) {
   while (resident_.size() > limit) {
     std::optional<PageId> victim = policy_->ChooseVictim();
     MEMGOAL_CHECK(victim.has_value());
     policy_->OnErase(*victim);
-    MEMGOAL_CHECK(resident_.erase(*victim) == 1);
+    MEMGOAL_CHECK(resident_.Erase(*victim) == 1);
     out->push_back(*victim);
   }
 }
+
+template void BufferPool::EvictDownTo(size_t, EvictedList*);
+template void BufferPool::EvictDownTo(size_t, std::vector<PageId>*);
 
 BufferPool::InsertResult BufferPool::Insert(PageId page) {
   MEMGOAL_CHECK(!Contains(page));
@@ -41,7 +45,7 @@ BufferPool::InsertResult BufferPool::Insert(PageId page) {
   // *duplicate* must not displace a resident last-copy page (it is used
   // once and discarded instead). Recency policies are unaffected: a new
   // page is never their immediate victim.
-  resident_.insert(page);
+  resident_.Insert(page);
   policy_->OnInsert(page);
   result.inserted = true;
   EvictDownTo(frames, &result.evicted);
@@ -56,7 +60,7 @@ BufferPool::InsertResult BufferPool::Insert(PageId page) {
 }
 
 void BufferPool::Erase(PageId page) {
-  MEMGOAL_CHECK(resident_.erase(page) == 1);
+  MEMGOAL_CHECK(resident_.Erase(page) == 1);
   policy_->OnErase(page);
 }
 

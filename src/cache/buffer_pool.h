@@ -4,13 +4,19 @@
 #include <cstdint>
 #include <memory>
 #include <string>
-#include <unordered_set>
 #include <vector>
 
 #include "cache/replacement.h"
+#include "common/flat_hash_map.h"
+#include "common/inline_vector.h"
 #include "storage/types.h"
 
 namespace memgoal::cache {
+
+/// Pages displaced by a single access/insert. Nearly always 0 or 1 entries
+/// (one frame freed per insert), so they live inline; bulk operations
+/// (resize, crash clear) use plain vectors instead.
+using EvictedList = common::InlineVector<PageId, 2>;
 
 /// One buffer pool: a byte budget, a set of resident pages, and a
 /// replacement policy. Pools are resizable at run time — the allocation
@@ -24,7 +30,7 @@ class BufferPool {
   BufferPool(std::string name, uint32_t page_bytes, uint64_t capacity_bytes,
              std::unique_ptr<ReplacementPolicy> policy);
 
-  bool Contains(PageId page) const { return resident_.count(page) > 0; }
+  bool Contains(PageId page) const { return resident_.Contains(page); }
 
   /// Records a hit on a resident page.
   void Touch(PageId page);
@@ -37,7 +43,7 @@ class BufferPool {
   /// `inserted == false`. `page` must not be resident.
   struct InsertResult {
     bool inserted = false;
-    std::vector<PageId> evicted;
+    EvictedList evicted;
   };
   InsertResult Insert(PageId page);
 
@@ -56,18 +62,18 @@ class BufferPool {
   const std::string& name() const { return name_; }
   ReplacementPolicy* policy() { return policy_.get(); }
 
-  /// Resident set (unordered), for invariant checks in tests.
-  const std::unordered_set<PageId>& residents() const { return resident_; }
-
  private:
   // Evicts victims until `resident_.size() <= limit`; appends to `out`.
-  void EvictDownTo(size_t limit, std::vector<PageId>* out);
+  // Templated so the hot insert path appends to the inline EvictedList
+  // while bulk resizes append to a plain vector.
+  template <typename Out>
+  void EvictDownTo(size_t limit, Out* out);
 
   std::string name_;
   uint32_t page_bytes_;
   uint64_t capacity_bytes_;
   std::unique_ptr<ReplacementPolicy> policy_;
-  std::unordered_set<PageId> resident_;
+  common::FlatHashSet<PageId> resident_;
 };
 
 }  // namespace memgoal::cache

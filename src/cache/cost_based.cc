@@ -21,8 +21,10 @@ void CostBasedPolicy::OnInsert(PageId page) {
 }
 
 void CostBasedPolicy::OnAccess(PageId page) {
-  obs::ProfileScope profile(obs::Phase::kHeapMaintain);
-  residents_.Update(page, benefit_fn_(page));
+  // O(1), no benefit evaluation, no profile scope: the mark is cheaper
+  // than the instrumentation would be. The stale key is repaired in
+  // ChooseVictim's flush, where heap_maintain time is accounted.
+  residents_.MarkDirty(page);
 }
 
 void CostBasedPolicy::OnErase(PageId page) {
@@ -31,16 +33,22 @@ void CostBasedPolicy::OnErase(PageId page) {
 }
 
 void CostBasedPolicy::Refresh(PageId page) {
-  obs::ProfileScope profile(obs::Phase::kHeapMaintain);
-  if (residents_.Contains(page)) residents_.Update(page, benefit_fn_(page));
+  if (residents_.Contains(page)) residents_.MarkDirty(page);
 }
 
 std::optional<PageId> CostBasedPolicy::ChooseVictim() {
   obs::ProfileScope profile(obs::Phase::kVictimSelect);
   if (residents_.empty()) return std::nullopt;
-  // Lazy revalidation: keys may be stale; recompute the apparent minimum
-  // and re-heapify until the minimum is confirmed (or we hit the bound, in
-  // which case the current top is an acceptable approximation).
+  {
+    // Repair-on-pop: every page touched since the last selection gets one
+    // fresh benefit evaluation, in mark order, before the minimum is read.
+    obs::ProfileScope repair(obs::Phase::kHeapMaintain);
+    residents_.FlushDirty([this](PageId page) { return benefit_fn_(page); });
+  }
+  // Post-flush revalidation: keys are exact as of the flush, but the flush
+  // itself moves entries (a re-keyed page can surface a top whose benefit
+  // the directory changed without a Refresh); confirm the minimum to a
+  // fixed point or the bound, as before.
   for (int i = 0; i < revalidation_limit_; ++i) {
     const auto [page, key] = residents_.Peek();
     const double fresh = benefit_fn_(page);

@@ -19,11 +19,13 @@ using BenefitFn = std::function<double(PageId)>;
 /// keeping — and the victim is the page with the lowest benefit.
 ///
 /// Benefits drift over time (heat decays, copy status changes elsewhere),
-/// so heap keys are refreshed on every access and, lazily, at victim
-/// selection: the top of the heap is re-evaluated and re-positioned until a
-/// fixed point or a bounded number of refreshes, trading exactness for
-/// O(log n) operation cost exactly like the threshold-based bookkeeping of
-/// the original system trades message traffic for accuracy.
+/// so maintenance is lazy end to end: an access just marks the page's heap
+/// entry dirty in O(1), and victim selection repairs the heap — every
+/// dirty entry is re-keyed with a fresh benefit before the pop, then the
+/// top is re-evaluated until a fixed point or a bounded number of
+/// refreshes. Benefit evaluations thus scale with evictions (touched pages
+/// per selection), not with accesses, exactly like the threshold-based
+/// bookkeeping of the original system trades message traffic for accuracy.
 class CostBasedPolicy final : public ReplacementPolicy {
  public:
   explicit CostBasedPolicy(BenefitFn benefit_fn, int revalidation_limit = 8);

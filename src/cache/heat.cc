@@ -1,6 +1,7 @@
 #include "cache/heat.h"
 
 #include <algorithm>
+#include <cstdint>
 
 #include "common/check.h"
 #include "obs/profiler.h"
@@ -13,53 +14,76 @@ HeatTracker::HeatTracker(int k, double epsilon_ms)
   MEMGOAL_CHECK(epsilon_ms > 0.0);
 }
 
-void HeatTracker::RecordAccess(PageId page, sim::SimTime now) {
+uint32_t HeatTracker::AllocateSlots() const {
+  uint32_t offset;
+  if (!free_offsets_.empty()) {
+    offset = free_offsets_.back();
+    free_offsets_.pop_back();
+    std::fill_n(slab_.begin() + offset, k_, 0.0);
+  } else {
+    offset = static_cast<uint32_t>(slab_.size());
+    slab_.resize(slab_.size() + static_cast<size_t>(k_), 0.0);
+  }
+  return offset;
+}
+
+void HeatTracker::FlushPending() const {
   obs::ProfileScope profile(obs::Phase::kHeatUpdate);
-  History& h = history_[page];
-  if (h.times.empty()) h.times.assign(static_cast<size_t>(k_), 0.0);
-  h.times[static_cast<size_t>(h.next)] = now;
-  h.next = (h.next + 1) % k_;
-  if (h.count < INT32_MAX) ++h.count;
+  for (const PendingAccess& access : pending_) {
+    History* h = history_.Find(access.page);
+    if (h == nullptr) {
+      h = &history_[access.page];
+      h->offset = AllocateSlots();
+    }
+    slab_[h->offset + static_cast<uint32_t>(h->next)] = access.time;
+    h->next = (h->next + 1) % k_;
+    if (h->count < INT32_MAX) ++h->count;
+  }
+  pending_.clear();
 }
 
 double HeatTracker::HeatOf(PageId page, sim::SimTime now) const {
-  auto it = history_.find(page);
-  if (it == history_.end()) return 0.0;
-  const History& h = it->second;
-  const int m = std::min(h.count, k_);
+  Flush();
+  const History* h = history_.Find(page);
+  if (h == nullptr) return 0.0;
+  const int m = std::min(h->count, static_cast<int32_t>(k_));
   // With m recorded accesses the oldest retained timestamp sits m slots
   // behind the write cursor.
-  const int oldest = ((h.next - m) % k_ + k_) % k_;
-  const sim::SimTime t_m = h.times[static_cast<size_t>(oldest)];
+  const int oldest = ((h->next - m) % k_ + k_) % k_;
+  const sim::SimTime t_m = slab_[h->offset + static_cast<uint32_t>(oldest)];
   MEMGOAL_DCHECK(now >= t_m);
   return static_cast<double>(m) / (now - t_m + epsilon_ms_);
 }
 
 sim::SimTime HeatTracker::BackwardKTime(PageId page) const {
-  auto it = history_.find(page);
-  if (it == history_.end()) return 0.0;
-  const History& h = it->second;
-  const int m = std::min(h.count, k_);
-  const int oldest = ((h.next - m) % k_ + k_) % k_;
-  return h.times[static_cast<size_t>(oldest)];
+  Flush();
+  const History* h = history_.Find(page);
+  if (h == nullptr) return 0.0;
+  const int m = std::min(h->count, static_cast<int32_t>(k_));
+  const int oldest = ((h->next - m) % k_ + k_) % k_;
+  return slab_[h->offset + static_cast<uint32_t>(oldest)];
 }
 
 int HeatTracker::AccessCount(PageId page) const {
-  auto it = history_.find(page);
-  return it == history_.end() ? 0 : it->second.count;
+  Flush();
+  const History* h = history_.Find(page);
+  return h == nullptr ? 0 : h->count;
 }
 
 size_t HeatTracker::EvictColderThan(
     sim::SimTime horizon, const std::function<bool(PageId)>& retain) {
+  Flush();
   obs::ProfileScope profile(obs::Phase::kHeatUpdate);
   size_t evicted = 0;
   for (auto it = history_.begin(); it != history_.end();) {
-    const History& h = it->second;
-    const int m = std::min(h.count, k_);
+    const History& h = it.value();
+    const int m = std::min(h.count, static_cast<int32_t>(k_));
     const int oldest = ((h.next - m) % k_ + k_) % k_;
-    const sim::SimTime backward_k = h.times[static_cast<size_t>(oldest)];
-    if (backward_k < horizon && (!retain || !retain(it->first))) {
-      it = history_.erase(it);
+    const sim::SimTime backward_k =
+        slab_[h.offset + static_cast<uint32_t>(oldest)];
+    if (backward_k < horizon && (!retain || !retain(it.key()))) {
+      free_offsets_.push_back(h.offset);
+      it = history_.Erase(it);
       ++evicted;
     } else {
       ++it;

@@ -3,9 +3,9 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_hash_map.h"
 #include "sim/simulator.h"
 #include "storage/types.h"
 
@@ -27,11 +27,20 @@ namespace memgoal::cache {
 /// whose backward-K time has fallen behind a caller-chosen horizon — such a
 /// page's heat is indistinguishable from a cold restart anyway — while a
 /// retain predicate protects pages the caller still holds resident.
+/// Updates are batched: RecordAccess is an O(1) append to a pending log,
+/// and the log is applied — in record order, so the end state is identical
+/// to eager application — the moment any reader needs the histories. The
+/// cost-based policy reads heat only at victim selection, so steady-state
+/// accesses pay one vector push instead of a hash probe each, and the
+/// per-interval cache.heat_update profile scope covers batches rather than
+/// single records.
 class HeatTracker {
  public:
   explicit HeatTracker(int k, double epsilon_ms = 1.0);
 
-  void RecordAccess(PageId page, sim::SimTime now);
+  void RecordAccess(PageId page, sim::SimTime now) {
+    pending_.push_back(PendingAccess{page, now});
+  }
 
   double HeatOf(PageId page, sim::SimTime now) const;
 
@@ -43,7 +52,15 @@ class HeatTracker {
   /// Number of recorded accesses to `page` (saturates at 2^31).
   int AccessCount(PageId page) const;
 
-  void Forget(PageId page) { history_.erase(page); }
+  void Forget(PageId page) {
+    // Apply pending records first: accesses logged before the Forget must
+    // land (and then be erased), not resurrect the page at the next flush.
+    Flush();
+    if (const History* h = history_.Find(page)) {
+      free_offsets_.push_back(h->offset);
+      history_.Erase(page);
+    }
+  }
 
   /// Drops the history of every page whose backward-K time is older than
   /// `horizon` and for which `retain` (if given) returns false. Returns the
@@ -53,20 +70,47 @@ class HeatTracker {
                          const std::function<bool(PageId)>& retain = nullptr);
 
   int k() const { return k_; }
-  size_t tracked_pages() const { return history_.size(); }
+  size_t tracked_pages() const {
+    Flush();
+    return history_.size();
+  }
 
  private:
   struct History {
-    // Circular buffer of the last up-to-K access times.
-    // times[next] is the slot the next access will overwrite.
-    std::vector<sim::SimTime> times;
-    int next = 0;
-    int count = 0;
+    // Circular buffer of the last up-to-K access times, stored as k_
+    // consecutive slots at slab_[offset]: one shared arena instead of a
+    // heap vector per tracked page. times[next] is the slot the next
+    // access will overwrite.
+    uint32_t offset = 0;
+    int32_t next = 0;
+    int32_t count = 0;
   };
+  struct PendingAccess {
+    PageId page;
+    sim::SimTime time;
+  };
+
+  /// Applies the pending log in record order. Readers call it first, so
+  /// the stores are mutable and every const accessor sees eager-equivalent
+  /// state. The empty check is inline: most reads in a steady-state run
+  /// find the log already applied.
+  void Flush() const {
+    if (!pending_.empty()) FlushPending();
+  }
+  void FlushPending() const;
+
+  /// Claims a zero-filled k_-slot run in slab_ (reusing a freed run when
+  /// one exists) and returns its offset.
+  uint32_t AllocateSlots() const;
 
   int k_;
   double epsilon_ms_;
-  std::unordered_map<PageId, History> history_;
+  mutable std::vector<PendingAccess> pending_;
+  mutable common::FlatHashMap<PageId, History> history_;
+  // Timestamp arena: every History owns k_ contiguous slots. Freed runs
+  // (Forget / EvictColderThan) are recycled through free_offsets_.
+  mutable std::vector<sim::SimTime> slab_;
+  mutable std::vector<uint32_t> free_offsets_;
 };
 
 }  // namespace memgoal::cache

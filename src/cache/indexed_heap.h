@@ -2,11 +2,11 @@
 #define MEMGOAL_CACHE_INDEXED_HEAP_H_
 
 #include <cstddef>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "common/check.h"
+#include "common/flat_hash_map.h"
 
 namespace memgoal::cache {
 
@@ -16,10 +16,18 @@ namespace memgoal::cache {
 ///
 /// This is the priority queue backing the cost-based replacement policy of
 /// §6: pages are keyed by benefit and the victim is the minimum.
+///
+/// Lazy maintenance: when keys drift cheaply and often (every cache access
+/// changes a page's benefit) but the minimum is consulted rarely (only at
+/// eviction), callers can MarkDirty(id) in O(1) instead of re-computing and
+/// re-sifting per access, then FlushDirty(key_fn) once before the next
+/// Peek/Pop. Dirty entries keep their stale keys and participate in sifts
+/// normally — the heap invariant always holds for the *stored* keys — so
+/// correctness only requires a flush before reading the minimum.
 template <typename Id>
 class IndexedMinHeap {
  public:
-  bool Contains(Id id) const { return position_.count(id) > 0; }
+  bool Contains(Id id) const { return position_.Contains(id); }
   size_t size() const { return heap_.size(); }
   bool empty() const { return heap_.empty(); }
 
@@ -32,12 +40,12 @@ class IndexedMinHeap {
 
   /// Inserts `id` or changes its key if present.
   void Update(Id id, double key) {
-    auto it = position_.find(id);
-    if (it == position_.end()) {
+    const size_t* found = position_.Find(id);
+    if (found == nullptr) {
       Insert(id, key);
       return;
     }
-    const size_t pos = it->second;
+    const size_t pos = *found;
     const double old_key = heap_[pos].key;
     heap_[pos].key = key;
     if (key < old_key) {
@@ -48,11 +56,11 @@ class IndexedMinHeap {
   }
 
   void Erase(Id id) {
-    auto it = position_.find(id);
-    MEMGOAL_CHECK(it != position_.end());
-    const size_t pos = it->second;
+    const size_t* found = position_.Find(id);
+    MEMGOAL_CHECK(found != nullptr);
+    const size_t pos = *found;
     SwapEntries(pos, heap_.size() - 1);
-    position_.erase(heap_.back().id);
+    position_.Erase(heap_.back().id);
     heap_.pop_back();
     if (pos < heap_.size()) {
       SiftUp(pos);
@@ -72,15 +80,54 @@ class IndexedMinHeap {
   }
 
   double KeyOf(Id id) const {
-    auto it = position_.find(id);
-    MEMGOAL_CHECK(it != position_.end());
-    return heap_[it->second].key;
+    const size_t* found = position_.Find(id);
+    MEMGOAL_CHECK(found != nullptr);
+    return heap_[*found].key;
+  }
+
+  /// O(1): flags `id`'s stored key as stale. Idempotent until the next
+  /// flush. `id` must be present.
+  void MarkDirty(Id id) {
+    const size_t* found = position_.Find(id);
+    MEMGOAL_CHECK(found != nullptr);
+    Entry& entry = heap_[*found];
+    if (entry.dirty) return;
+    entry.dirty = true;
+    dirty_.push_back(id);
+  }
+
+  bool has_dirty() const { return !dirty_.empty(); }
+  size_t dirty_count() const { return dirty_.size(); }
+
+  /// Repairs every dirty entry to key_fn(id), in mark order (deterministic
+  /// given a deterministic caller). Ids erased — or erased and re-inserted
+  /// fresh — since marking are skipped; the per-entry flag arbitrates.
+  /// Returns the number of entries re-keyed. After this call the heap's
+  /// minimum is exact for key_fn's current values.
+  template <typename KeyFn>
+  size_t FlushDirty(KeyFn&& key_fn) {
+    size_t repaired = 0;
+    for (size_t i = 0; i < dirty_.size(); ++i) {
+      const Id id = dirty_[i];
+      const size_t* found = position_.Find(id);
+      if (found == nullptr) continue;
+      Entry& entry = heap_[*found];
+      if (!entry.dirty) continue;
+      entry.dirty = false;
+      Update(id, key_fn(id));
+      ++repaired;
+    }
+    dirty_.clear();
+    return repaired;
   }
 
  private:
   struct Entry {
     Id id;
     double key;
+    /// Stored key may lag the true key; see MarkDirty/FlushDirty. The flag
+    /// travels with the entry through sift swaps.
+    bool dirty = false;
   };
 
   static bool Less(const Entry& a, const Entry& b) {
@@ -91,8 +138,8 @@ class IndexedMinHeap {
   void SwapEntries(size_t a, size_t b) {
     if (a == b) return;
     std::swap(heap_[a], heap_[b]);
-    position_[heap_[a].id] = a;
-    position_[heap_[b].id] = b;
+    *position_.Find(heap_[a].id) = a;
+    *position_.Find(heap_[b].id) = b;
   }
 
   void SiftUp(size_t pos) {
@@ -122,7 +169,9 @@ class IndexedMinHeap {
   }
 
   std::vector<Entry> heap_;
-  std::unordered_map<Id, size_t> position_;
+  common::FlatHashMap<Id, size_t> position_;
+  /// Ids in first-mark order; may hold ids erased after marking.
+  std::vector<Id> dirty_;
 };
 
 }  // namespace memgoal::cache

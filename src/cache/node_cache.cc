@@ -35,16 +35,16 @@ BufferPool& NodeCache::PoolFor(ClassId location) {
 }
 
 ClassId NodeCache::LocationOf(PageId page) const {
-  auto it = page_location_.find(page);
-  MEMGOAL_CHECK(it != page_location_.end());
-  return it->second;
+  const ClassId* location = page_location_.Find(page);
+  MEMGOAL_CHECK(location != nullptr);
+  return *location;
 }
 
 void NodeCache::ApplyInsert(ClassId location, PageId page,
                             BufferPool::InsertResult insert_result,
                             AccessResult* result) {
   for (PageId victim : insert_result.evicted) {
-    MEMGOAL_CHECK(page_location_.erase(victim) == 1);
+    MEMGOAL_CHECK(page_location_.Erase(victim) == 1);
     result->dropped.push_back(victim);
   }
   if (insert_result.inserted) {
@@ -55,17 +55,18 @@ void NodeCache::ApplyInsert(ClassId location, PageId page,
 
 NodeCache::AccessResult NodeCache::OnAccess(ClassId klass, PageId page) {
   AccessResult result;
-  auto location_it = page_location_.find(page);
-  const bool resident = location_it != page_location_.end();
+  const ClassId* location_ptr = page_location_.Find(page);
 
   auto dedicated_it =
       klass == kNoGoalClass ? dedicated_.end() : dedicated_.find(klass);
   const bool has_dedicated = dedicated_it != dedicated_.end();
 
-  if (!resident) return result;  // miss: caller fetches, then InsertFetched
+  if (location_ptr == nullptr) {
+    return result;  // miss: caller fetches, then InsertFetched
+  }
   result.hit = true;
 
-  const ClassId location = location_it->second;
+  const ClassId location = *location_ptr;
   if (!has_dedicated || location != kNoGoalClass) {
     // No movement: either the accessing class has no dedicated pool, or the
     // page already sits in a dedicated pool (k's own or another class's).
@@ -82,7 +83,7 @@ NodeCache::AccessResult NodeCache::OnAccess(ClassId klass, PageId page) {
     return result;
   }
   nogoal_pool_.Erase(page);
-  page_location_.erase(page);
+  page_location_.Erase(page);
   ApplyInsert(klass, page, target.Insert(page), &result);
   // A promotion can bounce under cost-based admission control (the page had
   // the lowest benefit in the dedicated pool); it is then gone from the
@@ -93,7 +94,7 @@ NodeCache::AccessResult NodeCache::OnAccess(ClassId klass, PageId page) {
 }
 
 NodeCache::AccessResult NodeCache::InsertFetched(ClassId klass, PageId page) {
-  MEMGOAL_CHECK(page_location_.count(page) == 0);
+  MEMGOAL_CHECK(!page_location_.Contains(page));
   AccessResult result;
 
   auto dedicated_it =
@@ -108,19 +109,19 @@ NodeCache::AccessResult NodeCache::InsertFetched(ClassId klass, PageId page) {
 }
 
 bool NodeCache::Drop(PageId page) {
-  auto it = page_location_.find(page);
-  if (it == page_location_.end()) return false;
-  PoolFor(it->second).Erase(page);
-  page_location_.erase(it);
+  const ClassId* location = page_location_.Find(page);
+  if (location == nullptr) return false;
+  PoolFor(*location).Erase(page);
+  page_location_.Erase(page);
   return true;
 }
 
 std::vector<PageId> NodeCache::Clear() {
   std::vector<PageId> dropped;
   dropped.reserve(page_location_.size());
-  for (const auto& [page, location] : page_location_) {
-    PoolFor(location).Erase(page);
-    dropped.push_back(page);
+  for (auto it = page_location_.begin(); it != page_location_.end(); ++it) {
+    PoolFor(it.value()).Erase(it.key());
+    dropped.push_back(it.key());
   }
   page_location_.clear();
   std::sort(dropped.begin(), dropped.end());  // hash-map order is not stable
@@ -139,7 +140,7 @@ uint64_t NodeCache::SetDedicatedBytes(ClassId klass, uint64_t bytes,
 
   auto collect = [&](std::vector<PageId> evicted) {
     for (PageId victim : evicted) {
-      MEMGOAL_CHECK(page_location_.erase(victim) == 1);
+      MEMGOAL_CHECK(page_location_.Erase(victim) == 1);
       dropped->push_back(victim);
     }
   };

@@ -5,7 +5,6 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "cache/buffer_pool.h"
@@ -49,7 +48,7 @@ class NodeCache {
   struct AccessResult {
     bool hit = false;
     bool inserted = false;
-    std::vector<PageId> dropped;
+    EvictedList dropped;
   };
 
   /// Creates class k's dedicated pool (initially 0 bytes) if absent.
@@ -58,9 +57,7 @@ class NodeCache {
     return dedicated_.count(klass) > 0;
   }
 
-  bool IsCached(PageId page) const {
-    return page_location_.count(page) > 0;
-  }
+  bool IsCached(PageId page) const { return page_location_.Contains(page); }
 
   /// Handles the buffer-resident part of an access by class `klass`;
   /// `result.hit` tells the caller whether a fetch is needed.
@@ -116,7 +113,7 @@ class NodeCache {
   uint32_t page_bytes_;
   BufferPool nogoal_pool_;
   std::map<ClassId, BufferPool> dedicated_;  // ordered for determinism
-  std::unordered_map<PageId, ClassId> page_location_;
+  common::FlatHashMap<PageId, ClassId> page_location_;
   PolicyFactory factory_;
 };
 

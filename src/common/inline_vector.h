@@ -1,0 +1,155 @@
+#ifndef MEMGOAL_COMMON_INLINE_VECTOR_H_
+#define MEMGOAL_COMMON_INLINE_VECTOR_H_
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <utility>
+
+#include "common/check.h"
+
+namespace memgoal::common {
+
+/// Contiguous dynamic array with N elements of inline storage.
+///
+/// The simulation's hot paths pass around tiny short-lived collections — an
+/// operation's page list, a fetch's candidate replicas, an event's waiting
+/// coroutines — whose sizes are almost always a handful. std::vector pays a
+/// heap round trip for each; InlineVector keeps up to N elements in the
+/// object itself and only spills to the heap (growing geometrically) past
+/// that. Move semantics: heap storage is stolen, inline elements are moved
+/// one by one. Iterators/pointers invalidate on growth, as with vector.
+template <typename T, size_t N>
+class InlineVector {
+ public:
+  InlineVector() = default;
+
+  InlineVector(size_t count) {  // NOLINT: match vector(size_t)
+    for (size_t i = 0; i < count; ++i) emplace_back();
+  }
+
+  InlineVector(InlineVector&& other) noexcept { MoveFrom(std::move(other)); }
+  InlineVector& operator=(InlineVector&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      MoveFrom(std::move(other));
+    }
+    return *this;
+  }
+
+  InlineVector(const InlineVector& other) {
+    for (const T& value : other) push_back(value);
+  }
+  InlineVector& operator=(const InlineVector& other) {
+    if (this != &other) {
+      clear();
+      for (const T& value : other) push_back(value);
+    }
+    return *this;
+  }
+
+  ~InlineVector() { Destroy(); }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+  T& operator[](size_t i) { return data_[i]; }
+  const T& operator[](size_t i) const { return data_[i]; }
+  T& front() { return data_[0]; }
+  T& back() { return data_[size_ - 1]; }
+  const T& front() const { return data_[0]; }
+  const T& back() const { return data_[size_ - 1]; }
+
+  void push_back(const T& value) { emplace_back(value); }
+  void push_back(T&& value) { emplace_back(std::move(value)); }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == capacity_) Grow();
+    T* slot = ::new (static_cast<void*>(data_ + size_))
+        T(std::forward<Args>(args)...);
+    ++size_;
+    return *slot;
+  }
+
+  void pop_back() {
+    MEMGOAL_DCHECK(size_ > 0);
+    data_[--size_].~T();
+  }
+
+  /// Removes the element at `pos`, shifting later elements down. Returns
+  /// the iterator to the element after the removed one (vector semantics).
+  T* erase(T* pos) {
+    MEMGOAL_DCHECK(pos >= begin() && pos < end());
+    for (T* it = pos; it + 1 != end(); ++it) *it = std::move(*(it + 1));
+    pop_back();
+    return pos;
+  }
+
+  void clear() {
+    for (size_t i = 0; i < size_; ++i) data_[i].~T();
+    size_ = 0;
+  }
+
+ private:
+  T* InlineData() { return reinterpret_cast<T*>(inline_storage_); }
+
+  void Grow() {
+    const size_t new_capacity = capacity_ * 2;
+    T* fresh = static_cast<T*>(
+        ::operator new(new_capacity * sizeof(T), std::align_val_t(alignof(T))));
+    for (size_t i = 0; i < size_; ++i) {
+      ::new (static_cast<void*>(fresh + i)) T(std::move(data_[i]));
+      data_[i].~T();
+    }
+    if (data_ != InlineData()) {
+      ::operator delete(data_, std::align_val_t(alignof(T)));
+    }
+    data_ = fresh;
+    capacity_ = new_capacity;
+  }
+
+  void Destroy() {
+    clear();
+    if (data_ != InlineData()) {
+      ::operator delete(data_, std::align_val_t(alignof(T)));
+    }
+  }
+
+  void MoveFrom(InlineVector&& other) {
+    if (other.data_ != other.InlineData()) {
+      // Steal the heap buffer outright.
+      data_ = other.data_;
+      capacity_ = other.capacity_;
+      size_ = other.size_;
+      other.data_ = other.InlineData();
+      other.capacity_ = N;
+      other.size_ = 0;
+      return;
+    }
+    data_ = InlineData();
+    capacity_ = N;
+    size_ = other.size_;
+    for (size_t i = 0; i < size_; ++i) {
+      ::new (static_cast<void*>(data_ + i)) T(std::move(other.data_[i]));
+      other.data_[i].~T();
+    }
+    other.size_ = 0;
+  }
+
+  alignas(T) unsigned char inline_storage_[N * sizeof(T)];
+  T* data_ = InlineData();
+  size_t size_ = 0;
+  size_t capacity_ = N;
+};
+
+}  // namespace memgoal::common
+
+#endif  // MEMGOAL_COMMON_INLINE_VECTOR_H_

@@ -1,0 +1,72 @@
+#ifndef MEMGOAL_COMMON_RING_BUFFER_H_
+#define MEMGOAL_COMMON_RING_BUFFER_H_
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+#include "common/check.h"
+
+namespace memgoal::common {
+
+/// Growable FIFO ring buffer (power-of-two capacity).
+///
+/// Replaces std::deque on the simulator's queueing paths: a deque whose
+/// head and tail march forward (push_back/pop_front, the only pattern a
+/// FIFO produces) allocates and frees a chunk every few dozen elements
+/// forever, while a ring reuses one block and only reallocates on actual
+/// growth of the high-water mark.
+template <typename T>
+class RingBuffer {
+ public:
+  RingBuffer() = default;
+  RingBuffer(RingBuffer&&) noexcept = default;
+  RingBuffer& operator=(RingBuffer&&) noexcept = default;
+  RingBuffer(const RingBuffer&) = delete;
+  RingBuffer& operator=(const RingBuffer&) = delete;
+
+  size_t size() const { return tail_ - head_; }
+  bool empty() const { return head_ == tail_; }
+
+  void push_back(T value) {
+    if (size() == capacity_) Grow();
+    slots_[tail_ & (capacity_ - 1)] = std::move(value);
+    ++tail_;
+  }
+
+  T& front() {
+    MEMGOAL_DCHECK(!empty());
+    return slots_[head_ & (capacity_ - 1)];
+  }
+  const T& front() const {
+    return const_cast<RingBuffer*>(this)->front();
+  }
+
+  void pop_front() {
+    MEMGOAL_DCHECK(!empty());
+    ++head_;
+  }
+
+ private:
+  void Grow() {
+    const size_t new_capacity = capacity_ == 0 ? 8 : capacity_ * 2;
+    std::unique_ptr<T[]> fresh(new T[new_capacity]);
+    const size_t count = size();
+    for (size_t i = 0; i < count; ++i) {
+      fresh[i] = std::move(slots_[(head_ + i) & (capacity_ - 1)]);
+    }
+    slots_ = std::move(fresh);
+    capacity_ = new_capacity;
+    head_ = 0;
+    tail_ = count;
+  }
+
+  std::unique_ptr<T[]> slots_;
+  size_t capacity_ = 0;
+  size_t head_ = 0;  // monotonically increasing; masked on access
+  size_t tail_ = 0;
+};
+
+}  // namespace memgoal::common
+
+#endif  // MEMGOAL_COMMON_RING_BUFFER_H_

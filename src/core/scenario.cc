@@ -1,0 +1,210 @@
+#include "core/scenario.h"
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/chaos_schedule.h"
+#include "sim/event_queue.h"
+
+namespace memgoal::core {
+namespace {
+
+cache::PolicyKind ParsePolicy(const std::string& name) {
+  if (name == "lru") return cache::PolicyKind::kLru;
+  if (name == "lru-k") return cache::PolicyKind::kLruK;
+  if (name == "fifo") return cache::PolicyKind::kFifo;
+  return cache::PolicyKind::kCostBased;
+}
+
+}  // namespace
+
+bool ParsePageRange(const std::string& text, workload::PageRange* out) {
+  const size_t colon = text.find(':');
+  if (colon == std::string::npos || colon == 0) return false;
+  out->begin = static_cast<PageId>(std::stoul(text.substr(0, colon)));
+  out->end = static_cast<PageId>(std::stoul(text.substr(colon + 1)));
+  return out->begin < out->end;
+}
+
+std::optional<Scenario> LoadScenario(common::Config& config,
+                                     std::string* error) {
+  Scenario scenario;
+  SystemConfig& system_config = scenario.system;
+  system_config.num_nodes = static_cast<uint32_t>(config.GetInt("nodes", 3));
+  system_config.cache_bytes_per_node =
+      static_cast<uint64_t>(config.GetInt("cache_bytes", 2 << 20));
+  system_config.page_bytes =
+      static_cast<uint32_t>(config.GetInt("page_bytes", 4096));
+  system_config.db_pages =
+      static_cast<uint32_t>(config.GetInt("db_pages", 2000));
+  system_config.observation_interval_ms =
+      config.GetDouble("interval_ms", 5000.0);
+  system_config.seed = static_cast<uint64_t>(config.GetInt("seed", 1));
+  system_config.policy = ParsePolicy(config.GetString("policy", "cost-based"));
+  system_config.objective =
+      config.GetString("objective", "nogoal") == "variance"
+          ? PartitioningObjective::kMinimizeNodeVariance
+          : PartitioningObjective::kMinimizeNoGoalRt;
+  const std::string queue = config.GetString("queue", "calendar");
+  if (queue == "heap") {
+    system_config.queue_backend = sim::QueueBackend::kLegacyHeap;
+  } else if (queue == "calendar") {
+    system_config.queue_backend = sim::QueueBackend::kCalendar;
+  } else {
+    if (error) *error = "queue must be calendar or heap, got " + queue;
+    return std::nullopt;
+  }
+  system_config.disk.avg_seek_ms = config.GetDouble("disk_seek_ms", 8.0);
+  system_config.disk.rotation_ms = config.GetDouble("disk_rotation_ms", 8.33);
+  system_config.disk.transfer_mb_per_s =
+      config.GetDouble("disk_transfer", 10.0);
+  system_config.network.bandwidth_mbit_per_s =
+      config.GetDouble("net_mbit", 100.0);
+  system_config.network.latency_ms = config.GetDouble("net_latency_ms", 0.05);
+  system_config.network.loss_probability = config.GetDouble("net_loss", 0.0);
+  // Conditional keys are still read unconditionally so RejectUnknownFlags
+  // in the caller never mistakes a dormant knob for a typo.
+  const double burst_g2b = config.GetDouble("net_burst_g2b", 0.0);
+  const double burst_b2g = config.GetDouble("net_burst_b2g", 0.5);
+  const double burst_loss_good = config.GetDouble("net_burst_loss_good", 0.0);
+  const double burst_loss_bad = config.GetDouble("net_burst_loss_bad", 1.0);
+  if (config.GetString("net_loss_model", "iid") == "burst") {
+    system_config.network.loss_model = net::LossModel::kBurst;
+    system_config.network.burst_good_to_bad = burst_g2b;
+    system_config.network.burst_bad_to_good = burst_b2g;
+    system_config.network.burst_loss_good = burst_loss_good;
+    system_config.network.burst_loss_bad = burst_loss_bad;
+  }
+
+  const int crash_node = static_cast<int>(config.GetInt("crash_node", -1));
+  const double crash_at = config.GetDouble("crash_at_ms", 0.0);
+  const double recover_at = config.GetDouble("recover_at_ms", 0.0);
+  if (crash_node >= 0) {
+    system_config.faults.script.push_back(
+        {crash_at, static_cast<uint32_t>(crash_node), /*crash=*/true});
+    if (recover_at > crash_at) {
+      system_config.faults.script.push_back(
+          {recover_at, static_cast<uint32_t>(crash_node), /*crash=*/false});
+    }
+  }
+  system_config.faults.mttf_ms = config.GetDouble("fault_mttf_ms", 0.0);
+  system_config.faults.mttr_ms = config.GetDouble("fault_mttr_ms", 10000.0);
+  system_config.faults.seed =
+      static_cast<uint64_t>(config.GetInt("fault_seed", 0xFA171));
+  system_config.faults.min_live_nodes =
+      static_cast<uint32_t>(config.GetInt("fault_min_live", 1));
+  const int degrade_node = static_cast<int>(config.GetInt("degrade_node", -1));
+  const double degrade_at = config.GetDouble("degrade_at_ms", 0.0);
+  const double restore_at = config.GetDouble("restore_at_ms", 0.0);
+  const double degrade_factor = config.GetDouble("degrade_factor", 10.0);
+  if (degrade_node >= 0) {
+    system_config.faults.degradation_script.push_back(
+        {degrade_at, static_cast<uint32_t>(degrade_node), /*begin=*/true,
+         degrade_factor});
+    if (restore_at > degrade_at) {
+      system_config.faults.degradation_script.push_back(
+          {restore_at, static_cast<uint32_t>(degrade_node), /*begin=*/false});
+    }
+  }
+  system_config.faults.mttd_ms = config.GetDouble("fault_mttd_ms", 0.0);
+  system_config.faults.degradation_repair_ms =
+      config.GetDouble("fault_degrade_repair_ms", 10000.0);
+  system_config.faults.degradation_factor =
+      config.GetDouble("fault_degrade_factor", 10.0);
+
+  const std::string partition_nodes = config.GetString("partition_nodes", "");
+  const double partition_at = config.GetDouble("partition_at_ms", 0.0);
+  const double heal_at = config.GetDouble("heal_at_ms", 0.0);
+  if (!partition_nodes.empty()) {
+    std::vector<uint32_t> groups(system_config.num_nodes, 0);
+    std::stringstream nodes(partition_nodes);
+    std::string item;
+    while (std::getline(nodes, item, ',')) {
+      const unsigned long node = std::stoul(item);
+      if (node >= system_config.num_nodes) {
+        if (error) *error = "partition_nodes entry " + item + " out of range";
+        return std::nullopt;
+      }
+      groups[node] = 1;
+    }
+    system_config.faults.partition_script.push_back({partition_at, groups});
+    if (heal_at > partition_at) {
+      system_config.faults.partition_script.push_back({heal_at, {}});
+    }
+  }
+  system_config.faults.mttp_ms = config.GetDouble("fault_mttp_ms", 0.0);
+  system_config.faults.partition_heal_ms =
+      config.GetDouble("fault_partition_heal_ms", 10000.0);
+  system_config.crash_detect_timeout_ms =
+      config.GetDouble("crash_detect_timeout_ms", 2.0);
+
+  scenario.intervals = static_cast<int>(config.GetInt("intervals", 40));
+  scenario.audit = config.GetBool("audit", false);
+  scenario.chaos_seed = static_cast<uint64_t>(config.GetInt("chaos_seed", 0));
+  if (scenario.chaos_seed != 0) {
+    // Overlay a generated chaos schedule on the scripted faults. The
+    // schedule's own goal-churn events are disabled — scenario files define
+    // the classes, so there is no fixed class list to churn.
+    if (system_config.num_nodes < 3 || system_config.num_nodes > 32) {
+      if (error) *error = "chaos_seed needs 3..32 nodes";
+      return std::nullopt;
+    }
+    sim::chaos::GenerateLimits limits;
+    limits.num_nodes = system_config.num_nodes;
+    limits.horizon_ms =
+        scenario.intervals * system_config.observation_interval_ms;
+    const sim::chaos::Schedule schedule =
+        sim::chaos::Generate(scenario.chaos_seed, limits);
+    sim::chaos::ApplyToFaultParams(schedule, &system_config.faults);
+    scenario.chaos_events = schedule.events.size();
+  }
+
+  const int num_classes = static_cast<int>(config.GetInt("classes", 2));
+  for (int c = 0; c < num_classes; ++c) {
+    const std::string prefix = "class" + std::to_string(c) + "_";
+    workload::ClassSpec spec;
+    spec.id = static_cast<ClassId>(c);
+    const double goal = config.GetDouble(prefix + "goal_ms", 0.0);
+    if (c != 0 && goal > 0.0) spec.goal_rt_ms = goal;
+    if (c != 0 && goal <= 0.0) {
+      if (error) *error = prefix + "goal_ms required for goal class";
+      return std::nullopt;
+    }
+    const PageId slice =
+        system_config.db_pages / static_cast<PageId>(num_classes);
+    const std::string default_range =
+        std::to_string(c * slice) + ":" + std::to_string((c + 1) * slice);
+    workload::PageRange range;
+    if (!ParsePageRange(config.GetString(prefix + "pages", default_range),
+                        &range)) {
+      if (error) *error = "bad " + prefix + "pages";
+      return std::nullopt;
+    }
+    spec.pages = range;
+    spec.mean_interarrival_ms =
+        config.GetDouble(prefix + "interarrival_ms", 100.0);
+    spec.accesses_per_op =
+        static_cast<int>(config.GetInt(prefix + "accesses", 4));
+    spec.zipf_skew = config.GetDouble(prefix + "skew", 0.0);
+    spec.share_prob = config.GetDouble(prefix + "share_prob", 0.0);
+    const std::string shared_text =
+        config.GetString(prefix + "shared_pages", "");
+    const double shared_skew =
+        config.GetDouble(prefix + "shared_skew", spec.zipf_skew);
+    if (spec.share_prob > 0.0) {
+      workload::PageRange shared;
+      if (!ParsePageRange(shared_text, &shared)) {
+        if (error) *error = prefix + "shared_pages required";
+        return std::nullopt;
+      }
+      spec.shared_pages = shared;
+      spec.shared_skew = shared_skew;
+    }
+    scenario.classes.push_back(spec);
+  }
+  return scenario;
+}
+
+}  // namespace memgoal::core

@@ -1,0 +1,44 @@
+#ifndef MEMGOAL_CORE_SCENARIO_H_
+#define MEMGOAL_CORE_SCENARIO_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "core/system.h"
+#include "workload/spec.h"
+
+namespace memgoal::core {
+
+/// A fully resolved scenario: everything needed to construct and run a
+/// ClusterSystem, decoupled from where the key=value text came from (a
+/// .conf file, argv overrides, or a test-supplied string). The CLI runner
+/// and the differential test harness both build runs through this struct,
+/// so a scenario file exercises the exact model configuration in both.
+struct Scenario {
+  SystemConfig system;
+  std::vector<workload::ClassSpec> classes;
+  int intervals = 40;
+  bool audit = false;
+  /// Nonzero when a generated chaos schedule was overlaid on the scripted
+  /// faults; chaos_events is its event count (for the runner's summary).
+  uint64_t chaos_seed = 0;
+  size_t chaos_events = 0;
+};
+
+/// Builds a Scenario from parsed key=value config. Reads every model key
+/// (listed in tools/memgoal_sim.cc's header comment) including the
+/// `queue` key (calendar | heap) selecting the event-queue backend, so a
+/// caller may follow up with Config::RejectUnknownFlags. Observability
+/// output paths (trace_out, decision_log, ...) are CLI concerns and are
+/// not read here. Returns std::nullopt and sets *error on invalid input.
+std::optional<Scenario> LoadScenario(common::Config& config,
+                                     std::string* error);
+
+/// Parses a "begin:end" page range; returns false unless begin < end.
+bool ParsePageRange(const std::string& text, workload::PageRange* out);
+
+}  // namespace memgoal::core
+
+#endif  // MEMGOAL_CORE_SCENARIO_H_

@@ -107,9 +107,8 @@ double Node::BenefitOf(ClassId pool_class, PageId page) const {
   const bool cached_here = directory.IsCachedAt(id_, page);
   const bool other_copy =
       directory.CopyCount(page) - (cached_here ? 1 : 0) >= 1;
-  auto reported = reported_heat_.find(page);
-  const double own_reported =
-      reported == reported_heat_.end() ? 0.0 : reported->second;
+  const double* reported = reported_heat_.Find(page);
+  const double own_reported = reported == nullptr ? 0.0 : *reported;
   const double foreign = directory.GlobalHeat(page) - own_reported;
   const bool home_local = system_->database().HomeOf(page) == id_;
   return cache::KeepBenefit(system_->cost_model(), pool_heat, foreign,
@@ -123,6 +122,9 @@ void Node::RecordAccessHeat(ClassId klass, PageId page) {
     class_heat_.try_emplace(klass, system_->config().lru_k)
         .first->second.RecordAccess(page, now);
   }
+  // Propagation must be checked per access (see the declaration comment);
+  // reading the heat flushes the trackers' pending batch, but only for
+  // pages that are actually re-read, which the batching already amortizes.
   MaybePropagateHeat(page);
 }
 
@@ -148,7 +150,8 @@ sim::Task<void> Node::DeliverHeatReport(NodeId home, PageId page,
 void Node::MaybePropagateHeat(PageId page) {
   const SystemConfig& config = system_->config();
   const double heat = AccumulatedHeat(page);
-  const double last = reported_heat_.count(page) ? reported_heat_[page] : 0.0;
+  const double* reported = reported_heat_.Find(page);
+  const double last = reported == nullptr ? 0.0 : *reported;
   const bool significant =
       last == 0.0 ? heat > 0.0
                   : std::fabs(heat - last) > config.hint_heat_threshold * last;
@@ -210,16 +213,16 @@ void Node::SweepHeatHistory(sim::SimTime horizon) {
   // grow the same way; a page without history and without residency will be
   // re-reported from scratch if it ever comes back.
   for (auto it = reported_heat_.begin(); it != reported_heat_.end();) {
-    if (accumulated_heat_.AccessCount(it->first) == 0 &&
-        !cache_->IsCached(it->first)) {
-      it = reported_heat_.erase(it);
+    if (accumulated_heat_.AccessCount(it.key()) == 0 &&
+        !cache_->IsCached(it.key())) {
+      it = reported_heat_.Erase(it);
     } else {
       ++it;
     }
   }
 }
 
-void Node::HandleDrops(const std::vector<PageId>& dropped) {
+void Node::HandleDrops(std::span<const PageId> dropped) {
   for (PageId page : dropped) {
     if (system_->config().injected_bug != InjectedBug::kLeakDirectoryEntry) {
       system_->directory().OnPageDropped(id_, page);
@@ -362,14 +365,16 @@ sim::Task<StorageLevel> Node::AccessPage(ClassId klass, PageId page) {
   // the race). After the hedge budget an exponential backoff precedes the
   // disk fallback. Disks survive crashes (the NOW's disks are dual-ported),
   // so a dead home's pages stay readable from its disk at remote-disk cost.
-  const std::vector<NodeId> candidates = directory.RankedCopies(page, id_);
+  net::PageDirectory::CopyList candidates;
+  directory.RankedCopies(page, id_, &candidates);
   if (tracing) {
     char args[48];
     std::snprintf(args, sizeof(args), "{\"copies\":%zu}", candidates.size());
     tracer->Instant("dir_lookup", "access", id_, track,
                     system_->simulator().Now(), args);
   }
-  auto state = std::make_shared<FetchState>();
+  auto state = std::allocate_shared<FetchState>(
+      sim::FramePoolAllocator<FetchState>());
   state->started_ms = system_->simulator().Now();
   int failed_attempts = 0;
   const size_t max_attempts = std::min<size_t>(candidates.size(), 2);
@@ -491,6 +496,7 @@ sim::Task<StorageLevel> Node::AccessPage(ClassId klass, PageId page) {
 
 ClusterSystem::ClusterSystem(const SystemConfig& config)
     : config_(config),
+      simulator_(config.queue_backend),
       database_(config.db_pages, config.page_bytes, config.num_nodes),
       network_(&simulator_, config.network),
       directory_(&database_),
@@ -880,14 +886,15 @@ sim::Task<void> ClusterSystem::WorkloadSource(NodeId node, ClassId klass) {
     // node recovers.
     if (!fault_injector_.IsUp(node)) continue;
     Accumulator(klass, node).arrived++;
-    std::vector<PageId> pages(static_cast<size_t>(class_spec.accesses_per_op));
+    common::InlineVector<PageId, 8> pages(
+        static_cast<size_t>(class_spec.accesses_per_op));
     for (PageId& page : pages) page = selector.Sample(&rng);
     simulator_.Spawn(RunOperation(node, klass, std::move(pages)));
   }
 }
 
-sim::Task<void> ClusterSystem::RunOperation(NodeId node, ClassId klass,
-                                            std::vector<PageId> pages) {
+sim::Task<void> ClusterSystem::RunOperation(
+    NodeId node, ClassId klass, common::InlineVector<PageId, 8> pages) {
   const sim::SimTime start = simulator_.Now();
   const uint64_t epoch = fault_injector_.epoch(node);
   for (PageId page : pages) {

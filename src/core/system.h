@@ -7,11 +7,14 @@
 #include <memory>
 #include <optional>
 #include <set>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "cache/cost_model.h"
+#include "common/flat_hash_map.h"
+#include "common/inline_vector.h"
 #include "cache/heat.h"
 #include "cache/node_cache.h"
 #include "cache/replacement.h"
@@ -168,6 +171,12 @@ struct SystemConfig {
 
   uint64_t seed = 1;
 
+  /// Event-queue implementation for the simulator. kLegacyHeap reproduces
+  /// the pre-calendar-queue binary heap for differential testing; both
+  /// backends pop in identical (time, seq) order, so runs are bit-equal
+  /// either way.
+  sim::QueueBackend queue_backend = sim::QueueBackend::kCalendar;
+
   /// See InjectedBug; kNone outside auditor/fuzzer validation.
   InjectedBug injected_bug = InjectedBug::kNone;
 
@@ -262,7 +271,7 @@ class Node {
 
   /// Drops pages from the directory and emits hint traffic; used by the
   /// system when allocations shrink pools.
-  void HandleDrops(const std::vector<PageId>& dropped);
+  void HandleDrops(std::span<const PageId> dropped);
 
   /// Total LRU-K history records held across the accumulated and per-class
   /// heat trackers (bounded-memory regression tests).
@@ -298,7 +307,8 @@ class Node {
     /// Event the requester currently waits on; attempts fire it on
     /// delivery. Null once the requester stopped waiting.
     sim::Event* wake = nullptr;
-    std::vector<std::unique_ptr<sim::Event>> phase_events;
+    /// At most one event per hedging phase (max_attempts <= 2), inline.
+    common::InlineVector<std::unique_ptr<sim::Event>, 2> phase_events;
   };
 
   /// One fetch attempt against `target`'s cached copy: control message(s),
@@ -328,7 +338,11 @@ class Node {
   sim::Task<void> UseCpu(double instructions);
   sim::Task<void> DeliverHeatReport(NodeId home, PageId page, double heat);
   void RecordAccessHeat(ClassId klass, PageId page);
-  /// Threshold-based heat dissemination to the page's home (§6).
+  /// Threshold-based heat dissemination to the page's home (§6). Runs on
+  /// every access: deferring the check to interval boundaries measurably
+  /// changes replacement dynamics (the home's global heat lags a full
+  /// interval), so only the heat *arithmetic* is batched (see HeatTracker),
+  /// never the propagation decision.
   void MaybePropagateHeat(PageId page);
   void AfterInsert(PageId page);
   double BenefitOf(ClassId pool_class, PageId page) const;
@@ -340,7 +354,7 @@ class Node {
   storage::Disk disk_;
   cache::HeatTracker accumulated_heat_;
   std::map<ClassId, cache::HeatTracker> class_heat_;
-  std::unordered_map<PageId, double> reported_heat_;
+  common::FlatHashMap<PageId, double> reported_heat_;
   // Heat reports lost to a partition cut, owed to their homes at heal time.
   std::set<PageId> unsynced_hints_;
   std::unique_ptr<cache::NodeCache> cache_;
@@ -554,7 +568,7 @@ class ClusterSystem {
  private:
   sim::Task<void> WorkloadSource(NodeId node, ClassId klass);
   sim::Task<void> RunOperation(NodeId node, ClassId klass,
-                               std::vector<PageId> pages);
+                               common::InlineVector<PageId, 8> pages);
   sim::Task<void> IntervalLoop();
 
   /// Mirrors system-level counters/gauges into the registry and takes the

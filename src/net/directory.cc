@@ -71,15 +71,23 @@ bool PageDirectory::IsLastCopy(NodeId node, PageId page) const {
 
 std::optional<NodeId> PageDirectory::FindCopy(PageId page,
                                               NodeId except) const {
-  const std::vector<NodeId> ranked = RankedCopies(page, except);
+  CopyList ranked;
+  RankedCopies(page, except, &ranked);
   if (ranked.empty()) return std::nullopt;
   return ranked.front();
 }
 
 std::vector<NodeId> PageDirectory::RankedCopies(PageId page,
                                                 NodeId except) const {
-  std::vector<NodeId> copies;
-  if (copy_count_[page] == 0) return copies;
+  CopyList ranked;
+  RankedCopies(page, except, &ranked);
+  return std::vector<NodeId>(ranked.begin(), ranked.end());
+}
+
+void PageDirectory::RankedCopies(PageId page, NodeId except,
+                                 CopyList* out) const {
+  out->clear();
+  if (copy_count_[page] == 0) return;
   // Classic scan order first: home, then deterministically from the home.
   const NodeId home = database_->HomeOf(page);
   for (uint32_t offset = 0; offset < num_nodes_; ++offset) {
@@ -89,16 +97,24 @@ std::vector<NodeId> PageDirectory::RankedCopies(PageId page,
     if (partition_active_ && reachable_ && !reachable_(except, node)) {
       continue;
     }
-    copies.push_back(node);
+    out->push_back(node);
   }
   // Stable sort by health cost: equal costs (the healthy steady state)
   // preserve the scan order exactly, so ranking only reorders when the
-  // fetch layer has actually observed asymmetric latencies.
-  std::stable_sort(copies.begin(), copies.end(),
-                   [this](NodeId a, NodeId b) {
-                     return node_cost_[a] < node_cost_[b];
-                   });
-  return copies;
+  // fetch layer has actually observed asymmetric latencies. Insertion sort
+  // keeps stability without std::stable_sort's temporary buffer; the list
+  // is at most the replication degree long.
+  for (NodeId* it = out->begin() + (out->empty() ? 0 : 1); it < out->end();
+       ++it) {
+    const NodeId node = *it;
+    const double cost = node_cost_[node];
+    NodeId* hole = it;
+    while (hole != out->begin() && cost < node_cost_[*(hole - 1)]) {
+      *hole = *(hole - 1);
+      --hole;
+    }
+    *hole = node;
+  }
 }
 
 void PageDirectory::SetNodeCost(NodeId node, double cost) {

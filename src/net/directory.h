@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/inline_vector.h"
 #include "storage/database.h"
 #include "storage/types.h"
 
@@ -54,12 +55,20 @@ class PageDirectory {
   /// the historic home-first scan.
   std::optional<NodeId> FindCopy(PageId page, NodeId except) const;
 
+  /// Copy-holder list sized for the common replication degree; spills to
+  /// the heap only on unusually wide replication.
+  using CopyList = common::InlineVector<NodeId, 8>;
+
   /// All nodes other than `except` that cache `page`, best first, same
   /// ranking as FindCopy. The fetch path hedges down this list. While a
   /// partition is active (see SetReachability), holders unreachable *from*
   /// `except` — the requester in every call site — are excluded: the
   /// requester could not complete a fetch protocol with them anyway.
   std::vector<NodeId> RankedCopies(PageId page, NodeId except) const;
+
+  /// Allocation-free variant for the per-access fetch path: appends the
+  /// ranked holders to `out` (cleared first).
+  void RankedCopies(PageId page, NodeId except, CopyList* out) const;
 
   // -- Partition awareness -------------------------------------------------
 

@@ -2,11 +2,10 @@
 #define MEMGOAL_OBS_PROFILER_H_
 
 #include <array>
-#include <chrono>
 #include <cstdint>
 #include <cstdio>
-#include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace memgoal::obs {
@@ -133,20 +132,24 @@ class Profiler {
   /// its ancestor's path so the encoding never overflows.
   static constexpr int kMaxEncodedDepth = 12;
 
-  static uint64_t NowNs() {
-    return static_cast<uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(
-            std::chrono::steady_clock::now().time_since_epoch())
-            .count());
-  }
+  /// Wall clock in nanoseconds. On x86 this reads the TSC and scales by a
+  /// once-per-process calibration against steady_clock — a fraction of a
+  /// clock_gettime call, which matters at two reads per scope.
+  static uint64_t NowNs();
 
   void Push(Phase phase);
   void Pop();
 
   bool enabled_ = false;
   std::array<PhaseStats, kNumPhases> phases_{};
-  // std::map: deterministic (sorted) iteration for export and merge.
-  std::map<uint64_t, PathStats> paths_;
+  // Hash map on the hot Pop path; exports sort by encoded path so output
+  // stays deterministic, and merged sums are exact-integer commutative.
+  std::unordered_map<uint64_t, PathStats> paths_;
+  // One-entry memo: event loops pop the same stack path back to back, so
+  // most Pops skip the hash lookup. unordered_map nodes are
+  // pointer-stable, so the cached pointer survives rehash and move.
+  uint64_t memo_key_ = 0;
+  PathStats* memo_ = nullptr;
   std::vector<Frame> stack_;
   uint64_t current_path_ = 0;
 };

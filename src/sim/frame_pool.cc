@@ -1,0 +1,92 @@
+#include "sim/frame_pool.h"
+
+#include <new>
+
+#if defined(__SANITIZE_ADDRESS__)
+#define MEMGOAL_FRAME_POOL_PASSTHROUGH 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define MEMGOAL_FRAME_POOL_PASSTHROUGH 1
+#endif
+#endif
+
+namespace memgoal::sim {
+
+namespace {
+
+// Header preceding every block handed out. 16 bytes keeps the payload at
+// the default operator-new alignment (coroutine frames never require more
+// unless they contain over-aligned types, which none of ours do).
+struct alignas(16) BlockHeader {
+  // Total allocation size including this header; 0 marks an oversized
+  // one-off block that bypasses the free lists.
+  size_t total_bytes;
+};
+static_assert(sizeof(BlockHeader) == 16);
+static_assert(alignof(std::max_align_t) <= 16);
+
+constexpr size_t kBuckets =
+    FramePool::kMaxPooledBytes / FramePool::kBucketBytes + 1;
+
+struct ThreadCache {
+  // free_[i] holds blocks whose total size is (i + 1) * kBucketBytes,
+  // chained through the word after the header.
+  void* free_[kBuckets] = {};
+  FramePool::Stats stats;
+
+  ~ThreadCache() {
+    for (size_t i = 0; i < kBuckets; ++i) {
+      void* block = free_[i];
+      while (block != nullptr) {
+        void* next = *static_cast<void**>(block);
+        ::operator delete(static_cast<BlockHeader*>(block) - 1);
+        block = next;
+      }
+    }
+  }
+};
+
+thread_local ThreadCache g_cache;
+
+}  // namespace
+
+void* FramePool::Allocate(size_t size) {
+  const size_t total = size + sizeof(BlockHeader);
+  if (total > kMaxPooledBytes) {
+    ++g_cache.stats.oversized;
+    auto* header = static_cast<BlockHeader*>(::operator new(total));
+    header->total_bytes = 0;
+    return header + 1;
+  }
+  const size_t bucket = (total - 1) / kBucketBytes;
+#ifndef MEMGOAL_FRAME_POOL_PASSTHROUGH
+  void* payload = g_cache.free_[bucket];
+  if (payload != nullptr) {
+    g_cache.free_[bucket] = *static_cast<void**>(payload);
+    ++g_cache.stats.reused;
+    return payload;
+  }
+#endif
+  ++g_cache.stats.fresh;
+  const size_t rounded = (bucket + 1) * kBucketBytes;
+  auto* header = static_cast<BlockHeader*>(::operator new(rounded));
+  header->total_bytes = rounded;
+  return header + 1;
+}
+
+void FramePool::Free(void* ptr) noexcept {
+  BlockHeader* header = static_cast<BlockHeader*>(ptr) - 1;
+#ifndef MEMGOAL_FRAME_POOL_PASSTHROUGH
+  if (header->total_bytes != 0) {
+    const size_t bucket = (header->total_bytes - 1) / kBucketBytes;
+    *static_cast<void**>(ptr) = g_cache.free_[bucket];
+    g_cache.free_[bucket] = ptr;
+    return;
+  }
+#endif
+  ::operator delete(header);
+}
+
+FramePool::Stats FramePool::stats() { return g_cache.stats; }
+
+}  // namespace memgoal::sim

@@ -3,9 +3,9 @@
 
 #include <coroutine>
 #include <cstdint>
-#include <deque>
 #include <string>
 
+#include "common/ring_buffer.h"
 #include "common/stats.h"
 #include "sim/simulator.h"
 #include "sim/task.h"
@@ -119,14 +119,14 @@ class Resource {
   std::string name_;
   int in_use_ = 0;
   double slowdown_ = 1.0;
-  std::deque<Waiter> waiters_;
+  common::RingBuffer<Waiter> waiters_;
 
   uint64_t total_acquisitions_ = 0;
   common::RunningStats wait_stats_;
   common::TimeWeightedMean busy_units_;
   common::Histogram wait_hist_;
   common::Histogram busy_hist_;
-  std::deque<SimTime> hold_starts_;  // FIFO acquisition timestamps
+  common::RingBuffer<SimTime> hold_starts_;  // FIFO acquisition timestamps
 };
 
 }  // namespace memgoal::sim

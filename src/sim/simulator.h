@@ -3,50 +3,67 @@
 
 #include <coroutine>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
-#include <vector>
+#include <memory>
+#include <utility>
 
 #include "common/check.h"
+#include "sim/event_queue.h"
 #include "sim/task.h"
 
 namespace memgoal::sim {
 
-/// Simulated time, in milliseconds. All model constants in the repository
-/// (disk service times, network transfer times, observation intervals) are
-/// expressed in this unit, matching the paper's reporting unit.
-using SimTime = double;
-
-/// Single-threaded discrete-event simulator with a stable event queue.
+/// Single-threaded discrete-event simulator over a calendar-queue event
+/// core (see sim/event_queue.h; the pre-refactor binary heap stays
+/// available as QueueBackend::kLegacyHeap for differential testing).
 ///
 /// Two styles of client coexist:
 ///  - callback events via Schedule()/At(), and
 ///  - coroutine processes (Task<void>) started with Spawn() that co_await
 ///    Delay(...) and Resource acquisitions.
 ///
-/// Events scheduled for the same timestamp fire in scheduling order (FIFO),
-/// which together with single-threaded execution and explicit seeding makes
-/// every simulation bit-for-bit reproducible.
+/// Events scheduled for the same timestamp fire in scheduling order (FIFO):
+/// every event carries a monotonically assigned sequence number and the
+/// queue pops in strict (time, seq) order, which together with
+/// single-threaded execution and explicit seeding makes every simulation
+/// bit-for-bit reproducible — on either queue backend, in identical order.
+///
+/// Event records and their callables live in a slab arena (EventArena);
+/// scheduling a callable that fits EventNode::kInlineBytes — including
+/// every coroutine resume, which stores just the frame address — performs
+/// no heap allocation.
 class Simulator {
  public:
-  Simulator() = default;
+  explicit Simulator(QueueBackend backend = QueueBackend::kCalendar);
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
   /// Destroys any spawned process still suspended (e.g. infinite workload
   /// loops waiting on a Delay); their coroutine frames — and, transitively,
   /// the frames of tasks they are awaiting — are freed without resuming.
+  /// Pending events are then disposed without running: their callables are
+  /// destroyed and their arena nodes reclaimed.
   ~Simulator();
 
   /// Current simulated time.
   SimTime Now() const { return now_; }
 
+  QueueBackend queue_backend() const { return backend_; }
+
   /// Schedules `fn` to run `delay` milliseconds from now (delay >= 0).
-  void Schedule(SimTime delay, std::function<void()> fn);
+  /// Accepts any void() callable; it is moved/copied straight into the
+  /// event node, bypassing std::function.
+  template <typename Fn>
+  void Schedule(SimTime delay, Fn&& fn) {
+    MEMGOAL_CHECK(delay >= 0.0);
+    ScheduleAt(now_ + delay, std::forward<Fn>(fn));
+  }
 
   /// Schedules `fn` at absolute time `when` (>= Now()).
-  void At(SimTime when, std::function<void()> fn);
+  template <typename Fn>
+  void At(SimTime when, Fn&& fn) {
+    MEMGOAL_CHECK(when >= now_);
+    ScheduleAt(when, std::forward<Fn>(fn));
+  }
 
   /// Starts a fire-and-forget coroutine process. The process runs
   /// immediately until its first suspension point; its frame frees itself on
@@ -60,7 +77,13 @@ class Simulator {
     promise.detached = true;
     promise.on_detached_done = &Simulator::OnRootDone;
     promise.detached_done_context = this;
-    live_roots_.insert(handle.address());
+    // Link into the intrusive live-root list: O(1), no allocation, and
+    // teardown can still find every root that has not completed.
+    promise.frame_address = handle.address();
+    promise.root_prev = nullptr;
+    promise.root_next = live_roots_;
+    if (live_roots_ != nullptr) live_roots_->root_prev = &promise;
+    live_roots_ = &promise;
     handle.resume();
   }
 
@@ -81,7 +104,8 @@ class Simulator {
   }
 
   /// Schedules `handle` to be resumed after `delay`. Building block for
-  /// custom awaitables (resources, signals).
+  /// custom awaitables (resources, signals). Fast path: the event node
+  /// stores the raw frame address and a static resume thunk — no closure.
   void ScheduleResume(SimTime delay, std::coroutine_handle<> handle);
 
   /// Runs until the event queue is empty. Returns the number of events
@@ -97,29 +121,37 @@ class Simulator {
   bool Step();
 
   uint64_t events_processed() const { return events_processed_; }
-  size_t pending_events() const { return queue_.size(); }
+  size_t pending_events() const { return queue_->size(); }
+
+  /// Slab-allocation statistics, exposed for the arena lifetime tests.
+  const EventArena& arena() const { return arena_; }
 
  private:
-  struct Event {
-    SimTime time;
-    uint64_t seq;
-    std::function<void()> fn;
-  };
-  struct EventLater {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
+  template <typename Fn>
+  void ScheduleAt(SimTime when, Fn&& fn) {
+    EventNode* node = arena_.Allocate();
+    node->time = when;
+    node->seq = next_seq_++;
+    node->Emplace(std::forward<Fn>(fn));
+    queue_->Insert(node);
+  }
 
-  static void OnRootDone(void* context, void* frame_address);
+  /// Pops and dispatches the earliest event without opening a profile
+  /// scope; Run/RunUntil/Step wrap it (sim.step is accounted per run loop,
+  /// not per event, so profiling overhead stays off the dispatch path).
+  bool StepOne();
 
+  static void OnRootDone(void* context, internal::PromiseBase* promise);
+
+  QueueBackend backend_;
   SimTime now_ = 0.0;
   uint64_t next_seq_ = 0;
   uint64_t events_processed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
-  // Frame addresses of spawned processes that have not completed.
-  std::unordered_set<void*> live_roots_;
+  EventArena arena_;
+  std::unique_ptr<EventQueue> queue_;
+  // Head of the intrusive doubly-linked list of detached root promises
+  // still in flight (see Spawn).
+  internal::PromiseBase* live_roots_ = nullptr;
 };
 
 }  // namespace memgoal::sim

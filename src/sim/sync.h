@@ -2,9 +2,11 @@
 #define MEMGOAL_SIM_SYNC_H_
 
 #include <coroutine>
-#include <vector>
+#include <cstddef>
 
 #include "common/check.h"
+#include "common/inline_vector.h"
+#include "sim/frame_pool.h"
 #include "sim/simulator.h"
 
 namespace memgoal::sim {
@@ -13,11 +15,23 @@ namespace memgoal::sim {
 /// process calls Set(), which wakes all of them (through the event queue,
 /// preserving FIFO determinism). Waiting on an already-set event completes
 /// immediately. Events are not resettable.
+///
+/// Waiters live inline (the fetch path's hedged events have at most one)
+/// and heap-allocated Events draw from the frame pool, since the fetch path
+/// creates one short-lived Event per remote-fetch phase.
 class Event {
  public:
   explicit Event(Simulator* simulator) : simulator_(simulator) {}
   Event(const Event&) = delete;
   Event& operator=(const Event&) = delete;
+
+  static void* operator new(std::size_t size) {
+    return FramePool::Allocate(size);
+  }
+  static void operator delete(void* ptr) noexcept { FramePool::Free(ptr); }
+  static void operator delete(void* ptr, std::size_t) noexcept {
+    FramePool::Free(ptr);
+  }
 
   bool is_set() const { return set_; }
 
@@ -49,7 +63,7 @@ class Event {
  private:
   Simulator* simulator_;
   bool set_ = false;
-  std::vector<std::coroutine_handle<>> waiters_;
+  common::InlineVector<std::coroutine_handle<>, 2> waiters_;
 };
 
 /// Fork/join counter: Add() before spawning child processes, Done() when
@@ -95,7 +109,7 @@ class WaitGroup {
  private:
   Simulator* simulator_;
   int count_ = 0;
-  std::vector<std::coroutine_handle<>> waiters_;
+  common::InlineVector<std::coroutine_handle<>, 2> waiters_;
 };
 
 }  // namespace memgoal::sim

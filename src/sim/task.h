@@ -2,10 +2,12 @@
 #define MEMGOAL_SIM_TASK_H_
 
 #include <coroutine>
+#include <cstddef>
 #include <exception>
 #include <utility>
 
 #include "common/check.h"
+#include "sim/frame_pool.h"
 
 namespace memgoal::sim {
 
@@ -22,14 +24,33 @@ namespace internal {
 /// parent; a detached task frees its own frame.
 struct PromiseBase {
   /// Invoked just before a detached task frees its own frame, so the owner
-  /// (Simulator) can unregister the root. `frame_address` is the coroutine
-  /// frame address.
-  using DetachedDoneCallback = void (*)(void* context, void* frame_address);
+  /// (Simulator) can unregister the root.
+  using DetachedDoneCallback = void (*)(void* context, PromiseBase* promise);
 
   std::coroutine_handle<> continuation;
   bool detached = false;
   DetachedDoneCallback on_detached_done = nullptr;
   void* detached_done_context = nullptr;
+
+  // Intrusive membership in the owning simulator's live-root list (detached
+  // tasks only): the simulator links the promise on Spawn, unlinks it in
+  // the detached-done callback, and walks the list at teardown to destroy
+  // roots that never completed. frame_address is the coroutine frame, the
+  // thing teardown actually destroys.
+  void* frame_address = nullptr;
+  PromiseBase* root_prev = nullptr;
+  PromiseBase* root_next = nullptr;
+
+  // Coroutine frames come from the thread-local recycling pool: simulation
+  // runs start and finish millions of short-lived tasks, and the pool makes
+  // steady-state frame churn allocation-free.
+  static void* operator new(std::size_t size) {
+    return FramePool::Allocate(size);
+  }
+  static void operator delete(void* ptr) noexcept { FramePool::Free(ptr); }
+  static void operator delete(void* ptr, std::size_t) noexcept {
+    FramePool::Free(ptr);
+  }
 
   struct FinalAwaiter {
     bool await_ready() const noexcept { return false; }
@@ -42,8 +63,7 @@ struct PromiseBase {
         // Fire-and-forget process: nobody will co_await the result, so the
         // frame is freed here. `handle` must not be touched afterwards.
         if (promise.on_detached_done != nullptr) {
-          promise.on_detached_done(promise.detached_done_context,
-                                   handle.address());
+          promise.on_detached_done(promise.detached_done_context, &promise);
         }
         handle.destroy();
         return std::noop_coroutine();

@@ -19,12 +19,28 @@ ZipfianGenerator::ZipfianGenerator(uint32_t n, double theta) : theta_(theta) {
   const double total = cumulative;
   for (double& v : cdf_) v /= total;
   cdf_.back() = 1.0;  // guard against rounding
+
+  // Two guide slots per rank keeps the expected scan below one step even
+  // for the flat (theta = 0) distribution.
+  guide_.resize(std::max<size_t>(2 * static_cast<size_t>(n), 2));
+  uint32_t rank = 0;
+  for (size_t i = 0; i < guide_.size(); ++i) {
+    const double u = static_cast<double>(i) / static_cast<double>(guide_.size());
+    while (cdf_[rank] < u) ++rank;
+    guide_[i] = rank;
+  }
 }
 
 uint32_t ZipfianGenerator::Sample(common::Rng* rng) const {
   const double u = rng->NextDouble();
-  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
-  return static_cast<uint32_t>(it - cdf_.begin());
+  size_t slice = static_cast<size_t>(u * static_cast<double>(guide_.size()));
+  if (slice >= guide_.size()) slice = guide_.size() - 1;
+  // First rank with cdf_[rank] >= u, exactly what lower_bound returns:
+  // the guide start satisfies cdf_[r] < slice/G <= u for all r before it,
+  // and cdf_.back() == 1.0 bounds the scan.
+  uint32_t rank = guide_[slice];
+  while (cdf_[rank] < u) ++rank;
+  return rank;
 }
 
 double ZipfianGenerator::ProbabilityOfRank(uint32_t rank) const {

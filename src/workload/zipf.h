@@ -30,6 +30,11 @@ class ZipfianGenerator {
  private:
   double theta_;
   std::vector<double> cdf_;  // cdf_[r] = P(rank <= r)
+  // Guide table (Chen & Asau): guide_[i] is the first rank whose cdf
+  // reaches i / guide_.size(), so a sample starts its scan there instead
+  // of binary-searching the whole cdf. Results are bit-identical to
+  // lower_bound — the guide only skips prefixes the search would reject.
+  std::vector<uint32_t> guide_;
 };
 
 }  // namespace memgoal::workload

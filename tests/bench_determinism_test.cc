@@ -4,12 +4,23 @@
 // runner threads execute its trials. These tests pin the contract stated in
 // bench/trial_runner.h; a failure here means some shared mutable state or
 // order-dependent seeding crept back into the trial path.
+//
+// The QueueBackendDifferential suite extends the same idea across event-core
+// implementations: every scenario file under tools/scenarios/ and a set of
+// chaos-fuzz schedules replayed through the calendar queue and the legacy
+// binary heap must produce byte-identical metrics CSV and controller
+// decision logs. The two backends share nothing but the (time, seq)
+// ordering contract, so agreement here pins the whole simulation — clock
+// advancement, RNG draw order, controller decisions — to that contract.
 
 #include <bit>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <memory>
+#include <optional>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -18,9 +29,14 @@
 
 #include "bench/experiment.h"
 #include "bench/trial_runner.h"
+#include "common/config.h"
 #include "common/rng.h"
 #include "core/metrics.h"
+#include "core/scenario.h"
 #include "core/system.h"
+#include "obs/decision_log.h"
+#include "sim/chaos_schedule.h"
+#include "sim/invariant_auditor.h"
 
 namespace memgoal::bench {
 namespace {
@@ -174,6 +190,158 @@ TEST(DeterminismTest, MeasureConvergenceDefaultsToInlineRunner) {
   EXPECT_EQ(inline_result.runs_used, runner_result.runs_used);
   EXPECT_EQ(Bits(inline_result.goal_lo), Bits(runner_result.goal_lo));
   EXPECT_EQ(Bits(inline_result.goal_hi), Bits(runner_result.goal_hi));
+}
+
+// ---------------------------------------------------------------------------
+// Calendar-queue vs legacy-heap differential replay.
+
+// One full scenario run on the given backend, reduced to its observable
+// outputs: the interval metrics CSV and the controller decision log (every
+// coordinator check, serialized). `text` is scenario key=value text; later
+// lines override earlier ones, so callers append test-sized overrides.
+struct BackendRun {
+  std::string metrics_csv;
+  std::string decision_jsonl;
+  uint64_t events = 0;
+};
+
+std::optional<BackendRun> RunScenarioText(const std::string& text,
+                                          sim::QueueBackend backend) {
+  common::Config config;
+  if (!config.ParseText(text)) {
+    ADD_FAILURE() << "bad scenario text: " << config.error();
+    return std::nullopt;
+  }
+  std::string error;
+  std::optional<core::Scenario> scenario = core::LoadScenario(config, &error);
+  if (!scenario.has_value()) {
+    ADD_FAILURE() << "LoadScenario: " << error;
+    return std::nullopt;
+  }
+  scenario->system.queue_backend = backend;
+  core::ClusterSystem system(scenario->system);
+  for (const workload::ClassSpec& spec : scenario->classes) {
+    system.AddClass(spec);
+  }
+  obs::DecisionLog decision_log;
+  system.SetDecisionLog(&decision_log);
+  sim::InvariantAuditor auditor;
+  if (scenario->audit) system.EnableAuditor(&auditor);
+  system.Start();
+  system.RunIntervals(scenario->intervals);
+  EXPECT_TRUE(!scenario->audit || auditor.ok());
+
+  BackendRun run;
+  run.metrics_csv = CsvOf(system.metrics());
+  char* buf = nullptr;
+  size_t size = 0;
+  std::FILE* stream = open_memstream(&buf, &size);
+  decision_log.WriteJsonl(stream);
+  std::fclose(stream);
+  run.decision_jsonl.assign(buf, size);
+  std::free(buf);
+  run.events = system.simulator().events_processed();
+  return run;
+}
+
+// Runs `text` on both backends and asserts byte-identical outputs.
+void ExpectBackendsAgree(const std::string& text, const std::string& what) {
+  const std::optional<BackendRun> calendar =
+      RunScenarioText(text, sim::QueueBackend::kCalendar);
+  const std::optional<BackendRun> heap =
+      RunScenarioText(text, sim::QueueBackend::kLegacyHeap);
+  ASSERT_TRUE(calendar.has_value() && heap.has_value()) << what;
+  EXPECT_GT(calendar->events, 0u) << what;
+  EXPECT_EQ(calendar->events, heap->events) << what;
+  EXPECT_EQ(calendar->metrics_csv, heap->metrics_csv) << what;
+  EXPECT_FALSE(calendar->decision_jsonl.empty()) << what;
+  EXPECT_EQ(calendar->decision_jsonl, heap->decision_jsonl) << what;
+}
+
+TEST(QueueBackendDifferential, ScenarioFilesReplayIdentically) {
+  // Every checked-in scenario file, cut down to a test-sized horizon. The
+  // files cover the interesting configuration space: multiclass goals,
+  // stochastic crash faults, gray degradation, burst loss, partitions.
+  const std::vector<std::string> scenarios = {
+      "base.conf", "faults.conf", "gray.conf", "oltp_dss.conf",
+      "partition.conf"};
+  for (const std::string& name : scenarios) {
+    const std::string path = std::string(MEMGOAL_SCENARIO_DIR "/") + name;
+    std::ifstream file(path);
+    ASSERT_TRUE(file.is_open()) << path;
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    ExpectBackendsAgree(buffer.str() + "\nintervals=6\n", name);
+  }
+}
+
+TEST(QueueBackendDifferential, ChaosSchedulesReplayIdentically) {
+  // Chaos-fuzz repro configuration: a generated fault schedule (crashes x
+  // gray episodes x partitions) overlaid on a small multiclass cluster,
+  // exactly what tools/chaos_fuzz replays from a repro file's seed. Three
+  // seeds; each must agree across backends through every fault event.
+  for (const uint64_t chaos_seed : {11ull, 4242ull, 987654321ull}) {
+    std::ostringstream text;
+    text << "nodes=4\ndb_pages=800\ncache_bytes=262144\n"
+            "interval_ms=2000\nintervals=8\nseed=5\n"
+            "classes=2\nclass1_goal_ms=60\n"
+            "class0_interarrival_ms=40\nclass1_interarrival_ms=40\n"
+            "chaos_seed=" << chaos_seed << "\n";
+    ExpectBackendsAgree(text.str(),
+                        "chaos_seed=" + std::to_string(chaos_seed));
+  }
+}
+
+TEST(QueueBackendDifferential, ReproFileRoundTripReplaysIdentically) {
+  // The chaos_fuzz repro-file path, end to end: a generated schedule is
+  // serialized with ToText (the repro file format), parsed back with
+  // FromText, applied to the fault params, and the resulting run must
+  // agree across backends. Distinct from ChaosSchedulesReplayIdentically
+  // in that the schedule passes through its on-disk representation.
+  sim::chaos::GenerateLimits limits;
+  limits.num_nodes = 4;
+  limits.horizon_ms = 8 * 2000.0;
+  const sim::chaos::Schedule generated = sim::chaos::Generate(777u, limits);
+  sim::chaos::Schedule replayed;
+  ASSERT_TRUE(sim::chaos::FromText(sim::chaos::ToText(generated), &replayed));
+
+  auto run = [&](sim::QueueBackend backend) {
+    common::Config config;
+    EXPECT_TRUE(config.ParseText(
+        "nodes=4\ndb_pages=800\ncache_bytes=262144\n"
+        "interval_ms=2000\nintervals=8\nseed=5\n"
+        "classes=2\nclass1_goal_ms=60\n"));
+    std::string error;
+    std::optional<core::Scenario> scenario =
+        core::LoadScenario(config, &error);
+    EXPECT_TRUE(scenario.has_value()) << error;
+    sim::chaos::ApplyToFaultParams(replayed, &scenario->system.faults);
+    scenario->system.queue_backend = backend;
+    core::ClusterSystem system(scenario->system);
+    for (const workload::ClassSpec& spec : scenario->classes) {
+      system.AddClass(spec);
+    }
+    system.Start();
+    system.RunIntervals(scenario->intervals);
+    return CsvOf(system.metrics());
+  };
+  const std::string calendar = run(sim::QueueBackend::kCalendar);
+  EXPECT_FALSE(calendar.empty());
+  EXPECT_EQ(calendar, run(sim::QueueBackend::kLegacyHeap));
+}
+
+TEST(QueueBackendDifferential, LossyNetworkAndAuditReplayIdentically) {
+  // Burst-loss retransmission timers produce the densest same-timestamp
+  // event collisions (timeout + arrival races); the invariant auditor adds
+  // interval-boundary sweeps. Both must not disturb cross-backend
+  // agreement.
+  ExpectBackendsAgree(
+      "nodes=3\ndb_pages=600\ncache_bytes=262144\n"
+      "interval_ms=2000\nintervals=6\nseed=3\n"
+      "net_loss_model=burst\nnet_burst_g2b=0.01\nnet_burst_b2g=0.3\n"
+      "net_loss=0.02\naudit=1\n"
+      "classes=2\nclass1_goal_ms=80\n",
+      "burst-loss+audit");
 }
 
 }  // namespace

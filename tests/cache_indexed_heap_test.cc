@@ -109,5 +109,67 @@ TEST_P(IndexedHeapPropertyTest, MatchesReferenceModel) {
 INSTANTIATE_TEST_SUITE_P(Seeds, IndexedHeapPropertyTest,
                          ::testing::Range(1, 9));
 
+// Property: lazy maintenance (MarkDirty on every key drift, FlushDirty
+// before each read) selects the exact same victims as eager maintenance
+// (Update on every drift). This is the contract the cost-based policy's
+// cache.heap_maintain path relies on: deferring the sift must never change
+// which page gets evicted.
+class LazyVsEagerTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LazyVsEagerTest, VictimSequencesIdentical) {
+  common::Rng rng(0xD1337u + static_cast<uint64_t>(GetParam()));
+  IndexedMinHeap<int> eager;
+  IndexedMinHeap<int> lazy;
+  std::map<int, double> true_key;
+  const auto key_fn = [&true_key](int id) { return true_key.at(id); };
+
+  for (int step = 0; step < 4000; ++step) {
+    const int op = static_cast<int>(rng.UniformInt(0, 4));
+    const int id = static_cast<int>(rng.UniformInt(0, 80));
+    if (op == 0) {  // admit or re-key (an insert is eager in both modes)
+      const double key = rng.Uniform(0.0, 100.0);
+      true_key[id] = key;
+      eager.Update(id, key);
+      if (lazy.Contains(id)) {
+        lazy.MarkDirty(id);
+      } else {
+        lazy.Insert(id, key);
+      }
+    } else if (op == 1 && true_key.count(id)) {  // access: key drifts
+      true_key[id] += rng.Uniform(-5.0, 5.0);
+      eager.Update(id, true_key[id]);
+      lazy.MarkDirty(id);
+    } else if (op == 2 && true_key.count(id)) {  // drop
+      true_key.erase(id);
+      eager.Erase(id);
+      lazy.Erase(id);
+    } else if (op == 3 && !true_key.empty()) {  // victim selection
+      lazy.FlushDirty(key_fn);
+      ASSERT_EQ(lazy.Peek().first, eager.Peek().first) << "step " << step;
+      ASSERT_DOUBLE_EQ(lazy.Peek().second, eager.Peek().second);
+      const int victim = eager.Peek().first;
+      eager.Pop();
+      lazy.Pop();
+      true_key.erase(victim);
+    } else if (op == 4 && true_key.count(id)) {
+      // Redundant marks between flushes must coalesce, not double-apply.
+      lazy.MarkDirty(id);
+      lazy.MarkDirty(id);
+      eager.Update(id, true_key[id]);
+    }
+    ASSERT_EQ(lazy.size(), eager.size());
+  }
+  // Drain: the full remaining eviction order must agree.
+  lazy.FlushDirty(key_fn);
+  while (!eager.empty()) {
+    ASSERT_EQ(lazy.Peek().first, eager.Peek().first);
+    eager.Pop();
+    lazy.Pop();
+  }
+  EXPECT_TRUE(lazy.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LazyVsEagerTest, ::testing::Range(1, 7));
+
 }  // namespace
 }  // namespace memgoal::cache
