@@ -34,10 +34,19 @@
 //    exits nonzero if the gate fails, so the --quick run doubles as a
 //    smoke gate.
 //
+//  - Corruption mode (corrupt=1): a continuous stochastic bit-rot process
+//    (swept per-node MTTC) runs against verify-on-read, quarantine +
+//    re-fetch, replica-directed repair and the idle-bandwidth scrubber.
+//    The invariant auditor runs live in every trial; the gate requires
+//    zero audit violations, that no detectably-corrupt page was ever
+//    served, that the disk repair ledger balances at end of run, and that
+//    the detection/quarantine/repair/scrub paths were all exercised at the
+//    highest rate — so the --quick run doubles as an integrity smoke gate.
+//
 // Usage: bench_faults [key=value ...] [--quick] [--threads=N]
 //        (intervals=60 seed=1 crash_at_ms=100000 burst=0 gray=0
 //         degrade_at_ms=60000 degrade_duration_ms=50000 partition=0
-//         partition_at_ms=100000 threads=0)
+//         partition_at_ms=100000 corrupt=0 threads=0)
 
 #include <cstdio>
 #include <memory>
@@ -61,6 +70,7 @@ struct OutageRow {
   uint64_t fetch_fallbacks = 0;
   uint64_t ops_failed = 0;
   uint64_t store_resets = 0;
+  uint64_t suppressed_crashes = 0;
 };
 
 struct GrayRow {
@@ -384,6 +394,169 @@ int RunPartition(double cut_at, const Setup& base, double goal,
   return ok ? 0 : 1;
 }
 
+struct CorruptRow {
+  double satisfied = 0.0;
+  double satisfied_tail = 0.0;
+  uint64_t injected = 0;
+  uint64_t detected = 0;
+  uint64_t corrupt_served = 0;
+  uint64_t latent_served = 0;
+  uint64_t quarantine_decisions = 0;
+  uint64_t frames_quarantined = 0;
+  uint64_t repairs_replica = 0;
+  uint64_t pages_lost = 0;
+  uint64_t pages_scrubbed = 0;
+  uint64_t scrub_skipped_busy = 0;
+  uint64_t disk_detections = 0;
+  uint64_t ladders_open = 0;
+  uint64_t audit_violations = 0;
+};
+
+// The corruption scenario: a continuous stochastic bit-rot process (per-node
+// MTTC) with verify-on-read, quarantine + re-fetch, replica-directed repair
+// and the idle-bandwidth scrubber all active, swept over the corruption
+// rate. MTTC 0 is the fault-free baseline. The invariant auditor runs live
+// in every trial; the gate requires that no corrupt page was ever served,
+// that the quarantine/repair ledgers balance (auditor-checked at every
+// interval boundary), and that detection, quarantine, repair and scrub were
+// all actually exercised at the highest rate.
+int RunCorrupt(const Setup& base, double goal, int intervals,
+               TrialRunner* runner, bool quick, BenchReporter* reporter) {
+  const std::vector<double> mttcs =
+      quick ? std::vector<double>{0.0, 8000.0}
+            : std::vector<double>{0.0, 30000.0, 8000.0, 3000.0};
+
+  const std::vector<CorruptRow> rows = runner->Run(
+      static_cast<int>(mttcs.size()), [&](int trial) {
+        const double mttc = mttcs[static_cast<size_t>(trial)];
+        Setup setup = base;
+        setup.faults.mttc_ms = mttc;
+        setup.corrupt_latent_fraction = 0.1;
+        setup.scrub_interval_ms = 500.0;
+        std::unique_ptr<core::ClusterSystem> system = BuildSystem(setup);
+        sim::InvariantAuditor auditor;
+        system->EnableAuditor(&auditor);
+        system->SetGoal(1, goal);
+
+        const int tail_first = intervals - kGrayTail;
+        int satisfied = 0, counted = 0, tail_satisfied = 0;
+        system->SetIntervalCallback([&](const core::IntervalRecord& record) {
+          if (record.index < 5) return;  // cold-cache ramp
+          const auto& m = record.ForClass(1);
+          satisfied += m.satisfied ? 1 : 0;
+          ++counted;
+          if (record.index >= tail_first) tail_satisfied += m.satisfied;
+        });
+        system->Start();
+        system->RunIntervals(intervals);
+        reporter->AddEvents(system->simulator().events_processed(),
+                            system->simulator().Now());
+
+        CorruptRow row;
+        row.satisfied =
+            counted > 0 ? static_cast<double>(satisfied) / counted : 0.0;
+        row.satisfied_tail = static_cast<double>(tail_satisfied) / kGrayTail;
+        row.injected = system->fault_injector().stats().corruptions;
+        row.detected = system->corrupt_detected();
+        row.corrupt_served = system->corrupt_served();
+        row.latent_served = system->latent_served();
+        row.quarantine_decisions = system->quarantine_decisions();
+        row.frames_quarantined = system->frames_quarantined();
+        row.repairs_replica = system->repairs_replica();
+        row.pages_lost = system->pages_lost();
+        row.pages_scrubbed = system->pages_scrubbed();
+        row.scrub_skipped_busy = system->scrub_skipped_busy();
+        row.disk_detections = system->disk_detections();
+        row.ladders_open = system->repair_ladders_open();
+        row.audit_violations = auditor.violations_found();
+        return row;
+      });
+
+  std::printf(
+      "mttc_ms,satisfied,satisfied_tail,corrupt_injected,corrupt_detected,"
+      "corrupt_served,latent_served,quarantine_decisions,frames_quarantined,"
+      "repairs_replica,pages_lost,pages_scrubbed,scrub_skipped_busy,"
+      "audit_violations\n");
+  for (size_t i = 0; i < mttcs.size(); ++i) {
+    const CorruptRow& row = rows[i];
+    std::printf(
+        "%.0f,%.2f,%.2f,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,"
+        "%llu\n",
+        mttcs[i], row.satisfied, row.satisfied_tail,
+        static_cast<unsigned long long>(row.injected),
+        static_cast<unsigned long long>(row.detected),
+        static_cast<unsigned long long>(row.corrupt_served),
+        static_cast<unsigned long long>(row.latent_served),
+        static_cast<unsigned long long>(row.quarantine_decisions),
+        static_cast<unsigned long long>(row.frames_quarantined),
+        static_cast<unsigned long long>(row.repairs_replica),
+        static_cast<unsigned long long>(row.pages_lost),
+        static_cast<unsigned long long>(row.pages_scrubbed),
+        static_cast<unsigned long long>(row.scrub_skipped_busy),
+        static_cast<unsigned long long>(row.audit_violations));
+  }
+
+  bool ok = true;
+  uint64_t total_violations = 0, total_corrupt_served = 0;
+  for (const CorruptRow& row : rows) {
+    total_violations += row.audit_violations;
+    total_corrupt_served += row.corrupt_served;
+  }
+  if (total_violations > 0) {
+    std::printf("# FAIL: %llu invariant violations across trials\n",
+                static_cast<unsigned long long>(total_violations));
+    ok = false;
+  }
+  if (total_corrupt_served > 0) {
+    std::printf("# FAIL: %llu detectably-corrupt pages served\n",
+                static_cast<unsigned long long>(total_corrupt_served));
+    ok = false;
+  }
+  const CorruptRow& worst = rows.back();
+  if (worst.detected == 0 || worst.quarantine_decisions == 0 ||
+      worst.repairs_replica + worst.pages_lost == 0 ||
+      worst.pages_scrubbed == 0) {
+    std::printf("# FAIL: corruption paths not exercised (detected=%llu, "
+                "quarantined=%llu, repairs+lost=%llu, scrubbed=%llu)\n",
+                static_cast<unsigned long long>(worst.detected),
+                static_cast<unsigned long long>(worst.quarantine_decisions),
+                static_cast<unsigned long long>(worst.repairs_replica +
+                                                worst.pages_lost),
+                static_cast<unsigned long long>(worst.pages_scrubbed));
+    ok = false;
+  }
+  // End-of-run ledger: every disk detection was resolved by a replica
+  // repair or a declared loss (no ladder still open once the run drained,
+  // and no silent leak).
+  if (worst.disk_detections !=
+      worst.repairs_replica + worst.pages_lost + worst.ladders_open) {
+    std::printf("# FAIL: disk repair ledger leaks (detections=%llu, "
+                "repairs=%llu, lost=%llu, open=%llu)\n",
+                static_cast<unsigned long long>(worst.disk_detections),
+                static_cast<unsigned long long>(worst.repairs_replica),
+                static_cast<unsigned long long>(worst.pages_lost),
+                static_cast<unsigned long long>(worst.ladders_open));
+    ok = false;
+  }
+  if (worst.satisfied_tail < 0.4) {
+    std::printf("# FAIL: goal class lost its goal under corruption "
+                "(satisfied_tail=%.2f)\n",
+                worst.satisfied_tail);
+    ok = false;
+  }
+  std::fflush(stdout);
+  reporter->AddMetric("corrupt_satisfied_tail", worst.satisfied_tail);
+  reporter->AddMetric("corrupt_served",
+                      static_cast<double>(total_corrupt_served));
+  reporter->AddMetric("corrupt_audit_violations",
+                      static_cast<double>(total_violations));
+  reporter->AddMetric("corrupt_repairs_replica",
+                      static_cast<double>(worst.repairs_replica));
+  reporter->AddMetric("corrupt_pages_lost",
+                      static_cast<double>(worst.pages_lost));
+  return ok ? 0 : 1;
+}
+
 int Run(int argc, char** argv) {
   common::Config args;
   if (!args.ParseArgs(argc, argv)) {
@@ -393,6 +566,7 @@ int Run(int argc, char** argv) {
   const bool quick = args.GetBool("quick", false);
   const bool gray = args.GetInt("gray", 0) != 0;
   const bool partition = args.GetInt("partition", 0) != 0;
+  const bool corrupt = args.GetInt("corrupt", 0) != 0;
   // The quick gray run needs room after the episode for the victim's
   // backlog to drain before the settled tail is sampled.
   const int intervals = static_cast<int>(
@@ -420,6 +594,7 @@ int Run(int argc, char** argv) {
   reporter.AddSetup("intervals", intervals);
   reporter.AddSetup("gray", gray ? 1.0 : 0.0);
   reporter.AddSetup("partition", partition ? 1.0 : 0.0);
+  reporter.AddSetup("corrupt", corrupt ? 1.0 : 0.0);
 
   Setup base;
   base.seed = seed;
@@ -438,6 +613,12 @@ int Run(int argc, char** argv) {
   if (partition) {
     const int rc = RunPartition(partition_at, base, goal, intervals, &runner,
                                 quick, &reporter);
+    reporter.Finish();
+    return rc;
+  }
+  if (corrupt) {
+    const int rc =
+        RunCorrupt(base, goal, intervals, &runner, quick, &reporter);
     reporter.Finish();
     return rc;
   }
@@ -514,25 +695,32 @@ int Run(int argc, char** argv) {
             system->counters(kNoGoalClass).fetch_fallbacks;
         row.ops_failed = ops_failed;
         row.store_resets = controller.stats().store_resets;
+        row.suppressed_crashes = system->fault_injector().stats().suppressed;
         return row;
       });
 
   std::printf(
       "outage_ms,satisfied_pre,satisfied_outage,satisfied_post,"
-      "reconverge_intervals,fetch_fallbacks,ops_failed,store_resets\n");
+      "reconverge_intervals,fetch_fallbacks,ops_failed,store_resets,"
+      "suppressed_crashes\n");
+  uint64_t total_suppressed = 0;
   for (size_t i = 0; i < outages.size(); ++i) {
     const OutageRow& row = rows[i];
-    std::printf("%.0f,%.2f,%.2f,%.2f,%d,%llu,%llu,%llu\n", outages[i],
+    std::printf("%.0f,%.2f,%.2f,%.2f,%d,%llu,%llu,%llu,%llu\n", outages[i],
                 row.satisfied_pre, row.satisfied_outage, row.satisfied_post,
                 row.reconverge,
                 static_cast<unsigned long long>(row.fetch_fallbacks),
                 static_cast<unsigned long long>(row.ops_failed),
-                static_cast<unsigned long long>(row.store_resets));
+                static_cast<unsigned long long>(row.store_resets),
+                static_cast<unsigned long long>(row.suppressed_crashes));
+    total_suppressed += row.suppressed_crashes;
     char metric[48];
     std::snprintf(metric, sizeof(metric), "satisfied_post_outage_%.0f",
                   outages[i]);
     reporter.AddMetric(metric, row.satisfied_post);
   }
+  reporter.AddMetric("suppressed_crashes",
+                     static_cast<double>(total_suppressed));
   std::fflush(stdout);
   reporter.Finish();
   return 0;

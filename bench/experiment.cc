@@ -35,6 +35,8 @@ core::SystemConfig Setup::ToConfig() const {
   config.policy = policy;
   config.hint_heat_threshold = hint_heat_threshold;
   config.faults = faults;
+  config.corrupt_latent_fraction = corrupt_latent_fraction;
+  config.scrub_interval_ms = scrub_interval_ms;
   config.network = network;
   config.seed = seed;
   return config;

@@ -64,6 +64,12 @@ struct Setup {
   /// Node crash/recovery schedule (empty = no faults), for the
   /// degradation/recovery experiment.
   sim::FaultInjector::Params faults;
+  /// Fraction of injected corruptions that defeat the read checksum
+  /// (faults.mttc_ms / faults.corruption_script decide *when* strikes
+  /// land; this decides how many are latent).
+  double corrupt_latent_fraction = 0.0;
+  /// Idle-disk scrub cadence per node, ms; 0 disables the scrubber.
+  double scrub_interval_ms = 0.0;
   /// Interconnect parameters, including the best-effort loss process.
   net::Network::Params network;
 

@@ -116,6 +116,12 @@ bool NodeCache::Drop(PageId page) {
   return true;
 }
 
+bool NodeCache::Quarantine(PageId page) {
+  if (!Drop(page)) return false;
+  ++quarantined_;
+  return true;
+}
+
 std::vector<PageId> NodeCache::Clear() {
   std::vector<PageId> dropped;
   dropped.reserve(page_location_.size());

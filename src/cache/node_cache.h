@@ -70,6 +70,16 @@ class NodeCache {
   /// after a committed update elsewhere). Returns false if not resident.
   bool Drop(PageId page);
 
+  /// Drops a frame that failed verify-on-read so it can never be served
+  /// again, counting the eviction separately from ordinary drops. Returns
+  /// false if the page is not resident.
+  bool Quarantine(PageId page);
+
+  /// Frames evicted through Quarantine() so far. The invariant auditor
+  /// balances this against the system's quarantine *decisions* to catch a
+  /// buffer pool that keeps serving a frame it was told to quarantine.
+  uint64_t quarantined() const { return quarantined_; }
+
   /// Empties every pool and resets all dedicated budgets to zero — the
   /// node's volatile buffer state after a crash (a recovered node restarts
   /// with a cold cache and no dedications). Returns the pages that were
@@ -115,6 +125,7 @@ class NodeCache {
   std::map<ClassId, BufferPool> dedicated_;  // ordered for determinism
   common::FlatHashMap<PageId, ClassId> page_location_;
   PolicyFactory factory_;
+  uint64_t quarantined_ = 0;
 };
 
 }  // namespace memgoal::cache

@@ -164,22 +164,28 @@ std::string GnuSpelling(const std::string& key) {
 
 }  // namespace
 
+std::string NearestSuggestion(const std::string& value,
+                              const std::vector<std::string>& candidates) {
+  size_t best = 3;
+  std::string suggestion;
+  for (const std::string& candidate : candidates) {
+    const size_t distance = EditDistance(value, candidate);
+    if (distance < best) {
+      best = distance;
+      suggestion = candidate;
+    }
+  }
+  return suggestion;
+}
+
 bool Config::RejectUnknownFlags() {
   for (const std::string& key : dashed_) {
     if (used_.at(key)) continue;
     error_ = "unknown flag " + GnuSpelling(key);
-    // Nearest key any getter queried, within edit distance 2 — far enough
-    // for a dropped letter or transposed pair, near enough not to suggest
-    // unrelated knobs.
-    size_t best = 3;
-    std::string suggestion;
-    for (const std::string& candidate : known_) {
-      const size_t distance = EditDistance(key, candidate);
-      if (distance < best) {
-        best = distance;
-        suggestion = candidate;
-      }
-    }
+    // Nearest key any getter queried: far enough for a dropped letter or
+    // transposed pair, near enough not to suggest unrelated knobs.
+    const std::string suggestion = NearestSuggestion(
+        key, std::vector<std::string>(known_.begin(), known_.end()));
     if (!suggestion.empty()) {
       error_ += " (did you mean " + GnuSpelling(suggestion) + "?)";
     }

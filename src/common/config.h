@@ -69,6 +69,13 @@ class Config {
   std::string error_;
 };
 
+/// Nearest of `candidates` to `value` within edit distance 2 — far enough
+/// for a dropped letter or a transposed pair, near enough not to suggest
+/// unrelated words. Empty when nothing is close. Shared by
+/// Config::RejectUnknownFlags and enum-valued scenario keys.
+std::string NearestSuggestion(const std::string& value,
+                              const std::vector<std::string>& candidates);
+
 }  // namespace memgoal::common
 
 #endif  // MEMGOAL_COMMON_CONFIG_H_

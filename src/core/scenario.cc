@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/config.h"
 #include "sim/chaos_schedule.h"
 #include "sim/event_queue.h"
 
@@ -16,6 +17,24 @@ cache::PolicyKind ParsePolicy(const std::string& name) {
   if (name == "lru-k") return cache::PolicyKind::kLruK;
   if (name == "fifo") return cache::PolicyKind::kFifo;
   return cache::PolicyKind::kCostBased;
+}
+
+// Enum-valued scenario keys fail the way Config::RejectUnknownFlags fails
+// for unknown flags: name the accepted values and, on a near-miss, suggest
+// the nearest one.
+std::string BadEnumValue(const std::string& key, const std::string& value,
+                         const std::vector<std::string>& accepted) {
+  std::string message = key + " must be ";
+  for (size_t i = 0; i < accepted.size(); ++i) {
+    if (i > 0) message += i + 1 == accepted.size() ? " or " : ", ";
+    message += accepted[i];
+  }
+  message += ", got " + value;
+  const std::string suggestion = common::NearestSuggestion(value, accepted);
+  if (!suggestion.empty()) {
+    message += " (did you mean " + suggestion + "?)";
+  }
+  return message;
 }
 
 }  // namespace
@@ -53,7 +72,7 @@ std::optional<Scenario> LoadScenario(common::Config& config,
   } else if (queue == "calendar") {
     system_config.queue_backend = sim::QueueBackend::kCalendar;
   } else {
-    if (error) *error = "queue must be calendar or heap, got " + queue;
+    if (error) *error = BadEnumValue("queue", queue, {"calendar", "heap"});
     return std::nullopt;
   }
   system_config.disk.avg_seek_ms = config.GetDouble("disk_seek_ms", 8.0);
@@ -139,6 +158,50 @@ std::optional<Scenario> LoadScenario(common::Config& config,
       config.GetDouble("fault_partition_heal_ms", 10000.0);
   system_config.crash_detect_timeout_ms =
       config.GetDouble("crash_detect_timeout_ms", 2.0);
+
+  // Corruption (the fourth fault class) and the background scrubber. All
+  // keys are read unconditionally (same idiom as the burst-loss knobs).
+  const std::string corrupt = config.GetString("corrupt", "all");
+  const int corrupt_node = static_cast<int>(config.GetInt("corrupt_node", -1));
+  const double corrupt_at = config.GetDouble("corrupt_at_ms", 0.0);
+  const int corrupt_count =
+      static_cast<int>(config.GetInt("corrupt_count", 1));
+  const uint64_t corrupt_salt =
+      static_cast<uint64_t>(config.GetInt("corrupt_salt", 1));
+  system_config.faults.mttc_ms = config.GetDouble("fault_mttc_ms", 0.0);
+  system_config.corrupt_latent_fraction =
+      config.GetDouble("corrupt_latent", 0.0);
+  const std::string scrub = config.GetString("scrub", "off");
+  const double scrub_interval = config.GetDouble("scrub_interval_ms", 1000.0);
+  if (corrupt == "off") {
+    // Kill switch: no stochastic stream, no scripted strikes.
+    system_config.faults.mttc_ms = 0.0;
+  } else if (corrupt == "disk") {
+    system_config.corrupt_surface = CorruptionSurface::kDisk;
+  } else if (corrupt == "frames") {
+    system_config.corrupt_surface = CorruptionSurface::kFrames;
+  } else if (corrupt == "all") {
+    system_config.corrupt_surface = CorruptionSurface::kAll;
+  } else {
+    if (error) {
+      *error = BadEnumValue("corrupt", corrupt,
+                            {"off", "disk", "frames", "all"});
+    }
+    return std::nullopt;
+  }
+  if (corrupt_node >= 0 && corrupt != "off") {
+    system_config.faults.corruption_script.push_back(
+        {corrupt_at, static_cast<uint32_t>(corrupt_node),
+         static_cast<uint32_t>(corrupt_count), corrupt_salt});
+  }
+  if (scrub == "off") {
+    system_config.scrub_interval_ms = 0.0;
+  } else if (scrub == "idle") {
+    system_config.scrub_interval_ms = scrub_interval;
+  } else {
+    if (error) *error = BadEnumValue("scrub", scrub, {"off", "idle"});
+    return std::nullopt;
+  }
 
   scenario.intervals = static_cast<int>(config.GetInt("intervals", 40));
   scenario.audit = config.GetBool("audit", false);

@@ -223,6 +223,7 @@ void Node::SweepHeatHistory(sim::SimTime horizon) {
 }
 
 void Node::HandleDrops(std::span<const PageId> dropped) {
+  system_->ClearEvictedFrameMarks(id_, dropped);
   for (PageId page : dropped) {
     if (system_->config().injected_bug != InjectedBug::kLeakDirectoryEntry) {
       system_->directory().OnPageDropped(id_, page);
@@ -289,6 +290,22 @@ sim::Task<void> Node::FetchAttempt(std::shared_ptr<FetchState> state,
     // Dead, rebooted, or meanwhile evicted: silence; the timer fires.
     co_return;
   }
+  // The server verifies the frame before shipping it. A detected flaw is
+  // quarantined and answered with silence, so the requester's phase timer
+  // hedges to the next-ranked replica — RankedCopies *is* the repair
+  // steering for cached corruption.
+  storage::Flaw flaw = storage::Flaw::kNone;
+  if (system_->integrity_.any_marked()) {
+    flaw = system_->integrity_.FrameFlaw(target, page);
+    if (flaw == storage::Flaw::kDetectable) {
+      if (config.injected_bug != InjectedBug::kSkipVerify) {
+        ++system_->corrupt_detected_;
+        system_->QuarantineFrame(target, page);
+        co_return;
+      }
+      // kSkipVerify: the corrupt page ships anyway.
+    }
+  }
   const bool page_arrived = co_await network.Transfer(
       target, id_, config.page_bytes + config.page_header_bytes,
       net::TrafficClass::kPage);
@@ -300,6 +317,7 @@ sim::Task<void> Node::FetchAttempt(std::shared_ptr<FetchState> state,
   if (!state->delivered) {
     state->delivered = true;
     state->server = target;
+    state->flaw = flaw;
     if (state->wake != nullptr) state->wake->Set();
   }
 }
@@ -346,15 +364,40 @@ sim::Task<StorageLevel> Node::AccessPage(ClassId klass, PageId page) {
                      access.hit ? "{\"hit\":true}" : "{\"hit\":false}");
   }
   if (access.hit) {
-    system_->CountAccess(klass, StorageLevel::kLocalBuffer);
-    if (tracing) emit_access_span(StorageLevel::kLocalBuffer);
-    co_return StorageLevel::kLocalBuffer;
+    // Verify-on-read: a detectably corrupt frame is quarantined and the
+    // access falls through to the fetch path below — the repair ladder for
+    // cached corruption is simply a re-fetch from a replica or the disk.
+    storage::Flaw hit_flaw = storage::Flaw::kNone;
+    if (system_->integrity_.any_marked()) {
+      hit_flaw = system_->integrity_.FrameFlaw(id_, page);
+    }
+    bool serve_local = true;
+    if (hit_flaw == storage::Flaw::kDetectable) {
+      if (config.injected_bug == InjectedBug::kSkipVerify) {
+        ++system_->corrupt_served_;  // bug: the bad frame is consumed as-is
+      } else {
+        ++system_->corrupt_detected_;
+        system_->QuarantineFrame(id_, page);
+        serve_local = false;
+      }
+    } else if (hit_flaw == storage::Flaw::kLatent) {
+      ++system_->latent_served_;  // sailed past the checksum; modeled only
+    }
+    if (serve_local) {
+      system_->CountAccess(klass, StorageLevel::kLocalBuffer);
+      if (tracing) emit_access_span(StorageLevel::kLocalBuffer);
+      co_return StorageLevel::kLocalBuffer;
+    }
   }
 
   co_await UseCpu(config.instr_io_setup);
   const NodeId home = system_->database().HomeOf(page);
   const uint32_t page_msg = config.page_bytes + config.page_header_bytes;
   StorageLevel level;
+  // Integrity of the content this fetch ends up consuming: set from the
+  // serving frame's flaw on a remote-buffer delivery, or from the disk
+  // verify on the fallback paths.
+  storage::Flaw fetched_flaw = storage::Flaw::kNone;
 
   // Remote-buffer fetch with per-request deadlines and one hedged retry:
   // the requester tries the best-ranked copy holder, and if the page has
@@ -420,6 +463,7 @@ sim::Task<StorageLevel> Node::AccessPage(ClassId klass, PageId page) {
 
   if (state->delivered) {
     level = StorageLevel::kRemoteBuffer;
+    fetched_flaw = state->flaw;
   } else {
     if (failed_attempts > 0) {
       // Deadline(s) expired: brief exponential backoff, then the disk.
@@ -438,6 +482,7 @@ sim::Task<StorageLevel> Node::AccessPage(ClassId klass, PageId page) {
     const sim::SimTime disk_start = system_->simulator().Now();
     if (home == id_) {
       co_await disk_.ReadPage();
+      fetched_flaw = co_await system_->VerifyDiskRead(page);
       level = StorageLevel::kLocalDisk;
     } else {
       if (candidates.empty()) {
@@ -454,6 +499,7 @@ sim::Task<StorageLevel> Node::AccessPage(ClassId klass, PageId page) {
         }
       }
       co_await system_->node(home).disk().ReadPage();
+      fetched_flaw = co_await system_->VerifyDiskRead(page);
       // The NOW's disks are dual-ported: the page travels over the storage
       // bus, which a LAN partition does not sever. Bandwidth/queueing of the
       // shared medium still applies.
@@ -480,10 +526,26 @@ sim::Task<StorageLevel> Node::AccessPage(ClassId klass, PageId page) {
   if (!cache_->IsCached(page)) {
     cache::NodeCache::AccessResult insert = cache_->InsertFetched(klass, page);
     HandleDrops(insert.dropped);
-    if (insert.inserted) AfterInsert(page);
+    if (insert.inserted) {
+      AfterInsert(page);
+      // The fetched bits are now this frame's bits: a flawed source
+      // silently propagates its flaw into our copy.
+      if (fetched_flaw != storage::Flaw::kNone &&
+          system_->integrity_.MarkFrame(id_, page, fetched_flaw) &&
+          fetched_flaw == storage::Flaw::kLatent) {
+        ++system_->latent_propagated_;
+      }
+    }
   } else {
     cache::NodeCache::AccessResult touch = cache_->OnAccess(klass, page);
     HandleDrops(touch.dropped);
+  }
+  // What the client actually consumed: kDetectable here means a verify was
+  // skipped somewhere (the no-corrupt-page-served audit's ground truth).
+  if (fetched_flaw == storage::Flaw::kDetectable) {
+    ++system_->corrupt_served_;
+  } else if (fetched_flaw == storage::Flaw::kLatent) {
+    ++system_->latent_served_;
   }
   system_->CountAccess(klass, level);
   if (tracing) emit_access_span(level);
@@ -502,9 +564,13 @@ ClusterSystem::ClusterSystem(const SystemConfig& config)
       directory_(&database_),
       cost_model_(DeriveCostModel(config)),
       master_rng_(config.seed),
-      fault_injector_(&simulator_, config.num_nodes, config.faults) {
+      fault_injector_(&simulator_, config.num_nodes, config.faults),
+      integrity_(config.db_pages, config.num_nodes) {
   MEMGOAL_CHECK(config.num_nodes > 0);
   MEMGOAL_CHECK(config.crash_detect_timeout_ms >= 0.0);
+  MEMGOAL_CHECK(config.corrupt_latent_fraction >= 0.0 &&
+                config.corrupt_latent_fraction <= 1.0);
+  MEMGOAL_CHECK(config.scrub_interval_ms >= 0.0);
   MEMGOAL_CHECK(config.fetch_backoff_base_ms >= 0.0);
   MEMGOAL_CHECK(config.fetch_backoff_max_ms >= config.fetch_backoff_base_ms);
   MEMGOAL_CHECK(config.health_ewma_alpha > 0.0 &&
@@ -529,6 +595,13 @@ ClusterSystem::ClusterSystem(const SystemConfig& config)
       [this](uint32_t node) { HandleNodeDegrade(node); },
       [this](uint32_t node) { HandleNodeRestore(node); });
   fault_injector_.SetPartitionCallback([this] { HandlePartitionChange(); });
+  fault_injector_.SetCorruptionCallback(
+      [this](uint32_t node, uint64_t draw) { HandleCorruption(node, draw); });
+  // Replica ranking for repair steers around detectably corrupt frames; a
+  // latent flaw passes the predicate by construction (nothing can see it).
+  directory_.SetIntegrityCheck([this](NodeId node, PageId page) {
+    return integrity_.FrameFlaw(node, page) != storage::Flaw::kDetectable;
+  });
   // The injector's reachability relation is the single source of truth; the
   // network enforces it on delivery and the directory's replica ranking
   // excludes unreachable holders. Both consult it only while partitioned.
@@ -614,6 +687,13 @@ void ClusterSystem::Start() {
     }
   }
   simulator_.Spawn(IntervalLoop());
+  // Background scrubbers only exist when enabled, so a scrub-off run's
+  // event sequence is untouched by this feature.
+  if (config_.scrub_interval_ms > 0.0) {
+    for (NodeId i = 0; i < config_.num_nodes; ++i) {
+      simulator_.Spawn(ScrubLoop(i));
+    }
+  }
   fault_injector_.Start();
 }
 
@@ -623,6 +703,9 @@ void ClusterSystem::HandleNodeCrash(NodeId node) {
   // heat bookkeeping. In-flight operations notice via the epoch counter and
   // fail; no hint traffic is emitted (a dead node cannot send).
   Node& n = *nodes_[node];
+  // Corrupt frames die with the volatile buffer — their marks must go too,
+  // or a future re-fetch of the same page would be falsely flagged.
+  corrupt_wiped_by_crash_ += integrity_.ClearNodeFrames(node);
   n.node_cache().Clear();
   directory_.DropNode(node);
   n.ResetVolatileState();
@@ -847,6 +930,7 @@ int ClusterSystem::InvalidateCopies(PageId page, NodeId except_node) {
     if (i == except_node) continue;
     if (!directory_.IsCachedAt(i, page)) continue;
     nodes_[i]->node_cache().Drop(page);
+    if (integrity_.ClearFrame(i, page)) ++corrupt_evicted_;
     directory_.OnPageDropped(i, page);
     simulator_.Spawn(network_.Transfer(database_.HomeOf(page), i,
                                        config_.control_msg_bytes,
@@ -854,6 +938,154 @@ int ClusterSystem::InvalidateCopies(PageId page, NodeId except_node) {
     ++dropped;
   }
   return dropped;
+}
+
+void ClusterSystem::HandleCorruption(NodeId node, uint64_t draw) {
+  // Everything about the strike is decided here, from the injected draw:
+  // which surface it hits, which page, and whether the flaw is latent. The
+  // access paths make no RNG draws of their own, so enabling corruption at
+  // rate zero leaves every other schedule bit-identical.
+  const double latent_roll =
+      static_cast<double>(common::Mix64(draw ^ 0x1a7e57ull) >> 11) * 0x1.0p-53;
+  const storage::Flaw flaw = latent_roll < config_.corrupt_latent_fraction
+                                 ? storage::Flaw::kLatent
+                                 : storage::Flaw::kDetectable;
+  // Bit rot prefers what exists: if the drawn page is resident in the
+  // struck node's buffer, the frame takes the hit; otherwise the strike
+  // falls on the node's disk (a page it homes).
+  const PageId frame_page = static_cast<PageId>(
+      common::Mix64(draw ^ 0x9a6eull) % database_.num_pages());
+  if (config_.corrupt_surface != CorruptionSurface::kDisk &&
+      nodes_[node]->node_cache().IsCached(frame_page)) {
+    if (integrity_.MarkFrame(node, frame_page, flaw)) {
+      ++corrupt_injected_frames_;
+    } else {
+      ++corrupt_fizzled_;  // struck an already-flawed frame
+    }
+    return;
+  }
+  if (config_.corrupt_surface == CorruptionSurface::kFrames) {
+    ++corrupt_fizzled_;  // frames-only surface and the page is not resident
+    return;
+  }
+  const uint32_t homed = database_.PagesHomedAt(node);
+  if (homed == 0) {
+    ++corrupt_fizzled_;
+    return;
+  }
+  const PageId disk_page = static_cast<PageId>(
+      node + (common::Mix64(draw ^ 0xd15cull) % homed) * config_.num_nodes);
+  if (integrity_.MarkDisk(disk_page, flaw)) {
+    ++corrupt_injected_disk_;
+  } else {
+    ++corrupt_fizzled_;
+  }
+}
+
+void ClusterSystem::QuarantineFrame(NodeId node, PageId page) {
+  ++quarantine_decisions_;
+  if (config_.injected_bug == InjectedBug::kServeQuarantined) {
+    // Bug: the pool ignores the quarantine order — the frame (and its
+    // mark) stay, so the decision/executed ledger stops balancing.
+    return;
+  }
+  if (!nodes_[node]->node_cache().Quarantine(page)) return;
+  integrity_.ClearFrame(node, page);
+  directory_.OnPageDropped(node, page);
+  // The home learns of the drop the same way eviction hints travel.
+  const NodeId home = database_.HomeOf(page);
+  if (home != node) {
+    simulator_.Spawn(network_.Transfer(node, home, config_.hint_msg_bytes,
+                                       net::TrafficClass::kHeatHint));
+  }
+}
+
+void ClusterSystem::ClearEvictedFrameMarks(NodeId node,
+                                           std::span<const PageId> dropped) {
+  if (!integrity_.any_marked()) return;
+  for (const PageId page : dropped) {
+    if (integrity_.ClearFrame(node, page)) ++corrupt_evicted_;
+  }
+}
+
+sim::Task<storage::Flaw> ClusterSystem::VerifyDiskRead(PageId page) {
+  if (!integrity_.any_marked()) co_return storage::Flaw::kNone;
+  const storage::Flaw flaw = integrity_.DiskFlaw(page);
+  if (flaw != storage::Flaw::kDetectable) {
+    co_return flaw;  // clean, or latent (sails past the checksum)
+  }
+  if (config_.injected_bug == InjectedBug::kSkipVerify) {
+    co_return flaw;  // bug: the corrupt copy is consumed as-is
+  }
+  ++corrupt_detected_;
+  ++disk_detections_;
+  ++repair_ladders_open_;
+  // Repair ladder: the cheapest intact cached replica rewrites the disk
+  // copy (accounted page transfer to the home over the storage bus, then a
+  // disk write). Latent replicas pass the intact predicate by construction:
+  // a repair sourced from one faithfully writes latently bad bits back.
+  const NodeId home = database_.HomeOf(page);
+  net::PageDirectory::CopyList sources;
+  directory_.RankedIntactCopies(page, home, &sources);
+  for (const NodeId source : sources) {
+    if (!NodeUp(source)) continue;
+    const storage::Flaw source_flaw = integrity_.FrameFlaw(source, page);
+    const bool arrived = co_await network_.Transfer(
+        source, home, config_.page_bytes + config_.page_header_bytes,
+        net::TrafficClass::kPage, /*via_storage_bus=*/true);
+    if (!arrived) continue;  // lost mid-repair: try the next source
+    co_await nodes_[home]->disk().WritePage();
+    integrity_.ClearDisk(page);
+    if (source_flaw == storage::Flaw::kLatent) {
+      integrity_.MarkDisk(page, storage::Flaw::kLatent);
+      ++latent_propagated_;
+    }
+    ++repairs_replica_;
+    --repair_ladders_open_;
+    co_return source_flaw;  // the reader gets the repaired content
+  }
+  // Ladder exhausted: no intact cached copy survives and the disk copy is
+  // bad — the page is lost. Count it and re-initialize the copy so the
+  // database stays navigable.
+  --repair_ladders_open_;
+  if (config_.injected_bug == InjectedBug::kLostPageLeak) {
+    // Bug: neither counted nor re-initialized; the detection ledger leaks.
+    co_return storage::Flaw::kNone;
+  }
+  integrity_.ClearDisk(page);
+  ++pages_lost_;
+  co_return storage::Flaw::kNone;
+}
+
+sim::Task<void> ClusterSystem::ScrubLoop(NodeId node) {
+  // Background scrubber: strictly lower priority than workload I/O — it
+  // reads one homed page per tick and only when the node's disk is idle at
+  // the tick instant, so it consumes idle disk bandwidth only.
+  const uint32_t homed = database_.PagesHomedAt(node);
+  if (homed == 0) co_return;
+  uint32_t cursor = 0;
+  while (true) {
+    co_await simulator_.Delay(config_.scrub_interval_ms);
+    ++scrub_ticks_;  // unconditional: the audit's liveness signal
+    if (!NodeUp(node)) continue;  // a dead node scrubs nothing
+    storage::Disk& disk = nodes_[node]->disk();
+    if (disk.resource().in_use() > 0 || disk.resource().queue_length() > 0) {
+      ++scrub_skipped_busy_;
+      continue;
+    }
+    const PageId page =
+        static_cast<PageId>(node + cursor * config_.num_nodes);
+    cursor = (cursor + 1) % homed;
+    co_await disk.ReadPage();
+    ++pages_scrubbed_;
+    co_await VerifyDiskRead(page);
+  }
+}
+
+uint64_t ClusterSystem::frames_quarantined() const {
+  uint64_t total = 0;
+  for (const auto& node : nodes_) total += node->node_cache().quarantined();
+  return total;
 }
 
 std::optional<double> ClusterSystem::WeightedRt(ClassId klass) const {
@@ -1034,6 +1266,22 @@ void ClusterSystem::PublishRegistrySnapshot(int interval_index) {
       ->Set(grants_rejected_stale_epoch_);
   registry_.GetCounter("cluster.reconcile_hints_sent")
       ->Set(reconcile_hints_sent_);
+  registry_.GetCounter("cluster.crashes_suppressed")
+      ->Set(fault_injector_.stats().suppressed);
+  registry_.GetCounter("cluster.corrupt_injected")
+      ->Set(fault_injector_.stats().corruptions);
+  registry_.GetCounter("cluster.corrupt_detected")->Set(corrupt_detected_);
+  registry_.GetCounter("cluster.corrupt_served")->Set(corrupt_served_);
+  registry_.GetCounter("cluster.latent_served")->Set(latent_served_);
+  registry_.GetCounter("cluster.quarantine_decisions")
+      ->Set(quarantine_decisions_);
+  registry_.GetCounter("cluster.frames_quarantined")
+      ->Set(frames_quarantined());
+  registry_.GetCounter("cluster.repairs_replica")->Set(repairs_replica_);
+  registry_.GetCounter("cluster.pages_lost")->Set(pages_lost_);
+  registry_.GetCounter("cluster.pages_scrubbed")->Set(pages_scrubbed_);
+  registry_.GetCounter("cluster.scrub_skipped_busy")
+      ->Set(scrub_skipped_busy_);
   if (auditor_ != nullptr) {
     registry_.GetCounter("audit.checks_run")->Set(auditor_->checks_run());
     registry_.GetCounter("audit.violations")

@@ -33,6 +33,7 @@
 #include "sim/task.h"
 #include "storage/database.h"
 #include "storage/disk.h"
+#include "storage/integrity.h"
 #include "storage/types.h"
 #include "workload/page_selector.h"
 #include "workload/spec.h"
@@ -68,6 +69,30 @@ enum class InjectedBug {
   /// Leak directory entries on pool shrink: dropped pages stay registered
   /// as cached copies, so remote fetches chase ghosts.
   kLeakDirectoryEntry,
+  /// Skip verify-on-read everywhere: detectably corrupt frames and disk
+  /// copies are served as if intact. The no-corrupt-page-served audit
+  /// counts every such serve.
+  kSkipVerify,
+  /// Count the quarantine decision but leave the condemned frame resident:
+  /// the buffer pool keeps offering (and re-detecting) a frame it was told
+  /// to evict, so quarantine accounting stops balancing.
+  kServeQuarantined,
+  /// Drop the terminal rung of the repair ladder: a page with no intact
+  /// source is neither counted lost nor re-initialized, so detections
+  /// never reconcile against repairs + losses.
+  kLostPageLeak,
+};
+
+/// Stored copies that injected corruption events may hit.
+enum class CorruptionSurface {
+  /// Permanent disk-resident copies only.
+  kDisk,
+  /// Cached buffer frames only (a draw landing on a page the node does not
+  /// cache fizzles).
+  kFrames,
+  /// Frames when the drawn page is resident at the struck node, disk
+  /// copies homed there otherwise.
+  kAll,
 };
 
 /// All tunables of the simulated NOW and of the partitioning algorithm.
@@ -106,6 +131,21 @@ struct SystemConfig {
   /// Fraction of the gap back to the cost-model baseline the health score
   /// recovers per restore/recover event (forgiveness after an episode).
   double health_recovery_decay = 0.25;
+
+  // -- Integrity model ------------------------------------------------------
+  /// Fraction of injected corruptions that are *latent* — past the
+  /// checksum, so verify-on-read serves them unknowingly. The outcome is
+  /// decided per corruption at injection time from the injected draw,
+  /// which keeps the access path free of RNG draws (a zero-rate run is
+  /// bit-identical to one with the integrity machinery absent).
+  double corrupt_latent_fraction = 0.0;
+  /// Which stored copies injected corruption may hit.
+  CorruptionSurface corrupt_surface = CorruptionSurface::kAll;
+  /// Per-node background scrubber period (ms); 0 disables scrubbing. Each
+  /// tick verifies one disk-resident page — but only when the node's disk
+  /// is idle, making the scrubber a strictly lower-priority consumer of
+  /// disk bandwidth than the workload's own I/O.
+  double scrub_interval_ms = 0.0;
 
   // -- CPU model (100 MIPS nodes; costs in instructions) -------------------
   double cpu_mips = 100.0;
@@ -304,6 +344,11 @@ class Node {
     bool abandoned = false;
     /// Node whose copy was delivered first (valid when delivered).
     NodeId server = 0;
+    /// Integrity of the delivered copy (valid when delivered): kLatent
+    /// when the serving frame carried a flaw past the checksum (it
+    /// propagates into the requester's frame), kDetectable only under the
+    /// kSkipVerify injected bug.
+    storage::Flaw flaw = storage::Flaw::kNone;
     /// Event the requester currently waits on; attempts fire it on
     /// delivery. Null once the requester stopped waiting.
     sim::Event* wake = nullptr;
@@ -565,7 +610,62 @@ class ClusterSystem {
   uint64_t partition_heals() const { return partition_heals_; }
   uint64_t reconcile_hints_sent() const { return reconcile_hints_sent_; }
 
+  // -- Integrity (silent-data-corruption tolerance) --------------------------
+
+  /// Per-copy integrity state (disk copies and cached frames). Marks are
+  /// set by the injector's corruption callback; the access, repair and
+  /// scrub paths consult and clear them.
+  const storage::IntegrityMap& integrity() const { return integrity_; }
+
+  /// Condemns `node`'s cached frame of `page` after a failed verify:
+  /// counts the decision, evicts the frame (with directory cleanup) and
+  /// clears its integrity mark. Under kServeQuarantined the decision is
+  /// counted but the frame stays resident — which is exactly what the
+  /// quarantine-accounting audit flags.
+  void QuarantineFrame(NodeId node, PageId page);
+
+  /// Corruption events that landed on a frame / a disk copy; draws that
+  /// fizzled (non-resident frame, already-marked copy).
+  uint64_t corrupt_injected_frames() const { return corrupt_injected_frames_; }
+  uint64_t corrupt_injected_disk() const { return corrupt_injected_disk_; }
+  uint64_t corrupt_fizzled() const { return corrupt_fizzled_; }
+  /// Verify-on-read detections (frames + disk copies); disk-copy-only
+  /// detections feed the repair ladder.
+  uint64_t corrupt_detected() const { return corrupt_detected_; }
+  uint64_t disk_detections() const { return disk_detections_; }
+  /// Detectably corrupt data consumed by a client access — must stay zero
+  /// (auditor-enforced) except under the kSkipVerify injected bug.
+  uint64_t corrupt_served() const { return corrupt_served_; }
+  /// Latently corrupt data consumed by a client access; undetectable by
+  /// construction, so reported but never audited against.
+  uint64_t latent_served() const { return latent_served_; }
+  /// Quarantine decisions taken; executions are the per-cache
+  /// NodeCache::quarantined() counters the audit balances them against.
+  uint64_t quarantine_decisions() const { return quarantine_decisions_; }
+  uint64_t frames_quarantined() const;
+  /// Repair-ladder outcomes for detectably corrupt disk copies.
+  uint64_t repairs_replica() const { return repairs_replica_; }
+  uint64_t pages_lost() const { return pages_lost_; }
+  /// Repair ladders currently between detection and outcome (a replica
+  /// transfer or disk rewrite is in flight); lets the accounting audit run
+  /// at interval boundaries without flagging in-progress repairs.
+  uint64_t repair_ladders_open() const { return repair_ladders_open_; }
+  /// Latent flaws propagated into a fresh copy (fetch insert or replica
+  /// repair sourced from a latently corrupt frame).
+  uint64_t latent_propagated() const { return latent_propagated_; }
+  /// Frame marks resolved by ordinary eviction / by a crash wiping RAM.
+  uint64_t corrupt_evicted() const { return corrupt_evicted_; }
+  uint64_t corrupt_wiped_by_crash() const { return corrupt_wiped_by_crash_; }
+  /// Scrubber progress: completed verify reads, wakeups, busy skips.
+  uint64_t pages_scrubbed() const { return pages_scrubbed_; }
+  uint64_t scrub_ticks() const { return scrub_ticks_; }
+  uint64_t scrub_skipped_busy() const { return scrub_skipped_busy_; }
+
  private:
+  // Nodes update the integrity ledger counters directly on their access
+  // paths (mirroring Node's own friend declaration for the system).
+  friend class Node;
+
   sim::Task<void> WorkloadSource(NodeId node, ClassId klass);
   sim::Task<void> RunOperation(NodeId node, ClassId klass,
                                common::InlineVector<PageId, 8> pages);
@@ -593,6 +693,28 @@ class ClusterSystem {
   /// re-anchor all health EWMAs (pre-partition timeout penalties measured
   /// the cut, not the peers). Skipped under kSkipHealReconcile.
   void ReconcileAfterHeal();
+
+  /// Corruption instant: maps the injector's opaque draw onto a concrete
+  /// target (cached frame or disk copy at `node`) and a detectability
+  /// outcome — every decision is made here, from the draw, so the access
+  /// path never consumes RNG.
+  void HandleCorruption(NodeId node, uint64_t draw);
+  /// Clears integrity marks of frames leaving `node`'s cache by ordinary
+  /// eviction (a stale mark would otherwise mis-flag a future re-fetch).
+  void ClearEvictedFrameMarks(NodeId node, std::span<const PageId> dropped);
+  /// Verify-on-read of `page`'s just-read disk copy. A detectable flaw
+  /// runs the repair ladder: rewrite from the cheapest intact cached
+  /// replica (accounted transfer + disk write at the home), else declare
+  /// the page lost and re-initialize it. Returns the integrity of the
+  /// content the reader ends up with — kNone after a clean read, a
+  /// replica repair or a loss; kLatent when the copy (or the repair
+  /// source) carries a flaw past the checksum; kDetectable only under
+  /// the kSkipVerify injected bug.
+  sim::Task<storage::Flaw> VerifyDiskRead(PageId page);
+  /// Per-node background scrubber: verifies one disk-resident page per
+  /// tick, but only when the disk is idle (strictly lower priority than
+  /// workload I/O), feeding detections into the repair ladder.
+  sim::Task<void> ScrubLoop(NodeId node);
 
   struct IntervalAccumulator {
     uint64_t arrived = 0;
@@ -633,6 +755,27 @@ class ClusterSystem {
   uint64_t partition_heals_ = 0;
   uint64_t reconcile_hints_sent_ = 0;
   sim::InvariantAuditor* auditor_ = nullptr;
+
+  // Integrity state and the corruption/quarantine/repair/scrub ledger (see
+  // the public accessors for semantics).
+  storage::IntegrityMap integrity_;
+  uint64_t corrupt_injected_frames_ = 0;
+  uint64_t corrupt_injected_disk_ = 0;
+  uint64_t corrupt_fizzled_ = 0;
+  uint64_t corrupt_detected_ = 0;
+  uint64_t disk_detections_ = 0;
+  uint64_t corrupt_served_ = 0;
+  uint64_t latent_served_ = 0;
+  uint64_t quarantine_decisions_ = 0;
+  uint64_t repairs_replica_ = 0;
+  uint64_t pages_lost_ = 0;
+  uint64_t repair_ladders_open_ = 0;
+  uint64_t latent_propagated_ = 0;
+  uint64_t corrupt_evicted_ = 0;
+  uint64_t corrupt_wiped_by_crash_ = 0;
+  uint64_t pages_scrubbed_ = 0;
+  uint64_t scrub_ticks_ = 0;
+  uint64_t scrub_skipped_busy_ = 0;
 
   obs::Tracer* tracer_ = nullptr;
   obs::DecisionLog* decision_log_ = nullptr;

@@ -114,6 +114,83 @@ void RegisterSystemAudits(sim::InvariantAuditor* auditor,
                     [system]() -> std::optional<std::string> {
     return system->directory().AuditInternalConsistency();
   });
+
+  auditor->AddCheck("no_corrupt_page_served",
+                    [system]() -> std::optional<std::string> {
+    if (system->corrupt_served() > 0) {
+      return Describe("%llu detectably corrupt page(s) were served",
+                      static_cast<unsigned long long>(
+                          system->corrupt_served()));
+    }
+    return std::nullopt;
+  });
+
+  auditor->AddCheck("quarantine_accounting",
+                    [system]() -> std::optional<std::string> {
+    // Pure counter equalities — no scans. Every quarantine decision must
+    // have been executed by a buffer pool (QuarantineFrame has no await
+    // between the two, so at event boundaries they agree exactly), and
+    // every detected-corrupt disk read must have ended its repair ladder
+    // as a replica repair or a counted lost page (ladders still running a
+    // transfer are carried in repair_ladders_open()).
+    if (system->quarantine_decisions() != system->frames_quarantined()) {
+      return Describe("%llu quarantine decision(s) vs %llu executed",
+                      static_cast<unsigned long long>(
+                          system->quarantine_decisions()),
+                      static_cast<unsigned long long>(
+                          system->frames_quarantined()));
+    }
+    const uint64_t closed =
+        system->repairs_replica() + system->pages_lost() +
+        system->repair_ladders_open();
+    if (system->disk_detections() != closed) {
+      return Describe(
+          "%llu disk detection(s) vs %llu repaired+lost+open",
+          static_cast<unsigned long long>(system->disk_detections()),
+          static_cast<unsigned long long>(closed));
+    }
+    return std::nullopt;
+  });
+
+  auditor->AddCheck(
+      "scrub_progress",
+      [system, last_ticks = uint64_t{0}, last_scrubbed = uint64_t{0},
+       last_time = -1.0]() mutable -> std::optional<std::string> {
+    const uint64_t ticks = system->scrub_ticks();
+    const uint64_t scrubbed = system->pages_scrubbed();
+    if (ticks < last_ticks || scrubbed < last_scrubbed) {
+      return Describe("scrub counters moved backwards (%llu/%llu -> "
+                      "%llu/%llu)",
+                      static_cast<unsigned long long>(last_ticks),
+                      static_cast<unsigned long long>(last_scrubbed),
+                      static_cast<unsigned long long>(ticks),
+                      static_cast<unsigned long long>(scrubbed));
+    }
+    // Each tick ends as a completed scrub read, a busy/down skip, or an
+    // in-flight read — never more scrubs than wakeups.
+    if (scrubbed + system->scrub_skipped_busy() > ticks) {
+      return Describe("%llu scrub(s) + %llu skip(s) exceed %llu tick(s)",
+                      static_cast<unsigned long long>(scrubbed),
+                      static_cast<unsigned long long>(
+                          system->scrub_skipped_busy()),
+                      static_cast<unsigned long long>(ticks));
+    }
+    // Liveness: an enabled scrubber ticks unconditionally (even with the
+    // node down). Tick spacing is one interval plus the service time of
+    // whatever the tick did (read, repair transfers), so only flag a
+    // window generously longer than the interval.
+    const double now = system->simulator().Now();
+    const double interval = system->config().scrub_interval_ms;
+    if (interval > 0.0 && last_time >= 0.0 &&
+        now - last_time >= 8.0 * interval + 10000.0 && ticks == last_ticks) {
+      return Describe("scrubber stalled: no tick in %.1f ms",
+                      now - last_time);
+    }
+    last_ticks = ticks;
+    last_scrubbed = scrubbed;
+    last_time = now;
+    return std::nullopt;
+  });
 }
 
 }  // namespace memgoal::core

@@ -25,6 +25,13 @@ class ClusterSystem;
 ///     heat reports lost across a cut (heal reconciliation ran).
 ///   - directory_heat_accounting: the directory's internal copy counts and
 ///     heat sums match a from-scratch recomputation.
+///   - no_corrupt_page_served: no client access ever consumed a detectably
+///     corrupt page (verify-on-read must catch every one).
+///   - quarantine_accounting: every quarantine decision was executed by a
+///     buffer pool, and every detected-corrupt disk read ended its repair
+///     ladder as a replica repair or a counted lost page.
+///   - scrub_progress: scrubber counters are monotone, and an enabled
+///     scrubber's tick counter keeps advancing with simulated time.
 ///
 /// Both arguments must outlive the auditor's use. Called by
 /// ClusterSystem::EnableAuditor; exposed separately so tests can register

@@ -29,6 +29,8 @@ const char* EventKindName(EventKind kind) {
       return "heal";
     case EventKind::kGoalChange:
       return "goal";
+    case EventKind::kCorrupt:
+      return "corrupt";
   }
   return "?";
 }
@@ -99,6 +101,22 @@ Schedule Generate(uint64_t seed, const GenerateLimits& limits) {
     }
   }
 
+  // Corruption episodes. Drawn last — and not at all when the knob is 0 —
+  // so schedules generated before this kind existed reproduce bit-exactly.
+  if (limits.max_corrupt_episodes > 0) {
+    const int corrupts = static_cast<int>(
+        rng.UniformInt(1, limits.max_corrupt_episodes));
+    for (int i = 0; i < corrupts; ++i) {
+      Event event;
+      event.kind = EventKind::kCorrupt;
+      event.node = static_cast<uint32_t>(rng.UniformInt(0, n - 1));
+      event.at_ms = rng.Uniform(0.0, 0.8 * horizon);
+      event.count = static_cast<uint32_t>(rng.UniformInt(1, 3));
+      event.salt = rng.NextUint64();
+      schedule.events.push_back(event);
+    }
+  }
+
   std::stable_sort(schedule.events.begin(), schedule.events.end(),
                    [](const Event& a, const Event& b) {
                      return a.at_ms < b.at_ms;
@@ -137,6 +155,10 @@ void ApplyToFaultParams(const Schedule& schedule,
         break;
       case EventKind::kGoalChange:
         break;  // applied by the harness, not the injector
+      case EventKind::kCorrupt:
+        params->corruption_script.push_back(
+            {event.at_ms, event.node, event.count, event.salt});
+        break;
     }
   }
 }
@@ -179,6 +201,11 @@ std::string ToText(const Schedule& schedule) {
       case EventKind::kGoalChange:
         std::snprintf(buffer, sizeof(buffer), "goal %.17g %u %.17g\n",
                       event.at_ms, event.klass, event.factor);
+        break;
+      case EventKind::kCorrupt:
+        std::snprintf(buffer, sizeof(buffer),
+                      "corrupt %.17g %u %u %" PRIu64 "\n", event.at_ms,
+                      event.node, event.count, event.salt);
         break;
     }
     out << buffer;
@@ -238,6 +265,12 @@ bool FromText(const std::string& text, Schedule* out) {
       Event event;
       event.kind = EventKind::kGoalChange;
       fields >> event.at_ms >> event.klass >> event.factor;
+      if (fields.fail()) return false;
+      out->events.push_back(event);
+    } else if (kind == "corrupt") {
+      Event event;
+      event.kind = EventKind::kCorrupt;
+      fields >> event.at_ms >> event.node >> event.count >> event.salt;
       if (fields.fail()) return false;
       out->events.push_back(event);
     } else {

@@ -22,6 +22,7 @@ enum class EventKind {
   kPartition,
   kHeal,
   kGoalChange,
+  kCorrupt,
 };
 
 const char* EventKindName(EventKind kind);
@@ -37,6 +38,11 @@ struct Event {
   uint32_t minority_mask = 0;
   /// Goal change target class.
   uint32_t klass = 0;
+  /// Corruption: independent strikes fired at the instant, and the draw
+  /// salt that (deterministically) decides each strike's page and
+  /// detectability.
+  uint32_t count = 1;
+  uint64_t salt = 0;
 };
 
 /// A complete, self-describing schedule: together with the (fixed) system
@@ -57,6 +63,9 @@ struct GenerateLimits {
   int max_episodes = 4;
   /// Classes eligible for goal churn (empty disables it).
   std::vector<uint32_t> goal_classes;
+  /// Upper bound on corruption episodes; 0 draws none — and consumes no
+  /// RNG, so schedules generated before corruption existed are unchanged.
+  int max_corrupt_episodes = 0;
 };
 
 /// Deterministically expands (seed, limits) into a random schedule over

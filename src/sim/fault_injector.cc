@@ -41,6 +41,12 @@ FaultInjector::FaultInjector(Simulator* simulator, uint32_t num_nodes,
     MEMGOAL_CHECK(event.to < num_nodes);
     MEMGOAL_CHECK(event.from != event.to);
   }
+  MEMGOAL_CHECK(params.mttc_ms >= 0.0);
+  for (const CorruptionEvent& event : params.corruption_script) {
+    MEMGOAL_CHECK(event.at_ms >= 0.0);
+    MEMGOAL_CHECK(event.node < num_nodes);
+    MEMGOAL_CHECK(event.count > 0);
+  }
 }
 
 void FaultInjector::SetCallbacks(Callback on_crash, Callback on_recover) {
@@ -56,6 +62,10 @@ void FaultInjector::SetDegradationCallbacks(Callback on_degrade,
 
 void FaultInjector::SetPartitionCallback(TopologyCallback on_change) {
   on_topology_change_ = std::move(on_change);
+}
+
+void FaultInjector::SetCorruptionCallback(CorruptionCallback on_corrupt) {
+  on_corrupt_ = std::move(on_corrupt);
 }
 
 void FaultInjector::Start() {
@@ -97,11 +107,18 @@ void FaultInjector::Start() {
       }
     });
   }
+  for (const CorruptionEvent& event : params_.corruption_script) {
+    simulator_->At(event.at_ms, [this, event] {
+      for (uint32_t i = 0; i < event.count; ++i) {
+        Corrupt(event.node, common::Mix64(event.salt + i));
+      }
+    });
+  }
   // One independent stochastic stream per node per failure kind, forked
   // from the master seed so adding a node never perturbs another node's
-  // draws. Crash streams fork first and the single whole-cluster partition
-  // stream forks last: enabling a later kind leaves every earlier kind's
-  // schedule bit-identical.
+  // draws. Streams fork in the order the kinds were introduced — crash,
+  // degradation, partition, corruption — so enabling a later kind leaves
+  // every earlier kind's schedule bit-identical.
   if (params_.mttf_ms > 0.0) {
     for (uint32_t node = 0; node < num_nodes(); ++node) {
       simulator_->Spawn(LifeCycle(node, rng_.Fork()));
@@ -114,6 +131,11 @@ void FaultInjector::Start() {
   }
   if (params_.mttp_ms > 0.0) {
     simulator_->Spawn(PartitionCycle(rng_.Fork()));
+  }
+  if (params_.mttc_ms > 0.0) {
+    for (uint32_t node = 0; node < num_nodes(); ++node) {
+      simulator_->Spawn(CorruptionCycle(node, rng_.Fork()));
+    }
   }
 }
 
@@ -233,6 +255,13 @@ bool FaultInjector::RestoreLink(uint32_t from, uint32_t to, bool symmetric) {
   return true;
 }
 
+bool FaultInjector::Corrupt(uint32_t node, uint64_t draw) {
+  MEMGOAL_CHECK(node < num_nodes());
+  ++stats_.corruptions;
+  if (on_corrupt_) on_corrupt_(node, draw);
+  return true;
+}
+
 void FaultInjector::NotifyTopologyChange() {
   ++partition_epoch_;
   if (on_topology_change_) on_topology_change_();
@@ -279,6 +308,13 @@ Task<void> FaultInjector::PartitionCycle(common::Rng rng) {
     SetPartition(groups);
     co_await simulator_->Delay(rng.Exponential(params_.partition_heal_ms));
     HealPartition();
+  }
+}
+
+Task<void> FaultInjector::CorruptionCycle(uint32_t node, common::Rng rng) {
+  while (true) {
+    co_await simulator_->Delay(rng.Exponential(params_.mttc_ms));
+    Corrupt(node, rng.NextUint64());
   }
 }
 

@@ -14,7 +14,7 @@ namespace memgoal::sim {
 /// Schedules node crash/recovery and degradation events on the simulator
 /// clock.
 ///
-/// Three failure *kinds* are modeled, each with two composable event
+/// Four failure *kinds* are modeled, each with two composable event
 /// sources (a deterministic script and a seeded stochastic process):
 ///
 ///  - **Fail-stop crashes**: the node is down, its volatile state is gone.
@@ -34,6 +34,14 @@ namespace memgoal::sim {
 ///    (MTTP / heal time) that isolate a uniformly drawn minority, so a
 ///    majority component always exists. Partitions compose freely with
 ///    crashes and degradation.
+///  - **Silent data corruption**: a stored bit pattern on one node goes bad
+///    (bit rot on a disk-resident page, a flipped cached frame, a torn WAL
+///    tail). The injector only decides *when* and *where* (node plus one
+///    opaque 64-bit draw); the owner's callback maps the draw onto an
+///    actual page/frame/record, so the injector stays storage-agnostic.
+///    The stochastic process is a per-node Poisson process with mean
+///    inter-corruption time MTTC. Corruption composes freely with the
+///    other three kinds.
 ///
 /// The injector is the single source of truth for node availability and
 /// health: it tracks an up/down flag, a crash epoch and a slowdown factor
@@ -88,6 +96,17 @@ class FaultInjector {
     bool symmetric = true;
   };
 
+  struct CorruptionEvent {
+    SimTime at_ms = 0.0;
+    uint32_t node = 0;
+    /// Number of independent corruptions fired at `at_ms` (draws are
+    /// Mix64(salt + 0..count-1), so a scripted event is reproducible).
+    uint32_t count = 1;
+    /// Seeds the per-event draws; two events with different salts corrupt
+    /// different targets.
+    uint64_t salt = 0;
+  };
+
   struct Params {
     /// Deterministic crash/recovery schedule (may be empty).
     std::vector<ScriptEvent> script;
@@ -123,6 +142,14 @@ class FaultInjector {
     double mttp_ms = 0.0;
     /// Mean duration of a stochastic partition episode, ms.
     double partition_heal_ms = 10000.0;
+
+    /// Deterministic corruption schedule (may be empty).
+    std::vector<CorruptionEvent> corruption_script;
+    /// Mean time between stochastic per-node corruption events, ms;
+    /// 0 disables the process. Corruption streams fork *after* the
+    /// partition stream, so enabling corruption leaves every pre-existing
+    /// crash/degradation/partition schedule bit-identical.
+    double mttc_ms = 0.0;
   };
 
   struct Stats {
@@ -139,9 +166,16 @@ class FaultInjector {
     /// Directed links severed / restored (a symmetric cut counts once).
     uint64_t link_cuts = 0;
     uint64_t link_restores = 0;
+    /// Corruption events fired (scripted events count once per `count`).
+    uint64_t corruptions = 0;
   };
 
   using Callback = std::function<void(uint32_t node)>;
+  /// Runs synchronously per corruption event. `draw` is an opaque 64-bit
+  /// value the owner maps onto a concrete target (disk page, cached frame,
+  /// WAL tail) and a detectability outcome — deciding everything at
+  /// injection time keeps the access path free of RNG draws.
+  using CorruptionCallback = std::function<void(uint32_t node, uint64_t draw)>;
   /// Runs synchronously after every reachability change (group cut,
   /// reshape, heal, link cut or restore). Query Reachable()/Partitioned()
   /// from inside for the new topology.
@@ -161,6 +195,9 @@ class FaultInjector {
 
   /// Registers the owner's reachability-change handler (may be null).
   void SetPartitionCallback(TopologyCallback on_change);
+
+  /// Registers the owner's corruption handler (may be null).
+  void SetCorruptionCallback(CorruptionCallback on_corrupt);
 
   /// Schedules the scripts and spawns the stochastic per-node processes.
   /// Call at most once, before running the simulation.
@@ -227,6 +264,11 @@ class FaultInjector {
   /// `symmetric`). Returns false if nothing changed.
   bool RestoreLink(uint32_t from, uint32_t to, bool symmetric = true);
 
+  /// Manually fires one corruption event on `node` with the given draw.
+  /// Fires even while the node is down (bit rot does not need a CPU);
+  /// always returns true.
+  bool Corrupt(uint32_t node, uint64_t draw);
+
   const Stats& stats() const { return stats_; }
   const Params& params() const { return params_; }
 
@@ -234,6 +276,7 @@ class FaultInjector {
   Task<void> LifeCycle(uint32_t node, common::Rng rng);
   Task<void> DegradationCycle(uint32_t node, common::Rng rng);
   Task<void> PartitionCycle(common::Rng rng);
+  Task<void> CorruptionCycle(uint32_t node, common::Rng rng);
   void NotifyTopologyChange();
 
   Simulator* simulator_;
@@ -249,6 +292,7 @@ class FaultInjector {
   Callback on_degrade_;
   Callback on_restore_;
   TopologyCallback on_topology_change_;
+  CorruptionCallback on_corrupt_;
   // Group partition state: group_[node] is meaningful only while grouped_.
   bool grouped_ = false;
   std::vector<uint32_t> group_;

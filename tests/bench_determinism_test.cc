@@ -263,8 +263,8 @@ TEST(QueueBackendDifferential, ScenarioFilesReplayIdentically) {
   // files cover the interesting configuration space: multiclass goals,
   // stochastic crash faults, gray degradation, burst loss, partitions.
   const std::vector<std::string> scenarios = {
-      "base.conf", "faults.conf", "gray.conf", "oltp_dss.conf",
-      "partition.conf"};
+      "base.conf", "corrupt.conf", "faults.conf", "gray.conf",
+      "oltp_dss.conf", "partition.conf"};
   for (const std::string& name : scenarios) {
     const std::string path = std::string(MEMGOAL_SCENARIO_DIR "/") + name;
     std::ifstream file(path);
@@ -342,6 +342,47 @@ TEST(QueueBackendDifferential, LossyNetworkAndAuditReplayIdentically) {
       "net_loss=0.02\naudit=1\n"
       "classes=2\nclass1_goal_ms=80\n",
       "burst-loss+audit");
+}
+
+TEST(QueueBackendDifferential, ZeroRateCorruptionMachineryIsBitExact) {
+  // The integrity machinery at rate zero must be invisible: enabling the
+  // corruption keys without any corruption source (no MTTC process, no
+  // scripted strike, scrub off) makes no RNG draw and schedules no event,
+  // so the metrics CSV and decision log are byte-identical to a run that
+  // never heard of corruption — on both queue backends.
+  const std::string base =
+      "nodes=4\ndb_pages=800\ncache_bytes=262144\n"
+      "interval_ms=2000\nintervals=8\nseed=5\n"
+      "classes=2\nclass1_goal_ms=60\n"
+      "class0_interarrival_ms=40\nclass1_interarrival_ms=40\n"
+      "fault_mttf_ms=30000\nfault_mttr_ms=5000\n";
+  const std::string with_keys = base + "corrupt=all\ncorrupt_latent=0.25\n";
+  for (const sim::QueueBackend backend :
+       {sim::QueueBackend::kCalendar, sim::QueueBackend::kLegacyHeap}) {
+    const std::optional<BackendRun> off = RunScenarioText(base, backend);
+    const std::optional<BackendRun> on = RunScenarioText(with_keys, backend);
+    ASSERT_TRUE(off.has_value() && on.has_value());
+    EXPECT_GT(off->events, 0u);
+    EXPECT_EQ(off->events, on->events);
+    EXPECT_EQ(off->metrics_csv, on->metrics_csv);
+    EXPECT_EQ(off->decision_jsonl, on->decision_jsonl);
+  }
+}
+
+TEST(QueueBackendDifferential, CorruptionAndScrubReplayIdentically) {
+  // Active corruption: a scripted multi-strike episode plus the stochastic
+  // MTTC process, with the idle-bandwidth scrubber running. Detection,
+  // quarantine, replica repair and scrub ticks must all replay
+  // byte-identically across backends.
+  ExpectBackendsAgree(
+      "nodes=4\ndb_pages=800\ncache_bytes=262144\n"
+      "interval_ms=2000\nintervals=8\nseed=5\n"
+      "classes=2\nclass1_goal_ms=60\n"
+      "class0_interarrival_ms=40\nclass1_interarrival_ms=40\n"
+      "corrupt=all\ncorrupt_latent=0.25\nfault_mttc_ms=4000\n"
+      "corrupt_node=1\ncorrupt_at_ms=1500\ncorrupt_count=3\ncorrupt_salt=9\n"
+      "scrub=idle\nscrub_interval_ms=500\naudit=1\n",
+      "corruption+scrub");
 }
 
 }  // namespace

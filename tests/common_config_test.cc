@@ -128,6 +128,18 @@ TEST(ConfigTest, RejectUnknownFlagsSuggestsNearMiss) {
             std::string::npos);
 }
 
+TEST(ConfigTest, NearestSuggestionSharedHelper) {
+  // The helper behind the flag suggestions is reusable for enum-valued
+  // scenario keys (queue=, corrupt=, scrub=): within edit distance 2 it
+  // offers the nearest accepted value, beyond that nothing.
+  const std::vector<std::string> accepted = {"calendar", "heap"};
+  EXPECT_EQ(NearestSuggestion("calender", accepted), "calendar");
+  EXPECT_EQ(NearestSuggestion("heep", accepted), "heap");
+  EXPECT_EQ(NearestSuggestion("fibonacci", accepted), "");
+  EXPECT_EQ(NearestSuggestion("frmaes", {"off", "disk", "frames", "all"}),
+            "frames");
+}
+
 TEST(ConfigTest, RejectUnknownFlagsOmitsFarFetchedSuggestions) {
   const char* argv[] = {"prog", "--zzzzzz=1"};
   Config config;

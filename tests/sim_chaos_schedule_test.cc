@@ -18,7 +18,7 @@ namespace {
 bool SameEvent(const Event& a, const Event& b) {
   return a.at_ms == b.at_ms && a.kind == b.kind && a.node == b.node &&
          a.factor == b.factor && a.minority_mask == b.minority_mask &&
-         a.klass == b.klass;
+         a.klass == b.klass && a.count == b.count && a.salt == b.salt;
 }
 
 bool SameSchedule(const Schedule& a, const Schedule& b) {
@@ -129,9 +129,66 @@ TEST(ChaosScheduleTest, ApplyToFaultParamsRoutesEventsByKind) {
   EXPECT_DOUBLE_EQ(goals[0].factor, 1.5);
 }
 
-TEST(ChaosScheduleTest, TextRoundTripIsLossless) {
+TEST(ChaosScheduleTest, CorruptEventsRouteToCorruptionScript) {
+  Schedule schedule;
+  schedule.seed = 3;
+  schedule.num_nodes = 4;
+  schedule.horizon_ms = 50000.0;
+  schedule.events = {
+      {1000.0, EventKind::kCrash, 2, 0.0, 0, 0},
+      {2000.0, EventKind::kCorrupt, 1, 0.0, 0, 0, /*count=*/3,
+       /*salt=*/0xabcdefull},
+  };
+
+  FaultInjector::Params params;
+  ApplyToFaultParams(schedule, &params);
+  EXPECT_EQ(params.script.size(), 1u);
+  ASSERT_EQ(params.corruption_script.size(), 1u);
+  EXPECT_DOUBLE_EQ(params.corruption_script[0].at_ms, 2000.0);
+  EXPECT_EQ(params.corruption_script[0].node, 1u);
+  EXPECT_EQ(params.corruption_script[0].count, 3u);
+  EXPECT_EQ(params.corruption_script[0].salt, 0xabcdefull);
+}
+
+TEST(ChaosScheduleTest, CorruptGenerationIsOptInAndLeavesOldSeedsAlone) {
+  // max_corrupt_episodes = 0 must consume no RNG: every schedule generated
+  // before corruption existed stays bit-identical. Turning it on appends
+  // corrupt events without perturbing the rest of the schedule.
+  GenerateLimits with_corrupt = TestLimits();
+  with_corrupt.max_corrupt_episodes = 3;
   for (uint64_t seed = 1; seed <= 10; ++seed) {
-    const Schedule original = Generate(seed, TestLimits());
+    const Schedule off = Generate(seed, TestLimits());
+    const Schedule on = Generate(seed, with_corrupt);
+    for (const Event& event : off.events) {
+      EXPECT_NE(event.kind, EventKind::kCorrupt);
+    }
+    std::vector<Event> on_without_corrupt;
+    size_t corrupt_count = 0;
+    for (const Event& event : on.events) {
+      if (event.kind == EventKind::kCorrupt) {
+        ++corrupt_count;
+        EXPECT_GE(event.at_ms, 0.0);
+        EXPECT_LE(event.at_ms, on.horizon_ms);
+        EXPECT_LT(event.node, on.num_nodes);
+        EXPECT_GE(event.count, 1u);
+      } else {
+        on_without_corrupt.push_back(event);
+      }
+    }
+    EXPECT_GE(corrupt_count, 1u) << "seed " << seed;
+    ASSERT_EQ(on_without_corrupt.size(), off.events.size()) << "seed " << seed;
+    for (size_t i = 0; i < off.events.size(); ++i) {
+      EXPECT_TRUE(SameEvent(off.events[i], on_without_corrupt[i]))
+          << "seed " << seed << " event " << i;
+    }
+  }
+}
+
+TEST(ChaosScheduleTest, TextRoundTripIsLossless) {
+  GenerateLimits limits = TestLimits();
+  limits.max_corrupt_episodes = 2;
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    const Schedule original = Generate(seed, limits);
     Schedule parsed;
     ASSERT_TRUE(FromText(ToText(original), &parsed)) << "seed " << seed;
     EXPECT_TRUE(SameSchedule(original, parsed)) << "seed " << seed;

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -397,6 +398,118 @@ TEST(FaultInjectorTest, EnablingPartitionsKeepsCrashScheduleIdentical) {
 
   const auto without = crashes(0.0);
   const auto with = crashes(15000.0);
+  EXPECT_FALSE(without.empty());
+  EXPECT_EQ(without, with);
+}
+
+TEST(FaultInjectorTest, ScriptedCorruptionFiresCountStrikes) {
+  Simulator simulator;
+  FaultInjector::Params params;
+  params.corruption_script = {{100.0, 1, /*count=*/3, /*salt=*/42},
+                              {250.0, 2, /*count=*/1, /*salt=*/7}};
+  FaultInjector injector(&simulator, 3, params);
+
+  std::vector<std::tuple<double, uint32_t, uint64_t>> strikes;
+  injector.SetCorruptionCallback([&](uint32_t node, uint64_t draw) {
+    strikes.emplace_back(simulator.Now(), node, draw);
+  });
+  injector.Start();
+  simulator.RunUntil(300.0);
+
+  // Each scripted event fires `count` independent strikes with distinct,
+  // salt-derived draws, so a replayed script corrupts the same targets.
+  ASSERT_EQ(strikes.size(), 4u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(std::get<0>(strikes[i]), 100.0);
+    EXPECT_EQ(std::get<1>(strikes[i]), 1u);
+  }
+  EXPECT_NE(std::get<2>(strikes[0]), std::get<2>(strikes[1]));
+  EXPECT_NE(std::get<2>(strikes[1]), std::get<2>(strikes[2]));
+  EXPECT_DOUBLE_EQ(std::get<0>(strikes[3]), 250.0);
+  EXPECT_EQ(std::get<1>(strikes[3]), 2u);
+  EXPECT_EQ(injector.stats().corruptions, 4u);
+}
+
+TEST(FaultInjectorTest, CorruptionFiresWhileNodeIsDown) {
+  // Bit rot does not need a CPU: a corruption scheduled while the node is
+  // crashed still lands (the bad pattern greets the node when it reboots).
+  Simulator simulator;
+  FaultInjector::Params params;
+  params.script = {{50.0, 1, /*crash=*/true}};
+  params.corruption_script = {{100.0, 1, /*count=*/1, /*salt=*/9}};
+  FaultInjector injector(&simulator, 3, params);
+
+  int fired = 0;
+  injector.SetCorruptionCallback([&](uint32_t node, uint64_t) {
+    EXPECT_EQ(node, 1u);
+    EXPECT_FALSE(injector.IsUp(1));
+    ++fired;
+  });
+  injector.Start();
+  simulator.RunUntil(200.0);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(FaultInjectorTest, StochasticCorruptionIsDeterministicUnderSeed) {
+  auto run = [](uint64_t seed) {
+    Simulator simulator;
+    FaultInjector::Params params;
+    params.mttc_ms = 8000.0;
+    params.seed = seed;
+    FaultInjector injector(&simulator, 3, params);
+    std::vector<std::tuple<double, uint32_t, uint64_t>> strikes;
+    injector.SetCorruptionCallback([&](uint32_t node, uint64_t draw) {
+      strikes.emplace_back(simulator.Now(), node, draw);
+    });
+    injector.Start();
+    simulator.RunUntil(100000.0);
+    return strikes;
+  };
+
+  const auto a = run(7);
+  const auto b = run(7);
+  const auto c = run(8);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(FaultInjectorTest, EnablingCorruptionKeepsOtherSchedulesIdentical) {
+  // The corruption streams fork from the master seed after the crash,
+  // degradation and partition streams: turning corruption on must not
+  // perturb any pre-existing fault schedule (old seeds stay reproducible).
+  auto faults = [](double mttc_ms) {
+    Simulator simulator;
+    FaultInjector::Params params;
+    params.mttf_ms = 5000.0;
+    params.mttr_ms = 1000.0;
+    params.mttd_ms = 9000.0;
+    params.degradation_repair_ms = 2000.0;
+    params.mttp_ms = 20000.0;
+    params.partition_heal_ms = 5000.0;
+    params.seed = 7;
+    params.min_live_nodes = 1;
+    params.mttc_ms = mttc_ms;
+    FaultInjector injector(&simulator, 3, params);
+    // One interleaved log across all three pre-existing fault kinds: any
+    // perturbation of any stream shows up as a diff.
+    std::vector<std::tuple<double, char, uint64_t>> log;
+    injector.SetCallbacks(
+        [&](uint32_t node) { log.emplace_back(simulator.Now(), 'c', node); },
+        [&](uint32_t node) { log.emplace_back(simulator.Now(), 'r', node); });
+    injector.SetDegradationCallbacks(
+        [&](uint32_t node) { log.emplace_back(simulator.Now(), 'd', node); },
+        [&](uint32_t node) { log.emplace_back(simulator.Now(), 'u', node); });
+    injector.SetPartitionCallback([&] {
+      log.emplace_back(simulator.Now(), 'p', injector.partition_epoch());
+    });
+    injector.Start();
+    simulator.RunUntil(100000.0);
+    return log;
+  };
+
+  const auto without = faults(0.0);
+  const auto with = faults(12000.0);
   EXPECT_FALSE(without.empty());
   EXPECT_EQ(without, with);
 }

@@ -3,6 +3,7 @@
 #include "sim/simulator.h"
 #include "storage/database.h"
 #include "storage/disk.h"
+#include "storage/integrity.h"
 #include "storage/types.h"
 
 namespace memgoal::storage {
@@ -51,6 +52,66 @@ TEST(DiskTest, ReadsAreFcfsSerialized) {
   simulator.Run();
   EXPECT_NEAR(simulator.Now(), 3.0 * service, 1e-9);
   EXPECT_EQ(disk.reads_completed(), 3u);
+}
+
+TEST(IntegrityMapTest, StartsCleanAndTracksMarks) {
+  IntegrityMap map(10, 3);
+  EXPECT_FALSE(map.any_marked());
+  EXPECT_EQ(map.DiskFlaw(4), Flaw::kNone);
+  EXPECT_EQ(map.FrameFlaw(2, 4), Flaw::kNone);
+
+  EXPECT_TRUE(map.MarkDisk(4, Flaw::kDetectable));
+  EXPECT_TRUE(map.MarkFrame(2, 4, Flaw::kLatent));
+  EXPECT_TRUE(map.any_marked());
+  EXPECT_EQ(map.marked(), 2u);
+  EXPECT_EQ(map.DiskFlaw(4), Flaw::kDetectable);
+  EXPECT_EQ(map.FrameFlaw(2, 4), Flaw::kLatent);
+  // Disk and frame copies are distinct: the other copies stay clean.
+  EXPECT_EQ(map.FrameFlaw(0, 4), Flaw::kNone);
+  EXPECT_EQ(map.DiskFlaw(5), Flaw::kNone);
+}
+
+TEST(IntegrityMapTest, DoubleMarkKeepsFirstFlaw) {
+  IntegrityMap map(4, 2);
+  EXPECT_TRUE(map.MarkDisk(1, Flaw::kLatent));
+  // A second strike on an already-bad copy changes nothing: the pattern is
+  // already bad, and the ledger must not double-count.
+  EXPECT_FALSE(map.MarkDisk(1, Flaw::kDetectable));
+  EXPECT_EQ(map.DiskFlaw(1), Flaw::kLatent);
+  EXPECT_EQ(map.marked(), 1u);
+}
+
+TEST(IntegrityMapTest, ClearRemovesExactlyTheMark) {
+  IntegrityMap map(4, 2);
+  EXPECT_FALSE(map.ClearDisk(0));  // nothing marked
+  EXPECT_TRUE(map.MarkDisk(0, Flaw::kDetectable));
+  EXPECT_TRUE(map.MarkFrame(1, 0, Flaw::kDetectable));
+  EXPECT_TRUE(map.ClearDisk(0));
+  EXPECT_FALSE(map.ClearDisk(0));
+  // The frame mark survives a disk-copy rewrite.
+  EXPECT_EQ(map.FrameFlaw(1, 0), Flaw::kDetectable);
+  EXPECT_TRUE(map.ClearFrame(1, 0));
+  EXPECT_FALSE(map.any_marked());
+}
+
+TEST(IntegrityMapTest, ClearNodeFramesWipesOneNodeOnly) {
+  IntegrityMap map(6, 3);
+  EXPECT_TRUE(map.MarkFrame(1, 0, Flaw::kDetectable));
+  EXPECT_TRUE(map.MarkFrame(1, 3, Flaw::kLatent));
+  EXPECT_TRUE(map.MarkFrame(2, 3, Flaw::kDetectable));
+  EXPECT_TRUE(map.MarkDisk(3, Flaw::kDetectable));
+
+  EXPECT_EQ(map.ClearNodeFrames(1), 2u);
+  EXPECT_EQ(map.ClearNodeFrames(1), 0u);
+  EXPECT_EQ(map.FrameFlaw(2, 3), Flaw::kDetectable);
+  EXPECT_EQ(map.DiskFlaw(3), Flaw::kDetectable);
+  EXPECT_EQ(map.marked(), 2u);
+}
+
+TEST(IntegrityMapTest, FlawNames) {
+  EXPECT_STREQ(FlawName(Flaw::kNone), "none");
+  EXPECT_STREQ(FlawName(Flaw::kDetectable), "detectable");
+  EXPECT_STREQ(FlawName(Flaw::kLatent), "latent");
 }
 
 TEST(StorageLevelTest, Names) {

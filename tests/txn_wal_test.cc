@@ -27,7 +27,8 @@ TEST_F(WalTest, AppendAssignsMonotonicLsns) {
   EXPECT_EQ(wal_.Append(1, 128), 1u);
   EXPECT_EQ(wal_.Append(1, 128), 2u);
   EXPECT_EQ(wal_.Append(2, 64), 3u);
-  EXPECT_EQ(wal_.appended_bytes(), 320u);
+  // Payload plus one modeled CRC trailer per record.
+  EXPECT_EQ(wal_.appended_bytes(), 320u + 3 * Wal::kRecordCrcBytes);
   EXPECT_EQ(wal_.durable_lsn(), 0u);
 }
 
@@ -83,6 +84,78 @@ TEST_F(WalTest, RecordAppendedDuringWriteNeedsAnotherForce) {
   EXPECT_EQ(done2, 1);
   EXPECT_EQ(wal_.durable_lsn(), second);
   EXPECT_EQ(disk_.writes_completed(), 2u);
+}
+
+TEST_F(WalTest, CrashBetweenAppendAndForceTruncatesTail) {
+  const uint64_t durable = wal_.Append(1, 128);
+  int done = 0;
+  simulator_.Spawn(ForceTo(&wal_, durable, &done));
+  simulator_.Run();
+  ASSERT_EQ(wal_.durable_lsn(), durable);
+  // Two records appended but never forced: gone with the crash.
+  wal_.Append(2, 128);
+  wal_.Append(2, 128);
+  wal_.Crash();
+  EXPECT_EQ(wal_.Recover(), durable);
+  EXPECT_EQ(wal_.truncated_records(), 2u);
+  EXPECT_EQ(wal_.torn_writes(), 0u);
+  EXPECT_EQ(wal_.next_lsn(), durable + 1);
+}
+
+TEST_F(WalTest, CrashMidWriteTearsTheForce) {
+  const uint64_t lsn = wal_.Append(1, 128);
+  int done = 0;
+  simulator_.Spawn(ForceTo(&wal_, lsn, &done));
+  // Crash while the covering log write is still in flight: the write is
+  // torn, so its record must not come back as durable.
+  simulator_.RunUntil(disk_.PageServiceTime() / 2.0);
+  wal_.Crash();
+  simulator_.Run();
+  EXPECT_EQ(wal_.durable_lsn(), 0u);
+  EXPECT_EQ(wal_.torn_writes(), 1u);
+  EXPECT_EQ(wal_.Recover(), 0u);
+  EXPECT_EQ(wal_.truncated_records(), 1u);
+}
+
+TEST_F(WalTest, RecoveryTruncatesAtFirstCorruptRecord) {
+  wal_.Append(1, 128);
+  const uint64_t bad = wal_.Append(1, 128);
+  const uint64_t last = wal_.Append(1, 128);
+  int done = 0;
+  simulator_.Spawn(ForceTo(&wal_, last, &done));
+  simulator_.Run();
+  ASSERT_EQ(wal_.durable_lsn(), last);
+  // Bit rot on record 2: replay stops just before it, discarding 2 and 3
+  // even though 3's CRC is fine (nothing after the first bad record is
+  // trustworthy).
+  wal_.CorruptFrom(bad);
+  wal_.Crash();
+  EXPECT_EQ(wal_.Recover(), bad - 1);
+  EXPECT_EQ(wal_.truncated_records(), 2u);
+  EXPECT_EQ(wal_.durable_lsn(), bad - 1);
+}
+
+TEST_F(WalTest, ForceOfTruncatedLsnClampsToTail) {
+  wal_.Append(1, 128);
+  const uint64_t old_tail = wal_.Append(1, 128);
+  wal_.Crash();  // nothing was ever forced
+  ASSERT_EQ(wal_.Recover(), 0u);
+  // A caller still holding the pre-crash LSN forces it: the target is
+  // clamped to the (empty) tail, so the force returns without writing
+  // instead of spinning on an LSN that no longer exists.
+  int done = 0;
+  simulator_.Spawn(ForceTo(&wal_, old_tail, &done));
+  simulator_.Run();
+  EXPECT_EQ(done, 1);
+  EXPECT_EQ(disk_.writes_completed(), 0u);
+  // New appends restart at the truncation point and force normally.
+  const uint64_t fresh = wal_.Append(2, 64);
+  EXPECT_EQ(fresh, 1u);
+  int done2 = 0;
+  simulator_.Spawn(ForceTo(&wal_, fresh, &done2));
+  simulator_.Run();
+  EXPECT_EQ(done2, 1);
+  EXPECT_EQ(wal_.durable_lsn(), fresh);
 }
 
 }  // namespace

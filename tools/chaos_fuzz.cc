@@ -20,8 +20,12 @@
 //   --horizon-ms (150000)   schedule horizon
 //   --max-episodes (4)      per-kind episode cap of the generator
 //   --goal-ms (5.0)         class-1 response-time goal (churn scales it)
+//   --corrupt (0)           compose corruption episodes into generated
+//                           schedules and run the background scrubber (pass
+//                           it to replay runs of corrupt repros too)
 //   --inject-bug (none)     none | skip-heal-reconcile | no-epoch-fence |
-//                           leak-directory-entry
+//                           leak-directory-entry | skip-verify |
+//                           serve-quarantined | lost-page-leak
 //   --expect-violation      invert the exit code: pass iff a violation fires
 //   --repro-out (path)      write the shrunk repro of the first violation
 //   --replay (path)         replay a repro file instead of generating
@@ -65,6 +69,12 @@ bool ParseBug(const std::string& name, InjectedBug* out) {
     *out = InjectedBug::kNoEpochFence;
   } else if (name == "leak-directory-entry") {
     *out = InjectedBug::kLeakDirectoryEntry;
+  } else if (name == "skip-verify") {
+    *out = InjectedBug::kSkipVerify;
+  } else if (name == "serve-quarantined") {
+    *out = InjectedBug::kServeQuarantined;
+  } else if (name == "lost-page-leak") {
+    *out = InjectedBug::kLostPageLeak;
   } else {
     return false;
   }
@@ -74,12 +84,17 @@ bool ParseBug(const std::string& name, InjectedBug* out) {
 // Runs one schedule end to end under the auditor; deterministic in the
 // schedule (all randomness derives from schedule.seed).
 RunResult RunSchedule(const chaos::Schedule& schedule, InjectedBug bug,
-                      double goal_ms) {
+                      double goal_ms, bool corrupt) {
   SystemConfig config;
   config.num_nodes = schedule.num_nodes;
   config.seed = schedule.seed == 0 ? 1 : schedule.seed;
   config.injected_bug = bug;
   config.faults.min_live_nodes = 1;
+  if (corrupt) {
+    // Corruption runs scrub so disk strikes are found (and the repair
+    // ladder exercised) even on pages the workload never touches.
+    config.scrub_interval_ms = 400.0;
+  }
   chaos::ApplyToFaultParams(schedule, &config.faults);
 
   ClusterSystem system(config);
@@ -145,6 +160,8 @@ int Run(memgoal::common::Config& config) {
   limits.horizon_ms = config.GetDouble("horizon_ms", 150000.0);
   limits.max_episodes = static_cast<int>(config.GetInt("max_episodes", 4));
   limits.goal_classes = {1};
+  const bool corrupt = config.GetBool("corrupt", false);
+  if (corrupt) limits.max_corrupt_episodes = limits.max_episodes;
   const double goal_ms = config.GetDouble("goal_ms", 5.0);
   const std::string bug_name = config.GetString("inject_bug", "none");
   const bool expect_violation = config.GetBool("expect_violation", false);
@@ -177,7 +194,7 @@ int Run(memgoal::common::Config& config) {
                    replay_path.c_str());
       return 1;
     }
-    violation = RunSchedule(schedule, bug, goal_ms);
+    violation = RunSchedule(schedule, bug, goal_ms, corrupt);
     failing = schedule;
     if (violation.violated) {
       std::fprintf(stderr,
@@ -194,7 +211,7 @@ int Run(memgoal::common::Config& config) {
     for (int i = 0; i < seeds; ++i) {
       const uint64_t seed = seed_base + static_cast<uint64_t>(i);
       const chaos::Schedule schedule = chaos::Generate(seed, limits);
-      const RunResult result = RunSchedule(schedule, bug, goal_ms);
+      const RunResult result = RunSchedule(schedule, bug, goal_ms, corrupt);
       if (result.violated) {
         std::fprintf(stderr,
                      "seed %llu: VIOLATION %s at %.0f ms: %s "
@@ -218,7 +235,7 @@ int Run(memgoal::common::Config& config) {
     const std::string check = violation.check;
     const chaos::Schedule shrunk =
         chaos::Shrink(failing, [&](const chaos::Schedule& candidate) {
-          const RunResult r = RunSchedule(candidate, bug, goal_ms);
+          const RunResult r = RunSchedule(candidate, bug, goal_ms, corrupt);
           return r.violated && r.check == check;
         });
     std::FILE* file = std::fopen(repro_out.c_str(), "w");
@@ -230,14 +247,14 @@ int Run(memgoal::common::Config& config) {
     std::fwrite(text.data(), 1, text.size(), file);
     std::fclose(file);
 
-    const RunResult direct = RunSchedule(shrunk, bug, goal_ms);
+    const RunResult direct = RunSchedule(shrunk, bug, goal_ms, corrupt);
     chaos::Schedule reread;
     std::string reread_text;
     const bool replayable =
         ReadFileText(repro_out, &reread_text) &&
         chaos::FromText(reread_text, &reread) &&
         [&] {
-          const RunResult r = RunSchedule(reread, bug, goal_ms);
+          const RunResult r = RunSchedule(reread, bug, goal_ms, corrupt);
           return r.violated && r.check == direct.check &&
                  r.at_ms == direct.at_ms;
         }();

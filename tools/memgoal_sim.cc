@@ -30,6 +30,15 @@
 //                                      from the rest between the two times
 //   fault_mttp_ms (0), fault_partition_heal_ms (10000)
 //                                    — stochastic whole-cluster partitions
+//   corrupt (all | off | disk | frames)
+//                                    — corruption surface / kill switch
+//   fault_mttc_ms (0)                — stochastic per-node bit rot
+//   corrupt_node (-1), corrupt_at_ms (0), corrupt_count (1),
+//   corrupt_salt (1)                 — scripted corruption episode
+//   corrupt_latent (0)               — fraction of strikes the checksum
+//                                      misses (served unknowingly)
+//   scrub (off | idle), scrub_interval_ms (1000)
+//                                    — idle-disk background scrubber
 //   chaos_seed (0)                   — nonzero: overlay a generated chaos
 //                                      schedule (crash x gray x partition)
 //                                      on top of the scripted faults
@@ -264,6 +273,21 @@ int Run(memgoal::common::Config& config) {
         static_cast<unsigned long long>(system.reconcile_hints_sent()),
         static_cast<unsigned long long>(
             system.grants_rejected_stale_epoch()));
+  }
+  if (fault_stats.corruptions > 0 || system.pages_scrubbed() > 0) {
+    std::fprintf(
+        stderr,
+        "# corruption: injected=%llu detected=%llu served=%llu "
+        "latent_served=%llu quarantined=%llu repaired=%llu lost=%llu "
+        "scrubbed=%llu\n",
+        static_cast<unsigned long long>(fault_stats.corruptions),
+        static_cast<unsigned long long>(system.corrupt_detected()),
+        static_cast<unsigned long long>(system.corrupt_served()),
+        static_cast<unsigned long long>(system.latent_served()),
+        static_cast<unsigned long long>(system.quarantine_decisions()),
+        static_cast<unsigned long long>(system.repairs_replica()),
+        static_cast<unsigned long long>(system.pages_lost()),
+        static_cast<unsigned long long>(system.pages_scrubbed()));
   }
   if (audit) {
     auditor.WriteReport(stderr);
