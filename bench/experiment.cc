@@ -43,7 +43,7 @@ core::SystemConfig Setup::ToConfig() const {
 }
 
 std::unique_ptr<core::ClusterSystem> BuildSystem(const Setup& setup) {
-  MEMGOAL_CHECK(setup.goal_classes >= 1 && setup.goal_classes <= 2);
+  MEMGOAL_CHECK(setup.goal_classes >= 1 && setup.goal_classes <= 256);
   auto system = std::make_unique<core::ClusterSystem>(setup.ToConfig());
 
   const PageId range = setup.pages_per_class;

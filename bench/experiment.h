@@ -53,8 +53,12 @@ struct Setup {
   double disk_seek_ms = 4.0;
   double disk_rotation_ms = 6.0;
   double disk_transfer_mb_per_s = 20.0;
-  /// Number of goal classes (1 or 2). Class page ranges split the database
+  /// Number of goal classes (1..256; the paper's experiments use 1 or 2,
+  /// the scaling grid goes to 256). Class page ranges split the database
   /// evenly among all classes (goal classes first, no-goal class last).
+  /// Classes beyond class 1 start with inert goals, so a many-class system
+  /// costs per-class agents and coordinators but only partitions for the
+  /// classes a driver actually sets goals on.
   int goal_classes = 1;
   /// Probability that a class-2 access is drawn from class 1's range (§7.4
   /// data-sharing sweep). Only meaningful with goal_classes == 2.

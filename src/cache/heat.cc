@@ -55,6 +55,23 @@ double HeatTracker::HeatOf(PageId page, sim::SimTime now) const {
   return static_cast<double>(m) / (now - t_m + epsilon_ms_);
 }
 
+double HeatTracker::RecordAndHeat(PageId page, sim::SimTime now) {
+  Flush();
+  History* h = history_.Find(page);
+  if (h == nullptr) {
+    h = &history_[page];
+    h->offset = AllocateSlots();
+  }
+  slab_[h->offset + static_cast<uint32_t>(h->next)] = now;
+  h->next = (h->next + 1) % k_;
+  if (h->count < INT32_MAX) ++h->count;
+  const int m = std::min(h->count, static_cast<int32_t>(k_));
+  const int oldest = ((h->next - m) % k_ + k_) % k_;
+  const sim::SimTime t_m = slab_[h->offset + static_cast<uint32_t>(oldest)];
+  MEMGOAL_DCHECK(now >= t_m);
+  return static_cast<double>(m) / (now - t_m + epsilon_ms_);
+}
+
 sim::SimTime HeatTracker::BackwardKTime(PageId page) const {
   Flush();
   const History* h = history_.Find(page);

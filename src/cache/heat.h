@@ -44,6 +44,13 @@ class HeatTracker {
 
   double HeatOf(PageId page, sim::SimTime now) const;
 
+  /// RecordAccess(page, now) immediately followed by HeatOf(page, now),
+  /// fused into one history lookup. The per-access dissemination check
+  /// (Node::MaybePropagateHeat) reads the heat of exactly the page just
+  /// recorded, which through the separate calls costs a pending-log round
+  /// trip plus two hash probes per access.
+  double RecordAndHeat(PageId page, sim::SimTime now);
+
   /// The m-th most recent access time (m = min(count, K)), i.e. the LRU-K
   /// reference timestamp; 0 if never accessed. Exposed for the LRU-K
   /// replacement policy's victim ordering.

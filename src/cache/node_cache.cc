@@ -135,6 +135,7 @@ std::vector<PageId> NodeCache::Clear() {
     const std::vector<PageId> evicted = pool.Resize(0);
     MEMGOAL_CHECK(evicted.empty());  // pools were emptied above
   }
+  total_dedicated_bytes_ = 0;
   nogoal_pool_.Resize(total_bytes_);
   return dropped;
 }
@@ -150,7 +151,10 @@ uint64_t NodeCache::SetDedicatedBytes(ClassId klass, uint64_t bytes,
       dropped->push_back(victim);
     }
   };
-  collect(dedicated_.at(klass).Resize(granted));
+  BufferPool& pool = dedicated_.at(klass);
+  total_dedicated_bytes_ -= pool.capacity_bytes();
+  collect(pool.Resize(granted));
+  total_dedicated_bytes_ += pool.capacity_bytes();
   // The no-goal pool absorbs whatever is left of the node budget.
   collect(nogoal_pool_.Resize(nogoal_bytes()));
   return granted;
@@ -162,9 +166,14 @@ uint64_t NodeCache::dedicated_bytes(ClassId klass) const {
 }
 
 uint64_t NodeCache::total_dedicated_bytes() const {
-  uint64_t total = 0;
-  for (const auto& [klass, pool] : dedicated_) total += pool.capacity_bytes();
-  return total;
+  MEMGOAL_DCHECK([&] {
+    uint64_t total = 0;
+    for (const auto& [klass, pool] : dedicated_) {
+      total += pool.capacity_bytes();
+    }
+    return total == total_dedicated_bytes_;
+  }());
+  return total_dedicated_bytes_;
 }
 
 uint64_t NodeCache::AvailableForClass(ClassId klass) const {

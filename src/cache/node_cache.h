@@ -123,6 +123,11 @@ class NodeCache {
   uint32_t page_bytes_;
   BufferPool nogoal_pool_;
   std::map<ClassId, BufferPool> dedicated_;  // ordered for determinism
+  /// Sum of dedicated_ pool capacities, maintained at every capacity
+  /// change: AvailableForClass sits on the controller's per-class-per-node
+  /// rollup (O(K * N) calls per interval), where recomputing the sum made
+  /// the rollup O(K^2 * N).
+  uint64_t total_dedicated_bytes_ = 0;
   common::FlatHashMap<PageId, ClassId> page_location_;
   PolicyFactory factory_;
   uint64_t quarantined_ = 0;

@@ -92,6 +92,9 @@ void GoalOrientedController::RestartMeasurementOver(Coordinator* coordinator) {
   coordinator->store.SetActiveNodes(std::move(live));
   coordinator->warmup_step = 0;
   coordinator->consecutive_slow = 0;
+  // Topology changed: the LP's variable set (and its optimum) moved, so
+  // the retained simplex basis is stale — next solve starts cold.
+  coordinator->lp_warm_basis.status.clear();
   ++stats_.store_resets;
 }
 
@@ -137,6 +140,7 @@ void GoalOrientedController::ReevaluateLease(Coordinator* coordinator) {
       // Reacquire in place: the heal (or a crash on the other side)
       // restored this home's majority.
       ++coordinator->epoch;
+      coordinator->lp_warm_basis.status.clear();
       coordinator->has_lease = true;
       ++stats_.lease_acquisitions;
       AnnounceLease(coordinator);
@@ -156,6 +160,7 @@ void GoalOrientedController::ReevaluateLease(Coordinator* coordinator) {
     coordinator->home = i;
     ++stats_.coordinator_failovers;
     ++coordinator->epoch;
+    coordinator->lp_warm_basis.status.clear();
     coordinator->has_lease = true;
     ++stats_.lease_acquisitions;
     // Every view lived in the deposed coordinator's memory.
@@ -256,6 +261,7 @@ LpOutcomeCounters GoalOrientedController::LpOutcomes() const {
   counters.optimal = stats_.lp_status_optimal;
   counters.infeasible = stats_.lp_status_infeasible;
   counters.unbounded = stats_.lp_status_unbounded;
+  counters.iteration_limit = stats_.lp_status_iteration_limit;
   counters.relaxed_retries = stats_.lp_relaxed_retries;
   return counters;
 }
@@ -264,6 +270,7 @@ void GoalOrientedController::AccumulateLpStats(const LpOutcomeStats& lp) {
   stats_.lp_status_optimal += lp.optimal;
   stats_.lp_status_infeasible += lp.infeasible;
   stats_.lp_status_unbounded += lp.unbounded;
+  stats_.lp_status_iteration_limit += lp.iteration_limit;
   stats_.lp_relaxed_retries += lp.relaxed_retries;
 }
 
@@ -293,8 +300,12 @@ void GoalOrientedController::PublishMetrics(obs::Registry* registry) {
       ->Set(stats_.lp_status_infeasible);
   registry->GetCounter("ctrl.lp_status.unbounded")
       ->Set(stats_.lp_status_unbounded);
+  registry->GetCounter("ctrl.lp_status.iteration_limit")
+      ->Set(stats_.lp_status_iteration_limit);
   registry->GetCounter("ctrl.lp_relaxed_retries")
       ->Set(stats_.lp_relaxed_retries);
+  registry->GetCounter("ctrl.lp_warm_starts")->Set(stats_.lp_warm_starts);
+  registry->GetCounter("ctrl.lp_cold_starts")->Set(stats_.lp_cold_starts);
   registry->GetCounter("ctrl.partition_changes_observed")
       ->Set(stats_.partition_changes_observed);
   registry->GetCounter("ctrl.leases_lost")->Set(stats_.leases_lost);
@@ -674,11 +685,13 @@ sim::Task<void> GoalOrientedController::CoordinatorCheck(
       variance_input.mean_intercept = planes->intercept_k;
       variance_input.goal_rt = goal;
       variance_input.upper_bounds = input.upper_bounds;
+      variance_input.lp_backend = config.lp_backend;
       VarianceOptimizerOutput output =
           SolveVariancePartitioning(variance_input);
       target = std::move(output.allocation);
       mode = output.mode;
       AccumulateLpStats(output.lp_stats);
+      ++stats_.lp_cold_starts;
       if (decision_log != nullptr) {
         record.lp_run = true;
         record.lp_mode = OptimizerModeName(mode);
@@ -686,11 +699,23 @@ sim::Task<void> GoalOrientedController::CoordinatorCheck(
         record.lp_optimal = output.lp_stats.optimal;
         record.lp_infeasible = output.lp_stats.infeasible;
         record.lp_unbounded = output.lp_stats.unbounded;
+        record.lp_iteration_limit = output.lp_stats.iteration_limit;
         record.lp_relaxed_retries = output.lp_stats.relaxed_retries;
         record.lp_allocation = target;
       }
     } else {
       input.planes = std::move(*planes);
+      input.lp_backend = config.lp_backend;
+      // Warm-start from the previous interval's basis when one survived
+      // (same topology, same epoch). The solver validates it against the
+      // re-posed program and silently cold-starts on a mismatch.
+      const bool warm = !coordinator->lp_warm_basis.empty();
+      if (warm) {
+        input.warm = &coordinator->lp_warm_basis;
+        ++stats_.lp_warm_starts;
+      } else {
+        ++stats_.lp_cold_starts;
+      }
       OptimizerOutput output = SolvePartitioning(input);
       target = std::move(output.allocation);
       mode = output.mode;
@@ -703,9 +728,13 @@ sim::Task<void> GoalOrientedController::CoordinatorCheck(
         record.lp_optimal = output.lp_stats.optimal;
         record.lp_infeasible = output.lp_stats.infeasible;
         record.lp_unbounded = output.lp_stats.unbounded;
+        record.lp_iteration_limit = output.lp_stats.iteration_limit;
         record.lp_relaxed_retries = output.lp_stats.relaxed_retries;
+        record.lp_warm = warm;
+        record.lp_warm_basis = coordinator->lp_warm_basis.ToText();
         record.lp_allocation = target;
       }
+      coordinator->lp_warm_basis = std::move(output.basis);
     }
     ++stats_.lp_optimizations;
     if (mode == OptimizerMode::kBestEffort) {

@@ -90,7 +90,16 @@ class GoalOrientedController final : public Controller {
     uint64_t lp_status_optimal = 0;
     uint64_t lp_status_infeasible = 0;
     uint64_t lp_status_unbounded = 0;
+    /// Solves cut off by the simplex iteration safety bound (distinct from
+    /// infeasible — the LP was never classified).
+    uint64_t lp_status_iteration_limit = 0;
     uint64_t lp_relaxed_retries = 0;
+    /// LP runs that offered the previous interval's basis as a warm start
+    /// vs. runs posed cold (no basis retained, or it was invalidated by a
+    /// topology/epoch change). The solver itself may still silently reject
+    /// an offered basis that no longer fits the program.
+    uint64_t lp_warm_starts = 0;
+    uint64_t lp_cold_starts = 0;
     // Partition-tolerance counters (epoch-fenced leases).
     uint64_t partition_changes_observed = 0;
     /// Quorum leases dropped (cut or home death deposed the coordinator).
@@ -153,6 +162,11 @@ class GoalOrientedController final : public Controller {
     /// True while `home` holds the quorum lease; without it the
     /// coordinator neither checks nor re-partitions (static fallback).
     bool has_lease = true;
+    /// Final simplex basis of the last successful LP solve, offered as a
+    /// warm start to the next one. Cleared whenever measurement restarts
+    /// (crash/recovery/partition/epoch change): the LP shape or operating
+    /// point moved, so the old basis is stale.
+    la::SimplexBasis lp_warm_basis;
   };
 
   /// Last values each agent sent, for the significant-change filter.

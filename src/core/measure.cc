@@ -61,11 +61,18 @@ la::Vector MeasureStore::RowOf(const la::Vector& allocation) const {
 
 size_t MeasureStore::FindMatching(const la::Vector& allocation) const {
   for (size_t i = 0; i < entries_.size(); ++i) {
-    double diff = 0.0;
+    bool match = true;
     for (size_t j = 0; j < num_nodes_; ++j) {
-      diff = std::max(diff, std::fabs(entries_[i].allocation[j] - allocation[j]));
+      // Early exit on the first differing coordinate: at 256 nodes almost
+      // every stored entry differs in the first few nodes, so the common
+      // case is O(1) per entry instead of O(N).
+      if (std::fabs(entries_[i].allocation[j] - allocation[j]) >
+          kSameAllocationTolerance) {
+        match = false;
+        break;
+      }
     }
-    if (diff <= kSameAllocationTolerance) return i;
+    if (match) return i;
   }
   return kNpos;
 }
@@ -199,6 +206,12 @@ MeasureStore::ObserveOutcome MeasureStore::ObserveDetailed(
   std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
     return entries_[a].seq < entries_[b].seq;
   });
+  // Each failed probe costs an O(N^2) rank-one update plus its undo; at 256
+  // nodes probing all N+1 slots makes one observation cubic. A dependent
+  // replacement nearly always stays dependent across neighboring-age slots,
+  // so capping the probe changes nothing on small stores (the committed
+  // scenarios have <= 13 slots) and bounds the tail at scale.
+  if (order.size() > kMaxReplaceProbes) order.resize(kMaxReplaceProbes);
   const la::Vector row = RowOf(allocation);
   for (size_t slot : order) {
     if (!inverse_.ReplaceRow(slot, row)) continue;

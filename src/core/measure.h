@@ -59,6 +59,11 @@ class MeasureStore {
   /// Condition-estimate limit of the measure-point matrix; a committed
   /// update pushing ‖B‖∞·‖B⁻¹‖∞ past this forces a store reset.
   static constexpr double kConditionResetLimit = 1e12;
+  /// Oldest-first replacement slots probed per observation on a full store.
+  /// Larger than any committed scenario's store (N+1 ≤ 13), so behavior is
+  /// unchanged there; at 256 nodes it bounds the per-observation worst case
+  /// at kMaxReplaceProbes rank-one updates instead of N+1.
+  static constexpr size_t kMaxReplaceProbes = 32;
 
   explicit MeasureStore(size_t num_nodes);
 

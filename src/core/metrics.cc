@@ -17,12 +17,12 @@ void MetricsLog::WriteCsv(std::FILE* out) const {
                "interval,end_time_ms,class,observed_rt_ms,goal_rt_ms,"
                "tolerance_ms,satisfied,dedicated_bytes,ops_completed,"
                "ops_arrived,ops_failed,nodes_up,lp_optimal,lp_infeasible,"
-               "lp_unbounded,lp_relaxed_retries\n");
+               "lp_unbounded,lp_iteration_limit,lp_relaxed_retries\n");
   for (const IntervalRecord& record : records_) {
     for (const ClassIntervalMetrics& m : record.classes) {
       std::fprintf(out,
                    "%d,%.3f,%u,%.6f,%.6f,%.6f,%d,%llu,%llu,%llu,%llu,%u,"
-                   "%llu,%llu,%llu,%llu\n",
+                   "%llu,%llu,%llu,%llu,%llu\n",
                    record.index, record.end_time_ms, m.klass, m.observed_rt_ms,
                    m.goal_rt_ms, m.tolerance_ms, m.satisfied ? 1 : 0,
                    static_cast<unsigned long long>(m.dedicated_bytes),
@@ -33,6 +33,7 @@ void MetricsLog::WriteCsv(std::FILE* out) const {
                    static_cast<unsigned long long>(record.lp.optimal),
                    static_cast<unsigned long long>(record.lp.infeasible),
                    static_cast<unsigned long long>(record.lp.unbounded),
+                   static_cast<unsigned long long>(record.lp.iteration_limit),
                    static_cast<unsigned long long>(record.lp.relaxed_retries));
     }
   }

@@ -39,6 +39,8 @@ struct LpOutcomeCounters {
   uint64_t optimal = 0;
   uint64_t infeasible = 0;
   uint64_t unbounded = 0;
+  /// Solves cut off by the simplex iteration safety bound.
+  uint64_t iteration_limit = 0;
   uint64_t relaxed_retries = 0;
 };
 

@@ -16,9 +16,10 @@ double PredictRt(const la::Vector& grad, double intercept,
 }
 
 la::SimplexResult SolveLp(const OptimizerInput& input, bool equality,
-                          double goal_rt, LpOutcomeStats* stats) {
+                          double goal_rt, const la::SimplexBasis* warm,
+                          LpOutcomeStats* stats) {
   const size_t n = input.upper_bounds.size();
-  la::SimplexSolver solver(n);
+  la::SimplexSolver solver(n, input.lp_backend);
   solver.SetObjective(input.planes.grad_0);
   const double rhs = goal_rt - input.planes.intercept_k;
   if (equality) {
@@ -29,7 +30,7 @@ la::SimplexResult SolveLp(const OptimizerInput& input, bool equality,
   for (size_t i = 0; i < n; ++i) {
     solver.SetUpperBound(i, input.upper_bounds[i]);
   }
-  la::SimplexResult result = solver.Solve();
+  la::SimplexResult result = solver.Solve(warm);
   CountLpOutcome(result.status, stats);
   return result;
 }
@@ -44,16 +45,19 @@ OptimizerOutput SolvePartitioning(const OptimizerInput& input) {
 
   OptimizerOutput output;
 
-  la::SimplexResult lp =
-      SolveLp(input, /*equality=*/true, input.goal_rt, &output.lp_stats);
+  la::SimplexResult lp = SolveLp(input, /*equality=*/true, input.goal_rt,
+                                 input.warm, &output.lp_stats);
   if (lp.status == la::SimplexStatus::kOptimal) {
     output.mode = OptimizerMode::kGoalEquality;
     output.allocation = std::move(lp.x);
+    output.basis = std::move(lp.basis);
   } else {
-    lp = SolveLp(input, /*equality=*/false, input.goal_rt, &output.lp_stats);
+    lp = SolveLp(input, /*equality=*/false, input.goal_rt, /*warm=*/nullptr,
+                 &output.lp_stats);
     if (lp.status == la::SimplexStatus::kOptimal) {
       output.mode = OptimizerMode::kGoalInequality;
       output.allocation = std::move(lp.x);
+      output.basis = std::move(lp.basis);
     }
   }
   if (output.allocation.empty()) {
@@ -65,12 +69,14 @@ OptimizerOutput SolvePartitioning(const OptimizerInput& input) {
       ++output.lp_stats.relaxed_retries;
       const double relaxed =
           input.goal_rt * (1.0 + kGoalRelaxationLadder[rung]);
-      lp = SolveLp(input, /*equality=*/false, relaxed, &output.lp_stats);
+      lp = SolveLp(input, /*equality=*/false, relaxed, /*warm=*/nullptr,
+                   &output.lp_stats);
       if (lp.status == la::SimplexStatus::kOptimal) {
         output.mode = OptimizerMode::kGoalRelaxed;
         output.relaxed_goal_rt = relaxed;
         output.relaxed_rung = static_cast<int>(rung);
         output.allocation = std::move(lp.x);
+        output.basis = std::move(lp.basis);
         break;
       }
     }
@@ -86,10 +92,20 @@ OptimizerOutput SolvePartitioning(const OptimizerInput& input) {
     output.allocation = input.upper_bounds;
   }
 
-  // Clamp tiny negative values from LP arithmetic.
+  // Snap values within relative LP tolerance of a bound exactly onto it,
+  // then clamp. Both backends place optima at the same vertices; the snap
+  // erases their (sub-tolerance) arithmetic differences so the controller's
+  // page rounding downstream sees identical allocations.
   for (size_t i = 0; i < n; ++i) {
-    output.allocation[i] =
-        std::min(std::max(output.allocation[i], 0.0), input.upper_bounds[i]);
+    const double ub = input.upper_bounds[i];
+    const double snap = 1e-9 * std::max(1.0, ub);
+    double v = output.allocation[i];
+    if (std::fabs(v - ub) <= snap) {
+      v = ub;
+    } else if (std::fabs(v) <= snap) {
+      v = 0.0;
+    }
+    output.allocation[i] = std::min(std::max(v, 0.0), ub);
   }
   output.predicted_rt_k =
       PredictRt(input.planes.grad_k, input.planes.intercept_k,

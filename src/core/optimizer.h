@@ -18,6 +18,13 @@ struct OptimizerInput {
   /// Per-node upper bounds U_i = SIZE_i - sum_{l != k} LM_l,i (equation 6),
   /// in bytes.
   la::Vector upper_bounds;
+  /// Which simplex backend solves the LPs.
+  la::LpBackend lp_backend = la::LpBackend::kRevised;
+  /// Optional warm-start basis from the previous control interval's solve
+  /// (revised backend only). Applied to the first (equality) solve; the
+  /// fallback chain re-poses the LP, so later rungs start cold. The solver
+  /// validates the basis and silently cold-starts when it no longer fits.
+  const la::SimplexBasis* warm = nullptr;
 };
 
 /// How the returned allocation was obtained.
@@ -45,6 +52,10 @@ struct LpOutcomeStats {
   uint64_t optimal = 0;
   uint64_t infeasible = 0;
   uint64_t unbounded = 0;
+  /// Solves cut off by the simplex iteration safety bound. Distinct from
+  /// infeasible: the LP was never classified, and the retry ladder re-poses
+  /// it rather than trusting a half-finished basis.
+  uint64_t iteration_limit = 0;
   /// Relaxed-goal retries attempted after the inequality LP was infeasible.
   uint64_t relaxed_retries = 0;
 
@@ -52,6 +63,7 @@ struct LpOutcomeStats {
     optimal += other.optimal;
     infeasible += other.infeasible;
     unbounded += other.unbounded;
+    iteration_limit += other.iteration_limit;
     relaxed_retries += other.relaxed_retries;
     return *this;
   }
@@ -89,6 +101,9 @@ inline void CountLpOutcome(la::SimplexStatus status, LpOutcomeStats* stats) {
     case la::SimplexStatus::kUnbounded:
       ++stats->unbounded;
       break;
+    case la::SimplexStatus::kIterationLimit:
+      ++stats->iteration_limit;
+      break;
   }
 }
 
@@ -106,6 +121,10 @@ struct OptimizerOutput {
   int relaxed_rung = -1;
   /// Simplex outcome counts of this solve's fallback chain.
   LpOutcomeStats lp_stats;
+  /// Final basis of the solve that produced `allocation` (revised backend
+  /// only; empty otherwise). Feed back as `OptimizerInput::warm` next
+  /// interval.
+  la::SimplexBasis basis;
 };
 
 /// Solves for the new partitioning of one goal class: minimize the

@@ -75,6 +75,17 @@ std::optional<Scenario> LoadScenario(common::Config& config,
     if (error) *error = BadEnumValue("queue", queue, {"calendar", "heap"});
     return std::nullopt;
   }
+  const std::string lp = config.GetString("lp", "revised");
+  if (lp == "revised") {
+    system_config.lp_backend = la::LpBackend::kRevised;
+  } else if (lp == "dense") {
+    system_config.lp_backend = la::LpBackend::kDense;
+  } else {
+    if (error) *error = BadEnumValue("lp", lp, {"revised", "dense"});
+    return std::nullopt;
+  }
+  system_config.hint_fanout_budget =
+      static_cast<uint32_t>(config.GetInt("hint_budget", 0));
   system_config.disk.avg_seek_ms = config.GetDouble("disk_seek_ms", 8.0);
   system_config.disk.rotation_ms = config.GetDouble("disk_rotation_ms", 8.33);
   system_config.disk.transfer_mb_per_s =

@@ -117,15 +117,21 @@ double Node::BenefitOf(ClassId pool_class, PageId page) const {
 
 void Node::RecordAccessHeat(ClassId klass, PageId page) {
   const sim::SimTime now = system_->simulator().Now();
-  accumulated_heat_.RecordAccess(page, now);
+  // Propagation must be checked per access (see the declaration comment)
+  // and needs the heat of exactly this page, so record and read are fused
+  // into one history operation instead of a pending append plus a
+  // flush-of-one on the read.
+  const double heat = accumulated_heat_.RecordAndHeat(page, now);
   if (klass != kNoGoalClass) {
-    class_heat_.try_emplace(klass, system_->config().lru_k)
-        .first->second.RecordAccess(page, now);
+    if (klass != class_heat_memo_class_) {
+      class_heat_memo_ =
+          &class_heat_.try_emplace(klass, system_->config().lru_k)
+               .first->second;
+      class_heat_memo_class_ = klass;
+    }
+    class_heat_memo_->RecordAccess(page, now);
   }
-  // Propagation must be checked per access (see the declaration comment);
-  // reading the heat flushes the trackers' pending batch, but only for
-  // pages that are actually re-read, which the batching already amortizes.
-  MaybePropagateHeat(page);
+  MaybePropagateHeat(page, heat);
 }
 
 sim::Task<void> Node::DeliverHeatReport(NodeId home, PageId page,
@@ -147,22 +153,32 @@ sim::Task<void> Node::DeliverHeatReport(NodeId home, PageId page,
   }
 }
 
-void Node::MaybePropagateHeat(PageId page) {
+void Node::MaybePropagateHeat(PageId page, double heat) {
   const SystemConfig& config = system_->config();
-  const double heat = AccumulatedHeat(page);
   const double* reported = reported_heat_.Find(page);
   const double last = reported == nullptr ? 0.0 : *reported;
   const bool significant =
       last == 0.0 ? heat > 0.0
                   : std::fabs(heat - last) > config.hint_heat_threshold * last;
   if (!significant) return;
-  reported_heat_[page] = heat;
   const NodeId home = system_->database().HomeOf(page);
   if (home == id_) {
+    reported_heat_[page] = heat;
     system_->directory().ReportLocalHeat(id_, page, heat);
-  } else {
-    system_->simulator().Spawn(DeliverHeatReport(home, page, heat));
+    return;
   }
+  if (config.hint_fanout_budget > 0 &&
+      hint_sends_this_interval_ >= config.hint_fanout_budget) {
+    // Over the per-interval fan-out budget. Skip the send *without*
+    // updating the last-reported heat: the change stays significant, so
+    // the threshold filter re-offers the hint next interval on its own —
+    // no owed-hints bookkeeping needed.
+    ++hint_budget_skips_;
+    return;
+  }
+  ++hint_sends_this_interval_;
+  reported_heat_[page] = heat;
+  system_->simulator().Spawn(DeliverHeatReport(home, page, heat));
 }
 
 void Node::ResetVolatileState() {
@@ -863,14 +879,14 @@ void ClusterSystem::CountFetchFallback(ClassId klass) {
 
 ClusterSystem::IntervalAccumulator& ClusterSystem::Accumulator(ClassId klass,
                                                                NodeId node) {
-  return accumulators_[{klass, node}];
+  return accumulators_[ClassNodeKey(klass, node)];
 }
 
 const ClusterSystem::Observation& ClusterSystem::observation(
     ClassId klass, NodeId node) const {
   static const Observation kEmpty;
-  auto it = observations_.find({klass, node});
-  return it == observations_.end() ? kEmpty : it->second;
+  const Observation* obs = observations_.Find(ClassNodeKey(klass, node));
+  return obs == nullptr ? kEmpty : *obs;
 }
 
 uint64_t ClusterSystem::ApplyAllocation(ClassId klass, NodeId node,
@@ -1104,7 +1120,8 @@ std::optional<double> ClusterSystem::WeightedRt(ClassId klass) const {
 sim::Task<void> ClusterSystem::WorkloadSource(NodeId node, ClassId klass) {
   common::Rng rng = ForkRng();
   const workload::ClassSpec& class_spec = spec(klass);
-  workload::PageSelector selector(class_spec);
+  const workload::PageSelector& selector =
+      class_selectors_.try_emplace(klass, class_spec).first->second;
   while (true) {
     // The spec is re-read every iteration so run-time changes
     // (SetInterarrival, SetAccessesPerOp) take effect immediately.
@@ -1153,7 +1170,7 @@ sim::Task<void> ClusterSystem::IntervalLoop() {
     for (const workload::ClassSpec& class_spec : classes_) {
       for (NodeId i = 0; i < config_.num_nodes; ++i) {
         IntervalAccumulator& acc = Accumulator(class_spec.id, i);
-        Observation& obs = observations_[{class_spec.id, i}];
+        Observation& obs = observations_[ClassNodeKey(class_spec.id, i)];
         obs.arrived = acc.arrived;
         obs.completed = acc.completed;
         obs.failed = acc.failed;
@@ -1191,6 +1208,9 @@ sim::Task<void> ClusterSystem::IntervalLoop() {
       record.classes.push_back(m);
     }
     metrics_.Append(record);
+
+    // New interval, fresh hint fan-out budget.
+    for (auto& node : nodes_) node->hint_sends_this_interval_ = 0;
 
     // Bounded-memory sweep of the LRU-K heat histories: records of
     // non-resident pages whose backward-K time fell behind the horizon are
@@ -1280,6 +1300,11 @@ void ClusterSystem::PublishRegistrySnapshot(int interval_index) {
   registry_.GetCounter("cluster.repairs_replica")->Set(repairs_replica_);
   registry_.GetCounter("cluster.pages_lost")->Set(pages_lost_);
   registry_.GetCounter("cluster.pages_scrubbed")->Set(pages_scrubbed_);
+  uint64_t hint_budget_skips = 0;
+  for (const auto& node : nodes_) {
+    hint_budget_skips += node->hint_budget_skips_;
+  }
+  registry_.GetCounter("cluster.hint_budget_skips")->Set(hint_budget_skips);
   registry_.GetCounter("cluster.scrub_skipped_busy")
       ->Set(scrub_skipped_busy_);
   if (auditor_ != nullptr) {

@@ -20,6 +20,7 @@
 #include "cache/replacement.h"
 #include "common/rng.h"
 #include "core/metrics.h"
+#include "la/simplex.h"
 #include "net/directory.h"
 #include "net/network.h"
 #include "obs/decision_log.h"
@@ -35,6 +36,7 @@
 #include "storage/disk.h"
 #include "storage/integrity.h"
 #include "storage/types.h"
+#include "workload/page_selector.h"
 #include "workload/page_selector.h"
 #include "workload/spec.h"
 
@@ -182,6 +184,10 @@ struct SystemConfig {
   double release_step_fraction = 0.10;
   /// Optimization objective used by the goal-oriented controller.
   PartitioningObjective objective = PartitioningObjective::kMinimizeNoGoalRt;
+  /// Simplex backend for the partitioning LPs. kDense reproduces the
+  /// original full-tableau solver for differential testing; the revised
+  /// backend scales to hundreds of nodes and warm-starts between intervals.
+  la::LpBackend lp_backend = la::LpBackend::kRevised;
 
   // -- Replacement (§6) -----------------------------------------------------
   cache::PolicyKind policy = cache::PolicyKind::kCostBased;
@@ -190,6 +196,12 @@ struct SystemConfig {
   /// heat changed by more than this relative factor (threshold-based
   /// dissemination).
   double hint_heat_threshold = 0.2;
+  /// Maximum *remote* heat-hint sends per node per observation interval;
+  /// 0 means unlimited. Over-budget hints are skipped without updating the
+  /// node's last-reported heat, so the threshold filter naturally re-offers
+  /// them next interval — at 256 nodes this bounds directory fan-out
+  /// instead of letting hint traffic grow with the page population.
+  uint32_t hint_fanout_budget = 0;
   /// Heat-history retention horizon in observation intervals: once per
   /// interval each node drops LRU-K records of non-resident pages whose
   /// backward-K time is older than `heat_horizon_intervals` intervals, so
@@ -388,7 +400,7 @@ class Node {
   /// changes replacement dynamics (the home's global heat lags a full
   /// interval), so only the heat *arithmetic* is batched (see HeatTracker),
   /// never the propagation decision.
-  void MaybePropagateHeat(PageId page);
+  void MaybePropagateHeat(PageId page, double heat);
   void AfterInsert(PageId page);
   double BenefitOf(ClassId pool_class, PageId page) const;
   std::unique_ptr<cache::ReplacementPolicy> MakePolicy(ClassId pool_class);
@@ -399,9 +411,22 @@ class Node {
   storage::Disk disk_;
   cache::HeatTracker accumulated_heat_;
   std::map<ClassId, cache::HeatTracker> class_heat_;
+  /// One-entry memo over class_heat_ for the per-access RecordAccessHeat
+  /// lookup (consecutive page accesses come from the same op, hence the
+  /// same class). std::map node addresses are stable under insertion and
+  /// nothing erases class_heat_ entries (ResetVolatileState reassigns
+  /// trackers in place — the same stability the LRU-K policy's captured
+  /// tracker pointer depends on), so the memo can never dangle.
+  ClassId class_heat_memo_class_ = kNoGoalClass;
+  cache::HeatTracker* class_heat_memo_ = nullptr;
   common::FlatHashMap<PageId, double> reported_heat_;
   // Heat reports lost to a partition cut, owed to their homes at heal time.
   std::set<PageId> unsynced_hints_;
+  /// Remote heat hints sent since the last interval boundary, counted
+  /// against SystemConfig::hint_fanout_budget (reset each interval).
+  uint32_t hint_sends_this_interval_ = 0;
+  /// Lifetime count of hints deferred by the fan-out budget.
+  uint64_t hint_budget_skips_ = 0;
   std::unique_ptr<cache::NodeCache> cache_;
 };
 
@@ -734,13 +759,27 @@ class ClusterSystem {
   sim::FaultInjector fault_injector_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<workload::ClassSpec> classes_;
+  /// One PageSelector per class, shared by every node's WorkloadSource.
+  /// Sampling is stateless (the RNG is passed in), so sharing draws the
+  /// same pages as per-source copies did — but a selector carries O(pages)
+  /// cdf/guide tables, and one copy per (node, class) source put hundreds
+  /// of megabytes of identical tables between the workload and the cache
+  /// at 256 nodes x 256 classes. Built lazily at first source start so the
+  /// spec is frozen at the same instant it was with per-source copies.
+  std::map<ClassId, workload::PageSelector> class_selectors_;
   std::unique_ptr<Controller> controller_;
   IntervalCallback interval_callback_;
   bool started_ = false;
 
-  // (klass, node) -> accumulator / last observation.
-  std::map<std::pair<ClassId, NodeId>, IntervalAccumulator> accumulators_;
-  std::map<std::pair<ClassId, NodeId>, Observation> observations_;
+  // (klass << 32 | node) -> accumulator / last observation. Flat tables,
+  // not std::map: Accumulator() sits on the per-access path and the
+  // controller rollup touches every (class, node) pair each interval, so
+  // tree lookups over K * N entries dominated large-grid profiles.
+  static uint64_t ClassNodeKey(ClassId klass, NodeId node) {
+    return (static_cast<uint64_t>(klass) << 32) | node;
+  }
+  common::FlatHashMap<uint64_t, IntervalAccumulator> accumulators_;
+  common::FlatHashMap<uint64_t, Observation> observations_;
   std::map<ClassId, AccessCounters> counters_;
   MetricsLog metrics_;
   int intervals_completed_ = 0;

@@ -14,7 +14,7 @@ namespace {
 la::SimplexResult SolveLp(const VarianceOptimizerInput& input, bool equality,
                           double goal_rt, LpOutcomeStats* stats) {
   const size_t n = input.upper_bounds.size();
-  la::SimplexSolver solver(2 * n);
+  la::SimplexSolver solver(2 * n, input.lp_backend);
 
   la::Vector objective(2 * n, 0.0);
   for (size_t i = 0; i < n; ++i) objective[n + i] = 1.0;
@@ -108,9 +108,19 @@ VarianceOptimizerOutput SolveVariancePartitioning(
     output.mode = OptimizerMode::kBestEffort;
     output.allocation = input.upper_bounds;
   }
+  // Snap-to-bound within relative LP tolerance, then clamp — same
+  // normalization as SolvePartitioning so both backends agree bit-for-bit
+  // after the controller's page rounding.
   for (size_t i = 0; i < n; ++i) {
-    output.allocation[i] =
-        std::clamp(output.allocation[i], 0.0, input.upper_bounds[i]);
+    const double ub = input.upper_bounds[i];
+    const double snap = 1e-9 * std::max(1.0, ub);
+    double v = output.allocation[i];
+    if (std::fabs(v - ub) <= snap) {
+      v = ub;
+    } else if (std::fabs(v) <= snap) {
+      v = 0.0;
+    }
+    output.allocation[i] = std::clamp(v, 0.0, ub);
   }
 
   output.predicted_rt_per_node.resize(n);

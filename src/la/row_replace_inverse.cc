@@ -18,6 +18,18 @@ bool RowReplaceInverse::Reset(const Matrix& a) {
   }
   a_ = a;
   inverse_ = std::move(*inv);
+  const size_t n = a_.rows();
+  a_row_abs_.resize(n);
+  inverse_row_abs_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    double a_sum = 0.0, inv_sum = 0.0;
+    for (size_t j = 0; j < n; ++j) {
+      a_sum += std::fabs(a_(i, j));
+      inv_sum += std::fabs(inverse_(i, j));
+    }
+    a_row_abs_[i] = a_sum;
+    inverse_row_abs_[i] = inv_sum;
+  }
   initialized_ = true;
   updates_since_refresh_ = 0;
   return true;
@@ -76,12 +88,18 @@ bool RowReplaceInverse::ReplaceRow(size_t row, const Vector& new_row) {
   const double inv_den = 1.0 / den;
   for (size_t i = 0; i < n; ++i) {
     const double scale = u[i] * inv_den;
-    if (scale == 0.0) continue;
+    if (scale == 0.0) continue;  // row unchanged; cached abs sum stands
+    double row_abs = 0.0;
     for (size_t j = 0; j < n; ++j) {
       inverse_(i, j) -= scale * t[j];
+      row_abs += std::fabs(inverse_(i, j));
     }
+    inverse_row_abs_[i] = row_abs;
   }
   a_.SetRow(row, new_row);
+  double a_row_abs = 0.0;
+  for (size_t j = 0; j < n; ++j) a_row_abs += std::fabs(a_(row, j));
+  a_row_abs_[row] = a_row_abs;
   return true;
 }
 
@@ -90,23 +108,14 @@ Vector RowReplaceInverse::Solve(const Vector& b) const {
   return inverse_.Multiply(b);
 }
 
-namespace {
-
-double InfinityNorm(const Matrix& m) {
-  double norm = 0.0;
-  for (size_t i = 0; i < m.rows(); ++i) {
-    double row_sum = 0.0;
-    for (size_t j = 0; j < m.cols(); ++j) row_sum += std::fabs(m(i, j));
-    norm = std::max(norm, row_sum);
-  }
-  return norm;
-}
-
-}  // namespace
-
 double RowReplaceInverse::ConditionEstimate() const {
   MEMGOAL_CHECK(initialized_);
-  return InfinityNorm(a_) * InfinityNorm(inverse_);
+  double a_norm = 0.0, inverse_norm = 0.0;
+  for (size_t i = 0; i < a_.rows(); ++i) {
+    a_norm = std::max(a_norm, a_row_abs_[i]);
+    inverse_norm = std::max(inverse_norm, inverse_row_abs_[i]);
+  }
+  return a_norm * inverse_norm;
 }
 
 }  // namespace memgoal::la

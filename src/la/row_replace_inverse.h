@@ -51,9 +51,12 @@ class RowReplaceInverse {
   /// Solves A x = b in O(n^2) using the maintained inverse.
   Vector Solve(const Vector& b) const;
 
-  /// Infinity-norm condition estimate ‖A‖∞·‖A⁻¹‖∞ in O(n^2). Cheap upper
-  /// proxy for how amplified measurement noise gets in Solve(); callers
-  /// reset their store when it drifts past a sanity limit.
+  /// Infinity-norm condition estimate ‖A‖∞·‖A⁻¹‖∞. O(n): the per-row
+  /// absolute sums are maintained incrementally by ReplaceRow/Reset (summed
+  /// in the same index order a fresh pass would use, so the value is
+  /// bit-identical to recomputing from scratch). Cheap upper proxy for how
+  /// amplified measurement noise gets in Solve(); callers reset their store
+  /// when it drifts past a sanity limit.
   double ConditionEstimate() const;
 
  private:
@@ -63,6 +66,10 @@ class RowReplaceInverse {
   int updates_since_refresh_ = 0;
   Matrix a_;
   Matrix inverse_;
+  /// Cached per-row absolute sums of a_ and inverse_ (the ∞-norm is their
+  /// max), kept in lockstep with the matrices.
+  Vector a_row_abs_;
+  Vector inverse_row_abs_;
 };
 
 }  // namespace memgoal::la

@@ -4,21 +4,78 @@
 #include <limits>
 
 #include "common/check.h"
+#include "la/revised_simplex.h"
 #include "obs/profiler.h"
 
 namespace memgoal::la {
 
 namespace {
 constexpr double kEps = 1e-9;
-// Generous safety bound; Bland's rule terminates finitely anyway.
+/// Pricing-only tolerance, three orders tighter than kEps. A reduced cost
+/// is "worth it" when |d| times the entering variable's range moves the
+/// objective, and the partitioning LP pairs 1e-7-scale cost gradients with
+/// megabyte-scale variable ranges: a 5e-10 reduced cost the kEps test
+/// dismissed as converged is a real ~1e-3 objective improvement (caught by
+/// the part=l micro-differential at n=256). Pivot *eligibility* keeps the
+/// looser kEps — accepting a noise-scale pivot element is dangerous,
+/// skipping a noise-scale reduced cost is not.
+constexpr double kPriceEps = 1e-12;
+constexpr double kInf = std::numeric_limits<double>::infinity();
+// Generous safety bound; Bland's rule terminates finitely anyway, but a
+// numerically cycling instance now surfaces as kIterationLimit instead of
+// aborting the process.
 constexpr int kMaxIterations = 100000;
 }  // namespace
+
+std::string SimplexBasis::ToText() const {
+  std::string text;
+  text.reserve(status.size());
+  for (VarStatus s : status) {
+    switch (s) {
+      case VarStatus::kAtLower:
+        text.push_back('L');
+        break;
+      case VarStatus::kAtUpper:
+        text.push_back('U');
+        break;
+      case VarStatus::kBasic:
+        text.push_back('B');
+        break;
+    }
+  }
+  return text;
+}
+
+bool SimplexBasis::FromText(const std::string& text, SimplexBasis* out) {
+  out->status.clear();
+  out->status.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case 'L':
+        out->status.push_back(VarStatus::kAtLower);
+        break;
+      case 'U':
+        out->status.push_back(VarStatus::kAtUpper);
+        break;
+      case 'B':
+        out->status.push_back(VarStatus::kBasic);
+        break;
+      default:
+        out->status.clear();
+        return false;
+    }
+  }
+  return true;
+}
 
 // num_vars == 0 is allowed: the partitioning LP degenerates to zero
 // variables when every node is down, and the solver then just classifies
 // the constant constraints as satisfied or infeasible.
-SimplexSolver::SimplexSolver(size_t num_vars)
-    : num_vars_(num_vars), objective_(num_vars, 0.0) {}
+SimplexSolver::SimplexSolver(size_t num_vars, LpBackend backend)
+    : num_vars_(num_vars),
+      backend_(backend),
+      objective_(num_vars, 0.0),
+      upper_(num_vars, kInf) {}
 
 void SimplexSolver::SetObjective(const Vector& c, bool minimize) {
   MEMGOAL_CHECK(c.size() == num_vars_);
@@ -48,9 +105,42 @@ void SimplexSolver::AddEq(const Vector& a, double b) {
 
 void SimplexSolver::SetUpperBound(size_t var, double ub) {
   MEMGOAL_CHECK(var < num_vars_);
+  if (backend_ == LpBackend::kRevised) {
+    upper_[var] = std::min(upper_[var], ub);
+    return;
+  }
   Vector a(num_vars_, 0.0);
   a[var] = 1.0;
   AddLe(a, ub);
+}
+
+SimplexResult SimplexSolver::Solve(const SimplexBasis* warm) {
+  obs::ProfileScope profile(obs::Phase::kSimplexSolve);
+  if (backend_ == LpBackend::kRevised) {
+    RevisedLp lp;
+    lp.num_vars = num_vars_;
+    lp.minimize = minimize_;
+    lp.objective = objective_;
+    lp.rows = rows_;
+    lp.relations.reserve(relations_.size());
+    for (Relation rel : relations_) {
+      switch (rel) {
+        case Relation::kLe:
+          lp.relations.push_back(RevisedLp::Relation::kLe);
+          break;
+        case Relation::kGe:
+          lp.relations.push_back(RevisedLp::Relation::kGe);
+          break;
+        case Relation::kEq:
+          lp.relations.push_back(RevisedLp::Relation::kEq);
+          break;
+      }
+    }
+    lp.rhs = rhs_;
+    lp.upper = upper_;
+    return SolveRevised(lp, warm, kMaxIterations);
+  }
+  return SolveDense();
 }
 
 void SimplexSolver::Pivot(size_t pivot_row, size_t pivot_col) {
@@ -63,50 +153,78 @@ void SimplexSolver::Pivot(size_t pivot_row, size_t pivot_col) {
     Vector& row = tableau_[r];
     const double factor = row[pivot_col];
     if (factor == 0.0) continue;
-    for (size_t c = 0; c <= total_cols_; ++c) row[c] -= factor * prow[c];
+    for (size_t c = 0; c <= total_cols_; ++c) {
+      const double sub = factor * prow[c];
+      const double updated = row[c] - sub;
+      // A result that is vanishingly small relative to the operands that
+      // produced it is pure cancellation noise; snapping it to zero keeps
+      // residue from long pivot chains out of the reduced-cost and ratio
+      // tests (where a sign flip near the tolerance can cycle).
+      row[c] = std::fabs(updated) <=
+                       kEps * (std::fabs(row[c]) + std::fabs(sub))
+                   ? 0.0
+                   : updated;
+    }
     row[pivot_col] = 0.0;
   }
   basis_[pivot_row] = pivot_col;
 }
 
-bool SimplexSolver::Iterate(size_t allowed_cols) {
+SimplexSolver::IterateOutcome SimplexSolver::Iterate(size_t allowed_cols) {
   const size_t m = relations_.size();
   Vector& cost = tableau_[m];
   for (int iter = 0; iter < kMaxIterations; ++iter) {
+    iterations_used_ = iter;
+    // Scale-aware reduced-cost tolerance: relative to the cost row's
+    // magnitude, so byte-scale and millisecond-scale objectives get the
+    // same effective precision.
+    double cost_scale = 1.0;
+    for (size_t c = 0; c < allowed_cols; ++c) {
+      cost_scale = std::max(cost_scale, std::fabs(cost[c]));
+    }
+    const double cost_tol = kPriceEps * cost_scale;
     // Bland's rule: entering column = smallest index with negative reduced
     // cost (we always minimize internally).
     size_t entering = total_cols_;
     for (size_t c = 0; c < allowed_cols; ++c) {
-      if (cost[c] < -kEps) {
+      if (cost[c] < -cost_tol) {
         entering = c;
         break;
       }
     }
-    if (entering == total_cols_) return true;  // optimal
+    if (entering == total_cols_) return IterateOutcome::kOptimal;
+
+    // Pivot eligibility is judged against the entering column's own
+    // magnitude (a coefficient tiny relative to its column is numerical
+    // noise, not a usable pivot).
+    double col_scale = 0.0;
+    for (size_t r = 0; r < m; ++r) {
+      col_scale = std::max(col_scale, std::fabs(tableau_[r][entering]));
+    }
+    const double coeff_tol = kEps * std::max(1.0, col_scale);
 
     // Ratio test; ties broken by smallest basis variable index (Bland).
     size_t leaving = m;
     double best_ratio = std::numeric_limits<double>::infinity();
     for (size_t r = 0; r < m; ++r) {
       const double coeff = tableau_[r][entering];
-      if (coeff <= kEps) continue;
+      if (coeff <= coeff_tol) continue;
       const double ratio = tableau_[r][total_cols_] / coeff;
-      if (ratio < best_ratio - kEps ||
-          (ratio < best_ratio + kEps &&
+      const double tie = kEps * (1.0 + std::fabs(best_ratio));
+      if (ratio < best_ratio - tie ||
+          (ratio < best_ratio + tie &&
            (leaving == m || basis_[r] < basis_[leaving]))) {
         best_ratio = ratio;
         leaving = r;
       }
     }
-    if (leaving == m) return false;  // unbounded direction
+    if (leaving == m) return IterateOutcome::kUnbounded;
     Pivot(leaving, entering);
   }
-  MEMGOAL_CHECK_MSG(false, "simplex iteration bound exceeded");
-  return false;
+  return IterateOutcome::kIterationLimit;
 }
 
-SimplexResult SimplexSolver::Solve() {
-  obs::ProfileScope profile(obs::Phase::kSimplexSolve);
+SimplexResult SimplexSolver::SolveDense() {
   const size_t m = relations_.size();
   if (m == 0) {
     // No constraints: the optimum sits at the lower bounds unless some
@@ -156,6 +274,7 @@ SimplexResult SimplexSolver::Solve() {
 
   tableau_.assign(m + 1, Vector(total_cols_ + 1, 0.0));
   basis_.assign(m, 0);
+  iterations_used_ = 0;
 
   size_t next_slack = slack_begin;
   size_t next_artificial = artificial_begin_;
@@ -193,10 +312,17 @@ SimplexResult SimplexSolver::Solve() {
     }
     for (size_t a = artificial_begin_; a < total_cols_; ++a) cost[a] = 0.0;
 
-    const bool bounded = Iterate(total_cols_);
-    MEMGOAL_CHECK_MSG(bounded, "phase-1 objective cannot be unbounded");
+    const IterateOutcome outcome = Iterate(total_cols_);
+    if (outcome == IterateOutcome::kIterationLimit) {
+      result.status = SimplexStatus::kIterationLimit;
+      result.iterations = iterations_used_;
+      return result;
+    }
+    MEMGOAL_CHECK_MSG(outcome != IterateOutcome::kUnbounded,
+                      "phase-1 objective cannot be unbounded");
     if (tableau_[m][total_cols_] < -1e-7) {
       result.status = SimplexStatus::kInfeasible;
+      result.iterations = iterations_used_;
       return result;
     }
     // Drive any artificial still in the basis (at value ~0) out of it.
@@ -232,13 +358,21 @@ SimplexResult SimplexSolver::Solve() {
       }
       cost[basis_[r]] = 0.0;
     }
-    if (!Iterate(artificial_begin_)) {
+    const IterateOutcome outcome = Iterate(artificial_begin_);
+    if (outcome == IterateOutcome::kIterationLimit) {
+      result.status = SimplexStatus::kIterationLimit;
+      result.iterations = iterations_used_;
+      return result;
+    }
+    if (outcome == IterateOutcome::kUnbounded) {
       result.status = SimplexStatus::kUnbounded;
+      result.iterations = iterations_used_;
       return result;
     }
   }
 
   result.status = SimplexStatus::kOptimal;
+  result.iterations = iterations_used_;
   result.x.assign(num_vars_, 0.0);
   for (size_t r = 0; r < m; ++r) {
     if (basis_[r] < num_vars_) {

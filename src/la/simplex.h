@@ -2,6 +2,8 @@
 #define MEMGOAL_LA_SIMPLEX_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "la/matrix.h"
@@ -12,6 +14,76 @@ enum class SimplexStatus {
   kOptimal,
   kInfeasible,
   kUnbounded,
+  /// The iteration safety bound was hit before the solve terminated. The
+  /// problem is *not* classified (it may well be feasible and bounded);
+  /// callers treat it like any other non-optimal outcome — the optimizer's
+  /// relaxed-goal retry ladder reposes the LP instead of trusting a
+  /// half-finished basis.
+  kIterationLimit,
+};
+
+inline const char* SimplexStatusName(SimplexStatus status) {
+  switch (status) {
+    case SimplexStatus::kOptimal:
+      return "optimal";
+    case SimplexStatus::kInfeasible:
+      return "infeasible";
+    case SimplexStatus::kUnbounded:
+      return "unbounded";
+    case SimplexStatus::kIterationLimit:
+      return "iteration_limit";
+  }
+  return "?";
+}
+
+/// Which simplex implementation a SimplexSolver runs.
+enum class LpBackend {
+  /// Two-phase dense full tableau (the original implementation). Upper
+  /// bounds are lowered to explicit rows, so one solve costs O(pivots · m ·
+  /// cols) with m growing by one per bounded variable — fine for the
+  /// paper's 3-node NOW, quadratic-squared at 256 nodes. Kept runtime-
+  /// selectable as the differential-testing oracle, mirroring the
+  /// `queue=heap` legacy event-queue backend.
+  kDense,
+  /// Revised simplex over sparse columns with implicit variable bounds, an
+  /// LU-factorized basis updated in product form (eta file) with periodic
+  /// refactorization, Dantzig pricing with Bland's-rule fallback on stall,
+  /// and optional warm starts. The partitioning LP (one coupling row, n
+  /// bounded variables) solves with a 1x1 basis regardless of n.
+  kRevised,
+};
+
+inline const char* LpBackendName(LpBackend backend) {
+  switch (backend) {
+    case LpBackend::kDense:
+      return "dense";
+    case LpBackend::kRevised:
+      return "revised";
+  }
+  return "?";
+}
+
+/// A variable-status basis snapshot of the revised solver: one entry per
+/// structural variable followed by one per constraint row (that row's slack
+/// variable). Feeding a prior solve's basis back in as a warm start lets a
+/// steady-state re-solve skip phase 1 and start pricing from the old
+/// optimum. The snapshot is only a hint: the solver validates it against
+/// the new problem (dimensions, basis nonsingularity, implied-point
+/// feasibility) and silently cold-starts when it no longer applies.
+struct SimplexBasis {
+  enum class VarStatus : uint8_t {
+    kAtLower = 0,
+    kAtUpper = 1,
+    kBasic = 2,
+  };
+  std::vector<VarStatus> status;
+
+  bool empty() const { return status.empty(); }
+
+  /// Compact text form ('L'/'U'/'B' per variable) for decision records;
+  /// FromText returns false on any other character.
+  std::string ToText() const;
+  static bool FromText(const std::string& text, SimplexBasis* out);
 };
 
 struct SimplexResult {
@@ -20,9 +92,15 @@ struct SimplexResult {
   Vector x;
   /// Objective value at x, in the caller's orientation (min or max).
   double objective = 0.0;
+  /// Final basis of the revised backend (empty from the dense backend, or
+  /// when the final basis is not expressible — e.g. a residual artificial).
+  /// Feed back into Solve() as a warm start.
+  SimplexBasis basis;
+  /// Simplex iterations spent (pivots + bound flips), both backends.
+  int iterations = 0;
 };
 
-/// Two-phase dense simplex solver for small linear programs.
+/// Simplex solver for the partitioning linear programs.
 ///
 /// Solves
 ///     min (or max)  c^T x
@@ -30,16 +108,18 @@ struct SimplexResult {
 ///                   0 <= x_j                        for all variables
 ///                   x_j <= ub_j                     where an upper bound set
 ///
-/// Upper bounds are lowered to explicit `<=` rows: the LPs of the buffer
-/// partitioning problem have at most a few dozen variables (one per node),
-/// so the simplicity is worth more than a bounded-variable tableau. Bland's
-/// rule guarantees termination. This replaces the lp-solve library used in
-/// the paper (§5, reference [3]).
+/// Two runtime-selectable backends share this interface (see LpBackend).
+/// The dense tableau lowers SetUpperBound to an explicit `<=` row; the
+/// revised backend keeps bounds implicit. Bland's rule (always on for
+/// dense, stall-triggered for revised) guarantees termination up to the
+/// iteration safety bound. This replaces the lp-solve library used in the
+/// paper (§5, reference [3]).
 ///
 /// The solver is single-use: configure, call Solve() once.
 class SimplexSolver {
  public:
-  explicit SimplexSolver(size_t num_vars);
+  explicit SimplexSolver(size_t num_vars,
+                         LpBackend backend = LpBackend::kRevised);
 
   /// Sets the objective coefficients (size must equal num_vars).
   void SetObjective(const Vector& c, bool minimize = true);
@@ -48,36 +128,52 @@ class SimplexSolver {
   void AddGe(const Vector& a, double b);
   void AddEq(const Vector& a, double b);
 
-  /// Adds the row x_var <= ub.
+  /// Bounds x_var <= ub. The dense backend adds the row x_var <= ub; the
+  /// revised backend records an implicit bound. Repeated calls keep the
+  /// tightest bound on the revised path (the dense path accumulates rows,
+  /// which is equivalent).
   void SetUpperBound(size_t var, double ub);
 
-  SimplexResult Solve();
+  /// Solves the configured program. `warm` (revised backend only) seeds the
+  /// initial basis from a previous solve of a same-shaped program; the
+  /// dense backend ignores it.
+  SimplexResult Solve(const SimplexBasis* warm = nullptr);
 
   size_t num_vars() const { return num_vars_; }
+  /// Number of constraint rows as posed to the backend (the dense backend
+  /// counts one extra row per SetUpperBound call).
   size_t num_constraints() const { return relations_.size(); }
+  LpBackend backend() const { return backend_; }
 
  private:
   enum class Relation { kLe, kGe, kEq };
+  enum class IterateOutcome { kOptimal, kUnbounded, kIterationLimit };
 
   void AddConstraint(const Vector& a, Relation relation, double b);
+
+  SimplexResult SolveDense();
 
   // Pivots the tableau on (pivot_row, pivot_col).
   void Pivot(size_t pivot_row, size_t pivot_col);
 
-  // Runs simplex iterations on the current cost row. Returns false if the
-  // problem is unbounded in the current phase. `allowed_cols` bounds the
-  // entering-column search (used to exclude artificials in phase 2).
-  bool Iterate(size_t allowed_cols);
+  // Runs simplex iterations on the current cost row. `allowed_cols` bounds
+  // the entering-column search (used to exclude artificials in phase 2).
+  IterateOutcome Iterate(size_t allowed_cols);
 
   size_t num_vars_;
+  LpBackend backend_;
   bool minimize_ = true;
   Vector objective_;
   std::vector<Vector> rows_;
   std::vector<Relation> relations_;
   Vector rhs_;
+  /// Implicit upper bounds (revised backend); +infinity where unset.
+  Vector upper_;
+  int iterations_used_ = 0;
 
-  // Tableau state during Solve(). tableau_ has one row per constraint plus a
-  // trailing cost row; each row has total_cols_ + 1 entries (RHS last).
+  // Tableau state during a dense Solve(). tableau_ has one row per
+  // constraint plus a trailing cost row; each row has total_cols_ + 1
+  // entries (RHS last).
   std::vector<Vector> tableau_;
   std::vector<size_t> basis_;
   size_t total_cols_ = 0;

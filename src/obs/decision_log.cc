@@ -179,7 +179,10 @@ std::string DecisionRecord::ToJson() const {
   AppendField(&out, "lp_optimal", lp_optimal);
   AppendField(&out, "lp_infeasible", lp_infeasible);
   AppendField(&out, "lp_unbounded", lp_unbounded);
+  AppendField(&out, "lp_iteration_limit", lp_iteration_limit);
   AppendField(&out, "lp_relaxed_retries", lp_relaxed_retries);
+  AppendField(&out, "lp_warm", lp_warm);
+  AppendField(&out, "lp_warm_basis", lp_warm_basis);
   AppendField(&out, "lp_allocation", lp_allocation);
   AppendField(&out, "shipped_allocation", shipped_allocation);
   AppendField(&out, "granted_allocation", granted_allocation);
@@ -230,9 +233,14 @@ bool DecisionRecord::FromJson(const std::string& json, DecisionRecord* out) {
   if (!ParseU64(json, "lp_optimal", &rec.lp_optimal)) return false;
   if (!ParseU64(json, "lp_infeasible", &rec.lp_infeasible)) return false;
   if (!ParseU64(json, "lp_unbounded", &rec.lp_unbounded)) return false;
+  // Optional (absent from records written before the revised-simplex PR):
+  // defaults stand in when the keys are missing.
+  ParseU64(json, "lp_iteration_limit", &rec.lp_iteration_limit);
   if (!ParseU64(json, "lp_relaxed_retries", &rec.lp_relaxed_retries)) {
     return false;
   }
+  ParseBool(json, "lp_warm", &rec.lp_warm);
+  ParseString(json, "lp_warm_basis", &rec.lp_warm_basis);
   if (!ParseArray(json, "lp_allocation", &rec.lp_allocation)) return false;
   if (!ParseArray(json, "shipped_allocation", &rec.shipped_allocation)) {
     return false;

@@ -64,7 +64,13 @@ struct DecisionRecord {
   uint64_t lp_optimal = 0;
   uint64_t lp_infeasible = 0;
   uint64_t lp_unbounded = 0;
+  uint64_t lp_iteration_limit = 0;
   uint64_t lp_relaxed_retries = 0;
+  /// True when the previous interval's simplex basis was offered as a warm
+  /// start; lp_warm_basis is its 'L'/'U'/'B' text form (empty when cold),
+  /// so a replay can reproduce the warm-started solve exactly.
+  bool lp_warm = false;
+  std::string lp_warm_basis;
   /// Raw LP solution before damping/clamping/rounding.
   std::vector<double> lp_allocation;
 

@@ -20,18 +20,45 @@ void CalendarQueue::Insert(EventNode* node) {
   // walked past now's day hunting for a sparse future event before the
   // simulator scheduled something new at the present.
   if (node->day < cursor_day_) cursor_day_ = node->day;
-  EventNode** link = &buckets_[node->day & bucket_mask_];
+  // Monotone runs (FCFS completion chains, same-timestamp fan-out bursts)
+  // resume the walk at the previous insert instead of the chain head: the
+  // hint is linked in the same chain (same day => same bucket) at a sorted
+  // position before `node`, so the found slot is identical.
+  EventNode** link;
+  if (hint_ != nullptr && hint_->day == node->day &&
+      EventNode::Earlier(hint_, node)) {
+    link = &hint_->next;
+  } else {
+    link = &buckets_[node->day & bucket_mask_];
+  }
+  uint64_t steps = 0;
   while (*link != nullptr && EventNode::Earlier(*link, node)) {
     link = &(*link)->next;
+    ++steps;
   }
   node->next = *link;
   *link = node;
+  hint_ = node;
+  if (peeked_ != nullptr && EventNode::Earlier(node, peeked_)) peeked_ = node;
   ++size_;
-  if (size_ > 2 * buckets_.size()) Rebuild(buckets_.size() * 2);
+  walks_since_retune_ += steps;
+  if (size_ > 2 * buckets_.size()) {
+    Rebuild(buckets_.size() * 2);
+  } else if (++inserts_since_retune_ >= retune_window_) {
+    if (walks_since_retune_ > kRetuneMeanWalk * inserts_since_retune_) {
+      const double old_width = width_;
+      Rebuild(buckets_.size());
+      retune_window_ =
+          width_ == old_width ? retune_window_ * 2 : kRetuneWindow;
+    }
+    walks_since_retune_ = 0;
+    inserts_since_retune_ = 0;
+  }
 }
 
 EventNode* CalendarQueue::PeekMin() {
   if (size_ == 0) return nullptr;
+  if (peeked_ != nullptr) return peeked_;
   const size_t year_days = buckets_.size();
   for (size_t scanned = 0; scanned < year_days; ++scanned) {
     EventNode* head = buckets_[cursor_day_ & bucket_mask_];
@@ -39,7 +66,7 @@ EventNode* CalendarQueue::PeekMin() {
     // day exactly when the bucket holds anything in this day (later years
     // sort behind). No queued day precedes cursor_day_, so the first match
     // is the global minimum.
-    if (head != nullptr && head->day == cursor_day_) return head;
+    if (head != nullptr && head->day == cursor_day_) return peeked_ = head;
     ++cursor_day_;
   }
   // A whole year without a hit: the population is sparse relative to the
@@ -52,7 +79,7 @@ EventNode* CalendarQueue::PeekMin() {
   }
   MEMGOAL_DCHECK(best != nullptr);
   cursor_day_ = best->day;
-  return best;
+  return peeked_ = best;
 }
 
 EventNode* CalendarQueue::PopMin() {
@@ -60,6 +87,8 @@ EventNode* CalendarQueue::PopMin() {
   if (node == nullptr) return nullptr;
   buckets_[node->day & bucket_mask_] = node->next;
   node->next = nullptr;
+  if (node == hint_) hint_ = nullptr;
+  peeked_ = nullptr;
   --size_;
   // Halve at quarter load (grow triggers at double load): the hysteresis
   // band keeps an oscillating population from rebuilding every few ops.
@@ -70,6 +99,9 @@ EventNode* CalendarQueue::PopMin() {
 }
 
 void CalendarQueue::Rebuild(size_t bucket_count) {
+  hint_ = nullptr;
+  walks_since_retune_ = 0;
+  inserts_since_retune_ = 0;
   std::vector<EventNode*> nodes;
   nodes.reserve(size_);
   for (EventNode* head : buckets_) {

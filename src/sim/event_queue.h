@@ -231,6 +231,15 @@ class CalendarQueue final : public EventQueue {
   /// overflows land together in the max day, still ordered by (time, seq)
   /// within their shared bucket.
   static constexpr uint64_t kMaxDay = uint64_t{1} << 62;
+  /// Walk-cost self-tuning: every kRetuneWindow inserts, if the mean
+  /// sorted-insert walk exceeded kRetuneMeanWalk steps, the calendar
+  /// rebuilds at the same bucket count purely to re-derive the width from
+  /// the *current* head density. Load factor alone cannot catch a stale
+  /// width: a burst of near-term events can pile dozens of chained nodes
+  /// into a handful of "today" buckets while the table as a whole looks
+  /// perfectly sized.
+  static constexpr uint64_t kRetuneWindow = 8192;
+  static constexpr uint64_t kRetuneMeanWalk = 4;
 
   uint64_t DayOf(SimTime time) const;
   /// Re-buckets every node into `bucket_count` buckets with a width
@@ -242,6 +251,25 @@ class CalendarQueue final : public EventQueue {
   double width_ = 1.0;
   uint64_t cursor_day_ = 0;
   size_t size_ = 0;
+  /// Last inserted node, used as a walk start when the next insert sorts
+  /// after it in the same day: FCFS completion chains and same-timestamp
+  /// fan-out bursts arrive in (time, seq) order and would otherwise re-walk
+  /// the whole day chain per insert (quadratic in the burst length).
+  /// Invalidated whenever the node leaves its chain (pop or rebuild).
+  EventNode* hint_ = nullptr;
+  /// Memoized PeekMin result. The simulator peeks before every pop (and
+  /// PopMin peeks again), so without the memo each event pays two cursor
+  /// scans. Insert keeps it exact — an earlier new node replaces it, a
+  /// later one cannot displace a chain head — and PopMin clears it.
+  /// Rebuild preserves it: relinking moves no node across the (time, seq)
+  /// order, so the minimum is the same node at a new bucket head.
+  EventNode* peeked_ = nullptr;
+  uint64_t walks_since_retune_ = 0;
+  uint64_t inserts_since_retune_ = 0;
+  /// Doubles after a retune that failed to change the width (e.g. an
+  /// all-equal-timestamp head), so an untunable population cannot thrash
+  /// O(n log n) rebuilds; resets on any effective width change.
+  uint64_t retune_window_ = kRetuneWindow;
 };
 
 std::unique_ptr<EventQueue> MakeEventQueue(QueueBackend backend);

@@ -24,6 +24,39 @@ TEST(ScenarioTest, QueueNearMissGetsSuggestion) {
   EXPECT_NE(error.find("did you mean calendar?"), std::string::npos) << error;
 }
 
+TEST(ScenarioTest, LpKeySelectsBackend) {
+  std::string error;
+  std::optional<Scenario> scenario = Load("lp=dense\nclass1_goal_ms=50\n", &error);
+  ASSERT_TRUE(scenario.has_value()) << error;
+  EXPECT_EQ(scenario->system.lp_backend, la::LpBackend::kDense);
+  scenario = Load("lp=revised\nclass1_goal_ms=50\n", &error);
+  ASSERT_TRUE(scenario.has_value()) << error;
+  EXPECT_EQ(scenario->system.lp_backend, la::LpBackend::kRevised);
+  // Default is the revised solver.
+  scenario = Load("nodes=3\nclass1_goal_ms=50\n", &error);
+  ASSERT_TRUE(scenario.has_value()) << error;
+  EXPECT_EQ(scenario->system.lp_backend, la::LpBackend::kRevised);
+}
+
+TEST(ScenarioTest, LpNearMissGetsSuggestion) {
+  std::string error;
+  EXPECT_FALSE(Load("lp=revized\n", &error).has_value());
+  EXPECT_NE(error.find("lp must be revised or dense"), std::string::npos)
+      << error;
+  EXPECT_NE(error.find("did you mean revised?"), std::string::npos) << error;
+}
+
+TEST(ScenarioTest, HintBudgetKeyPopulatesConfig) {
+  std::string error;
+  const std::optional<Scenario> scenario = Load("hint_budget=12\nclass1_goal_ms=50\n", &error);
+  ASSERT_TRUE(scenario.has_value()) << error;
+  EXPECT_EQ(scenario->system.hint_fanout_budget, 12u);
+  // Default: unlimited fan-out.
+  const std::optional<Scenario> fallback = Load("nodes=3\nclass1_goal_ms=50\n", &error);
+  ASSERT_TRUE(fallback.has_value()) << error;
+  EXPECT_EQ(fallback->system.hint_fanout_budget, 0u);
+}
+
 TEST(ScenarioTest, CorruptNearMissGetsSuggestion) {
   std::string error;
   EXPECT_FALSE(Load("corrupt=frmaes\n", &error).has_value());
