@@ -57,6 +57,7 @@
 #include "common/stats.h"
 #include "core/goal_controller.h"
 #include "net/network.h"
+#include "obs/attainment.h"
 #include "sim/invariant_auditor.h"
 
 namespace memgoal::bench {
@@ -71,7 +72,21 @@ struct OutageRow {
   uint64_t ops_failed = 0;
   uint64_t store_resets = 0;
   uint64_t suppressed_crashes = 0;
+  uint64_t miss_cards_node_down = 0;
 };
+
+// Counts the goal class's miss cards whose fault snapshot satisfies `pred`
+// — the root-cause report's attribution of a goal miss to the injected
+// fault, which each mode's gate requires to fire at least once.
+template <typename Pred>
+uint64_t CountAttributedMisses(const obs::AttainmentTracker& attainment,
+                               Pred pred) {
+  uint64_t count = 0;
+  for (const obs::AttainmentTracker::MissCard& card : attainment.cards()) {
+    if (card.klass == 1 && pred(card)) ++count;
+  }
+  return count;
+}
 
 struct GrayRow {
   double satisfied_pre = 0.0;
@@ -86,6 +101,7 @@ struct GrayRow {
   uint64_t lp_relaxed_retries = 0;
   double victim_disk_busy_p99 = 0.0;
   double victim_disk_wait_p99 = 0.0;
+  uint64_t miss_cards_degraded = 0;
 };
 
 /// Intervals of the settled tail the gray gate compares across trials.
@@ -112,6 +128,9 @@ int RunGray(double degrade_at, double duration, const Setup& base,
               {degrade_at + duration, victim, /*begin=*/false}};
         }
         std::unique_ptr<core::ClusterSystem> system = BuildSystem(setup);
+        obs::AttainmentTracker attainment;
+        attainment.Enable(true);
+        system->SetAttainment(&attainment);
         system->SetGoal(1, goal);
 
         const double interval_ms = setup.observation_interval_ms;
@@ -189,6 +208,10 @@ int RunGray(double degrade_at, double duration, const Setup& base,
         const sim::Resource& disk = system->node(victim).disk().resource();
         row.victim_disk_busy_p99 = disk.BusyQuantile(0.99);
         row.victim_disk_wait_p99 = disk.WaitQuantile(0.99);
+        row.miss_cards_degraded = CountAttributedMisses(
+            attainment, [](const obs::AttainmentTracker::MissCard& card) {
+              return card.nodes_degraded > 0;
+            });
         return row;
       });
 
@@ -196,18 +219,21 @@ int RunGray(double degrade_at, double duration, const Setup& base,
       "factor,satisfied_pre,satisfied_episode,satisfied_post,satisfied_tail,"
       "reconverge_intervals,nogoal_rt_episode_ms,nogoal_rt_tail_ms,"
       "fetch_fallbacks,outlier_rejections,lp_relaxed_retries,"
-      "victim_disk_busy_p99_ms,victim_disk_wait_p99_ms\n");
+      "victim_disk_busy_p99_ms,victim_disk_wait_p99_ms,"
+      "miss_cards_degraded\n");
   for (size_t i = 0; i < factors.size(); ++i) {
     const GrayRow& row = rows[i];
     std::printf(
-        "%.0f,%.2f,%.2f,%.2f,%.2f,%d,%.3f,%.3f,%llu,%llu,%llu,%.2f,%.2f\n",
+        "%.0f,%.2f,%.2f,%.2f,%.2f,%d,%.3f,%.3f,%llu,%llu,%llu,%.2f,%.2f,"
+        "%llu\n",
         factors[i], row.satisfied_pre, row.satisfied_episode,
         row.satisfied_post, row.satisfied_tail, row.reconverge,
         row.nogoal_rt_episode, row.nogoal_rt_tail,
         static_cast<unsigned long long>(row.fetch_fallbacks),
         static_cast<unsigned long long>(row.outlier_rejections),
         static_cast<unsigned long long>(row.lp_relaxed_retries),
-        row.victim_disk_busy_p99, row.victim_disk_wait_p99);
+        row.victim_disk_busy_p99, row.victim_disk_wait_p99,
+        static_cast<unsigned long long>(row.miss_cards_degraded));
   }
 
   // Scenario gate, on the worst sweep factor: the goal class re-converges
@@ -231,9 +257,18 @@ int RunGray(double degrade_at, double duration, const Setup& base,
                 "fault-free baseline\n");
     ok = false;
   }
+  // Root-cause attribution gate: at least one of the episode's goal misses
+  // must carry the degraded node in its miss card's fault snapshot.
+  if (worst.miss_cards_degraded == 0) {
+    std::printf("# FAIL: no goal miss attributed to the degraded node "
+                "(miss_cards_degraded=0)\n");
+    ok = false;
+  }
   std::fflush(stdout);
   reporter->AddMetric("gray_nogoal_rt_tail_ratio", ratio);
   reporter->AddMetric("gray_satisfied_tail", worst.satisfied_tail);
+  reporter->AddMetric("gray_miss_cards_degraded",
+                      static_cast<double>(worst.miss_cards_degraded));
   return ok ? 0 : 1;
 }
 
@@ -250,6 +285,7 @@ struct PartitionRow {
   uint64_t checks_skipped = 0;
   uint64_t stale_rejected = 0;
   uint64_t audit_violations = 0;
+  uint64_t miss_cards_partitioned = 0;
 };
 
 // The partition scenario: node N-1 is cut off from {0..N-2} between cut_at
@@ -279,6 +315,9 @@ int RunPartition(double cut_at, const Setup& base, double goal,
         std::unique_ptr<core::ClusterSystem> system = BuildSystem(setup);
         sim::InvariantAuditor auditor;
         system->EnableAuditor(&auditor);
+        obs::AttainmentTracker attainment;
+        attainment.Enable(true);
+        system->SetAttainment(&attainment);
         system->SetGoal(1, goal);
 
         const double interval_ms = setup.observation_interval_ms;
@@ -337,6 +376,10 @@ int RunPartition(double cut_at, const Setup& base, double goal,
         row.checks_skipped = controller.stats().checks_skipped_no_lease;
         row.stale_rejected = system->grants_rejected_stale_epoch();
         row.audit_violations = auditor.violations_found();
+        row.miss_cards_partitioned = CountAttributedMisses(
+            attainment, [](const obs::AttainmentTracker::MissCard& card) {
+              return card.partitioned;
+            });
         return row;
       });
 
@@ -344,11 +387,11 @@ int RunPartition(double cut_at, const Setup& base, double goal,
       "cut_ms,satisfied_pre,satisfied_cut,satisfied_post,satisfied_tail,"
       "reconverge_intervals,partition_msgs_dropped,reconciled_hints,"
       "fetch_fallbacks,leases_lost,checks_skipped_no_lease,"
-      "stale_grants_rejected,audit_violations\n");
+      "stale_grants_rejected,audit_violations,miss_cards_partitioned\n");
   for (size_t i = 0; i < durations.size(); ++i) {
     const PartitionRow& row = rows[i];
     std::printf("%.0f,%.2f,%.2f,%.2f,%.2f,%d,%llu,%llu,%llu,%llu,%llu,%llu,"
-                "%llu\n",
+                "%llu,%llu\n",
                 durations[i], row.satisfied_pre, row.satisfied_cut,
                 row.satisfied_post, row.satisfied_tail, row.reconverge,
                 static_cast<unsigned long long>(row.msgs_dropped),
@@ -357,7 +400,8 @@ int RunPartition(double cut_at, const Setup& base, double goal,
                 static_cast<unsigned long long>(row.leases_lost),
                 static_cast<unsigned long long>(row.checks_skipped),
                 static_cast<unsigned long long>(row.stale_rejected),
-                static_cast<unsigned long long>(row.audit_violations));
+                static_cast<unsigned long long>(row.audit_violations),
+                static_cast<unsigned long long>(row.miss_cards_partitioned));
   }
 
   // Scenario gate, on the longest cut: the goal class re-converges after
@@ -385,12 +429,21 @@ int RunPartition(double cut_at, const Setup& base, double goal,
                 static_cast<unsigned long long>(total_violations));
     ok = false;
   }
+  // Root-cause attribution gate: at least one goal miss during the cut
+  // must carry the active partition in its miss card's fault snapshot.
+  if (worst.miss_cards_partitioned == 0) {
+    std::printf("# FAIL: no goal miss attributed to the partition "
+                "(miss_cards_partitioned=0)\n");
+    ok = false;
+  }
   std::fflush(stdout);
   reporter->AddMetric("partition_satisfied_tail", worst.satisfied_tail);
   reporter->AddMetric("partition_reconverge_intervals",
                       static_cast<double>(worst.reconverge));
   reporter->AddMetric("partition_audit_violations",
                       static_cast<double>(total_violations));
+  reporter->AddMetric("partition_miss_cards_partitioned",
+                      static_cast<double>(worst.miss_cards_partitioned));
   return ok ? 0 : 1;
 }
 
@@ -410,6 +463,7 @@ struct CorruptRow {
   uint64_t disk_detections = 0;
   uint64_t ladders_open = 0;
   uint64_t audit_violations = 0;
+  uint64_t miss_cards_corrupt = 0;
 };
 
 // The corruption scenario: a continuous stochastic bit-rot process (per-node
@@ -436,6 +490,9 @@ int RunCorrupt(const Setup& base, double goal, int intervals,
         std::unique_ptr<core::ClusterSystem> system = BuildSystem(setup);
         sim::InvariantAuditor auditor;
         system->EnableAuditor(&auditor);
+        obs::AttainmentTracker attainment;
+        attainment.Enable(true);
+        system->SetAttainment(&attainment);
         system->SetGoal(1, goal);
 
         const int tail_first = intervals - kGrayTail;
@@ -469,6 +526,10 @@ int RunCorrupt(const Setup& base, double goal, int intervals,
         row.disk_detections = system->disk_detections();
         row.ladders_open = system->repair_ladders_open();
         row.audit_violations = auditor.violations_found();
+        row.miss_cards_corrupt = CountAttributedMisses(
+            attainment, [](const obs::AttainmentTracker::MissCard& card) {
+              return card.corruptions > 0;
+            });
         return row;
       });
 
@@ -476,12 +537,12 @@ int RunCorrupt(const Setup& base, double goal, int intervals,
       "mttc_ms,satisfied,satisfied_tail,corrupt_injected,corrupt_detected,"
       "corrupt_served,latent_served,quarantine_decisions,frames_quarantined,"
       "repairs_replica,pages_lost,pages_scrubbed,scrub_skipped_busy,"
-      "audit_violations\n");
+      "audit_violations,miss_cards_corrupt\n");
   for (size_t i = 0; i < mttcs.size(); ++i) {
     const CorruptRow& row = rows[i];
     std::printf(
         "%.0f,%.2f,%.2f,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,"
-        "%llu\n",
+        "%llu,%llu\n",
         mttcs[i], row.satisfied, row.satisfied_tail,
         static_cast<unsigned long long>(row.injected),
         static_cast<unsigned long long>(row.detected),
@@ -493,7 +554,8 @@ int RunCorrupt(const Setup& base, double goal, int intervals,
         static_cast<unsigned long long>(row.pages_lost),
         static_cast<unsigned long long>(row.pages_scrubbed),
         static_cast<unsigned long long>(row.scrub_skipped_busy),
-        static_cast<unsigned long long>(row.audit_violations));
+        static_cast<unsigned long long>(row.audit_violations),
+        static_cast<unsigned long long>(row.miss_cards_corrupt));
   }
 
   bool ok = true;
@@ -544,6 +606,14 @@ int RunCorrupt(const Setup& base, double goal, int intervals,
                 worst.satisfied_tail);
     ok = false;
   }
+  // Root-cause attribution gate: at least one goal miss must land while
+  // corruptions accrued since the previous check — the miss card's fault
+  // snapshot ties the miss to the active bit-rot process.
+  if (worst.miss_cards_corrupt == 0) {
+    std::printf("# FAIL: no goal miss attributed to the corruption process "
+                "(miss_cards_corrupt=0)\n");
+    ok = false;
+  }
   std::fflush(stdout);
   reporter->AddMetric("corrupt_satisfied_tail", worst.satisfied_tail);
   reporter->AddMetric("corrupt_served",
@@ -554,6 +624,8 @@ int RunCorrupt(const Setup& base, double goal, int intervals,
                       static_cast<double>(worst.repairs_replica));
   reporter->AddMetric("corrupt_pages_lost",
                       static_cast<double>(worst.pages_lost));
+  reporter->AddMetric("corrupt_miss_cards",
+                      static_cast<double>(worst.miss_cards_corrupt));
   return ok ? 0 : 1;
 }
 
@@ -644,6 +716,9 @@ int Run(int argc, char** argv) {
           setup.network.burst_loss_bad = 0.8;
         }
         std::unique_ptr<core::ClusterSystem> system = BuildSystem(setup);
+        obs::AttainmentTracker attainment;
+        attainment.Enable(true);
+        system->SetAttainment(&attainment);
         system->SetGoal(1, goal);
 
         const double interval_ms = setup.observation_interval_ms;
@@ -696,24 +771,31 @@ int Run(int argc, char** argv) {
         row.ops_failed = ops_failed;
         row.store_resets = controller.stats().store_resets;
         row.suppressed_crashes = system->fault_injector().stats().suppressed;
+        row.miss_cards_node_down = CountAttributedMisses(
+            attainment, [](const obs::AttainmentTracker::MissCard& card) {
+              return card.nodes_down > 0;
+            });
         return row;
       });
 
   std::printf(
       "outage_ms,satisfied_pre,satisfied_outage,satisfied_post,"
       "reconverge_intervals,fetch_fallbacks,ops_failed,store_resets,"
-      "suppressed_crashes\n");
+      "suppressed_crashes,miss_cards_node_down\n");
   uint64_t total_suppressed = 0;
+  uint64_t outage_miss_cards = 0;
   for (size_t i = 0; i < outages.size(); ++i) {
     const OutageRow& row = rows[i];
-    std::printf("%.0f,%.2f,%.2f,%.2f,%d,%llu,%llu,%llu,%llu\n", outages[i],
-                row.satisfied_pre, row.satisfied_outage, row.satisfied_post,
-                row.reconverge,
+    std::printf("%.0f,%.2f,%.2f,%.2f,%d,%llu,%llu,%llu,%llu,%llu\n",
+                outages[i], row.satisfied_pre, row.satisfied_outage,
+                row.satisfied_post, row.reconverge,
                 static_cast<unsigned long long>(row.fetch_fallbacks),
                 static_cast<unsigned long long>(row.ops_failed),
                 static_cast<unsigned long long>(row.store_resets),
-                static_cast<unsigned long long>(row.suppressed_crashes));
+                static_cast<unsigned long long>(row.suppressed_crashes),
+                static_cast<unsigned long long>(row.miss_cards_node_down));
     total_suppressed += row.suppressed_crashes;
+    if (outages[i] > 0.0) outage_miss_cards += row.miss_cards_node_down;
     char metric[48];
     std::snprintf(metric, sizeof(metric), "satisfied_post_outage_%.0f",
                   outages[i]);
@@ -721,9 +803,19 @@ int Run(int argc, char** argv) {
   }
   reporter.AddMetric("suppressed_crashes",
                      static_cast<double>(total_suppressed));
+  reporter.AddMetric("crash_miss_cards_node_down",
+                     static_cast<double>(outage_miss_cards));
+  // Root-cause attribution gate: some goal miss during an outage must carry
+  // the downed node in its miss card's fault snapshot.
+  bool ok = true;
+  if (outage_miss_cards == 0) {
+    std::printf("# FAIL: no goal miss attributed to the downed node "
+                "(miss_cards_node_down=0 across outage trials)\n");
+    ok = false;
+  }
   std::fflush(stdout);
   reporter.Finish();
-  return 0;
+  return ok ? 0 : 1;
 }
 
 }  // namespace

@@ -10,12 +10,14 @@
 
 // Running with `--quick` skips the google-benchmark tables and instead runs
 // the instrumentation-overhead gate: identical deterministic cluster runs —
-// bare, with a tracer and a profiler attached but disabled, and with the
-// profiler enabled — must agree bit-for-bit on the simulation outcome, and
-// the disabled arm must stay within a small wall-clock envelope of the bare
-// one. This is the guard that keeps the disabled tracing/profiling paths a
-// branch-on-bool, and the guard that an *enabled* profiler (which only
-// reads the wall clock) cannot perturb the simulation.
+// bare, with a tracer, a profiler, and an attainment tracker attached but
+// disabled, and with the profiler (or attainment tracker) enabled — must
+// agree bit-for-bit on the simulation outcome, and the disabled arm must
+// stay within a small wall-clock envelope of the bare one. This is the
+// guard that keeps the disabled tracing/profiling/attainment paths a
+// branch-on-bool, and the guard that an *enabled* profiler or attainment
+// tracker (which only read clocks already on the stack) cannot perturb the
+// simulation.
 
 #include <benchmark/benchmark.h>
 
@@ -32,6 +34,7 @@
 #include "core/optimizer.h"
 #include "core/system.h"
 #include "la/matrix.h"
+#include "obs/attainment.h"
 #include "obs/profiler.h"
 #include "obs/trace.h"
 #include "workload/spec.h"
@@ -160,9 +163,10 @@ std::unique_ptr<core::ClusterSystem> BuildGateSystem() {
 }
 
 enum class GateArm {
-  kBare,              // no instrumentation objects at all
-  kDisabled,          // tracer + profiler attached, both disabled
-  kProfilerEnabled,   // profiler enabled: must not perturb the simulation
+  kBare,                // no instrumentation objects at all
+  kDisabled,            // tracer + profiler + attainment attached, disabled
+  kProfilerEnabled,     // profiler enabled: must not perturb the simulation
+  kAttainmentEnabled,   // attainment tracking enabled: same requirement
 };
 
 // One full deterministic run under the selected instrumentation arm. The
@@ -176,11 +180,16 @@ uint64_t RunGateArm(GateArm arm, int intervals, BenchReporter* reporter) {
   obs::Tracer tracer;  // never enabled
   obs::Profiler profiler;
   profiler.Enable(arm == GateArm::kProfilerEnabled);
+  obs::AttainmentTracker attainment;
+  attainment.Enable(arm == GateArm::kAttainmentEnabled);
   // The bare arm installs null so a --profile reporter on this thread can
   // never leak instrumentation into the reference timing.
   obs::Profiler::ScopedInstall install(arm == GateArm::kBare ? nullptr
                                                              : &profiler);
-  if (arm != GateArm::kBare) system->SetTracer(&tracer);
+  if (arm != GateArm::kBare) {
+    system->SetTracer(&tracer);
+    system->SetAttainment(&attainment);
+  }
   system->Start();
   system->RunIntervals(intervals);
   if (reporter != nullptr) {
@@ -270,11 +279,13 @@ int RunInstrumentationOverheadGate(common::Config* args) {
   // minima taken in different noise regimes are not comparable.
   const double traced_min = plain_min + std::max(0.0, diff_min_s * 1e3);
 
-  // The enabled-profiler arm is correctness-only: it pays for its clock
-  // reads, so it is exempt from the wall envelope, but it must not change
-  // one bit of simulation output.
+  // The enabled-profiler and enabled-attainment arms are correctness-only:
+  // they pay for their bookkeeping, so they are exempt from the wall
+  // envelope, but they must not change one bit of simulation output.
   const uint64_t profiled_fp =
       RunGateArm(GateArm::kProfilerEnabled, kIntervals, &reporter);
+  const uint64_t attained_fp =
+      RunGateArm(GateArm::kAttainmentEnabled, kIntervals, &reporter);
 
   const double ratio = traced_min / plain_min;
   std::printf("instrumentation_overhead_gate: plain=%.2f ms "
@@ -300,6 +311,14 @@ int RunInstrumentationOverheadGate(common::Config* args) {
                  "(fingerprint %llu vs %llu)\n",
                  static_cast<unsigned long long>(plain_fp),
                  static_cast<unsigned long long>(profiled_fp));
+    rc = 1;
+  }
+  if (attained_fp != plain_fp) {
+    std::fprintf(stderr,
+                 "FAIL: ENABLED attainment tracking changed the simulation "
+                 "(fingerprint %llu vs %llu)\n",
+                 static_cast<unsigned long long>(plain_fp),
+                 static_cast<unsigned long long>(attained_fp));
     rc = 1;
   }
   if (ratio > kMaxOverheadRatio &&

@@ -531,6 +531,22 @@ sim::Task<void> GoalOrientedController::CoordinatorCheck(
     record.lease_held = coordinator->has_lease;
   }
 
+  // Attainment tracker: one CheckOutcome per check, reported on every
+  // co_return path by the same RAII pattern as the decision record. A null
+  // (or disabled) tracker makes the whole capture a no-op.
+  obs::AttainmentTracker* attainment = system_->attainment();
+  if (attainment != nullptr && !attainment->enabled()) attainment = nullptr;
+  obs::AttainmentTracker::CheckOutcome check;
+  check.klass = coordinator->klass;
+  check.lease_held = coordinator->has_lease;
+  struct CheckReporter {
+    obs::AttainmentTracker* tracker;
+    obs::AttainmentTracker::CheckOutcome* outcome;
+    ~CheckReporter() {
+      if (tracker != nullptr) tracker->RecordCheckOutcome(*outcome);
+    }
+  } check_reporter{attainment, &check};
+
   if (!coordinator->has_lease) {
     // Minority-side (or leaseless) static fallback: the last applied grants
     // stay frozen; no check, no LP, no commands until a lease returns.
@@ -547,6 +563,8 @@ sim::Task<void> GoalOrientedController::CoordinatorCheck(
     co_return;
   }
   const double goal = system_->spec(coordinator->klass).goal_rt_ms.value();
+  check.observed_rt_ms = *rt_k;
+  check.has_observed_rt = true;
 
   // Phase (b): fold the current measurement into the measure-point store.
   coordinator->tolerance.Observe(*rt_k);
@@ -594,6 +612,8 @@ sim::Task<void> GoalOrientedController::CoordinatorCheck(
   if (decision_log != nullptr) record.tolerance_delta = delta;
   const bool too_slow = *rt_k > goal + delta;
   const bool too_fast = *rt_k < goal - delta;
+  check.too_slow = too_slow;
+  check.too_fast = too_fast;
   if (!too_slow && !too_fast) co_return;
   uint64_t current_total = 0;
   for (const NodeView& view : coordinator->views) {
@@ -601,6 +621,37 @@ sim::Task<void> GoalOrientedController::CoordinatorCheck(
   }
   if (too_fast && current_total == 0) co_return;
   ++stats_.violations;
+  if (too_slow && attainment != nullptr) {
+    // Goal miss: join the last interval's budget attribution with the
+    // cluster's active fault state into a root-cause card, mirrored into
+    // the decision record so it replays from the log.
+    const sim::FaultInjector& injector = system_->fault_injector();
+    obs::AttainmentTracker::FaultState faults;
+    faults.nodes_down = config.num_nodes - injector.nodes_up();
+    for (uint32_t i = 0; i < config.num_nodes; ++i) {
+      if (injector.IsDegraded(i)) ++faults.nodes_degraded;
+    }
+    faults.partitioned = injector.Partitioned();
+    faults.partition_epoch = injector.partition_epoch();
+    faults.corruptions_since_last_check = attainment->NoteCorruptions(
+        coordinator->klass, injector.stats().corruptions);
+    const obs::AttainmentTracker::MissCard& card = attainment->RecordMiss(
+        coordinator->klass, system_->intervals_completed() - 1,
+        system_->simulator().Now(), *rt_k, goal, delta, faults);
+    if (decision_log != nullptr) {
+      record.miss_card = true;
+      record.miss_dominant_phase = obs::BudgetPhaseName(card.dominant_phase);
+      record.miss_dominant_ms = card.dominant_ms;
+      record.miss_phase_ms.assign(card.phase_mean_ms,
+                                  card.phase_mean_ms + obs::kNumBudgetPhases);
+      record.miss_baseline_rt = card.baseline_rt_ms;
+      record.miss_deviation_ms = card.deviation_ms;
+      record.miss_nodes_down = card.nodes_down;
+      record.miss_nodes_degraded = card.nodes_degraded;
+      record.miss_partitioned = card.partitioned;
+      record.miss_corruptions = card.corruptions;
+    }
+  }
   coordinator->consecutive_slow = too_slow ? coordinator->consecutive_slow + 1
                                            : 0;
 
@@ -673,6 +724,7 @@ sim::Task<void> GoalOrientedController::CoordinatorCheck(
     }
 
     OptimizerMode mode;
+    int lp_relaxed_rung = -1;
     std::optional<std::vector<MeasureStore::NodePlane>> node_planes;
     if (config.objective == PartitioningObjective::kMinimizeNodeVariance) {
       node_planes = coordinator->store.FitNodePlanes();
@@ -719,6 +771,7 @@ sim::Task<void> GoalOrientedController::CoordinatorCheck(
       OptimizerOutput output = SolvePartitioning(input);
       target = std::move(output.allocation);
       mode = output.mode;
+      lp_relaxed_rung = output.relaxed_rung;
       AccumulateLpStats(output.lp_stats);
       if (decision_log != nullptr) {
         record.lp_run = true;
@@ -737,6 +790,12 @@ sim::Task<void> GoalOrientedController::CoordinatorCheck(
       coordinator->lp_warm_basis = std::move(output.basis);
     }
     ++stats_.lp_optimizations;
+    check.lp_run = true;
+    check.relaxed_rung = lp_relaxed_rung;
+    if (attainment != nullptr && too_slow) {
+      attainment->AnnotateLastMiss(coordinator->klass, /*lp_run=*/true,
+                                   OptimizerModeName(mode), lp_relaxed_rung);
+    }
     if (mode == OptimizerMode::kBestEffort) {
       ++stats_.best_effort_allocations;
     }

@@ -263,10 +263,11 @@ void Node::AfterInsert(PageId page) {
   }
 }
 
-sim::Task<void> Node::UseCpu(double instructions) {
+sim::Task<void> Node::UseCpu(double instructions,
+                             sim::Resource::UseTiming* timing) {
   // Use() applies the node's current slowdown factor, so a degraded node's
   // CPU work stretches along with its disk and network latency.
-  co_await cpu_.Use(system_->config().CpuMs(instructions));
+  co_await cpu_.Use(system_->config().CpuMs(instructions), timing);
 }
 
 bool Node::CrashedSince(uint64_t epoch) const {
@@ -345,11 +346,27 @@ sim::Task<void> Node::FetchPhaseTimer(std::shared_ptr<FetchState> state,
   (void)state;   // held so the event outlives the requester
 }
 
-sim::Task<StorageLevel> Node::AccessPage(ClassId klass, PageId page) {
+sim::Task<StorageLevel> Node::AccessPage(ClassId klass, PageId page,
+                                         obs::RequestBudget* budget) {
   const SystemConfig& config = system_->config();
   net::Network& network = system_->network();
   net::PageDirectory& directory = system_->directory();
   const uint64_t start_epoch = system_->NodeEpoch(id_);
+
+  // Per-phase latency attribution. Only waits on the requester's own stack
+  // are attributed here; spawned fetch attempts fall under kFetchWait (the
+  // wall-clock window the requester spent waiting on deliveries). Timing
+  // out-params are pure Now() reads — no events, no RNG — so a budgeted run
+  // stays bit-identical to an unbudgeted one.
+  sim::Resource::UseTiming cpu_timing;
+  sim::Resource::UseTiming* const cpu_out =
+      budget != nullptr ? &cpu_timing : nullptr;
+  const auto fold_cpu = [&] {
+    if (budget != nullptr) {
+      budget->Add(obs::BudgetPhase::kCpuWait, cpu_timing.wait_ms);
+      budget->Add(obs::BudgetPhase::kCpuService, cpu_timing.service_ms);
+    }
+  };
 
   // Request spans: one trace track per page access, phases as sub-spans.
   // When no tracer is attached or it is disabled, every emission below
@@ -369,7 +386,7 @@ sim::Task<StorageLevel> Node::AccessPage(ClassId klass, PageId page) {
   };
 
   RecordAccessHeat(klass, page);
-  co_await UseCpu(config.instr_buffer_access);
+  co_await UseCpu(config.instr_buffer_access, cpu_out);
   if (CrashedSince(start_epoch)) co_return StorageLevel::kLocalBuffer;
 
   cache::NodeCache::AccessResult access = cache_->OnAccess(klass, page);
@@ -402,11 +419,12 @@ sim::Task<StorageLevel> Node::AccessPage(ClassId klass, PageId page) {
     if (serve_local) {
       system_->CountAccess(klass, StorageLevel::kLocalBuffer);
       if (tracing) emit_access_span(StorageLevel::kLocalBuffer);
+      fold_cpu();
       co_return StorageLevel::kLocalBuffer;
     }
   }
 
-  co_await UseCpu(config.instr_io_setup);
+  co_await UseCpu(config.instr_io_setup, cpu_out);
   const NodeId home = system_->database().HomeOf(page);
   const uint32_t page_msg = config.page_bytes + config.page_header_bytes;
   StorageLevel level;
@@ -476,6 +494,10 @@ sim::Task<StorageLevel> Node::AccessPage(ClassId klass, PageId page) {
                      state->delivered ? "{\"delivered\":true}"
                                       : "{\"delivered\":false}");
   }
+  if (budget != nullptr) {
+    budget->Add(obs::BudgetPhase::kFetchWait,
+                system_->simulator().Now() - state->started_ms);
+  }
 
   if (state->delivered) {
     level = StorageLevel::kRemoteBuffer;
@@ -493,11 +515,21 @@ sim::Task<StorageLevel> Node::AccessPage(ClassId klass, PageId page) {
         tracer->Complete("backoff", "access", id_, track, backoff_start,
                          system_->simulator().Now());
       }
+      if (budget != nullptr) {
+        budget->Add(obs::BudgetPhase::kBackoff,
+                    system_->simulator().Now() - backoff_start);
+      }
       system_->CountFetchFallback(klass);
     }
+    sim::Resource::UseTiming disk_timing;
+    sim::Resource::UseTiming* const disk_out =
+        budget != nullptr ? &disk_timing : nullptr;
+    net::Network::TransferTiming net_timing;
+    net::Network::TransferTiming* const net_out =
+        budget != nullptr ? &net_timing : nullptr;
     const sim::SimTime disk_start = system_->simulator().Now();
     if (home == id_) {
-      co_await disk_.ReadPage();
+      co_await disk_.ReadPage(disk_out);
       fetched_flaw = co_await system_->VerifyDiskRead(page);
       level = StorageLevel::kLocalDisk;
     } else {
@@ -508,21 +540,32 @@ sim::Task<StorageLevel> Node::AccessPage(ClassId klass, PageId page) {
         // the only wait this path pays).
         const bool home_alive = system_->NodeUp(home);
         const bool asked = co_await network.Transfer(
-            id_, home, config.control_msg_bytes, net::TrafficClass::kControl);
+            id_, home, config.control_msg_bytes, net::TrafficClass::kControl,
+            /*via_storage_bus=*/false, net_out);
         if (!asked || !home_alive || !system_->NodeUp(home)) {
           co_await system_->simulator().Delay(config.crash_detect_timeout_ms);
+          if (budget != nullptr) {
+            budget->Add(obs::BudgetPhase::kFetchWait,
+                        config.crash_detect_timeout_ms);
+          }
           system_->CountFetchFallback(klass);
         }
       }
-      co_await system_->node(home).disk().ReadPage();
+      co_await system_->node(home).disk().ReadPage(disk_out);
       fetched_flaw = co_await system_->VerifyDiskRead(page);
       // The NOW's disks are dual-ported: the page travels over the storage
       // bus, which a LAN partition does not sever. Bandwidth/queueing of the
       // shared medium still applies.
       co_await network.Transfer(home, id_, page_msg,
                                 net::TrafficClass::kPage,
-                                /*via_storage_bus=*/true);
+                                /*via_storage_bus=*/true, net_out);
       level = StorageLevel::kRemoteDisk;
+    }
+    if (budget != nullptr) {
+      budget->Add(obs::BudgetPhase::kDiskWait, disk_timing.wait_ms);
+      budget->Add(obs::BudgetPhase::kDiskService, disk_timing.service_ms);
+      budget->Add(obs::BudgetPhase::kNetWait, net_timing.wait_ms);
+      budget->Add(obs::BudgetPhase::kNetTransfer, net_timing.transfer_ms);
     }
     if (tracing) {
       char args[48];
@@ -565,6 +608,7 @@ sim::Task<StorageLevel> Node::AccessPage(ClassId klass, PageId page) {
   }
   system_->CountAccess(klass, level);
   if (tracing) emit_access_span(level);
+  fold_cpu();
   co_return level;
 }
 
@@ -1146,8 +1190,12 @@ sim::Task<void> ClusterSystem::RunOperation(
     NodeId node, ClassId klass, common::InlineVector<PageId, 8> pages) {
   const sim::SimTime start = simulator_.Now();
   const uint64_t epoch = fault_injector_.epoch(node);
+  obs::AttainmentTracker* const attainment = attainment_;
+  const bool budgeting = attainment != nullptr && attainment->enabled();
+  obs::RequestBudget budget;
   for (PageId page : pages) {
-    co_await nodes_[node]->AccessPage(klass, page);
+    co_await nodes_[node]->AccessPage(klass, page,
+                                      budgeting ? &budget : nullptr);
     if (fault_injector_.epoch(node) != epoch ||
         !fault_injector_.IsUp(node)) {
       // The node crashed under this operation: it fails (neither retried
@@ -1158,7 +1206,15 @@ sim::Task<void> ClusterSystem::RunOperation(
   }
   IntervalAccumulator& acc = Accumulator(klass, node);
   acc.completed++;
-  acc.rt_sum += simulator_.Now() - start;
+  const double rt = simulator_.Now() - start;
+  acc.rt_sum += rt;
+  if (budgeting) {
+    // Whatever no phase claimed (event-wait scheduling slack, repair-ladder
+    // work under a verify) lands in the residual, so the decomposition sums
+    // to the measured response time exactly.
+    budget.SetResidual(rt);
+    attainment->RecordRequest(klass, node, rt, budget);
+  }
 }
 
 sim::Task<void> ClusterSystem::IntervalLoop() {
@@ -1208,6 +1264,28 @@ sim::Task<void> ClusterSystem::IntervalLoop() {
       record.classes.push_back(m);
     }
     metrics_.Append(record);
+
+    // Roll the attainment tracker's interval before the controller's
+    // coordinator check fires (it runs coordinator_check_delay_ms later and
+    // joins miss cards against this interval's finalized budget rows).
+    if (attainment_ != nullptr && attainment_->enabled()) {
+      std::vector<obs::AttainmentTracker::ClassSample> samples;
+      samples.reserve(record.classes.size());
+      for (const ClassIntervalMetrics& m : record.classes) {
+        obs::AttainmentTracker::ClassSample sample;
+        sample.klass = m.klass;
+        sample.has_goal = spec(m.klass).goal_rt_ms.has_value();
+        sample.goal_rt_ms = m.goal_rt_ms;
+        sample.tolerance_ms = m.tolerance_ms;
+        sample.observed_rt_ms = m.observed_rt_ms;
+        sample.has_observed_rt = WeightedRt(m.klass).has_value();
+        sample.satisfied = m.satisfied;
+        sample.ops_completed = m.ops_completed;
+        sample.dedicated_bytes = m.dedicated_bytes;
+        samples.push_back(sample);
+      }
+      attainment_->OnIntervalEnd(index, simulator_.Now(), samples);
+    }
 
     // New interval, fresh hint fan-out budget.
     for (auto& node : nodes_) node->hint_sends_this_interval_ = 0;
@@ -1317,6 +1395,7 @@ void ClusterSystem::PublishRegistrySnapshot(int interval_index) {
     registry_.GetGauge(name)->Set(
         static_cast<double>(nodes_[i]->HeatHistorySize()));
   }
+  if (attainment_ != nullptr) attainment_->PublishTo(&registry_);
   controller_->PublishMetrics(&registry_);
   registry_.TakeSnapshot(interval_index, simulator_.Now());
 }

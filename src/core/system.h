@@ -23,7 +23,9 @@
 #include "la/simplex.h"
 #include "net/directory.h"
 #include "net/network.h"
+#include "obs/attainment.h"
 #include "obs/decision_log.h"
+#include "obs/latency_budget.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
 #include "sim/fault_injector.h"
@@ -307,8 +309,12 @@ class Node {
 
   /// Executes one page access by class `klass` end to end: local lookup,
   /// remote-cache / disk fetch via the home-based protocol, and §6
-  /// placement. Returns the storage level that served the access.
-  sim::Task<StorageLevel> AccessPage(ClassId klass, PageId page);
+  /// placement. Returns the storage level that served the access. A
+  /// non-null `budget` receives the per-phase latency attribution of the
+  /// access (CPU/disk queue-wait and service, fetch wait, backoff, network
+  /// queueing/transfer on the requester's own stack).
+  sim::Task<StorageLevel> AccessPage(ClassId klass, PageId page,
+                                     obs::RequestBudget* budget = nullptr);
 
   cache::NodeCache& node_cache() { return *cache_; }
   const cache::NodeCache& node_cache() const { return *cache_; }
@@ -392,7 +398,8 @@ class Node {
   /// in this node's cache, and the matching stale hint bookkeeping.
   void SweepHeatHistory(sim::SimTime horizon);
 
-  sim::Task<void> UseCpu(double instructions);
+  sim::Task<void> UseCpu(double instructions,
+                         sim::Resource::UseTiming* timing = nullptr);
   sim::Task<void> DeliverHeatReport(NodeId home, PageId page, double heat);
   void RecordAccessHeat(ClassId klass, PageId page);
   /// Threshold-based heat dissemination to the page's home (§6). Runs on
@@ -530,6 +537,15 @@ class ClusterSystem {
   /// check). Null detaches; the caller owns the log.
   void SetDecisionLog(obs::DecisionLog* log) { decision_log_ = log; }
   obs::DecisionLog* decision_log() { return decision_log_; }
+
+  /// Attaches the goal-attainment tracker (per-request budget attribution,
+  /// SLO burn rates, miss cards). Null detaches; the caller owns the
+  /// tracker and controls Enable(). When attached but disabled the request
+  /// path pays one pointer+bool test.
+  void SetAttainment(obs::AttainmentTracker* attainment) {
+    attainment_ = attainment;
+  }
+  obs::AttainmentTracker* attainment() { return attainment_; }
 
   /// Unified metrics registry, snapshotted once per observation interval.
   obs::Registry& registry() { return registry_; }
@@ -818,6 +834,7 @@ class ClusterSystem {
 
   obs::Tracer* tracer_ = nullptr;
   obs::DecisionLog* decision_log_ = nullptr;
+  obs::AttainmentTracker* attainment_ = nullptr;
   obs::Registry registry_;
 };
 

@@ -87,7 +87,8 @@ sim::SimTime Network::TransmissionTime(uint32_t bytes) const {
 
 sim::Task<bool> Network::Transfer(NodeId from, NodeId to, uint32_t bytes,
                                   TrafficClass traffic_class,
-                                  bool via_storage_bus) {
+                                  bool via_storage_bus,
+                                  TransferTiming* timing) {
   if (from == to) co_return true;
   sim::SimTime start;
   {
@@ -100,10 +101,15 @@ sim::Task<bool> Network::Transfer(NodeId from, NodeId to, uint32_t bytes,
     start = simulator_->Now();
   }
   co_await medium_.Acquire();
+  const sim::SimTime on_wire = simulator_->Now();
   co_await simulator_->Delay(TransmissionTime(bytes));
   medium_.Release();
   co_await simulator_->Delay(params_.latency_ms *
                              std::max(NodeSlowdown(from), NodeSlowdown(to)));
+  if (timing != nullptr) {
+    timing->wait_ms += on_wire - start;
+    timing->transfer_ms += simulator_->Now() - on_wire;
+  }
   bool delivered = true;
   {
     // No co_await between here and co_return, so the scope is safe; it

@@ -94,9 +94,18 @@ class Network {
   /// of §2 — disk reads bypass the interconnect and are immune to
   /// partitions (but not to loss of their best-effort category, of which
   /// there are none today).
+  /// Optional out-param of Transfer(): medium queueing vs. on-the-wire
+  /// time (transmission + endpoint latency). Same-node transfers leave it
+  /// untouched. Filled from pure Now() reads only.
+  struct TransferTiming {
+    double wait_ms = 0.0;
+    double transfer_ms = 0.0;
+  };
+
   sim::Task<bool> Transfer(NodeId from, NodeId to, uint32_t bytes,
                            TrafficClass traffic_class,
-                           bool via_storage_bus = false);
+                           bool via_storage_bus = false,
+                           TransferTiming* timing = nullptr);
 
   /// Transmission time the medium is held for a message of `bytes`.
   sim::SimTime TransmissionTime(uint32_t bytes) const;

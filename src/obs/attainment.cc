@@ -1,0 +1,364 @@
+#include "obs/attainment.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+#include "obs/registry.h"
+
+namespace memgoal::obs {
+
+void AttainmentTracker::RecordRequest(uint32_t klass, uint32_t node,
+                                      double response_ms,
+                                      const RequestBudget& budget) {
+  if (!enabled_) return;
+  Accum& accum = current_[(static_cast<uint64_t>(klass) << 32) | node];
+  ++accum.requests;
+  accum.rt_sum_ms += response_ms;
+  for (int i = 0; i < kNumBudgetPhases; ++i) {
+    accum.phase_ms[i] += budget.phase_ms[i];
+  }
+  ++requests_recorded_;
+  const double err = std::fabs(response_ms - budget.Sum());
+  if (err > max_sum_error_) max_sum_error_ = err;
+}
+
+void AttainmentTracker::OnIntervalEnd(int interval, double sim_time_ms,
+                                      const std::vector<ClassSample>& samples) {
+  if (!enabled_) return;
+
+  // Finalize budget rows (sorted by (class, node) via the map order) and
+  // roll the per-class totals into the miss-card attribution source.
+  last_interval_.clear();
+  for (const auto& [key, accum] : current_) {
+    BudgetRow row;
+    row.interval = interval;
+    row.sim_time_ms = sim_time_ms;
+    row.klass = static_cast<uint32_t>(key >> 32);
+    row.node = static_cast<uint32_t>(key & 0xffffffffu);
+    row.requests = accum.requests;
+    row.rt_sum_ms = accum.rt_sum_ms;
+    for (int i = 0; i < kNumBudgetPhases; ++i) {
+      row.phase_ms[i] = accum.phase_ms[i];
+    }
+    rows_.push_back(row);
+    Accum& klass_total = last_interval_[row.klass];
+    klass_total.requests += accum.requests;
+    klass_total.rt_sum_ms += accum.rt_sum_ms;
+    for (int i = 0; i < kNumBudgetPhases; ++i) {
+      klass_total.phase_ms[i] += accum.phase_ms[i];
+    }
+  }
+  current_.clear();
+
+  // Advance the SLO windows. Only intervals with a goal and at least one
+  // completed operation count against the budget — an idle interval can
+  // neither meet nor miss a goal.
+  for (const ClassSample& sample : samples) {
+    SloState& state = slo_[sample.klass];
+    // Oscillation detector runs for every class (allocation churn of the
+    // no-goal class is a convergence signal too).
+    if (state.has_last_bytes) {
+      const int sign =
+          sample.dedicated_bytes > state.last_dedicated_bytes
+              ? 1
+              : (sample.dedicated_bytes < state.last_dedicated_bytes ? -1 : 0);
+      if (sign != 0 && state.last_delta_sign != 0 &&
+          sign != state.last_delta_sign) {
+        ++state.oscillations;
+      }
+      if (sign != 0) state.last_delta_sign = sign;
+    }
+    state.last_dedicated_bytes = sample.dedicated_bytes;
+    state.has_last_bytes = true;
+
+    if (!sample.has_goal || sample.ops_completed == 0) continue;
+    ++state.intervals_counted;
+    if (sample.satisfied) {
+      ++state.intervals_satisfied;
+      if (state.intervals_since_miss >= 0) ++state.intervals_since_miss;
+    } else {
+      ++state.misses;
+      state.intervals_since_miss = 0;
+    }
+    state.window.push_back(sample.satisfied);
+    if (state.window.size() > static_cast<size_t>(kSlowWindow)) {
+      state.window.pop_front();
+    }
+  }
+}
+
+void AttainmentTracker::RecordCheckOutcome(const CheckOutcome& outcome) {
+  if (!enabled_) return;
+  SloState& state = slo_[outcome.klass];
+  ++state.checks;
+  const size_t rung_slot = static_cast<size_t>(outcome.relaxed_rung + 1);
+  if (state.rung_checks.size() <= rung_slot) {
+    state.rung_checks.resize(rung_slot + 1, 0);
+  }
+  ++state.rung_checks[rung_slot];
+  // A check that found the class inside its band refreshes the converged
+  // baseline the next miss is compared against.
+  if (outcome.has_observed_rt && !outcome.too_slow) {
+    state.baseline_rts.push_back(outcome.observed_rt_ms);
+    if (state.baseline_rts.size() > static_cast<size_t>(kBaselineWindow)) {
+      state.baseline_rts.pop_front();
+    }
+  }
+}
+
+const AttainmentTracker::MissCard& AttainmentTracker::RecordMiss(
+    uint32_t klass, int interval, double sim_time_ms, double observed_rt_ms,
+    double goal_rt_ms, double tolerance_ms, const FaultState& faults) {
+  MissCard card;
+  card.interval = interval;
+  card.sim_time_ms = sim_time_ms;
+  card.klass = klass;
+  card.observed_rt_ms = observed_rt_ms;
+  card.goal_rt_ms = goal_rt_ms;
+  card.tolerance_ms = tolerance_ms;
+
+  const SloState& state = slo_[klass];
+  if (!state.baseline_rts.empty()) {
+    double sum = 0.0;
+    for (double rt : state.baseline_rts) sum += rt;
+    card.baseline_rt_ms = sum / static_cast<double>(state.baseline_rts.size());
+  }
+  card.deviation_ms = observed_rt_ms - card.baseline_rt_ms;
+
+  const auto it = last_interval_.find(klass);
+  if (it != last_interval_.end() && it->second.requests > 0) {
+    const double n = static_cast<double>(it->second.requests);
+    for (int i = 0; i < kNumBudgetPhases; ++i) {
+      card.phase_mean_ms[i] = it->second.phase_ms[i] / n;
+    }
+    // Dominant phase: largest mean share; first in enum order wins ties so
+    // the card is deterministic.
+    int best = 0;
+    for (int i = 1; i < kNumBudgetPhases; ++i) {
+      if (card.phase_mean_ms[i] > card.phase_mean_ms[best]) best = i;
+    }
+    card.dominant_phase = static_cast<BudgetPhase>(best);
+    card.dominant_ms = card.phase_mean_ms[best];
+  }
+
+  card.nodes_down = faults.nodes_down;
+  card.nodes_degraded = faults.nodes_degraded;
+  card.partitioned = faults.partitioned;
+  card.partition_epoch = faults.partition_epoch;
+  card.corruptions = faults.corruptions_since_last_check;
+
+  cards_.push_back(std::move(card));
+  return cards_.back();
+}
+
+void AttainmentTracker::AnnotateLastMiss(uint32_t klass, bool lp_run,
+                                         const std::string& lp_mode,
+                                         int relaxed_rung) {
+  for (auto it = cards_.rbegin(); it != cards_.rend(); ++it) {
+    if (it->klass != klass) continue;
+    it->lp_run = lp_run;
+    it->lp_mode = lp_mode;
+    it->relaxed_rung = relaxed_rung;
+    return;
+  }
+}
+
+uint64_t AttainmentTracker::NoteCorruptions(uint32_t klass,
+                                            uint64_t cumulative_corruptions) {
+  SloState& state = slo_[klass];
+  const uint64_t since =
+      cumulative_corruptions >= state.last_corruptions
+          ? cumulative_corruptions - state.last_corruptions
+          : 0;
+  state.last_corruptions = cumulative_corruptions;
+  return since;
+}
+
+double AttainmentTracker::BurnRate(const SloState& state, int window) {
+  const size_t n = std::min(state.window.size(), static_cast<size_t>(window));
+  if (n == 0) return 0.0;
+  size_t missed = 0;
+  for (size_t i = state.window.size() - n; i < state.window.size(); ++i) {
+    if (!state.window[i]) ++missed;
+  }
+  const double miss_fraction = static_cast<double>(missed) / static_cast<double>(n);
+  return miss_fraction / kErrorBudgetFraction;
+}
+
+void AttainmentTracker::PublishTo(Registry* registry) const {
+  if (!enabled_ || registry == nullptr) return;
+  char name[96];
+  for (const auto& [klass, accum] : last_interval_) {
+    for (int i = 0; i < kNumBudgetPhases; ++i) {
+      std::snprintf(name, sizeof(name), "class%u.budget.%s_ms", klass,
+                    BudgetPhaseName(static_cast<BudgetPhase>(i)));
+      registry->GetGauge(name)->Set(accum.phase_ms[i]);
+    }
+    std::snprintf(name, sizeof(name), "class%u.budget.requests", klass);
+    registry->GetGauge(name)->Set(static_cast<double>(accum.requests));
+  }
+  for (const auto& [klass, state] : slo_) {
+    if (state.intervals_counted > 0) {
+      std::snprintf(name, sizeof(name), "class%u.slo.attainment", klass);
+      registry->GetGauge(name)->Set(
+          static_cast<double>(state.intervals_satisfied) /
+          static_cast<double>(state.intervals_counted));
+      std::snprintf(name, sizeof(name), "class%u.slo.error_budget_used",
+                    klass);
+      registry->GetGauge(name)->Set(
+          static_cast<double>(state.misses) /
+          (kErrorBudgetFraction *
+           static_cast<double>(state.intervals_counted)));
+      std::snprintf(name, sizeof(name), "class%u.slo.burn_fast", klass);
+      registry->GetGauge(name)->Set(BurnRate(state, kFastWindow));
+      std::snprintf(name, sizeof(name), "class%u.slo.burn_slow", klass);
+      registry->GetGauge(name)->Set(BurnRate(state, kSlowWindow));
+      std::snprintf(name, sizeof(name), "class%u.slo.misses", klass);
+      registry->GetCounter(name)->Set(state.misses);
+      std::snprintf(name, sizeof(name), "class%u.slo.intervals_since_miss",
+                    klass);
+      registry->GetGauge(name)->Set(
+          static_cast<double>(state.intervals_since_miss));
+    }
+    std::snprintf(name, sizeof(name), "class%u.slo.oscillations", klass);
+    registry->GetCounter(name)->Set(state.oscillations);
+  }
+  registry->GetCounter("attainment.miss_cards")->Set(cards_.size());
+  registry->GetCounter("attainment.requests")->Set(requests_recorded_);
+}
+
+namespace {
+
+void AppendDouble(std::string* out, double v) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", v);
+  *out += buffer;
+}
+
+void AppendKey(std::string* out, const char* key) {
+  *out += ",\"";
+  *out += key;
+  *out += "\":";
+}
+
+}  // namespace
+
+void AttainmentTracker::WriteJsonl(std::FILE* out) const {
+  std::string line;
+  for (const BudgetRow& row : rows_) {
+    line.clear();
+    char head[128];
+    std::snprintf(head, sizeof(head),
+                  "{\"type\":\"budget\",\"interval\":%d,\"class\":%u,"
+                  "\"node\":%u,\"requests\":%" PRIu64,
+                  row.interval, row.klass, row.node, row.requests);
+    line += head;
+    AppendKey(&line, "sim_time_ms");
+    AppendDouble(&line, row.sim_time_ms);
+    AppendKey(&line, "rt_sum_ms");
+    AppendDouble(&line, row.rt_sum_ms);
+    for (int i = 0; i < kNumBudgetPhases; ++i) {
+      char key[48];
+      std::snprintf(key, sizeof(key), "%s_ms",
+                    BudgetPhaseName(static_cast<BudgetPhase>(i)));
+      AppendKey(&line, key);
+      AppendDouble(&line, row.phase_ms[i]);
+    }
+    line += "}\n";
+    std::fwrite(line.data(), 1, line.size(), out);
+  }
+  for (const MissCard& card : cards_) {
+    line.clear();
+    char head[320];
+    std::snprintf(head, sizeof(head),
+                  "{\"type\":\"miss_card\",\"interval\":%d,\"class\":%u,"
+                  "\"dominant_phase\":\"%s\",\"nodes_down\":%" PRIu64
+                  ",\"nodes_degraded\":%" PRIu64 ",\"partitioned\":%s"
+                  ",\"partition_epoch\":%" PRIu64 ",\"corruptions\":%" PRIu64
+                  ",\"lp_run\":%s,\"lp_mode\":\"%s\",\"relaxed_rung\":%d",
+                  card.interval, card.klass,
+                  BudgetPhaseName(card.dominant_phase), card.nodes_down,
+                  card.nodes_degraded, card.partitioned ? "true" : "false",
+                  card.partition_epoch, card.corruptions,
+                  card.lp_run ? "true" : "false", card.lp_mode.c_str(),
+                  card.relaxed_rung);
+    line += head;
+    AppendKey(&line, "sim_time_ms");
+    AppendDouble(&line, card.sim_time_ms);
+    AppendKey(&line, "observed_rt_ms");
+    AppendDouble(&line, card.observed_rt_ms);
+    AppendKey(&line, "goal_rt_ms");
+    AppendDouble(&line, card.goal_rt_ms);
+    AppendKey(&line, "tolerance_ms");
+    AppendDouble(&line, card.tolerance_ms);
+    AppendKey(&line, "baseline_rt_ms");
+    AppendDouble(&line, card.baseline_rt_ms);
+    AppendKey(&line, "deviation_ms");
+    AppendDouble(&line, card.deviation_ms);
+    AppendKey(&line, "dominant_ms");
+    AppendDouble(&line, card.dominant_ms);
+    for (int i = 0; i < kNumBudgetPhases; ++i) {
+      char key[48];
+      std::snprintf(key, sizeof(key), "mean_%s_ms",
+                    BudgetPhaseName(static_cast<BudgetPhase>(i)));
+      AppendKey(&line, key);
+      AppendDouble(&line, card.phase_mean_ms[i]);
+    }
+    line += "}\n";
+    std::fwrite(line.data(), 1, line.size(), out);
+  }
+}
+
+void AttainmentTracker::WriteCsv(std::FILE* out) const {
+  std::fprintf(out, "interval,sim_time_ms,class,node,requests,rt_sum_ms");
+  for (int i = 0; i < kNumBudgetPhases; ++i) {
+    std::fprintf(out, ",%s_ms", BudgetPhaseName(static_cast<BudgetPhase>(i)));
+  }
+  std::fputc('\n', out);
+  for (const BudgetRow& row : rows_) {
+    std::fprintf(out, "%d,%.3f,%u,%u,%" PRIu64 ",%.17g", row.interval,
+                 row.sim_time_ms, row.klass, row.node, row.requests,
+                 row.rt_sum_ms);
+    for (int i = 0; i < kNumBudgetPhases; ++i) {
+      std::fprintf(out, ",%.17g", row.phase_ms[i]);
+    }
+    std::fputc('\n', out);
+  }
+}
+
+void AttainmentTracker::WriteSummary(std::FILE* out) const {
+  for (const auto& [klass, state] : slo_) {
+    if (state.intervals_counted == 0) continue;
+    std::fprintf(out,
+                 "# attainment class %u: %" PRIu64 "/%" PRIu64
+                 " intervals satisfied (%.1f%%), misses=%" PRIu64
+                 ", budget_used=%.2f, burn_fast=%.2f, burn_slow=%.2f, "
+                 "oscillations=%" PRIu64 "\n",
+                 klass, state.intervals_satisfied, state.intervals_counted,
+                 100.0 * static_cast<double>(state.intervals_satisfied) /
+                     static_cast<double>(state.intervals_counted),
+                 state.misses,
+                 static_cast<double>(state.misses) /
+                     (kErrorBudgetFraction *
+                      static_cast<double>(state.intervals_counted)),
+                 BurnRate(state, kFastWindow), BurnRate(state, kSlowWindow),
+                 state.oscillations);
+  }
+  // Miss-card digest: dominant phase histogram per class.
+  std::map<uint32_t, std::map<int, uint64_t>> by_phase;
+  for (const MissCard& card : cards_) {
+    ++by_phase[card.klass][static_cast<int>(card.dominant_phase)];
+  }
+  for (const auto& [klass, phases] : by_phase) {
+    std::fprintf(out, "# miss cards class %u:", klass);
+    for (const auto& [phase, count] : phases) {
+      std::fprintf(out, " %s=%" PRIu64,
+                   BudgetPhaseName(static_cast<BudgetPhase>(phase)), count);
+    }
+    std::fputc('\n', out);
+  }
+}
+
+}  // namespace memgoal::obs

@@ -186,6 +186,18 @@ std::string DecisionRecord::ToJson() const {
   AppendField(&out, "lp_allocation", lp_allocation);
   AppendField(&out, "shipped_allocation", shipped_allocation);
   AppendField(&out, "granted_allocation", granted_allocation);
+  if (miss_card) {
+    AppendField(&out, "miss_card", miss_card);
+    AppendField(&out, "miss_dominant_phase", miss_dominant_phase);
+    AppendField(&out, "miss_dominant_ms", miss_dominant_ms);
+    AppendField(&out, "miss_phase_ms", miss_phase_ms);
+    AppendField(&out, "miss_baseline_rt", miss_baseline_rt);
+    AppendField(&out, "miss_deviation_ms", miss_deviation_ms);
+    AppendField(&out, "miss_nodes_down", miss_nodes_down);
+    AppendField(&out, "miss_nodes_degraded", miss_nodes_degraded);
+    AppendField(&out, "miss_partitioned", miss_partitioned);
+    AppendField(&out, "miss_corruptions", miss_corruptions);
+  }
   out += '}';
   return out;
 }
@@ -247,6 +259,20 @@ bool DecisionRecord::FromJson(const std::string& json, DecisionRecord* out) {
   }
   if (!ParseArray(json, "granted_allocation", &rec.granted_allocation)) {
     return false;
+  }
+  // Optional miss card (absent from pre-attainment records and from every
+  // check that met its goal): the ignore-return idiom leaves defaults.
+  ParseBool(json, "miss_card", &rec.miss_card);
+  if (rec.miss_card) {
+    ParseString(json, "miss_dominant_phase", &rec.miss_dominant_phase);
+    ParseDouble(json, "miss_dominant_ms", &rec.miss_dominant_ms);
+    ParseArray(json, "miss_phase_ms", &rec.miss_phase_ms);
+    ParseDouble(json, "miss_baseline_rt", &rec.miss_baseline_rt);
+    ParseDouble(json, "miss_deviation_ms", &rec.miss_deviation_ms);
+    ParseU64(json, "miss_nodes_down", &rec.miss_nodes_down);
+    ParseU64(json, "miss_nodes_degraded", &rec.miss_nodes_degraded);
+    ParseBool(json, "miss_partitioned", &rec.miss_partitioned);
+    ParseU64(json, "miss_corruptions", &rec.miss_corruptions);
   }
   *out = std::move(rec);
   return true;

@@ -81,6 +81,27 @@ struct DecisionRecord {
   /// What the nodes actually granted (ack'd views).
   std::vector<double> granted_allocation;
 
+  // Goal-miss root-cause card (attainment layer). Optional: serialized
+  // only when miss_card is true, and parsed leniently so records written
+  // before the attainment PR — or by runs without the tracker — still
+  // round-trip.
+  bool miss_card = false;
+  /// Dominant budget phase of the last finalized interval ("disk_wait",
+  /// "fetch_wait", ...; see obs/latency_budget.h).
+  std::string miss_dominant_phase;
+  double miss_dominant_ms = 0.0;
+  /// Per-request mean sim-ms per budget phase, in BudgetPhase order.
+  std::vector<double> miss_phase_ms;
+  /// Mean observed RT over the recent satisfied checks, and how far this
+  /// miss deviates from it.
+  double miss_baseline_rt = 0.0;
+  double miss_deviation_ms = 0.0;
+  // Coincident fault state at the missed check.
+  uint64_t miss_nodes_down = 0;
+  uint64_t miss_nodes_degraded = 0;
+  bool miss_partitioned = false;
+  uint64_t miss_corruptions = 0;
+
   /// Single-line JSON object (no trailing newline).
   std::string ToJson() const;
 

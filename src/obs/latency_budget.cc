@@ -1,0 +1,33 @@
+#include "obs/latency_budget.h"
+
+namespace memgoal::obs {
+
+const char* BudgetPhaseName(BudgetPhase phase) {
+  switch (phase) {
+    case BudgetPhase::kCpuWait:
+      return "cpu_wait";
+    case BudgetPhase::kCpuService:
+      return "cpu_service";
+    case BudgetPhase::kDiskWait:
+      return "disk_wait";
+    case BudgetPhase::kDiskService:
+      return "disk_service";
+    case BudgetPhase::kNetWait:
+      return "net_wait";
+    case BudgetPhase::kNetTransfer:
+      return "net_transfer";
+    case BudgetPhase::kFetchWait:
+      return "fetch_wait";
+    case BudgetPhase::kBackoff:
+      return "backoff";
+    case BudgetPhase::kLockWait:
+      return "lock_wait";
+    case BudgetPhase::kWalForce:
+      return "wal_force";
+    case BudgetPhase::kResidual:
+      return "residual";
+  }
+  return "?";
+}
+
+}  // namespace memgoal::obs

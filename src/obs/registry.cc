@@ -7,6 +7,39 @@
 
 namespace memgoal::obs {
 
+bool NaturalLess::operator()(const std::string& a,
+                             const std::string& b) const {
+  size_t i = 0, j = 0;
+  const auto digit = [](char c) { return c >= '0' && c <= '9'; };
+  while (i < a.size() && j < b.size()) {
+    if (digit(a[i]) && digit(b[j])) {
+      // Compare the maximal digit runs numerically: skip leading zeros,
+      // then a longer run is larger, then byte order decides. Equal-valued
+      // runs with different zero-padding fall through to the tie-break
+      // below so distinct names never compare equal.
+      size_t ai = i, bj = j;
+      while (ai < a.size() && a[ai] == '0') ++ai;
+      while (bj < b.size() && b[bj] == '0') ++bj;
+      size_t ae = ai, be = bj;
+      while (ae < a.size() && digit(a[ae])) ++ae;
+      while (be < b.size() && digit(b[be])) ++be;
+      const size_t alen = ae - ai, blen = be - bj;
+      if (alen != blen) return alen < blen;
+      for (size_t k = 0; k < alen; ++k) {
+        if (a[ai + k] != b[bj + k]) return a[ai + k] < b[bj + k];
+      }
+      if (ae - i != be - j) return ae - i < be - j;  // zero-padding length
+      i = ae;
+      j = be;
+      continue;
+    }
+    if (a[i] != b[j]) return a[i] < b[j];
+    ++i;
+    ++j;
+  }
+  return a.size() - i < b.size() - j;
+}
+
 void Registry::Counter::Set(uint64_t cumulative) {
   const uint64_t mirrored = external_offset_ + cumulative;
   if (mirrored < value_) {

@@ -24,6 +24,15 @@ namespace memgoal::obs {
 ///
 /// Naming convention: dot-separated paths, lowest-cardinality prefix first,
 /// e.g. "class1.access.local_buffer", "node0.cpu.wait", "ctrl.goal.checks".
+/// Orders instrument names "naturally": maximal digit runs compare as
+/// numbers, everything else byte-wise. This puts "class2.rt" before
+/// "class10.rt" (lexicographic order would not), so per-class columns in
+/// CSV/JSONL snapshots appear in class-id order and diffs across
+/// backends/threads stay byte-stable as class counts grow past 9.
+struct NaturalLess {
+  bool operator()(const std::string& a, const std::string& b) const;
+};
+
 class Registry {
  public:
   /// Monotonic counter. Snapshots report the cumulative value and the delta
@@ -117,10 +126,10 @@ class Registry {
   };
 
   // std::map: stable node addresses for handed-out pointers and
-  // deterministic (sorted) export order.
-  std::map<std::string, Counter> counters_;
-  std::map<std::string, Gauge> gauges_;
-  std::map<std::string, HistogramView> histograms_;
+  // deterministic (naturally sorted: class2 before class10) export order.
+  std::map<std::string, Counter, NaturalLess> counters_;
+  std::map<std::string, Gauge, NaturalLess> gauges_;
+  std::map<std::string, HistogramView, NaturalLess> histograms_;
   std::vector<Snapshot> history_;
   // Delta base for the synthetic "obs.counter_regressions" entry.
   uint64_t regressions_snapshot_base_ = 0;

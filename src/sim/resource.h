@@ -70,9 +70,18 @@ class Resource {
   /// simulated time.
   void Release();
 
+  /// Optional out-param of Use(): how long the caller queued for a unit
+  /// and how long it held it (slowdown-stretched). Filled from pure Now()
+  /// reads, so requesting timings can never perturb the simulation.
+  struct UseTiming {
+    double wait_ms = 0.0;
+    double service_ms = 0.0;
+  };
+
   /// Convenience process: acquire, hold for `service_time` stretched by the
-  /// current slowdown factor, release.
-  Task<void> Use(SimTime service_time);
+  /// current slowdown factor, release. A non-null `timing` receives the
+  /// wait/service split (latency-budget attribution).
+  Task<void> Use(SimTime service_time, UseTiming* timing = nullptr);
 
   /// Service-time multiplier applied by Use(); 1.0 = healthy. Set by the
   /// fault injection layer while the owning node is degraded.

@@ -25,13 +25,13 @@ Disk::Disk(sim::Simulator* simulator, const Params& params,
       page_service_ms_(ComputeServiceTime(params, page_bytes)),
       arm_(simulator, /*capacity=*/1, std::move(name)) {}
 
-sim::Task<void> Disk::ReadPage() {
-  co_await arm_.Use(page_service_ms_);
+sim::Task<void> Disk::ReadPage(sim::Resource::UseTiming* timing) {
+  co_await arm_.Use(page_service_ms_, timing);
   ++reads_completed_;
 }
 
-sim::Task<void> Disk::WritePage() {
-  co_await arm_.Use(page_service_ms_);
+sim::Task<void> Disk::WritePage(sim::Resource::UseTiming* timing) {
+  co_await arm_.Use(page_service_ms_, timing);
   ++writes_completed_;
 }
 

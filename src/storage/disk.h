@@ -32,12 +32,12 @@ class Disk {
   sim::SimTime PageServiceTime() const { return page_service_ms_; }
 
   /// Reads one page: queues FCFS at the arm and holds it for the service
-  /// time.
-  sim::Task<void> ReadPage();
+  /// time. A non-null `timing` receives the queue-wait/service split.
+  sim::Task<void> ReadPage(sim::Resource::UseTiming* timing = nullptr);
 
   /// Writes one page (same service-time model; used by the WAL force and
   /// the FORCE-at-commit policy of the transactional layer).
-  sim::Task<void> WritePage();
+  sim::Task<void> WritePage(sim::Resource::UseTiming* timing = nullptr);
 
   /// Service-time multiplier while the owning node is degraded (gray
   /// failure); 1.0 = healthy. Affects requests that start after the call.

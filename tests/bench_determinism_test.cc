@@ -34,6 +34,7 @@
 #include "core/metrics.h"
 #include "core/scenario.h"
 #include "core/system.h"
+#include "obs/attainment.h"
 #include "obs/decision_log.h"
 #include "sim/chaos_schedule.h"
 #include "sim/invariant_auditor.h"
@@ -205,8 +206,9 @@ struct BackendRun {
   uint64_t events = 0;
 };
 
-std::optional<BackendRun> RunScenarioText(const std::string& text,
-                                          sim::QueueBackend backend) {
+std::optional<BackendRun> RunScenarioText(
+    const std::string& text, sim::QueueBackend backend,
+    obs::AttainmentTracker* attainment = nullptr) {
   common::Config config;
   if (!config.ParseText(text)) {
     ADD_FAILURE() << "bad scenario text: " << config.error();
@@ -225,6 +227,7 @@ std::optional<BackendRun> RunScenarioText(const std::string& text,
   }
   obs::DecisionLog decision_log;
   system.SetDecisionLog(&decision_log);
+  if (attainment != nullptr) system.SetAttainment(attainment);
   sim::InvariantAuditor auditor;
   if (scenario->audit) system.EnableAuditor(&auditor);
   system.Start();
@@ -367,6 +370,49 @@ TEST(QueueBackendDifferential, ZeroRateCorruptionMachineryIsBitExact) {
     EXPECT_EQ(off->metrics_csv, on->metrics_csv);
     EXPECT_EQ(off->decision_jsonl, on->decision_jsonl);
   }
+}
+
+TEST(QueueBackendDifferential, EnabledAttainmentTrackingIsBitExact) {
+  // The attainment tracker is a pure observer: with tracking ENABLED the
+  // simulation itself (event count, metrics CSV) must be byte-identical to
+  // a bare run, and the tracker's own outputs — budget rows, miss cards,
+  // and the decision log they annotate — must be byte-identical across the
+  // two queue backends. (Bare vs tracked decision logs are not compared:
+  // the tracked run legitimately adds miss-card fields to its records.)
+  const std::string text =
+      "nodes=4\ndb_pages=800\ncache_bytes=262144\n"
+      "interval_ms=2000\nintervals=8\nseed=5\n"
+      "classes=2\nclass1_goal_ms=60\n"
+      "class0_interarrival_ms=40\nclass1_interarrival_ms=40\n"
+      "fault_mttf_ms=30000\nfault_mttr_ms=5000\n";
+  std::vector<std::string> attainment_jsonl;
+  std::vector<std::string> decision_jsonl;
+  for (const sim::QueueBackend backend :
+       {sim::QueueBackend::kCalendar, sim::QueueBackend::kLegacyHeap}) {
+    const std::optional<BackendRun> bare = RunScenarioText(text, backend);
+    obs::AttainmentTracker tracker;
+    tracker.Enable(true);
+    const std::optional<BackendRun> tracked =
+        RunScenarioText(text, backend, &tracker);
+    ASSERT_TRUE(bare.has_value() && tracked.has_value());
+    EXPECT_GT(bare->events, 0u);
+    EXPECT_EQ(bare->events, tracked->events);
+    EXPECT_EQ(bare->metrics_csv, tracked->metrics_csv);
+    EXPECT_GT(tracker.requests_recorded(), 0u);
+    EXPECT_LE(tracker.max_sum_error(), 1e-9);
+
+    char* buf = nullptr;
+    size_t size = 0;
+    std::FILE* stream = open_memstream(&buf, &size);
+    tracker.WriteJsonl(stream);
+    std::fclose(stream);
+    attainment_jsonl.emplace_back(buf, size);
+    std::free(buf);
+    decision_jsonl.push_back(tracked->decision_jsonl);
+  }
+  EXPECT_FALSE(attainment_jsonl[0].empty());
+  EXPECT_EQ(attainment_jsonl[0], attainment_jsonl[1]);
+  EXPECT_EQ(decision_jsonl[0], decision_jsonl[1]);
 }
 
 TEST(QueueBackendDifferential, CorruptionAndScrubReplayIdentically) {

@@ -1,0 +1,347 @@
+#include "obs/attainment.h"
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+#include "obs/decision_log.h"
+#include "obs/latency_budget.h"
+#include "workload/spec.h"
+
+namespace memgoal::obs {
+namespace {
+
+TEST(RequestBudgetTest, ResidualClosesTheBudgetExactly) {
+  RequestBudget budget;
+  budget.Add(BudgetPhase::kCpuWait, 0.125);
+  budget.Add(BudgetPhase::kCpuService, 0.25);
+  budget.Add(BudgetPhase::kDiskService, 3.0 / 7.0);
+  budget.SetResidual(1.0);
+  EXPECT_EQ(budget.Sum(), 1.0);
+  EXPECT_DOUBLE_EQ(budget.AttributedSum(), 0.125 + 0.25 + 3.0 / 7.0);
+}
+
+TEST(AttainmentTrackerTest, RecordRequestTracksWorstSumError) {
+  AttainmentTracker tracker;
+  tracker.Enable(true);
+  RequestBudget closed;
+  closed.Add(BudgetPhase::kDiskService, 1.5);
+  closed.SetResidual(2.0);
+  tracker.RecordRequest(1, 0, 2.0, closed);
+  EXPECT_EQ(tracker.max_sum_error(), 0.0);
+
+  RequestBudget open;
+  open.Add(BudgetPhase::kDiskService, 1.5);  // no residual: sums to 1.5
+  tracker.RecordRequest(1, 0, 2.0, open);
+  EXPECT_NEAR(tracker.max_sum_error(), 0.5, 1e-15);
+  EXPECT_EQ(tracker.requests_recorded(), 2u);
+}
+
+TEST(AttainmentTrackerTest, BurnRateScalesMissFractionByErrorBudget) {
+  AttainmentTracker::SloState state;
+  EXPECT_EQ(AttainmentTracker::BurnRate(state, 6), 0.0);  // no data yet
+
+  // Oldest -> newest: 4 hits then 2 misses.
+  for (int i = 0; i < 4; ++i) state.window.push_back(true);
+  for (int i = 0; i < 2; ++i) state.window.push_back(false);
+  // Fast window (6): 2/6 missed, over a 10% budget -> burn rate 10/3.
+  EXPECT_NEAR(AttainmentTracker::BurnRate(state, 6), (2.0 / 6.0) / 0.1,
+              1e-12);
+  // A 2-interval window sees only the trailing misses: burn rate 10.
+  EXPECT_NEAR(AttainmentTracker::BurnRate(state, 2), 10.0, 1e-12);
+  // A window longer than the history clamps to the history.
+  EXPECT_NEAR(AttainmentTracker::BurnRate(state, 36), (2.0 / 6.0) / 0.1,
+              1e-12);
+}
+
+AttainmentTracker::ClassSample GoalSample(bool satisfied, uint64_t ops,
+                                          uint64_t bytes) {
+  AttainmentTracker::ClassSample sample;
+  sample.klass = 1;
+  sample.has_goal = true;
+  sample.goal_rt_ms = 10.0;
+  sample.tolerance_ms = 1.0;
+  sample.observed_rt_ms = satisfied ? 9.0 : 14.0;
+  sample.has_observed_rt = ops > 0;
+  sample.satisfied = satisfied;
+  sample.ops_completed = ops;
+  sample.dedicated_bytes = bytes;
+  return sample;
+}
+
+TEST(AttainmentTrackerTest, SloWindowsAdvancePerInterval) {
+  AttainmentTracker tracker;
+  tracker.Enable(true);
+  int interval = 0;
+  auto feed = [&](bool satisfied, uint64_t ops, uint64_t bytes) {
+    tracker.OnIntervalEnd(interval, interval * 5000.0,
+                          {GoalSample(satisfied, ops, bytes)});
+    ++interval;
+  };
+
+  feed(true, 10, 100);
+  const AttainmentTracker::SloState& state = tracker.slo().at(1);
+  EXPECT_EQ(state.intervals_counted, 1u);
+  EXPECT_EQ(state.intervals_since_miss, -1);  // never missed
+
+  feed(false, 10, 200);
+  EXPECT_EQ(state.misses, 1u);
+  EXPECT_EQ(state.intervals_since_miss, 0);
+
+  // An idle interval neither meets nor misses the goal (and freezes the
+  // since-miss clock), but still feeds the oscillation detector.
+  feed(true, 0, 150);
+  EXPECT_EQ(state.intervals_counted, 2u);
+  EXPECT_EQ(state.intervals_since_miss, 0);
+
+  feed(true, 10, 180);
+  EXPECT_EQ(state.intervals_counted, 3u);
+  EXPECT_EQ(state.intervals_satisfied, 2u);
+  EXPECT_EQ(state.intervals_since_miss, 1);
+
+  // Allocation deltas so far: +100, -50, +30 — two direction reversals.
+  EXPECT_EQ(state.oscillations, 2u);
+  EXPECT_EQ(state.window.size(), 3u);
+}
+
+TEST(AttainmentTrackerTest, CheckOutcomesFeedRungResidencyAndBaseline) {
+  AttainmentTracker tracker;
+  tracker.Enable(true);
+
+  AttainmentTracker::CheckOutcome ok;
+  ok.klass = 1;
+  ok.observed_rt_ms = 9.5;
+  ok.has_observed_rt = true;
+  tracker.RecordCheckOutcome(ok);
+
+  AttainmentTracker::CheckOutcome slow;
+  slow.klass = 1;
+  slow.too_slow = true;
+  slow.lp_run = true;
+  slow.relaxed_rung = 1;
+  slow.observed_rt_ms = 15.0;
+  slow.has_observed_rt = true;
+  tracker.RecordCheckOutcome(slow);
+
+  const AttainmentTracker::SloState& state = tracker.slo().at(1);
+  EXPECT_EQ(state.checks, 2u);
+  ASSERT_GE(state.rung_checks.size(), 3u);
+  EXPECT_EQ(state.rung_checks[0], 1u);  // unrelaxed check
+  EXPECT_EQ(state.rung_checks[2], 1u);  // rung-1 check
+  // Only the in-band check refreshed the converged baseline.
+  ASSERT_EQ(state.baseline_rts.size(), 1u);
+  EXPECT_EQ(state.baseline_rts.front(), 9.5);
+}
+
+TEST(AttainmentTrackerTest, MissCardJoinsBudgetBaselineAndFaults) {
+  AttainmentTracker tracker;
+  tracker.Enable(true);
+
+  RequestBudget budget;
+  budget.Add(BudgetPhase::kDiskWait, 6.0);
+  budget.Add(BudgetPhase::kCpuService, 1.0);
+  budget.SetResidual(8.0);
+  tracker.RecordRequest(1, 2, 8.0, budget);
+  tracker.OnIntervalEnd(0, 5000.0, {GoalSample(true, 1, 100)});
+
+  AttainmentTracker::CheckOutcome ok;
+  ok.klass = 1;
+  ok.observed_rt_ms = 8.0;
+  ok.has_observed_rt = true;
+  tracker.RecordCheckOutcome(ok);
+
+  AttainmentTracker::FaultState faults;
+  faults.nodes_down = 1;
+  faults.partitioned = true;
+  faults.partition_epoch = 3;
+  faults.corruptions_since_last_check = 2;
+  const AttainmentTracker::MissCard& card =
+      tracker.RecordMiss(1, 0, 5001.0, 14.0, 10.0, 1.0, faults);
+  EXPECT_EQ(card.dominant_phase, BudgetPhase::kDiskWait);
+  EXPECT_DOUBLE_EQ(card.dominant_ms, 6.0);
+  EXPECT_DOUBLE_EQ(card.baseline_rt_ms, 8.0);
+  EXPECT_DOUBLE_EQ(card.deviation_ms, 6.0);
+  EXPECT_EQ(card.nodes_down, 1u);
+  EXPECT_TRUE(card.partitioned);
+  EXPECT_EQ(card.partition_epoch, 3u);
+  EXPECT_EQ(card.corruptions, 2u);
+  EXPECT_FALSE(card.lp_run);
+
+  tracker.AnnotateLastMiss(1, /*lp_run=*/true, "goal_relaxed", 1);
+  ASSERT_EQ(tracker.cards().size(), 1u);
+  EXPECT_TRUE(tracker.cards()[0].lp_run);
+  EXPECT_EQ(tracker.cards()[0].lp_mode, "goal_relaxed");
+  EXPECT_EQ(tracker.cards()[0].relaxed_rung, 1);
+}
+
+TEST(AttainmentTrackerTest, NoteCorruptionsReturnsDeltaSinceLastCheck) {
+  AttainmentTracker tracker;
+  tracker.Enable(true);
+  EXPECT_EQ(tracker.NoteCorruptions(1, 5), 5u);
+  EXPECT_EQ(tracker.NoteCorruptions(1, 7), 2u);
+  EXPECT_EQ(tracker.NoteCorruptions(1, 7), 0u);
+  // A non-monotonic mirror clamps instead of underflowing.
+  EXPECT_EQ(tracker.NoteCorruptions(1, 3), 0u);
+}
+
+TEST(AttainmentTrackerTest, DisabledTrackerIsInert) {
+  AttainmentTracker tracker;  // never enabled
+  RequestBudget budget;
+  budget.SetResidual(1.0);
+  tracker.RecordRequest(1, 0, 1.0, budget);
+  tracker.OnIntervalEnd(0, 5000.0, {GoalSample(true, 1, 100)});
+  AttainmentTracker::CheckOutcome outcome;
+  outcome.klass = 1;
+  tracker.RecordCheckOutcome(outcome);
+  EXPECT_EQ(tracker.requests_recorded(), 0u);
+  EXPECT_TRUE(tracker.rows().empty());
+  EXPECT_TRUE(tracker.slo().empty());
+}
+
+// -- The closed-budget property over a real cluster run ----------------------
+
+std::unique_ptr<core::ClusterSystem> BuildFaultySystem() {
+  core::SystemConfig config;
+  config.num_nodes = 3;
+  config.cache_bytes_per_node = 2ull << 20;
+  config.db_pages = 2000;
+  config.seed = 17;
+  // Compose every fault family so all attribution paths run: a crash with
+  // recovery, a gray episode on another node, and continuous bit-rot.
+  const uint32_t victim = config.num_nodes - 1;
+  config.faults.script = {{30000.0, victim, /*crash=*/true},
+                          {50000.0, victim, /*crash=*/false}};
+  config.faults.degradation_script = {
+      {60000.0, 0, /*begin=*/true, 20.0},
+      {80000.0, 0, /*begin=*/false}};
+  config.faults.mttc_ms = 20000.0;
+  config.corrupt_latent_fraction = 0.1;
+  config.scrub_interval_ms = 500.0;
+  auto system = std::make_unique<core::ClusterSystem>(config);
+  workload::ClassSpec goal;
+  goal.id = 1;
+  goal.goal_rt_ms = 8.0;
+  goal.pages = {0, 1000};
+  goal.mean_interarrival_ms = 40.0;
+  workload::ClassSpec nogoal;
+  nogoal.id = 0;
+  nogoal.pages = {1000, 2000};
+  nogoal.mean_interarrival_ms = 40.0;
+  system->AddClass(goal);
+  system->AddClass(nogoal);
+  return system;
+}
+
+TEST(AttainmentIntegrationTest, BudgetDecompositionClosesUnderFaults) {
+  auto system = BuildFaultySystem();
+  AttainmentTracker tracker;
+  tracker.Enable(true);
+  system->SetAttainment(&tracker);
+  system->Start();
+  system->RunIntervals(24);
+
+  EXPECT_GT(tracker.requests_recorded(), 0u);
+  // The acceptance bound: every completed request's decomposition summed
+  // back to its measured response time within 1e-9 sim-ms.
+  EXPECT_LE(tracker.max_sum_error(), 1e-9);
+
+  ASSERT_FALSE(tracker.rows().empty());
+  uint64_t row_requests = 0;
+  for (const AttainmentTracker::BudgetRow& row : tracker.rows()) {
+    row_requests += row.requests;
+    double phase_sum = 0.0;
+    for (double ms : row.phase_ms) phase_sum += ms;
+    // Aggregated rows stay closed too (folded per-request error only).
+    EXPECT_NEAR(phase_sum, row.rt_sum_ms, 1e-6);
+  }
+  EXPECT_EQ(row_requests, tracker.requests_recorded());
+
+  // Under a crash, a gray episode and bit-rot the goal class cannot have
+  // spent its whole life in pure CPU: some wait/fetch attribution exists.
+  double goal_cpu_service = 0.0, goal_non_cpu = 0.0;
+  for (const AttainmentTracker::BudgetRow& row : tracker.rows()) {
+    if (row.klass != 1) continue;
+    goal_cpu_service +=
+        row.phase_ms[static_cast<int>(BudgetPhase::kCpuService)];
+    for (int i = 0; i < kNumBudgetPhases; ++i) {
+      if (i != static_cast<int>(BudgetPhase::kCpuService)) {
+        goal_non_cpu += row.phase_ms[i];
+      }
+    }
+  }
+  EXPECT_GT(goal_cpu_service, 0.0);
+  EXPECT_GT(goal_non_cpu, 0.0);
+
+  // The SLO monitor saw the goal class.
+  ASSERT_TRUE(tracker.slo().count(1));
+  EXPECT_GT(tracker.slo().at(1).intervals_counted, 0u);
+}
+
+TEST(AttainmentIntegrationTest, AttachedDisabledTrackerRecordsNothing) {
+  auto system = BuildFaultySystem();
+  AttainmentTracker tracker;  // attached but never enabled
+  system->SetAttainment(&tracker);
+  system->Start();
+  system->RunIntervals(8);
+  EXPECT_EQ(tracker.requests_recorded(), 0u);
+  EXPECT_TRUE(tracker.rows().empty());
+  EXPECT_TRUE(tracker.cards().empty());
+}
+
+// -- Miss-card decision records ----------------------------------------------
+
+TEST(AttainmentMissCardTest, DecisionRecordRoundTripsBitForBit) {
+  DecisionRecord record;
+  record.interval = 7;
+  record.sim_time_ms = 35001.0;
+  record.klass = 1;
+  record.observed_rt_k = 14.5;
+  record.goal_rt = 10.0;
+  record.tolerance_delta = 0.5;
+  record.miss_card = true;
+  record.miss_dominant_phase = "disk_wait";
+  record.miss_dominant_ms = 6.25;
+  record.miss_phase_ms = {0.1, 0.2, 6.25, 0.5, 0.0, 0.0,
+                          3.0 / 7.0, 0.0, 0.0, 0.0, 0.125};
+  record.miss_baseline_rt = 8.5;
+  record.miss_deviation_ms = 6.0;
+  record.miss_nodes_down = 1;
+  record.miss_nodes_degraded = 2;
+  record.miss_partitioned = true;
+  record.miss_corruptions = 3;
+
+  const std::string json = record.ToJson();
+  DecisionRecord parsed;
+  ASSERT_TRUE(DecisionRecord::FromJson(json, &parsed));
+  EXPECT_TRUE(parsed.miss_card);
+  EXPECT_EQ(parsed.miss_dominant_phase, record.miss_dominant_phase);
+  EXPECT_EQ(parsed.miss_dominant_ms, record.miss_dominant_ms);
+  EXPECT_EQ(parsed.miss_phase_ms, record.miss_phase_ms);
+  EXPECT_EQ(parsed.miss_baseline_rt, record.miss_baseline_rt);
+  EXPECT_EQ(parsed.miss_deviation_ms, record.miss_deviation_ms);
+  EXPECT_EQ(parsed.miss_nodes_down, record.miss_nodes_down);
+  EXPECT_EQ(parsed.miss_nodes_degraded, record.miss_nodes_degraded);
+  EXPECT_EQ(parsed.miss_partitioned, record.miss_partitioned);
+  EXPECT_EQ(parsed.miss_corruptions, record.miss_corruptions);
+  // Replay fidelity, PR-4 style: re-serializing the parse reproduces the
+  // original line byte for byte.
+  EXPECT_EQ(parsed.ToJson(), json);
+}
+
+TEST(AttainmentMissCardTest, RecordWithoutMissCardOmitsTheBlock) {
+  DecisionRecord record;
+  record.interval = 3;
+  record.klass = 1;
+  const std::string json = record.ToJson();
+  EXPECT_EQ(json.find("miss_"), std::string::npos);
+  DecisionRecord parsed;
+  ASSERT_TRUE(DecisionRecord::FromJson(json, &parsed));
+  EXPECT_FALSE(parsed.miss_card);
+}
+
+}  // namespace
+}  // namespace memgoal::obs

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -154,6 +155,34 @@ TEST(RegistryTest, CsvAndJsonlCarryEveryInstrument) {
   EXPECT_NE(jsonl.find("\"g\":1.25"), std::string::npos);
   // One line per snapshot.
   EXPECT_EQ(std::count(jsonl.begin(), jsonl.end(), '\n'), 1);
+}
+
+TEST(RegistryTest, SnapshotsOrderClassColumnsNaturally) {
+  // Per-class instrument names must come out in numeric class order —
+  // class2 before class10 — not in lexicographic or hash-map order, so CSV
+  // snapshots diff cleanly across runs regardless of registration order.
+  Registry registry;
+  registry.GetCounter("class10.ops")->Add(1);
+  registry.GetCounter("class2.ops")->Add(2);
+  registry.GetCounter("class1.ops")->Add(3);
+  registry.GetGauge("class10.budget.disk_wait_ms")->Set(4.0);
+  registry.GetGauge("class2.budget.disk_wait_ms")->Set(5.0);
+  const Registry::Snapshot& snap = registry.TakeSnapshot(0, 1000.0);
+
+  std::vector<std::string> names;
+  for (const Registry::SnapshotEntry& entry : snap.entries) {
+    names.push_back(entry.name);
+  }
+  const std::vector<std::string> expected = {
+      "class1.ops", "class2.ops", "class10.ops",
+      "class2.budget.disk_wait_ms", "class10.budget.disk_wait_ms"};
+  EXPECT_EQ(names, expected);
+
+  // The CSV serialization preserves that order.
+  const std::string csv = Slurp(
+      [](Registry* r, std::FILE* f) { r->WriteCsv(f); }, &registry);
+  EXPECT_LT(csv.find("class2.ops"), csv.find("class10.ops"));
+  EXPECT_LT(csv.find("class2.budget"), csv.find("class10.budget"));
 }
 
 }  // namespace

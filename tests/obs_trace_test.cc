@@ -1,9 +1,13 @@
 #include "obs/trace.h"
 
+#include <algorithm>
 #include <array>
+#include <cstdlib>
+#include <map>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -110,6 +114,111 @@ TEST(TracerTest, SimulationTraceSatisfiesEventSchema) {
   }
   EXPECT_TRUE(saw_access);
   EXPECT_TRUE(saw_net);
+}
+
+// Extracts the numeric value following `"key":` on a trace-event line;
+// returns false when the key is absent.
+bool EventNumber(const std::string& line, const char* key, double* out) {
+  std::string needle = "\"";
+  needle += key;
+  needle += "\":";
+  const size_t pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  *out = std::strtod(line.c_str() + pos + needle.size(), nullptr);
+  return true;
+}
+
+// Composed faults: a gray episode that forces hedged remote reads, plus a
+// partition cut landing mid-request. The span contract under that overlap:
+// every complete span is balanced (non-negative duration) and spans sharing
+// a track are properly nested — a request whose fetch was cut off mid-
+// flight must still close its access/fetch_wait/backoff/disk_read spans in
+// LIFO order, never leaving a dangling or interleaved span.
+TEST(TracerTest, ComposedFaultSpansStayBalancedAndNested) {
+  core::SystemConfig config;
+  config.num_nodes = 3;
+  config.cache_bytes_per_node = 1u << 20;
+  config.db_pages = 600;
+  config.observation_interval_ms = 1000.0;
+  config.seed = 11;
+  // Node 1 serves everything 30x slower for 2s..6s: remote fetches homed
+  // there blow their deadline and hedge to the next replica.
+  config.faults.degradation_script = {{2000.0, 1, /*begin=*/true, 30.0},
+                                      {6000.0, 1, /*begin=*/false}};
+  // Node 2 is cut off 4s..5s, inside the gray episode, so in-flight
+  // requests lose their fetch partner mid-request.
+  config.faults.partition_script = {{4000.0, {0, 0, 1}}, {5000.0, {}}};
+  core::ClusterSystem system(config);
+  workload::ClassSpec goal;
+  goal.id = 1;
+  goal.goal_rt_ms = 8.0;
+  goal.pages = {0, 300};
+  goal.mean_interarrival_ms = 30.0;
+  workload::ClassSpec nogoal;
+  nogoal.id = 0;
+  nogoal.pages = {300, 600};
+  nogoal.mean_interarrival_ms = 30.0;
+  system.AddClass(goal);
+  system.AddClass(nogoal);
+
+  Tracer tracer;
+  tracer.Enable(true);
+  system.SetTracer(&tracer);
+  system.Start();
+  system.RunIntervals(8);
+  ASSERT_GT(tracer.size(), 100u);
+
+  struct Span {
+    double begin = 0.0;
+    double end = 0.0;
+  };
+  std::map<std::pair<uint64_t, uint64_t>, std::vector<Span>> tracks;
+  bool hedged_in_episode = false;
+  bool straddled_cut = false;
+  constexpr double kCutUs = 4000.0 * 1000.0;  // cut instant in trace μs
+  for (const std::string& raw : EventLines(tracer)) {
+    const std::string line = StripTrailingComma(raw);
+    double ts = 0.0;
+    if (!EventNumber(line, "ts", &ts)) continue;  // metadata events
+    if (line.find("\"name\":\"hedge\"") != std::string::npos &&
+        ts >= 2000.0 * 1000.0 && ts <= 6000.0 * 1000.0) {
+      hedged_in_episode = true;
+    }
+    double dur = 0.0;
+    if (!EventNumber(line, "dur", &dur)) continue;  // instants have none
+    // Balanced: a complete span never closes before it opened.
+    EXPECT_GE(dur, 0.0) << line;
+    double pid = 0.0, tid = 0.0;
+    ASSERT_TRUE(EventNumber(line, "pid", &pid)) << line;
+    ASSERT_TRUE(EventNumber(line, "tid", &tid)) << line;
+    if (line.find("\"name\":\"access\"") != std::string::npos &&
+        ts < kCutUs && ts + dur > kCutUs) {
+      straddled_cut = true;  // a request in flight when the cut landed
+    }
+    tracks[{static_cast<uint64_t>(pid), static_cast<uint64_t>(tid)}]
+        .push_back({ts, ts + dur});
+  }
+  EXPECT_TRUE(hedged_in_episode);
+  EXPECT_TRUE(straddled_cut);
+
+  // Nesting: spans sharing a track are pairwise disjoint or contained.
+  // The ts/dur fields print at fixed precision, so allow their rounding.
+  constexpr double kEps = 2e-3;
+  for (auto& [key, spans] : tracks) {
+    std::sort(spans.begin(), spans.end(), [](const Span& a, const Span& b) {
+      return a.begin != b.begin ? a.begin < b.begin : a.end > b.end;
+    });
+    for (size_t i = 1; i < spans.size(); ++i) {
+      const Span& prev = spans[i - 1];
+      const Span& cur = spans[i];
+      const bool disjoint = cur.begin >= prev.end - kEps;
+      const bool nested = cur.end <= prev.end + kEps;
+      EXPECT_TRUE(disjoint || nested)
+          << "partially overlapping spans on track (" << key.first << ","
+          << key.second << "): [" << prev.begin << "," << prev.end
+          << ") vs [" << cur.begin << "," << cur.end << ")";
+    }
+  }
 }
 
 TEST(TracerTest, DisabledTracerOnSystemLeavesRunUntouched) {

@@ -1,0 +1,150 @@
+// attainment_report — renders a memgoal_sim --attainment-out JSONL file as
+// a per-class markdown summary (CI uploads the result as a workflow
+// artifact next to the raw JSONL).
+//
+//   attainment_report attainment.jsonl > attainment.md
+//
+// Input: one JSON object per line; "type":"budget" rows carry the
+// per-(class, node, interval) response-time budget decomposition,
+// "type":"miss_card" rows the goal-miss root-cause cards. The parser here
+// is deliberately minimal — it only consumes what AttainmentTracker emits.
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/latency_budget.h"
+
+namespace {
+
+using memgoal::obs::BudgetPhase;
+using memgoal::obs::BudgetPhaseName;
+using memgoal::obs::kNumBudgetPhases;
+
+// Finds `"key":` in `line` and parses the value as a double. Returns false
+// when the key is absent. Sufficient for AttainmentTracker's flat output
+// (no nested objects, keys never appear inside string values except
+// dominant_phase/lp_mode, which we parse as strings).
+bool FindNumber(const std::string& line, const char* key, double* out) {
+  std::string needle = "\"";
+  needle += key;
+  needle += "\":";
+  const size_t pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  *out = std::strtod(line.c_str() + pos + needle.size(), nullptr);
+  return true;
+}
+
+bool FindString(const std::string& line, const char* key, std::string* out) {
+  std::string needle = "\"";
+  needle += key;
+  needle += "\":\"";
+  const size_t pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  const size_t begin = pos + needle.size();
+  const size_t end = line.find('"', begin);
+  if (end == std::string::npos) return false;
+  out->assign(line, begin, end - begin);
+  return true;
+}
+
+struct ClassTotals {
+  uint64_t requests = 0;
+  double rt_sum_ms = 0.0;
+  double phase_ms[kNumBudgetPhases] = {};
+  uint64_t miss_cards = 0;
+  std::map<std::string, uint64_t> miss_dominants;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <attainment.jsonl>\n", argv[0]);
+    return 1;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open %s\n", argv[1]);
+    return 1;
+  }
+
+  std::map<uint32_t, ClassTotals> classes;
+  int intervals = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    double klass_d = 0.0;
+    if (!FindNumber(line, "class", &klass_d)) continue;
+    ClassTotals& totals = classes[static_cast<uint32_t>(klass_d)];
+    if (line.find("\"type\":\"budget\"") != std::string::npos) {
+      double value = 0.0;
+      if (FindNumber(line, "interval", &value) &&
+          static_cast<int>(value) + 1 > intervals) {
+        intervals = static_cast<int>(value) + 1;
+      }
+      if (FindNumber(line, "requests", &value)) {
+        totals.requests += static_cast<uint64_t>(value);
+      }
+      if (FindNumber(line, "rt_sum_ms", &value)) totals.rt_sum_ms += value;
+      for (int i = 0; i < kNumBudgetPhases; ++i) {
+        char key[48];
+        std::snprintf(key, sizeof(key), "%s_ms",
+                      BudgetPhaseName(static_cast<BudgetPhase>(i)));
+        if (FindNumber(line, key, &value)) totals.phase_ms[i] += value;
+      }
+    } else if (line.find("\"type\":\"miss_card\"") != std::string::npos) {
+      ++totals.miss_cards;
+      std::string dominant;
+      if (FindString(line, "dominant_phase", &dominant)) {
+        ++totals.miss_dominants[dominant];
+      }
+    }
+  }
+
+  std::printf("# Goal-attainment report\n\n");
+  std::printf("%d observation intervals, %zu classes with budget data.\n\n",
+              intervals, classes.size());
+  std::printf("| class | requests | mean rt (ms) |");
+  for (int i = 0; i < kNumBudgetPhases; ++i) {
+    std::printf(" %s %% |", BudgetPhaseName(static_cast<BudgetPhase>(i)));
+  }
+  std::printf(" miss cards |\n");
+  std::printf("|---|---|---|");
+  for (int i = 0; i < kNumBudgetPhases; ++i) std::printf("---|");
+  std::printf("---|\n");
+  for (const auto& [klass, totals] : classes) {
+    const double mean_rt =
+        totals.requests > 0
+            ? totals.rt_sum_ms / static_cast<double>(totals.requests)
+            : 0.0;
+    std::printf("| %u | %" PRIu64 " | %.3f |", klass, totals.requests,
+                mean_rt);
+    for (int i = 0; i < kNumBudgetPhases; ++i) {
+      const double share = totals.rt_sum_ms > 0.0
+                               ? 100.0 * totals.phase_ms[i] / totals.rt_sum_ms
+                               : 0.0;
+      std::printf(" %.1f |", share);
+    }
+    std::printf(" %" PRIu64 " |\n", totals.miss_cards);
+  }
+  bool any_misses = false;
+  for (const auto& [klass, totals] : classes) {
+    if (totals.miss_cards == 0) continue;
+    if (!any_misses) {
+      std::printf("\n## Goal misses by dominant phase\n\n");
+      any_misses = true;
+    }
+    std::printf("- class %u:", klass);
+    for (const auto& [phase, count] : totals.miss_dominants) {
+      std::printf(" %s=%" PRIu64, phase.c_str(), count);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -57,9 +57,18 @@
 //   decision_log                     — JSONL, one controller decision record
 //                                      per coordinator check
 //   obs_csv, obs_jsonl               — metrics-registry snapshot history
+//   attainment_out                   — per-(class, node, interval) response
+//                                      time budget rows + goal-miss root
+//                                      cause cards; ".csv" suffix selects
+//                                      CSV (budget rows only), anything
+//                                      else JSONL
 //   profile_out                      — hot-path wall-clock profile as JSON
 //   profile_folded                   — same profile as folded stacks
 //                                      (flamegraph.pl / speedscope input)
+//
+// All observability sinks are also flushed from a signal handler on
+// abnormal exit (MEMGOAL_CHECK abort, SIGINT, SIGTERM), so a truncated run
+// still yields parseable files of complete records.
 //   class<i>_goal_ms                 — omit (or 0) for the no-goal class
 //   class<i>_pages                   — "begin:end" page range
 //   class<i>_interarrival_ms (100), class<i>_accesses (4),
@@ -70,6 +79,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -84,6 +94,7 @@
 #include "core/scenario.h"
 #include "core/system.h"
 #include "net/network.h"
+#include "obs/attainment.h"
 #include "obs/decision_log.h"
 #include "obs/profiler.h"
 #include "obs/registry.h"
@@ -91,6 +102,63 @@
 #include "sim/invariant_auditor.h"
 
 namespace {
+
+bool EndsWithCsv(const std::string& path) {
+  return path.size() >= 4 &&
+         path.compare(path.size() - 4, 4, ".csv") == 0;
+}
+
+/// Emergency flush state: every configured observability sink, flushable
+/// exactly once. Armed while the simulation runs; a MEMGOAL_CHECK abort (or
+/// SIGINT/SIGTERM) lands in FlushSinksOnSignal, which writes whatever the
+/// run produced so far — each Write* emits only complete records, so a
+/// truncated run still yields parseable files. The simulator is
+/// single-threaded and the crash is synchronous, which is what makes the
+/// stdio calls here safe in practice despite signal-safety rules.
+struct EmergencySinks {
+  std::string trace_path;
+  std::string decision_path;
+  std::string obs_csv_path;
+  std::string obs_jsonl_path;
+  std::string attainment_path;
+  memgoal::obs::Tracer* tracer = nullptr;
+  memgoal::obs::DecisionLog* decision_log = nullptr;
+  memgoal::obs::Registry* registry = nullptr;
+  memgoal::obs::AttainmentTracker* attainment = nullptr;
+  bool armed = false;
+  bool flushed = false;
+
+  void Flush() {
+    if (!armed || flushed) return;
+    flushed = true;
+    const auto write = [](const std::string& path, auto&& writer) {
+      if (path.empty()) return;
+      std::FILE* file = std::fopen(path.c_str(), "w");
+      if (file == nullptr) return;
+      writer(file);
+      std::fclose(file);
+    };
+    write(trace_path, [&](std::FILE* f) { tracer->WriteJson(f); });
+    write(decision_path, [&](std::FILE* f) { decision_log->WriteJsonl(f); });
+    write(obs_csv_path, [&](std::FILE* f) { registry->WriteCsv(f); });
+    write(obs_jsonl_path, [&](std::FILE* f) { registry->WriteJsonl(f); });
+    write(attainment_path, [&](std::FILE* f) {
+      if (EndsWithCsv(attainment_path)) {
+        attainment->WriteCsv(f);
+      } else {
+        attainment->WriteJsonl(f);
+      }
+    });
+  }
+};
+
+EmergencySinks g_emergency_sinks;
+
+extern "C" void FlushSinksOnSignal(int sig) {
+  g_emergency_sinks.Flush();
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
 
 // Writes `writer(file)` to `path`; returns false (with a message) on I/O
 // failure so a bad path fails the run visibly instead of silently.
@@ -136,11 +204,13 @@ int Run(memgoal::common::Config& config) {
   const std::string decision_path = config.GetString("decision_log", "");
   const std::string obs_csv_path = config.GetString("obs_csv", "");
   const std::string obs_jsonl_path = config.GetString("obs_jsonl", "");
+  const std::string attainment_path = config.GetString("attainment_out", "");
   const std::string profile_path = config.GetString("profile_out", "");
   const std::string profile_folded_path =
       config.GetString("profile_folded", "");
   memgoal::obs::Tracer tracer;
   memgoal::obs::DecisionLog decision_log;
+  memgoal::obs::AttainmentTracker attainment;
   memgoal::obs::Profiler profiler;
   std::optional<memgoal::obs::Profiler::ScopedInstall> profile_install;
   if (!trace_path.empty()) {
@@ -148,6 +218,10 @@ int Run(memgoal::common::Config& config) {
     system.SetTracer(&tracer);
   }
   if (!decision_path.empty()) system.SetDecisionLog(&decision_log);
+  if (!attainment_path.empty()) {
+    attainment.Enable(true);
+    system.SetAttainment(&attainment);
+  }
   if (!profile_path.empty() || !profile_folded_path.empty()) {
     profiler.Enable(true);
     profile_install.emplace(&profiler);
@@ -161,6 +235,27 @@ int Run(memgoal::common::Config& config) {
     std::fprintf(stderr, "error: %s\n", config.error().c_str());
     return 1;
   }
+
+  // Arm the abnormal-exit sink flush for the duration of this call (the
+  // sinks are Run()-locals, so the guard disarms before they go away).
+  g_emergency_sinks.trace_path = trace_path;
+  g_emergency_sinks.decision_path = decision_path;
+  g_emergency_sinks.obs_csv_path = obs_csv_path;
+  g_emergency_sinks.obs_jsonl_path = obs_jsonl_path;
+  g_emergency_sinks.attainment_path = attainment_path;
+  g_emergency_sinks.tracer = &tracer;
+  g_emergency_sinks.decision_log = &decision_log;
+  g_emergency_sinks.registry = &system.registry();
+  g_emergency_sinks.attainment = &attainment;
+  g_emergency_sinks.armed = true;
+  g_emergency_sinks.flushed = false;
+  struct EmergencyDisarm {
+    ~EmergencyDisarm() { g_emergency_sinks = EmergencySinks{}; }
+  } emergency_disarm;
+  std::signal(SIGABRT, FlushSinksOnSignal);
+  std::signal(SIGINT, FlushSinksOnSignal);
+  std::signal(SIGTERM, FlushSinksOnSignal);
+
   const auto wall_start = std::chrono::steady_clock::now();
   system.Start();
   system.RunIntervals(intervals);
@@ -199,6 +294,22 @@ int Run(memgoal::common::Config& config) {
           system.registry().WriteJsonl(f);
         });
   }
+  if (!attainment_path.empty()) {
+    obs_ok &= WriteFileOrComplain(
+        attainment_path, "attainment report", [&](std::FILE* f) {
+          if (EndsWithCsv(attainment_path)) {
+            attainment.WriteCsv(f);
+          } else {
+            attainment.WriteJsonl(f);
+          }
+        });
+    std::fprintf(stderr,
+                 "# attainment: %zu budget rows, %zu miss cards -> %s\n",
+                 attainment.rows().size(), attainment.cards().size(),
+                 attainment_path.c_str());
+  }
+  // The normal-path writes above supersede the emergency flush.
+  g_emergency_sinks.flushed = true;
   if (!profile_path.empty()) {
     obs_ok &= WriteFileOrComplain(profile_path, "profile", [&](std::FILE* f) {
       std::string json;
@@ -244,6 +355,7 @@ int Run(memgoal::common::Config& config) {
                  static_cast<unsigned long long>(
                      system.TotalDedicatedBytes(spec.id) / 1024));
   }
+  if (!attainment_path.empty()) attainment.WriteSummary(stderr);
   const auto& fault_stats = system.fault_injector().stats();
   if (fault_stats.crashes > 0 || fault_stats.suppressed > 0) {
     std::fprintf(stderr,
